@@ -1,0 +1,107 @@
+// Ablation A6 — linear-constraint approximation of relaxation regions
+// (paper §5 future work): how much overhead reduction survives when the
+// exact 2|A||Q||rho|-integer borders are replaced by 4|Q||rho| line
+// coefficients, and what it costs in granted relaxation depth.
+#include <cstdio>
+
+#include "core/linear_relaxation.hpp"
+
+#include "bench_common.hpp"
+
+using namespace speedqm;
+using namespace speedqm::bench;
+
+int main() {
+  print_header("Ablation A6 — linear approximation of relaxation regions",
+               "Combaz et al., IPPS 2007, section 5 (future work)");
+
+  PaperHarness harness;
+  auto& scenario = harness.scenario();
+  const auto& regions = harness.region_table_relax();
+  const auto& exact = harness.relaxation_table();
+  const LinearRelaxationTable linear(regions, exact);
+
+  ExecutorOptions opts;
+  opts.cycles = static_cast<std::size_t>(scenario.config.num_frames);
+  opts.period = scenario.frame_period;
+  opts.platform = Platform(scenario.overhead);
+
+  RelaxationManager exact_mgr(regions, exact);
+  LinearRelaxationManager linear_mgr(regions, linear);
+  RegionManager none_mgr(regions);
+
+  const auto run_exact = run_cyclic(scenario.app(), exact_mgr, scenario.traces(), opts);
+  const auto run_linear = run_cyclic(scenario.app(), linear_mgr, scenario.traces(), opts);
+  const auto run_none = run_cyclic(scenario.app(), none_mgr, scenario.traces(), opts);
+
+  TextTable table({"relaxation tables", "integers", "KB", "mgr calls",
+                   "overhead %", "mean quality", "misses"});
+  CsvWriter csv("ablation_linear.csv");
+  csv.row({"variant", "integers", "bytes", "manager_calls", "overhead_pct",
+           "mean_quality", "misses"});
+  const auto row = [&](const char* name, std::size_t ints, std::size_t bytes,
+                       const RunResult& r) {
+    table.begin_row()
+        .cell(name)
+        .cell(ints)
+        .cell(static_cast<double>(bytes) / 1024.0, 2)
+        .cell(r.total_manager_calls)
+        .cell(100.0 * r.overhead_fraction(), 3)
+        .cell(r.mean_quality(), 3)
+        .cell(r.total_deadline_misses);
+    table.end_row();
+    csv.begin_row()
+        .col(name)
+        .col(ints)
+        .col(bytes)
+        .col(r.total_manager_calls)
+        .col(100.0 * r.overhead_fraction())
+        .col(r.mean_quality())
+        .col(r.total_deadline_misses)
+        .end_row();
+  };
+  row("none (regions only)", 0, 0, run_none);
+  row("exact (paper)", exact.num_integers(), exact.memory_bytes(), run_exact);
+  row("linear approximation", linear.num_integers(), linear.memory_bytes(),
+      run_linear);
+  std::printf("%s\n", table.render().c_str());
+
+  // Approximation quality per (q, r): mean slack given away on the border.
+  TextTable gaps({"quality", "gap r=10 (ms)", "gap r=30 (ms)", "gap r=50 (ms)"});
+  for (Quality q = 0; q < regions.num_levels(); ++q) {
+    gaps.begin_row()
+        .cell(q)
+        .cell(linear.mean_upper_gap(exact, q, 10) / 1e6, 3)
+        .cell(linear.mean_upper_gap(exact, q, 30) / 1e6, 3)
+        .cell(linear.mean_upper_gap(exact, q, 50) / 1e6, 3);
+    gaps.end_row();
+  }
+  std::printf("%s\n", gaps.render().c_str());
+
+  bool ok = true;
+  ok &= shape_check("linear tables are >100x smaller than exact",
+                    linear.num_integers() * 100 < exact.num_integers());
+  ok &= shape_check("linear still cuts calls vs no relaxation",
+                    run_linear.total_manager_calls < run_none.total_manager_calls);
+  ok &= shape_check("linear grants at most as much relaxation as exact",
+                    run_linear.total_manager_calls >= run_exact.total_manager_calls);
+  // With overhead on, different call counts shift the clock slightly, so
+  // compare decisions at zero overhead where relaxation is purely a skip.
+  {
+    ExecutorOptions zero = opts;
+    zero.platform = Platform(OverheadModel::zero());
+    const auto ze = run_cyclic(scenario.app(), exact_mgr, scenario.traces(), zero);
+    const auto zl = run_cyclic(scenario.app(), linear_mgr, scenario.traces(), zero);
+    bool identical = ze.steps.size() == zl.steps.size();
+    for (std::size_t i = 0; identical && i < ze.steps.size(); ++i) {
+      identical = ze.steps[i].quality == zl.steps[i].quality;
+    }
+    ok &= shape_check(
+        "identical quality decisions at zero overhead (relaxation never "
+        "changes q)",
+        identical);
+  }
+  ok &= shape_check("safety preserved", run_linear.total_deadline_misses == 0);
+  std::printf("\nseries written to ablation_linear.csv\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,109 @@
+// Ablation A1 — quality management policies (section 2.2.2's design
+// choice): mixed vs safe-only vs average-only vs open-loop constant
+// quality, on the paper workload, overhead-free (isolating policy quality
+// from implementation overhead).
+//
+// Expected shape: mixed and safe never miss; average misses under heavy
+// content; safe decays along each frame (poor smoothness); constant
+// quality either wastes budget (low q) or misses (high q).
+#include <cstdio>
+
+#include "core/baseline_managers.hpp"
+
+#include "bench_common.hpp"
+
+using namespace speedqm;
+using namespace speedqm::bench;
+
+namespace {
+
+struct Outcome {
+  std::string name;
+  RunSummary summary;
+};
+
+Outcome run_policy(PaperHarness& h, QualityManager& manager,
+                   const std::string& name) {
+  ExecutorOptions opts;
+  opts.cycles = static_cast<std::size_t>(h.scenario().config.num_frames);
+  opts.period = h.scenario().frame_period;
+  opts.platform = Platform(OverheadModel::zero());
+  const auto run = run_cyclic(h.scenario().app(), manager, h.scenario().traces(), opts);
+  return Outcome{name, summarize_run(name, run)};
+}
+
+}  // namespace
+
+int main() {
+  print_header("Ablation A1 — quality management policies",
+               "Combaz et al., IPPS 2007, section 2.2.2 (policy design)");
+
+  PaperHarness harness;
+  const auto& app = harness.scenario().app();
+  const auto& tm = harness.scenario().timing();
+
+  const PolicyEngine mixed(app, tm, PolicyKind::kMixed);
+  const PolicyEngine safe(app, tm, PolicyKind::kSafe);
+  const PolicyEngine average(app, tm, PolicyKind::kAverage);
+
+  std::vector<Outcome> outcomes;
+  {
+    NumericManager m(mixed);
+    outcomes.push_back(run_policy(harness, m, "mixed (paper)"));
+  }
+  {
+    NumericManager m(safe);
+    outcomes.push_back(run_policy(harness, m, "safe-only"));
+  }
+  {
+    NumericManager m(average);
+    outcomes.push_back(run_policy(harness, m, "average-only"));
+  }
+  for (Quality q : {1, 3, 6}) {
+    ConstantQualityManager m(q);
+    outcomes.push_back(run_policy(harness, m, "constant q" + std::to_string(q)));
+  }
+
+  TextTable table({"policy", "mean quality", "misses", "infeasible",
+                   "quality stddev", "mean |jump|", "switches"});
+  CsvWriter csv("ablation_policies.csv");
+  csv.row({"policy", "mean_quality", "misses", "infeasible", "stddev",
+           "mean_abs_jump", "switches"});
+  for (const auto& o : outcomes) {
+    table.begin_row()
+        .cell(o.name)
+        .cell(o.summary.mean_quality, 3)
+        .cell(o.summary.deadline_misses)
+        .cell(o.summary.infeasible)
+        .cell(o.summary.smoothness.quality_stddev, 3)
+        .cell(o.summary.smoothness.mean_abs_jump, 4)
+        .cell(o.summary.smoothness.switches);
+    table.end_row();
+    csv.begin_row()
+        .col(o.name)
+        .col(o.summary.mean_quality)
+        .col(o.summary.deadline_misses)
+        .col(o.summary.infeasible)
+        .col(o.summary.smoothness.quality_stddev)
+        .col(o.summary.smoothness.mean_abs_jump)
+        .col(o.summary.smoothness.switches)
+        .end_row();
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const auto& m = outcomes[0].summary;
+  const auto& s = outcomes[1].summary;
+  const auto& a = outcomes[2].summary;
+  const auto& c5 = outcomes.back().summary;
+  bool ok = true;
+  ok &= shape_check("mixed policy misses no deadline", m.deadline_misses == 0);
+  ok &= shape_check("safe policy misses no deadline", s.deadline_misses == 0);
+  ok &= shape_check("mixed is smoother than safe (stddev)",
+                    m.smoothness.quality_stddev < s.smoothness.quality_stddev);
+  ok &= shape_check("constant q6 (over budget) misses deadlines",
+                    c5.deadline_misses > 0);
+  ok &= shape_check("average-only quality exceeds mixed (it ignores risk)",
+                    a.mean_quality >= m.mean_quality);
+  std::printf("\nseries written to ablation_policies.csv\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,110 @@
+// Ablation A3 — number of quality levels |Q| (the paper fixes |Q| = 7):
+// more levels give the controller finer budget-tracking resolution at the
+// cost of proportionally larger symbolic tables and more numeric probes.
+// Quality-level ranges are normalized so qmax's cost is identical across
+// variants (only the granularity changes).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace speedqm;
+using namespace speedqm::bench;
+
+namespace {
+
+MpegConfig config_with_levels(int levels) {
+  MpegConfig cfg;  // paper defaults (7 levels, slopes per level)
+  const double scale = 6.0 / static_cast<double>(levels - 1);
+  cfg.num_levels = levels;
+  cfg.me_q_slope *= scale;
+  cfg.dct_q_slope *= scale;
+  cfg.vlc_q_slope *= scale;
+  cfg.setup_q_slope *= scale;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Ablation A3 — quality level count |Q|",
+               "Combaz et al., IPPS 2007, section 4.1 (|Q| = 7)");
+
+  TextTable table({"|Q|", "region ints", "relax ints", "mean quality (norm)",
+                   "overhead %", "misses", "quality stddev (norm)"});
+  CsvWriter csv("ablation_qcount.csv");
+  csv.row({"levels", "region_integers", "relaxation_integers",
+           "normalized_mean_quality", "overhead_pct", "misses",
+           "normalized_stddev"});
+
+  double q2_norm = 0, q13_norm = 0;
+  std::size_t q2_ints = 0, q13_ints = 0;
+  for (const int levels : {2, 3, 5, 7, 9, 13}) {
+    const MpegConfig cfg = config_with_levels(levels);
+    const TimeNs period = sec(30) / cfg.num_frames;
+    const MpegWorkload w(cfg, period);
+
+    const OverheadModel overhead = OverheadModel::ipod_like();
+    const RegionCallEstimate est(levels);
+    const TimingModel controller_tm = inflate_for_overhead(w.timing(), overhead, est);
+    const PolicyEngine engine(w.app(), controller_tm);
+    const auto regions = RegionCompiler::compile_regions(engine);
+    const std::vector<int> rho{1, 10, 20, 30, 40, 50};
+    const auto relax = RegionCompiler::compile_relaxation(engine, regions, rho);
+    RelaxationManager manager(regions, relax);
+
+    ExecutorOptions opts;
+    opts.cycles = static_cast<std::size_t>(cfg.num_frames);
+    opts.period = period;
+    opts.platform = Platform(overhead);
+    auto& traces = const_cast<MpegWorkload&>(w).traces();
+    const auto run = run_cyclic(w.app(), manager, traces, opts);
+
+    // Normalize mean quality to [0, 1] so variants are comparable.
+    const double norm =
+        run.mean_quality() / static_cast<double>(levels - 1);
+    const auto sm = analyze_smoothness([&] {
+      std::vector<Quality> qs;
+      for (const auto& s : run.steps) qs.push_back(s.quality);
+      return qs;
+    }());
+    const double stddev_norm = sm.quality_stddev / static_cast<double>(levels - 1);
+
+    if (levels == 2) {
+      q2_norm = norm;
+      q2_ints = regions.num_integers();
+    }
+    if (levels == 13) {
+      q13_norm = norm;
+      q13_ints = regions.num_integers();
+    }
+
+    table.begin_row()
+        .cell(levels)
+        .cell(regions.num_integers())
+        .cell(relax.num_integers())
+        .cell(norm, 4)
+        .cell(100.0 * run.overhead_fraction(), 3)
+        .cell(run.total_deadline_misses)
+        .cell(stddev_norm, 4);
+    table.end_row();
+    csv.begin_row()
+        .col(levels)
+        .col(regions.num_integers())
+        .col(relax.num_integers())
+        .col(norm)
+        .col(100.0 * run.overhead_fraction())
+        .col(run.total_deadline_misses)
+        .col(stddev_norm)
+        .end_row();
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  bool ok = true;
+  ok &= shape_check("table size scales linearly with |Q|",
+                    q13_ints == q2_ints / 2 * 13);
+  ok &= shape_check("finer levels track the budget at least as well "
+                    "(normalized quality q13 >= q2 - 0.05)",
+                    q13_norm >= q2_norm - 0.05);
+  std::printf("\nseries written to ablation_qcount.csv\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,87 @@
+// Ablation A2 — the relaxation step set rho (section 4.1's design choice
+// rho = {1,10,20,30,40,50}): trade-off between table size and overhead
+// reduction. Denser/deeper step sets suppress more calls at the cost of
+// more precomputed integers.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace speedqm;
+using namespace speedqm::bench;
+
+int main() {
+  print_header("Ablation A2 — relaxation step set rho",
+               "Combaz et al., IPPS 2007, section 4.1 (choice of rho)");
+
+  PaperHarness harness;
+  auto& scenario = harness.scenario();
+  const auto& engine = harness.engine_relax();
+  const auto& regions = harness.region_table_relax();
+
+  struct Variant {
+    std::string name;
+    std::vector<int> rho;
+  };
+  const std::vector<Variant> variants = {
+      {"{1} (no relaxation)", {1}},
+      {"{1,5}", {1, 5}},
+      {"{1,10}", {1, 10}},
+      {"{1,10,20,30,40,50} (paper)", {1, 10, 20, 30, 40, 50}},
+      {"{1,5,10,...,50} (dense)", {1, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50}},
+      {"{1,25,50,100,200} (deep)", {1, 25, 50, 100, 200}},
+  };
+
+  TextTable table({"rho", "table ints", "table KB", "mgr calls", "overhead %",
+                   "mean quality", "misses"});
+  CsvWriter csv("ablation_rho.csv");
+  csv.row({"rho", "table_integers", "table_bytes", "manager_calls",
+           "overhead_pct", "mean_quality", "misses"});
+
+  double paper_overhead = -1.0, none_overhead = -1.0;
+  std::size_t paper_ints = 0, dense_ints = 0;
+  for (const auto& v : variants) {
+    const auto relax = RegionCompiler::compile_relaxation(engine, regions, v.rho);
+    RelaxationManager manager(regions, relax);
+    ExecutorOptions opts;
+    opts.cycles = static_cast<std::size_t>(scenario.config.num_frames);
+    opts.period = scenario.frame_period;
+    opts.platform = Platform(scenario.overhead);
+    const auto run = run_cyclic(scenario.app(), manager, scenario.traces(), opts);
+
+    const double pct = 100.0 * run.overhead_fraction();
+    if (v.name.find("paper") != std::string::npos) {
+      paper_overhead = pct;
+      paper_ints = relax.num_integers();
+    }
+    if (v.name.find("no relaxation") != std::string::npos) none_overhead = pct;
+    if (v.name.find("dense") != std::string::npos) dense_ints = relax.num_integers();
+
+    table.begin_row()
+        .cell(v.name)
+        .cell(relax.num_integers())
+        .cell(static_cast<double>(relax.memory_bytes()) / 1024.0, 1)
+        .cell(run.total_manager_calls)
+        .cell(pct, 3)
+        .cell(run.mean_quality(), 3)
+        .cell(run.total_deadline_misses);
+    table.end_row();
+    csv.begin_row()
+        .col(v.name)
+        .col(relax.num_integers())
+        .col(relax.memory_bytes())
+        .col(run.total_manager_calls)
+        .col(pct)
+        .col(run.mean_quality())
+        .col(run.total_deadline_misses)
+        .end_row();
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  bool ok = true;
+  ok &= shape_check("paper's rho cuts overhead vs rho = {1}",
+                    paper_overhead < none_overhead);
+  ok &= shape_check("denser rho costs more table integers",
+                    dense_ints > paper_ints);
+  std::printf("\nseries written to ablation_rho.csv\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,101 @@
+// Shared setup for the experiment benches: builds the paper scenario once,
+// compiles per-flavor controllers (each deciding with its own
+// overhead-inflated timing model, per §2.2.2), and runs the 29-frame
+// evaluation. Every bench prints paper-style tables to stdout and writes
+// CSV series to the working directory for offline plotting.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/numeric_manager.hpp"
+#include "core/region_compiler.hpp"
+#include "core/region_manager.hpp"
+#include "core/relaxation_manager.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace.hpp"
+#include "support/csv.hpp"
+#include "support/table.hpp"
+#include "workload/scenarios.hpp"
+
+namespace speedqm::bench {
+
+/// Everything needed to run the section-4 evaluation.
+class PaperHarness {
+ public:
+  explicit PaperHarness(std::uint64_t seed = 20070326)
+      : scenario_(make_paper_scenario(seed)),
+        tm_numeric_(scenario_.controller_model(ManagerFlavor::kNumeric)),
+        tm_regions_(scenario_.controller_model(ManagerFlavor::kRegions)),
+        tm_relax_(scenario_.controller_model(ManagerFlavor::kRelaxation)),
+        engine_numeric_(scenario_.app(), tm_numeric_),
+        engine_regions_(scenario_.app(), tm_regions_),
+        engine_relax_(scenario_.app(), tm_relax_),
+        engine_pure_(scenario_.app(), scenario_.timing()),
+        regions_for_regions_(RegionCompiler::compile_regions(engine_regions_)),
+        regions_for_relax_(RegionCompiler::compile_regions(engine_relax_)),
+        relax_table_(RegionCompiler::compile_relaxation(
+            engine_relax_, regions_for_relax_, scenario_.rho)) {}
+
+  PaperScenario& scenario() { return scenario_; }
+  const PolicyEngine& engine_numeric() const { return engine_numeric_; }
+  const PolicyEngine& engine_regions() const { return engine_regions_; }
+  const PolicyEngine& engine_relax() const { return engine_relax_; }
+  /// Engine over the *uninflated* workload model (diagram/region geometry).
+  const PolicyEngine& engine_pure() const { return engine_pure_; }
+  const QualityRegionTable& region_table() const { return regions_for_regions_; }
+  const QualityRegionTable& region_table_relax() const { return regions_for_relax_; }
+  const RelaxationTable& relaxation_table() const { return relax_table_; }
+
+  /// Runs the full 29-frame evaluation with the given manager flavor on the
+  /// iPod-like platform (or overhead-free when with_overhead = false).
+  RunResult run(ManagerFlavor flavor, bool with_overhead = true) {
+    std::unique_ptr<QualityManager> manager = make_manager(flavor);
+    ExecutorOptions opts;
+    opts.cycles = static_cast<std::size_t>(scenario_.config.num_frames);
+    opts.period = scenario_.frame_period;
+    opts.platform =
+        Platform(with_overhead ? scenario_.overhead : OverheadModel::zero());
+    opts.carry_slack = true;
+    return run_cyclic(scenario_.app(), *manager, scenario_.traces(), opts);
+  }
+
+  std::unique_ptr<QualityManager> make_manager(ManagerFlavor flavor) {
+    switch (flavor) {
+      case ManagerFlavor::kNumeric:
+        return std::make_unique<NumericManager>(engine_numeric_);
+      case ManagerFlavor::kRegions:
+        return std::make_unique<RegionManager>(regions_for_regions_);
+      case ManagerFlavor::kRelaxation:
+        return std::make_unique<RelaxationManager>(regions_for_relax_,
+                                                   relax_table_);
+    }
+    return nullptr;
+  }
+
+ private:
+  PaperScenario scenario_;
+  TimingModel tm_numeric_, tm_regions_, tm_relax_;
+  PolicyEngine engine_numeric_, engine_regions_, engine_relax_, engine_pure_;
+  QualityRegionTable regions_for_regions_, regions_for_relax_;
+  RelaxationTable relax_table_;
+};
+
+/// Banner printed by every bench.
+inline void print_header(const std::string& experiment, const std::string& ref) {
+  std::printf("=== %s ===\n", experiment.c_str());
+  std::printf("reproduces: %s\n", ref.c_str());
+  std::printf("workload: MPEG encoder, %d actions, %d quality levels, %d frames,"
+              " D = 30 s, iPod-like platform\n\n",
+              kPaperActions, kPaperLevels, kPaperFrames);
+}
+
+/// PASS/FAIL shape check line (the bench harness's "does the paper's
+/// qualitative claim hold" verdict).
+inline bool shape_check(const std::string& claim, bool ok) {
+  std::printf("[%s] %s\n", ok ? "SHAPE-OK  " : "SHAPE-FAIL", claim.c_str());
+  return ok;
+}
+
+}  // namespace speedqm::bench

@@ -1,0 +1,106 @@
+// Experiment E1 — Figure 3: the speed diagram. Emits the (actual time,
+// virtual time) trajectory of a controlled frame together with the ideal
+// speeds of every quality level and the optimal-speed samples, and checks
+// Proposition 1 on every visited state.
+#include <cstdio>
+
+#include "core/speed_diagram.hpp"
+
+#include "bench_common.hpp"
+
+using namespace speedqm;
+using namespace speedqm::bench;
+
+int main() {
+  print_header("Figure 3 — speed diagram of a controlled frame",
+               "Combaz et al., IPPS 2007, figure 3 / section 3.1");
+
+  PaperHarness harness;
+  const auto& engine = harness.engine_pure();
+  const ActionIndex target = harness.scenario().app().size() - 1;
+  const SpeedDiagram diagram(engine, target);
+
+  // Ideal speeds per quality: the fan of slopes in the diagram.
+  TextTable speeds({"quality", "ideal speed v_idl(q)", "total Cav (ms)"});
+  for (Quality q = 0; q < engine.num_levels(); ++q) {
+    speeds.begin_row()
+        .cell(q)
+        .cell(diagram.ideal_speed(q), 4)
+        .cell(to_ms(engine.timing().total_cav(q)), 1);
+    speeds.end_row();
+  }
+  std::printf("%s\n", speeds.render().c_str());
+
+  // Trajectory of one overhead-free run of frame 0 (region manager).
+  const auto run = harness.run(ManagerFlavor::kRegions, /*with_overhead=*/false);
+  std::vector<StateIndex> states{0};
+  std::vector<TimeNs> times{0};
+  std::vector<Quality> qualities{run.steps.front().quality};
+  for (const auto& s : run.steps) {
+    if (s.cycle != 0) break;
+    states.push_back(s.action + 1);
+    times.push_back(s.start + s.duration);
+    qualities.push_back(s.quality);
+  }
+  const auto traj = diagram.trajectory(states, times, qualities);
+
+  CsvWriter csv("fig3_speed_diagram.csv");
+  csv.row({"state", "actual_ms", "virtual_ms", "quality", "v_opt", "v_idl",
+           "prop1_lhs", "prop1_rhs"});
+  std::size_t prop1_checked = 0, prop1_equal = 0;
+  for (std::size_t k = 0; k < traj.size(); ++k) {
+    const auto& p = traj[k];
+    double vopt = 0.0, vidl = 0.0;
+    int lhs = -1, rhs = -1;
+    if (p.state <= target) {
+      vopt = diagram.optimal_speed(p.state, p.actual, p.quality);
+      vidl = diagram.ideal_speed(p.quality);
+      const bool l = diagram.ideal_dominates_optimal(p.state, p.actual, p.quality);
+      const bool r = diagram.policy_constraint_holds(p.state, p.actual, p.quality);
+      lhs = l ? 1 : 0;
+      rhs = r ? 1 : 0;
+      ++prop1_checked;
+      if (l == r) ++prop1_equal;
+    }
+    csv.begin_row()
+        .col(p.state)
+        .col(to_ms(p.actual))
+        .col(p.virtual_time / 1e6)
+        .col(p.quality)
+        .col(vopt)
+        .col(vidl)
+        .col(lhs)
+        .col(rhs)
+        .end_row();
+  }
+
+  // Condensed text view: every 100th state.
+  TextTable table({"state", "actual (ms)", "virtual (ms)", "q", "above diagonal"});
+  for (std::size_t k = 0; k < traj.size(); k += 100) {
+    const auto& p = traj[k];
+    table.begin_row()
+        .cell(p.state)
+        .cell(to_ms(p.actual), 2)
+        .cell(p.virtual_time / 1e6, 2)
+        .cell(p.quality)
+        .cell(p.virtual_time > static_cast<double>(p.actual) ? "yes" : "no");
+    table.end_row();
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const auto& final_point = traj.back();
+  bool ok = true;
+  ok &= shape_check("Proposition 1 equivalence holds at every visited state",
+                    prop1_checked > 0 && prop1_checked == prop1_equal);
+  ok &= shape_check("trajectory ends at the deadline's virtual time",
+                    std::abs(final_point.virtual_time -
+                             static_cast<double>(diagram.target_deadline())) <
+                        1.0);
+  ok &= shape_check("completion lands before the deadline (safety)",
+                    final_point.actual <= diagram.target_deadline());
+  ok &= shape_check(
+      "higher quality has lower ideal speed",
+      diagram.ideal_speed(0) > diagram.ideal_speed(engine.qmax()));
+  std::printf("\nseries written to fig3_speed_diagram.csv\n");
+  return ok ? 0 : 1;
+}

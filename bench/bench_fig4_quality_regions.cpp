@@ -1,0 +1,76 @@
+// Experiment E2 — Figure 4: quality regions. Emits the region borders
+// tD(s, q) across the whole schedule for every quality level (the
+// staircase curves of figure 4) and summarizes the region geometry.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace speedqm;
+using namespace speedqm::bench;
+
+int main() {
+  print_header("Figure 4 — quality regions Rq",
+               "Combaz et al., IPPS 2007, figure 4 / section 3.2");
+
+  PaperHarness harness;
+  const auto& regions = harness.region_table();
+  const int nq = regions.num_levels();
+
+  CsvWriter csv("fig4_quality_regions.csv");
+  {
+    std::vector<std::string> header{"state"};
+    for (Quality q = 0; q < nq; ++q) header.push_back("td_q" + std::to_string(q));
+    csv.row(header);
+  }
+  for (StateIndex s = 0; s < regions.num_states(); ++s) {
+    csv.begin_row().col(s);
+    for (Quality q = 0; q < nq; ++q) csv.col(to_ms(regions.td(s, q)));
+    csv.end_row();
+  }
+
+  // Region band widths (the vertical extent of each Rq stripe) at sampled
+  // states: width(q) = tD(s, q) - tD(s, q+1).
+  TextTable table({"state", "td(q0) ms", "td(qmax) ms", "widest band",
+                   "width (ms)"});
+  for (StateIndex s = 0; s < regions.num_states(); s += 118) {
+    Quality widest = 0;
+    TimeNs w_best = -1;
+    for (Quality q = 0; q + 1 < nq; ++q) {
+      const TimeNs w = regions.td(s, q) - regions.td(s, q + 1);
+      if (w > w_best) {
+        w_best = w;
+        widest = q;
+      }
+    }
+    table.begin_row()
+        .cell(s)
+        .cell(to_ms(regions.td(s, 0)), 2)
+        .cell(to_ms(regions.td(s, nq - 1)), 2)
+        .cell(std::string("R") + std::to_string(widest))
+        .cell(to_ms(w_best), 2);
+    table.end_row();
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Shape checks: borders ordered in q, non-decreasing along states.
+  bool ordered_q = true, monotone_s = true;
+  for (StateIndex s = 0; s < regions.num_states(); ++s) {
+    for (Quality q = 1; q < nq; ++q) {
+      ordered_q &= regions.td(s, q) <= regions.td(s, q - 1);
+    }
+    if (s > 0) {
+      for (Quality q = 0; q < nq; ++q) {
+        monotone_s &= regions.td(s, q) >= regions.td(s - 1, q);
+      }
+    }
+  }
+  bool ok = true;
+  ok &= shape_check("borders non-increasing in quality at every state",
+                    ordered_q);
+  ok &= shape_check("borders non-decreasing along the schedule", monotone_s);
+  ok &= shape_check("table holds |A|*|Q| integers",
+                    regions.num_integers() ==
+                        static_cast<std::size_t>(kPaperRegionIntegers));
+  std::printf("\nseries written to fig4_quality_regions.csv\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,97 @@
+// Experiment E3 — Figures 5 and 6: control relaxation regions. Emits the
+// Rrq borders (upper tD,r(s, q), lower tD(s+r-1, q+1)) along the schedule
+// for every r in rho, and verifies the nesting Rrq ⊆ Rq and the shrinking
+// of the region with growing r (figure 6's picture).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace speedqm;
+using namespace speedqm::bench;
+
+int main() {
+  print_header("Figures 5-6 — control relaxation regions Rrq",
+               "Combaz et al., IPPS 2007, figures 5-6 / section 3.3");
+
+  PaperHarness harness;
+  const auto& regions = harness.region_table_relax();
+  const auto& relax = harness.relaxation_table();
+  const Quality q = 4;  // a mid-band quality for the illustration
+
+  CsvWriter csv("fig56_relaxation_regions.csv");
+  {
+    std::vector<std::string> header{"state", "rq_upper_ms", "rq_lower_ms"};
+    for (int r : relax.rho()) {
+      header.push_back("r" + std::to_string(r) + "_upper_ms");
+      header.push_back("r" + std::to_string(r) + "_lower_ms");
+    }
+    csv.row(header);
+  }
+  const StateIndex n = regions.num_states();
+  for (StateIndex s = 0; s < n; s += 7) {
+    csv.begin_row().col(s).col(to_ms(regions.td(s, q)));
+    csv.col(q + 1 < regions.num_levels() ? to_ms(regions.td(s, q + 1)) : -1e18);
+    for (int r : relax.rho()) {
+      if (static_cast<StateIndex>(r) <= n - s) {
+        csv.col(to_ms(relax.upper(s, q, r)));
+        csv.col(to_ms(relax.lower(s, q, r)));
+      } else {
+        csv.col("nan").col("nan");
+      }
+    }
+    csv.end_row();
+  }
+
+  // Text view at sampled states: how much of the Rq band each r keeps.
+  TextTable table({"state", "Rq width (ms)", "r=10 keeps %", "r=30 keeps %",
+                   "r=50 keeps %"});
+  for (StateIndex s = 100; s + 50 < n; s += 236) {
+    const TimeNs up_q = regions.td(s, q);
+    const TimeNs lo_q = regions.td(s, q + 1);
+    const double width = to_ms(up_q - lo_q);
+    const auto keeps = [&](int r) {
+      const TimeNs up = relax.upper(s, q, r);
+      const TimeNs lo = relax.lower(s, q, r);
+      if (up <= lo) return 0.0;
+      return 100.0 * to_ms(up - lo) / width;
+    };
+    table.begin_row()
+        .cell(s)
+        .cell(width, 2)
+        .cell(keeps(10), 1)
+        .cell(keeps(30), 1)
+        .cell(keeps(50), 1);
+    table.end_row();
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Shape: Rrq nested within Rq and shrinking with r.
+  bool nested = true, shrinking = true, nonempty_seen = false;
+  for (StateIndex s = 0; s + 50 < n; s += 13) {
+    for (Quality qq = 0; qq < regions.num_levels(); ++qq) {
+      TimeNs prev_upper = kTimePlusInf;
+      for (int r : relax.rho()) {
+        const TimeNs up = relax.upper(s, qq, r);
+        const TimeNs lo = relax.lower(s, qq, r);
+        nested &= up <= regions.td(s, qq);
+        if (qq + 1 < regions.num_levels()) {
+          nested &= lo >= regions.td(s, qq + 1) ||
+                    lo <= kTimeMinusInf;  // qmax rows use -inf
+        }
+        shrinking &= up <= prev_upper;
+        prev_upper = up;
+        if (up > lo) nonempty_seen = true;
+      }
+    }
+  }
+  bool ok = true;
+  ok &= shape_check("Rrq upper border within Rq and lower border above Rq's",
+                    nested);
+  ok &= shape_check("upper border shrinks as r grows (figure 6)", shrinking);
+  ok &= shape_check("non-empty relaxation regions exist", nonempty_seen);
+  ok &= shape_check("table holds 2*|A|*|Q|*|rho| integers",
+                    relax.num_integers() ==
+                        static_cast<std::size_t>(kPaperRelaxationIntegers));
+  std::printf("\nseries written to fig56_relaxation_regions.csv\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,109 @@
+// Experiment E6 — Figure 8: "Overhead in execution time" per action for
+// the action window a200..a700 of one frame, comparing the symbolic
+// manager without control relaxation against the one with relaxation.
+//
+// Paper's finding: without relaxation every action pays a (small, roughly
+// constant) manager call; with relaxation whole stretches of actions pay
+// nothing because the manager granted r-step windows, and the step count r
+// adapts along the frame (their run: r = 40, then 1, then 10).
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "bench_common.hpp"
+
+using namespace speedqm;
+using namespace speedqm::bench;
+
+namespace {
+constexpr std::size_t kFrame = 10;   // representative mid-sequence frame
+constexpr ActionIndex kFirst = 200;
+constexpr ActionIndex kLast = 700;
+}  // namespace
+
+int main() {
+  print_header("Figure 8 — overhead in execution time per action",
+               "Combaz et al., IPPS 2007, figure 8 / section 4.2");
+
+  PaperHarness harness;
+  const auto rr = harness.run(ManagerFlavor::kRegions);
+  const auto rx = harness.run(ManagerFlavor::kRelaxation);
+
+  const auto ovr = per_action_overhead(rr, kFrame);
+  const auto ovx = per_action_overhead(rx, kFrame);
+
+  // Relaxation step decided at each manager call in the window (0 when the
+  // manager was not called for that action).
+  std::vector<int> steps(ovx.size(), 0);
+  for (const auto& s : rx.steps) {
+    if (s.cycle == kFrame && s.manager_called) {
+      steps[s.action] = s.relax_steps;
+    }
+  }
+
+  CsvWriter csv("fig8_overhead.csv");
+  csv.row({"action", "overhead_no_relax_ms", "overhead_relaxation_ms",
+           "relax_steps_granted"});
+  for (ActionIndex a = kFirst; a <= kLast; ++a) {
+    csv.begin_row()
+        .col(a)
+        .col(to_ms(ovr[a]))
+        .col(to_ms(ovx[a]))
+        .col(steps[a])
+        .end_row();
+  }
+
+  // Paper-style condensed view: one row per 25 actions.
+  TextTable table({"action", "no-relax overhead (ms)", "relax overhead (ms)",
+                   "r granted in bucket"});
+  for (ActionIndex a = kFirst; a <= kLast; a += 25) {
+    TimeNs sum_r = 0, sum_x = 0;
+    std::map<int, int> rs;
+    const ActionIndex hi = std::min<ActionIndex>(a + 25, kLast + 1);
+    for (ActionIndex b = a; b < hi; ++b) {
+      sum_r += ovr[b];
+      sum_x += ovx[b];
+      if (steps[b] > 0) ++rs[steps[b]];
+    }
+    std::string granted;
+    for (const auto& [r, count] : rs) {
+      if (!granted.empty()) granted += " ";
+      granted += "r" + std::to_string(r) + "x" + std::to_string(count);
+    }
+    table.begin_row()
+        .cell(a)
+        .cell(to_ms(sum_r) / static_cast<double>(hi - a), 4)
+        .cell(to_ms(sum_x) / static_cast<double>(hi - a), 4)
+        .cell(granted.empty() ? "-" : granted);
+    table.end_row();
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Window aggregates.
+  TimeNs win_r = 0, win_x = 0;
+  std::size_t calls_r = 0, calls_x = 0;
+  for (ActionIndex a = kFirst; a <= kLast; ++a) {
+    win_r += ovr[a];
+    win_x += ovx[a];
+    if (ovr[a] > 0) ++calls_r;
+    if (ovx[a] > 0) ++calls_x;
+  }
+  std::printf("window a%zu..a%zu: no-relax %.3f ms over %zu calls; "
+              "relaxation %.3f ms over %zu calls\n\n",
+              static_cast<std::size_t>(kFirst), static_cast<std::size_t>(kLast),
+              to_ms(win_r), calls_r, to_ms(win_x), calls_x);
+
+  std::set<int> distinct;
+  for (ActionIndex a = kFirst; a <= kLast; ++a) {
+    if (steps[a] > 1) distinct.insert(steps[a]);
+  }
+  bool ok = true;
+  ok &= shape_check("relaxation total overhead < no-relax overhead in window",
+                    win_x < win_r);
+  ok &= shape_check("relaxation suppresses manager calls in the window",
+                    calls_x < calls_r);
+  ok &= shape_check("relaxation depth r adapts (several distinct r > 1 granted)",
+                    distinct.size() >= 2);
+  std::printf("\nseries written to fig8_overhead.csv\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,102 @@
+// Experiment E8 — host-time microbenchmarks of one Quality Manager call
+// (google-benchmark). Cross-checks the simulated overhead ratios of
+// section 4.2 against real per-call latency on the build machine: the
+// numeric manager's cost scales with the remaining actions; the symbolic
+// managers are O(log |Q|) lookups.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+using namespace speedqm;
+using namespace speedqm::bench;
+
+namespace {
+
+PaperHarness& harness() {
+  static PaperHarness h;
+  return h;
+}
+
+// A time value inside the feasible band of the given state.
+TimeNs probe_time(const QualityRegionTable& regions, StateIndex s) {
+  return regions.td(s, regions.num_levels() / 2) - us(10);
+}
+
+void BM_NumericDecide(benchmark::State& state) {
+  const auto& engine = harness().engine_numeric();
+  const auto s = static_cast<StateIndex>(state.range(0));
+  const TimeNs t = probe_time(harness().region_table(), s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.decide_online(s, t));
+  }
+  state.SetLabel("remaining=" +
+                 std::to_string(engine.num_states() - s) + " actions");
+}
+BENCHMARK(BM_NumericDecide)->Arg(0)->Arg(297)->Arg(594)->Arg(891)->Arg(1100);
+
+void BM_RegionDecide(benchmark::State& state) {
+  const auto& regions = harness().region_table();
+  const auto s = static_cast<StateIndex>(state.range(0));
+  const TimeNs t = probe_time(regions, s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(regions.decide(s, t));
+  }
+}
+BENCHMARK(BM_RegionDecide)->Arg(0)->Arg(594)->Arg(1100);
+
+void BM_RelaxationDecide(benchmark::State& state) {
+  const auto& regions = harness().region_table_relax();
+  const auto& relax = harness().relaxation_table();
+  const auto s = static_cast<StateIndex>(state.range(0));
+  const TimeNs t = probe_time(regions, s);
+  for (auto _ : state) {
+    const Decision d = regions.decide(s, t);
+    benchmark::DoNotOptimize(relax.max_relaxation(s, t, d.quality));
+  }
+}
+BENCHMARK(BM_RelaxationDecide)->Arg(0)->Arg(594)->Arg(1100);
+
+void BM_TdOnline(benchmark::State& state) {
+  const auto& engine = harness().engine_numeric();
+  const auto s = static_cast<StateIndex>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.td_online(s, 4));
+  }
+}
+BENCHMARK(BM_TdOnline)->Arg(0)->Arg(594)->Arg(1100);
+
+void BM_CompileRegionTable(benchmark::State& state) {
+  const auto& engine = harness().engine_regions();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RegionCompiler::compile_regions(engine));
+  }
+}
+BENCHMARK(BM_CompileRegionTable);
+
+void BM_CompileRelaxationTable(benchmark::State& state) {
+  const auto& engine = harness().engine_relax();
+  const auto& regions = harness().region_table_relax();
+  const auto rho = harness().scenario().rho;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        RegionCompiler::compile_relaxation(engine, regions, rho));
+  }
+}
+BENCHMARK(BM_CompileRelaxationTable);
+
+void BM_FullFrameRegionManaged(benchmark::State& state) {
+  auto& h = harness();
+  const auto manager = h.make_manager(ManagerFlavor::kRegions);
+  ExecutorOptions opts;
+  opts.cycles = 1;
+  opts.period = h.scenario().frame_period;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_cyclic(h.scenario().app(), *manager, h.scenario().traces(), opts));
+  }
+}
+BENCHMARK(BM_FullFrameRegionManaged);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+// Ablation A9 — smoothness traces: the paper's third QoS requirement
+// (section 1) visualized. Emits the per-action quality sequence of one
+// frame under the mixed, safe and average policies, making the safe
+// policy's high-to-low decay and the mixed policy's plateau visible (the
+// behaviour §2.2.2 describes when motivating Cav + δmax).
+#include <cstdio>
+
+#include "core/baseline_managers.hpp"
+#include "core/smoothness.hpp"
+
+#include "bench_common.hpp"
+
+using namespace speedqm;
+using namespace speedqm::bench;
+
+int main() {
+  print_header("Ablation A9 — per-action quality smoothness",
+               "Combaz et al., IPPS 2007, sections 1 & 2.2.2 (smoothness)");
+
+  PaperHarness harness;
+  auto& scenario = harness.scenario();
+  const auto& app = scenario.app();
+  const auto& tm = scenario.timing();
+
+  // A tighter-than-default budget makes the policies' shapes distinct
+  // (at the paper budget the content leaves too much slack to see decay).
+  const TimeNs budget = static_cast<TimeNs>(
+      static_cast<double>(tm.total_cav(4)) * 1.02);
+  std::vector<std::string> names;
+  std::vector<TimeNs> deadlines(app.size(), kTimePlusInf);
+  for (ActionIndex i = 0; i < app.size(); ++i) names.push_back(app.name(i));
+  deadlines.back() = budget;
+  const ScheduledApp tight_app(std::move(names), std::move(deadlines));
+
+  const PolicyEngine mixed(tight_app, tm, PolicyKind::kMixed);
+  const PolicyEngine safe(tight_app, tm, PolicyKind::kSafe);
+  const PolicyEngine average(tight_app, tm, PolicyKind::kAverage);
+
+  const std::size_t frame = 4;  // heavy-content frame
+  const auto run_one = [&](const PolicyEngine& engine) {
+    NumericManager manager(const_cast<PolicyEngine&>(engine));
+    scenario.traces().set_cycle(frame);
+    return run_cycle(tight_app, manager, scenario.traces());
+  };
+  const auto run_mixed = run_one(mixed);
+  const auto run_safe = run_one(safe);
+  const auto run_avg = run_one(average);
+
+  CsvWriter csv("smoothness_trace.csv");
+  csv.row({"action", "mixed_q", "safe_q", "average_q"});
+  for (std::size_t i = 0; i < run_mixed.steps.size(); ++i) {
+    csv.begin_row()
+        .col(i)
+        .col(run_mixed.steps[i].quality)
+        .col(run_safe.steps[i].quality)
+        .col(run_avg.steps[i].quality)
+        .end_row();
+  }
+
+  // Condensed: mean quality per 120-action bucket.
+  TextTable table({"actions", "mixed", "safe", "average"});
+  for (std::size_t b = 0; b < run_mixed.steps.size(); b += 120) {
+    const std::size_t hi = std::min(b + 120, run_mixed.steps.size());
+    const auto bucket_mean = [&](const CycleResult& r) {
+      double s = 0;
+      for (std::size_t i = b; i < hi; ++i)
+        s += static_cast<double>(r.steps[i].quality);
+      return s / static_cast<double>(hi - b);
+    };
+    table.begin_row()
+        .cell(std::to_string(b) + ".." + std::to_string(hi - 1))
+        .cell(bucket_mean(run_mixed), 2)
+        .cell(bucket_mean(run_safe), 2)
+        .cell(bucket_mean(run_avg), 2);
+    table.end_row();
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const auto sm_mixed = analyze_smoothness(run_mixed.qualities());
+  const auto sm_safe = analyze_smoothness(run_safe.qualities());
+  const auto sm_avg = analyze_smoothness(run_avg.qualities());
+  TextTable summary({"policy", "mean q", "stddev", "mean |jump|", "switches",
+                     "max jump", "misses"});
+  const auto row = [&](const char* name, const CycleResult& r,
+                       const SmoothnessReport& sm) {
+    summary.begin_row()
+        .cell(name)
+        .cell(sm.mean_quality, 3)
+        .cell(sm.quality_stddev, 3)
+        .cell(sm.mean_abs_jump, 4)
+        .cell(sm.switches)
+        .cell(sm.max_jump)
+        .cell(r.deadline_misses);
+    summary.end_row();
+  };
+  row("mixed", run_mixed, sm_mixed);
+  row("safe", run_safe, sm_safe);
+  row("average", run_avg, sm_avg);
+  std::printf("%s\n", summary.render().c_str());
+
+  // Safe policy's signature: first sixth vs last sixth of the frame.
+  const auto sixth = run_safe.steps.size() / 6;
+  double head = 0, tail = 0;
+  for (std::size_t i = 0; i < sixth; ++i) {
+    head += static_cast<double>(run_safe.steps[i].quality);
+    tail += static_cast<double>(
+        run_safe.steps[run_safe.steps.size() - 1 - i].quality);
+  }
+  head /= static_cast<double>(sixth);
+  tail /= static_cast<double>(sixth);
+
+  bool ok = true;
+  ok &= shape_check("mixed policy misses nothing", run_mixed.deadline_misses == 0);
+  ok &= shape_check("safe policy decays from head to tail of the frame",
+                    head > tail + 0.5);
+  ok &= shape_check("mixed is smoother than safe (stddev and switches)",
+                    sm_mixed.quality_stddev < sm_safe.quality_stddev &&
+                        sm_mixed.switches < sm_safe.switches);
+  std::printf("\nseries written to smoothness_trace.csv\n");
+  return ok ? 0 : 1;
+}

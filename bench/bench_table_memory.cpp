@@ -1,0 +1,93 @@
+// Experiment E4 — Section 4.1's symbolic-table accounting:
+//   quality regions:    |A| * |Q|          =  8,323 integers (~300 KB iPod)
+//   control relaxation: 2 * |A| * |Q| * |rho| = 99,876 integers (~800 KB)
+// plus compile-time cost and a geometry sweep (396..1620 macroblocks, the
+// paper's stated frame-size range).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace speedqm;
+using namespace speedqm::bench;
+
+int main() {
+  print_header("Section 4.1 — symbolic table sizes and compile cost",
+               "Combaz et al., IPPS 2007, section 4.1 text");
+
+  PaperHarness harness;
+  const auto stats =
+      RegionCompiler::measure(harness.engine_regions(), harness.scenario().rho);
+
+  TextTable table({"table", "paper integers", "measured integers",
+                   "measured KB", "paper KB (iPod)"});
+  table.begin_row()
+      .cell("quality regions Rq")
+      .cell(kPaperRegionIntegers)
+      .cell(stats.region_integers)
+      .cell(static_cast<double>(stats.region_bytes) / 1024.0, 1)
+      .cell("~300");
+  table.end_row();
+  table.begin_row()
+      .cell("control relaxation Rrq")
+      .cell(kPaperRelaxationIntegers)
+      .cell(stats.relaxation_integers)
+      .cell(static_cast<double>(stats.relaxation_bytes) / 1024.0, 1)
+      .cell("~800");
+  table.end_row();
+  std::printf("%s\n", table.render().c_str());
+  std::printf("offline compilation of both tables: %.3f ms\n\n",
+              stats.compile_seconds * 1e3);
+
+  // Geometry sweep: how the table sizes scale with frame size.
+  TextTable sweep({"frame", "macroblocks", "actions", "region ints",
+                   "relaxation ints", "compile ms"});
+  CsvWriter csv("table_memory.csv");
+  csv.row({"mb_cols", "mb_rows", "macroblocks", "actions", "region_integers",
+           "relaxation_integers", "compile_ms"});
+  struct Geometry {
+    const char* name;
+    int cols, rows;
+  };
+  for (const Geometry g : {Geometry{"352x288 (paper)", 22, 18},
+                           Geometry{"480x320", 30, 20},
+                           Geometry{"640x480", 40, 30},
+                           Geometry{"720x576 (paper max)", 45, 36}}) {
+    MpegConfig cfg;
+    cfg.mb_columns = g.cols;
+    cfg.mb_rows = g.rows;
+    cfg.num_frames = 1;  // geometry only; content is irrelevant here
+    const MpegWorkload w(cfg, sec(30) / 29);
+    const PolicyEngine engine(w.app(), w.timing());
+    const auto s = RegionCompiler::measure(engine, harness.scenario().rho);
+    sweep.begin_row()
+        .cell(g.name)
+        .cell(cfg.macroblocks())
+        .cell(w.app().size())
+        .cell(s.region_integers)
+        .cell(s.relaxation_integers)
+        .cell(s.compile_seconds * 1e3, 3);
+    sweep.end_row();
+    csv.begin_row()
+        .col(g.cols)
+        .col(g.rows)
+        .col(cfg.macroblocks())
+        .col(w.app().size())
+        .col(s.region_integers)
+        .col(s.relaxation_integers)
+        .col(s.compile_seconds * 1e3)
+        .end_row();
+  }
+  std::printf("%s\n", sweep.render().c_str());
+
+  bool ok = true;
+  ok &= shape_check("region table integer count == paper's 8,323",
+                    stats.region_integers ==
+                        static_cast<std::size_t>(kPaperRegionIntegers));
+  ok &= shape_check("relaxation table integer count == paper's 99,876",
+                    stats.relaxation_integers ==
+                        static_cast<std::size_t>(kPaperRelaxationIntegers));
+  ok &= shape_check("compilation is an offline-friendly cost (< 1 s)",
+                    stats.compile_seconds < 1.0);
+  std::printf("\nseries written to table_memory.csv\n");
+  return ok ? 0 : 1;
+}

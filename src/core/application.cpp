@@ -1,0 +1,55 @@
+#include "core/application.hpp"
+
+#include "support/contract.hpp"
+
+namespace speedqm {
+
+ScheduledApp::Builder& ScheduledApp::Builder::action(std::string name, TimeNs d) {
+  names_.push_back(std::move(name));
+  deadlines_.push_back(d);
+  return *this;
+}
+
+ScheduledApp::Builder& ScheduledApp::Builder::deadline(TimeNs d) {
+  SPEEDQM_REQUIRE(!names_.empty(), "Builder::deadline: no action added yet");
+  deadlines_.back() = d;
+  return *this;
+}
+
+ScheduledApp ScheduledApp::Builder::build() && {
+  return ScheduledApp(std::move(names_), std::move(deadlines_));
+}
+
+ScheduledApp::ScheduledApp(std::vector<std::string> names,
+                           std::vector<TimeNs> deadlines)
+    : names_(std::move(names)), deadlines_(std::move(deadlines)) {
+  SPEEDQM_REQUIRE(!names_.empty(), "ScheduledApp: needs at least one action");
+  SPEEDQM_REQUIRE(names_.size() == deadlines_.size(),
+                  "ScheduledApp: names/deadlines size mismatch");
+  bool any_finite = false;
+  for (ActionIndex i = 0; i < deadlines_.size(); ++i) {
+    const TimeNs d = deadlines_[i];
+    SPEEDQM_REQUIRE(d > 0, "ScheduledApp: deadlines must be positive");
+    if (d < kTimePlusInf) {
+      any_finite = true;
+      if (d >= final_deadline_) {
+        final_deadline_ = d;
+        last_deadline_index_ = i;
+      }
+    }
+  }
+  SPEEDQM_REQUIRE(any_finite, "ScheduledApp: at least one finite deadline required");
+}
+
+ScheduledApp make_uniform_app(ActionIndex n, TimeNs budget, const std::string& prefix) {
+  SPEEDQM_REQUIRE(n > 0, "make_uniform_app: n must be positive");
+  SPEEDQM_REQUIRE(budget > 0, "make_uniform_app: budget must be positive");
+  std::vector<std::string> names;
+  std::vector<TimeNs> deadlines(n, kTimePlusInf);
+  names.reserve(n);
+  for (ActionIndex i = 0; i < n; ++i) names.push_back(prefix + std::to_string(i));
+  deadlines.back() = budget;
+  return ScheduledApp(std::move(names), std::move(deadlines));
+}
+
+}  // namespace speedqm

@@ -1,0 +1,77 @@
+// The scheduled application software (A, S) with its deadline function D.
+//
+// The paper assumes the application is *already scheduled*: a finite
+// sequence of atomic actions executed in order, each with an optional
+// deadline D(a) measured from the start of the cycle. This class is the
+// controller's static view of the application; execution-time information
+// lives in TimingModel.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "support/time.hpp"
+
+namespace speedqm {
+
+/// Immutable description of a scheduled action sequence plus deadlines.
+///
+/// Deadlines use kTimePlusInf for "no deadline on this action"; at least one
+/// action (typically the last) must carry a finite deadline, otherwise the
+/// quality-management problem is vacuous (any quality is trivially safe).
+class ScheduledApp {
+ public:
+  /// Builder-style construction so workload generators can assemble
+  /// applications incrementally.
+  class Builder {
+   public:
+    /// Appends one action. `deadline` is absolute within the cycle.
+    Builder& action(std::string name, TimeNs deadline = kTimePlusInf);
+    /// Sets the deadline of the most recently added action.
+    Builder& deadline(TimeNs d);
+    /// Validates and produces the application. Throws contract_error if no
+    /// action was added or no finite deadline exists.
+    ScheduledApp build() &&;
+
+   private:
+    std::vector<std::string> names_;
+    std::vector<TimeNs> deadlines_;
+  };
+
+  /// Direct construction from parallel arrays (sizes must match; at least
+  /// one finite deadline required).
+  ScheduledApp(std::vector<std::string> names, std::vector<TimeNs> deadlines);
+
+  /// Number of actions n.
+  ActionIndex size() const { return names_.size(); }
+  /// Number of decision states (= n; states 0..n-1 each have a next action).
+  StateIndex num_states() const { return names_.size(); }
+
+  const std::string& name(ActionIndex i) const { return names_.at(i); }
+  TimeNs deadline(ActionIndex i) const { return deadlines_.at(i); }
+  const std::vector<TimeNs>& deadlines() const { return deadlines_; }
+
+  /// True if action i carries a finite deadline.
+  bool has_deadline(ActionIndex i) const { return deadlines_.at(i) < kTimePlusInf; }
+
+  /// The latest finite deadline in the sequence — the cycle's time budget.
+  TimeNs final_deadline() const { return final_deadline_; }
+
+  /// Index of the last action with a finite deadline.
+  ActionIndex last_deadline_index() const { return last_deadline_index_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<TimeNs> deadlines_;
+  TimeNs final_deadline_ = 0;
+  ActionIndex last_deadline_index_ = 0;
+};
+
+/// Convenience: n actions named "<prefix>0".."<prefix>{n-1}", all deadline-free
+/// except the last, which gets `budget`. The common single-global-deadline
+/// shape used throughout the paper's evaluation (D = 30 s).
+ScheduledApp make_uniform_app(ActionIndex n, TimeNs budget,
+                              const std::string& prefix = "a");
+
+}  // namespace speedqm

@@ -1,0 +1,65 @@
+// Baseline Quality Managers used by the ablation benches.
+//
+//  * ConstantQualityManager — open-loop: always the same quality. The
+//    "no controller" reference; safe only if the constant quality's total
+//    worst case fits the budget.
+//  * Numeric managers over the Safe / Average policy engines act as the
+//    remaining baselines (construct a PolicyEngine with PolicyKind::kSafe /
+//    kAverage and wrap it in NumericManager); this header adds a couple of
+//    convenience factories for them.
+#pragma once
+
+#include <memory>
+
+#include "core/manager.hpp"
+#include "core/numeric_manager.hpp"
+#include "core/policy.hpp"
+
+namespace speedqm {
+
+/// Open-loop manager: fixed quality, no adaptation, zero overhead.
+class ConstantQualityManager final : public QualityManager {
+ public:
+  explicit ConstantQualityManager(Quality q) : q_(q) {}
+
+  Decision decide(StateIndex, TimeNs) override {
+    Decision d;
+    d.quality = q_;
+    d.relax_steps = 1;
+    d.ops = 0;
+    d.feasible = true;
+    return d;
+  }
+
+  std::string name() const override {
+    return "constant-q" + std::to_string(q_);
+  }
+
+ private:
+  Quality q_;
+};
+
+/// Clairvoyant step-limited manager used in tests: wraps another manager but
+/// forces relax_steps to 1 (isolates the effect of relaxation).
+class NoRelaxation final : public QualityManager {
+ public:
+  explicit NoRelaxation(QualityManager& inner) : inner_(&inner) {}
+
+  Decision decide(StateIndex s, TimeNs t) override {
+    Decision d = inner_->decide(s, t);
+    d.relax_steps = 1;
+    return d;
+  }
+
+  std::string name() const override { return inner_->name() + "-norelax"; }
+  std::size_t memory_bytes() const override { return inner_->memory_bytes(); }
+  std::size_t num_table_integers() const override {
+    return inner_->num_table_integers();
+  }
+  void reset() override { inner_->reset(); }
+
+ private:
+  QualityManager* inner_;
+};
+
+}  // namespace speedqm

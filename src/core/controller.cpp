@@ -1,0 +1,72 @@
+#include "core/controller.hpp"
+
+#include <algorithm>
+
+#include "support/contract.hpp"
+
+namespace speedqm {
+
+double CycleResult::mean_quality() const {
+  if (steps.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& s : steps) sum += static_cast<double>(s.quality);
+  return sum / static_cast<double>(steps.size());
+}
+
+std::vector<Quality> CycleResult::qualities() const {
+  std::vector<Quality> qs;
+  qs.reserve(steps.size());
+  for (const auto& s : steps) qs.push_back(s.quality);
+  return qs;
+}
+
+CycleResult run_cycle(const ScheduledApp& app, QualityManager& manager,
+                      ActualTimeSource& source, TimeNs start_time) {
+  const ActionIndex n = app.size();
+  CycleResult result;
+  result.steps.reserve(n);
+  manager.reset();
+
+  TimeNs t = start_time;
+  Quality active_quality = kQmin;
+  int remaining_coverage = 0;  // actions still covered by the last decision
+
+  for (ActionIndex i = 0; i < n; ++i) {
+    StepRecord rec;
+    rec.action = i;
+    rec.start = t;
+
+    if (remaining_coverage == 0) {
+      // The manager observes cycle-relative time (deadlines are
+      // cycle-relative); subtract the offset.
+      const Decision d = manager.decide(i, t - start_time);
+      SPEEDQM_ASSERT(d.relax_steps >= 1, "manager returned relax_steps < 1");
+      active_quality = d.quality;
+      remaining_coverage =
+          std::min<int>(d.relax_steps, static_cast<int>(n - i));
+      rec.manager_called = true;
+      rec.feasible = d.feasible;
+      rec.ops = d.ops;
+      rec.relax_steps = remaining_coverage;
+      ++result.manager_calls;
+      result.total_ops += d.ops;
+      if (!d.feasible) ++result.infeasible_decisions;
+    }
+    --remaining_coverage;
+
+    rec.quality = active_quality;
+    rec.duration = source.actual_time(i, active_quality);
+    SPEEDQM_REQUIRE(rec.duration >= 0, "actual execution time must be >= 0");
+    t += rec.duration;
+    rec.end = t;
+
+    if (app.has_deadline(i) && (t - start_time) > app.deadline(i)) {
+      ++result.deadline_misses;
+    }
+    result.steps.push_back(rec);
+  }
+  result.completion = t;
+  return result;
+}
+
+}  // namespace speedqm

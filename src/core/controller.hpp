@@ -1,0 +1,86 @@
+// The controlled system PS‖Γ (Definition 2 onward): composition of the
+// parameterized application with a Quality Manager.
+//
+// This is the *pure* composition used to study controller semantics —
+// manager invocations take zero time here. The platform simulator
+// (sim::Executor) layers call overhead, cycles and metrics on top; keeping
+// this layer overhead-free lets the tests check the safety and optimality
+// theorems in isolation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/application.hpp"
+#include "core/manager.hpp"
+#include "core/timing_model.hpp"
+#include "core/types.hpp"
+
+namespace speedqm {
+
+/// Supplies the actual execution time C(a_i, q) — unknown to the controller,
+/// revealed action by action. Implementations: workload trace replay,
+/// adversarial sources in tests, Cwc/Cav echoes.
+class ActualTimeSource {
+ public:
+  virtual ~ActualTimeSource() = default;
+  /// Actual duration of action i executed at quality q. The Definition 1
+  /// contract is 0 <= result <= Cwc(i, q); sources MAY violate it to test
+  /// controller behaviour outside the model.
+  virtual TimeNs actual_time(ActionIndex i, Quality q) = 0;
+};
+
+/// Source returning exactly Cwc(i, q) — the adversarial in-model worst case.
+class WorstCaseSource final : public ActualTimeSource {
+ public:
+  explicit WorstCaseSource(const TimingModel& tm) : tm_(&tm) {}
+  TimeNs actual_time(ActionIndex i, Quality q) override { return tm_->cwc(i, q); }
+
+ private:
+  const TimingModel* tm_;
+};
+
+/// Source returning exactly Cav(i, q) — the paper's "ideal" case where the
+/// constant-quality trajectory is linear in the speed diagram.
+class AverageSource final : public ActualTimeSource {
+ public:
+  explicit AverageSource(const TimingModel& tm) : tm_(&tm) {}
+  TimeNs actual_time(ActionIndex i, Quality q) override { return tm_->cav(i, q); }
+
+ private:
+  const TimingModel* tm_;
+};
+
+/// One executed action in a controlled run.
+struct StepRecord {
+  ActionIndex action = 0;
+  Quality quality = 0;
+  TimeNs start = 0;          ///< actual time when the action began
+  TimeNs duration = 0;       ///< actual execution time charged
+  TimeNs end = 0;            ///< start + duration
+  bool manager_called = false;  ///< false while inside a relaxation window
+  bool feasible = true;      ///< decision feasibility (when manager_called)
+  std::uint64_t ops = 0;     ///< manager ops (when manager_called)
+  int relax_steps = 1;       ///< decision coverage (when manager_called)
+};
+
+/// Result of one controlled cycle.
+struct CycleResult {
+  std::vector<StepRecord> steps;
+  TimeNs completion = 0;          ///< actual time after the last action
+  std::size_t manager_calls = 0;
+  std::uint64_t total_ops = 0;
+  std::size_t deadline_misses = 0;
+  std::size_t infeasible_decisions = 0;
+
+  double mean_quality() const;
+  std::vector<Quality> qualities() const;
+};
+
+/// Runs one full cycle of PS‖Γ. The manager's relax_steps are honoured:
+/// a decision covering r actions suppresses the next r-1 manager calls.
+/// `start_time` offsets the cycle (deadlines remain cycle-relative).
+CycleResult run_cycle(const ScheduledApp& app, QualityManager& manager,
+                      ActualTimeSource& source, TimeNs start_time = 0);
+
+}  // namespace speedqm

@@ -1,0 +1,41 @@
+#include "core/feasibility.hpp"
+
+#include <algorithm>
+
+#include "support/contract.hpp"
+
+namespace speedqm {
+
+FeasibilityReport analyze_feasibility(const PolicyEngine& engine) {
+  FeasibilityReport report;
+  const ActionIndex n = engine.app().size();
+
+  report.start_slack.resize(static_cast<std::size_t>(engine.num_levels()));
+  for (Quality q = 0; q < engine.num_levels(); ++q) {
+    const TimeNs slack = engine.td_online(0, q);
+    report.start_slack[static_cast<std::size_t>(q)] = slack;
+    if (slack >= 0) report.max_start_quality = q;
+  }
+
+  report.qmin_slack = report.start_slack[0];
+  report.feasible = report.qmin_slack >= 0;
+  report.required_extra_budget = report.feasible ? 0 : -report.qmin_slack;
+
+  // The critical deadline: argmin over deadline-carrying k of
+  // D(k) - CD(0..k, qmin).
+  TimeNs worst = kTimePlusInf;
+  for (ActionIndex k = 0; k < n; ++k) {
+    if (!engine.app().has_deadline(k)) continue;
+    const TimeNs margin = engine.app().deadline(k) - engine.cd(0, k, kQmin);
+    if (margin < worst) {
+      worst = margin;
+      report.critical_deadline_action = k;
+    }
+  }
+  SPEEDQM_ASSERT(worst < kTimePlusInf, "analyze_feasibility: no deadline found");
+  SPEEDQM_ASSERT(worst == report.qmin_slack,
+                 "analyze_feasibility: critical scan disagrees with tD");
+  return report;
+}
+
+}  // namespace speedqm

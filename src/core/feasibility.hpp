@@ -1,0 +1,37 @@
+// Start-state feasibility analysis.
+//
+// The safety theorem of the mixed policy needs the initial state to be
+// feasible: tD(s_0, qmin) >= 0, i.e. even the all-minimal-quality plan
+// fits every deadline with its safety margin. This module answers the
+// deployment questions around that condition: is the configuration
+// feasible, with how much slack, which deadline is critical, how much
+// extra budget an infeasible configuration needs, and up to which quality
+// the cycle could run uniformly.
+#pragma once
+
+#include <vector>
+
+#include "core/policy.hpp"
+
+namespace speedqm {
+
+struct FeasibilityReport {
+  /// tD(0, qmin) >= 0 — the safety theorem's precondition.
+  bool feasible = false;
+  /// Slack of the all-qmin plan: tD(0, qmin) (negative when infeasible).
+  TimeNs qmin_slack = 0;
+  /// Largest quality q with tD(0, q) >= 0; -1 when none (infeasible).
+  Quality max_start_quality = -1;
+  /// Uniform budget increase on every deadline that would make the
+  /// configuration feasible (0 when already feasible).
+  TimeNs required_extra_budget = 0;
+  /// The deadline-carrying action whose constraint binds at qmin.
+  ActionIndex critical_deadline_action = 0;
+  /// Start slack per quality level: td0[q] = tD(0, q).
+  std::vector<TimeNs> start_slack;
+};
+
+/// Analyzes the engine's start state (any policy kind).
+FeasibilityReport analyze_feasibility(const PolicyEngine& engine);
+
+}  // namespace speedqm

@@ -1,0 +1,244 @@
+#include "core/linear_relaxation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contract.hpp"
+
+namespace speedqm {
+
+namespace {
+
+constexpr int kQ16 = 16;
+
+/// Floor division by 2^16 (conservative for upper borders).
+TimeNs floor_shift(std::int64_t v) {
+  return v >= 0 ? (v >> kQ16) : -((-v + ((std::int64_t{1} << kQ16) - 1)) >> kQ16);
+}
+
+/// Ceil division by 2^16 (conservative for lower borders).
+TimeNs ceil_shift(std::int64_t v) {
+  return v >= 0 ? ((v + ((std::int64_t{1} << kQ16) - 1)) >> kQ16) : -((-v) >> kQ16);
+}
+
+TimeNs eval_upper(const LinearBorder& b, StateIndex s) {
+  return b.offset + floor_shift(b.slope_q16 * static_cast<std::int64_t>(s));
+}
+
+TimeNs eval_lower(const LinearBorder& b, StateIndex s) {
+  return b.offset + ceil_shift(b.slope_q16 * static_cast<std::int64_t>(s));
+}
+
+/// Fits offset for a given slope so the line stays below every sample
+/// (upper border): offset = min_s (y(s) - slope*s/2^16), exact integers.
+TimeNs fit_offset_below(const std::vector<TimeNs>& y, std::int64_t slope_q16) {
+  TimeNs best = kTimePlusInf;
+  for (std::size_t s = 0; s < y.size(); ++s) {
+    best = std::min(best, y[s] - floor_shift(slope_q16 * static_cast<std::int64_t>(s)));
+  }
+  return best;
+}
+
+TimeNs fit_offset_above(const std::vector<TimeNs>& y, std::int64_t slope_q16) {
+  TimeNs best = kTimeMinusInf;
+  for (std::size_t s = 0; s < y.size(); ++s) {
+    best = std::max(best, y[s] - ceil_shift(slope_q16 * static_cast<std::int64_t>(s)));
+  }
+  return best;
+}
+
+/// Total covered value of the below-line with the given slope (objective
+/// for the concave maximization over the slope).
+double coverage_below(const std::vector<TimeNs>& y, double slope) {
+  double min_off = 1e300;
+  for (std::size_t s = 0; s < y.size(); ++s) {
+    min_off = std::min(min_off, static_cast<double>(y[s]) -
+                                    slope * static_cast<double>(s));
+  }
+  const double n = static_cast<double>(y.size());
+  return n * min_off + slope * n * (n - 1) / 2.0;
+}
+
+double coverage_above(const std::vector<TimeNs>& y, double slope) {
+  double max_off = -1e300;
+  for (std::size_t s = 0; s < y.size(); ++s) {
+    max_off = std::max(max_off, static_cast<double>(y[s]) -
+                                    slope * static_cast<double>(s));
+  }
+  const double n = static_cast<double>(y.size());
+  return n * max_off + slope * n * (n - 1) / 2.0;
+}
+
+/// Ternary search for the best slope. `below` selects the objective
+/// direction (maximize covered area under the line vs minimize above it).
+double search_slope(const std::vector<TimeNs>& y, bool below) {
+  if (y.size() < 2) return 0.0;
+  double lo = 1e300, hi = -1e300;
+  for (std::size_t s = 1; s < y.size(); ++s) {
+    const double d = static_cast<double>(y[s] - y[s - 1]);
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  if (lo > hi) return 0.0;
+  for (int iter = 0; iter < 120 && hi - lo > 1e-6; ++iter) {
+    const double m1 = lo + (hi - lo) / 3.0;
+    const double m2 = hi - (hi - lo) / 3.0;
+    const double g1 = below ? coverage_below(y, m1) : -coverage_above(y, m1);
+    const double g2 = below ? coverage_below(y, m2) : -coverage_above(y, m2);
+    if (g1 < g2) {
+      lo = m1;
+    } else {
+      hi = m2;
+    }
+  }
+  return (lo + hi) / 2.0;
+}
+
+LinearBorder fit_upper(const std::vector<TimeNs>& y) {
+  LinearBorder b;
+  for (TimeNs v : y) {
+    if (v >= kTimePlusInf || v <= kTimeMinusInf) return b;  // invalid slice
+  }
+  const double slope = search_slope(y, /*below=*/true);
+  b.slope_q16 = static_cast<std::int64_t>(
+      std::floor(slope * static_cast<double>(std::int64_t{1} << kQ16)));
+  b.offset = fit_offset_below(y, b.slope_q16);
+  b.valid = true;
+  return b;
+}
+
+LinearBorder fit_lower(const std::vector<TimeNs>& y) {
+  LinearBorder b;
+  for (TimeNs v : y) {
+    if (v >= kTimePlusInf || v <= kTimeMinusInf) return b;
+  }
+  const double slope = search_slope(y, /*below=*/false);
+  b.slope_q16 = static_cast<std::int64_t>(
+      std::ceil(slope * static_cast<double>(std::int64_t{1} << kQ16)));
+  b.offset = fit_offset_above(y, b.slope_q16);
+  b.valid = true;
+  return b;
+}
+
+}  // namespace
+
+LinearRelaxationTable::LinearRelaxationTable(const QualityRegionTable& regions,
+                                             const RelaxationTable& exact)
+    : n_(exact.num_states()), nq_(exact.num_levels()), rho_(exact.rho()) {
+  SPEEDQM_REQUIRE(regions.num_states() == n_ && regions.num_levels() == nq_,
+                  "LinearRelaxationTable: region/exact table mismatch");
+  upper_.resize(rho_.size() * static_cast<std::size_t>(nq_));
+  lower_.resize(rho_.size() * static_cast<std::size_t>(nq_));
+
+  std::vector<TimeNs> samples;
+  for (std::size_t r_idx = 0; r_idx < rho_.size(); ++r_idx) {
+    const auto r = static_cast<StateIndex>(rho_[r_idx]);
+    if (r > n_) continue;  // borders stay invalid
+    const StateIndex last = n_ - r;  // states 0..last have r actions left
+    for (Quality q = 0; q < nq_; ++q) {
+      samples.clear();
+      for (StateIndex s = 0; s <= last; ++s) {
+        samples.push_back(exact.upper(s, q, rho_[r_idx]));
+      }
+      upper_[idx(r_idx, q)] = fit_upper(samples);
+
+      if (q == nq_ - 1) {
+        // qmax has no lower constraint; mark as a valid "always -inf" line.
+        LinearBorder open;
+        open.valid = true;
+        open.offset = kTimeMinusInf;
+        open.slope_q16 = 0;
+        lower_[idx(r_idx, q)] = open;
+      } else {
+        samples.clear();
+        for (StateIndex s = 0; s <= last; ++s) {
+          samples.push_back(regions.td(s + r - 1, q + 1));
+        }
+        lower_[idx(r_idx, q)] = fit_lower(samples);
+      }
+    }
+  }
+}
+
+std::size_t LinearRelaxationTable::idx(std::size_t r_idx, Quality q) const {
+  SPEEDQM_REQUIRE(q >= 0 && q < nq_, "LinearRelaxationTable: bad quality");
+  return r_idx * static_cast<std::size_t>(nq_) + static_cast<std::size_t>(q);
+}
+
+const LinearBorder& LinearRelaxationTable::upper_border(std::size_t r_idx,
+                                                        Quality q) const {
+  return upper_[idx(r_idx, q)];
+}
+
+const LinearBorder& LinearRelaxationTable::lower_border(std::size_t r_idx,
+                                                        Quality q) const {
+  return lower_[idx(r_idx, q)];
+}
+
+TimeNs LinearRelaxationTable::upper(StateIndex s, Quality q, int r) const {
+  const auto it = std::find(rho_.begin(), rho_.end(), r);
+  SPEEDQM_REQUIRE(it != rho_.end(), "LinearRelaxationTable: r not in rho");
+  SPEEDQM_REQUIRE(s < n_, "LinearRelaxationTable: state out of range");
+  if (static_cast<StateIndex>(r) > n_ - s) return kTimeMinusInf;
+  const auto& b = upper_border(static_cast<std::size_t>(it - rho_.begin()), q);
+  if (!b.valid) return kTimeMinusInf;
+  return eval_upper(b, s);
+}
+
+TimeNs LinearRelaxationTable::lower(StateIndex s, Quality q, int r) const {
+  const auto it = std::find(rho_.begin(), rho_.end(), r);
+  SPEEDQM_REQUIRE(it != rho_.end(), "LinearRelaxationTable: r not in rho");
+  SPEEDQM_REQUIRE(s < n_, "LinearRelaxationTable: state out of range");
+  const auto& b = lower_border(static_cast<std::size_t>(it - rho_.begin()), q);
+  if (!b.valid) return kTimePlusInf;  // unsatisfiable: t > +inf never holds
+  if (b.offset <= kTimeMinusInf) return kTimeMinusInf;
+  return eval_lower(b, s);
+}
+
+bool LinearRelaxationTable::contains(StateIndex s, TimeNs t, Quality q,
+                                     int r) const {
+  if (static_cast<StateIndex>(r) > n_ - s) return false;
+  const TimeNs up = upper(s, q, r);
+  const TimeNs lo = lower(s, q, r);
+  return lo < t && t <= up;
+}
+
+int LinearRelaxationTable::max_relaxation(StateIndex s, TimeNs t, Quality q,
+                                          std::uint64_t* ops) const {
+  std::uint64_t local_ops = 0;
+  int chosen = 1;
+  for (std::size_t r_idx = rho_.size(); r_idx-- > 0;) {
+    ++local_ops;
+    const auto r = static_cast<StateIndex>(rho_[r_idx]);
+    if (r > n_ - s) continue;
+    const auto& ub = upper_[idx(r_idx, q)];
+    const auto& lb = lower_[idx(r_idx, q)];
+    if (!ub.valid || !lb.valid) continue;
+    const TimeNs up = eval_upper(ub, s);
+    const TimeNs lo =
+        lb.offset <= kTimeMinusInf ? kTimeMinusInf : eval_lower(lb, s);
+    if (lo < t && t <= up) {
+      chosen = rho_[r_idx];
+      break;
+    }
+  }
+  if (ops) *ops += local_ops;
+  return chosen;
+}
+
+double LinearRelaxationTable::mean_upper_gap(const RelaxationTable& exact,
+                                             Quality q, int r) const {
+  const auto it = std::find(rho_.begin(), rho_.end(), r);
+  SPEEDQM_REQUIRE(it != rho_.end(), "mean_upper_gap: r not in rho");
+  const auto r_idx = static_cast<std::size_t>(it - rho_.begin());
+  const auto& b = upper_border(r_idx, q);
+  if (!b.valid || static_cast<StateIndex>(r) > n_) return 0.0;
+  double gap = 0;
+  const StateIndex last = n_ - static_cast<StateIndex>(r);
+  for (StateIndex s = 0; s <= last; ++s) {
+    gap += static_cast<double>(exact.upper(s, q, r) - eval_upper(b, s));
+  }
+  return gap / static_cast<double>(last + 1);
+}
+
+}  // namespace speedqm

@@ -1,0 +1,121 @@
+// Linear-constraint approximation of control relaxation regions — the
+// paper's §5 future-work item "using linear constraints to approximate
+// control relaxation regions".
+//
+// The exact table stores 2 integers per (state, quality, r): the borders
+// of Proposition 3. Along the schedule those borders are close to affine
+// (each completed action shifts them by roughly one action's cost), so a
+// pair of lines per (quality, r),
+//
+//   upper:  Û(s) = a_u + b_u * s   with  Û(s) <= tD,r(s, q)        for all s
+//   lower:  L̂(s) = a_l + b_l * s   with  L̂(s) >= tD(s+r-1, q+1)    for all s
+//
+// is a *conservative* replacement: membership in the approximated region
+// implies membership in the exact one, so granting r steps stays safe; the
+// only cost is occasionally granting a smaller r than the exact table
+// would. Table size drops from 2|A||Q||rho| integers to 4|Q||rho|
+// coefficients (e.g. 99,876 -> 168 for the paper configuration).
+//
+// Fitting maximizes the area under the upper line (resp. above the lower
+// line) subject to conservatism; both objectives are concave/convex in the
+// slope, solved by ternary search. Slopes are stored in 16.16 fixed point
+// and evaluated with floor/ceil division so the conservative direction of
+// every rounding step is preserved in exact integer arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/manager.hpp"
+#include "core/quality_region.hpp"
+#include "core/relaxation_region.hpp"
+
+namespace speedqm {
+
+/// One conservative affine border: value(s) = offset + slope_q16 * s / 2^16
+/// (rounded toward the conservative side at evaluation).
+struct LinearBorder {
+  TimeNs offset = 0;
+  std::int64_t slope_q16 = 0;
+  bool valid = false;  ///< false when the (q, r) slice could not be fitted
+};
+
+/// The compiled linear approximation.
+class LinearRelaxationTable {
+ public:
+  /// Fits conservative lines against an exact RelaxationTable.
+  LinearRelaxationTable(const QualityRegionTable& regions,
+                        const RelaxationTable& exact);
+
+  const std::vector<int>& rho() const { return rho_; }
+  StateIndex num_states() const { return n_; }
+  int num_levels() const { return nq_; }
+
+  /// Conservative upper border Û(s) <= tD,r(s, q); kTimeMinusInf when the
+  /// slice is invalid or s has fewer than r actions remaining.
+  TimeNs upper(StateIndex s, Quality q, int r) const;
+  /// Conservative lower border L̂(s) >= tD(s+r-1, q+1); kTimeMinusInf for
+  /// q = qmax (no lower constraint).
+  TimeNs lower(StateIndex s, Quality q, int r) const;
+
+  /// Conservative membership test (implies exact membership).
+  bool contains(StateIndex s, TimeNs t, Quality q, int r) const;
+
+  /// Largest granted r in rho (or 1), scanning rho from the top.
+  int max_relaxation(StateIndex s, TimeNs t, Quality q,
+                     std::uint64_t* ops = nullptr) const;
+
+  /// Stored coefficient count: 4 * |Q| * |rho| (paper-style size metric;
+  /// two borders per (q, r), each an offset + slope pair).
+  std::size_t num_integers() const { return 2 * (upper_.size() + lower_.size()); }
+  std::size_t memory_bytes() const {
+    return (upper_.size() + lower_.size()) * sizeof(LinearBorder);
+  }
+
+  /// Mean slack the approximation gives away on the upper border of the
+  /// given (q, r) slice (exactness diagnostic; ns).
+  double mean_upper_gap(const RelaxationTable& exact, Quality q, int r) const;
+
+ private:
+  std::size_t idx(std::size_t r_idx, Quality q) const;
+  const LinearBorder& upper_border(std::size_t r_idx, Quality q) const;
+  const LinearBorder& lower_border(std::size_t r_idx, Quality q) const;
+
+  StateIndex n_;
+  int nq_;
+  std::vector<int> rho_;
+  std::vector<LinearBorder> upper_;  // [r_idx][quality]
+  std::vector<LinearBorder> lower_;
+};
+
+/// Quality Manager using quality regions for the level choice and the
+/// linear approximation for relaxation grants.
+class LinearRelaxationManager final : public QualityManager {
+ public:
+  LinearRelaxationManager(const QualityRegionTable& regions,
+                          const LinearRelaxationTable& linear)
+      : regions_(&regions), linear_(&linear) {}
+
+  Decision decide(StateIndex s, TimeNs t) override {
+    Decision d = regions_->decide(s, t);
+    if (d.feasible) {
+      d.relax_steps = linear_->max_relaxation(s, t, d.quality, &d.ops);
+    }
+    return d;
+  }
+
+  std::string name() const override { return "symbolic-linear-relaxation"; }
+
+  std::size_t memory_bytes() const override {
+    return regions_->memory_bytes() + linear_->memory_bytes();
+  }
+  std::size_t num_table_integers() const override {
+    return regions_->num_integers() + linear_->num_integers();
+  }
+
+ private:
+  const QualityRegionTable* regions_;
+  const LinearRelaxationTable* linear_;
+};
+
+}  // namespace speedqm

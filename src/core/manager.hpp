@@ -1,0 +1,41 @@
+// Quality Manager interface (Definition 2).
+//
+// A Quality Manager maps the observed state (s, t) — s actions completed,
+// actual elapsed time t — to a quality level for the next action. The
+// extended Decision also carries a relaxation step count (how many actions
+// the decision covers) and an abstract operation count used by the
+// simulator's overhead model.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/types.hpp"
+#include "support/time.hpp"
+
+namespace speedqm {
+
+/// Abstract Quality Manager Γ : S x R+ -> Q (plus relaxation metadata).
+class QualityManager {
+ public:
+  virtual ~QualityManager() = default;
+
+  /// The decision Γ(s, t) for state s in 0..n-1 at actual time t.
+  virtual Decision decide(StateIndex s, TimeNs t) = 0;
+
+  /// Human-readable identifier used by benches and traces.
+  virtual std::string name() const = 0;
+
+  /// Bytes of precomputed symbolic data this manager carries (0 for the
+  /// numeric manager) — the paper's memory-overhead metric.
+  virtual std::size_t memory_bytes() const { return 0; }
+
+  /// Count of precomputed integers (the paper reports table sizes this way).
+  virtual std::size_t num_table_integers() const { return 0; }
+
+  /// Re-arms per-cycle internal state (if any). Called by the executor at
+  /// the start of every cycle.
+  virtual void reset() {}
+};
+
+}  // namespace speedqm

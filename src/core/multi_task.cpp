@@ -1,0 +1,122 @@
+#include "core/multi_task.hpp"
+
+#include "support/contract.hpp"
+
+namespace speedqm {
+
+ComposedSystem::ComposedSystem(std::vector<TaskSpec> tasks, ScheduledApp app,
+                               TimingModel timing, std::vector<TaskRef> mapping)
+    : tasks_(std::move(tasks)),
+      app_(std::move(app)),
+      timing_(std::move(timing)),
+      mapping_(std::move(mapping)) {
+  SPEEDQM_ASSERT(mapping_.size() == app_.size(), "ComposedSystem: bad mapping");
+  composite_of_.resize(tasks_.size());
+  for (std::size_t t = 0; t < tasks_.size(); ++t) {
+    composite_of_[t].resize(tasks_[t].app->size());
+  }
+  for (ActionIndex i = 0; i < mapping_.size(); ++i) {
+    composite_of_[mapping_[i].task][mapping_[i].local_action] = i;
+  }
+}
+
+ActionIndex ComposedSystem::composite_index(std::size_t task,
+                                            ActionIndex local) const {
+  SPEEDQM_REQUIRE(task < tasks_.size(), "composite_index: task out of range");
+  return composite_of_[task].at(local);
+}
+
+std::vector<double> ComposedSystem::per_task_quality(
+    const CycleResult& run) const {
+  SPEEDQM_REQUIRE(run.steps.size() == app_.size(),
+                  "per_task_quality: run does not match composition");
+  std::vector<double> sum(tasks_.size(), 0.0);
+  std::vector<std::size_t> count(tasks_.size(), 0);
+  for (const auto& step : run.steps) {
+    const TaskRef& ref = mapping_[step.action];
+    sum[ref.task] += static_cast<double>(step.quality);
+    ++count[ref.task];
+  }
+  for (std::size_t t = 0; t < sum.size(); ++t) {
+    if (count[t]) sum[t] /= static_cast<double>(count[t]);
+  }
+  return sum;
+}
+
+ComposedSystem compose_tasks(std::vector<TaskSpec> tasks) {
+  SPEEDQM_REQUIRE(!tasks.empty(), "compose_tasks: need at least one task");
+  const int nq = tasks.front().timing->num_levels();
+  ActionIndex total = 0;
+  for (const auto& t : tasks) {
+    SPEEDQM_REQUIRE(t.app != nullptr && t.timing != nullptr,
+                    "compose_tasks: null task members");
+    SPEEDQM_REQUIRE(t.app->size() == t.timing->num_actions(),
+                    "compose_tasks: app/timing size mismatch");
+    SPEEDQM_REQUIRE(t.timing->num_levels() == nq,
+                    "compose_tasks: tasks must share the quality level count");
+    total += t.app->size();
+  }
+
+  std::vector<std::string> names;
+  std::vector<TimeNs> deadlines;
+  std::vector<TaskRef> mapping;
+  names.reserve(total);
+  deadlines.reserve(total);
+  mapping.reserve(total);
+
+  TimingModelBuilder builder(nq);
+  std::vector<ActionIndex> next(tasks.size(), 0);
+
+  // Proportional-fair interleave: repeatedly emit the next action of the
+  // task with the smallest completed fraction (ties: lowest task index —
+  // deterministic).
+  for (ActionIndex emitted = 0; emitted < total; ++emitted) {
+    std::size_t pick = tasks.size();
+    double best_fraction = 2.0;
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      if (next[t] >= tasks[t].app->size()) continue;
+      const double fraction = static_cast<double>(next[t]) /
+                              static_cast<double>(tasks[t].app->size());
+      if (fraction < best_fraction) {
+        best_fraction = fraction;
+        pick = t;
+      }
+    }
+    SPEEDQM_ASSERT(pick < tasks.size(), "compose_tasks: interleave exhausted");
+
+    const ActionIndex local = next[pick]++;
+    const auto& task = tasks[pick];
+    names.push_back(task.name + "/" + task.app->name(local));
+    deadlines.push_back(task.app->deadline(local));
+    mapping.push_back(TaskRef{pick, local});
+
+    std::vector<TimeNs> cav(static_cast<std::size_t>(nq));
+    std::vector<TimeNs> cwc(static_cast<std::size_t>(nq));
+    for (Quality q = 0; q < nq; ++q) {
+      cav[static_cast<std::size_t>(q)] = task.timing->cav(local, q);
+      cwc[static_cast<std::size_t>(q)] = task.timing->cwc(local, q);
+    }
+    builder.action(cav, cwc);
+  }
+
+  ScheduledApp app(std::move(names), std::move(deadlines));
+  return ComposedSystem(std::move(tasks), std::move(app),
+                        std::move(builder).build(), std::move(mapping));
+}
+
+ComposedTimeSource::ComposedTimeSource(const ComposedSystem& system,
+                                       std::vector<ActualTimeSource*> sources)
+    : system_(&system), sources_(std::move(sources)) {
+  SPEEDQM_REQUIRE(sources_.size() == system.num_tasks(),
+                  "ComposedTimeSource: one source per task required");
+  for (const auto* s : sources_) {
+    SPEEDQM_REQUIRE(s != nullptr, "ComposedTimeSource: null source");
+  }
+}
+
+TimeNs ComposedTimeSource::actual_time(ActionIndex i, Quality q) {
+  const TaskRef& ref = system_->origin(i);
+  return sources_[ref.task]->actual_time(ref.local_action, q);
+}
+
+}  // namespace speedqm

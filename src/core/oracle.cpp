@@ -1,0 +1,117 @@
+#include "core/oracle.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/contract.hpp"
+
+namespace speedqm {
+
+TimeNs CycleTimes::at(ActionIndex i, Quality q) const {
+  SPEEDQM_REQUIRE(i < num_actions, "CycleTimes: action out of range");
+  SPEEDQM_REQUIRE(q >= 0 && q < num_levels, "CycleTimes: quality out of range");
+  return times[i * static_cast<std::size_t>(num_levels) +
+               static_cast<std::size_t>(q)];
+}
+
+CycleTimes cycle_times_from(ActionIndex num_actions, int num_levels,
+                            const std::vector<TimeNs>& table) {
+  SPEEDQM_REQUIRE(table.size() ==
+                      num_actions * static_cast<std::size_t>(num_levels),
+                  "cycle_times_from: size mismatch");
+  return CycleTimes{num_actions, num_levels, table};
+}
+
+namespace {
+
+/// True if running every action at its assigned quality meets all deadlines.
+bool assignment_feasible(const ScheduledApp& app, const CycleTimes& times,
+                         const std::vector<Quality>& qualities) {
+  TimeNs t = 0;
+  for (ActionIndex i = 0; i < app.size(); ++i) {
+    t += times.at(i, qualities[i]);
+    if (app.has_deadline(i) && t > app.deadline(i)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Quality oracle_uniform_quality(const ScheduledApp& app, const CycleTimes& times) {
+  SPEEDQM_REQUIRE(app.size() == times.num_actions,
+                  "oracle_uniform_quality: app/times size mismatch");
+  // Uniform feasibility is monotone in q (times non-decreasing in q), so
+  // binary search the largest feasible level.
+  std::vector<Quality> assignment(app.size(), kQmin);
+  if (!assignment_feasible(app, times, assignment)) return -1;
+  Quality lo = kQmin;            // known feasible
+  Quality hi = times.num_levels - 1;  // candidate
+  while (lo < hi) {
+    const Quality mid = lo + (hi - lo + 1) / 2;
+    std::fill(assignment.begin(), assignment.end(), mid);
+    if (assignment_feasible(app, times, assignment)) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+OracleAssignment oracle_greedy_assignment(const ScheduledApp& app,
+                                          const CycleTimes& times) {
+  SPEEDQM_REQUIRE(app.size() == times.num_actions,
+                  "oracle_greedy_assignment: app/times size mismatch");
+  for (ActionIndex i = 0; i + 1 < app.size(); ++i) {
+    SPEEDQM_REQUIRE(!app.has_deadline(i),
+                    "oracle_greedy_assignment: only single-final-deadline "
+                    "applications are supported");
+  }
+  const TimeNs budget = app.deadline(app.size() - 1);
+
+  OracleAssignment out;
+  out.qualities.assign(app.size(), kQmin);
+
+  TimeNs total = 0;
+  for (ActionIndex i = 0; i < app.size(); ++i) total += times.at(i, kQmin);
+  if (total > budget) {
+    out.completion = total;
+    out.feasible = false;
+    return out;
+  }
+  out.feasible = true;
+
+  // Min-heap of the next quality increment of every action.
+  struct Step {
+    TimeNs cost;
+    ActionIndex action;
+    Quality to;
+  };
+  const auto cmp = [](const Step& a, const Step& b) { return a.cost > b.cost; };
+  std::priority_queue<Step, std::vector<Step>, decltype(cmp)> heap(cmp);
+  for (ActionIndex i = 0; i < app.size(); ++i) {
+    if (times.num_levels > 1) {
+      heap.push(Step{times.at(i, 1) - times.at(i, 0), i, 1});
+    }
+  }
+  while (!heap.empty()) {
+    const Step step = heap.top();
+    heap.pop();
+    if (total + step.cost > budget) continue;  // cannot afford this one
+    total += step.cost;
+    out.qualities[step.action] = step.to;
+    if (step.to + 1 < times.num_levels) {
+      heap.push(Step{times.at(step.action, step.to + 1) -
+                         times.at(step.action, step.to),
+                     step.action, step.to + 1});
+    }
+  }
+
+  out.completion = total;
+  double sum = 0;
+  for (Quality q : out.qualities) sum += static_cast<double>(q);
+  out.mean_quality = sum / static_cast<double>(app.size());
+  return out;
+}
+
+}  // namespace speedqm

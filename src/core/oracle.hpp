@@ -1,0 +1,60 @@
+// Clairvoyant oracle baselines for optimality measurement.
+//
+// The mixed policy *aims* at uniform quality (its optimal speed is the
+// constant-quality slope through the safety-margin-adjusted deadline), so
+// the natural upper bound to compare against is the best **uniform**
+// quality an omniscient controller — one that knows every actual execution
+// time in advance — could run without missing any deadline. The gap
+// between the online controller's mean quality and this oracle quantifies
+// the price of not knowing the future (and of the δmax safety margin).
+//
+// A second, non-uniform bound is provided for single-final-deadline
+// applications with convex quality curves: greedily buying the cheapest
+// per-action quality increments until the budget is exhausted maximizes
+// the quality sum exactly under convexity, and upper-bounds it otherwise.
+#pragma once
+
+#include <vector>
+
+#include "core/application.hpp"
+#include "core/timing_model.hpp"
+#include "core/types.hpp"
+
+namespace speedqm {
+
+/// Actual execution times of one cycle, row-major [action][quality]
+/// (what a TraceTimeSource stores for a single cycle).
+struct CycleTimes {
+  ActionIndex num_actions = 0;
+  int num_levels = 0;
+  std::vector<TimeNs> times;  // num_actions * num_levels
+
+  TimeNs at(ActionIndex i, Quality q) const;
+};
+
+/// Extracts one cycle from a trace-style table.
+CycleTimes cycle_times_from(ActionIndex num_actions, int num_levels,
+                            const std::vector<TimeNs>& table);
+
+/// Largest uniform quality q such that running EVERY action at q meets
+/// every deadline of `app` given the known actual times; -1 when even
+/// qmin misses a deadline.
+Quality oracle_uniform_quality(const ScheduledApp& app, const CycleTimes& times);
+
+/// Result of the greedy non-uniform oracle.
+struct OracleAssignment {
+  std::vector<Quality> qualities;  ///< per action
+  double mean_quality = 0;
+  TimeNs completion = 0;
+  bool feasible = false;  ///< false when qmin already misses a deadline
+};
+
+/// Maximizes the sum of per-action qualities subject to every deadline,
+/// with full knowledge of actual times, by buying the cheapest quality
+/// increments first (exact for convex per-action quality curves; an
+/// optimistic bound otherwise). Only single-final-deadline applications
+/// are supported; milestone deadlines raise contract_error.
+OracleAssignment oracle_greedy_assignment(const ScheduledApp& app,
+                                          const CycleTimes& times);
+
+}  // namespace speedqm

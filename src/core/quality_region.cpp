@@ -1,0 +1,70 @@
+#include "core/quality_region.hpp"
+
+#include "support/contract.hpp"
+
+namespace speedqm {
+
+QualityRegionTable::QualityRegionTable(const PolicyEngine& engine)
+    : n_(engine.num_states()), nq_(engine.num_levels()), td_(engine.td_table()) {}
+
+QualityRegionTable::QualityRegionTable(StateIndex num_states, int num_levels,
+                                       std::vector<TimeNs> td_data)
+    : n_(num_states), nq_(num_levels), td_(std::move(td_data)) {
+  SPEEDQM_REQUIRE(n_ > 0 && nq_ > 0, "QualityRegionTable: empty dimensions");
+  SPEEDQM_REQUIRE(td_.size() == n_ * static_cast<std::size_t>(nq_),
+                  "QualityRegionTable: data size mismatch");
+  // Validate the monotonicity Proposition 2 rests on: tD non-increasing in q.
+  for (StateIndex s = 0; s < n_; ++s) {
+    for (Quality q = 1; q < nq_; ++q) {
+      SPEEDQM_REQUIRE(td(s, q) <= td(s, q - 1),
+                      "QualityRegionTable: tD must be non-increasing in q");
+    }
+  }
+}
+
+TimeNs QualityRegionTable::td(StateIndex s, Quality q) const {
+  SPEEDQM_REQUIRE(s < n_, "QualityRegionTable: state out of range");
+  SPEEDQM_REQUIRE(q >= 0 && q < nq_, "QualityRegionTable: quality out of range");
+  return td_[s * static_cast<std::size_t>(nq_) + static_cast<std::size_t>(q)];
+}
+
+bool QualityRegionTable::contains(StateIndex s, TimeNs t, Quality q) const {
+  const TimeNs upper = td(s, q);
+  const TimeNs lower = (q == qmax()) ? kTimeMinusInf : td(s, q + 1);
+  return lower < t && t <= upper;
+}
+
+Decision QualityRegionTable::decide(StateIndex s, TimeNs t,
+                                    std::uint64_t* ops) const {
+  SPEEDQM_REQUIRE(s < n_, "QualityRegionTable: state out of range");
+  const TimeNs* row = td_.data() + s * static_cast<std::size_t>(nq_);
+  std::uint64_t local_ops = 0;
+  Decision d;
+  d.relax_steps = 1;
+  // tD(s, .) is non-increasing, so the set { q | tD(s,q) >= t } is a prefix
+  // [0, q*]; binary search for its right edge.
+  ++local_ops;
+  if (row[0] < t) {
+    d.quality = kQmin;
+    d.feasible = false;
+  } else {
+    int lo = 0;          // known satisfied
+    int hi = nq_ - 1;    // candidate range upper bound
+    while (lo < hi) {
+      const int mid = lo + (hi - lo + 1) / 2;
+      ++local_ops;
+      if (row[mid] >= t) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    d.quality = lo;
+    d.feasible = true;
+  }
+  d.ops = local_ops;
+  if (ops) *ops += local_ops;
+  return d;
+}
+
+}  // namespace speedqm

@@ -1,0 +1,63 @@
+// Quality regions (section 3.2, Proposition 2).
+//
+// The quality region Rq is the set of states at which the Quality Manager
+// chooses quality q. Because tD(s, q) is non-increasing in q, Rq at state s
+// is the half-open interval
+//
+//   t in ( tD(s, q+1), tD(s, q) ]      for q < qmax
+//   t in ( -inf,       tD(s, q) ]      for q = qmax.
+//
+// Precomputing the |A| * |Q| integers tD(s, q) therefore replaces the
+// numeric manager's O(remaining-actions) scan with a table lookup — the
+// paper's first symbolic implementation (8,323 integers for the MPEG
+// encoder configuration).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "core/types.hpp"
+
+namespace speedqm {
+
+/// Immutable precomputed tD table with region queries.
+class QualityRegionTable {
+ public:
+  /// Builds the table from a policy engine (offline step).
+  explicit QualityRegionTable(const PolicyEngine& engine);
+
+  /// Reconstructs a table from raw data (deserialization path).
+  QualityRegionTable(StateIndex num_states, int num_levels,
+                     std::vector<TimeNs> td_data);
+
+  StateIndex num_states() const { return n_; }
+  int num_levels() const { return nq_; }
+  Quality qmax() const { return nq_ - 1; }
+
+  /// The stored border tD(s, q).
+  TimeNs td(StateIndex s, Quality q) const;
+
+  /// Region membership per Proposition 2: is (s, t) in Rq?
+  bool contains(StateIndex s, TimeNs t, Quality q) const;
+
+  /// The symbolic Quality Manager decision: max { q | tD(s, q) >= t },
+  /// found by binary search over the quality axis (tD non-increasing in q).
+  /// Counts table probes into *ops when non-null. Infeasible states (even
+  /// qmin fails) return qmin with feasible = false.
+  Decision decide(StateIndex s, TimeNs t, std::uint64_t* ops = nullptr) const;
+
+  /// Number of stored integers (the paper's table-size metric: |A| * |Q|).
+  std::size_t num_integers() const { return td_.size(); }
+  /// Memory footprint of the stored table in bytes.
+  std::size_t memory_bytes() const { return td_.size() * sizeof(TimeNs); }
+
+  const std::vector<TimeNs>& raw() const { return td_; }
+
+ private:
+  StateIndex n_;
+  int nq_;
+  std::vector<TimeNs> td_;  // row-major [state][quality]
+};
+
+}  // namespace speedqm

@@ -1,0 +1,165 @@
+#include "core/region_compiler.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "support/contract.hpp"
+
+namespace speedqm {
+
+namespace {
+
+constexpr std::uint32_t kRegionMagic = 0x53514D52;      // "SQMR"
+constexpr std::uint32_t kRelaxationMagic = 0x53514D58;  // "SQMX"
+constexpr std::uint32_t kFormatVersion = 1;
+
+void write_u32(std::ostream& out, std::uint32_t v) {
+  unsigned char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFF);
+  out.write(reinterpret_cast<const char*>(b), 4);
+}
+
+void write_i64(std::ostream& out, std::int64_t v) {
+  const auto u = static_cast<std::uint64_t>(v);
+  unsigned char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>((u >> (8 * i)) & 0xFF);
+  out.write(reinterpret_cast<const char*>(b), 8);
+}
+
+std::uint32_t read_u32(std::istream& in) {
+  unsigned char b[4];
+  in.read(reinterpret_cast<char*>(b), 4);
+  if (!in) throw std::runtime_error("RegionCompiler: truncated stream");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+  return v;
+}
+
+std::int64_t read_i64(std::istream& in) {
+  unsigned char b[8];
+  in.read(reinterpret_cast<char*>(b), 8);
+  if (!in) throw std::runtime_error("RegionCompiler: truncated stream");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+  return static_cast<std::int64_t>(v);
+}
+
+void write_i64_array(std::ostream& out, const std::vector<TimeNs>& data) {
+  for (TimeNs v : data) write_i64(out, v);
+}
+
+std::vector<TimeNs> read_i64_array(std::istream& in, std::size_t count) {
+  std::vector<TimeNs> data(count);
+  for (auto& v : data) v = read_i64(in);
+  return data;
+}
+
+}  // namespace
+
+QualityRegionTable RegionCompiler::compile_regions(const PolicyEngine& engine) {
+  return QualityRegionTable(engine);
+}
+
+RelaxationTable RegionCompiler::compile_relaxation(const PolicyEngine& engine,
+                                                   const QualityRegionTable& regions,
+                                                   std::vector<int> rho) {
+  return RelaxationTable(engine, regions, std::move(rho));
+}
+
+CompilationStats RegionCompiler::measure(const PolicyEngine& engine,
+                                         const std::vector<int>& rho) {
+  const auto start = std::chrono::steady_clock::now();
+  const QualityRegionTable regions(engine);
+  const RelaxationTable relaxation(engine, regions, rho);
+  const auto stop = std::chrono::steady_clock::now();
+
+  CompilationStats stats;
+  stats.region_integers = regions.num_integers();
+  stats.region_bytes = regions.memory_bytes();
+  stats.relaxation_integers = relaxation.num_integers();
+  stats.relaxation_bytes = relaxation.memory_bytes();
+  stats.compile_seconds = std::chrono::duration<double>(stop - start).count();
+  return stats;
+}
+
+void RegionCompiler::save_regions(const QualityRegionTable& table, std::ostream& out) {
+  write_u32(out, kRegionMagic);
+  write_u32(out, kFormatVersion);
+  write_u32(out, static_cast<std::uint32_t>(table.num_states()));
+  write_u32(out, static_cast<std::uint32_t>(table.num_levels()));
+  write_i64_array(out, table.raw());
+  if (!out) throw std::runtime_error("RegionCompiler: write failed");
+}
+
+QualityRegionTable RegionCompiler::load_regions(std::istream& in) {
+  if (read_u32(in) != kRegionMagic)
+    throw std::runtime_error("RegionCompiler: bad region-table magic");
+  if (read_u32(in) != kFormatVersion)
+    throw std::runtime_error("RegionCompiler: unsupported region-table version");
+  const auto n = static_cast<StateIndex>(read_u32(in));
+  const auto nq = static_cast<int>(read_u32(in));
+  SPEEDQM_REQUIRE(n > 0 && nq > 0, "RegionCompiler: corrupt dimensions");
+  auto data = read_i64_array(in, n * static_cast<std::size_t>(nq));
+  return QualityRegionTable(n, nq, std::move(data));
+}
+
+void RegionCompiler::save_regions_file(const QualityRegionTable& table,
+                                       const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("RegionCompiler: cannot open " + path);
+  save_regions(table, out);
+}
+
+QualityRegionTable RegionCompiler::load_regions_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("RegionCompiler: cannot open " + path);
+  return load_regions(in);
+}
+
+void RegionCompiler::save_relaxation(const RelaxationTable& table, std::ostream& out) {
+  write_u32(out, kRelaxationMagic);
+  write_u32(out, kFormatVersion);
+  write_u32(out, static_cast<std::uint32_t>(table.num_states()));
+  write_u32(out, static_cast<std::uint32_t>(table.num_levels()));
+  write_u32(out, static_cast<std::uint32_t>(table.rho().size()));
+  for (int r : table.rho()) write_u32(out, static_cast<std::uint32_t>(r));
+  write_i64_array(out, table.raw_upper());
+  write_i64_array(out, table.raw_lower());
+  if (!out) throw std::runtime_error("RegionCompiler: write failed");
+}
+
+RelaxationTable RegionCompiler::load_relaxation(std::istream& in) {
+  if (read_u32(in) != kRelaxationMagic)
+    throw std::runtime_error("RegionCompiler: bad relaxation-table magic");
+  if (read_u32(in) != kFormatVersion)
+    throw std::runtime_error("RegionCompiler: unsupported relaxation-table version");
+  const auto n = static_cast<StateIndex>(read_u32(in));
+  const auto nq = static_cast<int>(read_u32(in));
+  const auto rho_size = static_cast<std::size_t>(read_u32(in));
+  SPEEDQM_REQUIRE(n > 0 && nq > 0 && rho_size > 0, "RegionCompiler: corrupt header");
+  std::vector<int> rho(rho_size);
+  for (auto& r : rho) r = static_cast<int>(read_u32(in));
+  const std::size_t plane = rho_size * n * static_cast<std::size_t>(nq);
+  auto upper = read_i64_array(in, plane);
+  auto lower = read_i64_array(in, plane);
+  return RelaxationTable(n, nq, std::move(rho), std::move(upper), std::move(lower));
+}
+
+void RegionCompiler::save_relaxation_file(const RelaxationTable& table,
+                                          const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("RegionCompiler: cannot open " + path);
+  save_relaxation(table, out);
+}
+
+RelaxationTable RegionCompiler::load_relaxation_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("RegionCompiler: cannot open " + path);
+  return load_relaxation(in);
+}
+
+}  // namespace speedqm

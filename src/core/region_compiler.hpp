@@ -1,0 +1,60 @@
+// Offline compilation of symbolic Quality Managers.
+//
+// This plays the role of the paper's Matlab/Simulink prototype tool and the
+// compiler of figure 1: given the scheduled application, timing functions
+// and deadlines, it pre-computes the quality-region and control-relaxation
+// tables and can persist them (the artifacts that would be linked into the
+// controlled software on the target).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "core/quality_region.hpp"
+#include "core/relaxation_region.hpp"
+
+namespace speedqm {
+
+/// Summary statistics about one compiled controller (the paper's table-size
+/// and memory-overhead figures, section 4.1).
+struct CompilationStats {
+  std::size_t region_integers = 0;      ///< |A| * |Q|
+  std::size_t region_bytes = 0;
+  std::size_t relaxation_integers = 0;  ///< 2 * |A| * |Q| * |rho|
+  std::size_t relaxation_bytes = 0;
+  double compile_seconds = 0;
+};
+
+/// Stateless compiler facade.
+class RegionCompiler {
+ public:
+  /// Compiles the quality-region table for the engine's policy.
+  static QualityRegionTable compile_regions(const PolicyEngine& engine);
+
+  /// Compiles the relaxation table for the given step set.
+  static RelaxationTable compile_relaxation(const PolicyEngine& engine,
+                                            const QualityRegionTable& regions,
+                                            std::vector<int> rho);
+
+  /// Compiles both tables and reports sizes + wall time.
+  static CompilationStats measure(const PolicyEngine& engine,
+                                  const std::vector<int>& rho);
+
+  // --- Serialization (little-endian binary with magic + version). ---
+
+  static void save_regions(const QualityRegionTable& table, std::ostream& out);
+  static QualityRegionTable load_regions(std::istream& in);
+  static void save_regions_file(const QualityRegionTable& table,
+                                const std::string& path);
+  static QualityRegionTable load_regions_file(const std::string& path);
+
+  static void save_relaxation(const RelaxationTable& table, std::ostream& out);
+  static RelaxationTable load_relaxation(std::istream& in);
+  static void save_relaxation_file(const RelaxationTable& table,
+                                   const std::string& path);
+  static RelaxationTable load_relaxation_file(const std::string& path);
+};
+
+}  // namespace speedqm

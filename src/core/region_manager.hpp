@@ -1,0 +1,29 @@
+// Symbolic Quality Manager using precomputed quality regions (section 3.2).
+// Each call is a binary search over one row of the tD table — no scan over
+// remaining actions. The paper measured 1.9 % overhead (vs 5.7 % numeric)
+// with a 300 KB table for the MPEG encoder.
+#pragma once
+
+#include "core/manager.hpp"
+#include "core/quality_region.hpp"
+
+namespace speedqm {
+
+class RegionManager final : public QualityManager {
+ public:
+  explicit RegionManager(const QualityRegionTable& table) : table_(&table) {}
+
+  Decision decide(StateIndex s, TimeNs t) override {
+    return table_->decide(s, t);
+  }
+
+  std::string name() const override { return "symbolic-regions"; }
+
+  std::size_t memory_bytes() const override { return table_->memory_bytes(); }
+  std::size_t num_table_integers() const override { return table_->num_integers(); }
+
+ private:
+  const QualityRegionTable* table_;
+};
+
+}  // namespace speedqm

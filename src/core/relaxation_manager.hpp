@@ -1,0 +1,44 @@
+// Symbolic Quality Manager using control relaxation regions (section 3.3).
+//
+// After choosing quality q from the quality-region table, it looks up the
+// largest r in rho such that the current state lies in Rrq, and returns a
+// decision covering r actions: the executor runs the next r-1 actions at q
+// without calling the manager at all. The paper measured < 1.1 % overhead
+// with an 800 KB table (rho = {1,10,20,30,40,50}).
+#pragma once
+
+#include "core/manager.hpp"
+#include "core/quality_region.hpp"
+#include "core/relaxation_region.hpp"
+
+namespace speedqm {
+
+class RelaxationManager final : public QualityManager {
+ public:
+  RelaxationManager(const QualityRegionTable& regions,
+                    const RelaxationTable& relaxation)
+      : regions_(&regions), relaxation_(&relaxation) {}
+
+  Decision decide(StateIndex s, TimeNs t) override {
+    Decision d = regions_->decide(s, t);
+    if (d.feasible) {
+      d.relax_steps = relaxation_->max_relaxation(s, t, d.quality, &d.ops);
+    }
+    return d;
+  }
+
+  std::string name() const override { return "symbolic-relaxation"; }
+
+  std::size_t memory_bytes() const override {
+    return regions_->memory_bytes() + relaxation_->memory_bytes();
+  }
+  std::size_t num_table_integers() const override {
+    return regions_->num_integers() + relaxation_->num_integers();
+  }
+
+ private:
+  const QualityRegionTable* regions_;
+  const RelaxationTable* relaxation_;
+};
+
+}  // namespace speedqm

@@ -1,0 +1,125 @@
+#include "core/relaxation_region.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/contract.hpp"
+
+namespace speedqm {
+
+RelaxationTable::RelaxationTable(const PolicyEngine& engine,
+                                 const QualityRegionTable& region,
+                                 std::vector<int> rho)
+    : n_(engine.num_states()), nq_(engine.num_levels()), rho_(std::move(rho)) {
+  SPEEDQM_REQUIRE(!rho_.empty(), "RelaxationTable: rho must be non-empty");
+  for (std::size_t i = 0; i < rho_.size(); ++i) {
+    SPEEDQM_REQUIRE(rho_[i] >= 1, "RelaxationTable: steps must be >= 1");
+    SPEEDQM_REQUIRE(i == 0 || rho_[i] > rho_[i - 1],
+                    "RelaxationTable: rho must be strictly increasing");
+  }
+  SPEEDQM_REQUIRE(region.num_states() == n_ && region.num_levels() == nq_,
+                  "RelaxationTable: region table does not match engine");
+
+  const auto nq = static_cast<std::size_t>(nq_);
+  const std::size_t plane = n_ * nq;
+  upper_.assign(rho_.size() * plane, kTimeMinusInf);
+  lower_.assign(rho_.size() * plane, kTimeMinusInf);
+
+  const TimingModel& tm = engine.timing();
+  // For each quality, X(j) = tD(j, q) - W_q(j) with W_q the Cwc prefix sum;
+  // then tD,r(s, q) = W_q(s) + min_{j in [s, s+r-1]} X(j). A monotone deque
+  // gives all windows of one width in O(n).
+  std::vector<TimeNs> x(n_);
+  for (Quality q = 0; q < nq_; ++q) {
+    for (StateIndex j = 0; j < n_; ++j) {
+      x[j] = region.td(j, q) - tm.cwc_prefix(j, q);
+    }
+    for (std::size_t r_idx = 0; r_idx < rho_.size(); ++r_idx) {
+      const auto r = static_cast<StateIndex>(rho_[r_idx]);
+      if (r > n_) continue;  // no state has r actions remaining
+      std::deque<StateIndex> win;  // indices with increasing X values
+      // Seed the deque with the first window's tail [0, r-1), then slide.
+      for (StateIndex j = 0; j + 1 < r; ++j) {
+        while (!win.empty() && x[win.back()] >= x[j]) win.pop_back();
+        win.push_back(j);
+      }
+      for (StateIndex s = 0; s + r <= n_; ++s) {
+        const StateIndex j = s + r - 1;  // window's new right edge
+        while (!win.empty() && x[win.back()] >= x[j]) win.pop_back();
+        win.push_back(j);
+        while (win.front() < s) win.pop_front();
+        upper_[r_idx * plane + s * nq + static_cast<std::size_t>(q)] =
+            tm.cwc_prefix(s, q) + x[win.front()];
+        lower_[r_idx * plane + s * nq + static_cast<std::size_t>(q)] =
+            (q == qmax()) ? kTimeMinusInf : region.td(s + r - 1, q + 1);
+      }
+    }
+  }
+}
+
+RelaxationTable::RelaxationTable(StateIndex num_states, int num_levels,
+                                 std::vector<int> rho, std::vector<TimeNs> upper,
+                                 std::vector<TimeNs> lower)
+    : n_(num_states), nq_(num_levels), rho_(std::move(rho)),
+      upper_(std::move(upper)), lower_(std::move(lower)) {
+  SPEEDQM_REQUIRE(n_ > 0 && nq_ > 0, "RelaxationTable: empty dimensions");
+  SPEEDQM_REQUIRE(!rho_.empty(), "RelaxationTable: rho must be non-empty");
+  for (std::size_t i = 0; i < rho_.size(); ++i) {
+    SPEEDQM_REQUIRE(rho_[i] >= 1, "RelaxationTable: steps must be >= 1");
+    SPEEDQM_REQUIRE(i == 0 || rho_[i] > rho_[i - 1],
+                    "RelaxationTable: rho must be strictly increasing");
+  }
+  const std::size_t expected = rho_.size() * n_ * static_cast<std::size_t>(nq_);
+  SPEEDQM_REQUIRE(upper_.size() == expected, "RelaxationTable: upper size mismatch");
+  SPEEDQM_REQUIRE(lower_.size() == expected, "RelaxationTable: lower size mismatch");
+}
+
+std::size_t RelaxationTable::idx(std::size_t r_idx, StateIndex s, Quality q) const {
+  SPEEDQM_REQUIRE(s < n_, "RelaxationTable: state out of range");
+  SPEEDQM_REQUIRE(q >= 0 && q < nq_, "RelaxationTable: quality out of range");
+  return r_idx * (n_ * static_cast<std::size_t>(nq_)) +
+         s * static_cast<std::size_t>(nq_) + static_cast<std::size_t>(q);
+}
+
+TimeNs RelaxationTable::upper(StateIndex s, Quality q, int r) const {
+  const auto it = std::find(rho_.begin(), rho_.end(), r);
+  SPEEDQM_REQUIRE(it != rho_.end(), "RelaxationTable: r not in rho");
+  return upper_[idx(static_cast<std::size_t>(it - rho_.begin()), s, q)];
+}
+
+TimeNs RelaxationTable::lower(StateIndex s, Quality q, int r) const {
+  const auto it = std::find(rho_.begin(), rho_.end(), r);
+  SPEEDQM_REQUIRE(it != rho_.end(), "RelaxationTable: r not in rho");
+  return lower_[idx(static_cast<std::size_t>(it - rho_.begin()), s, q)];
+}
+
+bool RelaxationTable::contains(StateIndex s, TimeNs t, Quality q, int r) const {
+  if (static_cast<StateIndex>(r) > n_ - s) return false;
+  const TimeNs up = upper(s, q, r);
+  const TimeNs lo = lower(s, q, r);
+  return lo < t && t <= up;
+}
+
+int RelaxationTable::max_relaxation(StateIndex s, TimeNs t, Quality q,
+                                    std::uint64_t* ops) const {
+  const std::size_t plane = n_ * static_cast<std::size_t>(nq_);
+  const std::size_t cell = s * static_cast<std::size_t>(nq_) +
+                           static_cast<std::size_t>(q);
+  std::uint64_t local_ops = 0;
+  int chosen = 1;
+  for (std::size_t r_idx = rho_.size(); r_idx-- > 0;) {
+    ++local_ops;
+    const auto r = static_cast<StateIndex>(rho_[r_idx]);
+    if (r > n_ - s) continue;
+    const TimeNs up = upper_[r_idx * plane + cell];
+    const TimeNs lo = lower_[r_idx * plane + cell];
+    if (lo < t && t <= up) {
+      chosen = rho_[r_idx];
+      break;
+    }
+  }
+  if (ops) *ops += local_ops;
+  return chosen;
+}
+
+}  // namespace speedqm

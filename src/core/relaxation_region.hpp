@@ -1,0 +1,79 @@
+// Control relaxation regions (section 3.3, Proposition 3).
+//
+// Rrq is the set of states from which the Quality Manager is guaranteed to
+// choose quality q for the next r consecutive actions, whatever the actual
+// execution times (bounded by Cwc) turn out to be. Proposition 3 gives the
+// symbolic characterization (0-based):
+//
+//   (s, t) in Rrq  <=>  tD(s+r-1, q+1) < t <= tD,r(s, q)
+//   tD,r(s, q)      =  min_{s<=j<=s+r-1} [ tD(j, q) - Cwc(a_s..a_{j-1}, q) ]
+//
+// (lower bound -inf when q = qmax). Membership lets the controller *skip*
+// the next r-1 manager invocations entirely: this is the paper's second
+// symbolic implementation, 2 * |A| * |Q| * |rho| precomputed integers
+// (99,876 for the MPEG configuration with rho = {1,10,20,30,40,50}).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "core/quality_region.hpp"
+#include "core/types.hpp"
+
+namespace speedqm {
+
+/// Precomputed relaxation borders for a fixed step set rho.
+class RelaxationTable {
+ public:
+  /// Builds borders for every r in `rho` (positive, strictly increasing).
+  /// `region` must come from the same engine (it supplies tD).
+  RelaxationTable(const PolicyEngine& engine, const QualityRegionTable& region,
+                  std::vector<int> rho);
+
+  /// Reconstructs a table from raw border arrays (deserialization path).
+  /// `upper` and `lower` are row-major [r_idx][state][quality] of size
+  /// rho.size() * num_states * num_levels each.
+  RelaxationTable(StateIndex num_states, int num_levels, std::vector<int> rho,
+                  std::vector<TimeNs> upper, std::vector<TimeNs> lower);
+
+  const std::vector<int>& rho() const { return rho_; }
+  StateIndex num_states() const { return n_; }
+  int num_levels() const { return nq_; }
+  Quality qmax() const { return nq_ - 1; }
+
+  /// Upper border tD,r(s, q); r must be an element of rho and s + r <= n.
+  TimeNs upper(StateIndex s, Quality q, int r) const;
+  /// Lower border tD(s+r-1, q+1); kTimeMinusInf for q = qmax.
+  TimeNs lower(StateIndex s, Quality q, int r) const;
+
+  /// Membership test: (s, t) in Rrq for r in rho (false when fewer than r
+  /// actions remain).
+  bool contains(StateIndex s, TimeNs t, Quality q, int r) const;
+
+  /// Largest r in rho with (s, t) in Rrq, or 1 when none qualifies (R1q = Rq
+  /// always holds for the quality the region table just chose). Scans rho
+  /// from the largest step downward; counts probes into *ops when non-null.
+  int max_relaxation(StateIndex s, TimeNs t, Quality q,
+                     std::uint64_t* ops = nullptr) const;
+
+  /// Stored integer count: 2 * |A| * |Q| * |rho| (the paper's metric).
+  std::size_t num_integers() const { return upper_.size() + lower_.size(); }
+  std::size_t memory_bytes() const { return num_integers() * sizeof(TimeNs); }
+
+  const std::vector<TimeNs>& raw_upper() const { return upper_; }
+  const std::vector<TimeNs>& raw_lower() const { return lower_; }
+
+ private:
+  std::size_t idx(std::size_t r_idx, StateIndex s, Quality q) const;
+
+  StateIndex n_;
+  int nq_;
+  std::vector<int> rho_;
+  /// Row-major [r_idx][state][quality]; entries for states with fewer than
+  /// r actions remaining hold kTimeMinusInf (never satisfiable).
+  std::vector<TimeNs> upper_;
+  std::vector<TimeNs> lower_;
+};
+
+}  // namespace speedqm

@@ -1,0 +1,44 @@
+#include "core/smoothness.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace speedqm {
+
+SmoothnessReport analyze_smoothness(const std::vector<Quality>& qualities) {
+  SmoothnessReport r;
+  r.length = qualities.size();
+  if (qualities.empty()) return r;
+
+  r.min_quality = qualities.front();
+  r.max_quality = qualities.front();
+  double sum = 0;
+  for (Quality q : qualities) {
+    r.min_quality = std::min(r.min_quality, q);
+    r.max_quality = std::max(r.max_quality, q);
+    sum += static_cast<double>(q);
+  }
+  r.mean_quality = sum / static_cast<double>(qualities.size());
+
+  double sq = 0;
+  for (Quality q : qualities) {
+    const double d = static_cast<double>(q) - r.mean_quality;
+    sq += d * d;
+  }
+  r.quality_stddev = std::sqrt(sq / static_cast<double>(qualities.size()));
+
+  double jump_sum = 0;
+  for (std::size_t i = 1; i < qualities.size(); ++i) {
+    const int jump = std::abs(qualities[i] - qualities[i - 1]);
+    if (jump != 0) ++r.switches;
+    r.max_jump = std::max(r.max_jump, jump);
+    jump_sum += jump;
+  }
+  if (qualities.size() > 1) {
+    r.mean_abs_jump = jump_sum / static_cast<double>(qualities.size() - 1);
+  }
+  return r;
+}
+
+}  // namespace speedqm

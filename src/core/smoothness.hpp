@@ -1,0 +1,34 @@
+// Quality smoothness metrics (the paper's third QoS requirement).
+//
+// The paper defers the formal treatment of smoothness to its EMSOFT'05
+// companion but relies on it when motivating the mixed policy; the
+// ablation benches quantify it with the metrics below.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace speedqm {
+
+/// Fluctuation statistics of a quality-level sequence.
+struct SmoothnessReport {
+  std::size_t length = 0;
+  double mean_quality = 0;
+  Quality min_quality = 0;
+  Quality max_quality = 0;
+  /// Mean |q_{i+1} - q_i| — the primary smoothness metric (0 = constant).
+  double mean_abs_jump = 0;
+  /// Number of indices where the quality changes.
+  std::size_t switches = 0;
+  /// Largest single-step change.
+  int max_jump = 0;
+  /// Standard deviation of the quality sequence.
+  double quality_stddev = 0;
+};
+
+/// Computes the report; an empty sequence yields a zeroed report.
+SmoothnessReport analyze_smoothness(const std::vector<Quality>& qualities);
+
+}  // namespace speedqm

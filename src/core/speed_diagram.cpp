@@ -1,0 +1,81 @@
+#include "core/speed_diagram.hpp"
+
+#include "support/contract.hpp"
+
+namespace speedqm {
+
+SpeedDiagram::SpeedDiagram(const PolicyEngine& engine, ActionIndex target)
+    : engine_(&engine), target_(target) {
+  SPEEDQM_REQUIRE(engine.kind() == PolicyKind::kMixed,
+                  "SpeedDiagram: requires the mixed policy engine");
+  SPEEDQM_REQUIRE(target < engine.app().size(), "SpeedDiagram: target out of range");
+  SPEEDQM_REQUIRE(engine.app().has_deadline(target),
+                  "SpeedDiagram: target action must carry a finite deadline");
+  deadline_ = engine.app().deadline(target);
+}
+
+double SpeedDiagram::virtual_time(StateIndex i, Quality q) const {
+  SPEEDQM_REQUIRE(i <= target_ + 1, "virtual_time: state beyond target");
+  const TimeNs consumed = engine_->timing().cav_prefix(i, q);
+  const TimeNs total = engine_->timing().cav_range(0, target_, q);
+  SPEEDQM_REQUIRE(total > 0, "virtual_time: zero total average time at this quality");
+  return static_cast<double>(consumed) / static_cast<double>(total) *
+         static_cast<double>(deadline_);
+}
+
+double SpeedDiagram::ideal_speed(Quality q) const {
+  const TimeNs total = engine_->timing().cav_range(0, target_, q);
+  SPEEDQM_REQUIRE(total > 0, "ideal_speed: zero total average time at this quality");
+  return static_cast<double>(deadline_) / static_cast<double>(total);
+}
+
+TimeNs SpeedDiagram::safety_margin(StateIndex i, Quality q) const {
+  SPEEDQM_REQUIRE(i <= target_, "safety_margin: state beyond target");
+  return engine_->delta_max(i, target_, q);
+}
+
+double SpeedDiagram::optimal_speed(StateIndex i, TimeNs t, Quality q) const {
+  SPEEDQM_REQUIRE(i <= target_, "optimal_speed: state beyond target");
+  // v_opt = v_idl * Cav(a_i..a_k, q) / (D - δmax(a_i..a_k, q) - t).
+  const TimeNs remaining_av = engine_->timing().cav_range(i, target_, q);
+  const TimeNs horizon = deadline_ - safety_margin(i, q) - t;
+  if (horizon <= 0) return std::numeric_limits<double>::infinity();
+  return ideal_speed(q) * static_cast<double>(remaining_av) /
+         static_cast<double>(horizon);
+}
+
+bool SpeedDiagram::ideal_dominates_optimal(StateIndex i, TimeNs t, Quality q) const {
+  // v_idl >= v_opt  <=>  D - δmax - t >= Cav(a_i..a_k, q), provided the
+  // horizon is positive; a non-positive horizon means v_opt = +inf.
+  SPEEDQM_REQUIRE(i <= target_, "ideal_dominates_optimal: state beyond target");
+  const TimeNs horizon = deadline_ - safety_margin(i, q) - t;
+  // Exact in all cases, including the degenerate remaining_av == 0 edge
+  // (horizon >= remaining > 0 implies a positive, finite v_opt).
+  return horizon >= engine_->timing().cav_range(i, target_, q);
+}
+
+bool SpeedDiagram::policy_constraint_holds(StateIndex i, TimeNs t, Quality q) const {
+  SPEEDQM_REQUIRE(i <= target_, "policy_constraint_holds: state beyond target");
+  return deadline_ - engine_->cd(i, target_, q) >= t;
+}
+
+std::vector<DiagramPoint> SpeedDiagram::trajectory(
+    const std::vector<StateIndex>& states, const std::vector<TimeNs>& times,
+    const std::vector<Quality>& qualities) const {
+  SPEEDQM_REQUIRE(states.size() == times.size() && times.size() == qualities.size(),
+                  "trajectory: input arrays must have equal length");
+  std::vector<DiagramPoint> out;
+  out.reserve(states.size());
+  for (std::size_t idx = 0; idx < states.size(); ++idx) {
+    if (states[idx] > target_ + 1) break;  // beyond the diagram's horizon
+    DiagramPoint p;
+    p.state = states[idx];
+    p.actual = times[idx];
+    p.quality = qualities[idx];
+    p.virtual_time = virtual_time(states[idx], qualities[idx]);
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace speedqm

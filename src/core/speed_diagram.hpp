@@ -1,0 +1,87 @@
+// Speed diagrams (section 3.1): a geometric view of the controlled system.
+//
+// For a target deadline D(a_k), the diagram plots actual time t on the
+// horizontal axis against *virtual time* y_i(q) on the vertical axis, where
+//
+//   y_i(q) = Cav(a_0..a_{i-1}, q) / Cav(a_0..a_k, q) * D(a_k)
+//
+// (0-based translation of the paper's formula: state i = i actions done).
+// Because of the normalization, y_k+1(q) = D(a_k): finishing exactly on the
+// diagonal means the budget was used fully. Two speeds explain the mixed
+// policy geometrically:
+//
+//   ideal speed    v_idl(q) = D(a_k) / Cav(a_0..a_k, q)
+//       — the slope of the trajectory if every remaining action runs at
+//         constant quality q and actual times equal averages;
+//   optimal speed  v_opt(q)
+//       — the slope from the current point (t_i, y_i(q)) to the target
+//         point (D(a_k) - δmax(a_i..a_k, q), D(a_k)), i.e. the deadline
+//         backed off by the safety margin δmax.
+//
+// Proposition 1: v_idl(q) >= v_opt(q)  <=>  D(a_k) - CD(a_i..a_k, q) >= t_i,
+// so the Quality Manager's constraint is exactly "the constant-quality ideal
+// speed dominates the required optimal speed".
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "core/policy.hpp"
+
+namespace speedqm {
+
+/// Diagram coordinates for one recorded execution step.
+struct DiagramPoint {
+  StateIndex state = 0;    ///< i: number of completed actions.
+  TimeNs actual = 0;       ///< t_i (ns).
+  double virtual_time = 0; ///< y_i(q) for the quality active at this step (ns).
+  Quality quality = 0;     ///< quality used to reach this state.
+};
+
+/// Speed-diagram computations for one (application, timing, target) triple.
+/// The engine must use the mixed policy: δmax and CD come from it.
+class SpeedDiagram {
+ public:
+  /// `target` is the index k of the deadline action the diagram normalizes
+  /// against; it must carry a finite deadline.
+  SpeedDiagram(const PolicyEngine& engine, ActionIndex target);
+
+  ActionIndex target() const { return target_; }
+  TimeNs target_deadline() const { return deadline_; }
+
+  /// Virtual time y_i(q), i in 0..target+1 (ns, floating point — used for
+  /// reporting only, never for control decisions).
+  double virtual_time(StateIndex i, Quality q) const;
+
+  /// Ideal speed v_idl(q) = D(a_k) / Cav(a_0..a_k, q). Dimensionless
+  /// (virtual ns per actual ns).
+  double ideal_speed(Quality q) const;
+
+  /// Optimal speed from state i at actual time t with quality q. Returns
+  /// +infinity when t already exceeds the safety-margin-adjusted target
+  /// (no finite speed reaches the target point).
+  double optimal_speed(StateIndex i, TimeNs t, Quality q) const;
+
+  /// Left side of Proposition 1, evaluated *exactly* in integer arithmetic
+  /// (v_idl(q) >= v_opt(q) reduces to D - δmax - t >= Cav(a_i..a_k, q)).
+  bool ideal_dominates_optimal(StateIndex i, TimeNs t, Quality q) const;
+
+  /// Right side of Proposition 1: D(a_k) - CD(a_i..a_k, q) >= t.
+  bool policy_constraint_holds(StateIndex i, TimeNs t, Quality q) const;
+
+  /// Safety margin δmax(a_i..a_k, q) from state i to the target (ns).
+  TimeNs safety_margin(StateIndex i, Quality q) const;
+
+  /// Builds the diagram trajectory of an executed run: for each recorded
+  /// (state, actual time, quality) step, the corresponding diagram point.
+  std::vector<DiagramPoint> trajectory(
+      const std::vector<StateIndex>& states, const std::vector<TimeNs>& times,
+      const std::vector<Quality>& qualities) const;
+
+ private:
+  const PolicyEngine* engine_;
+  ActionIndex target_;
+  TimeNs deadline_;
+};
+
+}  // namespace speedqm

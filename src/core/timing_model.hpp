@@ -1,0 +1,105 @@
+// Execution-time estimates: the paper's Cav and Cwc functions.
+//
+// A TimingModel stores, for every (action, quality) pair, the estimated
+// average execution time Cav(a, q) and the worst-case execution time
+// Cwc(a, q). Definition 1 requires both to be non-decreasing with quality
+// and Cav <= Cwc; construction validates this so every downstream component
+// can rely on it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+#include "support/time.hpp"
+
+namespace speedqm {
+
+/// Dense (n actions) x (|Q| levels) table pair of Cav / Cwc, row-major by
+/// action. Immutable after construction.
+class TimingModel {
+ public:
+  /// `cav` and `cwc` are row-major [action][quality], each of size
+  /// n * num_levels. Validates: positive sizes, matching dimensions,
+  /// 0 <= cav(i,q) <= cwc(i,q), and both non-decreasing in q.
+  TimingModel(ActionIndex num_actions, int num_levels,
+              std::vector<TimeNs> cav, std::vector<TimeNs> cwc);
+
+  ActionIndex num_actions() const { return n_; }
+  int num_levels() const { return nq_; }
+  Quality qmin() const { return kQmin; }
+  Quality qmax() const { return nq_ - 1; }
+  bool valid_quality(Quality q) const { return q >= 0 && q < nq_; }
+
+  TimeNs cav(ActionIndex i, Quality q) const { return cav_[idx(i, q)]; }
+  TimeNs cwc(ActionIndex i, Quality q) const { return cwc_[idx(i, q)]; }
+
+  /// Sum of Cav over actions [first, last] inclusive at quality q
+  /// (the paper's Cav(a_first..a_last, q)). Empty if first > last.
+  TimeNs cav_range(ActionIndex first, ActionIndex last, Quality q) const;
+  /// Sum of Cwc over actions [first, last] inclusive at quality q.
+  TimeNs cwc_range(ActionIndex first, ActionIndex last, Quality q) const;
+
+  /// Prefix sums Av_q(i) = sum of Cav(a_0..a_{i-1}, q), i in 0..n.
+  /// Precomputed at construction; O(1) range queries on the hot path.
+  TimeNs cav_prefix(StateIndex i, Quality q) const { return cav_prefix_[pidx(i, q)]; }
+  /// Prefix sums W_q(i) = sum of Cwc(a_0..a_{i-1}, q), i in 0..n.
+  TimeNs cwc_prefix(StateIndex i, Quality q) const { return cwc_prefix_[pidx(i, q)]; }
+  /// Suffix sums SufMin(i) = sum of Cwc(a_i..a_{n-1}, qmin), i in 0..n.
+  /// This is the paper's worst-case tail at minimal quality used by Csf.
+  TimeNs cwc_qmin_suffix(StateIndex i) const { return cwc_qmin_suffix_.at(i); }
+
+  /// Total Cav of the whole sequence at quality q.
+  TimeNs total_cav(Quality q) const { return cav_prefix(n_, q); }
+  /// Total Cwc of the whole sequence at quality q.
+  TimeNs total_cwc(Quality q) const { return cwc_prefix(n_, q); }
+
+  /// Returns a copy with every Cwc entry scaled by `factor` (>= 1.0),
+  /// re-validated. Used by the pessimism ablation (A5) and by profilers
+  /// applying safety margins.
+  TimingModel with_inflated_cwc(double factor) const;
+
+  /// Returns a copy restricted to actions [first, last] inclusive.
+  TimingModel slice(ActionIndex first, ActionIndex last) const;
+
+ private:
+  std::size_t idx(ActionIndex i, Quality q) const;
+  std::size_t pidx(StateIndex i, Quality q) const;
+  void build_prefixes();
+
+  ActionIndex n_;
+  int nq_;
+  std::vector<TimeNs> cav_;             // n * nq
+  std::vector<TimeNs> cwc_;             // n * nq
+  std::vector<TimeNs> cav_prefix_;      // (n+1) * nq
+  std::vector<TimeNs> cwc_prefix_;      // (n+1) * nq
+  std::vector<TimeNs> cwc_qmin_suffix_; // n+1
+};
+
+/// Builder assembling a TimingModel one action at a time; workload
+/// generators provide per-quality vectors of (cav, cwc).
+class TimingModelBuilder {
+ public:
+  explicit TimingModelBuilder(int num_levels);
+
+  /// Appends an action given per-quality averages and worst cases
+  /// (each of size num_levels).
+  TimingModelBuilder& action(const std::vector<TimeNs>& cav,
+                             const std::vector<TimeNs>& cwc);
+
+  /// Appends an action whose Cav scales linearly from `cav_min` at qmin to
+  /// `cav_max` at qmax, with Cwc = Cav * wc_factor (rounded).
+  TimingModelBuilder& linear_action(TimeNs cav_min, TimeNs cav_max,
+                                    double wc_factor);
+
+  ActionIndex size() const { return count_; }
+  TimingModel build() &&;
+
+ private:
+  int nq_;
+  ActionIndex count_ = 0;
+  std::vector<TimeNs> cav_;
+  std::vector<TimeNs> cwc_;
+};
+
+}  // namespace speedqm

@@ -1,0 +1,49 @@
+// Shared vocabulary types of the quality-management core.
+//
+// Conventions (0-based, translating the paper's 1-based notation):
+//   * Actions are indexed 0..n-1.
+//   * A *state index* s in 0..n means "s actions completed"; the next action
+//     to execute from state s is action s. Quality decisions exist for
+//     states 0..n-1 (the paper's s_0..s_{n-1}).
+//   * Quality levels are integers 0..num_levels-1 with qmin = 0, as in the
+//     paper's Q = {0, ..., 6}.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "support/time.hpp"
+
+namespace speedqm {
+
+/// Index of an action within the scheduled sequence.
+using ActionIndex = std::size_t;
+
+/// State index: number of completed actions (0..n).
+using StateIndex = std::size_t;
+
+/// Integer quality level; qmin is always 0.
+using Quality = int;
+
+/// Minimal quality level (the paper's qmin = min Q).
+inline constexpr Quality kQmin = 0;
+
+/// A quality decision produced by a Quality Manager.
+struct Decision {
+  /// Chosen quality level for the next action(s).
+  Quality quality = kQmin;
+  /// Number of consecutive actions this decision covers (>= 1). Values > 1
+  /// mean the manager granted control relaxation: the next `relax_steps - 1`
+  /// actions execute at `quality` without calling the manager again.
+  int relax_steps = 1;
+  /// Abstract operation count performed to reach this decision; consumed by
+  /// sim::OverheadModel to charge controller overhead to the platform clock.
+  std::uint64_t ops = 0;
+  /// False when even qmin cannot meet the policy constraint at this state
+  /// (tD(s, qmin) < t). The manager then degrades to qmin; the executor
+  /// records the event. Under the mixed policy this cannot happen when
+  /// C <= Cwc and the initial state is feasible.
+  bool feasible = true;
+};
+
+}  // namespace speedqm

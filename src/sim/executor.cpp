@@ -1,0 +1,124 @@
+#include "sim/executor.hpp"
+
+#include <algorithm>
+
+#include "support/contract.hpp"
+
+namespace speedqm {
+
+double RunResult::overhead_fraction() const {
+  const double busy =
+      static_cast<double>(total_action_time + total_overhead_time);
+  if (busy <= 0.0) return 0.0;
+  return static_cast<double>(total_overhead_time) / busy;
+}
+
+double RunResult::mean_quality() const {
+  if (steps.empty()) return 0.0;
+  double sum = 0;
+  for (const auto& s : steps) sum += static_cast<double>(s.quality);
+  return sum / static_cast<double>(steps.size());
+}
+
+std::vector<Quality> RunResult::cycle_qualities(std::size_t cycle) const {
+  std::vector<Quality> qs;
+  for (const auto& s : steps) {
+    if (s.cycle == cycle) qs.push_back(s.quality);
+  }
+  return qs;
+}
+
+RunResult run_cyclic(const ScheduledApp& app, QualityManager& manager,
+                     CyclicTimeSource& source, const ExecutorOptions& opts) {
+  SPEEDQM_REQUIRE(opts.cycles >= 1, "run_cyclic: need at least one cycle");
+  SPEEDQM_REQUIRE(source.num_cycles() >= 1, "run_cyclic: source has no content");
+
+  const ActionIndex n = app.size();
+  const TimeNs period = opts.period > 0 ? opts.period : app.final_deadline();
+  SPEEDQM_REQUIRE(period > 0, "run_cyclic: non-positive cycle period");
+
+  RunResult result;
+  result.steps.reserve(opts.cycles * n);
+  result.cycles.reserve(opts.cycles);
+
+  TimeNs t_abs = 0;  // absolute platform time
+
+  for (std::size_t cycle = 0; cycle < opts.cycles; ++cycle) {
+    source.set_cycle(cycle % source.num_cycles());
+    manager.reset();
+
+    // Cycle-relative observation origin. With slack carry-over, cycle c is
+    // measured against its absolute milestone start c * period: being ahead
+    // of schedule yields negative observed times (= extra budget). Without
+    // carry-over the cycle's own start time is the origin and slack is lost;
+    // a cycle that *overran* still inherits the delay (time cannot rewind).
+    const TimeNs origin =
+        opts.carry_slack ? static_cast<TimeNs>(cycle) * period : t_abs;
+
+    CycleStats cs;
+    cs.cycle = cycle;
+    double qsum = 0;
+
+    Quality active_quality = kQmin;
+    int remaining_coverage = 0;
+
+    for (ActionIndex i = 0; i < n; ++i) {
+      ExecStep step;
+      step.cycle = cycle;
+      step.action = i;
+      step.start = t_abs;
+
+      if (remaining_coverage == 0) {
+        const TimeNs observed = t_abs - origin;
+        const Decision d = manager.decide(i, observed);
+        SPEEDQM_ASSERT(d.relax_steps >= 1, "manager returned relax_steps < 1");
+        active_quality = d.quality;
+        remaining_coverage = std::min<int>(d.relax_steps, static_cast<int>(n - i));
+
+        const TimeNs cost = opts.platform.manager_cost(d.ops);
+        t_abs += cost;
+
+        step.manager_called = true;
+        step.observed = observed;
+        step.overhead = cost;
+        step.feasible = d.feasible;
+        step.relax_steps = remaining_coverage;
+        step.ops = d.ops;
+        ++cs.manager_calls;
+        cs.overhead_time += cost;
+        if (!d.feasible) ++cs.infeasible_decisions;
+      }
+      --remaining_coverage;
+
+      step.quality = active_quality;
+      const TimeNs raw = source.actual_time(i, active_quality);
+      SPEEDQM_REQUIRE(raw >= 0, "run_cyclic: negative actual execution time");
+      step.duration = opts.platform.scale(raw);
+      t_abs += step.duration;
+      step.start = t_abs - step.duration;
+
+      cs.action_time += step.duration;
+      qsum += static_cast<double>(active_quality);
+
+      if (app.has_deadline(i) && (t_abs - origin) > app.deadline(i)) {
+        ++cs.deadline_misses;
+      }
+      result.steps.push_back(step);
+    }
+
+    cs.completion = t_abs;
+    cs.mean_quality = qsum / static_cast<double>(n);
+    result.cycles.push_back(cs);
+
+    result.total_action_time += cs.action_time;
+    result.total_overhead_time += cs.overhead_time;
+    result.total_manager_calls += cs.manager_calls;
+    result.total_deadline_misses += cs.deadline_misses;
+    result.total_infeasible += cs.infeasible_decisions;
+  }
+
+  result.total_time = t_abs;
+  return result;
+}
+
+}  // namespace speedqm

@@ -1,0 +1,103 @@
+// Cyclic platform executor: runs the controlled software PS‖Γ for many
+// cycles (frames) on a simulated platform, charging Quality Manager
+// overhead to the platform clock.
+//
+// Execution model per action:
+//   1. If no relaxation window is active, the manager observes the current
+//      cycle-relative time and decides; its computation cost (overhead
+//      model applied to the reported op count) is then charged to the
+//      clock *after* the observation — the decision cannot see its own
+//      cost, which is exactly why heavy managers lose budget (figure 7).
+//   2. The action executes for its actual workload time (platform-scaled).
+//
+// Cycle chaining ("single global deadline" semantics, section 4.1): with
+// slack carry-over enabled (default), cycle c is controlled against the
+// absolute milestone (c+1) * period by observing t_abs - c * period, which
+// may be negative when the run is ahead of schedule — unused budget flows
+// into the next cycle, like the paper's single D = 30 s over 29 frames.
+// With carry-over disabled, every cycle starts its clock at zero and slack
+// is discarded.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/application.hpp"
+#include "core/controller.hpp"
+#include "core/manager.hpp"
+#include "sim/platform.hpp"
+
+namespace speedqm {
+
+/// Per-cycle hook for trace sources that store one actual-time table per
+/// cycle (e.g. per-frame content).
+class CyclicTimeSource : public ActualTimeSource {
+ public:
+  /// Selects which cycle subsequent actual_time() calls refer to.
+  virtual void set_cycle(std::size_t cycle) = 0;
+  /// Number of cycles of content available.
+  virtual std::size_t num_cycles() const = 0;
+};
+
+struct ExecutorOptions {
+  Platform platform{};
+  std::size_t cycles = 1;
+  /// Cycle period: the milestone spacing. 0 means "use the application's
+  /// final deadline" (each cycle budgeted exactly its deadline).
+  TimeNs period = 0;
+  bool carry_slack = true;
+};
+
+/// One executed action on the platform (extends the pure StepRecord with
+/// the overhead charged before it).
+struct ExecStep {
+  std::size_t cycle = 0;
+  ActionIndex action = 0;
+  Quality quality = 0;
+  TimeNs observed = 0;   ///< cycle-relative time the manager saw (if called)
+  TimeNs overhead = 0;   ///< manager cost charged before the action (0 if not called)
+  TimeNs start = 0;      ///< absolute platform time when the action began
+  TimeNs duration = 0;   ///< platform-scaled actual execution time
+  bool manager_called = false;
+  bool feasible = true;
+  int relax_steps = 1;
+  std::uint64_t ops = 0;
+};
+
+/// Aggregate of one cycle.
+struct CycleStats {
+  std::size_t cycle = 0;
+  double mean_quality = 0;
+  TimeNs action_time = 0;    ///< sum of action durations
+  TimeNs overhead_time = 0;  ///< sum of manager costs
+  TimeNs completion = 0;     ///< absolute platform time at cycle end
+  std::size_t manager_calls = 0;
+  std::size_t deadline_misses = 0;
+  std::size_t infeasible_decisions = 0;
+};
+
+struct RunResult {
+  std::vector<ExecStep> steps;        ///< every executed action, all cycles
+  std::vector<CycleStats> cycles;
+  TimeNs total_time = 0;              ///< absolute completion time
+  TimeNs total_action_time = 0;
+  TimeNs total_overhead_time = 0;
+  std::size_t total_manager_calls = 0;
+  std::size_t total_deadline_misses = 0;
+  std::size_t total_infeasible = 0;
+
+  /// Overhead as a fraction of total busy time (the paper's §4.2 metric).
+  double overhead_fraction() const;
+  /// Mean quality over every executed action.
+  double mean_quality() const;
+  /// Quality sequence of one cycle (for smoothness analysis).
+  std::vector<Quality> cycle_qualities(std::size_t cycle) const;
+};
+
+/// Runs `opts.cycles` cycles of the application under the manager.
+/// `source` provides per-cycle actual times; it must offer at least
+/// opts.cycles cycles of content (or wrap around, at its discretion).
+RunResult run_cyclic(const ScheduledApp& app, QualityManager& manager,
+                     CyclicTimeSource& source, const ExecutorOptions& opts);
+
+}  // namespace speedqm

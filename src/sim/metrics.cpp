@@ -1,0 +1,44 @@
+#include "sim/metrics.hpp"
+
+namespace speedqm {
+
+RunSummary summarize_run(const std::string& manager_name, const RunResult& run) {
+  RunSummary s;
+  s.manager = manager_name;
+  s.mean_quality = run.mean_quality();
+  s.overhead_pct = 100.0 * run.overhead_fraction();
+  if (!run.steps.empty()) {
+    s.mean_overhead_per_action_us =
+        to_us(run.total_overhead_time) / static_cast<double>(run.steps.size());
+  }
+  s.manager_calls = run.total_manager_calls;
+  s.deadline_misses = run.total_deadline_misses;
+  s.infeasible = run.total_infeasible;
+  s.total_time_s = to_sec(run.total_time);
+
+  std::vector<Quality> all_q;
+  all_q.reserve(run.steps.size());
+  for (const auto& step : run.steps) {
+    all_q.push_back(step.quality);
+    if (step.manager_called) ++s.relax_histogram[step.relax_steps];
+  }
+  s.smoothness = analyze_smoothness(all_q);
+  return s;
+}
+
+std::vector<double> per_cycle_quality(const RunResult& run) {
+  std::vector<double> out;
+  out.reserve(run.cycles.size());
+  for (const auto& c : run.cycles) out.push_back(c.mean_quality);
+  return out;
+}
+
+std::vector<TimeNs> per_action_overhead(const RunResult& run, std::size_t cycle) {
+  std::vector<TimeNs> out;
+  for (const auto& step : run.steps) {
+    if (step.cycle == cycle) out.push_back(step.overhead);
+  }
+  return out;
+}
+
+}  // namespace speedqm

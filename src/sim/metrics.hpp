@@ -1,0 +1,37 @@
+// Run-level metric extraction and comparison helpers for benches.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/smoothness.hpp"
+#include "sim/executor.hpp"
+
+namespace speedqm {
+
+/// A compact run summary used by the bench tables.
+struct RunSummary {
+  std::string manager;
+  double mean_quality = 0;
+  double overhead_pct = 0;           ///< 100 * overhead / (overhead + action)
+  double mean_overhead_per_action_us = 0;
+  std::size_t manager_calls = 0;
+  std::size_t deadline_misses = 0;
+  std::size_t infeasible = 0;
+  double total_time_s = 0;
+  SmoothnessReport smoothness;       ///< over the full quality sequence
+  std::map<int, std::size_t> relax_histogram;  ///< decided r -> count
+};
+
+/// Builds the summary from a run.
+RunSummary summarize_run(const std::string& manager_name, const RunResult& run);
+
+/// Per-cycle mean quality series (figure 7's y-axis).
+std::vector<double> per_cycle_quality(const RunResult& run);
+
+/// Per-action overhead (ns) of one cycle, indexed by action (figure 8's
+/// y-axis; actions inside a relaxation window have zero overhead).
+std::vector<TimeNs> per_action_overhead(const RunResult& run, std::size_t cycle);
+
+}  // namespace speedqm

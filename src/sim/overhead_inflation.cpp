@@ -1,0 +1,43 @@
+#include "sim/overhead_inflation.hpp"
+
+#include <vector>
+
+#include "support/contract.hpp"
+
+namespace speedqm {
+
+namespace {
+std::uint64_t ceil_log2(std::uint64_t v) {
+  std::uint64_t bits = 0;
+  while ((std::uint64_t{1} << bits) < v) ++bits;
+  return bits;
+}
+}  // namespace
+
+RegionCallEstimate::RegionCallEstimate(int num_levels)
+    : ops_(1 + ceil_log2(static_cast<std::uint64_t>(num_levels > 0 ? num_levels : 1))) {}
+
+RelaxationCallEstimate::RelaxationCallEstimate(int num_levels, std::size_t rho_size)
+    : ops_(RegionCallEstimate(num_levels).ops(0) + rho_size) {}
+
+TimingModel inflate_for_overhead(const TimingModel& tm, const OverheadModel& om,
+                                 const OverheadEstimate& estimate) {
+  const ActionIndex n = tm.num_actions();
+  const int nq = tm.num_levels();
+  const auto nq_s = static_cast<std::size_t>(nq);
+
+  std::vector<TimeNs> cav(n * nq_s);
+  std::vector<TimeNs> cwc(n * nq_s);
+  for (ActionIndex i = 0; i < n; ++i) {
+    const TimeNs margin = om.cost(estimate.ops(i));
+    SPEEDQM_REQUIRE(margin >= 0, "inflate_for_overhead: negative margin");
+    for (Quality q = 0; q < nq; ++q) {
+      const std::size_t k = i * nq_s + static_cast<std::size_t>(q);
+      cav[k] = tm.cav(i, q) + margin;
+      cwc[k] = tm.cwc(i, q) + margin;
+    }
+  }
+  return TimingModel(n, nq, std::move(cav), std::move(cwc));
+}
+
+}  // namespace speedqm

@@ -1,0 +1,80 @@
+// Accounting for the Quality Manager's own execution time in the timing
+// model.
+//
+// Section 2.2.2 of the paper: "It is possible to take into account
+// execution time needed for quality management by adequately overestimate
+// average and worst-case execution times." Without this, the controller's
+// budget math ignores the cost of its own invocations, and a sufficiently
+// expensive manager can cause deadline misses despite a safe policy (a
+// behaviour tests/test_executor.cpp demonstrates).
+//
+// inflate_for_overhead() adds, to every action's Cav and Cwc, the estimated
+// cost of the one manager call that precedes it. Estimates mirror each
+// manager's genuine work profile:
+//   * numeric  — a quality-probe scan over the remaining actions, so the
+//     margin shrinks as the cycle progresses (probe_factor calibrates the
+//     expected number of probes);
+//   * regions  — one binary search over |Q| (constant);
+//   * relaxation — region lookup plus a rho scan (constant; conservative
+//     because relaxed actions skip the call entirely).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/timing_model.hpp"
+#include "sim/overhead_model.hpp"
+
+namespace speedqm {
+
+/// Estimated operation count of one manager call made at state s.
+class OverheadEstimate {
+ public:
+  virtual ~OverheadEstimate() = default;
+  virtual std::uint64_t ops(StateIndex s) const = 0;
+};
+
+/// Numeric manager: probe_factor quality probes, each scanning the
+/// remaining actions (~2 ops per scanned action in td_online).
+class NumericCallEstimate final : public OverheadEstimate {
+ public:
+  explicit NumericCallEstimate(ActionIndex num_actions, double probe_factor = 1.5)
+      : n_(num_actions), probe_factor_(probe_factor) {}
+
+  std::uint64_t ops(StateIndex s) const override {
+    const auto remaining = static_cast<double>(n_ > s ? n_ - s : 0);
+    return static_cast<std::uint64_t>(probe_factor_ * (2.0 * remaining + 1.0) + 0.5);
+  }
+
+ private:
+  ActionIndex n_;
+  double probe_factor_;
+};
+
+/// Region manager: one probe plus a binary search over the quality axis.
+class RegionCallEstimate final : public OverheadEstimate {
+ public:
+  explicit RegionCallEstimate(int num_levels);
+  std::uint64_t ops(StateIndex) const override { return ops_; }
+
+ private:
+  std::uint64_t ops_;
+};
+
+/// Relaxation manager: region lookup plus scanning the rho set.
+class RelaxationCallEstimate final : public OverheadEstimate {
+ public:
+  RelaxationCallEstimate(int num_levels, std::size_t rho_size);
+  std::uint64_t ops(StateIndex) const override { return ops_; }
+
+ private:
+  std::uint64_t ops_;
+};
+
+/// Returns a copy of `tm` with Cav and Cwc of every action inflated by the
+/// overhead model's cost of one estimated manager call at that action's
+/// state. Preserves the Definition 1 shape (monotone in q, Cav <= Cwc).
+TimingModel inflate_for_overhead(const TimingModel& tm, const OverheadModel& om,
+                                 const OverheadEstimate& estimate);
+
+}  // namespace speedqm

@@ -1,0 +1,46 @@
+// Quality-management overhead model.
+//
+// The paper measures the execution-time overhead of the Quality Manager on
+// a bare Apple iPod Video (5G): 5.7 % for the numeric manager, 1.9 % with
+// quality regions, < 1.1 % with control relaxation. We reproduce the causal
+// mechanism rather than the absolute platform numbers: every manager
+// reports the *actual operation count* its decision performed (scan
+// iterations, table probes), and the simulator charges
+//
+//     cost = fixed_call_ns + ns_per_op * ops
+//
+// to the same clock that action execution uses. fixed_call_ns models the
+// clock read + call/return + cache disturbance of invoking the manager at
+// all; ns_per_op scales the genuine algorithmic work. The iPod-like
+// calibration (see workload/scenarios.cpp) picks the two constants so the
+// numeric manager lands near the paper's 5.7 % on the paper workload; the
+// ratios between managers then follow from the real op counts.
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.hpp"
+#include "support/time.hpp"
+
+namespace speedqm {
+
+struct OverheadModel {
+  TimeNs fixed_call_ns = 0;  ///< charged once per manager invocation
+  double ns_per_op = 0.0;    ///< charged per abstract operation
+
+  /// Cost of one manager invocation that performed `ops` operations.
+  TimeNs cost(std::uint64_t ops) const {
+    return fixed_call_ns +
+           static_cast<TimeNs>(ns_per_op * static_cast<double>(ops) + 0.5);
+  }
+
+  /// Zero-overhead model (pure-semantics runs).
+  static OverheadModel zero() { return OverheadModel{0, 0.0}; }
+
+  /// iPod-like calibration used by the paper-reproduction scenario: a slow
+  /// embedded core where a manager call costs ~16 us of fixed time and each
+  /// abstract operation ~30 ns.
+  static OverheadModel ipod_like() { return OverheadModel{us(16), 30.0}; }
+};
+
+}  // namespace speedqm

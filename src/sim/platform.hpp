@@ -1,0 +1,43 @@
+// Simulated execution platform.
+//
+// Bundles everything platform-specific the executor needs: the overhead
+// model for Quality Manager calls and a speed factor applied to workload
+// execution times (so one synthesized workload can be "run" on faster or
+// slower hardware). Action atomicity and the single-thread execution model
+// follow the paper's assumptions.
+#pragma once
+
+#include "core/types.hpp"
+#include "sim/overhead_model.hpp"
+#include "support/contract.hpp"
+#include "support/time.hpp"
+
+namespace speedqm {
+
+class Platform {
+ public:
+  /// `speed_factor` scales action durations (2.0 = twice as slow).
+  explicit Platform(OverheadModel overhead = OverheadModel::zero(),
+                    double speed_factor = 1.0)
+      : overhead_(overhead), speed_factor_(speed_factor) {
+    SPEEDQM_REQUIRE(speed_factor > 0.0, "Platform: speed_factor must be positive");
+  }
+
+  const OverheadModel& overhead() const { return overhead_; }
+  double speed_factor() const { return speed_factor_; }
+
+  /// Platform-time duration of an action whose workload duration is `d`.
+  TimeNs scale(TimeNs d) const {
+    if (speed_factor_ == 1.0) return d;
+    return static_cast<TimeNs>(static_cast<double>(d) * speed_factor_ + 0.5);
+  }
+
+  /// Cost of one manager invocation performing `ops` operations.
+  TimeNs manager_cost(std::uint64_t ops) const { return overhead_.cost(ops); }
+
+ private:
+  OverheadModel overhead_;
+  double speed_factor_;
+};
+
+}  // namespace speedqm

@@ -1,0 +1,49 @@
+#include "sim/trace.hpp"
+
+#include "support/csv.hpp"
+
+namespace speedqm {
+
+std::size_t write_step_trace_csv(const RunResult& run, const std::string& path) {
+  CsvWriter csv(path);
+  csv.row({"cycle", "action", "quality", "manager_called", "observed_ns",
+           "overhead_ns", "start_ns", "duration_ns", "relax_steps", "ops",
+           "feasible"});
+  for (const auto& s : run.steps) {
+    csv.begin_row()
+        .col(s.cycle)
+        .col(s.action)
+        .col(s.quality)
+        .col(s.manager_called ? 1 : 0)
+        .col(static_cast<std::int64_t>(s.observed))
+        .col(static_cast<std::int64_t>(s.overhead))
+        .col(static_cast<std::int64_t>(s.start))
+        .col(static_cast<std::int64_t>(s.duration))
+        .col(s.relax_steps)
+        .col(static_cast<std::uint64_t>(s.ops))
+        .col(s.feasible ? 1 : 0);
+    csv.end_row();
+  }
+  return run.steps.size();
+}
+
+std::size_t write_cycle_trace_csv(const RunResult& run, const std::string& path) {
+  CsvWriter csv(path);
+  csv.row({"cycle", "mean_quality", "action_time_ns", "overhead_time_ns",
+           "completion_ns", "manager_calls", "deadline_misses", "infeasible"});
+  for (const auto& c : run.cycles) {
+    csv.begin_row()
+        .col(c.cycle)
+        .col(c.mean_quality)
+        .col(static_cast<std::int64_t>(c.action_time))
+        .col(static_cast<std::int64_t>(c.overhead_time))
+        .col(static_cast<std::int64_t>(c.completion))
+        .col(c.manager_calls)
+        .col(c.deadline_misses)
+        .col(c.infeasible_decisions);
+    csv.end_row();
+  }
+  return run.cycles.size();
+}
+
+}  // namespace speedqm

@@ -1,0 +1,17 @@
+// Execution trace export: CSV dumps of RunResult for offline plotting.
+#pragma once
+
+#include <string>
+
+#include "sim/executor.hpp"
+
+namespace speedqm {
+
+/// Writes every executed step (cycle, action, quality, times, overhead) to
+/// a CSV file. Returns the number of rows written.
+std::size_t write_step_trace_csv(const RunResult& run, const std::string& path);
+
+/// Writes per-cycle aggregates to a CSV file.
+std::size_t write_cycle_trace_csv(const RunResult& run, const std::string& path);
+
+}  // namespace speedqm

@@ -1,0 +1,51 @@
+// Lightweight contract checking used across the library.
+//
+// The library is a control component: a violated precondition means the
+// caller would get a controller that silently violates safety, so contract
+// failures throw rather than abort — callers (tests, tools) can recover and
+// report.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace speedqm {
+
+/// Thrown when a public-API precondition is violated.
+class contract_error : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant fails (indicates a library bug).
+class invariant_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* expr, const char* file, int line,
+                                       const std::string& msg) {
+  throw contract_error(std::string(file) + ":" + std::to_string(line) +
+                       ": precondition failed: (" + expr + ") " + msg);
+}
+[[noreturn]] inline void invariant_fail(const char* expr, const char* file, int line,
+                                        const std::string& msg) {
+  throw invariant_error(std::string(file) + ":" + std::to_string(line) +
+                        ": invariant failed: (" + expr + ") " + msg);
+}
+}  // namespace detail
+
+}  // namespace speedqm
+
+/// Check a public-API precondition; throws speedqm::contract_error.
+#define SPEEDQM_REQUIRE(expr, msg)                                          \
+  do {                                                                      \
+    if (!(expr)) ::speedqm::detail::contract_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+/// Check an internal invariant; throws speedqm::invariant_error.
+#define SPEEDQM_ASSERT(expr, msg)                                           \
+  do {                                                                      \
+    if (!(expr)) ::speedqm::detail::invariant_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,72 @@
+#include "support/csv.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "support/contract.hpp"
+
+namespace speedqm {
+
+namespace {
+std::string format_double(double v) {
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+void CsvWriter::put_field(const std::string& v) {
+  if (!first_in_row_) out_ << ',';
+  first_in_row_ = false;
+  if (v.find_first_of(",\"\n") != std::string::npos) {
+    out_ << '"';
+    for (char c : v) {
+      if (c == '"') out_ << '"';
+      out_ << c;
+    }
+    out_ << '"';
+  } else {
+    out_ << v;
+  }
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  begin_row();
+  for (const auto& f : fields) put_field(f);
+  end_row();
+}
+
+void CsvWriter::row(std::initializer_list<std::string> fields) {
+  row(std::vector<std::string>(fields));
+}
+
+CsvWriter& CsvWriter::begin_row() {
+  SPEEDQM_REQUIRE(!row_started_, "CsvWriter: previous row not finished");
+  row_started_ = true;
+  first_in_row_ = true;
+  return *this;
+}
+
+CsvWriter& CsvWriter::col(const std::string& v) {
+  SPEEDQM_REQUIRE(row_started_, "CsvWriter: col() outside begin_row()");
+  put_field(v);
+  return *this;
+}
+CsvWriter& CsvWriter::col(const char* v) { return col(std::string(v)); }
+CsvWriter& CsvWriter::col(double v) { return col(format_double(v)); }
+CsvWriter& CsvWriter::col(std::int64_t v) { return col(std::to_string(v)); }
+CsvWriter& CsvWriter::col(std::uint64_t v) { return col(std::to_string(v)); }
+CsvWriter& CsvWriter::col(int v) { return col(std::to_string(v)); }
+
+void CsvWriter::end_row() {
+  SPEEDQM_REQUIRE(row_started_, "CsvWriter: end_row() without begin_row()");
+  out_ << '\n';
+  row_started_ = false;
+}
+
+}  // namespace speedqm

@@ -1,0 +1,44 @@
+// Minimal CSV emission for bench outputs (figure data series).
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace speedqm {
+
+/// Streams rows to a file; quotes fields containing separators. The bench
+/// harness writes one CSV per figure so plots can be regenerated offline.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`. Throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes a header or data row; values are emitted verbatim except for
+  /// quoting. Convenience overloads format numbers with full precision.
+  void row(const std::vector<std::string>& fields);
+  void row(std::initializer_list<std::string> fields);
+
+  /// Builder-style row assembly: w.begin_row().col(1).col("x").end_row();
+  CsvWriter& begin_row();
+  CsvWriter& col(const std::string& v);
+  CsvWriter& col(const char* v);
+  CsvWriter& col(double v);
+  CsvWriter& col(std::int64_t v);
+  CsvWriter& col(std::uint64_t v);
+  CsvWriter& col(int v);
+  void end_row();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void put_field(const std::string& v);
+
+  std::string path_;
+  std::ofstream out_;
+  bool row_started_ = false;
+  bool first_in_row_ = true;
+};
+
+}  // namespace speedqm

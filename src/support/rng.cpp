@@ -1,0 +1,104 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+namespace speedqm {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+}
+
+std::uint64_t Xoshiro256::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Xoshiro256::uniform01() {
+  // 53-bit mantissa trick: uniform in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::uniform(double lo, double hi) {
+  SPEEDQM_REQUIRE(lo <= hi, "uniform: lo must be <= hi");
+  return lo + (hi - lo) * uniform01();
+}
+
+std::int64_t Xoshiro256::uniform_int(std::int64_t lo, std::int64_t hi) {
+  SPEEDQM_REQUIRE(lo <= hi, "uniform_int: lo must be <= hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = std::uint64_t(-1) - std::uint64_t(-1) % span;
+  std::uint64_t v;
+  do {
+    v = next();
+  } while (v >= limit);
+  return lo + static_cast<std::int64_t>(v % span);
+}
+
+double Xoshiro256::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  has_cached_normal_ = true;
+  return u * factor;
+}
+
+double Xoshiro256::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+double Xoshiro256::clamped_normal(double mean, double stddev, double lo, double hi) {
+  SPEEDQM_REQUIRE(lo <= hi, "clamped_normal: lo must be <= hi");
+  const double x = normal(mean, stddev);
+  if (x < lo) return lo;
+  if (x > hi) return hi;
+  return x;
+}
+
+bool Xoshiro256::chance(double p) { return uniform01() < p; }
+
+double Xoshiro256::triangular(double lo, double m, double hi) {
+  SPEEDQM_REQUIRE(lo <= m && m <= hi, "triangular: requires lo <= mode <= hi");
+  if (lo == hi) return lo;
+  const double u = uniform01();
+  const double fc = (m - lo) / (hi - lo);
+  if (u < fc) return lo + std::sqrt(u * (hi - lo) * (m - lo));
+  return hi - std::sqrt((1.0 - u) * (hi - lo) * (hi - m));
+}
+
+Ar1Process::Ar1Process(double mean, double phi, double sigma, std::uint64_t seed)
+    : mean_(mean), phi_(phi), sigma_(sigma), rng_(seed) {
+  SPEEDQM_REQUIRE(phi >= 0.0 && phi < 1.0, "Ar1Process: phi must be in [0,1)");
+  SPEEDQM_REQUIRE(sigma >= 0.0, "Ar1Process: sigma must be non-negative");
+}
+
+double Ar1Process::next() {
+  x_ = phi_ * x_ + sigma_ * rng_.normal();
+  return mean_ + x_;
+}
+
+}  // namespace speedqm

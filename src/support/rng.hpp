@@ -1,0 +1,102 @@
+// Deterministic random number generation for workload synthesis.
+//
+// Self-contained (no <random> engines) so that traces are bit-reproducible
+// across platforms and standard-library versions: every bench fixes a seed
+// and regenerates identical workloads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/contract.hpp"
+
+namespace speedqm {
+
+/// SplitMix64 — used to expand a single user seed into stream seeds.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna) — the library's workhorse generator.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed);
+
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal deviate (Marsaglia polar method, cached pair).
+  double normal();
+
+  /// Normal with given mean/stddev.
+  double normal(double mean, double stddev);
+
+  /// Normal truncated to [lo, hi] by clamping (cheap, adequate for
+  /// execution-time noise where the tails are cut by Cwc anyway).
+  double clamped_normal(double mean, double stddev, double lo, double hi);
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Triangular distribution on [lo, hi] with mode m.
+  double triangular(double lo, double m, double hi);
+
+  /// Fisher-Yates shuffle of an index vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// First-order autoregressive process: x_{k+1} = phi*x_k + noise.
+/// Used to make execution times *content-correlated* across neighbouring
+/// macroblocks/actions — the property that makes control relaxation pay off
+/// (long runs of similar load stay inside one quality region).
+class Ar1Process {
+ public:
+  /// phi in [0,1): correlation; sigma: innovation stddev; mean: process mean.
+  Ar1Process(double mean, double phi, double sigma, std::uint64_t seed);
+
+  /// Next sample (stationary marginal ~ N(mean, sigma^2 / (1 - phi^2))).
+  double next();
+
+  /// Restart the state at the stationary mean (content discontinuity).
+  void reset_to_mean() { x_ = 0.0; }
+
+  double mean() const { return mean_; }
+
+ private:
+  double mean_, phi_, sigma_;
+  double x_ = 0.0;  // deviation from mean
+  Xoshiro256 rng_;
+};
+
+}  // namespace speedqm

@@ -1,0 +1,92 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <sstream>
+
+#include "support/contract.hpp"
+
+namespace speedqm {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  SPEEDQM_REQUIRE(!header_.empty(), "TextTable: header must be non-empty");
+}
+
+TextTable& TextTable::begin_row() {
+  SPEEDQM_REQUIRE(!in_row_, "TextTable: previous row not finished");
+  in_row_ = true;
+  current_.clear();
+  return *this;
+}
+
+TextTable& TextTable::cell(const std::string& v) {
+  SPEEDQM_REQUIRE(in_row_, "TextTable: cell() outside begin_row()");
+  current_.push_back(v);
+  return *this;
+}
+TextTable& TextTable::cell(const char* v) { return cell(std::string(v)); }
+TextTable& TextTable::cell(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return cell(os.str());
+}
+TextTable& TextTable::cell(std::int64_t v) { return cell(std::to_string(v)); }
+TextTable& TextTable::cell(int v) { return cell(std::to_string(v)); }
+TextTable& TextTable::cell(std::size_t v) { return cell(std::to_string(v)); }
+
+void TextTable::end_row() {
+  SPEEDQM_REQUIRE(in_row_, "TextTable: end_row() without begin_row()");
+  SPEEDQM_REQUIRE(current_.size() == header_.size(),
+                  "TextTable: row width does not match header");
+  rows_.push_back(current_);
+  in_row_ = false;
+}
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  bool digit = false;
+  for (; i < s.size(); ++i) {
+    const char c = s[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit = true;
+    } else if (c != '.' && c != '%' && c != 'e' && c != 'E' && c != '-' && c != '+') {
+      return false;
+    }
+  }
+  return digit;
+}
+}  // namespace
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << "  ";
+      const auto pad = width[c] - row[c].size();
+      if (looks_numeric(row[c])) {
+        out << std::string(pad, ' ') << row[c];
+      } else {
+        out << row[c] << std::string(pad, ' ');
+      }
+    }
+    out << "\n";
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (auto w : width) total += w;
+  total += 2 * (width.size() - 1);
+  out << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+}  // namespace speedqm

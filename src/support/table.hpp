@@ -1,0 +1,41 @@
+// Console table rendering for bench harness output.
+//
+// Every bench prints paper-style rows through this, so the "reproduce
+// table/figure N" outputs are aligned and diffable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace speedqm {
+
+/// Column-aligned text table. Collects rows, then renders with computed
+/// widths. Numeric convenience setters format with fixed precision.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  TextTable& begin_row();
+  TextTable& cell(const std::string& v);
+  TextTable& cell(const char* v);
+  TextTable& cell(double v, int precision = 3);
+  TextTable& cell(std::int64_t v);
+  TextTable& cell(int v);
+  TextTable& cell(std::size_t v);
+  void end_row();
+
+  /// Render with a separator under the header. Right-aligns cells that
+  /// parse as numbers, left-aligns the rest.
+  std::string render() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> current_;
+  bool in_row_ = false;
+};
+
+}  // namespace speedqm

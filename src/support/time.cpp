@@ -1,0 +1,27 @@
+#include "support/time.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace speedqm {
+
+std::string format_time(TimeNs t) {
+  if (t >= kTimePlusInf) return "+inf";
+  if (t <= kTimeMinusInf) return "-inf";
+  const double a = std::abs(static_cast<double>(t));
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3);
+  if (a >= 1e9) {
+    os << to_sec(t) << " s";
+  } else if (a >= 1e6) {
+    os << to_ms(t) << " ms";
+  } else if (a >= 1e3) {
+    os << to_us(t) << " us";
+  } else {
+    os << t << " ns";
+  }
+  return os.str();
+}
+
+}  // namespace speedqm

@@ -1,0 +1,48 @@
+// Integer time arithmetic for the quality-management controller.
+//
+// All controller decisions (tD tables, region borders, deadlines) are exact
+// 64-bit nanosecond quantities, matching the paper's symbolic tables which
+// are "sets of integers". Doubles appear only in reporting/diagram layers.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace speedqm {
+
+/// Time in integer nanoseconds. A plain alias (not a wrapper class): the hot
+/// control path does tight arithmetic on arrays of these, and the codebase
+/// never mixes time with other integer quantities in the same expression.
+using TimeNs = std::int64_t;
+
+/// Sentinel for "minus infinity" interval bounds (open lower border of the
+/// qmax quality region, Proposition 2).
+inline constexpr TimeNs kTimeMinusInf = std::numeric_limits<TimeNs>::min() / 4;
+/// Sentinel for "plus infinity" (actions with no deadline of their own).
+inline constexpr TimeNs kTimePlusInf = std::numeric_limits<TimeNs>::max() / 4;
+
+inline constexpr TimeNs ns(std::int64_t v) { return v; }
+inline constexpr TimeNs us(std::int64_t v) { return v * 1'000; }
+inline constexpr TimeNs ms(std::int64_t v) { return v * 1'000'000; }
+inline constexpr TimeNs sec(std::int64_t v) { return v * 1'000'000'000; }
+
+inline constexpr double to_us(TimeNs t) { return static_cast<double>(t) / 1e3; }
+inline constexpr double to_ms(TimeNs t) { return static_cast<double>(t) / 1e6; }
+inline constexpr double to_sec(TimeNs t) { return static_cast<double>(t) / 1e9; }
+
+/// Nanoseconds from a floating-point quantity, rounding to nearest.
+inline constexpr TimeNs from_sec(double s) {
+  return static_cast<TimeNs>(s * 1e9 + (s >= 0 ? 0.5 : -0.5));
+}
+inline constexpr TimeNs from_ms(double m) {
+  return static_cast<TimeNs>(m * 1e6 + (m >= 0 ? 0.5 : -0.5));
+}
+inline constexpr TimeNs from_us(double u) {
+  return static_cast<TimeNs>(u * 1e3 + (u >= 0 ? 0.5 : -0.5));
+}
+
+/// Human-readable rendering with an auto-selected unit ("1.234 ms").
+std::string format_time(TimeNs t);
+
+}  // namespace speedqm

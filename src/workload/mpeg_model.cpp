@@ -1,0 +1,258 @@
+#include "workload/mpeg_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contract.hpp"
+#include "support/rng.hpp"
+
+namespace speedqm {
+
+namespace {
+
+double stage_base_us(const MpegConfig& c, MpegStage stage) {
+  switch (stage) {
+    case MpegStage::kFrameSetup: return c.setup_base_us;
+    case MpegStage::kMotionEstimation: return c.me_base_us;
+    case MpegStage::kTransform: return c.dct_base_us;
+    case MpegStage::kEntropy: return c.vlc_base_us;
+  }
+  return 0.0;
+}
+
+/// GOP coding pattern: I at position 0, then P (or B,B,P groups).
+FrameType gop_frame_type(const MpegConfig& c, std::size_t frame) {
+  const auto pos = static_cast<int>(frame) % c.gop_length;
+  if (pos == 0) return FrameType::kIntra;
+  if (c.use_b_frames && pos % 3 != 0) return FrameType::kBidirectional;
+  return FrameType::kPredicted;
+}
+
+/// GOP-weighted expected frame-type factor of a stage (for Cav).
+double expected_frame_type_factor(const MpegConfig& c, MpegStage stage) {
+  double sum = 0;
+  for (int p = 0; p < c.gop_length; ++p) {
+    sum += mpeg_frame_type_factor(stage, gop_frame_type(c, static_cast<std::size_t>(p)));
+  }
+  return sum / c.gop_length;
+}
+
+TimeNs round_us_to_ns(double microseconds) {
+  return static_cast<TimeNs>(std::llround(microseconds * 1e3));
+}
+
+}  // namespace
+
+double mpeg_stage_quality_factor(const MpegConfig& c, MpegStage stage, Quality q) {
+  SPEEDQM_REQUIRE(q >= 0 && q < c.num_levels, "quality out of range");
+  switch (stage) {
+    case MpegStage::kFrameSetup: return c.setup_q_offset + c.setup_q_slope * q;
+    case MpegStage::kMotionEstimation: return c.me_q_offset + c.me_q_slope * q;
+    case MpegStage::kTransform: return c.dct_q_offset + c.dct_q_slope * q;
+    case MpegStage::kEntropy: return c.vlc_q_offset + c.vlc_q_slope * q;
+  }
+  return 1.0;
+}
+
+double mpeg_frame_type_factor(MpegStage stage, FrameType type) {
+  // Frame setup is type-independent.
+  if (stage == MpegStage::kFrameSetup) return 1.0;
+  switch (type) {
+    case FrameType::kIntra:
+      // No motion search (cheap intra prediction); every block transformed
+      // and coded intra (more coefficients, more bits).
+      switch (stage) {
+        case MpegStage::kMotionEstimation: return 0.35;
+        case MpegStage::kTransform: return 1.10;
+        case MpegStage::kEntropy: return 1.25;
+        default: return 1.0;
+      }
+    case FrameType::kPredicted:
+      return 1.0;
+    case FrameType::kBidirectional:
+      // Two reference searches; residuals are small, so fewer bits.
+      switch (stage) {
+        case MpegStage::kMotionEstimation: return 1.35;
+        case MpegStage::kTransform: return 0.95;
+        case MpegStage::kEntropy: return 0.80;
+        default: return 1.0;
+      }
+  }
+  return 1.0;
+}
+
+double mpeg_max_frame_type_factor(const MpegConfig& c, MpegStage stage) {
+  double best = std::max(mpeg_frame_type_factor(stage, FrameType::kIntra),
+                         mpeg_frame_type_factor(stage, FrameType::kPredicted));
+  if (c.use_b_frames) {
+    best = std::max(best, mpeg_frame_type_factor(stage, FrameType::kBidirectional));
+  }
+  return best;
+}
+
+MpegStage MpegWorkload::stage_of(ActionIndex i) const {
+  SPEEDQM_REQUIRE(i < app_.size(), "stage_of: action out of range");
+  if (i == 0) return MpegStage::kFrameSetup;
+  switch ((i - 1) % 3) {
+    case 0: return MpegStage::kMotionEstimation;
+    case 1: return MpegStage::kTransform;
+    default: return MpegStage::kEntropy;
+  }
+}
+
+ScheduledApp MpegWorkload::build_app(const MpegConfig& c, TimeNs frame_budget) {
+  SPEEDQM_REQUIRE(frame_budget > 0, "MpegWorkload: frame budget must be positive");
+  ScheduledApp::Builder b;
+  b.action("frame_setup");
+  const int mbs = c.macroblocks();
+  const int slice_mbs =
+      c.slice_rows_per_milestone > 0 ? c.slice_rows_per_milestone * c.mb_columns : 0;
+  for (int mb = 0; mb < mbs; ++mb) {
+    const std::string suffix = "_mb" + std::to_string(mb);
+    b.action("me" + suffix);
+    b.action("dct" + suffix);
+    b.action("vlc" + suffix);
+    if (slice_mbs > 0 && (mb + 1) % slice_mbs == 0 && mb + 1 < mbs) {
+      // Slice pacing: the row group's last VLC action must complete within
+      // its proportional share of the frame budget.
+      const double fraction = static_cast<double>(1 + 3 * (mb + 1)) /
+                              static_cast<double>(c.actions_per_frame());
+      b.deadline(static_cast<TimeNs>(
+          static_cast<double>(frame_budget) * fraction + 0.5));
+    }
+  }
+  b.deadline(frame_budget);  // the frame's global deadline on the last action
+  return std::move(b).build();
+}
+
+TimingModel MpegWorkload::build_timing(const MpegConfig& c) {
+  TimingModelBuilder tb(c.num_levels);
+  const auto add_action = [&](MpegStage stage) {
+    std::vector<TimeNs> cav(static_cast<std::size_t>(c.num_levels));
+    std::vector<TimeNs> cwc(static_cast<std::size_t>(c.num_levels));
+    const double base = stage_base_us(c, stage);
+    const bool is_setup = stage == MpegStage::kFrameSetup;
+    const double e_tf = is_setup ? 1.0 : expected_frame_type_factor(c, stage);
+    const double max_tf = is_setup ? 1.0 : mpeg_max_frame_type_factor(c, stage);
+    const double max_act = is_setup ? 1.0 : c.activity_max;
+    for (Quality q = 0; q < c.num_levels; ++q) {
+      const double sf = mpeg_stage_quality_factor(c, stage, q);
+      cav[static_cast<std::size_t>(q)] = round_us_to_ns(base * sf * e_tf);
+      cwc[static_cast<std::size_t>(q)] =
+          round_us_to_ns(base * sf * max_tf * max_act * c.noise_max);
+    }
+    tb.action(cav, cwc);
+  };
+
+  add_action(MpegStage::kFrameSetup);
+  for (int mb = 0; mb < c.macroblocks(); ++mb) {
+    add_action(MpegStage::kMotionEstimation);
+    add_action(MpegStage::kTransform);
+    add_action(MpegStage::kEntropy);
+  }
+  return std::move(tb).build();
+}
+
+TraceTimeSource MpegWorkload::build_traces(const MpegConfig& c,
+                                           const TimingModel& tm,
+                                           std::vector<FrameType>& types_out,
+                                           std::vector<std::size_t>& scenes_out) {
+  SPEEDQM_REQUIRE(c.num_frames > 0, "MpegWorkload: need at least one frame");
+  const int mbs = c.macroblocks();
+  const auto n = static_cast<ActionIndex>(c.actions_per_frame());
+  const auto nq = static_cast<std::size_t>(c.num_levels);
+
+  SplitMix64 seeder(c.seed);
+  Xoshiro256 scene_rng(seeder.next());
+  Xoshiro256 noise_rng(seeder.next());
+  Xoshiro256 motion_rng(seeder.next());
+  std::uint64_t field_seed = seeder.next();
+
+  // Per-scene base activity field: AR(1) across raster order.
+  std::vector<double> base_activity(static_cast<std::size_t>(mbs));
+  const auto redraw_field = [&]() {
+    Ar1Process field(1.0, c.activity_phi, c.activity_sigma, field_seed++);
+    for (auto& a : base_activity) {
+      a = std::clamp(field.next(), c.activity_min, c.activity_max);
+    }
+  };
+  redraw_field();
+
+  types_out.clear();
+  scenes_out.clear();
+
+  std::vector<std::vector<TimeNs>> data;
+  data.reserve(static_cast<std::size_t>(c.num_frames));
+  std::size_t clamped = 0;
+  std::size_t total = 0;
+
+  for (std::size_t f = 0; f < static_cast<std::size_t>(c.num_frames); ++f) {
+    const FrameType type = gop_frame_type(c, f);
+    types_out.push_back(type);
+
+    const bool scene_change = f > 0 && scene_rng.chance(c.scene_change_prob);
+    if (scene_change) {
+      redraw_field();
+      scenes_out.push_back(f);
+    }
+    // Frame-level motion/complexity multiplier; folded into the activity
+    // factor and re-clamped so the Cwc bound (built from activity_max)
+    // still holds.
+    const double motion =
+        motion_rng.clamped_normal(1.0, 0.08, 0.80, 1.25) * (scene_change ? 1.2 : 1.0);
+
+    std::vector<TimeNs> frame(n * nq, 0);
+    ActionIndex i = 0;
+
+    const auto emit = [&](MpegStage stage, double activity) {
+      const double base = stage_base_us(c, stage);
+      const double tf = (stage == MpegStage::kFrameSetup)
+                            ? 1.0
+                            : mpeg_frame_type_factor(stage, type);
+      const double noise =
+          noise_rng.clamped_normal(1.0, c.noise_sigma, c.noise_min, c.noise_max);
+      for (Quality q = 0; q < c.num_levels; ++q) {
+        const double sf = mpeg_stage_quality_factor(c, stage, q);
+        TimeNs v = round_us_to_ns(base * sf * tf * activity * noise);
+        const TimeNs bound = tm.cwc(i, q);
+        ++total;
+        if (v > bound) {
+          v = bound;
+          ++clamped;
+        }
+        if (v < 0) v = 0;
+        frame[i * nq + static_cast<std::size_t>(q)] = v;
+      }
+      ++i;
+    };
+
+    emit(MpegStage::kFrameSetup, 1.0);
+    for (int mb = 0; mb < mbs; ++mb) {
+      const double activity = std::clamp(
+          base_activity[static_cast<std::size_t>(mb)] * motion,
+          c.activity_min, c.activity_max);
+      emit(MpegStage::kMotionEstimation, activity);
+      emit(MpegStage::kTransform, activity);
+      emit(MpegStage::kEntropy, activity);
+    }
+    SPEEDQM_ASSERT(i == n, "MpegWorkload: schedule length mismatch");
+    data.push_back(std::move(frame));
+  }
+
+  TraceTimeSource source(n, c.num_levels, std::move(data));
+  source.set_clamp_fraction(total ? static_cast<double>(clamped) /
+                                        static_cast<double>(total)
+                                  : 0.0);
+  return source;
+}
+
+MpegWorkload::MpegWorkload(const MpegConfig& config, TimeNs frame_budget)
+    : config_(config),
+      app_(build_app(config, frame_budget)),
+      timing_(build_timing(config)),
+      traces_(build_traces(config, timing_, frame_types_, scene_changes_)) {
+  SPEEDQM_ASSERT(app_.size() == timing_.num_actions(),
+                 "MpegWorkload: app/timing size mismatch");
+}
+
+}  // namespace speedqm

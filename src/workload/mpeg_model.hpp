@@ -1,0 +1,143 @@
+// Synthetic MPEG encoder workload — the paper's evaluation application.
+//
+// The paper schedules a 7,000-line C MPEG encoder into 1,189 actions with
+// 7 quality levels and runs it on 29 frames of 352x288 video (396
+// macroblocks per frame). We rebuild the *timing structure* of that
+// encoder:
+//
+//   schedule per frame:  1 frame-setup action, then per macroblock (raster
+//                        order) three pipeline actions:
+//                          ME  — motion estimation / intra prediction
+//                          DCT — transform + quantization
+//                          VLC — entropy coding + reconstruction
+//                        => 1 + 3 * 396 = 1,189 actions at the paper's size.
+//
+//   quality levels:      q scales the ME search range (strong effect), the
+//                        quantizer fineness (weak effect on DCT, moderate
+//                        on VLC bit production).
+//
+//   content model:       per-macroblock spatial activity follows an AR(1)
+//                        field in raster order (neighbouring macroblocks
+//                        have similar cost — the locality that makes
+//                        control relaxation effective); frames follow a GOP
+//                        pattern (I/P and optional B) with different stage
+//                        cost profiles; scene changes redraw the activity
+//                        field and spike motion cost.
+//
+// Execution times increase with quality for fixed content (Definition 1),
+// and Cwc bounds every generated time by construction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/application.hpp"
+#include "core/timing_model.hpp"
+#include "workload/trace_source.hpp"
+
+namespace speedqm {
+
+/// Pipeline stage of a macroblock action.
+enum class MpegStage { kFrameSetup, kMotionEstimation, kTransform, kEntropy };
+
+/// Frame coding type.
+enum class FrameType { kIntra, kPredicted, kBidirectional };
+
+struct MpegConfig {
+  // --- Geometry (defaults = the paper: 352x288, 396 macroblocks). ---
+  int mb_columns = 22;
+  int mb_rows = 18;
+  int num_frames = 29;
+  int num_levels = 7;
+
+  // --- GOP structure. ---
+  int gop_length = 12;        ///< one I frame every gop_length frames
+  bool use_b_frames = false;  ///< insert B,B between P frames when true
+
+  /// When > 0, a hard milestone deadline is placed after every this-many
+  /// macroblock rows (slice pacing: a row group must be encoded by its
+  /// proportional share of the frame budget). 0 = single final deadline,
+  /// the paper's configuration.
+  int slice_rows_per_milestone = 0;
+
+  // --- Content dynamics. ---
+  double activity_phi = 0.90;      ///< AR(1) correlation across macroblocks
+  double activity_sigma = 0.13;    ///< AR(1) innovation stddev
+  double activity_min = 0.50;      ///< clamp of the activity factor
+  double activity_max = 1.30;
+  double scene_change_prob = 0.05; ///< per-frame probability (never frame 0)
+  double noise_sigma = 0.04;       ///< per-action multiplicative noise stddev
+  double noise_min = 0.85;
+  double noise_max = 1.10;
+
+  // --- Stage base costs (microseconds, at quality factor 1, activity 1). ---
+  double me_base_us = 1100.0;
+  double dct_base_us = 630.0;
+  double vlc_base_us = 470.0;
+  double setup_base_us = 2700.0;
+
+  // --- Quality scaling: factor(q) = offset + slope * q. ---
+  double me_q_offset = 0.55, me_q_slope = 0.15;    ///< search range effect
+  double dct_q_offset = 0.80, dct_q_slope = 0.05;  ///< quantizer effect
+  double vlc_q_offset = 0.55, vlc_q_slope = 0.12;  ///< bit-production effect
+  double setup_q_offset = 1.00, setup_q_slope = 0.02;
+
+  std::uint64_t seed = 20070326;
+
+  int macroblocks() const { return mb_columns * mb_rows; }
+  int actions_per_frame() const { return 1 + 3 * macroblocks(); }
+};
+
+/// The generated workload bundle.
+class MpegWorkload {
+ public:
+  /// Builds schedule, analytic timing model and per-frame actual-time
+  /// traces. `frame_budget` is the deadline placed on the last action of
+  /// the frame schedule (cycle-relative).
+  MpegWorkload(const MpegConfig& config, TimeNs frame_budget);
+
+  const MpegConfig& config() const { return config_; }
+  const ScheduledApp& app() const { return app_; }
+  const TimingModel& timing() const { return timing_; }
+  TraceTimeSource& traces() { return traces_; }
+  const TraceTimeSource& traces() const { return traces_; }
+
+  /// Stage of scheduled action i.
+  MpegStage stage_of(ActionIndex i) const;
+  /// Coding type of frame f in the generated sequence.
+  FrameType frame_type(std::size_t f) const { return frame_types_.at(f); }
+  /// Frames at which a scene change was generated.
+  const std::vector<std::size_t>& scene_changes() const { return scene_changes_; }
+
+ private:
+  MpegConfig config_;
+  ScheduledApp app_;
+  TimingModel timing_;
+  // Declared before traces_: build_traces fills them by reference while
+  // constructing the trace tables.
+  std::vector<FrameType> frame_types_;
+  std::vector<std::size_t> scene_changes_;
+  TraceTimeSource traces_;
+
+  // Deferred-init helpers used by the constructor (member-init order:
+  // app_, timing_, frame_types_/scene_changes_, then traces_).
+  static ScheduledApp build_app(const MpegConfig& c, TimeNs frame_budget);
+  static TimingModel build_timing(const MpegConfig& c);
+  static TraceTimeSource build_traces(const MpegConfig& c, const TimingModel& tm,
+                                      std::vector<FrameType>& types_out,
+                                      std::vector<std::size_t>& scenes_out);
+};
+
+/// Stage cost factor for quality q (> 0, non-decreasing in q).
+double mpeg_stage_quality_factor(const MpegConfig& c, MpegStage stage, Quality q);
+
+/// Frame-type cost factor of a stage (I frames: cheap ME, heavier DCT/VLC;
+/// B frames: two-reference ME, lighter VLC).
+double mpeg_frame_type_factor(MpegStage stage, FrameType type);
+
+/// Largest frame-type factor reachable for a stage under this config
+/// (bounds Cwc; excludes B factors when B frames are disabled).
+double mpeg_max_frame_type_factor(const MpegConfig& c, MpegStage stage);
+
+}  // namespace speedqm

@@ -1,0 +1,58 @@
+#include "workload/profiler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contract.hpp"
+
+namespace speedqm {
+
+TimingModel profile_timing(const TraceTimeSource& traces,
+                           const ProfilerOptions& opts) {
+  SPEEDQM_REQUIRE(opts.cycles > 0, "profile_timing: need at least one cycle");
+  SPEEDQM_REQUIRE(opts.first_cycle + opts.cycles <= traces.num_cycles(),
+                  "profile_timing: training range exceeds available cycles");
+  SPEEDQM_REQUIRE(opts.safety_factor >= 1.0,
+                  "profile_timing: safety_factor must be >= 1");
+
+  const ActionIndex n = traces.num_actions();
+  const int nq = traces.num_levels();
+  const auto nq_s = static_cast<std::size_t>(nq);
+
+  std::vector<TimeNs> cav(n * nq_s, 0);
+  std::vector<TimeNs> cwc(n * nq_s, 0);
+
+  for (ActionIndex i = 0; i < n; ++i) {
+    for (Quality q = 0; q < nq; ++q) {
+      double sum = 0;
+      TimeNs peak = 0;
+      for (std::size_t c = 0; c < opts.cycles; ++c) {
+        const TimeNs v = traces.at(opts.first_cycle + c, i, q);
+        sum += static_cast<double>(v);
+        peak = std::max(peak, v);
+      }
+      const std::size_t k = i * nq_s + static_cast<std::size_t>(q);
+      cav[k] = static_cast<TimeNs>(
+          std::llround(sum / static_cast<double>(opts.cycles)));
+      cwc[k] = static_cast<TimeNs>(
+          std::llround(static_cast<double>(peak) * opts.safety_factor));
+    }
+  }
+
+  // Enforce the Definition 1 shape: non-decreasing in q and Cav <= Cwc
+  // (profiling noise can create tiny inversions at adjacent levels).
+  for (ActionIndex i = 0; i < n; ++i) {
+    for (Quality q = 1; q < nq; ++q) {
+      const std::size_t k = i * nq_s + static_cast<std::size_t>(q);
+      cav[k] = std::max(cav[k], cav[k - 1]);
+      cwc[k] = std::max(cwc[k], cwc[k - 1]);
+    }
+    for (Quality q = 0; q < nq; ++q) {
+      const std::size_t k = i * nq_s + static_cast<std::size_t>(q);
+      cwc[k] = std::max(cwc[k], cav[k]);
+    }
+  }
+  return TimingModel(n, nq, std::move(cav), std::move(cwc));
+}
+
+}  // namespace speedqm

@@ -1,0 +1,33 @@
+// Simulated profiling: estimating Cav and Cwc from training runs.
+//
+// The paper obtains its timing functions "by profiling" on the target
+// (section 4.1). This component mirrors that methodology: it observes a
+// trace source over a set of training cycles and produces a TimingModel
+// with Cav = per-action mean and Cwc = per-action observed maximum times a
+// safety factor. Because profiled bounds are estimates, the resulting
+// model may be violated by unseen content — tests use this to exercise the
+// controller both inside and outside the C <= Cwc contract.
+#pragma once
+
+#include <cstddef>
+
+#include "core/timing_model.hpp"
+#include "workload/trace_source.hpp"
+
+namespace speedqm {
+
+struct ProfilerOptions {
+  /// Training cycles: [first_cycle, first_cycle + cycles).
+  std::size_t first_cycle = 0;
+  std::size_t cycles = 4;
+  /// Cwc = observed max * safety_factor (>= 1).
+  double safety_factor = 1.25;
+};
+
+/// Builds a TimingModel from observed traces. Monotonicity in quality is
+/// enforced by a running-maximum pass (profiling noise can otherwise
+/// produce tiny inversions).
+TimingModel profile_timing(const TraceTimeSource& traces,
+                           const ProfilerOptions& opts);
+
+}  // namespace speedqm

@@ -1,0 +1,52 @@
+#include "workload/scenarios.hpp"
+
+#include "support/contract.hpp"
+
+namespace speedqm {
+
+const char* to_string(ManagerFlavor flavor) {
+  switch (flavor) {
+    case ManagerFlavor::kNumeric: return "numeric";
+    case ManagerFlavor::kRegions: return "regions";
+    case ManagerFlavor::kRelaxation: return "relaxation";
+  }
+  return "?";
+}
+
+TimingModel PaperScenario::controller_model(ManagerFlavor flavor) const {
+  const TimingModel& tm = workload->timing();
+  switch (flavor) {
+    case ManagerFlavor::kNumeric: {
+      const NumericCallEstimate est(tm.num_actions());
+      return inflate_for_overhead(tm, overhead, est);
+    }
+    case ManagerFlavor::kRegions: {
+      const RegionCallEstimate est(tm.num_levels());
+      return inflate_for_overhead(tm, overhead, est);
+    }
+    case ManagerFlavor::kRelaxation: {
+      const RelaxationCallEstimate est(tm.num_levels(), rho.size());
+      return inflate_for_overhead(tm, overhead, est);
+    }
+  }
+  SPEEDQM_ASSERT(false, "unreachable manager flavor");
+}
+
+PaperScenario make_paper_scenario(std::uint64_t seed) {
+  PaperScenario s;
+  s.config = MpegConfig{};
+  s.config.seed = seed;
+  s.total_deadline = sec(30);
+  s.frame_period = s.total_deadline / s.config.num_frames;
+  s.rho = {1, 10, 20, 30, 40, 50};
+  s.overhead = OverheadModel::ipod_like();
+  s.workload = std::make_unique<MpegWorkload>(s.config, s.frame_period);
+
+  SPEEDQM_ASSERT(s.workload->app().size() == kPaperActions,
+                 "paper scenario: action count drifted from 1189");
+  SPEEDQM_ASSERT(s.workload->timing().num_levels() == kPaperLevels,
+                 "paper scenario: quality level count drifted from 7");
+  return s;
+}
+
+}  // namespace speedqm

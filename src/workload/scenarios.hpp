@@ -1,0 +1,54 @@
+// Canned experiment scenarios, most importantly the paper's exact
+// evaluation configuration (section 4.1): MPEG encoder, 1,189 actions,
+// 7 quality levels, 29 frames of 396 macroblocks, a single global deadline
+// D = 30 s, rho = {1, 10, 20, 30, 40, 50}, on an iPod-like platform.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/overhead_inflation.hpp"
+#include "sim/overhead_model.hpp"
+#include "workload/mpeg_model.hpp"
+
+namespace speedqm {
+
+/// Which Quality Manager implementation a controller model targets.
+enum class ManagerFlavor { kNumeric, kRegions, kRelaxation };
+
+const char* to_string(ManagerFlavor flavor);
+
+/// The paper's evaluation setup, bundled.
+struct PaperScenario {
+  MpegConfig config;
+  TimeNs total_deadline = 0;   ///< the paper's D = 30 s
+  TimeNs frame_period = 0;     ///< D / num_frames (milestone spacing)
+  std::vector<int> rho;        ///< relaxation step set
+  OverheadModel overhead;      ///< iPod-like calibration
+  std::unique_ptr<MpegWorkload> workload;
+
+  const ScheduledApp& app() const { return workload->app(); }
+  const TimingModel& timing() const { return workload->timing(); }
+  TraceTimeSource& traces() { return workload->traces(); }
+
+  /// The timing model a deployed controller of the given flavor should
+  /// decide with: the workload's model inflated by that manager's own
+  /// estimated call cost on this platform (the paper's §2.2.2 remark about
+  /// overestimating execution times to cover quality-management overhead).
+  TimingModel controller_model(ManagerFlavor flavor) const;
+};
+
+/// Builds the scenario. `seed` varies content; the default reproduces the
+/// repository's reference outputs.
+PaperScenario make_paper_scenario(std::uint64_t seed = 20070326);
+
+/// Paper constants, exposed for tests/benches.
+inline constexpr int kPaperActions = 1189;
+inline constexpr int kPaperLevels = 7;
+inline constexpr int kPaperFrames = 29;
+inline constexpr int kPaperMacroblocks = 396;
+inline constexpr int kPaperRegionIntegers = 8323;        // |A| * |Q|
+inline constexpr int kPaperRelaxationIntegers = 99876;   // 2 |A| |Q| |rho|
+
+}  // namespace speedqm

@@ -1,0 +1,129 @@
+#include "workload/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contract.hpp"
+#include "support/rng.hpp"
+
+namespace speedqm {
+
+namespace {
+
+double curve_fraction(QualityCurve curve, double x) {
+  switch (curve) {
+    case QualityCurve::kLinear: return x;
+    case QualityCurve::kConcave: return std::sqrt(x);
+    case QualityCurve::kConvex: return x * x;
+  }
+  return x;
+}
+
+}  // namespace
+
+TimingModel SyntheticWorkload::build_timing(const SyntheticSpec& spec) {
+  SPEEDQM_REQUIRE(spec.num_actions > 0, "SyntheticSpec: num_actions must be > 0");
+  SPEEDQM_REQUIRE(spec.num_levels > 0, "SyntheticSpec: num_levels must be > 0");
+  SPEEDQM_REQUIRE(spec.quality_span >= 1.0, "SyntheticSpec: quality_span >= 1");
+  SPEEDQM_REQUIRE(spec.wc_factor >= spec.load_max,
+                  "SyntheticSpec: wc_factor must cover load_max");
+  SPEEDQM_REQUIRE(spec.base_min_ns > 0 && spec.base_max_ns >= spec.base_min_ns,
+                  "SyntheticSpec: bad base range");
+
+  SplitMix64 seeder(spec.seed);
+  Xoshiro256 base_rng(seeder.next());
+
+  TimingModelBuilder tb(spec.num_levels);
+  for (ActionIndex i = 0; i < spec.num_actions; ++i) {
+    const double base = static_cast<double>(
+        base_rng.uniform_int(spec.base_min_ns, spec.base_max_ns));
+    std::vector<TimeNs> cav(static_cast<std::size_t>(spec.num_levels));
+    std::vector<TimeNs> cwc(static_cast<std::size_t>(spec.num_levels));
+    for (Quality q = 0; q < spec.num_levels; ++q) {
+      const double x = spec.num_levels == 1
+                           ? 0.0
+                           : static_cast<double>(q) / (spec.num_levels - 1);
+      const double factor =
+          1.0 + (spec.quality_span - 1.0) * curve_fraction(spec.curve, x);
+      const double c = base * factor;
+      cav[static_cast<std::size_t>(q)] = static_cast<TimeNs>(std::llround(c));
+      cwc[static_cast<std::size_t>(q)] =
+          static_cast<TimeNs>(std::llround(c * spec.wc_factor));
+    }
+    tb.action(cav, cwc);
+  }
+  return std::move(tb).build();
+}
+
+ScheduledApp SyntheticWorkload::build_app(const SyntheticSpec& spec,
+                                          const TimingModel& tm,
+                                          TimeNs& budget_out) {
+  SPEEDQM_REQUIRE(tm.valid_quality(spec.budget_quality),
+                  "SyntheticSpec: budget_quality out of range");
+  SPEEDQM_REQUIRE(spec.budget_factor > 0, "SyntheticSpec: budget_factor > 0");
+  const double total =
+      static_cast<double>(tm.total_cav(spec.budget_quality)) * spec.budget_factor;
+  budget_out = static_cast<TimeNs>(std::llround(total));
+
+  std::vector<std::string> names;
+  std::vector<TimeNs> deadlines(spec.num_actions, kTimePlusInf);
+  names.reserve(spec.num_actions);
+  for (ActionIndex i = 0; i < spec.num_actions; ++i) {
+    names.push_back("a" + std::to_string(i));
+    if (spec.milestone_every > 0 && (i + 1) % spec.milestone_every == 0 &&
+        i + 1 < spec.num_actions) {
+      // Proportional milestone: the budget's fraction at this point.
+      deadlines[i] = static_cast<TimeNs>(std::llround(
+          total * static_cast<double>(i + 1) / static_cast<double>(spec.num_actions)));
+    }
+  }
+  deadlines.back() = budget_out;
+  return ScheduledApp(std::move(names), std::move(deadlines));
+}
+
+TraceTimeSource SyntheticWorkload::build_traces(const SyntheticSpec& spec,
+                                                const TimingModel& tm) {
+  SPEEDQM_REQUIRE(spec.num_cycles > 0, "SyntheticSpec: num_cycles must be > 0");
+  SPEEDQM_REQUIRE(spec.load_min >= 0 && spec.load_min <= spec.load_max,
+                  "SyntheticSpec: bad load range");
+
+  SplitMix64 seeder(spec.seed + 0x9E3779B9ULL);
+  const auto nq = static_cast<std::size_t>(spec.num_levels);
+
+  std::vector<std::vector<TimeNs>> data;
+  data.reserve(spec.num_cycles);
+  std::size_t clamped = 0, total = 0;
+
+  for (std::size_t c = 0; c < spec.num_cycles; ++c) {
+    Ar1Process load(1.0, spec.load_phi, spec.load_sigma, seeder.next());
+    std::vector<TimeNs> cycle(spec.num_actions * nq);
+    for (ActionIndex i = 0; i < spec.num_actions; ++i) {
+      const double l = std::clamp(load.next(), spec.load_min, spec.load_max);
+      for (Quality q = 0; q < spec.num_levels; ++q) {
+        TimeNs v = static_cast<TimeNs>(
+            std::llround(static_cast<double>(tm.cav(i, q)) * l));
+        ++total;
+        if (v > tm.cwc(i, q)) {
+          v = tm.cwc(i, q);
+          ++clamped;
+        }
+        if (v < 0) v = 0;
+        cycle[i * nq + static_cast<std::size_t>(q)] = v;
+      }
+    }
+    data.push_back(std::move(cycle));
+  }
+
+  TraceTimeSource source(spec.num_actions, spec.num_levels, std::move(data));
+  source.set_clamp_fraction(
+      total ? static_cast<double>(clamped) / static_cast<double>(total) : 0.0);
+  return source;
+}
+
+SyntheticWorkload::SyntheticWorkload(const SyntheticSpec& spec)
+    : spec_(spec),
+      timing_(build_timing(spec)),
+      app_(build_app(spec, timing_, budget_)),
+      traces_(build_traces(spec, timing_)) {}
+
+}  // namespace speedqm

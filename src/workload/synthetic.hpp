@@ -1,0 +1,84 @@
+// Generic synthetic workload generator.
+//
+// Produces (application, timing model, actual-time traces) triples from a
+// declarative spec — the workhorse for unit tests, property sweeps and
+// the non-MPEG examples. Guarantees the Definition 1 contract by
+// construction: execution times are non-decreasing in quality and bounded
+// by Cwc.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/application.hpp"
+#include "core/timing_model.hpp"
+#include "workload/trace_source.hpp"
+
+namespace speedqm {
+
+/// How Cav grows from qmin to qmax.
+enum class QualityCurve {
+  kLinear,   ///< evenly spaced levels
+  kConcave,  ///< early levels cheap, later levels expensive (sqrt-like)
+  kConvex,   ///< early levels expensive, later levels cheap increments
+};
+
+struct SyntheticSpec {
+  ActionIndex num_actions = 100;
+  int num_levels = 7;
+  std::size_t num_cycles = 8;
+
+  /// Per-action base Cav at qmin, drawn uniformly from [base_min, base_max].
+  TimeNs base_min_ns = us(200);
+  TimeNs base_max_ns = us(900);
+  /// Cav(qmax) / Cav(qmin) ratio per action (same for all actions).
+  double quality_span = 2.5;
+  QualityCurve curve = QualityCurve::kLinear;
+  /// Cwc(i, q) = Cav(i, q) * wc_factor.
+  double wc_factor = 1.8;
+
+  /// Actual time = Cav * load where load follows an AR(1) across actions
+  /// with the given correlation, clamped to [load_min, load_max]; the
+  /// clamp and wc_factor are chosen so actual <= Cwc always.
+  double load_phi = 0.85;
+  double load_sigma = 0.12;
+  double load_min = 0.45;
+  double load_max = 1.60;  ///< must be <= wc_factor
+
+  /// Deadline placement: one final deadline equal to the sequence's total
+  /// Cav at `budget_quality` scaled by `budget_factor`; additionally a
+  /// milestone deadline every `milestone_every` actions when > 0.
+  Quality budget_quality = 4;
+  double budget_factor = 1.05;
+  ActionIndex milestone_every = 0;
+
+  std::uint64_t seed = 42;
+};
+
+/// Generated bundle.
+class SyntheticWorkload {
+ public:
+  explicit SyntheticWorkload(const SyntheticSpec& spec);
+
+  const SyntheticSpec& spec() const { return spec_; }
+  const ScheduledApp& app() const { return app_; }
+  const TimingModel& timing() const { return timing_; }
+  TraceTimeSource& traces() { return traces_; }
+  const TraceTimeSource& traces() const { return traces_; }
+  TimeNs budget() const { return budget_; }
+
+ private:
+  static TimingModel build_timing(const SyntheticSpec& spec);
+  static ScheduledApp build_app(const SyntheticSpec& spec, const TimingModel& tm,
+                                TimeNs& budget_out);
+  static TraceTimeSource build_traces(const SyntheticSpec& spec,
+                                      const TimingModel& tm);
+
+  SyntheticSpec spec_;
+  TimingModel timing_;
+  TimeNs budget_ = 0;
+  ScheduledApp app_;
+  TraceTimeSource traces_;
+};
+
+}  // namespace speedqm

@@ -1,0 +1,96 @@
+#include "workload/trace_io.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "support/contract.hpp"
+
+namespace speedqm {
+
+namespace {
+
+constexpr std::uint32_t kTraceMagic = 0x53514D54;  // "SQMT"
+constexpr std::uint32_t kVersion = 1;
+
+void write_u32(std::ostream& out, std::uint32_t v) {
+  unsigned char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFF);
+  out.write(reinterpret_cast<const char*>(b), 4);
+}
+
+std::uint32_t read_u32(std::istream& in) {
+  unsigned char b[4];
+  in.read(reinterpret_cast<char*>(b), 4);
+  if (!in) throw std::runtime_error("trace_io: truncated stream");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+  return v;
+}
+
+void write_i64(std::ostream& out, std::int64_t v) {
+  const auto u = static_cast<std::uint64_t>(v);
+  unsigned char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>((u >> (8 * i)) & 0xFF);
+  out.write(reinterpret_cast<const char*>(b), 8);
+}
+
+std::int64_t read_i64(std::istream& in) {
+  unsigned char b[8];
+  in.read(reinterpret_cast<char*>(b), 8);
+  if (!in) throw std::runtime_error("trace_io: truncated stream");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+  return static_cast<std::int64_t>(v);
+}
+
+}  // namespace
+
+void save_traces(const TraceTimeSource& traces, std::ostream& out) {
+  write_u32(out, kTraceMagic);
+  write_u32(out, kVersion);
+  write_u32(out, static_cast<std::uint32_t>(traces.num_actions()));
+  write_u32(out, static_cast<std::uint32_t>(traces.num_levels()));
+  write_u32(out, static_cast<std::uint32_t>(traces.num_cycles()));
+  for (std::size_t c = 0; c < traces.num_cycles(); ++c) {
+    for (ActionIndex i = 0; i < traces.num_actions(); ++i) {
+      for (Quality q = 0; q < traces.num_levels(); ++q) {
+        write_i64(out, traces.at(c, i, q));
+      }
+    }
+  }
+  if (!out) throw std::runtime_error("trace_io: write failed");
+}
+
+TraceTimeSource load_traces(std::istream& in) {
+  if (read_u32(in) != kTraceMagic)
+    throw std::runtime_error("trace_io: bad magic");
+  if (read_u32(in) != kVersion)
+    throw std::runtime_error("trace_io: unsupported version");
+  const auto n = static_cast<ActionIndex>(read_u32(in));
+  const auto nq = static_cast<int>(read_u32(in));
+  const auto cycles = static_cast<std::size_t>(read_u32(in));
+  SPEEDQM_REQUIRE(n > 0 && nq > 0 && cycles > 0, "trace_io: corrupt header");
+
+  std::vector<std::vector<TimeNs>> data;
+  data.reserve(cycles);
+  for (std::size_t c = 0; c < cycles; ++c) {
+    std::vector<TimeNs> cycle(n * static_cast<std::size_t>(nq));
+    for (auto& v : cycle) v = read_i64(in);
+    data.push_back(std::move(cycle));
+  }
+  return TraceTimeSource(n, nq, std::move(data));
+}
+
+void save_traces_file(const TraceTimeSource& traces, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("trace_io: cannot open " + path);
+  save_traces(traces, out);
+}
+
+TraceTimeSource load_traces_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("trace_io: cannot open " + path);
+  return load_traces(in);
+}
+
+}  // namespace speedqm

@@ -1,0 +1,23 @@
+// Persistence for actual-execution-time traces.
+//
+// Workload traces are the repository's stand-in for the paper's captured
+// encoder content; serializing them lets experiments pin down content
+// exactly (regenerate once, replay everywhere) and lets external tools
+// inject their own measured traces into the simulator.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/trace_source.hpp"
+
+namespace speedqm {
+
+/// Binary format (little-endian): magic, version, num_actions, num_levels,
+/// num_cycles, then cycle-major i64 tables.
+void save_traces(const TraceTimeSource& traces, std::ostream& out);
+TraceTimeSource load_traces(std::istream& in);
+void save_traces_file(const TraceTimeSource& traces, const std::string& path);
+TraceTimeSource load_traces_file(const std::string& path);
+
+}  // namespace speedqm

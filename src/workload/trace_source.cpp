@@ -1,0 +1,50 @@
+#include "workload/trace_source.hpp"
+
+#include "support/contract.hpp"
+
+namespace speedqm {
+
+TraceTimeSource::TraceTimeSource(ActionIndex num_actions, int num_levels,
+                                 std::vector<std::vector<TimeNs>> data)
+    : n_(num_actions), nq_(num_levels), data_(std::move(data)) {
+  SPEEDQM_REQUIRE(n_ > 0 && nq_ > 0, "TraceTimeSource: empty dimensions");
+  SPEEDQM_REQUIRE(!data_.empty(), "TraceTimeSource: no cycles");
+  const std::size_t expected = n_ * static_cast<std::size_t>(nq_);
+  for (const auto& cycle : data_) {
+    SPEEDQM_REQUIRE(cycle.size() == expected, "TraceTimeSource: cycle size mismatch");
+  }
+}
+
+void TraceTimeSource::set_cycle(std::size_t cycle) {
+  SPEEDQM_REQUIRE(cycle < data_.size(), "TraceTimeSource: cycle out of range");
+  current_cycle_ = cycle;
+}
+
+TimeNs TraceTimeSource::actual_time(ActionIndex i, Quality q) {
+  return at(current_cycle_, i, q);
+}
+
+TimeNs TraceTimeSource::at(std::size_t cycle, ActionIndex i, Quality q) const {
+  SPEEDQM_REQUIRE(cycle < data_.size(), "TraceTimeSource: cycle out of range");
+  SPEEDQM_REQUIRE(i < n_, "TraceTimeSource: action out of range");
+  SPEEDQM_REQUIRE(q >= 0 && q < nq_, "TraceTimeSource: quality out of range");
+  return data_[cycle][i * static_cast<std::size_t>(nq_) + static_cast<std::size_t>(q)];
+}
+
+std::size_t TraceTimeSource::count_contract_violations(const TimingModel& tm) const {
+  SPEEDQM_REQUIRE(tm.num_actions() == n_ && tm.num_levels() == nq_,
+                  "count_contract_violations: model shape mismatch");
+  std::size_t violations = 0;
+  for (std::size_t c = 0; c < data_.size(); ++c) {
+    for (ActionIndex i = 0; i < n_; ++i) {
+      for (Quality q = 0; q < nq_; ++q) {
+        const TimeNs v = at(c, i, q);
+        if (v < 0 || v > tm.cwc(i, q)) ++violations;
+        if (q > 0 && v < at(c, i, q - 1)) ++violations;
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace speedqm

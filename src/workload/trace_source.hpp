@@ -1,0 +1,56 @@
+// Actual-execution-time traces.
+//
+// The controller never knows C(a, q) in advance; the workload layer
+// synthesizes it. A TraceTimeSource stores, for every cycle (frame), a
+// dense [action][quality] table of actual times: the content of an action
+// instance (complexity, noise) is sampled once per (cycle, action) so the
+// time is consistent across quality levels — choosing a different quality
+// replays the *same* content at a different fidelity, exactly like a real
+// encoder. This also keeps runs deterministic regardless of the manager's
+// choices (the RNG stream does not depend on decisions).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/timing_model.hpp"
+#include "sim/executor.hpp"
+
+namespace speedqm {
+
+class TraceTimeSource final : public CyclicTimeSource {
+ public:
+  /// `data` holds num_cycles tables, each row-major [action][quality] of
+  /// size num_actions * num_levels.
+  TraceTimeSource(ActionIndex num_actions, int num_levels,
+                  std::vector<std::vector<TimeNs>> data);
+
+  void set_cycle(std::size_t cycle) override;
+  std::size_t num_cycles() const override { return data_.size(); }
+  TimeNs actual_time(ActionIndex i, Quality q) override;
+
+  /// Direct (cycle, action, quality) access for analysis and tests.
+  TimeNs at(std::size_t cycle, ActionIndex i, Quality q) const;
+
+  ActionIndex num_actions() const { return n_; }
+  int num_levels() const { return nq_; }
+
+  /// Fraction of entries that had to be clamped to Cwc during generation
+  /// (set by generators; diagnostic only).
+  double clamp_fraction() const { return clamp_fraction_; }
+  void set_clamp_fraction(double f) { clamp_fraction_ = f; }
+
+  /// Verifies every entry satisfies 0 <= C(i, q) <= Cwc(i, q) and is
+  /// non-decreasing in q. Returns the number of violations (0 = the
+  /// Definition 1 contract holds for this trace).
+  std::size_t count_contract_violations(const TimingModel& tm) const;
+
+ private:
+  ActionIndex n_;
+  int nq_;
+  std::vector<std::vector<TimeNs>> data_;
+  std::size_t current_cycle_ = 0;
+  double clamp_fraction_ = 0.0;
+};
+
+}  // namespace speedqm

@@ -1,0 +1,253 @@
+// Tests for the pure controlled composition PS‖Γ (core/controller):
+// the safety theorem under adversarial in-bounds times, manager
+// equivalences, relaxation honouring, and baseline behaviour.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/baseline_managers.hpp"
+#include "core/controller.hpp"
+#include "core/smoothness.hpp"
+#include "core/numeric_manager.hpp"
+#include "core/region_compiler.hpp"
+#include "core/region_manager.hpp"
+#include "core/relaxation_manager.hpp"
+#include "support/rng.hpp"
+#include "workload/synthetic.hpp"
+
+namespace speedqm {
+namespace {
+
+SyntheticWorkload make_workload(std::uint64_t seed, ActionIndex n = 60,
+                                ActionIndex milestones = 0,
+                                double budget_factor = 1.05) {
+  SyntheticSpec spec;
+  spec.seed = seed;
+  spec.num_actions = n;
+  spec.num_levels = 7;
+  spec.budget_quality = 4;
+  spec.budget_factor = budget_factor;
+  spec.milestone_every = milestones;
+  spec.num_cycles = 3;
+  return SyntheticWorkload(spec);
+}
+
+/// Adversarial source: random times in [0, Cwc], occasionally exactly Cwc
+/// or exactly 0 — stays inside the Definition 1 contract.
+class AdversarialSource final : public ActualTimeSource {
+ public:
+  AdversarialSource(const TimingModel& tm, std::uint64_t seed)
+      : tm_(&tm), rng_(seed) {}
+
+  TimeNs actual_time(ActionIndex i, Quality q) override {
+    const TimeNs bound = tm_->cwc(i, q);
+    const double u = rng_.uniform01();
+    if (u < 0.1) return bound;
+    if (u < 0.2) return 0;
+    return rng_.uniform_int(0, bound);
+  }
+
+ private:
+  const TimingModel* tm_;
+  Xoshiro256 rng_;
+};
+
+TEST(ControllerTest, MixedPolicyIsSafeUnderAdversarialTimes) {
+  // Safety (Definition 3): no deadline miss for ANY C <= Cwc — exercised
+  // with random adversarial sources over several workloads.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto w = make_workload(seed, 60, seed % 2 ? 12 : 0, 1.1);
+    const PolicyEngine e(w.app(), w.timing());
+    if (e.td_online(0, kQmin) < 0) continue;  // initially infeasible config
+    NumericManager manager(e);
+    for (std::uint64_t s2 = 0; s2 < 4; ++s2) {
+      AdversarialSource source(w.timing(), seed * 100 + s2);
+      const auto run = run_cycle(w.app(), manager, source);
+      ASSERT_EQ(run.deadline_misses, 0u) << "seed=" << seed << " src=" << s2;
+      ASSERT_EQ(run.infeasible_decisions, 0u);
+    }
+  }
+}
+
+TEST(ControllerTest, MixedPolicySafeEvenAtFullWorstCase) {
+  const auto w = make_workload(3, 80, 0, 1.1);
+  const PolicyEngine e(w.app(), w.timing());
+  ASSERT_GE(e.td_online(0, kQmin), 0) << "workload must start feasible";
+  NumericManager manager(e);
+  WorstCaseSource source(w.timing());
+  const auto run = run_cycle(w.app(), manager, source);
+  EXPECT_EQ(run.deadline_misses, 0u);
+  EXPECT_EQ(run.infeasible_decisions, 0u);
+  // Under sustained worst case the controller is pinned at low quality.
+  EXPECT_LE(run.mean_quality(), 1.5);
+}
+
+TEST(ControllerTest, AveragePolicyCanMissDeadlines) {
+  // The optimistic baseline ignores worst cases; sustained worst-case
+  // content must overrun (this is why the mixed policy exists).
+  const auto w = make_workload(4, 80, 0, 1.05);
+  const PolicyEngine avg(w.app(), w.timing(), PolicyKind::kAverage);
+  NumericManager manager(avg);
+  WorstCaseSource source(w.timing());
+  const auto run = run_cycle(w.app(), manager, source);
+  EXPECT_GT(run.deadline_misses, 0u);
+}
+
+TEST(ControllerTest, SafePolicyDecaysWhereMixedStaysSmooth) {
+  // Section 2.2.2: the safe policy books the whole remaining tail at qmin
+  // worst case, which makes it permissive early and starved late — quality
+  // starts high and decays along the cycle. The mixed policy's δmax margin
+  // plans for *uniform* quality instead. Compare the first versus last
+  // third of the cycle under a budget that binds.
+  const auto w = make_workload(5, 90, 0, 1.0);
+  const PolicyEngine mixed(w.app(), w.timing(), PolicyKind::kMixed);
+  const PolicyEngine safe(w.app(), w.timing(), PolicyKind::kSafe);
+  ASSERT_GE(safe.td_online(0, kQmin), 0);
+  ASSERT_GE(mixed.td_online(0, kQmin), 0);
+
+  NumericManager mixed_mgr(mixed);
+  NumericManager safe_mgr(safe);
+  AverageSource src1(w.timing()), src2(w.timing());
+
+  const auto run_mixed = run_cycle(w.app(), mixed_mgr, src1);
+  const auto run_safe = run_cycle(w.app(), safe_mgr, src2);
+  EXPECT_EQ(run_safe.deadline_misses, 0u);
+  EXPECT_EQ(run_mixed.deadline_misses, 0u);
+
+  const auto third_mean = [](const CycleResult& r, std::size_t begin,
+                             std::size_t end) {
+    double sum = 0;
+    for (std::size_t i = begin; i < end; ++i)
+      sum += static_cast<double>(r.steps[i].quality);
+    return sum / static_cast<double>(end - begin);
+  };
+  const std::size_t n = run_safe.steps.size();
+  const double safe_head = third_mean(run_safe, 0, n / 3);
+  const double safe_tail = third_mean(run_safe, 2 * n / 3, n);
+  const double mixed_head = third_mean(run_mixed, 0, n / 3);
+  const double mixed_tail = third_mean(run_mixed, 2 * n / 3, n);
+
+  EXPECT_GT(safe_head, safe_tail + 1.0) << "safe policy should decay";
+  EXPECT_LT(std::abs(mixed_head - mixed_tail), 1.0) << "mixed should be stable";
+  // Smoothness: the mixed policy fluctuates less overall.
+  const auto sm_mixed = analyze_smoothness(run_mixed.qualities());
+  const auto sm_safe = analyze_smoothness(run_safe.qualities());
+  EXPECT_LT(sm_mixed.quality_stddev, sm_safe.quality_stddev);
+}
+
+TEST(ControllerTest, SymbolicManagersReplicateNumericDecisions) {
+  // With zero overhead, numeric / region / relaxation managers make the
+  // same quality choices along the whole run (relaxation only *skips*
+  // calls whose outcome is already guaranteed).
+  const auto w = make_workload(6, 70);
+  const PolicyEngine e(w.app(), w.timing());
+  const auto regions = RegionCompiler::compile_regions(e);
+  const auto relax = RegionCompiler::compile_relaxation(e, regions, {1, 5, 10, 20});
+
+  NumericManager numeric(e);
+  RegionManager region_mgr(regions);
+  RelaxationManager relax_mgr(regions, relax);
+
+  for (std::uint64_t src_seed : {11u, 12u, 13u}) {
+    AdversarialSource s1(w.timing(), src_seed);
+    AdversarialSource s2(w.timing(), src_seed);
+    AdversarialSource s3(w.timing(), src_seed);
+    const auto r1 = run_cycle(w.app(), numeric, s1);
+    const auto r2 = run_cycle(w.app(), region_mgr, s2);
+    const auto r3 = run_cycle(w.app(), relax_mgr, s3);
+
+    ASSERT_EQ(r1.steps.size(), r2.steps.size());
+    ASSERT_EQ(r1.steps.size(), r3.steps.size());
+    for (std::size_t i = 0; i < r1.steps.size(); ++i) {
+      ASSERT_EQ(r1.steps[i].quality, r2.steps[i].quality) << "i=" << i;
+      ASSERT_EQ(r1.steps[i].quality, r3.steps[i].quality) << "i=" << i;
+    }
+    // Relaxation reduces the number of manager calls.
+    EXPECT_EQ(r1.manager_calls, w.app().size());
+    EXPECT_EQ(r2.manager_calls, w.app().size());
+    EXPECT_LT(r3.manager_calls, r1.manager_calls);
+  }
+}
+
+TEST(ControllerTest, RelaxStepsAreHonoured) {
+  const auto w = make_workload(7, 50);
+  const PolicyEngine e(w.app(), w.timing());
+  const auto regions = RegionCompiler::compile_regions(e);
+  const auto relax = RegionCompiler::compile_relaxation(e, regions, {1, 8});
+
+  RelaxationManager manager(regions, relax);
+  AverageSource source(w.timing());
+  const auto run = run_cycle(w.app(), manager, source);
+
+  // Between two manager calls there must be exactly relax_steps actions.
+  std::size_t i = 0;
+  while (i < run.steps.size()) {
+    ASSERT_TRUE(run.steps[i].manager_called) << "i=" << i;
+    const int r = run.steps[i].relax_steps;
+    ASSERT_GE(r, 1);
+    for (int j = 1; j < r && i + static_cast<std::size_t>(j) < run.steps.size();
+         ++j) {
+      ASSERT_FALSE(run.steps[i + static_cast<std::size_t>(j)].manager_called);
+      // Quality constant across the relaxation window.
+      ASSERT_EQ(run.steps[i + static_cast<std::size_t>(j)].quality,
+                run.steps[i].quality);
+    }
+    i += static_cast<std::size_t>(r);
+  }
+}
+
+TEST(ControllerTest, ConstantManagerIsOpenLoop) {
+  const auto w = make_workload(8, 30);
+  ConstantQualityManager manager(3);
+  AverageSource source(w.timing());
+  const auto run = run_cycle(w.app(), manager, source);
+  for (const auto& s : run.steps) EXPECT_EQ(s.quality, 3);
+  EXPECT_EQ(run.total_ops, 0u);
+}
+
+TEST(ControllerTest, NoRelaxationWrapperForcesSingleSteps) {
+  const auto w = make_workload(9, 50);
+  const PolicyEngine e(w.app(), w.timing());
+  const auto regions = RegionCompiler::compile_regions(e);
+  const auto relax = RegionCompiler::compile_relaxation(e, regions, {1, 10});
+  RelaxationManager inner(regions, relax);
+  NoRelaxation manager(inner);
+  AverageSource source(w.timing());
+  const auto run = run_cycle(w.app(), manager, source);
+  EXPECT_EQ(run.manager_calls, w.app().size());
+  EXPECT_EQ(manager.name(), "symbolic-relaxation-norelax");
+  EXPECT_EQ(manager.memory_bytes(), inner.memory_bytes());
+}
+
+TEST(ControllerTest, StartTimeOffsetsAreTransparent) {
+  // Shifting the cycle start must not change decisions (the manager sees
+  // cycle-relative time).
+  const auto w = make_workload(10, 40);
+  const PolicyEngine e(w.app(), w.timing());
+  NumericManager m1(e), m2(e);
+  AverageSource s1(w.timing()), s2(w.timing());
+  const auto base = run_cycle(w.app(), m1, s1, 0);
+  const auto shifted = run_cycle(w.app(), m2, s2, sec(5));
+  ASSERT_EQ(base.steps.size(), shifted.steps.size());
+  for (std::size_t i = 0; i < base.steps.size(); ++i) {
+    ASSERT_EQ(base.steps[i].quality, shifted.steps[i].quality);
+    ASSERT_EQ(base.steps[i].end + sec(5), shifted.steps[i].end);
+  }
+  EXPECT_EQ(base.deadline_misses, shifted.deadline_misses);
+}
+
+TEST(ControllerTest, CycleResultAggregates) {
+  const auto w = make_workload(11, 20);
+  const PolicyEngine e(w.app(), w.timing());
+  NumericManager manager(e);
+  AverageSource source(w.timing());
+  const auto run = run_cycle(w.app(), manager, source);
+  EXPECT_EQ(run.steps.size(), 20u);
+  EXPECT_EQ(run.qualities().size(), 20u);
+  EXPECT_GT(run.mean_quality(), 0.0);
+  EXPECT_GT(run.total_ops, 0u);
+  EXPECT_EQ(run.completion, run.steps.back().end);
+}
+
+}  // namespace
+}  // namespace speedqm

@@ -1,0 +1,158 @@
+// Unit tests for core/application and core/timing_model: construction
+// contracts, deadline bookkeeping, prefix/suffix sums, slicing, builders.
+#include <gtest/gtest.h>
+
+#include "core/application.hpp"
+#include "core/timing_model.hpp"
+#include "support/contract.hpp"
+
+namespace speedqm {
+namespace {
+
+TEST(ApplicationTest, BuilderAssemblesActionsAndDeadlines) {
+  ScheduledApp::Builder b;
+  b.action("read").action("decode", ms(10)).action("emit").deadline(ms(20));
+  const auto app = std::move(b).build();
+  EXPECT_EQ(app.size(), 3u);
+  EXPECT_EQ(app.name(0), "read");
+  EXPECT_FALSE(app.has_deadline(0));
+  EXPECT_TRUE(app.has_deadline(1));
+  EXPECT_EQ(app.deadline(1), ms(10));
+  EXPECT_EQ(app.deadline(2), ms(20));
+  EXPECT_EQ(app.final_deadline(), ms(20));
+  EXPECT_EQ(app.last_deadline_index(), 2u);
+}
+
+TEST(ApplicationTest, RequiresAtLeastOneFiniteDeadline) {
+  ScheduledApp::Builder no_deadline;
+  no_deadline.action("a");
+  EXPECT_THROW(std::move(no_deadline).build(), contract_error);
+  EXPECT_THROW(ScheduledApp({}, {}), contract_error);
+  EXPECT_THROW(ScheduledApp({"a"}, {ms(1), ms(2)}), contract_error);
+}
+
+TEST(ApplicationTest, RejectsNonPositiveDeadlines) {
+  EXPECT_THROW(ScheduledApp({"a"}, {0}), contract_error);
+  EXPECT_THROW(ScheduledApp({"a"}, {-5}), contract_error);
+}
+
+TEST(ApplicationTest, UniformAppShape) {
+  const auto app = make_uniform_app(5, sec(1), "x");
+  EXPECT_EQ(app.size(), 5u);
+  EXPECT_EQ(app.name(0), "x0");
+  EXPECT_EQ(app.name(4), "x4");
+  for (ActionIndex i = 0; i + 1 < app.size(); ++i) EXPECT_FALSE(app.has_deadline(i));
+  EXPECT_EQ(app.deadline(4), sec(1));
+}
+
+TEST(ApplicationTest, DeadlineOnlyInMiddleIsAllowed) {
+  const ScheduledApp app({"a", "b", "c"}, {kTimePlusInf, ms(5), kTimePlusInf});
+  EXPECT_EQ(app.final_deadline(), ms(5));
+  EXPECT_EQ(app.last_deadline_index(), 1u);
+}
+
+class TimingModelTest : public ::testing::Test {
+ protected:
+  // 3 actions x 3 levels with hand-checkable values.
+  TimingModel tm_{3, 3,
+                  {// cav: action 0, 1, 2 (per quality)
+                   10, 20, 30, 5, 6, 7, 100, 100, 100},
+                  {// cwc
+                   15, 25, 45, 9, 9, 9, 150, 160, 170}};
+};
+
+TEST_F(TimingModelTest, Accessors) {
+  EXPECT_EQ(tm_.num_actions(), 3u);
+  EXPECT_EQ(tm_.num_levels(), 3);
+  EXPECT_EQ(tm_.qmax(), 2);
+  EXPECT_EQ(tm_.cav(0, 1), 20);
+  EXPECT_EQ(tm_.cwc(2, 2), 170);
+  EXPECT_TRUE(tm_.valid_quality(0));
+  EXPECT_FALSE(tm_.valid_quality(3));
+  EXPECT_FALSE(tm_.valid_quality(-1));
+}
+
+TEST_F(TimingModelTest, PrefixSums) {
+  EXPECT_EQ(tm_.cav_prefix(0, 0), 0);
+  EXPECT_EQ(tm_.cav_prefix(1, 0), 10);
+  EXPECT_EQ(tm_.cav_prefix(3, 0), 115);
+  EXPECT_EQ(tm_.cwc_prefix(3, 2), 45 + 9 + 170);
+  EXPECT_EQ(tm_.cav_range(0, 2, 0), 115);
+  EXPECT_EQ(tm_.cav_range(1, 1, 1), 6);
+  EXPECT_EQ(tm_.cav_range(2, 1, 0), 0);  // empty range
+  EXPECT_EQ(tm_.cwc_range(1, 2, 0), 9 + 150);
+}
+
+TEST_F(TimingModelTest, QminSuffix) {
+  EXPECT_EQ(tm_.cwc_qmin_suffix(3), 0);
+  EXPECT_EQ(tm_.cwc_qmin_suffix(2), 150);
+  EXPECT_EQ(tm_.cwc_qmin_suffix(1), 9 + 150);
+  EXPECT_EQ(tm_.cwc_qmin_suffix(0), 15 + 9 + 150);
+}
+
+TEST_F(TimingModelTest, Totals) {
+  EXPECT_EQ(tm_.total_cav(0), 115);
+  EXPECT_EQ(tm_.total_cwc(2), 45 + 9 + 170);
+}
+
+TEST_F(TimingModelTest, InflatedCwcScales) {
+  const auto tm2 = tm_.with_inflated_cwc(2.0);
+  EXPECT_EQ(tm2.cwc(0, 0), 30);
+  EXPECT_EQ(tm2.cav(0, 0), 10);  // cav untouched
+  EXPECT_THROW(tm_.with_inflated_cwc(0.5), contract_error);
+}
+
+TEST_F(TimingModelTest, SliceKeepsSubrange) {
+  const auto s = tm_.slice(1, 2);
+  EXPECT_EQ(s.num_actions(), 2u);
+  EXPECT_EQ(s.cav(0, 0), 5);
+  EXPECT_EQ(s.cwc(1, 2), 170);
+  EXPECT_THROW(tm_.slice(2, 1), contract_error);
+}
+
+TEST(TimingModelValidation, RejectsCavAboveCwc) {
+  EXPECT_THROW(TimingModel(1, 2, {10, 20}, {9, 25}), contract_error);
+}
+
+TEST(TimingModelValidation, RejectsDecreasingInQuality) {
+  EXPECT_THROW(TimingModel(1, 3, {10, 9, 11}, {20, 20, 20}), contract_error);
+  EXPECT_THROW(TimingModel(1, 3, {10, 10, 10}, {20, 19, 20}), contract_error);
+}
+
+TEST(TimingModelValidation, RejectsNegativeAndSizeMismatch) {
+  EXPECT_THROW(TimingModel(1, 2, {-1, 5}, {5, 5}), contract_error);
+  EXPECT_THROW(TimingModel(2, 2, {1, 2, 3}, {4, 5, 6, 7}), contract_error);
+  EXPECT_THROW(TimingModel(0, 2, {}, {}), contract_error);
+}
+
+TEST(TimingModelBuilderTest, LinearActionInterpolates) {
+  auto tm = [] {
+    TimingModelBuilder b(5);
+    b.linear_action(us(100), us(300), 1.5);
+    return std::move(b).build();
+  }();
+  EXPECT_EQ(tm.cav(0, 0), us(100));
+  EXPECT_EQ(tm.cav(0, 4), us(300));
+  EXPECT_EQ(tm.cav(0, 2), us(200));
+  EXPECT_EQ(tm.cwc(0, 0), us(150));
+  EXPECT_EQ(tm.cwc(0, 4), us(450));
+}
+
+TEST(TimingModelBuilderTest, RejectsArityMismatch) {
+  TimingModelBuilder b(3);
+  EXPECT_THROW(b.action({1, 2}, {3, 4, 5}), contract_error);
+  EXPECT_THROW(b.linear_action(us(10), us(5), 1.5), contract_error);
+  EXPECT_THROW(b.linear_action(us(10), us(20), 0.9), contract_error);
+}
+
+TEST(TimingModelBuilderTest, SingleLevelDegenerates) {
+  TimingModelBuilder b(1);
+  b.linear_action(us(100), us(300), 2.0);
+  auto tm = std::move(b).build();
+  // With one level, the min value is used.
+  EXPECT_EQ(tm.cav(0, 0), us(100));
+  EXPECT_EQ(tm.cwc(0, 0), us(200));
+}
+
+}  // namespace
+}  // namespace speedqm

@@ -1,0 +1,317 @@
+// Tests for the platform simulator (sim/executor): overhead charging,
+// slack carry-over semantics, cyclic execution, metrics and trace export.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/numeric_manager.hpp"
+#include "core/region_compiler.hpp"
+#include "core/region_manager.hpp"
+#include "core/relaxation_manager.hpp"
+#include "sim/executor.hpp"
+#include "sim/overhead_inflation.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace.hpp"
+#include "workload/synthetic.hpp"
+
+namespace speedqm {
+namespace {
+
+SyntheticWorkload make_workload(std::uint64_t seed, std::size_t cycles = 4,
+                                double budget_factor = 1.1) {
+  SyntheticSpec spec;
+  spec.seed = seed;
+  spec.num_actions = 50;
+  spec.num_levels = 7;
+  spec.budget_quality = 4;
+  spec.budget_factor = budget_factor;
+  spec.num_cycles = cycles;
+  return SyntheticWorkload(spec);
+}
+
+TEST(OverheadModelTest, CostFormula) {
+  const OverheadModel m{us(10), 2.0};
+  EXPECT_EQ(m.cost(0), us(10));
+  EXPECT_EQ(m.cost(100), us(10) + 200);
+  EXPECT_EQ(OverheadModel::zero().cost(1'000'000), 0);
+  EXPECT_GT(OverheadModel::ipod_like().cost(0), 0);
+}
+
+TEST(PlatformTest, ScalingAndValidation) {
+  const Platform p(OverheadModel::zero(), 2.0);
+  EXPECT_EQ(p.scale(us(100)), us(200));
+  EXPECT_EQ(Platform().scale(us(100)), us(100));
+  EXPECT_THROW(Platform(OverheadModel::zero(), 0.0), contract_error);
+  EXPECT_THROW(Platform(OverheadModel::zero(), -1.0), contract_error);
+}
+
+TEST(ExecutorTest, ZeroOverheadMatchesPureController) {
+  auto w = make_workload(1);
+  const PolicyEngine e(w.app(), w.timing());
+  NumericManager m1(e), m2(e);
+
+  ExecutorOptions opts;
+  opts.cycles = 1;
+  const auto run = run_cyclic(w.app(), m1, w.traces(), opts);
+
+  w.traces().set_cycle(0);
+  const auto pure = run_cycle(w.app(), m2, w.traces());
+
+  ASSERT_EQ(run.steps.size(), pure.steps.size());
+  for (std::size_t i = 0; i < run.steps.size(); ++i) {
+    ASSERT_EQ(run.steps[i].quality, pure.steps[i].quality) << "i=" << i;
+  }
+  EXPECT_EQ(run.total_overhead_time, 0);
+  EXPECT_EQ(run.total_time, pure.completion);
+}
+
+TEST(ExecutorTest, OverheadIsChargedPerCall) {
+  auto w = make_workload(2);
+  const PolicyEngine e(w.app(), w.timing());
+  NumericManager manager(e);
+
+  ExecutorOptions opts;
+  opts.cycles = 2;
+  opts.platform = Platform(OverheadModel{us(5), 0.0});
+  const auto run = run_cyclic(w.app(), manager, w.traces(), opts);
+
+  EXPECT_EQ(run.total_manager_calls, 2 * w.app().size());
+  EXPECT_EQ(run.total_overhead_time,
+            static_cast<TimeNs>(run.total_manager_calls) * us(5));
+  EXPECT_GT(run.overhead_fraction(), 0.0);
+}
+
+TEST(ExecutorTest, PerOpCostFollowsOpsCount) {
+  auto w = make_workload(3);
+  const PolicyEngine e(w.app(), w.timing());
+  NumericManager manager(e);
+
+  ExecutorOptions opts;
+  opts.cycles = 1;
+  opts.platform = Platform(OverheadModel{0, 10.0});
+  const auto run = run_cyclic(w.app(), manager, w.traces(), opts);
+
+  std::uint64_t total_ops = 0;
+  for (const auto& s : run.steps) total_ops += s.ops;
+  EXPECT_NEAR(static_cast<double>(run.total_overhead_time),
+              10.0 * static_cast<double>(total_ops),
+              static_cast<double>(run.total_manager_calls));  // rounding slack
+}
+
+TEST(ExecutorTest, HeavierManagerLosesQuality) {
+  // The figure-7 mechanism: same workload, same decision logic, but the
+  // expensive manager's overhead consumes budget and forces lower quality.
+  // Each controller decides with a model inflated for its own call cost
+  // (§2.2.2), which keeps both runs deadline-safe.
+  auto w1 = make_workload(4, 6, 1.15);
+  auto w2 = make_workload(4, 6, 1.15);
+  const OverheadModel heavy_platform{us(150), 20.0};
+
+  const PolicyEngine cheap_engine(w1.app(), w1.timing());
+  const TimingModel heavy_model = inflate_for_overhead(
+      w2.timing(), heavy_platform, NumericCallEstimate(w2.app().size()));
+  const PolicyEngine heavy_engine(w2.app(), heavy_model);
+  ASSERT_GE(heavy_engine.td_online(0, kQmin), 0);
+  NumericManager cheap(cheap_engine), heavy(heavy_engine);
+
+  ExecutorOptions cheap_opts;
+  cheap_opts.cycles = 6;
+  cheap_opts.platform = Platform(OverheadModel::zero());
+
+  ExecutorOptions heavy_opts;
+  heavy_opts.cycles = 6;
+  heavy_opts.platform = Platform(heavy_platform);
+
+  const auto run_cheap = run_cyclic(w1.app(), cheap, w1.traces(), cheap_opts);
+  const auto run_heavy = run_cyclic(w2.app(), heavy, w2.traces(), heavy_opts);
+
+  EXPECT_GT(run_cheap.mean_quality(), run_heavy.mean_quality());
+  EXPECT_EQ(run_heavy.total_deadline_misses, 0u);  // still safe, just worse
+}
+
+TEST(ExecutorTest, UncompensatedOverheadCanMissDeadlines) {
+  // Without the §2.2.2 inflation, the controller's budget math ignores its
+  // own cost; a sufficiently expensive manager then misses deadlines even
+  // though the policy itself is safe. This motivates inflate_for_overhead.
+  auto w = make_workload(4, 4, 1.02);
+  const PolicyEngine e(w.app(), w.timing());  // NOT inflated
+  NumericManager manager(e);
+
+  ExecutorOptions opts;
+  opts.cycles = 4;
+  opts.carry_slack = false;  // no banked slack to hide behind
+  opts.platform = Platform(OverheadModel{us(400), 60.0});
+  const auto run = run_cyclic(w.app(), manager, w.traces(), opts);
+  EXPECT_GT(run.total_deadline_misses, 0u);
+}
+
+TEST(InflationTest, PreservesModelShapeAndAddsMargins) {
+  auto w = make_workload(5, 1);
+  const OverheadModel om{us(10), 5.0};
+  const NumericCallEstimate est(w.app().size());
+  const auto inflated = inflate_for_overhead(w.timing(), om, est);
+
+  ASSERT_EQ(inflated.num_actions(), w.timing().num_actions());
+  ASSERT_EQ(inflated.num_levels(), w.timing().num_levels());
+  for (ActionIndex i = 0; i < inflated.num_actions(); i += 7) {
+    const TimeNs margin = om.cost(est.ops(i));
+    for (Quality q = 0; q < inflated.num_levels(); ++q) {
+      ASSERT_EQ(inflated.cav(i, q), w.timing().cav(i, q) + margin);
+      ASSERT_EQ(inflated.cwc(i, q), w.timing().cwc(i, q) + margin);
+    }
+  }
+  // Numeric margins shrink toward the end of the cycle (smaller scans).
+  EXPECT_GT(om.cost(est.ops(0)), om.cost(est.ops(w.app().size() - 1)));
+  // Constant-cost estimates for the symbolic managers.
+  const RegionCallEstimate reg(7);
+  EXPECT_EQ(reg.ops(0), reg.ops(100));
+  const RelaxationCallEstimate rel(7, 6);
+  EXPECT_EQ(rel.ops(3), reg.ops(3) + 6);
+}
+
+TEST(ExecutorTest, CarrySlackAllowsNegativeObservedTimes) {
+  auto w = make_workload(5, 4, 1.4);  // roomy budget => finishes early
+  const PolicyEngine e(w.app(), w.timing());
+  NumericManager manager(e);
+
+  ExecutorOptions opts;
+  opts.cycles = 4;
+  opts.carry_slack = true;
+  const auto run = run_cyclic(w.app(), manager, w.traces(), opts);
+
+  bool saw_negative = false;
+  for (const auto& s : run.steps) {
+    if (s.manager_called && s.cycle > 0 && s.observed < 0) saw_negative = true;
+  }
+  EXPECT_TRUE(saw_negative) << "early cycles should bank slack";
+  EXPECT_EQ(run.total_deadline_misses, 0u);
+}
+
+TEST(ExecutorTest, NoCarryResetsEachCycle) {
+  auto w = make_workload(6, 4, 1.4);
+  const PolicyEngine e(w.app(), w.timing());
+  NumericManager manager(e);
+
+  ExecutorOptions opts;
+  opts.cycles = 4;
+  opts.carry_slack = false;
+  const auto run = run_cyclic(w.app(), manager, w.traces(), opts);
+
+  for (const auto& s : run.steps) {
+    if (s.manager_called && s.action == 0) {
+      ASSERT_EQ(s.observed, 0) << "cycle " << s.cycle;
+    }
+  }
+}
+
+TEST(ExecutorTest, CarrySlackYieldsHigherOrEqualQuality) {
+  auto w1 = make_workload(7, 6, 1.15);
+  auto w2 = make_workload(7, 6, 1.15);
+  const PolicyEngine e(w1.app(), w1.timing());
+  NumericManager m1(e), m2(e);
+
+  ExecutorOptions carry;
+  carry.cycles = 6;
+  carry.carry_slack = true;
+  ExecutorOptions reset;
+  reset.cycles = 6;
+  reset.carry_slack = false;
+
+  const auto run_carry = run_cyclic(w1.app(), m1, w1.traces(), carry);
+  const auto run_reset = run_cyclic(w2.app(), m2, w2.traces(), reset);
+  EXPECT_GE(run_carry.mean_quality() + 1e-9, run_reset.mean_quality());
+}
+
+TEST(ExecutorTest, CyclesWrapAroundSourceContent) {
+  auto w = make_workload(8, 2);
+  const PolicyEngine e(w.app(), w.timing());
+  NumericManager manager(e);
+  ExecutorOptions opts;
+  opts.cycles = 5;  // > source cycles (2): wraps around
+  const auto run = run_cyclic(w.app(), manager, w.traces(), opts);
+  EXPECT_EQ(run.cycles.size(), 5u);
+  EXPECT_EQ(run.steps.size(), 5u * w.app().size());
+}
+
+TEST(ExecutorTest, SpeedFactorSlowsPlatformAndDropsQuality) {
+  auto w1 = make_workload(9, 3, 1.1);
+  auto w2 = make_workload(9, 3, 1.1);
+  const PolicyEngine e(w1.app(), w1.timing());
+  NumericManager m1(e), m2(e);
+
+  ExecutorOptions normal;
+  normal.cycles = 3;
+  ExecutorOptions slow;
+  slow.cycles = 3;
+  slow.platform = Platform(OverheadModel::zero(), 1.3);
+
+  const auto run_normal = run_cyclic(w1.app(), m1, w1.traces(), normal);
+  const auto run_slow = run_cyclic(w2.app(), m2, w2.traces(), slow);
+  EXPECT_GT(run_normal.mean_quality(), run_slow.mean_quality());
+}
+
+TEST(MetricsTest, SummaryAggregatesRun) {
+  auto w = make_workload(10, 3);
+  const PolicyEngine e(w.app(), w.timing());
+  const auto regions = RegionCompiler::compile_regions(e);
+  const auto relax = RegionCompiler::compile_relaxation(e, regions, {1, 5, 10});
+  RelaxationManager manager(regions, relax);
+
+  ExecutorOptions opts;
+  opts.cycles = 3;
+  opts.platform = Platform(OverheadModel{us(2), 1.0});
+  const auto run = run_cyclic(w.app(), manager, w.traces(), opts);
+  const auto summary = summarize_run(manager.name(), run);
+
+  EXPECT_EQ(summary.manager, "symbolic-relaxation");
+  EXPECT_GT(summary.mean_quality, 0.0);
+  EXPECT_GT(summary.overhead_pct, 0.0);
+  EXPECT_EQ(summary.manager_calls, run.total_manager_calls);
+  EXPECT_EQ(summary.smoothness.length, run.steps.size());
+  std::size_t histogram_total = 0;
+  for (const auto& [r, count] : summary.relax_histogram) {
+    EXPECT_GE(r, 1);
+    histogram_total += count;
+  }
+  EXPECT_EQ(histogram_total, run.total_manager_calls);
+
+  const auto series = per_cycle_quality(run);
+  ASSERT_EQ(series.size(), 3u);
+  const auto overheads = per_action_overhead(run, 1);
+  ASSERT_EQ(overheads.size(), w.app().size());
+}
+
+TEST(TraceTest, CsvExportWritesAllRows) {
+  auto w = make_workload(11, 2);
+  const PolicyEngine e(w.app(), w.timing());
+  NumericManager manager(e);
+  ExecutorOptions opts;
+  opts.cycles = 2;
+  const auto run = run_cyclic(w.app(), manager, w.traces(), opts);
+
+  const std::string steps_path = "test_steps.csv";
+  const std::string cycles_path = "test_cycles.csv";
+  EXPECT_EQ(write_step_trace_csv(run, steps_path), run.steps.size());
+  EXPECT_EQ(write_cycle_trace_csv(run, cycles_path), 2u);
+
+  std::ifstream in(steps_path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, run.steps.size() + 1);  // + header
+  std::remove(steps_path.c_str());
+  std::remove(cycles_path.c_str());
+}
+
+TEST(ExecutorTest, RejectsBadOptions) {
+  auto w = make_workload(12, 1);
+  const PolicyEngine e(w.app(), w.timing());
+  NumericManager manager(e);
+  ExecutorOptions opts;
+  opts.cycles = 0;
+  EXPECT_THROW(run_cyclic(w.app(), manager, w.traces(), opts), contract_error);
+}
+
+}  // namespace
+}  // namespace speedqm

@@ -1,0 +1,195 @@
+// Failure-injection tests: what happens when the model's assumptions are
+// violated. Definition 1 guarantees safety only for C <= Cwc and a
+// feasible start; these tests drive the controller outside that envelope
+// and verify it degrades the way the design intends — flagged infeasible
+// decisions, qmin fallback, honest miss accounting — instead of silently
+// corrupting state.
+#include <gtest/gtest.h>
+
+#include "core/numeric_manager.hpp"
+#include "core/region_compiler.hpp"
+#include "core/region_manager.hpp"
+#include "core/relaxation_manager.hpp"
+#include "core/feasibility.hpp"
+#include "support/rng.hpp"
+#include "workload/profiler.hpp"
+#include "workload/synthetic.hpp"
+
+namespace speedqm {
+namespace {
+
+SyntheticWorkload make_workload(std::uint64_t seed, double budget_factor) {
+  SyntheticSpec spec;
+  spec.seed = seed;
+  spec.num_actions = 60;
+  spec.num_levels = 7;
+  spec.budget_quality = 4;
+  spec.budget_factor = budget_factor;
+  spec.num_cycles = 3;
+  return SyntheticWorkload(spec);
+}
+
+/// Source that exceeds Cwc by `overrun_factor` on a subset of actions —
+/// outside the Definition 1 contract (e.g. a mis-profiled platform).
+class OverrunSource final : public ActualTimeSource {
+ public:
+  OverrunSource(const TimingModel& tm, double overrun_factor,
+                ActionIndex every_nth)
+      : tm_(&tm), factor_(overrun_factor), every_(every_nth) {}
+
+  TimeNs actual_time(ActionIndex i, Quality q) override {
+    const TimeNs wc = tm_->cwc(i, q);
+    if (every_ > 0 && i % every_ == 0) {
+      return static_cast<TimeNs>(static_cast<double>(wc) * factor_);
+    }
+    return tm_->cav(i, q);
+  }
+
+ private:
+  const TimingModel* tm_;
+  double factor_;
+  ActionIndex every_;
+};
+
+TEST(FailureInjection, InfeasibleStartDegradesToQminWithFlag) {
+  // Budget far below the qmin worst case: the manager cannot promise
+  // safety. It must still return qmin (best effort) and flag the decision.
+  const auto w = make_workload(1, 0.4);
+  const PolicyEngine e(w.app(), w.timing());
+  ASSERT_LT(e.td_online(0, kQmin), 0);
+
+  const Decision d = e.decide_online(0, 0);
+  EXPECT_EQ(d.quality, kQmin);
+  EXPECT_FALSE(d.feasible);
+
+  // The symbolic manager agrees.
+  const QualityRegionTable regions(e);
+  const Decision ds = regions.decide(0, 0);
+  EXPECT_EQ(ds.quality, kQmin);
+  EXPECT_FALSE(ds.feasible);
+}
+
+TEST(FailureInjection, InfeasibleRunIsAccountedHonestly) {
+  const auto w = make_workload(2, 0.55);
+  const PolicyEngine e(w.app(), w.timing());
+  ASSERT_LT(e.td_online(0, kQmin), 0);
+  NumericManager manager(e);
+  WorstCaseSource source(w.timing());
+  const auto run = run_cycle(w.app(), manager, source);
+  // Sustained worst case with an under-provisioned budget must be reported
+  // as misses + infeasible decisions, not hidden.
+  EXPECT_GT(run.deadline_misses, 0u);
+  EXPECT_GT(run.infeasible_decisions, 0u);
+  // Best-effort degradation: the controller pinned quality at qmin while
+  // infeasible (it never wastes time on higher levels).
+  for (const auto& s : run.steps) {
+    if (s.manager_called && !s.feasible) EXPECT_EQ(s.quality, kQmin);
+  }
+}
+
+TEST(FailureInjection, CwcOverrunsCanCauseMissesButControllerRecovers) {
+  const auto w = make_workload(3, 1.1);
+  const PolicyEngine e(w.app(), w.timing());
+  ASSERT_GE(e.td_online(0, kQmin), 0);
+  NumericManager manager(e);
+
+  // Massive overruns (2x the worst case every 5th action) — outside the
+  // model; misses are possible and must be counted, and the controller
+  // responds by dropping quality rather than wedging.
+  OverrunSource source(w.timing(), 2.0, 5);
+  const auto run = run_cycle(w.app(), manager, source);
+  const auto qs = run.qualities();
+  EXPECT_EQ(*std::min_element(qs.begin(), qs.end()), kQmin)
+      << "overruns should force excursions to qmin";
+  // All actions executed despite the turbulence.
+  EXPECT_EQ(run.steps.size(), w.app().size());
+}
+
+TEST(FailureInjection, MildOverrunsAbsorbedByTheSafetyMargin) {
+  // delta_max is computed against Cwc; occasional mild overruns (5%) eat
+  // margin but typically stay inside the budget. The run must complete
+  // and quality must remain adaptive (not pinned at qmin).
+  const auto w = make_workload(4, 1.15);
+  const PolicyEngine e(w.app(), w.timing());
+  NumericManager manager(e);
+  OverrunSource source(w.timing(), 1.05, 7);
+  const auto run = run_cycle(w.app(), manager, source);
+  EXPECT_EQ(run.deadline_misses, 0u);
+  EXPECT_GT(run.mean_quality(), 1.0);
+}
+
+TEST(FailureInjection, RelaxationWindowsDoNotAmplifyOverruns) {
+  // An overrun inside a granted relaxation window delays the *next*
+  // manager call; the manager must re-stabilize at the following call.
+  // Compare total misses with and without relaxation under the same
+  // overruns: relaxation must not be materially worse.
+  const auto w = make_workload(5, 1.15);
+  const PolicyEngine e(w.app(), w.timing());
+  const auto regions = RegionCompiler::compile_regions(e);
+  const auto relax = RegionCompiler::compile_relaxation(e, regions, {1, 4, 8});
+
+  RegionManager no_relax(regions);
+  RelaxationManager with_relax(regions, relax);
+
+  OverrunSource s1(w.timing(), 1.5, 9);
+  OverrunSource s2(w.timing(), 1.5, 9);
+  const auto r1 = run_cycle(w.app(), no_relax, s1);
+  const auto r2 = run_cycle(w.app(), with_relax, s2);
+  EXPECT_LE(r2.deadline_misses, r1.deadline_misses + 1);
+}
+
+TEST(FailureInjection, ZeroDurationActionsAreLegal) {
+  // C = 0 is inside the model (Definition 1 allows any 0 <= C <= Cwc).
+  const auto w = make_workload(6, 1.05);
+  const PolicyEngine e(w.app(), w.timing());
+  NumericManager manager(e);
+
+  class ZeroSource final : public ActualTimeSource {
+   public:
+    TimeNs actual_time(ActionIndex, Quality) override { return 0; }
+  } source;
+
+  const auto run = run_cycle(w.app(), manager, source);
+  EXPECT_EQ(run.deadline_misses, 0u);
+  // With infinite effective slack the controller saturates at qmax.
+  EXPECT_EQ(run.steps.back().quality, 6);
+}
+
+TEST(FailureInjection, NegativeDurationIsRejected) {
+  const auto w = make_workload(7, 1.05);
+  const PolicyEngine e(w.app(), w.timing());
+  NumericManager manager(e);
+
+  class NegativeSource final : public ActualTimeSource {
+   public:
+    TimeNs actual_time(ActionIndex, Quality) override { return -1; }
+  } source;
+
+  EXPECT_THROW(run_cycle(w.app(), manager, source), contract_error);
+}
+
+TEST(FailureInjection, ProfiledModelViolationsAreDetectable) {
+  // Train the profiler on calm cycles, then check whether later content
+  // violates the profiled bounds — the workflow a deployment would use to
+  // decide when to re-profile.
+  SyntheticSpec spec;
+  spec.seed = 8;
+  spec.num_actions = 40;
+  spec.num_cycles = 10;
+  spec.load_sigma = 0.2;  // volatile content
+  const SyntheticWorkload w(spec);
+
+  // The analytic model is never violated.
+  EXPECT_EQ(w.traces().count_contract_violations(w.timing()), 0u);
+  // A generously-margined profile is also safe here.
+  ProfilerOptions opts;
+  opts.cycles = 10;
+  opts.safety_factor = 1.5;
+  // (profile over everything => max * 1.5 covers everything)
+  EXPECT_EQ(w.traces().count_contract_violations(
+                profile_timing(w.traces(), opts)),
+            0u);
+}
+
+}  // namespace
+}  // namespace speedqm

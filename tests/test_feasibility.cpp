@@ -1,0 +1,118 @@
+// Tests for the start-state feasibility analysis.
+#include <gtest/gtest.h>
+
+#include "core/feasibility.hpp"
+#include "workload/scenarios.hpp"
+#include "workload/synthetic.hpp"
+
+namespace speedqm {
+namespace {
+
+SyntheticWorkload make_workload(double budget_factor, std::uint64_t seed = 4) {
+  SyntheticSpec spec;
+  spec.seed = seed;
+  spec.num_actions = 50;
+  spec.num_levels = 7;
+  spec.budget_quality = 4;
+  spec.budget_factor = budget_factor;
+  return SyntheticWorkload(spec);
+}
+
+TEST(FeasibilityTest, RoomyBudgetIsFeasible) {
+  const auto w = make_workload(1.3);
+  const PolicyEngine engine(w.app(), w.timing());
+  const auto report = analyze_feasibility(engine);
+  EXPECT_TRUE(report.feasible);
+  EXPECT_GT(report.qmin_slack, 0);
+  EXPECT_EQ(report.required_extra_budget, 0);
+  EXPECT_GE(report.max_start_quality, 0);
+  EXPECT_EQ(report.start_slack.size(), 7u);
+  EXPECT_EQ(report.start_slack[0], report.qmin_slack);
+}
+
+TEST(FeasibilityTest, StarvedBudgetIsInfeasibleWithDiagnosis) {
+  const auto w = make_workload(0.5);
+  const PolicyEngine engine(w.app(), w.timing());
+  const auto report = analyze_feasibility(engine);
+  EXPECT_FALSE(report.feasible);
+  EXPECT_LT(report.qmin_slack, 0);
+  EXPECT_EQ(report.required_extra_budget, -report.qmin_slack);
+  EXPECT_EQ(report.max_start_quality, -1);
+  // Single-final-deadline workload: the critical action is the last one.
+  EXPECT_EQ(report.critical_deadline_action, w.app().size() - 1);
+}
+
+TEST(FeasibilityTest, ExtraBudgetExactlyRestoresFeasibility) {
+  const auto w = make_workload(0.6, 9);
+  const PolicyEngine engine(w.app(), w.timing());
+  const auto report = analyze_feasibility(engine);
+  ASSERT_FALSE(report.feasible);
+
+  // Rebuild the app with every deadline shifted by the reported amount.
+  std::vector<std::string> names;
+  std::vector<TimeNs> deadlines;
+  for (ActionIndex i = 0; i < w.app().size(); ++i) {
+    names.push_back(w.app().name(i));
+    deadlines.push_back(w.app().has_deadline(i)
+                            ? w.app().deadline(i) + report.required_extra_budget
+                            : kTimePlusInf);
+  }
+  const ScheduledApp shifted(std::move(names), std::move(deadlines));
+  const PolicyEngine shifted_engine(shifted, w.timing());
+  const auto shifted_report = analyze_feasibility(shifted_engine);
+  EXPECT_TRUE(shifted_report.feasible);
+  EXPECT_EQ(shifted_report.qmin_slack, 0);  // exactly tight
+}
+
+TEST(FeasibilityTest, SlackDecreasesWithQuality) {
+  const auto w = make_workload(1.2, 12);
+  const PolicyEngine engine(w.app(), w.timing());
+  const auto report = analyze_feasibility(engine);
+  for (Quality q = 1; q < 7; ++q) {
+    EXPECT_LE(report.start_slack[static_cast<std::size_t>(q)],
+              report.start_slack[static_cast<std::size_t>(q - 1)]);
+  }
+  // max_start_quality is the rightmost non-negative slack.
+  for (Quality q = 0; q < 7; ++q) {
+    const bool ok = report.start_slack[static_cast<std::size_t>(q)] >= 0;
+    EXPECT_EQ(ok, q <= report.max_start_quality) << "q=" << q;
+  }
+}
+
+TEST(FeasibilityTest, MilestoneCanBeCritical) {
+  // A tight milestone in the middle dominates the final deadline.
+  SyntheticSpec spec;
+  spec.seed = 21;
+  spec.num_actions = 40;
+  spec.num_levels = 5;
+  spec.budget_quality = 3;
+  spec.budget_factor = 2.0;  // final deadline roomy
+  const SyntheticWorkload w(spec);
+
+  std::vector<std::string> names;
+  std::vector<TimeNs> deadlines(40, kTimePlusInf);
+  for (ActionIndex i = 0; i < 40; ++i) names.push_back(w.app().name(i));
+  deadlines[19] = us(10);  // absurdly tight milestone at action 19
+  deadlines[39] = w.budget() * 2;
+  const ScheduledApp app(std::move(names), std::move(deadlines));
+  const PolicyEngine engine(app, w.timing());
+  const auto report = analyze_feasibility(engine);
+  EXPECT_FALSE(report.feasible);
+  EXPECT_EQ(report.critical_deadline_action, 19u);
+}
+
+TEST(FeasibilityTest, PaperScenarioIsFeasibleForAllFlavors) {
+  const auto s = make_paper_scenario();
+  for (const ManagerFlavor flavor :
+       {ManagerFlavor::kNumeric, ManagerFlavor::kRegions,
+        ManagerFlavor::kRelaxation}) {
+    const TimingModel tm = s.controller_model(flavor);
+    const PolicyEngine engine(s.app(), tm);
+    const auto report = analyze_feasibility(engine);
+    EXPECT_TRUE(report.feasible) << to_string(flavor);
+    EXPECT_GE(report.max_start_quality, 3) << to_string(flavor);
+  }
+}
+
+}  // namespace
+}  // namespace speedqm

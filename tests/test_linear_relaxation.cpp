@@ -1,0 +1,195 @@
+// Tests for the linear-constraint approximation of control relaxation
+// regions (paper §5 future work). Central property: CONSERVATISM — the
+// approximated borders never grant a relaxation the exact table would not,
+// across workload shapes, so safety is inherited from Proposition 3.
+#include <gtest/gtest.h>
+
+#include "core/linear_relaxation.hpp"
+#include "core/numeric_manager.hpp"
+#include "core/region_compiler.hpp"
+#include "core/relaxation_manager.hpp"
+#include "support/rng.hpp"
+#include "workload/synthetic.hpp"
+
+namespace speedqm {
+namespace {
+
+struct LinearParam {
+  std::uint64_t seed;
+  ActionIndex actions;
+  int levels;
+  QualityCurve curve;
+};
+
+class LinearSweep : public ::testing::TestWithParam<LinearParam> {
+ protected:
+  static SyntheticWorkload make(const LinearParam& p) {
+    SyntheticSpec spec;
+    spec.seed = p.seed;
+    spec.num_actions = p.actions;
+    spec.num_levels = p.levels;
+    spec.curve = p.curve;
+    spec.budget_quality = std::min(4, p.levels - 1);
+    spec.num_cycles = 2;
+    return SyntheticWorkload(spec);
+  }
+};
+
+TEST_P(LinearSweep, BordersAreConservativeEverywhere) {
+  const auto w = make(GetParam());
+  const PolicyEngine engine(w.app(), w.timing());
+  const QualityRegionTable regions(engine);
+  const RelaxationTable exact(engine, regions, {1, 3, 7, 15});
+  const LinearRelaxationTable linear(regions, exact);
+
+  for (const int r : exact.rho()) {
+    for (StateIndex s = 0; s + static_cast<StateIndex>(r) <= engine.num_states();
+         ++s) {
+      for (Quality q = 0; q < engine.num_levels(); ++q) {
+        ASSERT_LE(linear.upper(s, q, r), exact.upper(s, q, r))
+            << "upper not conservative at s=" << s << " q=" << q << " r=" << r;
+        ASSERT_GE(linear.lower(s, q, r), exact.lower(s, q, r))
+            << "lower not conservative at s=" << s << " q=" << q << " r=" << r;
+      }
+    }
+  }
+}
+
+TEST_P(LinearSweep, MembershipImpliesExactMembership) {
+  const auto w = make(GetParam());
+  const PolicyEngine engine(w.app(), w.timing());
+  const QualityRegionTable regions(engine);
+  const RelaxationTable exact(engine, regions, {1, 3, 7, 15});
+  const LinearRelaxationTable linear(regions, exact);
+
+  Xoshiro256 rng(GetParam().seed * 31 + 7);
+  for (StateIndex s = 0; s < engine.num_states(); s += 3) {
+    for (Quality q = 0; q < engine.num_levels(); ++q) {
+      const TimeNs border = regions.td(s, q);
+      if (border >= kTimePlusInf) continue;
+      for (int i = 0; i < 6; ++i) {
+        const TimeNs t = border - rng.uniform_int(0, ms(2));
+        for (const int r : exact.rho()) {
+          if (linear.contains(s, t, q, r)) {
+            ASSERT_TRUE(exact.contains(s, t, q, r))
+                << "s=" << s << " q=" << q << " r=" << r << " t=" << t;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_P(LinearSweep, GrantedRelaxationIsExactlyGrantable) {
+  const auto w = make(GetParam());
+  const PolicyEngine engine(w.app(), w.timing());
+  const QualityRegionTable regions(engine);
+  const RelaxationTable exact(engine, regions, {1, 3, 7, 15});
+  const LinearRelaxationTable linear(regions, exact);
+
+  Xoshiro256 rng(GetParam().seed * 13 + 1);
+  for (StateIndex s = 0; s < engine.num_states(); s += 5) {
+    const TimeNs border = regions.td(s, 0);
+    if (border >= kTimePlusInf) continue;
+    for (int i = 0; i < 8; ++i) {
+      const TimeNs t = border - rng.uniform_int(0, ms(3));
+      const Decision d = regions.decide(s, t);
+      if (!d.feasible) continue;
+      const int granted = linear.max_relaxation(s, t, d.quality);
+      if (granted > 1) {
+        ASSERT_TRUE(exact.contains(s, t, d.quality, granted))
+            << "s=" << s << " t=" << t << " granted=" << granted;
+      }
+      ASSERT_LE(granted, exact.max_relaxation(s, t, d.quality));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LinearSweep,
+    ::testing::Values(LinearParam{1, 60, 5, QualityCurve::kLinear},
+                      LinearParam{2, 90, 7, QualityCurve::kConcave},
+                      LinearParam{3, 40, 3, QualityCurve::kConvex},
+                      LinearParam{4, 120, 4, QualityCurve::kLinear},
+                      LinearParam{5, 25, 2, QualityCurve::kLinear}));
+
+class LinearFixture : public ::testing::Test {
+ protected:
+  LinearFixture()
+      : w_([] {
+          SyntheticSpec spec;
+          spec.seed = 99;
+          spec.num_actions = 80;
+          spec.num_levels = 6;
+          spec.budget_quality = 4;
+          spec.num_cycles = 4;
+          return SyntheticWorkload(spec);
+        }()),
+        engine_(w_.app(), w_.timing()),
+        regions_(engine_),
+        exact_(engine_, regions_, {1, 4, 8, 16}),
+        linear_(regions_, exact_) {}
+
+  SyntheticWorkload w_;
+  PolicyEngine engine_;
+  QualityRegionTable regions_;
+  RelaxationTable exact_;
+  LinearRelaxationTable linear_;
+};
+
+TEST_F(LinearFixture, TableIsDramaticallySmaller) {
+  EXPECT_EQ(linear_.num_integers(), 4u * 6u * 4u);  // 4 * |Q| * |rho|
+  EXPECT_LT(linear_.num_integers(), exact_.num_integers() / 10);
+}
+
+TEST_F(LinearFixture, ApproximationGapIsBounded) {
+  // The fitted line should track the exact border reasonably (within a few
+  // per cent of the region's time scale) — otherwise relaxation would
+  // almost never be granted and the approximation would be useless.
+  for (const int r : {4, 8}) {
+    const double gap = linear_.mean_upper_gap(exact_, 2, r);
+    EXPECT_GE(gap, 0.0);  // conservative by construction
+    EXPECT_LT(gap, static_cast<double>(ms(8))) << "r=" << r;
+  }
+}
+
+TEST_F(LinearFixture, ManagerStillChoosesIdenticalQualities) {
+  // The quality choice is untouched by the relaxation mechanism; a linear
+  // manager run must produce the same quality sequence as the exact one.
+  LinearRelaxationManager linear_mgr(regions_, linear_);
+  RelaxationManager exact_mgr(regions_, exact_);
+
+  w_.traces().set_cycle(1);
+  const auto r1 = run_cycle(w_.app(), linear_mgr, w_.traces());
+  w_.traces().set_cycle(1);
+  const auto r2 = run_cycle(w_.app(), exact_mgr, w_.traces());
+
+  ASSERT_EQ(r1.steps.size(), r2.steps.size());
+  for (std::size_t i = 0; i < r1.steps.size(); ++i) {
+    ASSERT_EQ(r1.steps[i].quality, r2.steps[i].quality) << "i=" << i;
+  }
+  // Linear grants at most as much relaxation => at least as many calls.
+  EXPECT_GE(r1.manager_calls, r2.manager_calls);
+  // But it must still suppress a meaningful number of calls.
+  EXPECT_LT(r1.manager_calls, w_.app().size());
+  EXPECT_EQ(r1.deadline_misses, 0u);
+}
+
+TEST_F(LinearFixture, QmaxRowHasOpenLowerBorder) {
+  const Quality qmax = engine_.qmax();
+  EXPECT_EQ(linear_.lower(0, qmax, 4), kTimeMinusInf);
+}
+
+TEST_F(LinearFixture, RejectsUnknownStep) {
+  EXPECT_THROW(linear_.upper(0, 0, 5), contract_error);
+  EXPECT_THROW(linear_.lower(0, 0, 99), contract_error);
+}
+
+TEST_F(LinearFixture, StepsBeyondRemainingActionsAreRejected) {
+  const StateIndex s = engine_.num_states() - 2;
+  EXPECT_EQ(linear_.upper(s, 0, 16), kTimeMinusInf);
+  EXPECT_FALSE(linear_.contains(s, 0, 0, 16));
+}
+
+}  // namespace
+}  // namespace speedqm

@@ -1,0 +1,207 @@
+// Tests for multi-task composition (paper §5 future work): interleaving,
+// deadline preservation, provenance mapping, per-task metrics, and safety
+// of the composed controlled system.
+#include <gtest/gtest.h>
+
+#include "core/multi_task.hpp"
+#include "core/numeric_manager.hpp"
+#include "core/feasibility.hpp"
+#include "workload/synthetic.hpp"
+
+namespace speedqm {
+namespace {
+
+SyntheticWorkload make_task(std::uint64_t seed, ActionIndex n, TimeNs base_min,
+                            TimeNs base_max, double budget_factor) {
+  SyntheticSpec spec;
+  spec.seed = seed;
+  spec.num_actions = n;
+  spec.num_levels = 5;
+  spec.base_min_ns = base_min;
+  spec.base_max_ns = base_max;
+  spec.budget_quality = 3;
+  spec.budget_factor = budget_factor;
+  spec.num_cycles = 2;
+  return SyntheticWorkload(spec);
+}
+
+/// Tasks sharing one cycle are all due by the cycle's end: rebuild each
+/// task's app with the shared budget as its final deadline (a task's own
+/// deadline must cover the interleaved work of the other tasks too).
+ScheduledApp with_budget(const ScheduledApp& app, TimeNs budget) {
+  std::vector<std::string> names;
+  std::vector<TimeNs> deadlines(app.size(), kTimePlusInf);
+  for (ActionIndex i = 0; i < app.size(); ++i) names.push_back(app.name(i));
+  deadlines.back() = budget;
+  return ScheduledApp(std::move(names), std::move(deadlines));
+}
+
+class MultiTaskFixture : public ::testing::Test {
+ protected:
+  static TimeNs shared_budget(const SyntheticWorkload& a,
+                              const SyntheticWorkload& b,
+                              const SyntheticWorkload& c) {
+    const double total = static_cast<double>(
+        a.timing().total_cav(3) + b.timing().total_cav(3) +
+        c.timing().total_cav(3));
+    return static_cast<TimeNs>(total * 1.25);
+  }
+
+  MultiTaskFixture()
+      : video_(make_task(1, 30, us(500), us(900), 1.0)),
+        audio_(make_task(2, 12, us(80), us(150), 1.0)),
+        telemetry_(make_task(3, 6, us(30), us(60), 1.0)),
+        budget_(shared_budget(video_, audio_, telemetry_)),
+        video_app_(with_budget(video_.app(), budget_)),
+        audio_app_(with_budget(audio_.app(), budget_)),
+        telemetry_app_(with_budget(telemetry_.app(), budget_)),
+        composed_(compose_tasks(
+            {TaskSpec{"video", &video_app_, &video_.timing()},
+             TaskSpec{"audio", &audio_app_, &audio_.timing()},
+             TaskSpec{"telemetry", &telemetry_app_, &telemetry_.timing()}})) {}
+
+  SyntheticWorkload video_, audio_, telemetry_;
+  TimeNs budget_;
+  ScheduledApp video_app_, audio_app_, telemetry_app_;
+  ComposedSystem composed_;
+};
+
+TEST_F(MultiTaskFixture, SizesAndNames) {
+  EXPECT_EQ(composed_.app().size(), 30u + 12u + 6u);
+  EXPECT_EQ(composed_.num_tasks(), 3u);
+  EXPECT_EQ(composed_.task_name(0), "video");
+  EXPECT_EQ(composed_.task_name(2), "telemetry");
+  // Composite names carry provenance.
+  EXPECT_EQ(composed_.app().name(0).find("video/"), 0u);
+}
+
+TEST_F(MultiTaskFixture, MappingRoundTrips) {
+  for (ActionIndex i = 0; i < composed_.app().size(); ++i) {
+    const TaskRef& ref = composed_.origin(i);
+    EXPECT_EQ(composed_.composite_index(ref.task, ref.local_action), i);
+  }
+}
+
+TEST_F(MultiTaskFixture, LocalOrderIsPreservedPerTask) {
+  for (std::size_t t = 0; t < composed_.num_tasks(); ++t) {
+    ActionIndex prev = 0;
+    bool first = true;
+    for (ActionIndex i = 0; i < composed_.app().size(); ++i) {
+      if (composed_.origin(i).task != t) continue;
+      if (!first) EXPECT_EQ(composed_.origin(i).local_action, prev + 1);
+      prev = composed_.origin(i).local_action;
+      first = false;
+    }
+  }
+}
+
+TEST_F(MultiTaskFixture, InterleavingIsProportional) {
+  // After any prefix, each task's completed fraction differs from the
+  // prefix fraction by at most one action's worth.
+  std::vector<ActionIndex> done(composed_.num_tasks(), 0);
+  const auto total = static_cast<double>(composed_.app().size());
+  for (ActionIndex i = 0; i < composed_.app().size(); ++i) {
+    ++done[composed_.origin(i).task];
+    const double prefix_fraction = static_cast<double>(i + 1) / total;
+    for (std::size_t t = 0; t < composed_.num_tasks(); ++t) {
+      const auto size = static_cast<double>(
+          t == 0 ? video_.app().size()
+                 : (t == 1 ? audio_.app().size() : telemetry_.app().size()));
+      const double fraction = static_cast<double>(done[t]) / size;
+      EXPECT_NEAR(fraction, prefix_fraction, 1.0 / size + 1e-9)
+          << "task " << t << " at prefix " << i;
+    }
+  }
+}
+
+TEST_F(MultiTaskFixture, DeadlinesTravelWithTheirActions) {
+  // Each task's final action keeps its deadline in the composite schedule;
+  // all other composite positions stay deadline-free.
+  std::size_t deadline_count = 0;
+  for (std::size_t t = 0; t < composed_.num_tasks(); ++t) {
+    const ActionIndex local_last =
+        (t == 0 ? video_app_.size()
+                : (t == 1 ? audio_app_.size() : telemetry_app_.size())) - 1;
+    const ActionIndex i = composed_.composite_index(t, local_last);
+    EXPECT_EQ(composed_.app().deadline(i), budget_);
+  }
+  for (ActionIndex i = 0; i < composed_.app().size(); ++i) {
+    if (composed_.app().has_deadline(i)) ++deadline_count;
+  }
+  EXPECT_EQ(deadline_count, 3u);
+}
+
+TEST_F(MultiTaskFixture, TimingRowsMatchOrigins) {
+  for (ActionIndex i = 0; i < composed_.app().size(); i += 3) {
+    const TaskRef& ref = composed_.origin(i);
+    const TimingModel& tm =
+        ref.task == 0 ? video_.timing()
+                      : (ref.task == 1 ? audio_.timing() : telemetry_.timing());
+    for (Quality q = 0; q < 5; ++q) {
+      ASSERT_EQ(composed_.timing().cav(i, q), tm.cav(ref.local_action, q));
+      ASSERT_EQ(composed_.timing().cwc(i, q), tm.cwc(ref.local_action, q));
+    }
+  }
+}
+
+TEST_F(MultiTaskFixture, ComposedSystemRunsSafely) {
+  const PolicyEngine engine(composed_.app(), composed_.timing());
+  const auto report = analyze_feasibility(engine);
+  ASSERT_TRUE(report.feasible)
+      << "composition fixture must start feasible; slack "
+      << format_time(report.qmin_slack);
+
+  NumericManager manager(engine);
+  video_.traces().set_cycle(0);
+  audio_.traces().set_cycle(0);
+  telemetry_.traces().set_cycle(0);
+  ComposedTimeSource source(
+      composed_, {&video_.traces(), &audio_.traces(), &telemetry_.traces()});
+  const auto run = run_cycle(composed_.app(), manager, source);
+
+  EXPECT_EQ(run.deadline_misses, 0u);
+  EXPECT_EQ(run.infeasible_decisions, 0u);
+
+  const auto per_task = composed_.per_task_quality(run);
+  ASSERT_EQ(per_task.size(), 3u);
+  for (double q : per_task) {
+    EXPECT_GE(q, 0.0);
+    EXPECT_LE(q, 4.0);
+  }
+}
+
+TEST(MultiTaskValidation, RejectsBadCompositions) {
+  auto a = make_task(10, 5, us(100), us(200), 1.2);
+  EXPECT_THROW(compose_tasks({}), contract_error);
+  EXPECT_THROW(compose_tasks({TaskSpec{"x", nullptr, &a.timing()}}),
+               contract_error);
+  // Mismatched level counts.
+  SyntheticSpec spec;
+  spec.num_levels = 3;
+  spec.budget_quality = 2;
+  SyntheticWorkload b(spec);
+  EXPECT_THROW(compose_tasks({TaskSpec{"a", &a.app(), &a.timing()},
+                              TaskSpec{"b", &b.app(), &b.timing()}}),
+               contract_error);
+}
+
+TEST(MultiTaskValidation, ComposedSourceRequiresOneSourcePerTask) {
+  auto a = make_task(20, 5, us(100), us(200), 1.2);
+  auto composed = compose_tasks({TaskSpec{"a", &a.app(), &a.timing()}});
+  EXPECT_THROW(ComposedTimeSource(composed, {}), contract_error);
+  EXPECT_THROW(ComposedTimeSource(composed, {nullptr}), contract_error);
+}
+
+TEST(MultiTaskValidation, SingleTaskCompositionIsIdentity) {
+  auto a = make_task(21, 7, us(100), us(200), 1.2);
+  auto composed = compose_tasks({TaskSpec{"solo", &a.app(), &a.timing()}});
+  ASSERT_EQ(composed.app().size(), a.app().size());
+  for (ActionIndex i = 0; i < a.app().size(); ++i) {
+    EXPECT_EQ(composed.origin(i).local_action, i);
+    EXPECT_EQ(composed.app().deadline(i), a.app().deadline(i));
+    EXPECT_EQ(composed.timing().cav(i, 2), a.timing().cav(i, 2));
+  }
+}
+
+}  // namespace
+}  // namespace speedqm

@@ -1,0 +1,146 @@
+// Tests for the clairvoyant oracle baselines.
+#include <gtest/gtest.h>
+
+#include "core/numeric_manager.hpp"
+#include "core/oracle.hpp"
+#include "workload/synthetic.hpp"
+
+namespace speedqm {
+namespace {
+
+// Hand-checkable: 3 actions, 3 levels, deadline 100.
+//   times: a0 {10,20,30}  a1 {10,15,40}  a2 {20,30,35}
+class OracleHandComputed : public ::testing::Test {
+ protected:
+  ScheduledApp app_{{"a", "b", "c"}, {kTimePlusInf, kTimePlusInf, 100}};
+  CycleTimes times_ = cycle_times_from(
+      3, 3, {10, 20, 30, 10, 15, 40, 20, 30, 35});
+};
+
+TEST_F(OracleHandComputed, UniformQuality) {
+  // uniform q0: 40 <= 100 ok; q1: 65 ok; q2: 105 > 100 => best uniform q1.
+  EXPECT_EQ(oracle_uniform_quality(app_, times_), 1);
+}
+
+TEST_F(OracleHandComputed, UniformInfeasibleWhenBudgetTooSmall) {
+  const ScheduledApp tight({"a", "b", "c"}, {kTimePlusInf, kTimePlusInf, 30});
+  EXPECT_EQ(oracle_uniform_quality(tight, times_), -1);
+}
+
+TEST_F(OracleHandComputed, GreedyBuysCheapestIncrementsFirst) {
+  // Increments: a0: +10,+10; a1: +5,+25; a2: +10,+5.
+  // Start 40. Buy a1->1 (+5, 45), a2->1 (+10, 55), a2->2 (+5, 60),
+  // a0->1 (+10, 70), a0->2 (+10, 80), a1->2 (+25, 105 > 100 skip).
+  // Result: q = {2, 1, 2}, total 80.
+  const auto r = oracle_greedy_assignment(app_, times_);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.qualities, (std::vector<Quality>{2, 1, 2}));
+  EXPECT_EQ(r.completion, 80);
+  EXPECT_NEAR(r.mean_quality, 5.0 / 3.0, 1e-12);
+}
+
+TEST_F(OracleHandComputed, GreedyInfeasibleReported) {
+  const ScheduledApp tight({"a", "b", "c"}, {kTimePlusInf, kTimePlusInf, 30});
+  const auto r = oracle_greedy_assignment(tight, times_);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_EQ(r.completion, 40);  // the qmin cost that did not fit
+}
+
+TEST_F(OracleHandComputed, GreedyRejectsMilestones) {
+  const ScheduledApp milestones({"a", "b", "c"}, {20, kTimePlusInf, 100});
+  EXPECT_THROW(oracle_greedy_assignment(milestones, times_), contract_error);
+}
+
+TEST(OracleTest, GreedyDominatesUniform) {
+  // The non-uniform bound is always >= the uniform one.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    SyntheticSpec spec;
+    spec.seed = seed;
+    spec.num_actions = 40;
+    spec.num_levels = 6;
+    spec.budget_quality = 3;
+    spec.budget_factor = 1.1;
+    const SyntheticWorkload w(spec);
+
+    std::vector<TimeNs> table;
+    for (ActionIndex i = 0; i < 40; ++i) {
+      for (Quality q = 0; q < 6; ++q) table.push_back(w.traces().at(0, i, q));
+    }
+    const auto times = cycle_times_from(40, 6, table);
+    const Quality uniform = oracle_uniform_quality(w.app(), times);
+    const auto greedy = oracle_greedy_assignment(w.app(), times);
+    ASSERT_TRUE(greedy.feasible);
+    EXPECT_GE(greedy.mean_quality + 1e-12, static_cast<double>(uniform));
+  }
+}
+
+TEST(OracleTest, OnlineControllerNeverBeatsTheGreedyOracle) {
+  // The oracle knows the future; the online mixed controller cannot exceed
+  // its quality sum on the same content (it may tie when budget saturates).
+  for (std::uint64_t seed = 10; seed <= 14; ++seed) {
+    SyntheticSpec spec;
+    spec.seed = seed;
+    spec.num_actions = 60;
+    spec.num_levels = 7;
+    spec.budget_quality = 4;
+    spec.budget_factor = 1.05;
+    SyntheticWorkload w(spec);
+
+    std::vector<TimeNs> table;
+    for (ActionIndex i = 0; i < 60; ++i) {
+      for (Quality q = 0; q < 7; ++q) table.push_back(w.traces().at(0, i, q));
+    }
+    const auto times = cycle_times_from(60, 7, table);
+    const auto oracle = oracle_greedy_assignment(w.app(), times);
+    ASSERT_TRUE(oracle.feasible);
+
+    const PolicyEngine e(w.app(), w.timing());
+    NumericManager manager(e);
+    w.traces().set_cycle(0);
+    const auto run = run_cycle(w.app(), manager, w.traces());
+    EXPECT_EQ(run.deadline_misses, 0u);
+    EXPECT_LE(run.mean_quality(), oracle.mean_quality + 0.05) << "seed " << seed;
+  }
+}
+
+TEST(OracleTest, UniformOracleMeetsDeadlinesByConstruction) {
+  SyntheticSpec spec;
+  spec.seed = 3;
+  spec.num_actions = 30;
+  spec.num_levels = 5;
+  spec.budget_quality = 3;
+  spec.milestone_every = 10;  // uniform oracle handles milestones too
+  const SyntheticWorkload w(spec);
+  std::vector<TimeNs> table;
+  for (ActionIndex i = 0; i < 30; ++i) {
+    for (Quality q = 0; q < 5; ++q) table.push_back(w.traces().at(1, i, q));
+  }
+  const auto times = cycle_times_from(30, 5, table);
+  const Quality uniform = oracle_uniform_quality(w.app(), times);
+  ASSERT_GE(uniform, 0);
+  // Replay at the oracle level: all deadlines met; at uniform+1: violated.
+  TimeNs t = 0;
+  for (ActionIndex i = 0; i < 30; ++i) {
+    t += times.at(i, uniform);
+    if (w.app().has_deadline(i)) ASSERT_LE(t, w.app().deadline(i));
+  }
+  if (uniform < 4) {
+    t = 0;
+    bool violated = false;
+    for (ActionIndex i = 0; i < 30; ++i) {
+      t += times.at(i, uniform + 1);
+      if (w.app().has_deadline(i) && t > w.app().deadline(i)) violated = true;
+    }
+    EXPECT_TRUE(violated);
+  }
+}
+
+TEST(OracleTest, CycleTimesValidation) {
+  EXPECT_THROW(cycle_times_from(2, 2, {1, 2, 3}), contract_error);
+  const auto times = cycle_times_from(1, 2, {5, 6});
+  EXPECT_THROW(times.at(1, 0), contract_error);
+  EXPECT_THROW(times.at(0, 2), contract_error);
+}
+
+}  // namespace
+}  // namespace speedqm

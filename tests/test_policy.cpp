@@ -1,0 +1,254 @@
+// Tests for the policy engine: exact agreement between the three tD
+// evaluation paths (naive definition, online scan, symbolic table) across
+// policies and randomized workloads, plus the monotonicity properties that
+// Propositions 2 and 3 rest on.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/policy.hpp"
+#include "support/rng.hpp"
+#include "workload/synthetic.hpp"
+
+namespace speedqm {
+namespace {
+
+// Tiny hand-computed fixture: 3 actions, 2 levels.
+//   cav:  a0: {10, 20}  a1: {10, 30}  a2: {20, 40}
+//   cwc:  a0: {20, 30}  a1: {15, 45}  a2: {30, 60}
+//   deadline only on the last action: D = 100.
+class PolicyHandComputed : public ::testing::Test {
+ protected:
+  ScheduledApp app_{{"a0", "a1", "a2"}, {kTimePlusInf, kTimePlusInf, 100}};
+  TimingModel tm_{3, 2, {10, 20, 10, 30, 20, 40}, {20, 30, 15, 45, 30, 60}};
+  PolicyEngine mixed_{app_, tm_, PolicyKind::kMixed};
+  PolicyEngine safe_{app_, tm_, PolicyKind::kSafe};
+  PolicyEngine avg_{app_, tm_, PolicyKind::kAverage};
+};
+
+TEST_F(PolicyHandComputed, CsfMatchesDefinition) {
+  // Csf(0..2, q) = Cwc(0, q) + Cwc(1, qmin) + Cwc(2, qmin).
+  EXPECT_EQ(safe_.csf(0, 2, 0), 20 + 15 + 30);
+  EXPECT_EQ(safe_.csf(0, 2, 1), 30 + 15 + 30);
+  EXPECT_EQ(safe_.csf(2, 2, 1), 60);
+}
+
+TEST_F(PolicyHandComputed, DeltaMaxByHand) {
+  // q = 1, window 0..2:
+  //   δ(0..2) = Csf(0..2,1) - Cav(0..2,1) = 75 - 90 = -15
+  //   δ(1..2) = (45 + 30) - (30 + 40)     = 5
+  //   δ(2..2) = 60 - 40                   = 20
+  EXPECT_EQ(mixed_.delta(0, 2, 1), -15);
+  EXPECT_EQ(mixed_.delta(1, 2, 1), 5);
+  EXPECT_EQ(mixed_.delta(2, 2, 1), 20);
+  EXPECT_EQ(mixed_.delta_max(0, 2, 1), 20);
+}
+
+TEST_F(PolicyHandComputed, MixedCdAndTd) {
+  // CD(0..2, 1) = Cav(0..2,1) + δmax = 90 + 20 = 110 => tD(0,1) = -10.
+  EXPECT_EQ(mixed_.cd(0, 2, 1), 110);
+  EXPECT_EQ(mixed_.td_naive(0, 1), -10);
+  // q = 0: δ(0..2,0)=65-40=25, δ(1..2,0)=45-30=15, δ(2..2,0)=10
+  //   => CD = 40 + 25 = 65, tD(0,0) = 35.
+  EXPECT_EQ(mixed_.cd(0, 2, 0), 65);
+  EXPECT_EQ(mixed_.td_naive(0, 0), 35);
+}
+
+TEST_F(PolicyHandComputed, SafeAndAverageTd) {
+  EXPECT_EQ(safe_.td_naive(0, 1), 100 - 75);
+  EXPECT_EQ(safe_.td_naive(0, 0), 100 - 65);
+  EXPECT_EQ(avg_.td_naive(0, 1), 100 - 90);
+  EXPECT_EQ(avg_.td_naive(0, 0), 100 - 40);
+}
+
+TEST_F(PolicyHandComputed, OnlineMatchesNaiveEverywhere) {
+  for (const PolicyEngine* e : {&mixed_, &safe_, &avg_}) {
+    for (StateIndex s = 0; s < 3; ++s) {
+      for (Quality q = 0; q < 2; ++q) {
+        EXPECT_EQ(e->td_online(s, q), e->td_naive(s, q))
+            << to_string(e->kind()) << " s=" << s << " q=" << q;
+      }
+    }
+  }
+}
+
+TEST_F(PolicyHandComputed, TableMatchesNaiveEverywhere) {
+  for (const PolicyEngine* e : {&mixed_, &safe_, &avg_}) {
+    const auto table = e->td_table();
+    for (StateIndex s = 0; s < 3; ++s) {
+      for (Quality q = 0; q < 2; ++q) {
+        EXPECT_EQ(table[s * 2 + static_cast<std::size_t>(q)], e->td_naive(s, q))
+            << to_string(e->kind()) << " s=" << s << " q=" << q;
+      }
+    }
+  }
+}
+
+TEST_F(PolicyHandComputed, DecideOnlinePicksMaximalFeasibleQuality) {
+  // tD(0,0)=35, tD(0,1)=-10. At t=-10 both hold => q=1. At t=0 only q=0.
+  // At t=36 none => infeasible, degrade to qmin.
+  auto d = mixed_.decide_online(0, -10);
+  EXPECT_EQ(d.quality, 1);
+  EXPECT_TRUE(d.feasible);
+  d = mixed_.decide_online(0, 0);
+  EXPECT_EQ(d.quality, 0);
+  EXPECT_TRUE(d.feasible);
+  d = mixed_.decide_online(0, 36);
+  EXPECT_EQ(d.quality, 0);
+  EXPECT_FALSE(d.feasible);
+}
+
+TEST_F(PolicyHandComputed, OpsAreCountedAndGrowWithRemainingActions) {
+  std::uint64_t ops0 = 0, ops2 = 0;
+  mixed_.td_online(0, 0, &ops0);
+  mixed_.td_online(2, 0, &ops2);
+  EXPECT_GT(ops0, ops2);
+  EXPECT_GT(ops2, 0u);
+}
+
+TEST_F(PolicyHandComputed, RejectsOutOfRangeArguments) {
+  EXPECT_THROW(mixed_.td_online(3, 0), contract_error);
+  EXPECT_THROW(mixed_.td_online(0, 2), contract_error);
+  EXPECT_THROW(mixed_.td_online(0, -1), contract_error);
+  EXPECT_THROW(mixed_.cd(2, 1, 0), contract_error);
+}
+
+TEST(PolicyEngineTest, RejectsMismatchedSizes) {
+  const auto app = make_uniform_app(3, ms(1));
+  const TimingModel tm(2, 2, {1, 2, 3, 4}, {5, 6, 7, 8});
+  EXPECT_THROW(PolicyEngine(app, tm), contract_error);
+}
+
+TEST(PolicyEngineTest, NoRemainingDeadlineYieldsPlusInf) {
+  // Deadline only on the middle action: states after it are unconstrained.
+  const ScheduledApp app({"a", "b", "c"}, {kTimePlusInf, ms(5), kTimePlusInf});
+  const TimingModel tm(3, 2, {1, 2, 1, 2, 1, 2}, {3, 4, 3, 4, 3, 4});
+  const PolicyEngine e(app, tm);
+  EXPECT_EQ(e.td_online(2, 0), kTimePlusInf);
+  EXPECT_EQ(e.td_online(2, 1), kTimePlusInf);
+  EXPECT_LT(e.td_online(0, 0), kTimePlusInf);
+  // decide at the unconstrained state returns qmax.
+  EXPECT_EQ(e.decide_online(2, ms(100)).quality, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized property sweeps: the three evaluation paths agree exactly, and
+// the monotonicity properties hold, across workload shapes.
+// ---------------------------------------------------------------------------
+
+struct SweepParam {
+  std::uint64_t seed;
+  ActionIndex actions;
+  int levels;
+  ActionIndex milestone_every;  // 0 = single final deadline
+  QualityCurve curve;
+};
+
+class PolicySweep : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  static SyntheticWorkload make(const SweepParam& p) {
+    SyntheticSpec spec;
+    spec.seed = p.seed;
+    spec.num_actions = p.actions;
+    spec.num_levels = p.levels;
+    spec.milestone_every = p.milestone_every;
+    spec.curve = p.curve;
+    spec.num_cycles = 2;
+    spec.budget_quality = std::min(4, p.levels - 1);
+    return SyntheticWorkload(spec);
+  }
+};
+
+TEST_P(PolicySweep, TableOnlineNaiveAgree) {
+  const auto w = make(GetParam());
+  for (const PolicyKind kind :
+       {PolicyKind::kMixed, PolicyKind::kSafe, PolicyKind::kAverage}) {
+    const PolicyEngine e(w.app(), w.timing(), kind);
+    const auto table = e.td_table();
+    const auto nq = static_cast<std::size_t>(e.num_levels());
+    for (StateIndex s = 0; s < e.num_states(); ++s) {
+      for (Quality q = 0; q < e.num_levels(); ++q) {
+        const TimeNs naive = e.td_naive(s, q);
+        ASSERT_EQ(e.td_online(s, q), naive)
+            << to_string(kind) << " online mismatch at s=" << s << " q=" << q;
+        ASSERT_EQ(table[s * nq + static_cast<std::size_t>(q)], naive)
+            << to_string(kind) << " table mismatch at s=" << s << " q=" << q;
+      }
+    }
+  }
+}
+
+TEST_P(PolicySweep, TdNonIncreasingInQuality) {
+  const auto w = make(GetParam());
+  for (const PolicyKind kind :
+       {PolicyKind::kMixed, PolicyKind::kSafe, PolicyKind::kAverage}) {
+    const PolicyEngine e(w.app(), w.timing(), kind);
+    for (StateIndex s = 0; s < e.num_states(); ++s) {
+      for (Quality q = 1; q < e.num_levels(); ++q) {
+        ASSERT_LE(e.td_online(s, q), e.td_online(s, q - 1))
+            << to_string(kind) << " s=" << s << " q=" << q;
+      }
+    }
+  }
+}
+
+TEST_P(PolicySweep, MixedCdNonDecreasingInWindowEnd) {
+  const auto w = make(GetParam());
+  const PolicyEngine e(w.app(), w.timing(), PolicyKind::kMixed);
+  const ActionIndex n = w.app().size();
+  const StateIndex s = n / 3;
+  for (Quality q = 0; q < e.num_levels(); ++q) {
+    for (ActionIndex k = s + 1; k < n; ++k) {
+      ASSERT_GE(e.cd(s, k, q), e.cd(s, k - 1, q)) << "k=" << k << " q=" << q;
+    }
+  }
+}
+
+TEST_P(PolicySweep, TdNonDecreasingAlongStates) {
+  // The paper uses "tD(s_j, q+1) is increasing with j" to derive
+  // Proposition 3; verify (non-strict) monotonicity along states.
+  const auto w = make(GetParam());
+  const PolicyEngine e(w.app(), w.timing(), PolicyKind::kMixed);
+  for (Quality q = 0; q < e.num_levels(); ++q) {
+    for (StateIndex s = 1; s < e.num_states(); ++s) {
+      ASSERT_GE(e.td_online(s, q), e.td_online(s - 1, q)) << "s=" << s;
+    }
+  }
+}
+
+TEST_P(PolicySweep, MixedIsMostConservativeEstimator) {
+  // CD_mixed(s..k, q) = max_j [Cav(s..j-1,q) + Cwc(j,q) + Cwc(j+1..k,qmin)]
+  // contains Csf(s..k, q) as its j = s term and dominates Cav termwise, so
+  // pointwise tD_mixed <= tD_safe and tD_mixed <= tD_average. (The safe
+  // policy is *not* more conservative per state: it books the whole tail
+  // at qmin cost, which is what lets it start cycles at high quality and
+  // then decay — the smoothness problem the mixed policy fixes.)
+  const auto w = make(GetParam());
+  const PolicyEngine mixed(w.app(), w.timing(), PolicyKind::kMixed);
+  const PolicyEngine safe(w.app(), w.timing(), PolicyKind::kSafe);
+  const PolicyEngine avg(w.app(), w.timing(), PolicyKind::kAverage);
+  for (StateIndex s = 0; s < mixed.num_states(); ++s) {
+    for (Quality q = 0; q < mixed.num_levels(); ++q) {
+      const TimeNs m = mixed.td_online(s, q);
+      ASSERT_LE(m, safe.td_online(s, q)) << "s=" << s << " q=" << q;
+      ASSERT_LE(m, avg.td_online(s, q)) << "s=" << s << " q=" << q;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PolicySweep,
+    ::testing::Values(
+        SweepParam{1, 40, 7, 0, QualityCurve::kLinear},
+        SweepParam{2, 40, 7, 10, QualityCurve::kLinear},
+        SweepParam{3, 97, 4, 13, QualityCurve::kConcave},
+        SweepParam{4, 97, 4, 0, QualityCurve::kConvex},
+        SweepParam{5, 1, 3, 0, QualityCurve::kLinear},   // single action
+        SweepParam{6, 250, 2, 50, QualityCurve::kLinear},
+        SweepParam{7, 17, 1, 4, QualityCurve::kLinear},  // single level
+        SweepParam{8, 64, 9, 8, QualityCurve::kConcave},
+        SweepParam{9, 128, 7, 1, QualityCurve::kLinear}  // deadline everywhere
+        ));
+
+}  // namespace
+}  // namespace speedqm

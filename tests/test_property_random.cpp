@@ -1,0 +1,209 @@
+// Randomized end-to-end property suite: for a grid of workload shapes
+// (actions x levels x curves x deadline patterns x seeds), verify the
+// system-level invariants that every component chain must preserve:
+//
+//   P1  symbolic tables replicate online decisions exactly;
+//   P2  relaxation is conservative under adversarial in-bound executions;
+//   P3  the controlled system is deadline-safe whenever the start state is
+//       feasible, for worst-case, random and zero-time sources;
+//   P4  the pure controller and the zero-overhead executor agree;
+//   P5  serialization round-trips controllers bit-exactly.
+//
+// This suite intentionally re-checks properties covered by focused tests,
+// but across a much wider shape grid — it is the repository's fuzz layer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/numeric_manager.hpp"
+#include "core/region_compiler.hpp"
+#include "core/region_manager.hpp"
+#include "core/relaxation_manager.hpp"
+#include "sim/executor.hpp"
+#include "support/rng.hpp"
+#include "workload/synthetic.hpp"
+
+namespace speedqm {
+namespace {
+
+struct GridParam {
+  std::uint64_t seed;
+  ActionIndex actions;
+  int levels;
+  QualityCurve curve;
+  ActionIndex milestone_every;
+  double budget_factor;
+  double load_phi;
+};
+
+std::string param_name(const ::testing::TestParamInfo<GridParam>& info) {
+  const auto& p = info.param;
+  std::string curve = p.curve == QualityCurve::kLinear
+                          ? "lin"
+                          : (p.curve == QualityCurve::kConcave ? "cave" : "vex");
+  return "s" + std::to_string(p.seed) + "_n" + std::to_string(p.actions) +
+         "_q" + std::to_string(p.levels) + "_" + curve + "_m" +
+         std::to_string(p.milestone_every);
+}
+
+class RandomGrid : public ::testing::TestWithParam<GridParam> {
+ protected:
+  static SyntheticWorkload make(const GridParam& p) {
+    SyntheticSpec spec;
+    spec.seed = p.seed;
+    spec.num_actions = p.actions;
+    spec.num_levels = p.levels;
+    spec.curve = p.curve;
+    spec.milestone_every = p.milestone_every;
+    spec.budget_quality = std::min(4, p.levels - 1);
+    spec.budget_factor = p.budget_factor;
+    spec.load_phi = p.load_phi;
+    spec.num_cycles = 3;
+    return SyntheticWorkload(spec);
+  }
+
+  static std::vector<int> rho_for(ActionIndex n) {
+    std::vector<int> rho{1};
+    for (int r = 2; static_cast<ActionIndex>(r) < n / 2; r *= 3) rho.push_back(r);
+    return rho;
+  }
+};
+
+TEST_P(RandomGrid, P1_SymbolicReplicatesOnline) {
+  const auto w = make(GetParam());
+  const PolicyEngine e(w.app(), w.timing());
+  const QualityRegionTable regions(e);
+  Xoshiro256 rng(GetParam().seed * 977 + 5);
+  for (StateIndex s = 0; s < e.num_states(); ++s) {
+    const TimeNs anchor = regions.td(s, 0);
+    if (anchor >= kTimePlusInf) continue;
+    for (int k = 0; k < 4; ++k) {
+      const TimeNs t = anchor - rng.uniform_int(-us(50), ms(3));
+      const auto online = e.decide_online(s, t);
+      const auto symbolic = regions.decide(s, t);
+      ASSERT_EQ(symbolic.quality, online.quality) << "s=" << s << " t=" << t;
+      ASSERT_EQ(symbolic.feasible, online.feasible);
+    }
+  }
+}
+
+TEST_P(RandomGrid, P2_RelaxationConservativeUnderAdversary) {
+  const auto w = make(GetParam());
+  const PolicyEngine e(w.app(), w.timing());
+  const QualityRegionTable regions(e);
+  const RelaxationTable relax(e, regions, rho_for(w.app().size()));
+  Xoshiro256 rng(GetParam().seed * 31 + 3);
+
+  for (StateIndex s = 0; s < e.num_states(); s += 2) {
+    const TimeNs anchor = regions.td(s, 0);
+    if (anchor >= kTimePlusInf) continue;
+    const TimeNs t = anchor - rng.uniform_int(0, ms(2));
+    const Decision d = regions.decide(s, t);
+    if (!d.feasible) continue;
+    const int r = relax.max_relaxation(s, t, d.quality);
+    if (r <= 1) continue;
+    // Random adversarial path through the window must keep the choice.
+    TimeNs elapsed = t;
+    for (StateIndex j = s; j < s + static_cast<StateIndex>(r); ++j) {
+      const Decision dj = regions.decide(j, elapsed);
+      ASSERT_TRUE(dj.feasible) << "s=" << s << " j=" << j;
+      ASSERT_EQ(dj.quality, d.quality) << "s=" << s << " j=" << j << " r=" << r;
+      elapsed += rng.uniform_int(0, w.timing().cwc(j, d.quality));
+    }
+  }
+}
+
+TEST_P(RandomGrid, P3_SafetyAcrossSources) {
+  const auto w = make(GetParam());
+  const PolicyEngine e(w.app(), w.timing());
+  if (e.td_online(0, kQmin) < 0) {
+    GTEST_SKIP() << "shape is infeasible at start; safety not promised";
+  }
+  NumericManager manager(e);
+
+  struct RandomSource final : ActualTimeSource {
+    RandomSource(const TimingModel& tm, std::uint64_t seed) : tm(&tm), rng(seed) {}
+    TimeNs actual_time(ActionIndex i, Quality q) override {
+      return rng.uniform_int(0, tm->cwc(i, q));
+    }
+    const TimingModel* tm;
+    Xoshiro256 rng;
+  };
+
+  WorstCaseSource worst(w.timing());
+  AverageSource avg(w.timing());
+  RandomSource rnd(w.timing(), GetParam().seed + 17);
+  for (ActualTimeSource* source :
+       std::initializer_list<ActualTimeSource*>{&worst, &avg, &rnd}) {
+    const auto run = run_cycle(w.app(), manager, *source);
+    ASSERT_EQ(run.deadline_misses, 0u);
+    ASSERT_EQ(run.infeasible_decisions, 0u);
+  }
+}
+
+TEST_P(RandomGrid, P4_PureAndZeroOverheadExecutorAgree) {
+  auto w = make(GetParam());
+  const PolicyEngine e(w.app(), w.timing());
+  const QualityRegionTable regions(e);
+  const RelaxationTable relax(e, regions, rho_for(w.app().size()));
+  RelaxationManager m1(regions, relax), m2(regions, relax);
+
+  ExecutorOptions opts;
+  opts.cycles = 1;
+  const auto sim_run = run_cyclic(w.app(), m1, w.traces(), opts);
+  w.traces().set_cycle(0);
+  const auto pure_run = run_cycle(w.app(), m2, w.traces());
+
+  ASSERT_EQ(sim_run.steps.size(), pure_run.steps.size());
+  for (std::size_t i = 0; i < sim_run.steps.size(); ++i) {
+    ASSERT_EQ(sim_run.steps[i].quality, pure_run.steps[i].quality);
+    ASSERT_EQ(sim_run.steps[i].manager_called, pure_run.steps[i].manager_called);
+  }
+}
+
+TEST_P(RandomGrid, P5_SerializationRoundTripsDecisions) {
+  const auto w = make(GetParam());
+  const PolicyEngine e(w.app(), w.timing());
+  const QualityRegionTable regions(e);
+  const RelaxationTable relax(e, regions, rho_for(w.app().size()));
+
+  std::stringstream buf1, buf2;
+  RegionCompiler::save_regions(regions, buf1);
+  RegionCompiler::save_relaxation(relax, buf2);
+  const auto regions2 = RegionCompiler::load_regions(buf1);
+  const auto relax2 = RegionCompiler::load_relaxation(buf2);
+
+  Xoshiro256 rng(GetParam().seed * 7 + 2);
+  for (StateIndex s = 0; s < e.num_states(); s += 3) {
+    const TimeNs anchor = regions.td(s, 0);
+    if (anchor >= kTimePlusInf) continue;
+    const TimeNs t = anchor - rng.uniform_int(0, ms(2));
+    const auto d1 = regions.decide(s, t);
+    const auto d2 = regions2.decide(s, t);
+    ASSERT_EQ(d1.quality, d2.quality);
+    if (d1.feasible) {
+      ASSERT_EQ(relax.max_relaxation(s, t, d1.quality),
+                relax2.max_relaxation(s, t, d1.quality));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RandomGrid,
+    ::testing::Values(
+        GridParam{101, 30, 7, QualityCurve::kLinear, 0, 1.10, 0.85},
+        GridParam{102, 30, 7, QualityCurve::kLinear, 7, 1.15, 0.85},
+        GridParam{103, 75, 5, QualityCurve::kConcave, 0, 1.20, 0.90},
+        GridParam{104, 75, 5, QualityCurve::kConvex, 20, 1.20, 0.50},
+        GridParam{105, 150, 3, QualityCurve::kLinear, 0, 1.05, 0.95},
+        GridParam{106, 150, 9, QualityCurve::kConcave, 31, 1.25, 0.70},
+        GridParam{107, 11, 2, QualityCurve::kLinear, 0, 1.30, 0.85},
+        GridParam{108, 11, 12, QualityCurve::kConvex, 3, 1.30, 0.85},
+        GridParam{109, 240, 4, QualityCurve::kLinear, 60, 1.12, 0.92},
+        GridParam{110, 240, 6, QualityCurve::kConcave, 0, 1.08, 0.60},
+        GridParam{111, 57, 7, QualityCurve::kConvex, 9, 1.18, 0.80},
+        GridParam{112, 2, 5, QualityCurve::kLinear, 0, 1.40, 0.85}),
+    param_name);
+
+}  // namespace
+}  // namespace speedqm

@@ -1,0 +1,389 @@
+// Tests for quality regions (Proposition 2), control relaxation regions
+// (Proposition 3) and the region compiler's serialization.
+//
+// The two central properties:
+//  * the symbolic region decision equals the numeric online decision at
+//    every sampled state (Proposition 2 as an executable equivalence);
+//  * relaxation membership is *conservative*: from any state in Rrq, every
+//    adversarial in-bounds execution keeps the manager's choice at q for
+//    the next r steps (Proposition 3's guarantee), and the borders are
+//    tight (stepping past them breaks the guarantee).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/quality_region.hpp"
+#include "core/region_compiler.hpp"
+#include "core/relaxation_region.hpp"
+#include "support/rng.hpp"
+#include "workload/synthetic.hpp"
+
+namespace speedqm {
+namespace {
+
+SyntheticWorkload make_workload(std::uint64_t seed, ActionIndex n = 80,
+                                int levels = 7, ActionIndex milestones = 0) {
+  SyntheticSpec spec;
+  spec.seed = seed;
+  spec.num_actions = n;
+  spec.num_levels = levels;
+  spec.milestone_every = milestones;
+  spec.budget_quality = std::min(4, levels - 1);
+  spec.num_cycles = 2;
+  return SyntheticWorkload(spec);
+}
+
+/// Sample interesting t values around the region borders of state s.
+std::vector<TimeNs> interesting_times(const QualityRegionTable& table,
+                                      StateIndex s, Xoshiro256& rng) {
+  std::vector<TimeNs> ts;
+  for (Quality q = 0; q < table.num_levels(); ++q) {
+    const TimeNs b = table.td(s, q);
+    if (b >= kTimePlusInf || b <= kTimeMinusInf) continue;
+    ts.push_back(b);          // on the border (inclusive side)
+    ts.push_back(b + 1);      // just outside
+    ts.push_back(b - 1);      // just inside
+    ts.push_back(b - rng.uniform_int(2, ms(2)));
+  }
+  ts.push_back(kTimeMinusInf / 2);
+  ts.push_back(0);
+  return ts;
+}
+
+TEST(QualityRegionTest, DecideMatchesOnlineDecisionEverywhere) {
+  Xoshiro256 rng(99);
+  for (std::uint64_t seed : {11u, 22u, 33u}) {
+    const auto w = make_workload(seed, 60, 7, seed == 33u ? 15u : 0u);
+    const PolicyEngine e(w.app(), w.timing());
+    const QualityRegionTable table(e);
+    for (StateIndex s = 0; s < e.num_states(); ++s) {
+      for (const TimeNs t : interesting_times(table, s, rng)) {
+        const Decision online = e.decide_online(s, t);
+        const Decision symbolic = table.decide(s, t);
+        ASSERT_EQ(symbolic.quality, online.quality) << "s=" << s << " t=" << t;
+        ASSERT_EQ(symbolic.feasible, online.feasible) << "s=" << s << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(QualityRegionTest, ContainsIsConsistentWithDecide) {
+  const auto w = make_workload(5);
+  const PolicyEngine e(w.app(), w.timing());
+  const QualityRegionTable table(e);
+  Xoshiro256 rng(7);
+  for (StateIndex s = 0; s < e.num_states(); s += 3) {
+    for (const TimeNs t : interesting_times(table, s, rng)) {
+      const Decision d = table.decide(s, t);
+      for (Quality q = 0; q < table.num_levels(); ++q) {
+        const bool member = table.contains(s, t, q);
+        ASSERT_EQ(member, d.feasible && q == d.quality)
+            << "s=" << s << " t=" << t << " q=" << q;
+      }
+    }
+  }
+}
+
+TEST(QualityRegionTest, RegionsPartitionTheFeasibleHalfLine) {
+  // For any t <= tD(s, qmin), exactly one region contains (s, t).
+  const auto w = make_workload(8);
+  const PolicyEngine e(w.app(), w.timing());
+  const QualityRegionTable table(e);
+  Xoshiro256 rng(17);
+  for (StateIndex s = 0; s < e.num_states(); s += 7) {
+    const TimeNs tmax = table.td(s, 0);
+    for (int i = 0; i < 50; ++i) {
+      const TimeNs t = tmax - rng.uniform_int(0, ms(4));
+      int members = 0;
+      for (Quality q = 0; q < table.num_levels(); ++q) {
+        members += table.contains(s, t, q) ? 1 : 0;
+      }
+      ASSERT_EQ(members, 1) << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST(QualityRegionTest, MemoryAccountingMatchesShape) {
+  const auto w = make_workload(3, 50, 6);
+  const PolicyEngine e(w.app(), w.timing());
+  const QualityRegionTable table(e);
+  EXPECT_EQ(table.num_integers(), 50u * 6u);
+  EXPECT_EQ(table.memory_bytes(), 50u * 6u * sizeof(TimeNs));
+}
+
+TEST(QualityRegionTest, RawConstructorValidatesMonotonicity) {
+  // tD increasing in q is invalid.
+  EXPECT_THROW(QualityRegionTable(1, 2, {10, 20}), contract_error);
+  EXPECT_NO_THROW(QualityRegionTable(1, 2, {20, 10}));
+  EXPECT_THROW(QualityRegionTable(2, 2, {1, 1, 1}), contract_error);
+}
+
+// ---------------------------------------------------------------------------
+// Relaxation regions.
+// ---------------------------------------------------------------------------
+
+class RelaxationFixture : public ::testing::Test {
+ protected:
+  RelaxationFixture()
+      : w_(make_workload(77, 90, 5)),
+        engine_(w_.app(), w_.timing()),
+        regions_(engine_),
+        relaxation_(engine_, regions_, {1, 4, 9, 16}) {}
+
+  SyntheticWorkload w_;
+  PolicyEngine engine_;
+  QualityRegionTable regions_;
+  RelaxationTable relaxation_;
+};
+
+TEST_F(RelaxationFixture, UpperBorderMatchesBruteForce) {
+  // tD,r(s, q) = min_{j in [s, s+r-1]} tD(j, q) - Cwc(a_s..a_{j-1}, q).
+  const auto& tm = w_.timing();
+  for (const int r : relaxation_.rho()) {
+    for (StateIndex s = 0; s + static_cast<StateIndex>(r) <= engine_.num_states();
+         ++s) {
+      for (Quality q = 0; q < engine_.num_levels(); ++q) {
+        TimeNs expect = kTimePlusInf;
+        for (StateIndex j = s; j < s + static_cast<StateIndex>(r); ++j) {
+          const TimeNs w = j > s ? tm.cwc_range(s, j - 1, q) : 0;
+          expect = std::min(expect, regions_.td(j, q) - w);
+        }
+        ASSERT_EQ(relaxation_.upper(s, q, r), expect)
+            << "r=" << r << " s=" << s << " q=" << q;
+      }
+    }
+  }
+}
+
+TEST_F(RelaxationFixture, LowerBorderIsShiftedRegionBorder) {
+  for (const int r : relaxation_.rho()) {
+    for (StateIndex s = 0; s + static_cast<StateIndex>(r) <= engine_.num_states();
+         s += 5) {
+      for (Quality q = 0; q < engine_.num_levels(); ++q) {
+        const TimeNs lo = relaxation_.lower(s, q, r);
+        if (q == engine_.qmax()) {
+          ASSERT_EQ(lo, kTimeMinusInf);
+        } else {
+          ASSERT_EQ(lo, regions_.td(s + static_cast<StateIndex>(r) - 1, q + 1));
+        }
+      }
+    }
+  }
+}
+
+TEST_F(RelaxationFixture, RelaxationOneEqualsQualityRegion) {
+  // R1q = Rq by Definition 5.
+  Xoshiro256 rng(5);
+  for (StateIndex s = 0; s < engine_.num_states(); s += 4) {
+    for (Quality q = 0; q < engine_.num_levels(); ++q) {
+      const TimeNs border = regions_.td(s, q);
+      if (border >= kTimePlusInf) continue;
+      for (const TimeNs t : {border, border - 1, border + 1}) {
+        ASSERT_EQ(relaxation_.contains(s, t, q, 1), regions_.contains(s, t, q))
+            << "s=" << s << " q=" << q << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST_F(RelaxationFixture, MembershipIsConservativeUnderAdversarialTimes) {
+  // From any (s, t) in Rrq, ANY execution with 0 <= c_j <= Cwc(j, q) keeps
+  // the decision at q for all r steps. Check random and extreme paths.
+  Xoshiro256 rng(1234);
+  const auto& tm = w_.timing();
+  int verified = 0;
+  for (StateIndex s = 0; s + 16 <= engine_.num_states(); s += 3) {
+    for (Quality q = 0; q < engine_.num_levels(); ++q) {
+      for (const int r : relaxation_.rho()) {
+        const TimeNs up = relaxation_.upper(s, q, r);
+        const TimeNs lo = relaxation_.lower(s, q, r);
+        if (up <= lo || up >= kTimePlusInf) continue;  // empty region here
+        // Pick t on the inclusive upper border — the hardest member.
+        const TimeNs t = up;
+        ASSERT_TRUE(relaxation_.contains(s, t, q, r));
+        for (int path = 0; path < 4; ++path) {
+          TimeNs elapsed = t;
+          for (StateIndex j = s; j < s + static_cast<StateIndex>(r); ++j) {
+            const Decision d = regions_.decide(j, elapsed);
+            ASSERT_TRUE(d.feasible);
+            ASSERT_EQ(d.quality, q)
+                << "path=" << path << " s=" << s << " j=" << j << " r=" << r;
+            const TimeNs bound = tm.cwc(j, q);
+            TimeNs c = 0;
+            switch (path) {
+              case 0: c = bound; break;                          // worst case
+              case 1: c = 0; break;                              // zero time
+              case 2: c = bound / 2; break;                      // midpoint
+              default: c = rng.uniform_int(0, bound); break;     // random
+            }
+            elapsed += c;
+          }
+          ++verified;
+        }
+      }
+    }
+  }
+  EXPECT_GT(verified, 100);  // the sweep must have exercised real regions
+}
+
+TEST_F(RelaxationFixture, UpperBorderIsTight) {
+  // Just past the upper border, the all-worst-case path must break the
+  // constant-q guarantee within r steps (Proposition 3 is an iff).
+  const auto& tm = w_.timing();
+  int exercised = 0;
+  for (StateIndex s = 0; s + 16 <= engine_.num_states(); s += 3) {
+    for (Quality q = 0; q < engine_.num_levels(); ++q) {
+      for (const int r : relaxation_.rho()) {
+        if (r == 1) continue;
+        const TimeNs up = relaxation_.upper(s, q, r);
+        const TimeNs lo = relaxation_.lower(s, q, r);
+        if (up <= lo || up >= kTimePlusInf) continue;
+        const TimeNs t = up + 1;
+        if (t > regions_.td(s, q) || t <= (q == engine_.qmax()
+                                               ? kTimeMinusInf
+                                               : regions_.td(s, q + 1))) {
+          continue;  // t fell outside Rq itself; tightness is trivial there
+        }
+        bool broke = false;
+        TimeNs elapsed = t;
+        for (StateIndex j = s; j < s + static_cast<StateIndex>(r); ++j) {
+          const Decision d = regions_.decide(j, elapsed);
+          if (d.quality != q || !d.feasible) {
+            broke = true;
+            break;
+          }
+          elapsed += tm.cwc(j, q);
+        }
+        ASSERT_TRUE(broke) << "s=" << s << " q=" << q << " r=" << r;
+        ++exercised;
+      }
+    }
+  }
+  EXPECT_GT(exercised, 20);
+}
+
+TEST_F(RelaxationFixture, MaxRelaxationReturnsLargestQualifyingStep) {
+  Xoshiro256 rng(31);
+  for (StateIndex s = 0; s + 16 <= engine_.num_states(); s += 5) {
+    for (Quality q = 0; q < engine_.num_levels(); ++q) {
+      const TimeNs border = regions_.td(s, q);
+      if (border >= kTimePlusInf) continue;
+      for (int i = 0; i < 10; ++i) {
+        const TimeNs t = border - rng.uniform_int(0, ms(1));
+        if (!regions_.contains(s, t, q)) continue;
+        const int got = relaxation_.max_relaxation(s, t, q);
+        // Reference: scan rho descending.
+        int expect = 1;
+        for (auto it = relaxation_.rho().rbegin(); it != relaxation_.rho().rend();
+             ++it) {
+          if (relaxation_.contains(s, t, q, *it)) {
+            expect = *it;
+            break;
+          }
+        }
+        ASSERT_EQ(got, expect) << "s=" << s << " q=" << q << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST_F(RelaxationFixture, NearEndOfSequenceLongStepsAreRejected) {
+  const StateIndex s = engine_.num_states() - 2;  // only 2 actions remain
+  const Quality q = 0;
+  const TimeNs t = regions_.td(s, q);
+  EXPECT_FALSE(relaxation_.contains(s, t, q, 9));
+  EXPECT_FALSE(relaxation_.contains(s, t, q, 16));
+  const int r = relaxation_.max_relaxation(s, t, q);
+  EXPECT_LE(r, 2);
+}
+
+TEST_F(RelaxationFixture, TableSizeAccounting) {
+  EXPECT_EQ(relaxation_.num_integers(),
+            2u * engine_.num_states() *
+                static_cast<std::size_t>(engine_.num_levels()) *
+                relaxation_.rho().size());
+  EXPECT_EQ(relaxation_.memory_bytes(),
+            relaxation_.num_integers() * sizeof(TimeNs));
+}
+
+TEST_F(RelaxationFixture, RejectsBadRho) {
+  EXPECT_THROW(RelaxationTable(engine_, regions_, {}), contract_error);
+  EXPECT_THROW(RelaxationTable(engine_, regions_, {0, 5}), contract_error);
+  EXPECT_THROW(RelaxationTable(engine_, regions_, {5, 5}), contract_error);
+  EXPECT_THROW(RelaxationTable(engine_, regions_, {9, 5}), contract_error);
+  EXPECT_THROW(relaxation_.upper(0, 0, 7), contract_error);  // 7 not in rho
+}
+
+// ---------------------------------------------------------------------------
+// Serialization.
+// ---------------------------------------------------------------------------
+
+TEST(RegionCompilerTest, RegionRoundTripThroughStream) {
+  const auto w = make_workload(55, 40, 5);
+  const PolicyEngine e(w.app(), w.timing());
+  const auto table = RegionCompiler::compile_regions(e);
+
+  std::stringstream buf;
+  RegionCompiler::save_regions(table, buf);
+  const auto loaded = RegionCompiler::load_regions(buf);
+
+  EXPECT_EQ(loaded.num_states(), table.num_states());
+  EXPECT_EQ(loaded.num_levels(), table.num_levels());
+  EXPECT_EQ(loaded.raw(), table.raw());
+}
+
+TEST(RegionCompilerTest, RelaxationRoundTripThroughStream) {
+  const auto w = make_workload(56, 40, 5);
+  const PolicyEngine e(w.app(), w.timing());
+  const auto regions = RegionCompiler::compile_regions(e);
+  const auto relax = RegionCompiler::compile_relaxation(e, regions, {1, 5, 10});
+
+  std::stringstream buf;
+  RegionCompiler::save_relaxation(relax, buf);
+  const auto loaded = RegionCompiler::load_relaxation(buf);
+
+  EXPECT_EQ(loaded.rho(), relax.rho());
+  EXPECT_EQ(loaded.raw_upper(), relax.raw_upper());
+  EXPECT_EQ(loaded.raw_lower(), relax.raw_lower());
+}
+
+TEST(RegionCompilerTest, RejectsCorruptStreams) {
+  std::stringstream buf("not a table");
+  EXPECT_THROW(RegionCompiler::load_regions(buf), std::runtime_error);
+  std::stringstream empty;
+  EXPECT_THROW(RegionCompiler::load_relaxation(empty), std::runtime_error);
+}
+
+TEST(RegionCompilerTest, RejectsCrossFormatStreams) {
+  const auto w = make_workload(57, 10, 3);
+  const PolicyEngine e(w.app(), w.timing());
+  const auto regions = RegionCompiler::compile_regions(e);
+  std::stringstream buf;
+  RegionCompiler::save_regions(regions, buf);
+  EXPECT_THROW(RegionCompiler::load_relaxation(buf), std::runtime_error);
+}
+
+TEST(RegionCompilerTest, MeasureReportsPaperStyleCounts) {
+  const auto w = make_workload(58, 25, 4);
+  const PolicyEngine e(w.app(), w.timing());
+  const auto stats = RegionCompiler::measure(e, {1, 5});
+  EXPECT_EQ(stats.region_integers, 25u * 4u);
+  EXPECT_EQ(stats.relaxation_integers, 2u * 25u * 4u * 2u);
+  EXPECT_GT(stats.region_bytes, 0u);
+  EXPECT_GE(stats.compile_seconds, 0.0);
+}
+
+TEST(RegionCompilerTest, FileRoundTrip) {
+  const auto w = make_workload(59, 12, 3);
+  const PolicyEngine e(w.app(), w.timing());
+  const auto regions = RegionCompiler::compile_regions(e);
+  const std::string path = "test_regions.bin";
+  RegionCompiler::save_regions_file(regions, path);
+  const auto loaded = RegionCompiler::load_regions_file(path);
+  EXPECT_EQ(loaded.raw(), regions.raw());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace speedqm

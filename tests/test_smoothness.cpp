@@ -1,0 +1,67 @@
+// Tests for core/smoothness quality-fluctuation metrics.
+#include <gtest/gtest.h>
+
+#include "core/smoothness.hpp"
+
+namespace speedqm {
+namespace {
+
+TEST(SmoothnessTest, EmptySequence) {
+  const auto r = analyze_smoothness({});
+  EXPECT_EQ(r.length, 0u);
+  EXPECT_EQ(r.mean_quality, 0.0);
+  EXPECT_EQ(r.switches, 0u);
+}
+
+TEST(SmoothnessTest, ConstantSequenceIsPerfectlySmooth) {
+  const auto r = analyze_smoothness({4, 4, 4, 4, 4});
+  EXPECT_EQ(r.length, 5u);
+  EXPECT_DOUBLE_EQ(r.mean_quality, 4.0);
+  EXPECT_EQ(r.min_quality, 4);
+  EXPECT_EQ(r.max_quality, 4);
+  EXPECT_DOUBLE_EQ(r.mean_abs_jump, 0.0);
+  EXPECT_EQ(r.switches, 0u);
+  EXPECT_EQ(r.max_jump, 0);
+  EXPECT_DOUBLE_EQ(r.quality_stddev, 0.0);
+}
+
+TEST(SmoothnessTest, SingleElement) {
+  const auto r = analyze_smoothness({2});
+  EXPECT_EQ(r.length, 1u);
+  EXPECT_DOUBLE_EQ(r.mean_quality, 2.0);
+  EXPECT_DOUBLE_EQ(r.mean_abs_jump, 0.0);
+}
+
+TEST(SmoothnessTest, AlternatingSequenceIsMaximallyJumpy) {
+  const auto r = analyze_smoothness({0, 6, 0, 6, 0});
+  EXPECT_DOUBLE_EQ(r.mean_abs_jump, 6.0);
+  EXPECT_EQ(r.switches, 4u);
+  EXPECT_EQ(r.max_jump, 6);
+  EXPECT_EQ(r.min_quality, 0);
+  EXPECT_EQ(r.max_quality, 6);
+}
+
+TEST(SmoothnessTest, HandComputedMixedSequence) {
+  // jumps: |3-3|=0, |5-3|=2, |5-5|=0, |4-5|=1 -> mean 3/4, switches 2.
+  const auto r = analyze_smoothness({3, 3, 5, 5, 4});
+  EXPECT_DOUBLE_EQ(r.mean_abs_jump, 0.75);
+  EXPECT_EQ(r.switches, 2u);
+  EXPECT_EQ(r.max_jump, 2);
+  EXPECT_DOUBLE_EQ(r.mean_quality, 4.0);
+}
+
+TEST(SmoothnessTest, StddevMatchesDefinition) {
+  const auto r = analyze_smoothness({1, 3});
+  EXPECT_DOUBLE_EQ(r.mean_quality, 2.0);
+  EXPECT_DOUBLE_EQ(r.quality_stddev, 1.0);  // population stddev
+}
+
+TEST(SmoothnessTest, SmootherSequenceScoresLower) {
+  const auto gradual = analyze_smoothness({3, 3, 4, 4, 5, 5, 4, 4});
+  const auto jumpy = analyze_smoothness({3, 5, 3, 5, 3, 5, 3, 5});
+  EXPECT_LT(gradual.mean_abs_jump, jumpy.mean_abs_jump);
+  EXPECT_LT(gradual.quality_stddev, jumpy.quality_stddev);
+}
+
+}  // namespace
+}  // namespace speedqm

@@ -1,0 +1,164 @@
+// Tests for core/speed_diagram: virtual-time normalization, ideal-speed
+// constancy, the exact Proposition 1 equivalence, and trajectory mapping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/controller.hpp"
+#include "core/numeric_manager.hpp"
+#include "core/speed_diagram.hpp"
+#include "support/rng.hpp"
+#include "workload/synthetic.hpp"
+
+namespace speedqm {
+namespace {
+
+SyntheticWorkload make_workload(std::uint64_t seed) {
+  SyntheticSpec spec;
+  spec.seed = seed;
+  spec.num_actions = 50;
+  spec.num_levels = 5;
+  spec.budget_quality = 3;
+  spec.num_cycles = 2;
+  return SyntheticWorkload(spec);
+}
+
+class SpeedDiagramFixture : public ::testing::Test {
+ protected:
+  SpeedDiagramFixture()
+      : w_(make_workload(100)),
+        engine_(w_.app(), w_.timing()),
+        diagram_(engine_, w_.app().size() - 1) {}
+
+  SyntheticWorkload w_;
+  PolicyEngine engine_;
+  SpeedDiagram diagram_;
+};
+
+TEST_F(SpeedDiagramFixture, VirtualTimeIsNormalizedToDeadline) {
+  // y_0(q) = 0 and y_{k+1}(q) = D(a_k) for every quality (the paper's
+  // normalization: finishing the sequence lands on the diagonal's end).
+  for (Quality q = 0; q < engine_.num_levels(); ++q) {
+    EXPECT_DOUBLE_EQ(diagram_.virtual_time(0, q), 0.0);
+    EXPECT_NEAR(diagram_.virtual_time(w_.app().size(), q),
+                static_cast<double>(diagram_.target_deadline()), 1e-6);
+  }
+}
+
+TEST_F(SpeedDiagramFixture, VirtualTimeIsMonotoneInState) {
+  for (Quality q = 0; q < engine_.num_levels(); ++q) {
+    for (StateIndex i = 1; i <= w_.app().size(); ++i) {
+      ASSERT_GE(diagram_.virtual_time(i, q), diagram_.virtual_time(i - 1, q));
+    }
+  }
+}
+
+TEST_F(SpeedDiagramFixture, IdealSpeedDecreasesWithQuality) {
+  // Higher quality => larger total average time => lower ideal speed.
+  for (Quality q = 1; q < engine_.num_levels(); ++q) {
+    ASSERT_LE(diagram_.ideal_speed(q), diagram_.ideal_speed(q - 1));
+  }
+}
+
+TEST_F(SpeedDiagramFixture, IdealSpeedIsSlopeOfVirtualTimePerAverageTime) {
+  // Between any two states, (y_j - y_i) / Cav(a_i..a_{j-1}, q) = v_idl(q).
+  const Quality q = 2;
+  const double v = diagram_.ideal_speed(q);
+  for (StateIndex i = 0; i < 40; i += 7) {
+    const StateIndex j = i + 5;
+    const double dy = diagram_.virtual_time(j, q) - diagram_.virtual_time(i, q);
+    const double dt = static_cast<double>(w_.timing().cav_range(i, j - 1, q));
+    ASSERT_NEAR(dy / dt, v, 1e-9);
+  }
+}
+
+TEST_F(SpeedDiagramFixture, Proposition1EquivalenceHoldsExactly) {
+  // v_idl(q) >= v_opt(q) <=> D - CD(a_i..a_k, q) >= t, sampled across
+  // states, qualities and times straddling the boundary.
+  Xoshiro256 rng(2024);
+  int both_sides = 0;
+  for (StateIndex i = 0; i < w_.app().size(); i += 3) {
+    for (Quality q = 0; q < engine_.num_levels(); ++q) {
+      const TimeNs boundary =
+          diagram_.target_deadline() - engine_.cd(i, diagram_.target(), q);
+      for (const TimeNs t : {boundary - ms(1), boundary - 1, boundary,
+                             boundary + 1, boundary + ms(1),
+                             rng.uniform_int(0, sec(1))}) {
+        const bool lhs = diagram_.ideal_dominates_optimal(i, t, q);
+        const bool rhs = diagram_.policy_constraint_holds(i, t, q);
+        ASSERT_EQ(lhs, rhs) << "i=" << i << " q=" << q << " t=" << t;
+        both_sides += lhs ? 1 : 0;
+      }
+    }
+  }
+  EXPECT_GT(both_sides, 0);  // the sweep saw both outcomes
+}
+
+TEST_F(SpeedDiagramFixture, OptimalSpeedInfiniteWhenPastSafetyMargin) {
+  const Quality q = 1;
+  const StateIndex i = 10;
+  const TimeNs past =
+      diagram_.target_deadline() - diagram_.safety_margin(i, q) + 1;
+  EXPECT_TRUE(std::isinf(diagram_.optimal_speed(i, past, q)));
+  EXPECT_FALSE(diagram_.ideal_dominates_optimal(i, past, q));
+}
+
+TEST_F(SpeedDiagramFixture, OptimalSpeedFiniteAndPositiveInsideBudget) {
+  const Quality q = 1;
+  const double v = diagram_.optimal_speed(5, ms(1), q);
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_GT(v, 0.0);
+}
+
+TEST_F(SpeedDiagramFixture, OptimalSpeedGrowsAsTimeRunsOut) {
+  const Quality q = 2;
+  const StateIndex i = 5;
+  double prev = 0.0;
+  for (TimeNs t = 0; t < ms(20); t += ms(4)) {
+    const double v = diagram_.optimal_speed(i, t, q);
+    ASSERT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST_F(SpeedDiagramFixture, TrajectoryMapsRunStates) {
+  PolicyEngine engine(w_.app(), w_.timing());
+  NumericManager manager(engine);
+  AverageSource source(w_.timing());
+  const CycleResult run = run_cycle(w_.app(), manager, source);
+
+  std::vector<StateIndex> states;
+  std::vector<TimeNs> times;
+  std::vector<Quality> qualities;
+  states.push_back(0);
+  times.push_back(0);
+  qualities.push_back(run.steps.front().quality);
+  for (const auto& step : run.steps) {
+    states.push_back(step.action + 1);
+    times.push_back(step.end);
+    qualities.push_back(step.quality);
+  }
+  const auto traj = diagram_.trajectory(states, times, qualities);
+  ASSERT_EQ(traj.size(), states.size());
+  EXPECT_DOUBLE_EQ(traj.front().virtual_time, 0.0);
+  // Virtual time ends at the deadline (full sequence executed).
+  EXPECT_NEAR(traj.back().virtual_time,
+              static_cast<double>(diagram_.target_deadline()), 1e-6);
+  // Actual completion is before the deadline (safe controller).
+  EXPECT_LE(traj.back().actual, diagram_.target_deadline());
+}
+
+TEST_F(SpeedDiagramFixture, RejectsBadConstruction) {
+  EXPECT_THROW(SpeedDiagram(engine_, w_.app().size()), contract_error);
+  // Action 0 has no deadline in this workload.
+  EXPECT_THROW(SpeedDiagram(engine_, 0), contract_error);
+  const PolicyEngine safe(w_.app(), w_.timing(), PolicyKind::kSafe);
+  EXPECT_THROW(SpeedDiagram(safe, w_.app().size() - 1), contract_error);
+}
+
+TEST_F(SpeedDiagramFixture, TrajectoryRejectsLengthMismatch) {
+  EXPECT_THROW(diagram_.trajectory({0}, {0, 1}, {0}), contract_error);
+}
+
+}  // namespace
+}  // namespace speedqm

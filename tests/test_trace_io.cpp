@@ -1,0 +1,101 @@
+// Tests for workload trace serialization (workload/trace_io).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "workload/mpeg_model.hpp"
+#include "workload/synthetic.hpp"
+#include "workload/trace_io.hpp"
+
+namespace speedqm {
+namespace {
+
+TEST(TraceIoTest, RoundTripThroughStream) {
+  SyntheticSpec spec;
+  spec.seed = 5;
+  spec.num_actions = 20;
+  spec.num_levels = 4;
+  spec.budget_quality = 3;
+  spec.num_cycles = 3;
+  const SyntheticWorkload w(spec);
+
+  std::stringstream buf;
+  save_traces(w.traces(), buf);
+  const auto loaded = load_traces(buf);
+
+  ASSERT_EQ(loaded.num_actions(), 20u);
+  ASSERT_EQ(loaded.num_levels(), 4);
+  ASSERT_EQ(loaded.num_cycles(), 3u);
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (ActionIndex i = 0; i < 20; ++i) {
+      for (Quality q = 0; q < 4; ++q) {
+        ASSERT_EQ(loaded.at(c, i, q), w.traces().at(c, i, q));
+      }
+    }
+  }
+}
+
+TEST(TraceIoTest, FileRoundTripOfMpegContent) {
+  MpegConfig cfg;
+  cfg.mb_columns = 4;  // small geometry for test speed
+  cfg.mb_rows = 3;
+  cfg.num_frames = 5;
+  const MpegWorkload w(cfg, ms(50));
+
+  const std::string path = "test_traces.bin";
+  save_traces_file(w.traces(), path);
+  const auto loaded = load_traces_file(path);
+  EXPECT_EQ(loaded.num_actions(), w.traces().num_actions());
+  EXPECT_EQ(loaded.num_cycles(), 5u);
+  EXPECT_EQ(loaded.at(2, 7, 3), w.traces().at(2, 7, 3));
+  // The reloaded trace still honours the original model's contract.
+  EXPECT_EQ(loaded.count_contract_violations(w.timing()), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, RejectsCorruptStreams) {
+  std::stringstream garbage("garbage bytes here");
+  EXPECT_THROW(load_traces(garbage), std::runtime_error);
+
+  std::stringstream empty;
+  EXPECT_THROW(load_traces(empty), std::runtime_error);
+}
+
+TEST(TraceIoTest, RejectsTruncatedStreamAtEveryBoundary) {
+  SyntheticSpec spec;
+  spec.num_actions = 5;
+  spec.num_levels = 2;
+  spec.budget_quality = 1;
+  spec.num_cycles = 2;
+  const SyntheticWorkload w(spec);
+  std::stringstream buf;
+  save_traces(w.traces(), buf);
+  const std::string full = buf.str();
+
+  // Cut the stream at several points: header, mid-table, last byte.
+  for (const std::size_t cut :
+       {std::size_t{3}, std::size_t{10}, full.size() / 2, full.size() - 1}) {
+    std::stringstream truncated(full.substr(0, cut));
+    EXPECT_THROW(load_traces(truncated), std::runtime_error) << "cut=" << cut;
+  }
+}
+
+TEST(TraceIoTest, RejectsWrongMagic) {
+  SyntheticSpec spec;
+  spec.num_actions = 3;
+  const SyntheticWorkload w(spec);
+  std::stringstream buf;
+  save_traces(w.traces(), buf);
+  std::string bytes = buf.str();
+  bytes[0] = 'X';
+  std::stringstream bad(bytes);
+  EXPECT_THROW(load_traces(bad), std::runtime_error);
+}
+
+TEST(TraceIoTest, MissingFileThrows) {
+  EXPECT_THROW(load_traces_file("/nonexistent/path/t.bin"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace speedqm

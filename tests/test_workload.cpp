@@ -1,0 +1,368 @@
+// Tests for the workload substrate: trace sources, the synthetic
+// generator, the MPEG encoder model (paper shape + content statistics),
+// and the simulated profiler.
+#include <gtest/gtest.h>
+
+#include "support/stats.hpp"
+#include "core/numeric_manager.hpp"
+#include "workload/mpeg_model.hpp"
+#include "workload/profiler.hpp"
+#include "workload/scenarios.hpp"
+#include "workload/synthetic.hpp"
+#include "workload/trace_source.hpp"
+
+namespace speedqm {
+namespace {
+
+TEST(TraceSourceTest, StoresAndReplaysCycles) {
+  // 2 actions x 2 levels x 2 cycles.
+  TraceTimeSource src(2, 2, {{10, 20, 30, 40}, {11, 21, 31, 41}});
+  EXPECT_EQ(src.num_cycles(), 2u);
+  src.set_cycle(0);
+  EXPECT_EQ(src.actual_time(0, 0), 10);
+  EXPECT_EQ(src.actual_time(1, 1), 40);
+  src.set_cycle(1);
+  EXPECT_EQ(src.actual_time(0, 1), 21);
+  EXPECT_EQ(src.at(0, 1, 0), 30);
+}
+
+TEST(TraceSourceTest, ValidatesShape) {
+  EXPECT_THROW(TraceTimeSource(2, 2, {}), contract_error);
+  EXPECT_THROW(TraceTimeSource(2, 2, {{1, 2, 3}}), contract_error);
+  TraceTimeSource src(1, 1, {{5}});
+  EXPECT_THROW(src.set_cycle(7), contract_error);
+  EXPECT_THROW(src.at(0, 3, 0), contract_error);
+}
+
+TEST(TraceSourceTest, ContractViolationCounting) {
+  const TimingModel tm(1, 2, {10, 20}, {15, 25});
+  TraceTimeSource good(1, 2, {{12, 22}});
+  EXPECT_EQ(good.count_contract_violations(tm), 0u);
+  TraceTimeSource over_wc(1, 2, {{16, 22}});   // 16 > Cwc(0,0)=15
+  EXPECT_EQ(over_wc.count_contract_violations(tm), 1u);
+  TraceTimeSource non_monotone(1, 2, {{14, 12}});  // decreasing in q
+  EXPECT_EQ(non_monotone.count_contract_violations(tm), 1u);
+}
+
+TEST(SyntheticTest, HonoursDefinitionOneContract) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    SyntheticSpec spec;
+    spec.seed = seed;
+    spec.num_actions = 70;
+    spec.num_cycles = 5;
+    const SyntheticWorkload w(spec);
+    EXPECT_EQ(w.traces().count_contract_violations(w.timing()), 0u);
+  }
+}
+
+TEST(SyntheticTest, DeterministicForSameSeed) {
+  SyntheticSpec spec;
+  spec.seed = 77;
+  const SyntheticWorkload a(spec), b(spec);
+  for (std::size_t c = 0; c < spec.num_cycles; ++c) {
+    for (ActionIndex i = 0; i < spec.num_actions; i += 11) {
+      for (Quality q = 0; q < spec.num_levels; ++q) {
+        ASSERT_EQ(a.traces().at(c, i, q), b.traces().at(c, i, q));
+      }
+    }
+  }
+  EXPECT_EQ(a.budget(), b.budget());
+}
+
+TEST(SyntheticTest, BudgetMatchesSpec) {
+  SyntheticSpec spec;
+  spec.budget_quality = 3;
+  spec.budget_factor = 1.2;
+  const SyntheticWorkload w(spec);
+  EXPECT_NEAR(static_cast<double>(w.budget()),
+              1.2 * static_cast<double>(w.timing().total_cav(3)), 2.0);
+  EXPECT_EQ(w.app().final_deadline(), w.budget());
+}
+
+TEST(SyntheticTest, MilestonesAreMonotone) {
+  SyntheticSpec spec;
+  spec.milestone_every = 10;
+  spec.num_actions = 55;
+  const SyntheticWorkload w(spec);
+  TimeNs last = 0;
+  std::size_t milestones = 0;
+  for (ActionIndex i = 0; i < w.app().size(); ++i) {
+    if (!w.app().has_deadline(i)) continue;
+    ++milestones;
+    EXPECT_GT(w.app().deadline(i), last);
+    last = w.app().deadline(i);
+  }
+  EXPECT_EQ(milestones, 5u + 1u);  // 10,20,30,40,50 and the final action
+}
+
+TEST(SyntheticTest, RejectsInvalidSpecs) {
+  SyntheticSpec s1;
+  s1.wc_factor = 1.2;
+  s1.load_max = 1.5;  // load can exceed wc
+  EXPECT_THROW(SyntheticWorkload{s1}, contract_error);
+  SyntheticSpec s2;
+  s2.budget_quality = 99;
+  EXPECT_THROW(SyntheticWorkload{s2}, contract_error);
+  SyntheticSpec s3;
+  s3.num_actions = 0;
+  EXPECT_THROW(SyntheticWorkload{s3}, contract_error);
+}
+
+// ---------------------------------------------------------------------------
+// MPEG model.
+// ---------------------------------------------------------------------------
+
+class MpegFixture : public ::testing::Test {
+ protected:
+  MpegFixture() : w_(MpegConfig{}, sec(30) / 29) {}
+  MpegWorkload w_;
+};
+
+TEST_F(MpegFixture, PaperShape) {
+  // 1 + 3 * 396 = 1,189 actions, 7 levels, 29 frames — section 4.1.
+  EXPECT_EQ(w_.app().size(), 1189u);
+  EXPECT_EQ(w_.timing().num_levels(), 7);
+  EXPECT_EQ(w_.traces().num_cycles(), 29u);
+  EXPECT_EQ(w_.config().macroblocks(), 396);
+}
+
+TEST_F(MpegFixture, ScheduleStructure) {
+  EXPECT_EQ(w_.stage_of(0), MpegStage::kFrameSetup);
+  EXPECT_EQ(w_.stage_of(1), MpegStage::kMotionEstimation);
+  EXPECT_EQ(w_.stage_of(2), MpegStage::kTransform);
+  EXPECT_EQ(w_.stage_of(3), MpegStage::kEntropy);
+  EXPECT_EQ(w_.stage_of(4), MpegStage::kMotionEstimation);
+  EXPECT_EQ(w_.app().name(0), "frame_setup");
+  EXPECT_EQ(w_.app().name(1), "me_mb0");
+  EXPECT_EQ(w_.app().name(1188), "vlc_mb395");
+}
+
+TEST_F(MpegFixture, OnlyFinalActionHasDeadline) {
+  for (ActionIndex i = 0; i + 1 < w_.app().size(); ++i) {
+    ASSERT_FALSE(w_.app().has_deadline(i));
+  }
+  EXPECT_EQ(w_.app().deadline(1188), sec(30) / 29);
+}
+
+TEST_F(MpegFixture, TracesHonourDefinitionOneContract) {
+  EXPECT_EQ(w_.traces().count_contract_violations(w_.timing()), 0u);
+  // Clamping to Cwc should be rare (the bound is not artificially tight).
+  EXPECT_LT(w_.traces().clamp_fraction(), 0.01);
+}
+
+TEST_F(MpegFixture, GopPatternStartsWithIntra) {
+  EXPECT_EQ(w_.frame_type(0), FrameType::kIntra);
+  EXPECT_EQ(w_.frame_type(12), FrameType::kIntra);
+  EXPECT_EQ(w_.frame_type(1), FrameType::kPredicted);
+  // No B frames by default.
+  for (std::size_t f = 0; f < 29; ++f) {
+    ASSERT_NE(w_.frame_type(f), FrameType::kBidirectional);
+  }
+}
+
+TEST_F(MpegFixture, IntraFramesHaveCheapMotionEstimation) {
+  // Find an I frame and a P frame, compare the ME action of the same MB.
+  const ActionIndex me_action = 1;  // first macroblock's ME
+  const TimeNs i_cost = w_.traces().at(0, me_action, 3);   // frame 0 is I
+  const TimeNs p_cost = w_.traces().at(1, me_action, 3);   // frame 1 is P
+  EXPECT_LT(i_cost, p_cost);
+}
+
+TEST_F(MpegFixture, ExecutionTimesIncreaseWithQuality) {
+  for (ActionIndex i = 0; i < w_.app().size(); i += 97) {
+    for (Quality q = 1; q < 7; ++q) {
+      ASSERT_GE(w_.traces().at(5, i, q), w_.traces().at(5, i, q - 1))
+          << "i=" << i << " q=" << q;
+    }
+  }
+}
+
+TEST_F(MpegFixture, NeighbouringMacroblocksAreCorrelated) {
+  // The AR(1) activity field must make adjacent ME actions similar —
+  // the locality control relaxation exploits. Compare the mean absolute
+  // difference of adjacent vs random-pair ME costs.
+  const std::size_t frame = 2;
+  std::vector<double> me;
+  for (int mb = 0; mb < 396; ++mb) {
+    me.push_back(static_cast<double>(
+        w_.traces().at(frame, 1 + 3 * static_cast<ActionIndex>(mb), 3)));
+  }
+  double adjacent = 0;
+  for (std::size_t k = 1; k < me.size(); ++k) adjacent += std::abs(me[k] - me[k - 1]);
+  adjacent /= static_cast<double>(me.size() - 1);
+  double shuffled = 0;
+  const std::size_t half = me.size() / 2;
+  for (std::size_t k = 0; k < half; ++k) shuffled += std::abs(me[k] - me[k + half]);
+  shuffled /= static_cast<double>(half);
+  EXPECT_LT(adjacent, shuffled * 0.8);
+}
+
+TEST_F(MpegFixture, DeterministicForSameSeed) {
+  MpegWorkload other(MpegConfig{}, sec(30) / 29);
+  for (std::size_t f = 0; f < 29; f += 7) {
+    for (ActionIndex i = 0; i < 1189; i += 131) {
+      ASSERT_EQ(w_.traces().at(f, i, 4), other.traces().at(f, i, 4));
+    }
+  }
+}
+
+TEST(MpegConfigTest, GeometryScales) {
+  MpegConfig c;
+  c.mb_columns = 45;  // 720x576 => 45x36 = 1620 MBs (the paper's upper bound)
+  c.mb_rows = 36;
+  EXPECT_EQ(c.macroblocks(), 1620);
+  EXPECT_EQ(c.actions_per_frame(), 4861);
+  c.num_frames = 2;
+  const MpegWorkload w(c, sec(2));
+  EXPECT_EQ(w.app().size(), 4861u);
+  EXPECT_EQ(w.traces().count_contract_violations(w.timing()), 0u);
+}
+
+TEST(MpegConfigTest, SliceMilestonesPlaceProportionalDeadlines) {
+  MpegConfig c;
+  c.slice_rows_per_milestone = 6;  // a deadline every 6 MB rows (132 MBs)
+  const TimeNs budget = sec(30) / 29;
+  const MpegWorkload w(c, budget);
+
+  // 18 rows / 6 = 3 groups, the last one coinciding with the frame end:
+  // two intermediate milestones plus the final deadline.
+  std::size_t milestones = 0;
+  TimeNs last = 0;
+  for (ActionIndex i = 0; i < w.app().size(); ++i) {
+    if (!w.app().has_deadline(i)) continue;
+    ++milestones;
+    EXPECT_GT(w.app().deadline(i), last);
+    last = w.app().deadline(i);
+    // Milestones sit on vlc actions (end of a macroblock).
+    EXPECT_TRUE(i == w.app().size() - 1 ||
+                w.stage_of(i) == MpegStage::kEntropy);
+  }
+  EXPECT_EQ(milestones, 3u);
+  EXPECT_EQ(w.app().deadline(w.app().size() - 1), budget);
+
+  // Intermediate milestone value is the proportional budget share.
+  const ActionIndex first_milestone = 3 * 132;  // vlc of MB 131 (+setup)
+  EXPECT_TRUE(w.app().has_deadline(first_milestone));
+  const double fraction = static_cast<double>(1 + 3 * 132) / 1189.0;
+  EXPECT_NEAR(static_cast<double>(w.app().deadline(first_milestone)),
+              static_cast<double>(budget) * fraction, 2.0);
+
+  // The milestoned configuration remains feasible and safe.
+  const PolicyEngine e(w.app(), w.timing());
+  EXPECT_GE(e.td_online(0, kQmin), 0);
+  NumericManager manager(e);
+  WorstCaseSource source(w.timing());
+  const auto run = run_cycle(w.app(), manager, source);
+  EXPECT_EQ(run.deadline_misses, 0u);
+}
+
+TEST(MpegConfigTest, BFramesChangeCostProfile) {
+  MpegConfig c;
+  c.use_b_frames = true;
+  c.num_frames = 13;
+  const MpegWorkload w(c, sec(1));
+  bool saw_b = false;
+  for (std::size_t f = 0; f < 13; ++f) {
+    if (w.frame_type(f) == FrameType::kBidirectional) saw_b = true;
+  }
+  EXPECT_TRUE(saw_b);
+  EXPECT_EQ(w.traces().count_contract_violations(w.timing()), 0u);
+  // B-frame ME is more expensive than P-frame ME in expectation, so the
+  // Cwc bound must still hold (checked by the violation count above) and
+  // the max frame-type factor must reflect B.
+  EXPECT_DOUBLE_EQ(mpeg_max_frame_type_factor(c, MpegStage::kMotionEstimation),
+                   1.35);
+  MpegConfig no_b;
+  EXPECT_DOUBLE_EQ(
+      mpeg_max_frame_type_factor(no_b, MpegStage::kMotionEstimation), 1.0);
+}
+
+TEST(PaperScenarioTest, MatchesPaperConstants) {
+  const auto s = make_paper_scenario();
+  EXPECT_EQ(s.app().size(), static_cast<ActionIndex>(kPaperActions));
+  EXPECT_EQ(s.timing().num_levels(), kPaperLevels);
+  EXPECT_EQ(s.config.num_frames, kPaperFrames);
+  EXPECT_EQ(s.total_deadline, sec(30));
+  EXPECT_EQ(s.rho, (std::vector<int>{1, 10, 20, 30, 40, 50}));
+  // |A| * |Q| = 8,323 integers; 2 * |A| * |Q| * |rho| = 99,876 integers.
+  EXPECT_EQ(kPaperActions * kPaperLevels, kPaperRegionIntegers);
+  EXPECT_EQ(2 * kPaperActions * kPaperLevels * 6, kPaperRelaxationIntegers);
+}
+
+// ---------------------------------------------------------------------------
+// Profiler.
+// ---------------------------------------------------------------------------
+
+TEST(ProfilerTest, EstimatesBoundObservedContent) {
+  SyntheticSpec spec;
+  spec.seed = 9;
+  spec.num_actions = 40;
+  spec.num_cycles = 8;
+  const SyntheticWorkload w(spec);
+
+  ProfilerOptions opts;
+  opts.first_cycle = 0;
+  opts.cycles = 8;
+  opts.safety_factor = 1.3;
+  const auto profiled = profile_timing(w.traces(), opts);
+
+  EXPECT_EQ(profiled.num_actions(), 40u);
+  EXPECT_EQ(profiled.num_levels(), spec.num_levels);
+  // Every training observation is below the profiled Cwc.
+  EXPECT_EQ(w.traces().count_contract_violations(profiled), 0u);
+}
+
+TEST(ProfilerTest, PartialTrainingCanUnderestimate) {
+  // Profiling on one calm cycle can produce Cwc estimates that later,
+  // heavier content violates — the estimation risk the paper's
+  // methodology carries. With safety_factor = 1 the bound is the observed
+  // max, so violations in unseen cycles are possible (not guaranteed, so
+  // only sanity-check the mechanism runs).
+  SyntheticSpec spec;
+  spec.seed = 10;
+  spec.num_actions = 60;
+  spec.num_cycles = 10;
+  const SyntheticWorkload w(spec);
+
+  ProfilerOptions opts;
+  opts.first_cycle = 0;
+  opts.cycles = 1;
+  opts.safety_factor = 1.0;
+  const auto profiled = profile_timing(w.traces(), opts);
+  const auto violations = w.traces().count_contract_violations(profiled);
+  // The first training cycle itself is always within bounds.
+  ProfilerOptions check = opts;
+  (void)check;
+  SUCCEED() << "violations in unseen content: " << violations;
+}
+
+TEST(ProfilerTest, MonotoneAndConsistentShape) {
+  const auto s = make_paper_scenario(7);
+  ProfilerOptions opts;
+  opts.cycles = 4;
+  const auto profiled = profile_timing(s.workload->traces(), opts);
+  for (ActionIndex i = 0; i < profiled.num_actions(); i += 57) {
+    for (Quality q = 1; q < profiled.num_levels(); ++q) {
+      ASSERT_GE(profiled.cav(i, q), profiled.cav(i, q - 1));
+      ASSERT_GE(profiled.cwc(i, q), profiled.cwc(i, q - 1));
+      ASSERT_LE(profiled.cav(i, q), profiled.cwc(i, q));
+    }
+  }
+}
+
+TEST(ProfilerTest, RejectsBadOptions) {
+  SyntheticSpec spec;
+  spec.num_cycles = 3;
+  const SyntheticWorkload w(spec);
+  ProfilerOptions opts;
+  opts.cycles = 0;
+  EXPECT_THROW(profile_timing(w.traces(), opts), contract_error);
+  opts.cycles = 5;  // more than available
+  EXPECT_THROW(profile_timing(w.traces(), opts), contract_error);
+  opts.cycles = 2;
+  opts.safety_factor = 0.5;
+  EXPECT_THROW(profile_timing(w.traces(), opts), contract_error);
+}
+
+}  // namespace
+}  // namespace speedqm

@@ -1,0 +1,226 @@
+// speedqm_tool — the offline tool chain of the paper's figure 1 as a CLI.
+//
+// Subcommands:
+//   gen      — synthesize the paper's MPEG workload (or a variant) and
+//              write its traces to a file
+//   compile  — compute the quality-region and control-relaxation tables
+//              for a workload and write them next to the traces
+//   run      — execute the controlled software against compiled tables,
+//              printing the section-4.2 style summary and optional CSVs
+//   inspect  — print header information of compiled artifacts
+//
+// Example session (the paper's experiment end to end):
+//   speedqm_tool gen --out mpeg.traces
+//   speedqm_tool compile --traces mpeg.traces --out mpeg
+//   speedqm_tool run --traces mpeg.traces --tables mpeg --manager relaxation
+//   speedqm_tool inspect --tables mpeg
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/feasibility.hpp"
+#include "core/numeric_manager.hpp"
+#include "core/region_compiler.hpp"
+#include "core/region_manager.hpp"
+#include "core/relaxation_manager.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace.hpp"
+#include "workload/scenarios.hpp"
+#include "workload/trace_io.hpp"
+
+using namespace speedqm;
+
+namespace {
+
+using ArgMap = std::map<std::string, std::string>;
+
+ArgMap parse_args(int argc, char** argv, int first) {
+  ArgMap args;
+  for (int i = first; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", key.c_str());
+      std::exit(2);
+    }
+    key = key.substr(2);
+    std::string value = "1";
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      value = argv[++i];
+    }
+    args[key] = value;
+  }
+  return args;
+}
+
+std::string get(const ArgMap& args, const std::string& key,
+                const std::string& fallback) {
+  const auto it = args.find(key);
+  return it == args.end() ? fallback : it->second;
+}
+
+PaperScenario scenario_from(const ArgMap& args) {
+  const auto seed = static_cast<std::uint64_t>(
+      std::stoull(get(args, "seed", "20070326")));
+  return make_paper_scenario(seed);
+}
+
+int cmd_gen(const ArgMap& args) {
+  auto scenario = scenario_from(args);
+  const std::string out = get(args, "out", "mpeg.traces");
+  save_traces_file(scenario.traces(), out);
+  std::printf("wrote %zu cycles x %zu actions x %d levels to %s\n",
+              scenario.traces().num_cycles(), scenario.app().size(),
+              scenario.timing().num_levels(), out.c_str());
+  std::printf("contract violations vs analytic model: %zu\n",
+              scenario.traces().count_contract_violations(scenario.timing()));
+  return 0;
+}
+
+int cmd_compile(const ArgMap& args) {
+  auto scenario = scenario_from(args);
+  const std::string out = get(args, "out", "mpeg");
+  const std::string flavor_name = get(args, "manager", "relaxation");
+  const ManagerFlavor flavor =
+      flavor_name == "numeric"
+          ? ManagerFlavor::kNumeric
+          : (flavor_name == "regions" ? ManagerFlavor::kRegions
+                                      : ManagerFlavor::kRelaxation);
+
+  const TimingModel tm = scenario.controller_model(flavor);
+  const PolicyEngine engine(scenario.app(), tm);
+
+  const auto feas = analyze_feasibility(engine);
+  std::printf("feasibility: %s (qmin slack %s, max start quality q%d)\n",
+              feas.feasible ? "ok" : "INFEASIBLE",
+              format_time(feas.qmin_slack).c_str(), feas.max_start_quality);
+  if (!feas.feasible) {
+    std::printf("needs %s more budget on every deadline\n",
+                format_time(feas.required_extra_budget).c_str());
+    return 1;
+  }
+
+  const auto stats = RegionCompiler::measure(engine, scenario.rho);
+  const auto regions = RegionCompiler::compile_regions(engine);
+  const auto relax =
+      RegionCompiler::compile_relaxation(engine, regions, scenario.rho);
+  RegionCompiler::save_regions_file(regions, out + ".regions");
+  RegionCompiler::save_relaxation_file(relax, out + ".relax");
+  std::printf("compiled (model inflated for the %s manager's overhead):\n",
+              to_string(flavor));
+  std::printf("  %s.regions : %zu integers (%zu bytes)\n", out.c_str(),
+              stats.region_integers, stats.region_bytes);
+  std::printf("  %s.relax   : %zu integers (%zu bytes)\n", out.c_str(),
+              stats.relaxation_integers, stats.relaxation_bytes);
+  std::printf("  compile time: %.3f ms\n", stats.compile_seconds * 1e3);
+  return 0;
+}
+
+int cmd_run(const ArgMap& args) {
+  auto scenario = scenario_from(args);
+  const std::string tables = get(args, "tables", "mpeg");
+  const std::string traces_path = get(args, "traces", "");
+  const std::string flavor = get(args, "manager", "relaxation");
+  const std::string csv = get(args, "csv", "");
+
+  // Content: regenerate from seed or replay a trace file.
+  TraceTimeSource traces =
+      traces_path.empty() ? std::move(scenario.traces())
+                          : load_traces_file(traces_path);
+
+  const auto regions = RegionCompiler::load_regions_file(tables + ".regions");
+  const auto relax = RegionCompiler::load_relaxation_file(tables + ".relax");
+
+  const TimingModel tm_numeric = scenario.controller_model(ManagerFlavor::kNumeric);
+  const PolicyEngine numeric_engine(scenario.app(), tm_numeric);
+  NumericManager numeric(numeric_engine);
+  RegionManager region_mgr(regions);
+  RelaxationManager relax_mgr(regions, relax);
+
+  QualityManager* manager = &relax_mgr;
+  if (flavor == "numeric") manager = &numeric;
+  if (flavor == "regions") manager = &region_mgr;
+
+  ExecutorOptions opts;
+  opts.cycles = static_cast<std::size_t>(scenario.config.num_frames);
+  opts.period = scenario.frame_period;
+  opts.platform = Platform(scenario.overhead);
+  const auto run = run_cyclic(scenario.app(), *manager, traces, opts);
+  const auto summary = summarize_run(manager->name(), run);
+
+  std::printf("manager        : %s\n", summary.manager.c_str());
+  std::printf("mean quality   : %.3f\n", summary.mean_quality);
+  std::printf("overhead       : %.2f %%\n", summary.overhead_pct);
+  std::printf("manager calls  : %zu / %zu actions\n", summary.manager_calls,
+              run.steps.size());
+  std::printf("deadline misses: %zu\n", summary.deadline_misses);
+  std::printf("quality stddev : %.3f\n", summary.smoothness.quality_stddev);
+  std::printf("total time     : %.3f s (budget %.3f s)\n", summary.total_time_s,
+              to_sec(scenario.total_deadline));
+  if (!csv.empty()) {
+    write_step_trace_csv(run, csv + "_steps.csv");
+    write_cycle_trace_csv(run, csv + "_cycles.csv");
+    std::printf("wrote %s_steps.csv and %s_cycles.csv\n", csv.c_str(),
+                csv.c_str());
+  }
+  return summary.deadline_misses == 0 ? 0 : 1;
+}
+
+int cmd_inspect(const ArgMap& args) {
+  const std::string tables = get(args, "tables", "mpeg");
+  const auto regions = RegionCompiler::load_regions_file(tables + ".regions");
+  std::printf("%s.regions: %zu states x %d levels = %zu integers (%zu bytes)\n",
+              tables.c_str(), regions.num_states(), regions.num_levels(),
+              regions.num_integers(), regions.memory_bytes());
+  const auto relax = RegionCompiler::load_relaxation_file(tables + ".relax");
+  std::printf("%s.relax  : rho = {", tables.c_str());
+  for (std::size_t i = 0; i < relax.rho().size(); ++i) {
+    std::printf("%s%d", i ? ", " : "", relax.rho()[i]);
+  }
+  std::printf("}, %zu integers (%zu bytes)\n", relax.num_integers(),
+              relax.memory_bytes());
+  // Sample borders at the start, middle and end of the schedule.
+  for (const StateIndex s :
+       {StateIndex{0}, regions.num_states() / 2, regions.num_states() - 1}) {
+    std::printf("  state %4zu:", s);
+    for (Quality q = 0; q < regions.num_levels(); ++q) {
+      std::printf(" td(q%d)=%s", q, format_time(regions.td(s, q)).c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "speedqm_tool — offline tool chain for speed-diagram quality managers\n"
+      "\n"
+      "usage: speedqm_tool <command> [--flags]\n"
+      "  gen      --out FILE [--seed N]\n"
+      "  compile  --out PREFIX [--seed N] [--manager numeric|regions|relaxation]\n"
+      "  run      --tables PREFIX [--traces FILE] [--seed N]\n"
+      "           [--manager numeric|regions|relaxation] [--csv PREFIX]\n"
+      "  inspect  --tables PREFIX\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const ArgMap args = parse_args(argc, argv, 2);
+  try {
+    if (cmd == "gen") return cmd_gen(args);
+    if (cmd == "compile") return cmd_compile(args);
+    if (cmd == "run") return cmd_run(args);
+    if (cmd == "inspect") return cmd_inspect(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage();
+  return 2;
+}
