@@ -6,8 +6,10 @@
 #pragma once
 
 #include <cstdint>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/numeric_manager.hpp"
 #include "core/region_compiler.hpp"
@@ -96,6 +98,40 @@ inline void print_header(const std::string& experiment, const std::string& ref) 
 inline bool shape_check(const std::string& claim, bool ok) {
   std::printf("[%s] %s\n", ok ? "SHAPE-OK  " : "SHAPE-FAIL", claim.c_str());
   return ok;
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable bench output. Benches that seed the perf trajectory emit
+// one JSON file per experiment (BENCH_<name>.json) with flat records so CI
+// and offline tooling can diff runs without parsing stdout tables.
+// ---------------------------------------------------------------------------
+
+/// One measured configuration of a decision engine.
+struct DecisionBenchRecord {
+  std::string policy;       ///< "mixed" / "safe" / "average"
+  std::string engine;       ///< "scan" / "bsearch" / "warm" / "tabled"
+  std::size_t n = 0;        ///< number of actions
+  int num_levels = 0;       ///< |Q|
+  double ns_per_decision = 0;
+  double ops_per_decision = 0;
+};
+
+/// Writes records as `{"bench": <name>, "records": [...]}`. Numbers use
+/// printf defaults (enough digits for diffing trends, not bit-exactness).
+inline void write_decision_bench_json(
+    const std::string& path, const std::string& bench_name,
+    const std::vector<DecisionBenchRecord>& records) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"" << bench_name << "\",\n  \"records\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    out << "    {\"policy\": \"" << r.policy << "\", \"engine\": \"" << r.engine
+        << "\", \"n\": " << r.n << ", \"num_levels\": " << r.num_levels
+        << ", \"ns_per_decision\": " << r.ns_per_decision
+        << ", \"ops_per_decision\": " << r.ops_per_decision << "}"
+        << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
 }
 
 }  // namespace speedqm::bench

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "support/contract.hpp"
 #include "support/time.hpp"
 
 namespace speedqm {
@@ -48,12 +49,20 @@ class ScheduledApp {
   /// Number of decision states (= n; states 0..n-1 each have a next action).
   StateIndex num_states() const { return names_.size(); }
 
-  const std::string& name(ActionIndex i) const { return names_.at(i); }
-  TimeNs deadline(ActionIndex i) const { return deadlines_.at(i); }
+  const std::string& name(ActionIndex i) const {
+    SPEEDQM_REQUIRE(i < names_.size(), "ScheduledApp: action out of range");
+    return names_[i];
+  }
+  TimeNs deadline(ActionIndex i) const {
+    SPEEDQM_REQUIRE(i < deadlines_.size(), "ScheduledApp: action out of range");
+    return deadlines_[i];
+  }
   const std::vector<TimeNs>& deadlines() const { return deadlines_; }
+  /// Contiguous deadline array for validated inner loops (hot path).
+  const TimeNs* deadline_data() const { return deadlines_.data(); }
 
   /// True if action i carries a finite deadline.
-  bool has_deadline(ActionIndex i) const { return deadlines_.at(i) < kTimePlusInf; }
+  bool has_deadline(ActionIndex i) const { return deadline(i) < kTimePlusInf; }
 
   /// The latest finite deadline in the sequence — the cycle's time budget.
   TimeNs final_deadline() const { return final_deadline_; }

@@ -1,0 +1,97 @@
+// Shared quality-axis search for every Quality Manager decision path.
+//
+// All managers answer the same question: Γ(s, t) = max { q | tD(s, q) >= t }.
+// Because tD(s, .) is non-increasing in q (Proposition 2, validated at
+// TimingModel construction), the satisfied set is a prefix [qmin, q*]; its
+// right edge is found in O(log |Q|) probes, or O(1) with a good warm-start
+// hint. Centralizing the search here guarantees the numeric engine, the
+// flat-table managers and the region tables return bit-identical decisions —
+// they differ only in what a probe costs (an O(n) td_online sweep vs an O(1)
+// table read), which is exactly what Decision.ops records.
+//
+// Ops convention (kept consistent across managers so bench_overhead_pct /
+// bench_micro_managers compare like with like): one abstract op per quality
+// probe, plus whatever the probe itself adds (td_online adds ~2 ops per
+// scanned action; a table read adds nothing beyond the probe op).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/types.hpp"
+#include "support/time.hpp"
+
+namespace speedqm {
+
+/// Finds max { q in [qmin, qmax_level] | satisfied(q) } given that
+/// `satisfied` is a prefix predicate (true on [qmin, q*], false above).
+///
+/// `probe(q, &d.ops)` must return satisfied(q) and add the probe's own cost
+/// to the ops counter; this helper adds one op per probe on top.
+///
+/// `warm_hint` < 0 disables warm starting (cold binary search). Otherwise
+/// the hint (clamped to the quality range) and its successor/predecessor
+/// are probed first — the smoothness property means consecutive decisions
+/// rarely move more than one level, so steady state costs 2 probes.
+///
+/// Infeasible states (not even qmin satisfied) return qmin with
+/// feasible = false, matching the degrade-to-qmin semantics of Definition 2.
+template <typename Probe>
+Decision decide_max_quality(Quality qmax_level, Quality warm_hint, Probe&& probe) {
+  Decision d;
+  d.relax_steps = 1;
+  const auto sat = [&](Quality q) {
+    ++d.ops;  // quality probe
+    return probe(q, &d.ops);
+  };
+  const auto infeasible = [&]() {
+    d.quality = kQmin;
+    d.feasible = false;
+    return d;
+  };
+
+  Quality lo;  // known satisfied
+  Quality hi;  // candidate upper bound (everything above is known failed)
+  if (warm_hint >= 0) {
+    const Quality h = std::min(warm_hint, qmax_level);
+    if (sat(h)) {
+      if (h == qmax_level || !sat(h + 1)) {
+        d.quality = h;
+        return d;
+      }
+      if (h + 1 == qmax_level) {
+        d.quality = qmax_level;
+        return d;
+      }
+      lo = h + 1;
+      hi = qmax_level;
+    } else {
+      if (h == kQmin) return infeasible();
+      if (sat(h - 1)) {
+        d.quality = h - 1;
+        return d;
+      }
+      if (h - 1 == kQmin) return infeasible();
+      if (!sat(kQmin)) return infeasible();
+      lo = kQmin;
+      hi = h - 2;
+    }
+  } else {
+    if (!sat(kQmin)) return infeasible();
+    lo = kQmin;
+    hi = qmax_level;
+  }
+
+  while (lo < hi) {
+    const Quality mid = lo + (hi - lo + 1) / 2;
+    if (sat(mid)) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  d.quality = lo;
+  return d;
+}
+
+}  // namespace speedqm

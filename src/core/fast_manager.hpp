@@ -1,0 +1,77 @@
+// The tabled numeric Quality Manager: the numeric manager's semantics with
+// the region table's cost profile.
+//
+// NumericManager re-derives tD(s, q) from the timing model on every probe —
+// O(remaining actions) per probe. But the whole tD table is computable
+// offline in amortized O(n) per quality level (PolicyEngine::td_table, the
+// same sweep RegionCompiler uses), after which a decision is a pure
+// O(log |Q|) search over one flat row — and O(1) probes with the warm start
+// from the previous step's quality that smoothness makes effective.
+//
+// The manager composes a QualityRegionTable (row-major [state][quality],
+// the RegionCompiler serialization layout), so compiled or persisted
+// region tables drop straight in. Decisions are bit-identical to
+// NumericManager / PolicyEngine::decide_scan (everything answers
+// max { q | tD(s,q) >= t } through the shared search in
+// core/decision_search.hpp); only Decision.ops — one op per table probe —
+// differs.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "core/manager.hpp"
+#include "core/policy.hpp"
+#include "core/quality_region.hpp"
+#include "core/types.hpp"
+
+namespace speedqm {
+
+class TabledNumericManager final : public QualityManager {
+ public:
+  /// Compiles the tD table from the engine (offline step; amortized O(n)
+  /// per quality level for the mixed policy).
+  explicit TabledNumericManager(const PolicyEngine& engine)
+      : table_(engine),
+        label_(std::string("tabled-") + to_string(engine.kind())) {}
+
+  /// Adopts an already-compiled region table (deserialization path via
+  /// RegionCompiler::load_regions).
+  explicit TabledNumericManager(QualityRegionTable table)
+      : table_(std::move(table)), label_("tabled-numeric") {}
+
+  StateIndex num_states() const { return table_.num_states(); }
+  int num_levels() const { return table_.num_levels(); }
+  Quality qmax() const { return table_.qmax(); }
+
+  /// The stored border tD(s, q) (checked; cold path).
+  TimeNs td(StateIndex s, Quality q) const { return table_.td(s, q); }
+
+  /// O(log |Q|) decision over the flat row for state s, warm-started from
+  /// the previous decision's quality.
+  Decision decide(StateIndex s, TimeNs t) override {
+    const Decision d = table_.decide_warm(s, t, last_quality_);
+    last_quality_ = d.quality;
+    return d;
+  }
+
+  /// The same decision without touching warm-start state (for probing).
+  Decision decide_at(StateIndex s, TimeNs t, Quality warm_hint = -1) const {
+    return table_.decide_warm(s, t, warm_hint);
+  }
+
+  /// Forgets the warm-start quality (executor calls this every cycle; the
+  /// first decision of a cycle then pays the full binary search).
+  void reset() override { last_quality_ = -1; }
+
+  std::string name() const override { return label_; }
+  std::size_t memory_bytes() const override { return table_.memory_bytes(); }
+  std::size_t num_table_integers() const override { return table_.num_integers(); }
+
+ private:
+  QualityRegionTable table_;
+  Quality last_quality_ = -1;
+  std::string label_;
+};
+
+}  // namespace speedqm

@@ -5,6 +5,12 @@
 // extended Decision also carries a relaxation step count (how many actions
 // the decision covers) and an abstract operation count used by the
 // simulator's overhead model.
+//
+// Ops convention (uniform across the numeric, tabled and region managers so
+// bench_overhead_pct / bench_micro_managers compare like with like): every
+// quality probe costs one op, plus whatever evaluating the probe costs —
+// ~2 ops per scanned remaining action for an online tD sweep, nothing extra
+// for a precomputed-table read. See core/decision_search.hpp.
 #pragma once
 
 #include <cstddef>

@@ -25,12 +25,18 @@ CycleTimes cycle_times_from(ActionIndex num_actions, int num_levels,
 namespace {
 
 /// True if running every action at its assigned quality meets all deadlines.
+/// Inner loop of the uniform oracle's binary search — walks the flat
+/// [action][quality] table and the deadline array directly instead of
+/// paying per-element checked accessors.
 bool assignment_feasible(const ScheduledApp& app, const CycleTimes& times,
                          const std::vector<Quality>& qualities) {
+  const TimeNs* cells = times.times.data();
+  const TimeNs* dl = app.deadline_data();
+  const auto nq = static_cast<std::size_t>(times.num_levels);
   TimeNs t = 0;
   for (ActionIndex i = 0; i < app.size(); ++i) {
-    t += times.at(i, qualities[i]);
-    if (app.has_deadline(i) && t > app.deadline(i)) return false;
+    t += cells[i * nq + static_cast<std::size_t>(qualities[i])];
+    if (t > dl[i]) return false;  // vacuous when D(i) = +inf
   }
   return true;
 }

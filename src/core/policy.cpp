@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/decision_search.hpp"
 #include "support/contract.hpp"
 
 namespace speedqm {
@@ -34,7 +35,7 @@ TimeNs PolicyEngine::td_online(StateIndex s, Quality q, std::uint64_t* ops) cons
     case PolicyKind::kSafe: return td_online_safe(s, q, ops);
     case PolicyKind::kAverage: return td_online_average(s, q, ops);
   }
-  SPEEDQM_ASSERT(false, "unreachable policy kind");
+  SPEEDQM_UNREACHABLE("unreachable policy kind");
 }
 
 TimeNs PolicyEngine::td_online_mixed(StateIndex s, Quality q,
@@ -48,24 +49,29 @@ TimeNs PolicyEngine::td_online_mixed(StateIndex s, Quality q,
   //   δmax(s..k)  = max(δmax(s..k-1) + Cwc(k,qmin) - Cav(k,q), δ(k..k)).
   // Each iteration is a constant number of adds/compares; we count one
   // abstract operation per scanned action plus one per deadline check.
+  //
+  // The sweep walks four contiguous quality-major streams (Cav(., q),
+  // Cwc(., q), Cwc(., qmin), D(.)) rather than gathering strided rows.
   const ActionIndex n = app_->size();
+  const TimeNs* cav_q = timing_->cav_at_quality(q);
+  const TimeNs* cwc_q = timing_->cwc_at_quality(q);
+  const TimeNs* cwc_min = timing_->cwc_qmin_data();
+  const TimeNs* dl = app_->deadline_data();
   TimeNs cav_sum = 0;
   TimeNs dmax = 0;
   TimeNs best = kTimePlusInf;
   std::uint64_t local_ops = 0;
   for (ActionIndex k = s; k < n; ++k) {
-    const TimeNs cav_k = timing_->cav(k, q);
-    const TimeNs cwc_k = timing_->cwc(k, q);
-    const TimeNs cwcmin_k = timing_->cwc(k, kQmin);
-    const TimeNs delta_kk = cwc_k - cav_k;
+    const TimeNs cav_k = cav_q[k];
+    const TimeNs delta_kk = cwc_q[k] - cav_k;
     if (k == s) {
       dmax = delta_kk;
     } else {
-      dmax = std::max(dmax + cwcmin_k - cav_k, delta_kk);
+      dmax = std::max(dmax + cwc_min[k] - cav_k, delta_kk);
     }
     cav_sum += cav_k;
     ++local_ops;
-    const TimeNs d = app_->deadline(k);
+    const TimeNs d = dl[k];
     if (d < kTimePlusInf) {
       best = std::min(best, d - (cav_sum + dmax));
       ++local_ops;
@@ -78,13 +84,16 @@ TimeNs PolicyEngine::td_online_mixed(StateIndex s, Quality q,
 TimeNs PolicyEngine::td_online_safe(StateIndex s, Quality q,
                                     std::uint64_t* ops) const {
   const ActionIndex n = app_->size();
+  const TimeNs* cwc_q = timing_->cwc_at_quality(q);
+  const TimeNs* cwc_min = timing_->cwc_qmin_data();
+  const TimeNs* dl = app_->deadline_data();
   TimeNs csf_sum = 0;
   TimeNs best = kTimePlusInf;
   std::uint64_t local_ops = 0;
   for (ActionIndex k = s; k < n; ++k) {
-    csf_sum += (k == s) ? timing_->cwc(k, q) : timing_->cwc(k, kQmin);
+    csf_sum += (k == s) ? cwc_q[k] : cwc_min[k];
     ++local_ops;
-    const TimeNs d = app_->deadline(k);
+    const TimeNs d = dl[k];
     if (d < kTimePlusInf) {
       best = std::min(best, d - csf_sum);
       ++local_ops;
@@ -97,13 +106,15 @@ TimeNs PolicyEngine::td_online_safe(StateIndex s, Quality q,
 TimeNs PolicyEngine::td_online_average(StateIndex s, Quality q,
                                        std::uint64_t* ops) const {
   const ActionIndex n = app_->size();
+  const TimeNs* cav_q = timing_->cav_at_quality(q);
+  const TimeNs* dl = app_->deadline_data();
   TimeNs cav_sum = 0;
   TimeNs best = kTimePlusInf;
   std::uint64_t local_ops = 0;
   for (ActionIndex k = s; k < n; ++k) {
-    cav_sum += timing_->cav(k, q);
+    cav_sum += cav_q[k];
     ++local_ops;
-    const TimeNs d = app_->deadline(k);
+    const TimeNs d = dl[k];
     if (d < kTimePlusInf) {
       best = std::min(best, d - cav_sum);
       ++local_ops;
@@ -113,7 +124,16 @@ TimeNs PolicyEngine::td_online_average(StateIndex s, Quality q,
   return best;
 }
 
-Decision PolicyEngine::decide_online(StateIndex s, TimeNs t) const {
+Decision PolicyEngine::decide_online(StateIndex s, TimeNs t,
+                                     Quality warm_hint) const {
+  SPEEDQM_REQUIRE(s < num_states(), "decide_online: state out of range");
+  return decide_max_quality(qmax(), warm_hint,
+                            [&](Quality q, std::uint64_t* ops) {
+                              return td_online(s, q, ops) >= t;
+                            });
+}
+
+Decision PolicyEngine::decide_scan(StateIndex s, TimeNs t) const {
   Decision d;
   d.relax_steps = 1;
   for (Quality q = qmax(); q >= kQmin; --q) {
@@ -254,7 +274,7 @@ TimeNs PolicyEngine::cd(ActionIndex s, ActionIndex k, Quality q) const {
     case PolicyKind::kAverage:
       return timing_->cav_range(s, k, q);
   }
-  SPEEDQM_ASSERT(false, "unreachable policy kind");
+  SPEEDQM_UNREACHABLE("unreachable policy kind");
 }
 
 TimeNs PolicyEngine::td_naive(StateIndex s, Quality q) const {

@@ -77,9 +77,19 @@ class PolicyEngine {
   /// Reference implementation straight from the definitions (test oracle).
   TimeNs td_naive(StateIndex s, Quality q) const;
 
-  /// The online Quality Manager decision Γ(s, t) = max { q | tD(s,q) >= t },
-  /// scanning qualities from qmax downward (each probe pays a td_online).
-  Decision decide_online(StateIndex s, TimeNs t) const;
+  /// The online Quality Manager decision Γ(s, t) = max { q | tD(s,q) >= t }.
+  ///
+  /// Exploits that tD(s, .) is non-increasing in q: O(log |Q|) td_online
+  /// probes via binary search on the quality axis, or O(1) probes when
+  /// `warm_hint` >= 0 names the previous step's quality (smoothness means
+  /// the chosen level rarely moves by more than one). Decisions are
+  /// bit-identical to decide_scan; only Decision.ops differs.
+  Decision decide_online(StateIndex s, TimeNs t, Quality warm_hint = -1) const;
+
+  /// The straightforward downward scan from qmax (each probe pays a
+  /// td_online) — the paper's numeric implementation, kept as the reference
+  /// and the ops baseline for the decision-engine ablation.
+  Decision decide_scan(StateIndex s, TimeNs t) const;
 
   // --- Segment quantities (exact, naive evaluation; used by speed
   // --- diagrams, tests and documentation tooling, not the hot path).

@@ -1,5 +1,6 @@
 #include "core/quality_region.hpp"
 
+#include "core/decision_search.hpp"
 #include "support/contract.hpp"
 
 namespace speedqm {
@@ -36,34 +37,22 @@ bool QualityRegionTable::contains(StateIndex s, TimeNs t, Quality q) const {
 
 Decision QualityRegionTable::decide(StateIndex s, TimeNs t,
                                     std::uint64_t* ops) const {
+  return decide_warm(s, t, -1, ops);
+}
+
+Decision QualityRegionTable::decide_warm(StateIndex s, TimeNs t,
+                                         Quality warm_hint,
+                                         std::uint64_t* ops) const {
   SPEEDQM_REQUIRE(s < n_, "QualityRegionTable: state out of range");
   const TimeNs* row = td_.data() + s * static_cast<std::size_t>(nq_);
-  std::uint64_t local_ops = 0;
-  Decision d;
-  d.relax_steps = 1;
   // tD(s, .) is non-increasing, so the set { q | tD(s,q) >= t } is a prefix
-  // [0, q*]; binary search for its right edge.
-  ++local_ops;
-  if (row[0] < t) {
-    d.quality = kQmin;
-    d.feasible = false;
-  } else {
-    int lo = 0;          // known satisfied
-    int hi = nq_ - 1;    // candidate range upper bound
-    while (lo < hi) {
-      const int mid = lo + (hi - lo + 1) / 2;
-      ++local_ops;
-      if (row[mid] >= t) {
-        lo = mid;
-      } else {
-        hi = mid - 1;
-      }
-    }
-    d.quality = lo;
-    d.feasible = true;
-  }
-  d.ops = local_ops;
-  if (ops) *ops += local_ops;
+  // [0, q*]; the shared search finds its right edge in O(log |Q|) probes
+  // (O(1) with a warm hint), counting one op per probe.
+  const Decision d = decide_max_quality(nq_ - 1, warm_hint,
+                                        [&](Quality q, std::uint64_t*) {
+                                          return row[q] >= t;
+                                        });
+  if (ops) *ops += d.ops;
   return d;
 }
 

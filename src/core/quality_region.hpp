@@ -47,6 +47,12 @@ class QualityRegionTable {
   /// qmin fails) return qmin with feasible = false.
   Decision decide(StateIndex s, TimeNs t, std::uint64_t* ops = nullptr) const;
 
+  /// decide() warm-started from a previous decision's quality (probes the
+  /// hint and its neighbours before falling back to the binary search);
+  /// warm_hint < 0 degrades to the cold search. Decisions are identical.
+  Decision decide_warm(StateIndex s, TimeNs t, Quality warm_hint,
+                       std::uint64_t* ops = nullptr) const;
+
   /// Number of stored integers (the paper's table-size metric: |A| * |Q|).
   std::size_t num_integers() const { return td_.size(); }
   /// Memory footprint of the stored table in bytes.

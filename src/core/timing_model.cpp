@@ -56,6 +56,16 @@ void TimingModel::build_prefixes() {
   for (ActionIndex i = n_; i-- > 0;) {
     cwc_qmin_suffix_[i] = cwc_qmin_suffix_[i + 1] + cwc_[i * nq + 0];
   }
+  // Quality-major mirrors for the decision hot path (one contiguous run of
+  // actions per quality level).
+  cav_by_q_.assign(nq * n_, 0);
+  cwc_by_q_.assign(nq * n_, 0);
+  for (ActionIndex i = 0; i < n_; ++i) {
+    for (std::size_t q = 0; q < nq; ++q) {
+      cav_by_q_[q * n_ + i] = cav_[i * nq + q];
+      cwc_by_q_[q * n_ + i] = cwc_[i * nq + q];
+    }
+  }
 }
 
 TimeNs TimingModel::cav_range(ActionIndex first, ActionIndex last, Quality q) const {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "support/contract.hpp"
 #include "support/time.hpp"
 
 namespace speedqm {
@@ -34,6 +35,36 @@ class TimingModel {
   TimeNs cav(ActionIndex i, Quality q) const { return cav_[idx(i, q)]; }
   TimeNs cwc(ActionIndex i, Quality q) const { return cwc_[idx(i, q)]; }
 
+  // --- Flat hot-path views (no bounds checks, contiguous per quality). ---
+  //
+  // Besides the row-major [action][quality] tables above, the model keeps
+  // quality-major mirrors [quality][action]: an online tD sweep walks all
+  // remaining actions at ONE fixed quality, so the mirror turns its three
+  // gathers per step (stride |Q|) into three contiguous streams. Decision
+  // code should use these; the checked accessors remain for cold paths.
+
+  /// Contiguous Cav(., q) over actions 0..n-1.
+  const TimeNs* cav_at_quality(Quality q) const {
+    return cav_by_q_.data() + static_cast<std::size_t>(q) * n_;
+  }
+  /// Contiguous Cwc(., q) over actions 0..n-1.
+  const TimeNs* cwc_at_quality(Quality q) const {
+    return cwc_by_q_.data() + static_cast<std::size_t>(q) * n_;
+  }
+  /// Contiguous Cwc(., qmin) — the tail-at-minimal-quality stream of the
+  /// mixed and safe estimators.
+  const TimeNs* cwc_qmin_data() const { return cwc_by_q_.data(); }
+  /// Contiguous SufMin(0..n) suffix sums.
+  const TimeNs* cwc_qmin_suffix_data() const { return cwc_qmin_suffix_.data(); }
+
+  /// Unchecked element reads for validated inner loops.
+  TimeNs cav_unchecked(ActionIndex i, Quality q) const {
+    return cav_[i * static_cast<std::size_t>(nq_) + static_cast<std::size_t>(q)];
+  }
+  TimeNs cwc_unchecked(ActionIndex i, Quality q) const {
+    return cwc_[i * static_cast<std::size_t>(nq_) + static_cast<std::size_t>(q)];
+  }
+
   /// Sum of Cav over actions [first, last] inclusive at quality q
   /// (the paper's Cav(a_first..a_last, q)). Empty if first > last.
   TimeNs cav_range(ActionIndex first, ActionIndex last, Quality q) const;
@@ -47,7 +78,10 @@ class TimingModel {
   TimeNs cwc_prefix(StateIndex i, Quality q) const { return cwc_prefix_[pidx(i, q)]; }
   /// Suffix sums SufMin(i) = sum of Cwc(a_i..a_{n-1}, qmin), i in 0..n.
   /// This is the paper's worst-case tail at minimal quality used by Csf.
-  TimeNs cwc_qmin_suffix(StateIndex i) const { return cwc_qmin_suffix_.at(i); }
+  TimeNs cwc_qmin_suffix(StateIndex i) const {
+    SPEEDQM_REQUIRE(i <= n_, "TimingModel: suffix index out of range");
+    return cwc_qmin_suffix_[i];
+  }
 
   /// Total Cav of the whole sequence at quality q.
   TimeNs total_cav(Quality q) const { return cav_prefix(n_, q); }
@@ -69,8 +103,10 @@ class TimingModel {
 
   ActionIndex n_;
   int nq_;
-  std::vector<TimeNs> cav_;             // n * nq
-  std::vector<TimeNs> cwc_;             // n * nq
+  std::vector<TimeNs> cav_;             // n * nq, [action][quality]
+  std::vector<TimeNs> cwc_;             // n * nq, [action][quality]
+  std::vector<TimeNs> cav_by_q_;        // nq * n, [quality][action] mirror
+  std::vector<TimeNs> cwc_by_q_;        // nq * n, [quality][action] mirror
   std::vector<TimeNs> cav_prefix_;      // (n+1) * nq
   std::vector<TimeNs> cwc_prefix_;      // (n+1) * nq
   std::vector<TimeNs> cwc_qmin_suffix_; // n+1

@@ -4,6 +4,16 @@
 // caller would get a controller that silently violates safety, so contract
 // failures throw rather than abort — callers (tests, tools) can recover and
 // report.
+//
+// Checking is compile-time gated so the decision hot path (TimingModel
+// accessors, td_online sweeps, table row probes) carries zero branch cost
+// in optimized builds:
+//   * Debug builds (no NDEBUG): all checks active.
+//   * Release builds (NDEBUG): SPEEDQM_REQUIRE / SPEEDQM_ASSERT compile to
+//     nothing — the expressions are not evaluated.
+//   * Defining SPEEDQM_FORCE_CONTRACTS re-enables checking regardless of
+//     NDEBUG; the test suite links a library variant built this way so
+//     precondition tests hold in every configuration.
 #pragma once
 
 #include <stdexcept>
@@ -38,6 +48,14 @@ namespace detail {
 
 }  // namespace speedqm
 
+#if !defined(NDEBUG) || defined(SPEEDQM_FORCE_CONTRACTS)
+#define SPEEDQM_CONTRACTS_ENABLED 1
+#else
+#define SPEEDQM_CONTRACTS_ENABLED 0
+#endif
+
+#if SPEEDQM_CONTRACTS_ENABLED
+
 /// Check a public-API precondition; throws speedqm::contract_error.
 #define SPEEDQM_REQUIRE(expr, msg)                                          \
   do {                                                                      \
@@ -49,3 +67,24 @@ namespace detail {
   do {                                                                      \
     if (!(expr)) ::speedqm::detail::invariant_fail(#expr, __FILE__, __LINE__, (msg)); \
   } while (false)
+
+/// Marks a spot control flow must never reach (e.g. after a fully-covered
+/// switch); throws in checked builds, tells the optimizer in release.
+#define SPEEDQM_UNREACHABLE(msg) \
+  ::speedqm::detail::invariant_fail("unreachable", __FILE__, __LINE__, (msg))
+
+#else  // release: checks vanish; the unevaluated sizeof keeps the checked
+       // expression "used" so -Wunused warnings don't fire on variables
+       // that exist only for checking.
+
+#define SPEEDQM_REQUIRE(expr, msg)     \
+  do {                                 \
+    (void)sizeof((expr) ? true : false); \
+  } while (false)
+#define SPEEDQM_ASSERT(expr, msg)      \
+  do {                                 \
+    (void)sizeof((expr) ? true : false); \
+  } while (false)
+#define SPEEDQM_UNREACHABLE(msg) __builtin_unreachable()
+
+#endif  // SPEEDQM_CONTRACTS_ENABLED

@@ -29,7 +29,7 @@ TimingModel PaperScenario::controller_model(ManagerFlavor flavor) const {
       return inflate_for_overhead(tm, overhead, est);
     }
   }
-  SPEEDQM_ASSERT(false, "unreachable manager flavor");
+  SPEEDQM_UNREACHABLE("unreachable manager flavor");
 }
 
 PaperScenario make_paper_scenario(std::uint64_t seed) {

@@ -1,0 +1,39 @@
+#!/usr/bin/env sh
+# Runs the perf-tracking benches and collects machine-readable results.
+#
+# Usage: tools/run_benches.sh [build_dir] [out_dir]
+#   build_dir  CMake build tree containing the bench executables
+#              (default: build)
+#   out_dir    where BENCH_*.json and bench logs land (default: bench_out)
+#
+# Currently tracked:
+#   BENCH_decision.json — decision-engine sweep (ns/decision, ops/decision
+#   for scan / bsearch / warm / tabled, mixed policy, n x |Q| grid), written
+#   by bench_micro_managers. Exit status is non-zero if any SHAPE check
+#   fails, so CI can gate on perf regressions.
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-bench_out}"
+
+if [ ! -x "${BUILD_DIR}/bench_micro_managers" ]; then
+  echo "error: ${BUILD_DIR}/bench_micro_managers not found." >&2
+  echo "Build first: cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+  exit 2
+fi
+
+BENCH_BIN="$(cd "${BUILD_DIR}" && pwd)/bench_micro_managers"
+mkdir -p "${OUT_DIR}"
+cd "${OUT_DIR}"
+
+# Keep the google-benchmark part quick (the sweep is the tracked artifact);
+# override SPEEDQM_BENCH_FILTER to widen/narrow the registered microbenches.
+FILTER="${SPEEDQM_BENCH_FILTER:-Decide}"
+"${BENCH_BIN}" \
+  --benchmark_filter="${FILTER}" \
+  --benchmark_min_time=0.02 \
+  | tee bench_micro_managers.log
+
+echo ""
+echo "artifacts in ${OUT_DIR}:"
+ls -l BENCH_*.json
