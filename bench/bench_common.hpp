@@ -29,9 +29,12 @@ class PaperHarness {
   explicit PaperHarness(std::uint64_t seed = 20070326)
       : scenario_(make_paper_scenario(seed)),
         tm_numeric_(scenario_.controller_model(ManagerFlavor::kNumeric)),
+        tm_incremental_(
+            scenario_.controller_model(ManagerFlavor::kNumericIncremental)),
         tm_regions_(scenario_.controller_model(ManagerFlavor::kRegions)),
         tm_relax_(scenario_.controller_model(ManagerFlavor::kRelaxation)),
         engine_numeric_(scenario_.app(), tm_numeric_),
+        engine_incremental_(scenario_.app(), tm_incremental_),
         engine_regions_(scenario_.app(), tm_regions_),
         engine_relax_(scenario_.app(), tm_relax_),
         engine_pure_(scenario_.app(), scenario_.timing()),
@@ -42,6 +45,7 @@ class PaperHarness {
 
   PaperScenario& scenario() { return scenario_; }
   const PolicyEngine& engine_numeric() const { return engine_numeric_; }
+  const PolicyEngine& engine_incremental() const { return engine_incremental_; }
   const PolicyEngine& engine_regions() const { return engine_regions_; }
   const PolicyEngine& engine_relax() const { return engine_relax_; }
   /// Engine over the *uninflated* workload model (diagram/region geometry).
@@ -67,6 +71,9 @@ class PaperHarness {
     switch (flavor) {
       case ManagerFlavor::kNumeric:
         return std::make_unique<NumericManager>(engine_numeric_);
+      case ManagerFlavor::kNumericIncremental:
+        return std::make_unique<NumericManager>(
+            engine_incremental_, NumericManager::Strategy::kIncremental);
       case ManagerFlavor::kRegions:
         return std::make_unique<RegionManager>(regions_for_regions_);
       case ManagerFlavor::kRelaxation:
@@ -78,8 +85,9 @@ class PaperHarness {
 
  private:
   PaperScenario scenario_;
-  TimingModel tm_numeric_, tm_regions_, tm_relax_;
-  PolicyEngine engine_numeric_, engine_regions_, engine_relax_, engine_pure_;
+  TimingModel tm_numeric_, tm_incremental_, tm_regions_, tm_relax_;
+  PolicyEngine engine_numeric_, engine_incremental_, engine_regions_,
+      engine_relax_, engine_pure_;
   QualityRegionTable regions_for_regions_, regions_for_relax_;
   RelaxationTable relax_table_;
 };

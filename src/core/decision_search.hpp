@@ -5,9 +5,11 @@
 // TimingModel construction), the satisfied set is a prefix [qmin, q*]; its
 // right edge is found in O(log |Q|) probes, or O(1) with a good warm-start
 // hint. Centralizing the search here guarantees the numeric engine, the
-// flat-table managers and the region tables return bit-identical decisions —
-// they differ only in what a probe costs (an O(n) td_online sweep vs an O(1)
-// table read), which is exactly what Decision.ops records.
+// incremental engine (core/td_incremental.hpp), the flat-table managers
+// and the region tables return bit-identical decisions —
+// they differ only in what a probe costs (an O(n) td_online sweep, an
+// O(1)-amortized incremental chain read, or an O(1) table read), which is
+// exactly what Decision.ops records.
 //
 // Ops convention (kept consistent across managers so bench_overhead_pct /
 // bench_micro_managers compare like with like): one abstract op per quality

@@ -15,28 +15,41 @@
 //   * kWarm   — kBinary warm-started from the previous decision's quality:
 //     2 sweeps in steady state (smoothness keeps consecutive decisions
 //     within a level of each other).
-// For an O(1)-probe manager (no sweeps at all), see TabledNumericManager in
-// core/fast_manager.hpp.
+//   * kIncremental — kWarm with every sweep replaced by an O(1)-amortized
+//     probe of an IncrementalTdState that follows the run forward
+//     (core/td_incremental.hpp): a full cycle of decisions costs O(n)
+//     total instead of the scan's Θ(n²), with memory only for the 2-3
+//     quality lanes the warm search actually touches.
+// For an O(1)-probe manager backed by a full precomputed table, see
+// TabledNumericManager in core/fast_manager.hpp.
 #pragma once
+
+#include <memory>
 
 #include "core/manager.hpp"
 #include "core/policy.hpp"
+#include "core/td_incremental.hpp"
 
 namespace speedqm {
 
 class NumericManager final : public QualityManager {
  public:
   enum class Strategy {
-    kScan,    ///< downward scan from qmax (paper baseline, default)
-    kBinary,  ///< binary search over the quality axis
-    kWarm,    ///< binary search warm-started from the previous decision
+    kScan,         ///< downward scan from qmax (paper baseline, default)
+    kBinary,       ///< binary search over the quality axis
+    kWarm,         ///< binary search warm-started from the previous decision
+    kIncremental,  ///< warm search over incrementally maintained tD
   };
 
   /// The engine's policy kind determines the policy applied (mixed for the
   /// paper's manager; safe/average engines yield the baseline variants).
   explicit NumericManager(const PolicyEngine& engine,
                           Strategy strategy = Strategy::kScan)
-      : engine_(&engine), strategy_(strategy) {}
+      : engine_(&engine), strategy_(strategy) {
+    if (strategy_ == Strategy::kIncremental) {
+      incremental_ = std::make_unique<IncrementalTdState>(engine);
+    }
+  }
 
   Decision decide(StateIndex s, TimeNs t) override {
     Decision d;
@@ -50,14 +63,31 @@ class NumericManager final : public QualityManager {
       case Strategy::kWarm:
         d = engine_->decide_online(s, t, last_quality_);
         break;
+      case Strategy::kIncremental:
+        d = engine_->decide_incremental(*incremental_, s, t, last_quality_);
+        break;
     }
     last_quality_ = d.quality;
     return d;
   }
 
-  void reset() override { last_quality_ = -1; }
+  void reset() override {
+    last_quality_ = -1;
+    // New cycle: states restart at 0. Lanes rewind to their compiled
+    // state-0 chains without recompiling.
+    if (incremental_) incremental_->rewind();
+  }
 
   Strategy strategy() const { return strategy_; }
+
+  /// The incremental engine's live state (null unless kIncremental).
+  const IncrementalTdState* incremental_state() const {
+    return incremental_.get();
+  }
+
+  std::size_t memory_bytes() const override {
+    return incremental_ ? incremental_->memory_bytes() : 0;
+  }
 
   std::string name() const override {
     std::string base = std::string("numeric-") + to_string(engine_->kind());
@@ -65,6 +95,7 @@ class NumericManager final : public QualityManager {
       case Strategy::kScan: return base;  // historical name, paper baseline
       case Strategy::kBinary: return base + "-bsearch";
       case Strategy::kWarm: return base + "-warm";
+      case Strategy::kIncremental: return base + "-incremental";
     }
     return base;
   }
@@ -72,6 +103,7 @@ class NumericManager final : public QualityManager {
  private:
   const PolicyEngine* engine_;
   Strategy strategy_;
+  std::unique_ptr<IncrementalTdState> incremental_;
   Quality last_quality_ = -1;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/decision_search.hpp"
+#include "core/td_incremental.hpp"
 #include "support/contract.hpp"
 
 namespace speedqm {
@@ -130,6 +131,18 @@ Decision PolicyEngine::decide_online(StateIndex s, TimeNs t,
   return decide_max_quality(qmax(), warm_hint,
                             [&](Quality q, std::uint64_t* ops) {
                               return td_online(s, q, ops) >= t;
+                            });
+}
+
+Decision PolicyEngine::decide_incremental(IncrementalTdState& state,
+                                          StateIndex s, TimeNs t,
+                                          Quality warm_hint) const {
+  SPEEDQM_REQUIRE(&state.engine() == this,
+                  "decide_incremental: state built from a different engine");
+  SPEEDQM_REQUIRE(s < num_states(), "decide_incremental: state out of range");
+  return decide_max_quality(qmax(), warm_hint,
+                            [&](Quality q, std::uint64_t* ops) {
+                              return state.td(s, q, ops) >= t;
                             });
 }
 

@@ -32,6 +32,8 @@
 
 namespace speedqm {
 
+class IncrementalTdState;
+
 /// Which execution-time estimator the policy uses.
 enum class PolicyKind {
   kMixed,    ///< Cav + δmax — safe and smooth (the paper's policy).
@@ -90,6 +92,14 @@ class PolicyEngine {
   /// td_online) — the paper's numeric implementation, kept as the reference
   /// and the ops baseline for the decision-engine ablation.
   Decision decide_scan(StateIndex s, TimeNs t) const;
+
+  /// The same decision with each probe answered by `state` in O(1)
+  /// amortized as s advances through a run (core/td_incremental.hpp)
+  /// instead of an O(n) td_online sweep. `state` must have been built from
+  /// this engine. Decisions are bit-identical to decide_scan; only
+  /// Decision.ops differs.
+  Decision decide_incremental(IncrementalTdState& state, StateIndex s, TimeNs t,
+                              Quality warm_hint = -1) const;
 
   // --- Segment quantities (exact, naive evaluation; used by speed
   // --- diagrams, tests and documentation tooling, not the hot path).

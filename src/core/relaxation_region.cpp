@@ -1,7 +1,6 @@
 #include "core/relaxation_region.hpp"
 
 #include <algorithm>
-#include <deque>
 
 #include "support/contract.hpp"
 
@@ -27,31 +26,50 @@ RelaxationTable::RelaxationTable(const PolicyEngine& engine,
 
   const TimingModel& tm = engine.timing();
   // For each quality, X(j) = tD(j, q) - W_q(j) with W_q the Cwc prefix sum;
-  // then tD,r(s, q) = W_q(s) + min_{j in [s, s+r-1]} X(j). A monotone deque
-  // gives all windows of one width in O(n).
+  // then tD,r(s, q) = W_q(s) + min_{j in [s, s+r-1]} X(j).
+  //
+  // One backward monotone-stack sweep per quality serves every width in rho
+  // at once (the same suffix-record chain the incremental tD engine
+  // maintains, see core/td_incremental.hpp): sweeping s from n-1 down, the
+  // stack holds the suffix-minima record chain of X over [s, n) — positions
+  // s = p0 < p1 < ... with X(p0) > X(p1) > ..., so min over [s, e] is X at
+  // the last record <= e. Each width keeps a cursor into the shared stack
+  // that only moves toward the head as its window edge e = s + r - 1
+  // recedes. Stack maintenance is O(n) per quality (amortized, down from
+  // one O(n) deque pass per (quality, width)); cursor steps are O(1)
+  // amortized per table entry, and the Θ(n * |Q| * |rho|) entry writes are
+  // the unavoidable output cost.
   std::vector<TimeNs> x(n_);
+  std::vector<StateIndex> chain;       // record positions, back = head (= s)
+  std::vector<std::size_t> cursor(rho_.size(), 0);
   for (Quality q = 0; q < nq_; ++q) {
     for (StateIndex j = 0; j < n_; ++j) {
-      x[j] = region.td(j, q) - tm.cwc_prefix(j, q);
+      x[j] = region.td(j, q) - tm.cwc_prefix_unchecked(j, q);
     }
-    for (std::size_t r_idx = 0; r_idx < rho_.size(); ++r_idx) {
-      const auto r = static_cast<StateIndex>(rho_[r_idx]);
-      if (r > n_) continue;  // no state has r actions remaining
-      std::deque<StateIndex> win;  // indices with increasing X values
-      // Seed the deque with the first window's tail [0, r-1), then slide.
-      for (StateIndex j = 0; j + 1 < r; ++j) {
-        while (!win.empty() && x[win.back()] >= x[j]) win.pop_back();
-        win.push_back(j);
-      }
-      for (StateIndex s = 0; s + r <= n_; ++s) {
-        const StateIndex j = s + r - 1;  // window's new right edge
-        while (!win.empty() && x[win.back()] >= x[j]) win.pop_back();
-        win.push_back(j);
-        while (win.front() < s) win.pop_front();
+    chain.clear();
+    std::fill(cursor.begin(), cursor.end(), 0);
+    for (StateIndex s = n_; s-- > 0;) {
+      // Equal values collapse onto the leftmost position: every window
+      // containing a popped record also contains s, and X(s) <= X(popped),
+      // so the window minimum is unchanged.
+      while (!chain.empty() && x[chain.back()] >= x[s]) chain.pop_back();
+      chain.push_back(s);
+      const TimeNs w_s = tm.cwc_prefix_unchecked(s, q);
+      for (std::size_t r_idx = 0; r_idx < rho_.size(); ++r_idx) {
+        const auto r = static_cast<StateIndex>(rho_[r_idx]);
+        if (s + r > n_) continue;  // fewer than r actions remain
+        const StateIndex e = s + r - 1;  // window right edge
+        // The cursor indexes the chain bottom-up (positions decreasing);
+        // the window minimum sits at the first record <= e. Pops can only
+        // strand the cursor past the head, never before the answer.
+        std::size_t c = cursor[r_idx];
+        if (c >= chain.size()) c = chain.size() - 1;
+        while (chain[c] > e) ++c;
+        cursor[r_idx] = c;
         upper_[r_idx * plane + s * nq + static_cast<std::size_t>(q)] =
-            tm.cwc_prefix(s, q) + x[win.front()];
+            w_s + x[chain[c]];
         lower_[r_idx * plane + s * nq + static_cast<std::size_t>(q)] =
-            (q == qmax()) ? kTimeMinusInf : region.td(s + r - 1, q + 1);
+            (q == qmax()) ? kTimeMinusInf : region.td(e, q + 1);
       }
     }
   }

@@ -64,6 +64,17 @@ class TimingModel {
   TimeNs cwc_unchecked(ActionIndex i, Quality q) const {
     return cwc_[i * static_cast<std::size_t>(nq_) + static_cast<std::size_t>(q)];
   }
+  /// Unchecked prefix/suffix reads for validated inner loops (the lane
+  /// compilation sweeps of IncrementalTdState and the relaxation compiler).
+  TimeNs cav_prefix_unchecked(StateIndex i, Quality q) const {
+    return cav_prefix_[i * static_cast<std::size_t>(nq_) + static_cast<std::size_t>(q)];
+  }
+  TimeNs cwc_prefix_unchecked(StateIndex i, Quality q) const {
+    return cwc_prefix_[i * static_cast<std::size_t>(nq_) + static_cast<std::size_t>(q)];
+  }
+  TimeNs cwc_qmin_suffix_unchecked(StateIndex i) const {
+    return cwc_qmin_suffix_[i];
+  }
 
   /// Sum of Cav over actions [first, last] inclusive at quality q
   /// (the paper's Cav(a_first..a_last, q)). Empty if first > last.

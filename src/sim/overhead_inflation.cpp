@@ -20,6 +20,9 @@ RegionCallEstimate::RegionCallEstimate(int num_levels)
 RelaxationCallEstimate::RelaxationCallEstimate(int num_levels, std::size_t rho_size)
     : ops_(RegionCallEstimate(num_levels).ops(0) + rho_size) {}
 
+IncrementalCallEstimate::IncrementalCallEstimate(int num_levels)
+    : ops_(3 * RegionCallEstimate(num_levels).ops(0) + 8) {}
+
 TimingModel inflate_for_overhead(const TimingModel& tm, const OverheadModel& om,
                                  const OverheadEstimate& estimate) {
   const ActionIndex n = tm.num_actions();

@@ -71,6 +71,20 @@ class RelaxationCallEstimate final : public OverheadEstimate {
   std::uint64_t ops_;
 };
 
+/// Incremental numeric manager (NumericManager::Strategy::kIncremental):
+/// warm-width probes, each an O(1) chain read plus ~2 amortized pop/push
+/// chain-maintenance ops, plus the per-cycle lane compilations amortized
+/// over the cycle's decisions (~2 ops per decision per active lane, 2-3
+/// lanes warm). A constant, like the symbolic managers — by design.
+class IncrementalCallEstimate final : public OverheadEstimate {
+ public:
+  explicit IncrementalCallEstimate(int num_levels);
+  std::uint64_t ops(StateIndex) const override { return ops_; }
+
+ private:
+  std::uint64_t ops_;
+};
+
 /// Returns a copy of `tm` with Cav and Cwc of every action inflated by the
 /// overhead model's cost of one estimated manager call at that action's
 /// state. Preserves the Definition 1 shape (monotone in q, Cav <= Cwc).

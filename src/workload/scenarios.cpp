@@ -7,6 +7,7 @@ namespace speedqm {
 const char* to_string(ManagerFlavor flavor) {
   switch (flavor) {
     case ManagerFlavor::kNumeric: return "numeric";
+    case ManagerFlavor::kNumericIncremental: return "numeric-incremental";
     case ManagerFlavor::kRegions: return "regions";
     case ManagerFlavor::kRelaxation: return "relaxation";
   }
@@ -18,6 +19,10 @@ TimingModel PaperScenario::controller_model(ManagerFlavor flavor) const {
   switch (flavor) {
     case ManagerFlavor::kNumeric: {
       const NumericCallEstimate est(tm.num_actions());
+      return inflate_for_overhead(tm, overhead, est);
+    }
+    case ManagerFlavor::kNumericIncremental: {
+      const IncrementalCallEstimate est(tm.num_levels());
       return inflate_for_overhead(tm, overhead, est);
     }
     case ManagerFlavor::kRegions: {

@@ -15,7 +15,12 @@
 namespace speedqm {
 
 /// Which Quality Manager implementation a controller model targets.
-enum class ManagerFlavor { kNumeric, kRegions, kRelaxation };
+enum class ManagerFlavor {
+  kNumeric,             ///< paper's numeric manager (downward scan)
+  kNumericIncremental,  ///< numeric manager over incremental tD maintenance
+  kRegions,
+  kRelaxation,
+};
 
 const char* to_string(ManagerFlavor flavor);
 

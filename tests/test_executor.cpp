@@ -66,6 +66,34 @@ TEST(ExecutorTest, ZeroOverheadMatchesPureController) {
   EXPECT_EQ(run.total_time, pure.completion);
 }
 
+// The incremental strategy is a drop-in for the paper's scan inside the
+// simulator: across cycles (per-cycle manager reset rewinds its lanes), it
+// must produce the identical quality trajectory while reporting orders of
+// magnitude fewer ops.
+TEST(ExecutorTest, IncrementalManagerMatchesScanAcrossCycles) {
+  auto w = make_workload(21, /*cycles=*/4);
+  const PolicyEngine e(w.app(), w.timing());
+  NumericManager scan(e, NumericManager::Strategy::kScan);
+  NumericManager incremental(e, NumericManager::Strategy::kIncremental);
+
+  ExecutorOptions opts;
+  opts.cycles = 4;
+  const auto run_scan = run_cyclic(w.app(), scan, w.traces(), opts);
+  const auto run_inc = run_cyclic(w.app(), incremental, w.traces(), opts);
+
+  ASSERT_EQ(run_scan.steps.size(), run_inc.steps.size());
+  for (std::size_t i = 0; i < run_scan.steps.size(); ++i) {
+    ASSERT_EQ(run_scan.steps[i].quality, run_inc.steps[i].quality) << "i=" << i;
+    ASSERT_EQ(run_scan.steps[i].feasible, run_inc.steps[i].feasible) << "i=" << i;
+  }
+  EXPECT_EQ(run_scan.total_time, run_inc.total_time);
+
+  std::uint64_t ops_scan = 0, ops_inc = 0;
+  for (const auto& s : run_scan.steps) ops_scan += s.ops;
+  for (const auto& s : run_inc.steps) ops_inc += s.ops;
+  EXPECT_LT(ops_inc * 2, ops_scan);
+}
+
 TEST(ExecutorTest, OverheadIsChargedPerCall) {
   auto w = make_workload(2);
   const PolicyEngine e(w.app(), w.timing());

@@ -1,0 +1,321 @@
+// Differential suite for the incremental tD engine (core/td_incremental.hpp):
+// IncrementalTdState must be bit-identical to a fresh td_online recomputation
+// at every step of a run — it only gets to be cheaper, never different.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/numeric_manager.hpp"
+#include "core/td_incremental.hpp"
+#include "support/contract.hpp"
+#include "workload/synthetic.hpp"
+
+namespace speedqm {
+namespace {
+
+struct IncParam {
+  std::uint64_t seed;
+  ActionIndex actions;
+  int levels;
+  ActionIndex milestone_every;  // 0 = single final deadline
+  QualityCurve curve;
+};
+
+SyntheticWorkload make_workload(const IncParam& p) {
+  SyntheticSpec spec;
+  spec.seed = p.seed;
+  spec.num_actions = p.actions;
+  spec.num_levels = p.levels;
+  spec.milestone_every = p.milestone_every;
+  spec.curve = p.curve;
+  spec.num_cycles = 1;
+  spec.budget_quality = std::min(4, p.levels - 1);
+  return SyntheticWorkload(spec);
+}
+
+/// Probe times exercising every region border of state s: the exact tD
+/// values ("deadline exactly on a milestone" seen from the decision side),
+/// one tick either side, and both extremes.
+std::vector<TimeNs> border_probe_times(const PolicyEngine& e, StateIndex s) {
+  std::vector<TimeNs> ts{kTimeMinusInf + 1, -1, 0, 1, kTimePlusInf - 1};
+  for (Quality q = 0; q < e.num_levels(); ++q) {
+    const TimeNs td = e.td_online(s, q);
+    if (td >= kTimePlusInf) continue;
+    ts.push_back(td - 1);
+    ts.push_back(td);
+    ts.push_back(td + 1);
+  }
+  return ts;
+}
+
+class IncrementalTdSweep : public ::testing::TestWithParam<IncParam> {};
+
+// (a) Full-row equality on a monotone forward walk, all policy kinds: the
+// incremental value at every (s, q) equals a fresh td_online recomputation.
+TEST_P(IncrementalTdSweep, TdMatchesOnlineEverywhere) {
+  const auto w = make_workload(GetParam());
+  for (const PolicyKind kind :
+       {PolicyKind::kMixed, PolicyKind::kSafe, PolicyKind::kAverage}) {
+    const PolicyEngine e(w.app(), w.timing(), kind);
+    IncrementalTdState st(e);
+    for (StateIndex s = 0; s < e.num_states(); ++s) {
+      for (Quality q = 0; q < e.num_levels(); ++q) {
+        ASSERT_EQ(st.td(s, q), e.td_online(s, q))
+            << to_string(kind) << " s=" << s << " q=" << q;
+      }
+    }
+  }
+}
+
+// (b) Decisions are bit-identical to the paper-faithful downward scan for
+// every state, border-probing time, and every warm hint (stale and
+// out-of-range ones included).
+TEST_P(IncrementalTdSweep, DecisionsBitIdenticalToScan) {
+  const auto w = make_workload(GetParam());
+  const PolicyEngine e(w.app(), w.timing(), PolicyKind::kMixed);
+  IncrementalTdState st(e);
+  for (StateIndex s = 0; s < e.num_states(); ++s) {
+    for (const TimeNs t : border_probe_times(e, s)) {
+      const Decision ref = e.decide_scan(s, t);
+      for (Quality hint = -1; hint <= e.qmax() + 1; ++hint) {
+        const Decision got = e.decide_incremental(st, s, t, hint);
+        ASSERT_EQ(ref.quality, got.quality)
+            << "s=" << s << " t=" << t << " hint=" << hint;
+        ASSERT_EQ(ref.feasible, got.feasible)
+            << "s=" << s << " t=" << t << " hint=" << hint;
+        ASSERT_EQ(ref.relax_steps, got.relax_steps);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, IncrementalTdSweep,
+    ::testing::Values(
+        IncParam{31, 40, 7, 0, QualityCurve::kLinear},
+        IncParam{32, 40, 7, 10, QualityCurve::kLinear},
+        IncParam{33, 97, 4, 13, QualityCurve::kConcave},
+        IncParam{34, 97, 4, 0, QualityCurve::kConvex},
+        IncParam{35, 1, 3, 0, QualityCurve::kLinear},   // single action
+        IncParam{36, 120, 2, 24, QualityCurve::kLinear},
+        IncParam{37, 17, 1, 4, QualityCurve::kLinear},  // single level
+        IncParam{38, 64, 16, 8, QualityCurve::kConcave},
+        IncParam{39, 128, 7, 1, QualityCurve::kLinear}  // deadline everywhere
+        ));
+
+// 10^5 advance/decide steps across cycles: a random walk of target
+// qualities with occasional large jumps (mid-run quality switches that
+// force fresh lanes mid-cycle) and ±jitter around the region borders
+// (non-monotone perturbations of the probe time). Every decision is
+// compared against the paper's scan, and the incremental tD value against
+// a fresh td_online recomputation, at that very step.
+TEST(IncrementalTdRandomWalk, HundredThousandStepsMatchScan) {
+  SyntheticSpec spec;
+  spec.seed = 77;
+  spec.num_actions = 256;
+  spec.num_levels = 9;
+  spec.milestone_every = 32;
+  spec.budget_quality = 5;
+  spec.num_cycles = 1;
+  const SyntheticWorkload w(spec);
+  const PolicyEngine e(w.app(), w.timing(), PolicyKind::kMixed);
+  NumericManager incremental(e, NumericManager::Strategy::kIncremental);
+
+  const StateIndex n = e.num_states();
+  const int nq = e.num_levels();
+  std::uint64_t rng = 0x5eed5eedULL;
+  const auto next = [&rng]() {
+    rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+    return rng >> 33;
+  };
+
+  constexpr std::size_t kSteps = 100'000;
+  std::size_t steps = 0;
+  Quality target = nq / 2;
+  std::uint64_t total_ops = 0;
+  while (steps < kSteps) {
+    incremental.reset();  // new cycle: lanes rewind, no recompilation
+    for (StateIndex s = 0; s < n && steps < kSteps; ++s, ++steps) {
+      if (next() % 97 == 0) {
+        target = static_cast<Quality>(next() % nq);  // mid-run switch
+      } else {
+        const int step = static_cast<int>(next() % 3) - 1;
+        target = std::clamp(target + step, 0, nq - 1);
+      }
+      const TimeNs jitter = static_cast<TimeNs>(next() % 5) - 2;
+      TimeNs t = e.td_online(s, target);
+      t = (t >= kTimePlusInf) ? kTimePlusInf - 1 : t + jitter;
+
+      const Decision got = incremental.decide(s, t);
+      const Decision ref = e.decide_scan(s, t);
+      ASSERT_EQ(ref.quality, got.quality) << "step=" << steps << " s=" << s;
+      ASSERT_EQ(ref.feasible, got.feasible) << "step=" << steps << " s=" << s;
+      total_ops += got.ops;
+    }
+  }
+  // Amortized O(1): the whole walk costs a bounded constant per decision
+  // (lane compiles included), nowhere near the scan's Θ(n) per decision.
+  EXPECT_LE(total_ops, 64 * kSteps);
+}
+
+// All-equal tD rows: a timing model flat across quality makes every
+// quality level tie — the search must still pick qmax on feasible states,
+// identically to the scan, with ties broken the same way everywhere.
+TEST(IncrementalTdEdgeCases, AllEqualTdRows) {
+  const int nq = 5;
+  TimingModelBuilder b(nq);
+  for (int i = 0; i < 32; ++i) {
+    const std::vector<TimeNs> cav(nq, us(100 + 7 * (i % 3)));
+    const std::vector<TimeNs> cwc(nq, us(180 + 7 * (i % 3)));
+    b.action(cav, cwc);
+  }
+  TimingModel tm = std::move(b).build();
+  ScheduledApp::Builder app;
+  for (int i = 0; i < 32; ++i) app.action("a" + std::to_string(i));
+  app.deadline(us(100) * 40);
+  const ScheduledApp sched = std::move(app).build();
+
+  for (const PolicyKind kind :
+       {PolicyKind::kMixed, PolicyKind::kSafe, PolicyKind::kAverage}) {
+    const PolicyEngine e(sched, tm, kind);
+    IncrementalTdState st(e);
+    for (StateIndex s = 0; s < e.num_states(); ++s) {
+      for (Quality q = 1; q < nq; ++q) {
+        ASSERT_EQ(e.td_online(s, q), e.td_online(s, 0));
+      }
+      for (const TimeNs t : border_probe_times(e, s)) {
+        const Decision ref = e.decide_scan(s, t);
+        const Decision got = e.decide_incremental(st, s, t, -1);
+        ASSERT_EQ(ref.quality, got.quality) << to_string(kind) << " s=" << s;
+        ASSERT_EQ(ref.feasible, got.feasible) << to_string(kind) << " s=" << s;
+      }
+    }
+  }
+}
+
+// Deadline exactly on a milestone boundary: probe times equal to tD at the
+// milestone state decide >= (not >) there, matching Γ's closed regions.
+TEST(IncrementalTdEdgeCases, DeadlineExactlyOnMilestone) {
+  SyntheticSpec spec;
+  spec.seed = 99;
+  spec.num_actions = 60;
+  spec.num_levels = 7;
+  spec.milestone_every = 12;
+  spec.budget_quality = 4;
+  const SyntheticWorkload w(spec);
+  const PolicyEngine e(w.app(), w.timing(), PolicyKind::kMixed);
+  IncrementalTdState st(e);
+  for (StateIndex s = 0; s < e.num_states(); ++s) {
+    for (Quality q = 0; q < e.num_levels(); ++q) {
+      const TimeNs td = e.td_online(s, q);
+      if (td >= kTimePlusInf) continue;
+      const Decision at_border = e.decide_incremental(st, s, td, -1);
+      EXPECT_TRUE(at_border.feasible) << "s=" << s << " q=" << q;
+      EXPECT_GE(at_border.quality, q) << "s=" << s << " q=" << q;
+    }
+  }
+}
+
+// Cycle rewind reuses compiled lanes: the second pass decides identically
+// and compiles nothing new.
+TEST(IncrementalTdState2, RewindReusesCompiledLanes) {
+  SyntheticSpec spec;
+  spec.seed = 123;
+  spec.num_actions = 128;
+  spec.num_levels = 7;
+  spec.budget_quality = 4;
+  const SyntheticWorkload w(spec);
+  const PolicyEngine e(w.app(), w.timing(), PolicyKind::kMixed);
+  NumericManager inc(e, NumericManager::Strategy::kIncremental);
+
+  const TimeNs t_mid = e.td_online(0, 3);
+  std::vector<Quality> first, second;
+  for (StateIndex s = 0; s < e.num_states(); ++s) {
+    first.push_back(inc.decide(s, t_mid).quality);
+  }
+  const std::size_t lanes = inc.incremental_state()->num_compiled_lanes();
+  const std::size_t bytes = inc.memory_bytes();
+  EXPECT_GT(lanes, 0u);
+
+  inc.reset();
+  for (StateIndex s = 0; s < e.num_states(); ++s) {
+    second.push_back(inc.decide(s, t_mid).quality);
+  }
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(inc.incremental_state()->num_compiled_lanes(), lanes);
+  EXPECT_EQ(inc.memory_bytes(), bytes);
+}
+
+// A backward probe (earlier state than the lane position) is legal: the
+// lane rewinds and re-advances, still bit-identical to td_online.
+TEST(IncrementalTdState2, BackwardProbeStaysCorrect) {
+  SyntheticSpec spec;
+  spec.seed = 321;
+  spec.num_actions = 64;
+  spec.num_levels = 5;
+  spec.budget_quality = 3;
+  const SyntheticWorkload w(spec);
+  const PolicyEngine e(w.app(), w.timing(), PolicyKind::kMixed);
+  IncrementalTdState st(e);
+  for (const StateIndex s : {40u, 10u, 63u, 0u, 25u}) {
+    for (Quality q = 0; q < e.num_levels(); ++q) {
+      ASSERT_EQ(st.td(s, q), e.td_online(s, q)) << "s=" << s << " q=" << q;
+    }
+  }
+}
+
+// Amortized O(1): total ops over a full monotone run stay <= c * n, and
+// ops/decision do not grow with n (the scan's grows linearly).
+TEST(IncrementalTdState2, OpsPerDecisionFlatInN) {
+  double ops_per_decision[2] = {0, 0};
+  const ActionIndex sizes[2] = {512, 1024};
+  for (int i = 0; i < 2; ++i) {
+    SyntheticSpec spec;
+    spec.seed = 555;
+    spec.num_actions = sizes[i];
+    spec.num_levels = 16;
+    spec.milestone_every = 64;
+    spec.budget_quality = 8;
+    const SyntheticWorkload w(spec);
+    const PolicyEngine e(w.app(), w.timing(), PolicyKind::kMixed);
+    NumericManager inc(e, NumericManager::Strategy::kIncremental);
+    std::uint64_t rng = 4242;
+    Quality target = 8;
+    std::uint64_t total = 0;
+    for (StateIndex s = 0; s < e.num_states(); ++s) {
+      rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+      target = std::clamp(target + static_cast<int>((rng >> 33) % 3) - 1, 1,
+                          e.num_levels() - 2);
+      const TimeNs t = e.td_online(s, target);
+      total += inc.decide(s, t).ops;
+    }
+    ops_per_decision[i] =
+        static_cast<double>(total) / static_cast<double>(sizes[i]);
+    EXPECT_LE(total, 64 * static_cast<std::uint64_t>(sizes[i]))
+        << "n=" << sizes[i];
+  }
+  EXPECT_LE(ops_per_decision[1], ops_per_decision[0] * 1.5);
+}
+
+// Contract checks: out-of-range probes throw, and a state built from a
+// different engine is rejected by decide_incremental.
+TEST(IncrementalTdState2, ContractViolationsThrow) {
+  SyntheticSpec spec;
+  spec.seed = 7;
+  spec.num_actions = 8;
+  spec.num_levels = 3;
+  spec.budget_quality = 2;
+  const SyntheticWorkload w(spec);
+  const PolicyEngine e(w.app(), w.timing(), PolicyKind::kMixed);
+  const PolicyEngine other(w.app(), w.timing(), PolicyKind::kSafe);
+  IncrementalTdState st(e);
+  EXPECT_THROW(st.td(8, 0), contract_error);
+  EXPECT_THROW(st.td(0, 3), contract_error);
+  EXPECT_THROW(st.td(0, -1), contract_error);
+  EXPECT_THROW(other.decide_incremental(st, 0, 0), contract_error);
+}
+
+}  // namespace
+}  // namespace speedqm

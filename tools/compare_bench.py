@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Compare a BENCH_decision.json run against a committed baseline.
+
+Usage: compare_bench.py BASELINE CURRENT [--ns-tolerance 1.25]
+                        [--ops-tolerance 1.10] [--report PATH]
+
+Gates (exit 1 on any failure):
+  * every (policy, engine, n, num_levels) cell of the baseline must be
+    present in the current run (a vanished engine or grid point cannot
+    silently pass);
+  * ops/decision is deterministic for a fixed seed/grid, so it is compared
+    directly: current <= baseline * ops_tolerance;
+  * ns/decision depends on the machine, so it is compared *relatively*: the
+    median ns ratio across all cells estimates the machine-speed factor,
+    and a cell fails only if it regressed more than ns_tolerance beyond
+    that factor. A uniformly slower CI runner therefore does not fail the
+    gate; one engine regressing while the others hold does.
+
+New cells in the current run (new engines, wider grids) are reported but
+never fail: refresh the baseline to start tracking them (see docs/perf.md,
+"Benchmarks in CI").
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load_records(path):
+    with open(path) as fh:
+        data = json.load(fh)
+    records = {}
+    for rec in data.get("records", []):
+        key = (rec["policy"], rec["engine"], rec["n"], rec["num_levels"])
+        records[key] = rec
+    if not records:
+        raise SystemExit(f"error: no records in {path}")
+    return records
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--ns-tolerance", type=float, default=1.25)
+    parser.add_argument("--ops-tolerance", type=float, default=1.10)
+    parser.add_argument("--report", default=None)
+    args = parser.parse_args()
+
+    base = load_records(args.baseline)
+    cur = load_records(args.current)
+
+    failures = []
+    lines = []
+
+    missing = sorted(set(base) - set(cur))
+    for key in missing:
+        failures.append(f"cell {key} present in baseline but missing from run")
+    new_cells = sorted(set(cur) - set(base))
+
+    matched = sorted(set(base) & set(cur))
+    ns_ratios = [
+        cur[k]["ns_per_decision"] / base[k]["ns_per_decision"]
+        for k in matched
+        if base[k]["ns_per_decision"] > 0
+    ]
+    speed_factor = statistics.median(ns_ratios) if ns_ratios else 1.0
+    lines.append(
+        f"machine-speed factor (median ns ratio over {len(matched)} cells): "
+        f"{speed_factor:.3f}"
+    )
+    lines.append(
+        f"{'policy':8} {'engine':12} {'n':>5} {'|Q|':>4} "
+        f"{'ns_base':>9} {'ns_cur':>9} {'ns_rel':>7} "
+        f"{'ops_base':>9} {'ops_cur':>9} {'ops_ratio':>9}"
+    )
+
+    for key in matched:
+        policy, engine, n, nq = key
+        b, c = base[key], cur[key]
+        ns_rel = (
+            c["ns_per_decision"] / (b["ns_per_decision"] * speed_factor)
+            if b["ns_per_decision"] > 0
+            else 1.0
+        )
+        ops_ratio = (
+            c["ops_per_decision"] / b["ops_per_decision"]
+            if b["ops_per_decision"] > 0
+            else 1.0
+        )
+        flags = []
+        if ns_rel > args.ns_tolerance:
+            flags.append(f"ns regressed {ns_rel:.2f}x (> {args.ns_tolerance}x)")
+        if ops_ratio > args.ops_tolerance:
+            flags.append(
+                f"ops regressed {ops_ratio:.2f}x (> {args.ops_tolerance}x)"
+            )
+        mark = "  FAIL: " + "; ".join(flags) if flags else ""
+        lines.append(
+            f"{policy:8} {engine:12} {n:>5} {nq:>4} "
+            f"{b['ns_per_decision']:>9.1f} {c['ns_per_decision']:>9.1f} "
+            f"{ns_rel:>7.2f} {b['ops_per_decision']:>9.1f} "
+            f"{c['ops_per_decision']:>9.1f} {ops_ratio:>9.2f}{mark}"
+        )
+        for flag in flags:
+            failures.append(f"cell {key}: {flag}")
+
+    for key in new_cells:
+        lines.append(f"new cell (not gated, refresh baseline to track): {key}")
+
+    verdict = (
+        "BENCH-COMPARE FAIL:\n  " + "\n  ".join(failures)
+        if failures
+        else "BENCH-COMPARE OK: no per-cell regression beyond tolerance"
+    )
+    lines.append(verdict)
+    report = "\n".join(lines) + "\n"
+    sys.stdout.write(report)
+    if args.report:
+        with open(args.report, "w") as fh:
+            fh.write(report)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

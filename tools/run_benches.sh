@@ -1,25 +1,69 @@
 #!/usr/bin/env sh
 # Runs the perf-tracking benches and collects machine-readable results.
 #
-# Usage: tools/run_benches.sh [build_dir] [out_dir]
+# Usage: tools/run_benches.sh [build_dir] [out_dir] [--compare BASELINE]
 #   build_dir  CMake build tree containing the bench executables
 #              (default: build)
 #   out_dir    where BENCH_*.json and bench logs land (default: bench_out)
+#   --compare BASELINE
+#              diff the fresh BENCH_decision.json against a committed
+#              baseline with tools/compare_bench.py and fail on any
+#              per-cell regression beyond tolerance (>25% ns/decision
+#              after machine-speed normalization, >10% ops/decision).
+#              Writes bench_compare.txt next to the JSON.
 #
 # Currently tracked:
 #   BENCH_decision.json — decision-engine sweep (ns/decision, ops/decision
-#   for scan / bsearch / warm / tabled, mixed policy, n x |Q| grid), written
-#   by bench_micro_managers. Exit status is non-zero if any SHAPE check
-#   fails, so CI can gate on perf regressions.
+#   for scan / bsearch / warm / tabled / incremental, mixed policy,
+#   n x |Q| grid), written by bench_micro_managers.
+#
+# Every failure mode is a hard failure so the CI bench gate cannot pass
+# vacuously: missing bench binary, missing/empty JSON artifact, SHAPE check
+# failures (bench exit status), and baseline regressions all exit non-zero.
 set -eu
 
-BUILD_DIR="${1:-build}"
-OUT_DIR="${2:-bench_out}"
+BUILD_DIR=""
+OUT_DIR=""
+BASELINE=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --compare)
+      [ $# -ge 2 ] || { echo "error: --compare needs a baseline path" >&2; exit 2; }
+      BASELINE="$2"
+      shift 2
+      ;;
+    -*)
+      echo "error: unknown flag $1" >&2
+      exit 2
+      ;;
+    *)
+      if [ -z "${BUILD_DIR}" ]; then BUILD_DIR="$1";
+      elif [ -z "${OUT_DIR}" ]; then OUT_DIR="$1";
+      else echo "error: unexpected argument $1" >&2; exit 2; fi
+      shift
+      ;;
+  esac
+done
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT_DIR="${OUT_DIR:-bench_out}"
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
 if [ ! -x "${BUILD_DIR}/bench_micro_managers" ]; then
-  echo "error: ${BUILD_DIR}/bench_micro_managers not found." >&2
+  echo "error: ${BUILD_DIR}/bench_micro_managers not found — refusing to skip" >&2
+  echo "(a missing bench binary must not let the CI bench gate pass vacuously)" >&2
   echo "Build first: cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
   exit 2
+fi
+
+if [ -n "${BASELINE}" ]; then
+  case "${BASELINE}" in
+    /*) ;;
+    *) BASELINE="$(pwd)/${BASELINE}" ;;
+  esac
+  [ -f "${BASELINE}" ] || { echo "error: baseline ${BASELINE} not found" >&2; exit 2; }
+  command -v python3 >/dev/null 2>&1 || {
+    echo "error: --compare requires python3" >&2; exit 2; }
 fi
 
 BENCH_BIN="$(cd "${BUILD_DIR}" && pwd)/bench_micro_managers"
@@ -28,11 +72,31 @@ cd "${OUT_DIR}"
 
 # Keep the google-benchmark part quick (the sweep is the tracked artifact);
 # override SPEEDQM_BENCH_FILTER to widen/narrow the registered microbenches.
+# No `| tee`: a POSIX-sh pipeline reports the LAST command's status, which
+# would let a SHAPE-check failure exit 0 through tee.
 FILTER="${SPEEDQM_BENCH_FILTER:-Decide}"
+BENCH_STATUS=0
 "${BENCH_BIN}" \
   --benchmark_filter="${FILTER}" \
   --benchmark_min_time=0.02 \
-  | tee bench_micro_managers.log
+  > bench_micro_managers.log 2>&1 || BENCH_STATUS=$?
+cat bench_micro_managers.log
+if [ "${BENCH_STATUS}" -ne 0 ]; then
+  echo "error: bench_micro_managers exited ${BENCH_STATUS} (SHAPE gate failed)" >&2
+  exit "${BENCH_STATUS}"
+fi
+
+if [ ! -s BENCH_decision.json ]; then
+  echo "error: bench run produced no BENCH_decision.json — hard failure" >&2
+  exit 2
+fi
+
+if [ -n "${BASELINE}" ]; then
+  echo ""
+  echo "comparing against baseline ${BASELINE}:"
+  python3 "${REPO_ROOT}/tools/compare_bench.py" \
+    "${BASELINE}" BENCH_decision.json --report bench_compare.txt
+fi
 
 echo ""
 echo "artifacts in ${OUT_DIR}:"

@@ -81,11 +81,20 @@ int cmd_compile(const ArgMap& args) {
   auto scenario = scenario_from(args);
   const std::string out = get(args, "out", "mpeg");
   const std::string flavor_name = get(args, "manager", "relaxation");
-  const ManagerFlavor flavor =
-      flavor_name == "numeric"
-          ? ManagerFlavor::kNumeric
-          : (flavor_name == "regions" ? ManagerFlavor::kRegions
-                                      : ManagerFlavor::kRelaxation);
+  ManagerFlavor flavor;
+  if (flavor_name == "numeric") {
+    flavor = ManagerFlavor::kNumeric;
+  } else if (flavor_name == "numeric-incremental") {
+    flavor = ManagerFlavor::kNumericIncremental;
+  } else if (flavor_name == "regions") {
+    flavor = ManagerFlavor::kRegions;
+  } else if (flavor_name == "relaxation") {
+    flavor = ManagerFlavor::kRelaxation;
+  } else {
+    std::fprintf(stderr, "error: unknown manager '%s' for compile\n",
+                 flavor_name.c_str());
+    return 2;
+  }
 
   const TimingModel tm = scenario.controller_model(flavor);
   const PolicyEngine engine(scenario.app(), tm);
@@ -134,12 +143,25 @@ int cmd_run(const ArgMap& args) {
   const TimingModel tm_numeric = scenario.controller_model(ManagerFlavor::kNumeric);
   const PolicyEngine numeric_engine(scenario.app(), tm_numeric);
   NumericManager numeric(numeric_engine);
+  NumericManager numeric_warm(numeric_engine, NumericManager::Strategy::kWarm);
+  const TimingModel tm_incremental =
+      scenario.controller_model(ManagerFlavor::kNumericIncremental);
+  const PolicyEngine incremental_engine(scenario.app(), tm_incremental);
+  NumericManager numeric_incremental(incremental_engine,
+                                     NumericManager::Strategy::kIncremental);
   RegionManager region_mgr(regions);
   RelaxationManager relax_mgr(regions, relax);
 
-  QualityManager* manager = &relax_mgr;
+  QualityManager* manager = nullptr;
   if (flavor == "numeric") manager = &numeric;
+  if (flavor == "numeric-warm") manager = &numeric_warm;
+  if (flavor == "numeric-incremental") manager = &numeric_incremental;
   if (flavor == "regions") manager = &region_mgr;
+  if (flavor == "relaxation") manager = &relax_mgr;
+  if (!manager) {
+    std::fprintf(stderr, "error: unknown manager '%s' for run\n", flavor.c_str());
+    return 2;
+  }
 
   ExecutorOptions opts;
   opts.cycles = static_cast<std::size_t>(scenario.config.num_frames);
@@ -197,9 +219,11 @@ void usage() {
       "\n"
       "usage: speedqm_tool <command> [--flags]\n"
       "  gen      --out FILE [--seed N]\n"
-      "  compile  --out PREFIX [--seed N] [--manager numeric|regions|relaxation]\n"
+      "  compile  --out PREFIX [--seed N]\n"
+      "           [--manager numeric|numeric-incremental|regions|relaxation]\n"
       "  run      --tables PREFIX [--traces FILE] [--seed N]\n"
-      "           [--manager numeric|regions|relaxation] [--csv PREFIX]\n"
+      "           [--manager numeric|numeric-warm|numeric-incremental|\n"
+      "                      regions|relaxation] [--csv PREFIX]\n"
       "  inspect  --tables PREFIX\n");
 }
 
