@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "core/batch_engine.hpp"
+#include "core/multi_task.hpp"
 #include "core/numeric_manager.hpp"
 #include "core/region_compiler.hpp"
 #include "core/region_manager.hpp"
@@ -33,10 +35,12 @@ class PaperHarness {
             scenario_.controller_model(ManagerFlavor::kNumericIncremental)),
         tm_regions_(scenario_.controller_model(ManagerFlavor::kRegions)),
         tm_relax_(scenario_.controller_model(ManagerFlavor::kRelaxation)),
+        tm_batch_(scenario_.controller_model(ManagerFlavor::kBatch)),
         engine_numeric_(scenario_.app(), tm_numeric_),
         engine_incremental_(scenario_.app(), tm_incremental_),
         engine_regions_(scenario_.app(), tm_regions_),
         engine_relax_(scenario_.app(), tm_relax_),
+        engine_batch_(scenario_.app(), tm_batch_),
         engine_pure_(scenario_.app(), scenario_.timing()),
         regions_for_regions_(RegionCompiler::compile_regions(engine_regions_)),
         regions_for_relax_(RegionCompiler::compile_regions(engine_relax_)),
@@ -79,17 +83,28 @@ class PaperHarness {
       case ManagerFlavor::kRelaxation:
         return std::make_unique<RelaxationManager>(regions_for_relax_,
                                                    relax_table_);
+      case ManagerFlavor::kBatch: {
+        // Degenerate T = 1 composition of the paper task: the batched
+        // engine serving a single application.
+        if (!composed_batch_) {
+          composed_batch_ = std::make_unique<ComposedSystem>(compose_tasks(
+              {TaskSpec{"paper", &scenario_.app(), &scenario_.timing()}}));
+        }
+        return std::make_unique<BatchMultiTaskManager>(
+            *composed_batch_, std::vector<const PolicyEngine*>{&engine_batch_});
+      }
     }
     return nullptr;
   }
 
  private:
   PaperScenario scenario_;
-  TimingModel tm_numeric_, tm_incremental_, tm_regions_, tm_relax_;
+  TimingModel tm_numeric_, tm_incremental_, tm_regions_, tm_relax_, tm_batch_;
   PolicyEngine engine_numeric_, engine_incremental_, engine_regions_,
-      engine_relax_, engine_pure_;
+      engine_relax_, engine_batch_, engine_pure_;
   QualityRegionTable regions_for_regions_, regions_for_relax_;
   RelaxationTable relax_table_;
+  std::unique_ptr<ComposedSystem> composed_batch_;
 };
 
 /// Banner printed by every bench.

@@ -1,0 +1,395 @@
+// Experiment B1 — batched multi-task decision engine + streaming replay.
+//
+// Part 1: composite-decision cost. T concurrent tasks (scaled-down MPEG +
+// heterogeneous synthetics) share one platform clock; at every composite
+// decision point all unfinished tasks are re-decided. Three engines:
+//   * sequential        — per-task NumericManager(kIncremental) virtual
+//                         calls: the pre-batch serving path for task sets
+//                         assembled at run time (docs/perf.md recommended
+//                         exactly this for multi-task compositions). The
+//                         >= 4x gate is against this incumbent.
+//   * sequential-tabled — per-task TabledNumericManager virtual calls:
+//                         same probes as the batched sweep, so this row
+//                         isolates the pure dispatch/SoA-layout win
+//                         (typically 2-2.5x; gated >= 1.2x at T >= 8 —
+//                         strict dominance with headroom for shared-runner
+//                         noise on these ~tens-of-ns measurements).
+//   * batched           — one BatchDecisionEngine::decide_all sweep over
+//                         task-major SoA cursors into the shared arena.
+// Decisions are asserted bit-identical across all three; batched ops must
+// equal sequential-tabled ops exactly and stay flat as T grows.
+//
+// Part 2: streaming million-cycle replay. A small composed mix runs for
+// 10^6 cycles with ExecutorOptions::retain_steps = false and a
+// RunSummaryAccumulator sink — no per-step records are materialized
+// (memory O(1) per step instead of O(cycles * n)).
+//
+// Writes BENCH_multitask.json (ns and ops per decision per engine/T cell),
+// gated in CI against bench/baseline/BENCH_multitask.json by
+// tools/compare_bench.py.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/batch_engine.hpp"
+#include "core/fast_manager.hpp"
+#include "core/numeric_manager.hpp"
+#include "sim/metrics.hpp"
+
+#include "bench_common.hpp"
+
+using namespace speedqm;
+using namespace speedqm::bench;
+
+namespace {
+
+/// One recorded composite decision point: every task's state plus the
+/// shared observed time.
+struct EpochStream {
+  std::size_t num_tasks = 0;
+  std::size_t num_epochs = 0;
+  std::vector<StateIndex> states;  ///< [epoch * num_tasks + task]
+  std::vector<TimeNs> times;       ///< per epoch
+};
+
+/// Builds the epoch stream the executor's epoch protocol would produce on
+/// a full cycle: every live task advances one local action per epoch
+/// (finished tasks drop out), and the shared time follows a smooth
+/// quality walk of the largest task — the warm-start regime a feasible
+/// controlled run settles into.
+EpochStream make_epochs(const MultiTaskMix& mix,
+                        const std::vector<const PolicyEngine*>& engines,
+                        std::uint64_t seed) {
+  EpochStream stream;
+  stream.num_tasks = engines.size();
+  std::size_t ref = 0;
+  for (std::size_t task = 0; task < engines.size(); ++task) {
+    stream.num_epochs =
+        std::max(stream.num_epochs, static_cast<std::size_t>(
+                                        engines[task]->num_states()));
+    if (engines[task]->num_states() > engines[ref]->num_states()) ref = task;
+  }
+  const PolicyEngine& walk_engine = *engines[ref];
+  const int nq = walk_engine.num_levels();
+  Quality target = nq / 2;
+  std::uint64_t x = seed;
+  stream.states.resize(stream.num_epochs * stream.num_tasks);
+  stream.times.reserve(stream.num_epochs);
+  for (std::size_t e = 0; e < stream.num_epochs; ++e) {
+    for (std::size_t task = 0; task < stream.num_tasks; ++task) {
+      // Tasks shorter than the epoch count are finished (s == n: skipped).
+      stream.states[e * stream.num_tasks + task] = static_cast<StateIndex>(
+          std::min<std::size_t>(e, engines[task]->num_states()));
+    }
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    const int step = static_cast<int>((x >> 33) % 3) - 1;
+    target = std::min(nq - 2 > 0 ? nq - 2 : nq - 1,
+                      std::max(1 < nq ? 1 : 0, target + step));
+    stream.times.push_back(
+        walk_engine.td_online(static_cast<StateIndex>(
+                                  std::min<std::size_t>(
+                                      e, walk_engine.num_states() - 1)),
+                              target));
+  }
+  (void)mix;
+  return stream;
+}
+
+/// Noise-robust wall-clock estimate: calibrates reps to ~10 ms, then takes
+/// the minimum over several timed repetitions (same estimator as
+/// bench_micro_managers).
+template <typename Fn>
+double measure_ns(Fn&& run_once) {
+  using clock = std::chrono::steady_clock;
+  const auto run_reps = [&](std::size_t reps) {
+    const auto t0 = clock::now();
+    for (std::size_t r = 0; r < reps; ++r) run_once();
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - t0)
+            .count());
+  };
+  std::size_t reps = 1;
+  double elapsed = 0;
+  for (;;) {
+    elapsed = run_reps(reps);
+    if (elapsed > 1e7) break;
+    reps *= 8;
+  }
+  for (int repeat = 0; repeat < 8; ++repeat) {
+    elapsed = std::min(elapsed, run_reps(reps));
+  }
+  return elapsed / static_cast<double>(reps);
+}
+
+struct CellResult {
+  double batched_ns_per_epoch = 0;
+  double tabled_ns_per_epoch = 0;
+  double incremental_ns_per_epoch = 0;
+  double batched_ops_per_decision = 0;
+  double tabled_ops_per_decision = 0;
+  double incremental_ops_per_decision = 0;
+  bool identical = true;
+};
+
+CellResult run_cell(std::size_t num_tasks, std::uint64_t seed,
+                    std::vector<DecisionBenchRecord>& records) {
+  MultiTaskMixSpec spec;
+  spec.num_tasks = num_tasks;
+  spec.seed = seed;
+  spec.num_cycles = 4;
+  MultiTaskMix mix(spec);
+  const auto engines = mix.engines();
+  const EpochStream stream = make_epochs(mix, engines, seed * 31 + 7);
+
+  BatchDecisionEngine batch(engines);
+  // Baselines behind the QualityManager interface, exactly as the executor
+  // invokes per-task managers.
+  std::vector<std::unique_ptr<QualityManager>> tabled, incremental;
+  for (const auto* engine : engines) {
+    tabled.push_back(std::make_unique<TabledNumericManager>(*engine));
+    incremental.push_back(std::make_unique<NumericManager>(
+        *engine, NumericManager::Strategy::kIncremental));
+  }
+
+  const std::size_t T = stream.num_tasks;
+  std::vector<Decision> out_batch(T), out_seq(T);
+
+  // Ops + equality pass (single traversal; ops are deterministic).
+  CellResult cell;
+  std::uint64_t batch_ops = 0, tabled_ops = 0, incremental_ops = 0;
+  std::size_t task_decisions = 0;
+  batch.reset();
+  for (auto& m : tabled) m->reset();
+  for (auto& m : incremental) m->reset();
+  for (std::size_t e = 0; e < stream.num_epochs; ++e) {
+    const StateIndex* states = stream.states.data() + e * T;
+    const TimeNs t = stream.times[e];
+    batch_ops += batch.decide_all(states, t, out_batch.data());
+    for (std::size_t task = 0; task < T; ++task) {
+      if (states[task] >= engines[task]->num_states()) continue;
+      const Decision dt = tabled[task]->decide(states[task], t);
+      const Decision di = incremental[task]->decide(states[task], t);
+      tabled_ops += dt.ops;
+      incremental_ops += di.ops;
+      ++task_decisions;
+      // Bit-identity across all three engines; ops-identity vs tabled.
+      if (dt.quality != out_batch[task].quality ||
+          dt.feasible != out_batch[task].feasible ||
+          dt.ops != out_batch[task].ops ||
+          di.quality != out_batch[task].quality) {
+        cell.identical = false;
+      }
+    }
+  }
+  const auto decisions = static_cast<double>(task_decisions);
+  cell.batched_ops_per_decision = static_cast<double>(batch_ops) / decisions;
+  cell.tabled_ops_per_decision = static_cast<double>(tabled_ops) / decisions;
+  cell.incremental_ops_per_decision =
+      static_cast<double>(incremental_ops) / decisions;
+
+  // Wall-clock passes: one full epoch stream per run (reset included, as
+  // the executor pays it per cycle).
+  const double batched_ns = measure_ns([&] {
+    batch.reset();
+    for (std::size_t e = 0; e < stream.num_epochs; ++e) {
+      batch.decide_all(stream.states.data() + e * T, stream.times[e],
+                       out_batch.data());
+    }
+  });
+  const auto sequential_pass = [&](std::vector<std::unique_ptr<QualityManager>>&
+                                       managers) {
+    for (auto& m : managers) m->reset();
+    for (std::size_t e = 0; e < stream.num_epochs; ++e) {
+      const StateIndex* states = stream.states.data() + e * T;
+      for (std::size_t task = 0; task < T; ++task) {
+        if (states[task] >= engines[task]->num_states()) continue;
+        out_seq[task] = managers[task]->decide(states[task], stream.times[e]);
+      }
+    }
+  };
+  const double tabled_ns = measure_ns([&] { sequential_pass(tabled); });
+  const double incremental_ns = measure_ns([&] { sequential_pass(incremental); });
+  const auto epochs = static_cast<double>(stream.num_epochs);
+  cell.batched_ns_per_epoch = batched_ns / epochs;
+  cell.tabled_ns_per_epoch = tabled_ns / epochs;
+  cell.incremental_ns_per_epoch = incremental_ns / epochs;
+
+  const int nq = engines.front()->num_levels();
+  DecisionBenchRecord rec;
+  rec.policy = "mixed";
+  rec.n = num_tasks;
+  rec.num_levels = nq;
+  rec.engine = "batched";
+  rec.ns_per_decision = cell.batched_ns_per_epoch;
+  rec.ops_per_decision = cell.batched_ops_per_decision;
+  records.push_back(rec);
+  rec.engine = "sequential";
+  rec.ns_per_decision = cell.incremental_ns_per_epoch;
+  rec.ops_per_decision = cell.incremental_ops_per_decision;
+  records.push_back(rec);
+  rec.engine = "sequential-tabled";
+  rec.ns_per_decision = cell.tabled_ns_per_epoch;
+  rec.ops_per_decision = cell.tabled_ops_per_decision;
+  records.push_back(rec);
+  return cell;
+}
+
+/// 10^6-cycle streaming replay of a small composed mix: per-step records
+/// never materialize; the summary folds online.
+bool run_streaming_replay(std::vector<DecisionBenchRecord>& records) {
+  MultiTaskMixSpec spec;
+  spec.num_tasks = 2;
+  spec.seed = 977;
+  spec.include_mpeg = false;
+  spec.min_task_actions = 6;
+  spec.max_task_actions = 10;
+  spec.num_cycles = 8;
+  MultiTaskMix mix(spec);
+  const auto engines = mix.engines();
+  BatchMultiTaskManager manager(mix.composed(), engines);
+
+  const std::size_t cycles = 1'000'000;
+  // RunSummaryAccumulator plus an online decision-ops fold (sinks compose).
+  struct OpsSink final : StepSink {
+    explicit OpsSink(std::string name) : acc(std::move(name)) {}
+    RunSummaryAccumulator acc;
+    std::uint64_t total_ops = 0;
+    void on_step(const ExecStep& step) override {
+      acc.on_step(step);
+      total_ops += step.ops;
+    }
+    void on_cycle(const CycleStats& cycle) override { acc.on_cycle(cycle); }
+  } sink(manager.name());
+  ExecutorOptions opts = mix.executor_options(cycles);
+  opts.retain_steps = false;
+  opts.retain_cycles = false;
+  opts.sink = &sink;
+
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  const RunResult run =
+      run_cyclic(mix.composed().app(), manager, mix.source(), opts);
+  double elapsed_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - t0)
+          .count());
+  const RunSummary summary = sink.acc.finish();
+  // Noise-robust timing: the replay is deterministic, so re-run it (sink
+  // detached) and keep the minimum — a single multi-second measurement is
+  // otherwise at the mercy of one scheduler hiccup on a shared runner.
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    ExecutorOptions timing_opts = opts;
+    timing_opts.sink = nullptr;
+    const auto r0 = clock::now();
+    run_cyclic(mix.composed().app(), manager, mix.source(), timing_opts);
+    elapsed_ns = std::min(
+        elapsed_ns,
+        static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                clock::now() - r0)
+                                .count()));
+  }
+
+  const double ns_per_step =
+      elapsed_ns / static_cast<double>(summary.total_steps);
+  std::printf("\nstreaming replay: %zu cycles x %zu actions = %zu steps in "
+              "%.2f s (%.0f ns/step, %.1f M steps/s)\n",
+              cycles, mix.composed().app().size(), summary.total_steps,
+              elapsed_ns * 1e-9, ns_per_step, 1e3 / ns_per_step);
+  std::printf("  mean quality %.3f | overhead %.2f%% | misses %zu | "
+              "retained steps %zu, retained cycles %zu\n",
+              summary.mean_quality, summary.overhead_pct,
+              summary.deadline_misses, run.steps.size(), run.cycles.size());
+
+  DecisionBenchRecord rec;
+  rec.policy = "mixed";
+  rec.engine = "stream-replay";
+  rec.n = spec.num_tasks;
+  rec.num_levels = engines.front()->num_levels();
+  rec.ns_per_decision = ns_per_step;
+  // Deterministic: decision ops amortized over every executed step.
+  rec.ops_per_decision = static_cast<double>(sink.total_ops) /
+                         static_cast<double>(summary.total_steps);
+  records.push_back(rec);
+
+  bool ok = true;
+  ok &= shape_check("streaming replay retained no per-step records",
+                    run.steps.empty() && run.cycles.empty());
+  ok &= shape_check("streaming replay executed 10^6 cycles",
+                    summary.total_steps ==
+                        cycles * mix.composed().app().size());
+  ok &= shape_check("streaming summary folded online (nonzero quality, time)",
+                    summary.mean_quality > 0 && summary.total_time_s > 0);
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== B1 — batched multi-task decisions + streaming replay ===\n");
+  std::printf("mix: scaled MPEG + synthetic tasks, shared budget, "
+              "server-like platform\n\n");
+
+  std::vector<DecisionBenchRecord> records;
+  TextTable table({"T", "engine", "ns/composite-decision", "ops/decision",
+                   "speedup"});
+  bool ok = true;
+  std::vector<std::pair<std::size_t, CellResult>> cells;
+  for (const std::size_t num_tasks : {2u, 8u, 32u}) {
+    const CellResult cell = run_cell(num_tasks, 20070730 + num_tasks, records);
+    cells.emplace_back(num_tasks, cell);
+    const auto row = [&](const char* engine, double ns, double ops) {
+      table.begin_row()
+          .cell(num_tasks)
+          .cell(engine)
+          .cell(ns, 1)
+          .cell(ops, 2)
+          .cell(ns > 0 ? cell.incremental_ns_per_epoch / ns : 0.0, 2);
+      table.end_row();
+    };
+    row("batched", cell.batched_ns_per_epoch, cell.batched_ops_per_decision);
+    row("sequential-tabled", cell.tabled_ns_per_epoch,
+        cell.tabled_ops_per_decision);
+    row("sequential", cell.incremental_ns_per_epoch,
+        cell.incremental_ops_per_decision);
+    ok &= shape_check(
+        "batched decisions bit-identical to both sequential baselines (T=" +
+            std::to_string(num_tasks) + ")",
+        cell.identical);
+    ok &= shape_check(
+        "batched ops/decision == sequential-tabled ops/decision (T=" +
+            std::to_string(num_tasks) + ")",
+        cell.batched_ops_per_decision == cell.tabled_ops_per_decision);
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Perf gates at T >= 8: >= 4x per composite decision against the
+  // pre-batch serving path (per-task incremental managers — the no-table
+  // engine the repo recommended for run-time task sets), and strict
+  // dominance (>= 1.2x, typically 2-2.5x) against per-task tabled virtual
+  // calls — same probes, so that row isolates the dispatch/SoA win; the
+  // looser floor leaves headroom for shared-runner noise on tens-of-ns
+  // measurements. Per-task ops must stay flat in T — batching removes
+  // dispatch, not probes.
+  for (const auto& [num_tasks, cell] : cells) {
+    if (num_tasks < 8) continue;
+    ok &= shape_check(
+        "batched >= 4x faster per composite decision than sequential (T=" +
+            std::to_string(num_tasks) + ")",
+        cell.batched_ns_per_epoch * 4.0 <= cell.incremental_ns_per_epoch);
+    ok &= shape_check(
+        "batched >= 1.2x faster than sequential-tabled (T=" +
+            std::to_string(num_tasks) + ")",
+        cell.batched_ns_per_epoch * 1.2 <= cell.tabled_ns_per_epoch);
+  }
+  ok &= shape_check(
+      "batched ops/decision flat in T (T=32 within 1.4x of T=2)",
+      cells.back().second.batched_ops_per_decision <=
+          cells.front().second.batched_ops_per_decision * 1.4);
+
+  ok &= run_streaming_replay(records);
+
+  write_decision_bench_json("BENCH_multitask.json", "multitask_batch", records);
+  std::printf("\nwrote BENCH_multitask.json (%zu records)\n", records.size());
+  return ok ? 0 : 1;
+}

@@ -68,8 +68,9 @@ int main() {
               run.steps.size(), summary.deadline_misses,
               summary.smoothness.quality_stddev);
   std::printf("relaxation depths granted:");
-  for (const auto& [r, count] : summary.relax_histogram) {
-    std::printf("  r=%d x%zu", r, count);
+  for (std::size_t r = 1; r < summary.relax_histogram.size(); ++r) {
+    if (summary.relax_histogram[r] == 0) continue;
+    std::printf("  r=%zu x%zu", r, summary.relax_histogram[r]);
   }
   std::printf("\nscene changes at frames:");
   if (scenario.workload->scene_changes().empty()) std::printf(" (none)");

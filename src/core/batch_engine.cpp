@@ -1,0 +1,292 @@
+#include "core/batch_engine.hpp"
+
+#include "core/decision_search.hpp"
+#include "core/fast_manager.hpp"
+#include "core/numeric_manager.hpp"
+#include "support/contract.hpp"
+
+namespace speedqm {
+
+BatchDecisionEngine::BatchDecisionEngine(
+    std::vector<const PolicyEngine*> engines, Mode mode)
+    : engines_(std::move(engines)), mode_(mode) {
+  SPEEDQM_REQUIRE(!engines_.empty(), "BatchDecisionEngine: need at least one task");
+  for (const auto* e : engines_) {
+    SPEEDQM_REQUIRE(e != nullptr, "BatchDecisionEngine: null engine");
+  }
+  nq_ = engines_.front()->num_levels();
+  for (const auto* e : engines_) {
+    SPEEDQM_REQUIRE(e->num_levels() == nq_,
+                    "BatchDecisionEngine: tasks must share the quality level count");
+  }
+
+  const std::size_t T = engines_.size();
+  n_.resize(T);
+  hint_.assign(T, -1);
+  table_.assign(T, nullptr);
+  for (std::size_t task = 0; task < T; ++task) {
+    n_[task] = engines_[task]->num_states();
+  }
+
+  if (mode_ == Mode::kTabled) {
+    // One arena for every task's flat tD table (row-major [state][quality],
+    // the TabledNumericManager / RegionCompiler layout) — back to back so
+    // the sweep's working set is contiguous.
+    std::size_t total = 0;
+    for (std::size_t task = 0; task < T; ++task) {
+      total += n_[task] * static_cast<std::size_t>(nq_);
+    }
+    arena_.reserve(total);
+    std::vector<std::size_t> offset(T);
+    for (std::size_t task = 0; task < T; ++task) {
+      offset[task] = arena_.size();
+      const std::vector<TimeNs> td = engines_[task]->td_table();
+      arena_.insert(arena_.end(), td.begin(), td.end());
+    }
+    // Bases assigned after all inserts (reserve makes them stable anyway,
+    // but do not depend on it).
+    for (std::size_t task = 0; task < T; ++task) {
+      table_[task] = arena_.data() + offset[task];
+    }
+  } else {
+    inc_.reserve(T);
+    for (std::size_t task = 0; task < T; ++task) {
+      inc_.push_back(std::make_unique<IncrementalTdState>(*engines_[task]));
+    }
+  }
+}
+
+/// The tabled per-task decision through the shared prefix search — the
+/// canonical reference decide_all's inline warm fast path must match
+/// probe for probe (same outcomes, same Decision.ops). This is the same
+/// call the sequential TabledNumericManager path bottoms out in, which is
+/// what keeps batched decisions bit-identical to it.
+Decision BatchDecisionEngine::decide_row(const TimeNs* row, Quality hint,
+                                         TimeNs t) const {
+  return decide_max_quality(nq_ - 1, hint, [&](Quality q, std::uint64_t*) {
+    return row[q] >= t;
+  });
+}
+
+std::uint64_t BatchDecisionEngine::decide_all(const StateIndex* states,
+                                              TimeNs t, Decision* out) {
+  const std::size_t T = engines_.size();
+  std::uint64_t total = 0;
+
+  if (mode_ == Mode::kIncremental) {
+    for (std::size_t task = 0; task < T; ++task) {
+      const StateIndex s = states[task];
+      if (s >= n_[task]) continue;
+      const Decision d =
+          engines_[task]->decide_incremental(*inc_[task], s, t, hint_[task]);
+      hint_[task] = d.quality;
+      out[task] = d;
+      total += d.ops;
+    }
+    return total;
+  }
+
+  // The batched row sweep: per task, a row base load from the SoA cursor
+  // arrays and a branch-light warm-neighbourhood resolve — no virtual
+  // dispatch, no per-call metadata reloads, and the common steady state
+  // reduced to three row loads plus selects (outcomes vary task to task,
+  // so data dependencies beat branch prediction here). Outcomes and ops
+  // replicate decide_max_quality probe for probe; anything outside the
+  // neighbourhood falls back to decide_row (the shared search).
+  const auto nq = static_cast<std::size_t>(nq_);
+  const Quality qmax = nq_ - 1;
+  const TimeNs* const* tables = table_.data();
+  const StateIndex* sizes = n_.data();
+  Quality* hints = hint_.data();
+  for (std::size_t task = 0; task < T; ++task) {
+    const StateIndex s = states[task];
+    if (s >= sizes[task]) continue;
+    const TimeNs* row = tables[task] + s * nq;
+    const Quality h = hints[task];
+    Decision d;
+    if (h >= 0) {
+      const bool at_top = h >= qmax;
+      const bool at_bottom = h <= kQmin;
+      const bool sat_h = row[h] >= t;
+      const bool sat_up = !at_top && row[at_top ? h : h + 1] >= t;
+      const bool sat_dn = !at_bottom && row[at_bottom ? h : h - 1] >= t;
+      if (sat_h) {
+        if (at_top || !sat_up) {          // stay at the hint
+          d.quality = h;
+          d.ops = at_top ? 1 : 2;
+        } else if (h + 1 == qmax) {       // one step up hits the top
+          d.quality = qmax;
+          d.ops = 2;
+        } else {
+          d = decide_row(row, h, t);      // climbing: shared search
+        }
+      } else if (at_bottom) {             // qmin fails: infeasible
+        d.quality = kQmin;
+        d.feasible = false;
+        d.ops = 1;
+      } else if (sat_dn) {                // one step down
+        d.quality = h - 1;
+        d.ops = 2;
+      } else {
+        d = decide_row(row, h, t);        // falling: shared search
+      }
+    } else {
+      d = decide_row(row, h, t);          // cold start
+    }
+    hints[task] = d.quality;
+    out[task] = d;
+    total += d.ops;
+  }
+  return total;
+}
+
+Decision BatchDecisionEngine::decide_one(std::size_t task, StateIndex s,
+                                         TimeNs t) {
+  SPEEDQM_REQUIRE(task < engines_.size(), "decide_one: task out of range");
+  SPEEDQM_REQUIRE(s < n_[task], "decide_one: state out of range");
+  Decision d;
+  if (mode_ == Mode::kIncremental) {
+    d = engines_[task]->decide_incremental(*inc_[task], s, t, hint_[task]);
+  } else {
+    d = decide_row(table_[task] + s * static_cast<std::size_t>(nq_),
+                   hint_[task], t);
+  }
+  hint_[task] = d.quality;
+  return d;
+}
+
+TimeNs BatchDecisionEngine::td(std::size_t task, StateIndex s, Quality q) const {
+  SPEEDQM_REQUIRE(mode_ == Mode::kTabled, "td: tabled mode only");
+  SPEEDQM_REQUIRE(task < engines_.size(), "td: task out of range");
+  SPEEDQM_REQUIRE(s < n_[task], "td: state out of range");
+  SPEEDQM_REQUIRE(q >= 0 && q < nq_, "td: quality out of range");
+  return table_[task][s * static_cast<std::size_t>(nq_) +
+                      static_cast<std::size_t>(q)];
+}
+
+void BatchDecisionEngine::reset() {
+  hint_.assign(hint_.size(), -1);
+  for (auto& state : inc_) state->rewind();
+}
+
+std::size_t BatchDecisionEngine::memory_bytes() const {
+  std::size_t bytes = arena_.size() * sizeof(TimeNs);
+  for (const auto& state : inc_) bytes += state->memory_bytes();
+  return bytes;
+}
+
+std::size_t BatchDecisionEngine::num_table_integers() const {
+  return arena_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Epoch managers.
+// ---------------------------------------------------------------------------
+
+MultiTaskEpochManager::MultiTaskEpochManager(const ComposedSystem& system)
+    : system_(&system),
+      next_local_(system.num_tasks(), 0),
+      cached_(system.num_tasks()),
+      fresh_(system.num_tasks(), 0) {}
+
+Decision MultiTaskEpochManager::decide(StateIndex s, TimeNs t) {
+  const TaskRef& ref = system_->origin(s);
+  SPEEDQM_ASSERT(ref.local_action == next_local_[ref.task],
+                 "multi-task epoch manager: composite progression out of order");
+  std::uint64_t epoch_ops = 0;
+  if (!fresh_[ref.task]) {
+    // Composite decision point: every unfinished task is (re-)decided at
+    // the current observed time. Tasks whose previous decision was still
+    // cached get a fresher one — time has advanced since theirs was taken.
+    epoch_ops = refresh(next_local_.data(), t, cached_.data());
+    for (std::size_t task = 0; task < fresh_.size(); ++task) {
+      fresh_[task] = next_local_[task] < system_->task_size(task) ? 1 : 0;
+    }
+    ++epochs_;
+  }
+  Decision d = cached_[ref.task];
+  d.relax_steps = 1;
+  d.ops = epoch_ops;  // whole epoch charged to the refreshing call
+  fresh_[ref.task] = 0;
+  ++next_local_[ref.task];
+  return d;
+}
+
+void MultiTaskEpochManager::reset() {
+  next_local_.assign(next_local_.size(), 0);
+  fresh_.assign(fresh_.size(), 0);
+  epochs_ = 0;
+  reset_engines();
+}
+
+BatchMultiTaskManager::BatchMultiTaskManager(
+    const ComposedSystem& system, std::vector<const PolicyEngine*> engines,
+    BatchDecisionEngine::Mode mode)
+    : MultiTaskEpochManager(system), engine_(std::move(engines), mode) {
+  SPEEDQM_REQUIRE(engine_.num_tasks() == system.num_tasks(),
+                  "BatchMultiTaskManager: one engine per task required");
+  for (std::size_t task = 0; task < engine_.num_tasks(); ++task) {
+    SPEEDQM_REQUIRE(engine_.num_states(task) == system.task_size(task),
+                    "BatchMultiTaskManager: engine does not span its task");
+  }
+}
+
+std::string BatchMultiTaskManager::name() const {
+  return engine_.mode() == BatchDecisionEngine::Mode::kTabled
+             ? "batch-multitask-tabled"
+             : "batch-multitask-incremental";
+}
+
+SequentialMultiTaskManager::SequentialMultiTaskManager(
+    const ComposedSystem& system, std::vector<const PolicyEngine*> engines,
+    BatchDecisionEngine::Mode mode)
+    : MultiTaskEpochManager(system), mode_(mode) {
+  SPEEDQM_REQUIRE(engines.size() == system.num_tasks(),
+                  "SequentialMultiTaskManager: one engine per task required");
+  managers_.reserve(engines.size());
+  sizes_.reserve(engines.size());
+  for (std::size_t task = 0; task < engines.size(); ++task) {
+    const PolicyEngine* engine = engines[task];
+    SPEEDQM_REQUIRE(engine != nullptr, "SequentialMultiTaskManager: null engine");
+    SPEEDQM_REQUIRE(engine->num_states() == system.task_size(task),
+                    "SequentialMultiTaskManager: engine does not span its task");
+    if (mode == BatchDecisionEngine::Mode::kTabled) {
+      managers_.push_back(std::make_unique<TabledNumericManager>(*engine));
+    } else {
+      managers_.push_back(std::make_unique<NumericManager>(
+          *engine, NumericManager::Strategy::kIncremental));
+    }
+    sizes_.push_back(engine->num_states());
+  }
+}
+
+std::uint64_t SequentialMultiTaskManager::refresh(const StateIndex* states,
+                                                  TimeNs t, Decision* out) {
+  std::uint64_t total = 0;
+  for (std::size_t task = 0; task < managers_.size(); ++task) {
+    const StateIndex s = states[task];
+    if (s >= sizes_[task]) continue;
+    const Decision d = managers_[task]->decide(s, t);
+    out[task] = d;
+    total += d.ops;
+  }
+  return total;
+}
+
+void SequentialMultiTaskManager::reset_engines() {
+  for (auto& manager : managers_) manager->reset();
+}
+
+std::string SequentialMultiTaskManager::name() const {
+  return mode_ == BatchDecisionEngine::Mode::kTabled
+             ? "seq-multitask-tabled"
+             : "seq-multitask-incremental";
+}
+
+std::size_t SequentialMultiTaskManager::memory_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& manager : managers_) bytes += manager->memory_bytes();
+  return bytes;
+}
+
+}  // namespace speedqm

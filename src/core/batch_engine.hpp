@@ -1,0 +1,205 @@
+// Batched multi-task decision engine: Γ(s_τ, t) for all T tasks in one pass.
+//
+// The composed-system path (core/multi_task.hpp) interleaves T tasks into
+// one schedule but still answers one decision per composite action,
+// re-probing tables task by task through a virtual QualityManager call.
+// When many applications share one platform clock, that per-task dispatch
+// is the dominant cost: each call re-loads the manager's table metadata,
+// re-derives the row base, and returns through two call boundaries — work
+// that does not shrink as T grows.
+//
+// BatchDecisionEngine restructures the data instead of the control flow:
+//   * task-major SoA cursors — one contiguous array of per-task row base
+//     pointers into a shared tD arena (all tasks' flat [state][quality]
+//     tables back to back, the TabledNumericManager / RegionCompiler
+//     layout) plus one contiguous warm-hint array;
+//   * decide_all(states, t, out) resolves every task's quality probe in a
+//     single row sweep — the warm steady state is two loads and two
+//     compares per task, fully inlined, no virtual dispatch;
+//   * decisions are bit-identical (including Decision.ops) to sequential
+//     per-task decisions because the sweep replicates the shared prefix
+//     search of core/decision_search.hpp probe for probe, and anything
+//     beyond the warm neighbourhood falls back to decide_max_quality
+//     itself.
+//
+// Mode::kIncremental swaps the arena for one IncrementalTdState lane set
+// per task replayed against the common clock (no precomputed tables; for
+// sequences assembled at run time), bit-identical to per-task
+// NumericManager::Strategy::kIncremental.
+//
+// On top of the engine, MultiTaskEpochManager adapts batched decisions to
+// the cyclic executor over a ComposedSystem: at a composite action whose
+// task has no cached decision left, ALL unfinished tasks are re-decided at
+// the current observed time (one composite decision point per interleave
+// round), and each task's cached decision is consumed as its actions come
+// up. BatchMultiTaskManager resolves the epoch through decide_all;
+// SequentialMultiTaskManager resolves it through per-task virtual manager
+// calls — the baseline the bench gates against, and the reference the
+// differential tests pin the batched path to.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/manager.hpp"
+#include "core/multi_task.hpp"
+#include "core/policy.hpp"
+#include "core/td_incremental.hpp"
+#include "core/types.hpp"
+
+namespace speedqm {
+
+class BatchDecisionEngine {
+ public:
+  enum class Mode {
+    kTabled,       ///< shared flat tD arena, O(1) probes (default)
+    kIncremental,  ///< per-task IncrementalTdState lanes, no tables
+  };
+
+  /// Binds to one PolicyEngine per task. All tasks must share the quality
+  /// level count (one quality axis, as in compose_tasks). Tabled mode
+  /// compiles every task's tD table into one arena up front.
+  explicit BatchDecisionEngine(std::vector<const PolicyEngine*> engines,
+                               Mode mode = Mode::kTabled);
+
+  // table_ holds raw pointers into this object's own arena_, so a copy
+  // would silently keep aliasing the source's buffer (use-after-free once
+  // the source dies). Declaring the copy ops deleted also suppresses the
+  // implicit moves, which would leave the moved-from cursors dangling.
+  BatchDecisionEngine(const BatchDecisionEngine&) = delete;
+  BatchDecisionEngine& operator=(const BatchDecisionEngine&) = delete;
+
+  std::size_t num_tasks() const { return engines_.size(); }
+  int num_levels() const { return nq_; }
+  Mode mode() const { return mode_; }
+  StateIndex num_states(std::size_t task) const { return n_[task]; }
+
+  /// One composite decision point: for every task τ with states[τ] <
+  /// num_states(τ), writes Γ_τ(states[τ], t) to out[τ] and advances τ's
+  /// warm hint; finished tasks are skipped (out untouched, no ops).
+  /// Returns the summed Decision.ops of the pass.
+  std::uint64_t decide_all(const StateIndex* states, TimeNs t, Decision* out);
+
+  /// The sequential reference path: the same decision (and ops) decide_all
+  /// would produce for this task, through the same warm-hint cursor.
+  Decision decide_one(std::size_t task, StateIndex s, TimeNs t);
+
+  /// Direct read of the compiled border tD_τ(s, q) (tabled mode only).
+  TimeNs td(std::size_t task, StateIndex s, Quality q) const;
+
+  /// Re-arms for a new cycle: warm hints go cold; incremental lanes rewind
+  /// to their compiled state-0 chains (forests are kept).
+  void reset();
+
+  /// Arena bytes (tabled) or summed lane bytes (incremental).
+  std::size_t memory_bytes() const;
+  /// Precomputed integers: sum of n_τ * |Q| in tabled mode, 0 otherwise.
+  std::size_t num_table_integers() const;
+
+ private:
+  Decision decide_row(const TimeNs* row, Quality hint, TimeNs t) const;
+
+  std::vector<const PolicyEngine*> engines_;
+  Mode mode_;
+  int nq_ = 0;
+
+  // Task-major SoA cursors (the decide_all hot state).
+  std::vector<const TimeNs*> table_;  ///< per task: arena base of its tD table
+  std::vector<StateIndex> n_;         ///< per task: number of states
+  std::vector<Quality> hint_;         ///< per task: warm hint (-1 = cold)
+
+  std::vector<TimeNs> arena_;         ///< tabled mode: all tables back to back
+  std::vector<std::unique_ptr<IncrementalTdState>> inc_;  ///< incremental mode
+};
+
+/// Epoch protocol shared by the batched and sequential multi-task managers
+/// (see file comment). Plugs into the unmodified cyclic executor as a
+/// QualityManager over the composed interleaved schedule; the whole
+/// epoch's op count is charged to the refreshing call, cached hits are
+/// free.
+class MultiTaskEpochManager : public QualityManager {
+ public:
+  Decision decide(StateIndex s, TimeNs t) final;
+  void reset() final;
+
+  /// Composite decision points taken since construction/reset.
+  std::size_t epochs() const { return epochs_; }
+
+ protected:
+  explicit MultiTaskEpochManager(const ComposedSystem& system);
+
+  /// Decides all unfinished tasks (states[τ] < task size) at observed time
+  /// t into out[]; returns total ops. Finished tasks must be skipped.
+  virtual std::uint64_t refresh(const StateIndex* states, TimeNs t,
+                                Decision* out) = 0;
+  /// Re-arms the decision engines for a new cycle.
+  virtual void reset_engines() = 0;
+
+  const ComposedSystem& system() const { return *system_; }
+
+ private:
+  const ComposedSystem* system_;
+  std::vector<StateIndex> next_local_;  ///< per task: next local action
+  std::vector<Decision> cached_;        ///< per task: last epoch's decision
+  std::vector<std::uint8_t> fresh_;     ///< per task: cached and unconsumed
+  std::size_t epochs_ = 0;
+};
+
+/// Batched epoch manager: one BatchDecisionEngine sweep per epoch.
+class BatchMultiTaskManager final : public MultiTaskEpochManager {
+ public:
+  /// `engines[τ]` decides task τ; it must span exactly that task's local
+  /// actions. Engine lifetimes must cover the manager's.
+  BatchMultiTaskManager(const ComposedSystem& system,
+                        std::vector<const PolicyEngine*> engines,
+                        BatchDecisionEngine::Mode mode =
+                            BatchDecisionEngine::Mode::kTabled);
+
+  std::string name() const override;
+  std::size_t memory_bytes() const override { return engine_.memory_bytes(); }
+  std::size_t num_table_integers() const override {
+    return engine_.num_table_integers();
+  }
+
+  BatchDecisionEngine& engine() { return engine_; }
+
+ protected:
+  std::uint64_t refresh(const StateIndex* states, TimeNs t,
+                        Decision* out) override {
+    return engine_.decide_all(states, t, out);
+  }
+  void reset_engines() override { engine_.reset(); }
+
+ private:
+  BatchDecisionEngine engine_;
+};
+
+/// Sequential epoch manager: per-task decisions one virtual call at a time
+/// — today's architecture, kept as the bench baseline and the reference
+/// the batched path must match bit for bit. Mode selects the per-task
+/// manager: kTabled wraps each engine in a TabledNumericManager,
+/// kIncremental in a NumericManager(Strategy::kIncremental).
+class SequentialMultiTaskManager final : public MultiTaskEpochManager {
+ public:
+  SequentialMultiTaskManager(const ComposedSystem& system,
+                             std::vector<const PolicyEngine*> engines,
+                             BatchDecisionEngine::Mode mode =
+                                 BatchDecisionEngine::Mode::kTabled);
+
+  std::string name() const override;
+  std::size_t memory_bytes() const override;
+
+ protected:
+  std::uint64_t refresh(const StateIndex* states, TimeNs t,
+                        Decision* out) override;
+  void reset_engines() override;
+
+ private:
+  std::vector<std::unique_ptr<QualityManager>> managers_;
+  std::vector<StateIndex> sizes_;
+  BatchDecisionEngine::Mode mode_;
+};
+
+}  // namespace speedqm

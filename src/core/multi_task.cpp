@@ -22,8 +22,12 @@ ComposedSystem::ComposedSystem(std::vector<TaskSpec> tasks, ScheduledApp app,
 
 ActionIndex ComposedSystem::composite_index(std::size_t task,
                                             ActionIndex local) const {
+  // Hot in the batched decision path: contract-checked in checked builds,
+  // unchecked indexing under NDEBUG (no double bounds check).
   SPEEDQM_REQUIRE(task < tasks_.size(), "composite_index: task out of range");
-  return composite_of_[task].at(local);
+  SPEEDQM_REQUIRE(local < composite_of_[task].size(),
+                  "composite_index: local action out of range");
+  return composite_of_[task][local];
 }
 
 std::vector<double> ComposedSystem::per_task_quality(

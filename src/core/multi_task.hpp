@@ -53,6 +53,11 @@ class ComposedSystem {
   const TimingModel& timing() const { return timing_; }
   std::size_t num_tasks() const { return tasks_.size(); }
   const std::string& task_name(std::size_t t) const { return tasks_.at(t).name; }
+  /// The composed task's spec (local app/timing pointers stay valid for the
+  /// composition's lifetime — they are what compose_tasks was given).
+  const TaskSpec& task(std::size_t t) const { return tasks_.at(t); }
+  /// Number of local actions of task t.
+  ActionIndex task_size(std::size_t t) const { return tasks_.at(t).app->size(); }
 
   /// Provenance of composite action i.
   const TaskRef& origin(ActionIndex i) const { return mapping_.at(i); }

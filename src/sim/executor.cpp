@@ -14,10 +14,8 @@ double RunResult::overhead_fraction() const {
 }
 
 double RunResult::mean_quality() const {
-  if (steps.empty()) return 0.0;
-  double sum = 0;
-  for (const auto& s : steps) sum += static_cast<double>(s.quality);
-  return sum / static_cast<double>(steps.size());
+  if (total_steps == 0) return 0.0;
+  return quality_sum / static_cast<double>(total_steps);
 }
 
 std::vector<Quality> RunResult::cycle_qualities(std::size_t cycle) const {
@@ -38,8 +36,8 @@ RunResult run_cyclic(const ScheduledApp& app, QualityManager& manager,
   SPEEDQM_REQUIRE(period > 0, "run_cyclic: non-positive cycle period");
 
   RunResult result;
-  result.steps.reserve(opts.cycles * n);
-  result.cycles.reserve(opts.cycles);
+  if (opts.retain_steps) result.steps.reserve(opts.cycles * n);
+  if (opts.retain_cycles) result.cycles.reserve(opts.cycles);
 
   TimeNs t_abs = 0;  // absolute platform time
 
@@ -66,7 +64,6 @@ RunResult run_cyclic(const ScheduledApp& app, QualityManager& manager,
       ExecStep step;
       step.cycle = cycle;
       step.action = i;
-      step.start = t_abs;
 
       if (remaining_coverage == 0) {
         const TimeNs observed = t_abs - origin;
@@ -103,12 +100,16 @@ RunResult run_cyclic(const ScheduledApp& app, QualityManager& manager,
       if (app.has_deadline(i) && (t_abs - origin) > app.deadline(i)) {
         ++cs.deadline_misses;
       }
-      result.steps.push_back(step);
+      ++result.total_steps;
+      result.quality_sum += static_cast<double>(active_quality);
+      if (opts.retain_steps) result.steps.push_back(step);
+      if (opts.sink) opts.sink->on_step(step);
     }
 
     cs.completion = t_abs;
     cs.mean_quality = qsum / static_cast<double>(n);
-    result.cycles.push_back(cs);
+    if (opts.retain_cycles) result.cycles.push_back(cs);
+    if (opts.sink) opts.sink->on_cycle(cs);
 
     result.total_action_time += cs.action_time;
     result.total_overhead_time += cs.overhead_time;

@@ -39,6 +39,23 @@ class CyclicTimeSource : public ActualTimeSource {
   virtual std::size_t num_cycles() const = 0;
 };
 
+struct ExecStep;
+struct CycleStats;
+
+/// Streaming observer for run_cyclic: receives every executed step and
+/// every cycle aggregate online, so trace-driven replay can fold metrics
+/// in O(1) memory per step instead of materializing per-step records
+/// (see ExecutorOptions::retain_steps and sim/metrics.hpp's
+/// RunSummaryAccumulator).
+class StepSink {
+ public:
+  virtual ~StepSink() = default;
+  /// Called once per executed action, in execution order.
+  virtual void on_step(const ExecStep& step) = 0;
+  /// Called at the end of every cycle with its aggregate.
+  virtual void on_cycle(const CycleStats& cycle) { (void)cycle; }
+};
+
 struct ExecutorOptions {
   Platform platform{};
   std::size_t cycles = 1;
@@ -46,6 +63,16 @@ struct ExecutorOptions {
   /// final deadline" (each cycle budgeted exactly its deadline).
   TimeNs period = 0;
   bool carry_slack = true;
+  /// Streaming mode: with retain_steps / retain_cycles false the
+  /// corresponding RunResult vectors stay empty — memory drops from
+  /// O(cycles * n) to O(1) per step — while the scalar aggregates
+  /// (totals, quality_sum) are still maintained. Pair with `sink` to fold
+  /// anything per-step (million-cycle replays).
+  bool retain_steps = true;
+  bool retain_cycles = true;
+  /// Optional streaming observer; called for every step and cycle
+  /// regardless of the retain flags.
+  StepSink* sink = nullptr;
 };
 
 /// One executed action on the platform (extends the pure StepRecord with
@@ -77,8 +104,10 @@ struct CycleStats {
 };
 
 struct RunResult {
-  std::vector<ExecStep> steps;        ///< every executed action, all cycles
-  std::vector<CycleStats> cycles;
+  std::vector<ExecStep> steps;        ///< per-step records (empty when not retained)
+  std::vector<CycleStats> cycles;     ///< per-cycle aggregates (empty when not retained)
+  std::size_t total_steps = 0;        ///< executed actions (valid in streaming mode)
+  double quality_sum = 0;             ///< summed per-step quality levels
   TimeNs total_time = 0;              ///< absolute completion time
   TimeNs total_action_time = 0;
   TimeNs total_overhead_time = 0;
@@ -88,9 +117,10 @@ struct RunResult {
 
   /// Overhead as a fraction of total busy time (the paper's §4.2 metric).
   double overhead_fraction() const;
-  /// Mean quality over every executed action.
+  /// Mean quality over every executed action (works in streaming mode).
   double mean_quality() const;
-  /// Quality sequence of one cycle (for smoothness analysis).
+  /// Quality sequence of one cycle (for smoothness analysis; requires
+  /// retained steps).
   std::vector<Quality> cycle_qualities(std::size_t cycle) const;
 };
 

@@ -1,28 +1,110 @@
 #include "sim/metrics.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
 namespace speedqm {
 
-RunSummary summarize_run(const std::string& manager_name, const RunResult& run) {
-  RunSummary s;
-  s.manager = manager_name;
-  s.mean_quality = run.mean_quality();
-  s.overhead_pct = 100.0 * run.overhead_fraction();
-  if (!run.steps.empty()) {
-    s.mean_overhead_per_action_us =
-        to_us(run.total_overhead_time) / static_cast<double>(run.steps.size());
-  }
-  s.manager_calls = run.total_manager_calls;
-  s.deadline_misses = run.total_deadline_misses;
-  s.infeasible = run.total_infeasible;
-  s.total_time_s = to_sec(run.total_time);
+RunSummaryAccumulator::RunSummaryAccumulator(std::string manager_name)
+    : manager_(std::move(manager_name)) {}
 
-  std::vector<Quality> all_q;
-  all_q.reserve(run.steps.size());
-  for (const auto& step : run.steps) {
-    all_q.push_back(step.quality);
-    if (step.manager_called) ++s.relax_histogram[step.relax_steps];
+void RunSummaryAccumulator::on_step(const ExecStep& step) {
+  const Quality q = step.quality;
+  if (steps_ == 0) {
+    min_q_ = q;
+    max_q_ = q;
+  } else {
+    min_q_ = std::min(min_q_, q);
+    max_q_ = std::max(max_q_, q);
   }
-  s.smoothness = analyze_smoothness(all_q);
+  ++steps_;
+  q_sum_ += static_cast<double>(q);
+  q_sq_sum_ += static_cast<double>(q) * static_cast<double>(q);
+  if (has_prev_) {
+    const int jump = std::abs(q - prev_q_);
+    if (jump != 0) ++switches_;
+    max_jump_ = std::max(max_jump_, jump);
+    jump_sum_ += jump;
+  }
+  prev_q_ = q;
+  has_prev_ = true;
+
+  action_time_ += step.duration;
+  overhead_time_ += step.overhead;
+  if (step.manager_called) {
+    ++manager_calls_;
+    if (!step.feasible) ++infeasible_;
+    const auto r = static_cast<std::size_t>(step.relax_steps);
+    if (r >= relax_histogram_.size()) relax_histogram_.resize(r + 1, 0);
+    ++relax_histogram_[r];
+  }
+}
+
+void RunSummaryAccumulator::on_cycle(const CycleStats& cycle) {
+  deadline_misses_ += cycle.deadline_misses;
+  completion_ = cycle.completion;
+  if (keep_cycle_series_) cycle_quality_.push_back(cycle.mean_quality);
+}
+
+RunSummary RunSummaryAccumulator::finish() const {
+  RunSummary s;
+  s.manager = manager_;
+  s.total_steps = steps_;
+  s.manager_calls = manager_calls_;
+  s.deadline_misses = deadline_misses_;
+  s.infeasible = infeasible_;
+  s.total_time_s = to_sec(completion_);
+  s.relax_histogram = relax_histogram_;
+
+  const double busy = static_cast<double>(action_time_ + overhead_time_);
+  if (busy > 0.0) {
+    s.overhead_pct = 100.0 * static_cast<double>(overhead_time_) / busy;
+  }
+  if (steps_ > 0) {
+    const auto n = static_cast<double>(steps_);
+    s.mean_quality = q_sum_ / n;
+    s.mean_overhead_per_action_us = to_us(overhead_time_) / n;
+    s.smoothness.length = steps_;
+    s.smoothness.mean_quality = s.mean_quality;
+    s.smoothness.min_quality = min_q_;
+    s.smoothness.max_quality = max_q_;
+    // Online stddev via E[q^2] - mean^2 (guarded against cancellation
+    // producing a tiny negative); q and q^2 are small integers, so the
+    // sums are exact doubles far beyond any realistic replay length.
+    s.smoothness.quality_stddev =
+        std::sqrt(std::max(0.0, q_sq_sum_ / n - s.mean_quality * s.mean_quality));
+    s.smoothness.switches = switches_;
+    s.smoothness.max_jump = max_jump_;
+    if (steps_ > 1) {
+      s.smoothness.mean_abs_jump = jump_sum_ / static_cast<double>(steps_ - 1);
+    }
+  }
+  return s;
+}
+
+RunSummary summarize_run(const std::string& manager_name, const RunResult& run) {
+  RunSummaryAccumulator acc(manager_name);
+  for (const auto& step : run.steps) acc.on_step(step);
+  for (const auto& cycle : run.cycles) acc.on_cycle(cycle);
+  RunSummary s = acc.finish();
+  // Streaming-mode runs carry their aggregates in the RunResult scalars;
+  // fall back to them for whatever a non-retained vector cannot supply.
+  // (Per-step detail — smoothness, the relaxation histogram — needs a
+  // RunSummaryAccumulator sink on the run itself.)
+  if (run.steps.empty() && run.total_steps > 0) {
+    s.total_steps = run.total_steps;
+    s.mean_quality = run.mean_quality();
+    s.manager_calls = run.total_manager_calls;
+    s.infeasible = run.total_infeasible;
+    s.overhead_pct = 100.0 * run.overhead_fraction();
+    s.mean_overhead_per_action_us = to_us(run.total_overhead_time) /
+                                    static_cast<double>(run.total_steps);
+  }
+  if (run.cycles.empty()) {
+    s.deadline_misses = run.total_deadline_misses;
+    s.total_time_s = to_sec(run.total_time);
+  }
   return s;
 }
 

@@ -1,7 +1,15 @@
 // Run-level metric extraction and comparison helpers for benches.
+//
+// Two ways to build a RunSummary:
+//   * summarize_run(name, run) — from a retained RunResult (unchanged API);
+//   * RunSummaryAccumulator — a StepSink that folds the identical summary
+//     online, O(1) work and memory per step, for streaming replays where
+//     per-step records are never materialized (ExecutorOptions::
+//     retain_steps = false). summarize_run is implemented by replaying the
+//     retained records through the accumulator, so the two paths produce
+//     bit-identical summaries for the same step stream.
 #pragma once
 
-#include <map>
 #include <string>
 #include <vector>
 
@@ -16,15 +24,69 @@ struct RunSummary {
   double mean_quality = 0;
   double overhead_pct = 0;           ///< 100 * overhead / (overhead + action)
   double mean_overhead_per_action_us = 0;
+  std::size_t total_steps = 0;
   std::size_t manager_calls = 0;
   std::size_t deadline_misses = 0;
   std::size_t infeasible = 0;
   double total_time_s = 0;
   SmoothnessReport smoothness;       ///< over the full quality sequence
-  std::map<int, std::size_t> relax_histogram;  ///< decided r -> count
+  /// Decided relaxation depths: relax_histogram[r] = number of decisions
+  /// that covered r actions (index 0 unused). Flat so the streaming fold
+  /// performs no node allocations per summarized step.
+  std::vector<std::size_t> relax_histogram;
 };
 
-/// Builds the summary from a run.
+/// Folds a RunSummary (including the smoothness report and the relaxation
+/// histogram) online from a step/cycle stream. Plug into
+/// ExecutorOptions::sink for replays beyond what retained steps can hold;
+/// every fold is O(1) per step with no per-step allocation.
+class RunSummaryAccumulator final : public StepSink {
+ public:
+  explicit RunSummaryAccumulator(std::string manager_name);
+
+  void on_step(const ExecStep& step) override;
+  void on_cycle(const CycleStats& cycle) override;
+
+  /// When enabled, keeps the per-cycle mean-quality series (figure 7's
+  /// y-axis; one double per cycle — the only non-O(1) retention, opt-in).
+  void keep_cycle_series(bool keep) { keep_cycle_series_ = keep; }
+  const std::vector<double>& cycle_quality_series() const {
+    return cycle_quality_;
+  }
+
+  std::size_t steps_seen() const { return steps_; }
+
+  /// The summary folded so far.
+  RunSummary finish() const;
+
+ private:
+  std::string manager_;
+  // Step folds.
+  std::size_t steps_ = 0;
+  std::size_t manager_calls_ = 0;
+  std::size_t infeasible_ = 0;
+  TimeNs action_time_ = 0;
+  TimeNs overhead_time_ = 0;
+  std::vector<std::size_t> relax_histogram_;
+  // Online smoothness state.
+  double q_sum_ = 0;
+  double q_sq_sum_ = 0;
+  double jump_sum_ = 0;
+  std::size_t switches_ = 0;
+  int max_jump_ = 0;
+  Quality min_q_ = 0;
+  Quality max_q_ = 0;
+  bool has_prev_ = false;
+  Quality prev_q_ = 0;
+  // Cycle folds.
+  std::size_t deadline_misses_ = 0;
+  TimeNs completion_ = 0;
+  bool keep_cycle_series_ = false;
+  std::vector<double> cycle_quality_;
+};
+
+/// Builds the summary from a retained run (replays it through
+/// RunSummaryAccumulator).
 RunSummary summarize_run(const std::string& manager_name, const RunResult& run);
 
 /// Per-cycle mean quality series (figure 7's y-axis).

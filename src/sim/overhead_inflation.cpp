@@ -23,6 +23,9 @@ RelaxationCallEstimate::RelaxationCallEstimate(int num_levels, std::size_t rho_s
 IncrementalCallEstimate::IncrementalCallEstimate(int num_levels)
     : ops_(3 * RegionCallEstimate(num_levels).ops(0) + 8) {}
 
+BatchCallEstimate::BatchCallEstimate(int num_levels)
+    : ops_(RegionCallEstimate(num_levels).ops(0) + 2) {}
+
 TimingModel inflate_for_overhead(const TimingModel& tm, const OverheadModel& om,
                                  const OverheadEstimate& estimate) {
   const ActionIndex n = tm.num_actions();

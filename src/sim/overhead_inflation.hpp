@@ -85,6 +85,20 @@ class IncrementalCallEstimate final : public OverheadEstimate {
   std::uint64_t ops_;
 };
 
+/// Batched multi-task manager (BatchMultiTaskManager): one epoch decides
+/// every unfinished task with warm table probes; amortized over the
+/// epoch's actions that is a couple of probes per action plus a small
+/// share of the cold searches — a constant close to the region manager's,
+/// by design (the batching removes dispatch, not probes).
+class BatchCallEstimate final : public OverheadEstimate {
+ public:
+  explicit BatchCallEstimate(int num_levels);
+  std::uint64_t ops(StateIndex) const override { return ops_; }
+
+ private:
+  std::uint64_t ops_;
+};
+
 /// Returns a copy of `tm` with Cav and Cwc of every action inflated by the
 /// overhead model's cost of one estimated manager call at that action's
 /// state. Preserves the Definition 1 shape (monotone in q, Cav <= Cwc).

@@ -41,6 +41,11 @@ struct OverheadModel {
   /// embedded core where a manager call costs ~16 us of fixed time and each
   /// abstract operation ~30 ns.
   static OverheadModel ipod_like() { return OverheadModel{us(16), 30.0}; }
+
+  /// Server-class calibration used by the multi-task serving scenarios: a
+  /// modern core where invoking the manager costs ~200 ns fixed and each
+  /// abstract operation ~2 ns.
+  static OverheadModel server_like() { return OverheadModel{TimeNs{200}, 2.0}; }
 };
 
 }  // namespace speedqm

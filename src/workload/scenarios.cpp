@@ -1,5 +1,9 @@
 #include "workload/scenarios.hpp"
 
+#include <algorithm>
+#include <string>
+
+#include "sim/platform.hpp"
 #include "support/contract.hpp"
 
 namespace speedqm {
@@ -10,6 +14,7 @@ const char* to_string(ManagerFlavor flavor) {
     case ManagerFlavor::kNumericIncremental: return "numeric-incremental";
     case ManagerFlavor::kRegions: return "regions";
     case ManagerFlavor::kRelaxation: return "relaxation";
+    case ManagerFlavor::kBatch: return "batch";
   }
   return "?";
 }
@@ -33,8 +38,176 @@ TimingModel PaperScenario::controller_model(ManagerFlavor flavor) const {
       const RelaxationCallEstimate est(tm.num_levels(), rho.size());
       return inflate_for_overhead(tm, overhead, est);
     }
+    case ManagerFlavor::kBatch: {
+      const BatchCallEstimate est(tm.num_levels());
+      return inflate_for_overhead(tm, overhead, est);
+    }
   }
   SPEEDQM_UNREACHABLE("unreachable manager flavor");
+}
+
+namespace {
+
+/// SplitMix64 step — cheap deterministic per-task parameter variation.
+std::uint64_t mix_hash(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Coexistence margin: raises every action's Cav and Cwc of task `task` by
+/// the other tasks' per-round average cost at the same quality. Under the
+/// proportional interleave each task contributes one action per round, so
+/// between two of τ's actions the platform executes ≈ n_σ / n_τ actions of
+/// every other task σ — a per-action margin of Σ_{σ≠τ} total_cav_σ(q) / n_τ
+/// (assuming coupled quality, like the composed single-knob manager).
+/// Preserves the Definition 1 shape: the margin is non-decreasing in q and
+/// added to Cav and Cwc alike.
+TimingModel inflate_for_coexistence(const TimingModel& own, std::size_t task,
+                                    const std::vector<const TimingModel*>& all) {
+  const ActionIndex n = own.num_actions();
+  const int nq = own.num_levels();
+  const auto nq_s = static_cast<std::size_t>(nq);
+  std::vector<TimeNs> margin(nq_s, 0);
+  for (Quality q = 0; q < nq; ++q) {
+    double others = 0;
+    for (std::size_t other = 0; other < all.size(); ++other) {
+      if (other == task) continue;
+      others += static_cast<double>(all[other]->total_cav(q));
+    }
+    margin[static_cast<std::size_t>(q)] =
+        static_cast<TimeNs>(others / static_cast<double>(n) + 0.5);
+  }
+  std::vector<TimeNs> cav(n * nq_s);
+  std::vector<TimeNs> cwc(n * nq_s);
+  for (ActionIndex i = 0; i < n; ++i) {
+    for (Quality q = 0; q < nq; ++q) {
+      const std::size_t k = i * nq_s + static_cast<std::size_t>(q);
+      cav[k] = own.cav(i, q) + margin[static_cast<std::size_t>(q)];
+      cwc[k] = own.cwc(i, q) + margin[static_cast<std::size_t>(q)];
+    }
+  }
+  return TimingModel(n, nq, std::move(cav), std::move(cwc));
+}
+
+/// Rebuilds an app with every deadline cleared except the final one, set
+/// to the shared budget: tasks sharing one cycle are all due by its end.
+std::unique_ptr<ScheduledApp> with_shared_budget(const ScheduledApp& app,
+                                                 TimeNs budget) {
+  std::vector<std::string> names;
+  std::vector<TimeNs> deadlines(app.size(), kTimePlusInf);
+  names.reserve(app.size());
+  for (ActionIndex i = 0; i < app.size(); ++i) names.push_back(app.name(i));
+  deadlines.back() = budget;
+  return std::make_unique<ScheduledApp>(std::move(names), std::move(deadlines));
+}
+
+}  // namespace
+
+MultiTaskMix::MultiTaskMix(const MultiTaskMixSpec& spec)
+    : spec_(spec), overhead_(OverheadModel::server_like()) {
+  SPEEDQM_REQUIRE(spec.num_tasks >= 1, "MultiTaskMix: need at least one task");
+  SPEEDQM_REQUIRE(spec.num_levels >= 2, "MultiTaskMix: need >= 2 quality levels");
+  SPEEDQM_REQUIRE(spec.min_task_actions >= 2 &&
+                      spec.min_task_actions <= spec.max_task_actions,
+                  "MultiTaskMix: bad task size range");
+  const Quality budget_q =
+      std::min<Quality>(spec.budget_quality, spec.num_levels - 1);
+
+  // Per-task raw workloads: optionally a scaled-down MPEG encoder (real
+  // GOP/scene-change dynamics) plus heterogeneous synthetic tasks.
+  std::vector<const ScheduledApp*> raw_apps;
+  std::vector<const TimingModel*> raw_timings;
+  std::vector<CyclicTimeSource*> traces;
+  std::vector<std::string> names;
+  std::uint64_t rng = spec.seed;
+
+  std::size_t first_synth = 0;
+  if (spec.include_mpeg) {
+    MpegConfig config;
+    config.mb_columns = 3;
+    config.mb_rows = 2;
+    config.num_frames = static_cast<int>(spec.num_cycles);
+    config.num_levels = spec.num_levels;
+    config.seed = spec.seed;
+    // Provisional per-frame budget; the composition re-deadlines the app
+    // with the shared cycle budget below.
+    mpeg_ = std::make_unique<MpegWorkload>(config, sec(1));
+    raw_apps.push_back(&mpeg_->app());
+    raw_timings.push_back(&mpeg_->timing());
+    traces.push_back(&mpeg_->traces());
+    names.push_back("mpeg");
+    first_synth = 1;
+  }
+  static const QualityCurve kCurves[] = {
+      QualityCurve::kLinear, QualityCurve::kConcave, QualityCurve::kConvex};
+  for (std::size_t task = first_synth; task < spec.num_tasks; ++task) {
+    SyntheticSpec s;
+    const ActionIndex span = spec.max_task_actions - spec.min_task_actions + 1;
+    s.num_actions = spec.min_task_actions +
+                    static_cast<ActionIndex>(mix_hash(rng) % span);
+    s.num_levels = spec.num_levels;
+    s.num_cycles = spec.num_cycles;
+    s.base_min_ns = us(20 + mix_hash(rng) % 200);
+    s.base_max_ns = s.base_min_ns * (2 + static_cast<TimeNs>(mix_hash(rng) % 3));
+    s.quality_span = 2.0 + 0.1 * static_cast<double>(mix_hash(rng) % 10);
+    s.curve = kCurves[task % 3];
+    s.budget_quality = budget_q;
+    s.seed = spec.seed * 1000003ULL + task;
+    synth_.push_back(std::make_unique<SyntheticWorkload>(s));
+    raw_apps.push_back(&synth_.back()->app());
+    raw_timings.push_back(&synth_.back()->timing());
+    traces.push_back(&synth_.back()->traces());
+    names.push_back("synth" + std::to_string(task));
+  }
+
+  // Shared cycle budget over the mix's average-cost volume.
+  double total_cav = 0;
+  for (const auto* tm : raw_timings) {
+    total_cav += static_cast<double>(tm->total_cav(budget_q));
+  }
+  budget_ = static_cast<TimeNs>(total_cav * spec.budget_factor);
+
+  // Controller views: budget-bearing apps and (optionally) §2.2.2-inflated
+  // timing models; engines decide per task against the shared clock.
+  const BatchCallEstimate estimate(spec.num_levels);
+  std::vector<TaskSpec> task_specs;
+  for (std::size_t task = 0; task < spec.num_tasks; ++task) {
+    apps_.push_back(with_shared_budget(*raw_apps[task], budget_));
+    TimingModel model = spec.coexistence_margin
+                            ? inflate_for_coexistence(*raw_timings[task], task,
+                                                      raw_timings)
+                            : *raw_timings[task];
+    if (spec.inflate_overhead) {
+      model = inflate_for_overhead(model, overhead_, estimate);
+    }
+    models_.push_back(std::make_unique<TimingModel>(std::move(model)));
+    engines_.push_back(std::make_unique<PolicyEngine>(
+        *apps_.back(), *models_.back(), PolicyKind::kMixed));
+    task_specs.push_back(
+        TaskSpec{names[task], apps_[task].get(), raw_timings[task]});
+  }
+
+  composed_ = std::make_unique<ComposedSystem>(compose_tasks(std::move(task_specs)));
+  source_ = std::make_unique<ComposedCyclicSource>(*composed_, std::move(traces));
+}
+
+std::vector<const PolicyEngine*> MultiTaskMix::engines() const {
+  std::vector<const PolicyEngine*> out;
+  out.reserve(engines_.size());
+  for (const auto& e : engines_) out.push_back(e.get());
+  return out;
+}
+
+ExecutorOptions MultiTaskMix::executor_options(std::size_t cycles) const {
+  ExecutorOptions opts;
+  opts.cycles = cycles;
+  opts.period = budget_;
+  opts.platform = Platform(overhead_);
+  opts.carry_slack = true;
+  return opts;
 }
 
 PaperScenario make_paper_scenario(std::uint64_t seed) {

@@ -8,9 +8,12 @@
 #include <memory>
 #include <vector>
 
+#include "core/multi_task.hpp"
+#include "core/policy.hpp"
 #include "sim/overhead_inflation.hpp"
 #include "sim/overhead_model.hpp"
 #include "workload/mpeg_model.hpp"
+#include "workload/synthetic.hpp"
 
 namespace speedqm {
 
@@ -20,6 +23,7 @@ enum class ManagerFlavor {
   kNumericIncremental,  ///< numeric manager over incremental tD maintenance
   kRegions,
   kRelaxation,
+  kBatch,               ///< batched multi-task engine (core/batch_engine.hpp)
 };
 
 const char* to_string(ManagerFlavor flavor);
@@ -47,6 +51,74 @@ struct PaperScenario {
 /// Builds the scenario. `seed` varies content; the default reproduces the
 /// repository's reference outputs.
 PaperScenario make_paper_scenario(std::uint64_t seed = 20070326);
+
+// ---------------------------------------------------------------------------
+// Heterogeneous multi-task mixes: T concurrent applications (optionally a
+// scaled-down MPEG encoder plus synthetic tasks of varied size, cost and
+// quality curve) sharing one cycle budget under a batched or sequential
+// multi-task manager — the serving workload for bench_multi_task and the
+// batched-vs-sequential differential tests. T ∈ {2, 8, 32} are the
+// benched points; any T >= 1 works.
+// ---------------------------------------------------------------------------
+
+struct MultiTaskMixSpec {
+  std::size_t num_tasks = 8;
+  std::uint64_t seed = 20070730;
+  bool include_mpeg = true;     ///< task 0 is a scaled-down MPEG encoder
+  int num_levels = 7;           ///< shared quality axis (all tasks)
+  std::size_t num_cycles = 16;  ///< cycles of trace content per task
+  /// Synthetic task sizes are drawn from [min_task_actions, max_task_actions].
+  ActionIndex min_task_actions = 8;
+  ActionIndex max_task_actions = 48;
+  /// Shared budget = budget_factor * sum over tasks of total Cav at
+  /// budget_quality; every task's last action is due by it.
+  Quality budget_quality = 4;
+  double budget_factor = 1.10;
+  /// Inflate each task's controller model for the batch manager's own call
+  /// cost (the paper's §2.2.2 margin), on the server-like platform.
+  bool inflate_overhead = true;
+  /// Add the coexistence margin to each task's controller model: under the
+  /// proportional interleave, between two of a task's actions the other
+  /// tasks execute ~one round of theirs, so each action's Cav/Cwc is
+  /// raised by the others' per-round average cost at the same quality
+  /// (§2.2.2 overestimation applied to co-scheduling). Without it every
+  /// task budgets as if it owned the whole cycle and the mix overcommits.
+  bool coexistence_margin = true;
+};
+
+/// Owning bundle: per-task workloads, budget-bearing apps, per-task policy
+/// engines (over §2.2.2-inflated controller models), the proportional
+/// interleave composition, and a cyclic composed trace source.
+class MultiTaskMix {
+ public:
+  explicit MultiTaskMix(const MultiTaskMixSpec& spec);
+
+  const MultiTaskMixSpec& spec() const { return spec_; }
+  std::size_t num_tasks() const { return engines_.size(); }
+  const ComposedSystem& composed() const { return *composed_; }
+  ComposedCyclicSource& source() { return *source_; }
+  TimeNs budget() const { return budget_; }
+  const OverheadModel& overhead() const { return overhead_; }
+
+  /// Borrowed per-task engines for BatchMultiTaskManager /
+  /// SequentialMultiTaskManager (valid for the mix's lifetime).
+  std::vector<const PolicyEngine*> engines() const;
+
+  /// Executor options preset: period = shared budget, server-like platform.
+  ExecutorOptions executor_options(std::size_t cycles) const;
+
+ private:
+  MultiTaskMixSpec spec_;
+  OverheadModel overhead_;
+  std::unique_ptr<MpegWorkload> mpeg_;
+  std::vector<std::unique_ptr<SyntheticWorkload>> synth_;
+  std::vector<std::unique_ptr<ScheduledApp>> apps_;    ///< budget-bearing
+  std::vector<std::unique_ptr<TimingModel>> models_;   ///< controller models
+  std::vector<std::unique_ptr<PolicyEngine>> engines_;
+  std::unique_ptr<ComposedSystem> composed_;
+  std::unique_ptr<ComposedCyclicSource> source_;
+  TimeNs budget_ = 0;
+};
 
 /// Paper constants, exposed for tests/benches.
 inline constexpr int kPaperActions = 1189;

@@ -1,5 +1,8 @@
 #include "workload/trace_source.hpp"
 
+#include <algorithm>
+#include <numeric>
+
 #include "support/contract.hpp"
 
 namespace speedqm {
@@ -29,6 +32,47 @@ TimeNs TraceTimeSource::at(std::size_t cycle, ActionIndex i, Quality q) const {
   SPEEDQM_REQUIRE(i < n_, "TraceTimeSource: action out of range");
   SPEEDQM_REQUIRE(q >= 0 && q < nq_, "TraceTimeSource: quality out of range");
   return data_[cycle][i * static_cast<std::size_t>(nq_) + static_cast<std::size_t>(q)];
+}
+
+ComposedCyclicSource::ComposedCyclicSource(const ComposedSystem& system,
+                                           std::vector<CyclicTimeSource*> sources)
+    : system_(&system), sources_(std::move(sources)) {
+  SPEEDQM_REQUIRE(sources_.size() == system.num_tasks(),
+                  "ComposedCyclicSource: one source per task required");
+  // Joint content period, computed once (the executor queries it every
+  // cycle): the LCM of per-task trace lengths — anything shorter would
+  // replay shorter tasks' content non-uniformly under the executor's
+  // pre-mod (a double mod by incommensurate lengths).
+  constexpr std::size_t kCap = std::size_t{1} << 20;
+  std::size_t cycles = 1;
+  std::size_t longest = 1;
+  bool capped = false;
+  for (const auto* s : sources_) {
+    SPEEDQM_REQUIRE(s != nullptr && s->num_cycles() >= 1,
+                    "ComposedCyclicSource: null or empty source");
+    const std::size_t n = s->num_cycles();
+    longest = std::max(longest, n);
+    if (!capped) {
+      const std::size_t reduced = cycles / std::gcd(cycles, n);
+      if (reduced > kCap / n) {
+        capped = true;
+      } else {
+        cycles = reduced * n;
+      }
+    }
+  }
+  num_cycles_ = capped ? longest : cycles;
+}
+
+void ComposedCyclicSource::set_cycle(std::size_t cycle) {
+  for (auto* s : sources_) s->set_cycle(cycle % s->num_cycles());
+}
+
+std::size_t ComposedCyclicSource::num_cycles() const { return num_cycles_; }
+
+TimeNs ComposedCyclicSource::actual_time(ActionIndex i, Quality q) {
+  const TaskRef& ref = system_->origin(i);
+  return sources_[ref.task]->actual_time(ref.local_action, q);
 }
 
 std::size_t TraceTimeSource::count_contract_violations(const TimingModel& tm) const {

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/multi_task.hpp"
 #include "core/timing_model.hpp"
 #include "sim/executor.hpp"
 
@@ -51,6 +52,29 @@ class TraceTimeSource final : public CyclicTimeSource {
   std::vector<std::vector<TimeNs>> data_;
   std::size_t current_cycle_ = 0;
   double clamp_fraction_ = 0.0;
+};
+
+/// Cyclic source over a ComposedSystem: fans set_cycle out to every task's
+/// own trace source (each wraps around its own content length) and maps
+/// composite actions back to (task, local action) on every read.
+class ComposedCyclicSource final : public CyclicTimeSource {
+ public:
+  ComposedCyclicSource(const ComposedSystem& system,
+                       std::vector<CyclicTimeSource*> sources);
+
+  void set_cycle(std::size_t cycle) override;
+  /// True content period of the composition, fixed at construction: the
+  /// LCM of the per-task trace lengths (each task wraps its own content,
+  /// so the joint content repeats at the LCM). Pathological mixes whose
+  /// LCM explodes fall back to the longest task's length — shorter tasks
+  /// then wrap non-uniformly.
+  std::size_t num_cycles() const override;
+  TimeNs actual_time(ActionIndex i, Quality q) override;
+
+ private:
+  const ComposedSystem* system_;
+  std::vector<CyclicTimeSource*> sources_;
+  std::size_t num_cycles_ = 1;
 };
 
 }  // namespace speedqm

@@ -298,9 +298,11 @@ TEST(MetricsTest, SummaryAggregatesRun) {
   EXPECT_EQ(summary.manager_calls, run.total_manager_calls);
   EXPECT_EQ(summary.smoothness.length, run.steps.size());
   std::size_t histogram_total = 0;
-  for (const auto& [r, count] : summary.relax_histogram) {
-    EXPECT_GE(r, 1);
-    histogram_total += count;
+  if (!summary.relax_histogram.empty()) {
+    EXPECT_EQ(summary.relax_histogram[0], 0u);  // decisions cover >= 1 action
+  }
+  for (std::size_t r = 1; r < summary.relax_histogram.size(); ++r) {
+    histogram_total += summary.relax_histogram[r];
   }
   EXPECT_EQ(histogram_total, run.total_manager_calls);
 
@@ -308,6 +310,84 @@ TEST(MetricsTest, SummaryAggregatesRun) {
   ASSERT_EQ(series.size(), 3u);
   const auto overheads = per_action_overhead(run, 1);
   ASSERT_EQ(overheads.size(), w.app().size());
+}
+
+// Streaming mode: retained and streamed runs are the same run — identical
+// aggregates, the sink sees every step, and nothing is materialized.
+TEST(StreamingExecutorTest, StreamedRunMatchesRetainedAggregates) {
+  auto w = make_workload(21, 3);
+  const PolicyEngine e(w.app(), w.timing());
+
+  NumericManager retained_mgr(e);
+  ExecutorOptions opts;
+  opts.cycles = 3;
+  opts.platform = Platform(OverheadModel{us(2), 1.0});
+  const auto retained = run_cyclic(w.app(), retained_mgr, w.traces(), opts);
+
+  struct CountingSink final : StepSink {
+    std::size_t steps = 0, cycles = 0;
+    double qsum = 0;
+    void on_step(const ExecStep& step) override {
+      ++steps;
+      qsum += static_cast<double>(step.quality);
+    }
+    void on_cycle(const CycleStats&) override { ++cycles; }
+  } sink;
+
+  NumericManager streamed_mgr(e);
+  ExecutorOptions stream_opts = opts;
+  stream_opts.retain_steps = false;
+  stream_opts.retain_cycles = false;
+  stream_opts.sink = &sink;
+  const auto streamed = run_cyclic(w.app(), streamed_mgr, w.traces(), stream_opts);
+
+  EXPECT_TRUE(streamed.steps.empty());
+  EXPECT_TRUE(streamed.cycles.empty());
+  EXPECT_EQ(sink.steps, retained.total_steps);
+  EXPECT_EQ(sink.cycles, 3u);
+  EXPECT_EQ(streamed.total_steps, retained.total_steps);
+  EXPECT_EQ(streamed.quality_sum, retained.quality_sum);
+  EXPECT_EQ(streamed.total_time, retained.total_time);
+  EXPECT_EQ(streamed.total_action_time, retained.total_action_time);
+  EXPECT_EQ(streamed.total_overhead_time, retained.total_overhead_time);
+  EXPECT_EQ(streamed.total_manager_calls, retained.total_manager_calls);
+  EXPECT_EQ(streamed.total_deadline_misses, retained.total_deadline_misses);
+  EXPECT_EQ(streamed.mean_quality(), retained.mean_quality());
+  EXPECT_EQ(sink.qsum, retained.quality_sum);
+}
+
+// RunSummaryAccumulator as a sink reproduces summarize_run bit for bit
+// (the single-task flavor of the acceptance cross-check).
+TEST(StreamingExecutorTest, AccumulatorMatchesSummarizeRun) {
+  auto w = make_workload(22, 4);
+  const PolicyEngine e(w.app(), w.timing());
+  const auto regions = RegionCompiler::compile_regions(e);
+  const auto relax = RegionCompiler::compile_relaxation(e, regions, {1, 5, 10});
+
+  RelaxationManager retained_mgr(regions, relax);
+  ExecutorOptions opts;
+  opts.cycles = 4;
+  opts.platform = Platform(OverheadModel{us(2), 1.0});
+  const auto retained = run_cyclic(w.app(), retained_mgr, w.traces(), opts);
+  const auto want = summarize_run("relax", retained);
+
+  RelaxationManager streamed_mgr(regions, relax);
+  RunSummaryAccumulator acc("relax");
+  ExecutorOptions stream_opts = opts;
+  stream_opts.retain_steps = false;
+  stream_opts.retain_cycles = false;
+  stream_opts.sink = &acc;
+  run_cyclic(w.app(), streamed_mgr, w.traces(), stream_opts);
+  const auto got = acc.finish();
+
+  EXPECT_EQ(got.mean_quality, want.mean_quality);
+  EXPECT_EQ(got.overhead_pct, want.overhead_pct);
+  EXPECT_EQ(got.manager_calls, want.manager_calls);
+  EXPECT_EQ(got.deadline_misses, want.deadline_misses);
+  EXPECT_EQ(got.relax_histogram, want.relax_histogram);
+  EXPECT_EQ(got.smoothness.quality_stddev, want.smoothness.quality_stddev);
+  EXPECT_EQ(got.smoothness.switches, want.smoothness.switches);
+  EXPECT_EQ(got.total_time_s, want.total_time_s);
 }
 
 TEST(TraceTest, CsvExportWritesAllRows) {

@@ -202,6 +202,63 @@ TEST_F(MultiTaskFixture, IncrementalManagerMatchesScanOnComposition) {
   // asserted where it must hold (test_td_incremental, test_executor).
 }
 
+// Equal-length tasks tie on completed fraction at every position; the
+// documented tie-break (lowest task index) makes the interleave a strict
+// round-robin.
+TEST(MultiTaskInterleave, TieBreakPrefersLowestTaskIndex) {
+  auto a = make_task(30, 4, us(100), us(200), 1.2);
+  auto b = make_task(31, 4, us(100), us(200), 1.2);
+  auto c = make_task(32, 4, us(100), us(200), 1.2);
+  auto composed = compose_tasks({TaskSpec{"a", &a.app(), &a.timing()},
+                                 TaskSpec{"b", &b.app(), &b.timing()},
+                                 TaskSpec{"c", &c.app(), &c.timing()}});
+  ASSERT_EQ(composed.app().size(), 12u);
+  for (ActionIndex i = 0; i < 12; ++i) {
+    EXPECT_EQ(composed.origin(i).task, i % 3) << "position " << i;
+    EXPECT_EQ(composed.origin(i).local_action, i / 3) << "position " << i;
+  }
+}
+
+// Unequal lengths: the smallest-completed-fraction rule (ties to the
+// lowest index) produces exactly this sequence for sizes {6, 3}.
+TEST(MultiTaskInterleave, UnequalLengthsFollowFractionRule) {
+  auto a = make_task(33, 6, us(100), us(200), 1.2);
+  auto b = make_task(34, 3, us(100), us(200), 1.2);
+  auto composed = compose_tasks({TaskSpec{"a", &a.app(), &a.timing()},
+                                 TaskSpec{"b", &b.app(), &b.timing()}});
+  const std::size_t expected[] = {0, 1, 0, 0, 1, 0, 0, 1, 0};
+  ASSERT_EQ(composed.app().size(), 9u);
+  for (ActionIndex i = 0; i < 9; ++i) {
+    EXPECT_EQ(composed.origin(i).task, expected[i]) << "position " << i;
+  }
+  // Each task's local actions appear in order regardless of interleave.
+  ActionIndex next_a = 0, next_b = 0;
+  for (ActionIndex i = 0; i < 9; ++i) {
+    auto& next = composed.origin(i).task == 0 ? next_a : next_b;
+    EXPECT_EQ(composed.origin(i).local_action, next++);
+  }
+}
+
+TEST(MultiTaskInterleave, ComposedCyclicSourceWrapsPerTaskContent) {
+  auto a = make_task(35, 5, us(100), us(200), 1.2);  // 2 cycles of content
+  auto b = make_task(36, 3, us(100), us(200), 1.2);
+  auto composed = compose_tasks({TaskSpec{"a", &a.app(), &a.timing()},
+                                 TaskSpec{"b", &b.app(), &b.timing()}});
+  ComposedCyclicSource source(composed, {&a.traces(), &b.traces()});
+  EXPECT_EQ(source.num_cycles(), 2u);
+  // Cycle 2 wraps to each task's cycle 0 content.
+  source.set_cycle(0);
+  std::vector<TimeNs> first;
+  for (ActionIndex i = 0; i < composed.app().size(); ++i) {
+    first.push_back(source.actual_time(i, 1));
+  }
+  source.set_cycle(2 % source.num_cycles());
+  for (ActionIndex i = 0; i < composed.app().size(); ++i) {
+    EXPECT_EQ(source.actual_time(i, 1), first[i]);
+  }
+  EXPECT_THROW(ComposedCyclicSource(composed, {&a.traces()}), contract_error);
+}
+
 TEST(MultiTaskValidation, RejectsBadCompositions) {
   auto a = make_task(10, 5, us(100), us(200), 1.2);
   EXPECT_THROW(compose_tasks({}), contract_error);

@@ -1,5 +1,9 @@
 #!/usr/bin/env python3
-"""Compare a BENCH_decision.json run against a committed baseline.
+"""Compare a BENCH_*.json run against a committed baseline.
+
+Works on any bench JSON with the shared record schema
+(policy/engine/n/num_levels/ns_per_decision/ops_per_decision) —
+BENCH_decision.json and BENCH_multitask.json today.
 
 Usage: compare_bench.py BASELINE CURRENT [--ns-tolerance 1.25]
                         [--ops-tolerance 1.10] [--report PATH]

@@ -6,16 +6,21 @@
 #              (default: build)
 #   out_dir    where BENCH_*.json and bench logs land (default: bench_out)
 #   --compare BASELINE
-#              diff the fresh BENCH_decision.json against a committed
-#              baseline with tools/compare_bench.py and fail on any
-#              per-cell regression beyond tolerance (>25% ns/decision
-#              after machine-speed normalization, >10% ops/decision).
-#              Writes bench_compare.txt next to the JSON.
+#              BASELINE is the committed baseline directory (bench/baseline)
+#              or, back-compat, a BENCH_decision.json path (its directory is
+#              used). Diffs every fresh BENCH_*.json against its committed
+#              counterpart with tools/compare_bench.py and fails on any
+#              per-cell regression beyond tolerance (>25% ns/decision after
+#              machine-speed normalization, >10% ops/decision). Writes
+#              bench_compare_<name>.txt next to the JSON.
 #
 # Currently tracked:
-#   BENCH_decision.json — decision-engine sweep (ns/decision, ops/decision
+#   BENCH_decision.json  — decision-engine sweep (ns/decision, ops/decision
 #   for scan / bsearch / warm / tabled / incremental, mixed policy,
 #   n x |Q| grid), written by bench_micro_managers.
+#   BENCH_multitask.json — batched multi-task engine (ns/composite-decision
+#   and ops/decision for batched vs sequential baselines at T in {2,8,32},
+#   plus the 10^6-cycle streaming replay), written by bench_multi_task.
 #
 # Every failure mode is a hard failure so the CI bench gate cannot pass
 # vacuously: missing bench binary, missing/empty JSON artifact, SHAPE check
@@ -49,24 +54,35 @@ OUT_DIR="${OUT_DIR:-bench_out}"
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
-if [ ! -x "${BUILD_DIR}/bench_micro_managers" ]; then
-  echo "error: ${BUILD_DIR}/bench_micro_managers not found — refusing to skip" >&2
-  echo "(a missing bench binary must not let the CI bench gate pass vacuously)" >&2
-  echo "Build first: cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
-  exit 2
-fi
+for bin in bench_micro_managers bench_multi_task; do
+  if [ ! -x "${BUILD_DIR}/${bin}" ]; then
+    echo "error: ${BUILD_DIR}/${bin} not found — refusing to skip" >&2
+    echo "(a missing bench binary must not let the CI bench gate pass vacuously)" >&2
+    echo "Build first: cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+    exit 2
+  fi
+done
 
 if [ -n "${BASELINE}" ]; then
   case "${BASELINE}" in
     /*) ;;
     *) BASELINE="$(pwd)/${BASELINE}" ;;
   esac
-  [ -f "${BASELINE}" ] || { echo "error: baseline ${BASELINE} not found" >&2; exit 2; }
+  # Back-compat: a BENCH_decision.json path means "its directory".
+  [ -f "${BASELINE}" ] && BASELINE="$(dirname "${BASELINE}")"
+  [ -d "${BASELINE}" ] || { echo "error: baseline ${BASELINE} not found" >&2; exit 2; }
+  for json in BENCH_decision.json BENCH_multitask.json; do
+    [ -f "${BASELINE}/${json}" ] || {
+      echo "error: baseline ${BASELINE}/${json} missing — the gate must not pass vacuously" >&2
+      exit 2
+    }
+  done
   command -v python3 >/dev/null 2>&1 || {
     echo "error: --compare requires python3" >&2; exit 2; }
 fi
 
-BENCH_BIN="$(cd "${BUILD_DIR}" && pwd)/bench_micro_managers"
+MICRO_BIN="$(cd "${BUILD_DIR}" && pwd)/bench_micro_managers"
+MULTI_BIN="$(cd "${BUILD_DIR}" && pwd)/bench_multi_task"
 mkdir -p "${OUT_DIR}"
 cd "${OUT_DIR}"
 
@@ -76,7 +92,7 @@ cd "${OUT_DIR}"
 # would let a SHAPE-check failure exit 0 through tee.
 FILTER="${SPEEDQM_BENCH_FILTER:-Decide}"
 BENCH_STATUS=0
-"${BENCH_BIN}" \
+"${MICRO_BIN}" \
   --benchmark_filter="${FILTER}" \
   --benchmark_min_time=0.02 \
   > bench_micro_managers.log 2>&1 || BENCH_STATUS=$?
@@ -91,11 +107,27 @@ if [ ! -s BENCH_decision.json ]; then
   exit 2
 fi
 
+BENCH_STATUS=0
+"${MULTI_BIN}" > bench_multi_task.log 2>&1 || BENCH_STATUS=$?
+cat bench_multi_task.log
+if [ "${BENCH_STATUS}" -ne 0 ]; then
+  echo "error: bench_multi_task exited ${BENCH_STATUS} (SHAPE gate failed)" >&2
+  exit "${BENCH_STATUS}"
+fi
+
+if [ ! -s BENCH_multitask.json ]; then
+  echo "error: bench run produced no BENCH_multitask.json — hard failure" >&2
+  exit 2
+fi
+
 if [ -n "${BASELINE}" ]; then
-  echo ""
-  echo "comparing against baseline ${BASELINE}:"
-  python3 "${REPO_ROOT}/tools/compare_bench.py" \
-    "${BASELINE}" BENCH_decision.json --report bench_compare.txt
+  for name in decision multitask; do
+    echo ""
+    echo "comparing BENCH_${name}.json against baseline ${BASELINE}/BENCH_${name}.json:"
+    python3 "${REPO_ROOT}/tools/compare_bench.py" \
+      "${BASELINE}/BENCH_${name}.json" "BENCH_${name}.json" \
+      --report "bench_compare_${name}.txt"
+  done
 fi
 
 echo ""

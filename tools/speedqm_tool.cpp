@@ -17,8 +17,10 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 
+#include "core/batch_engine.hpp"
 #include "core/feasibility.hpp"
 #include "core/numeric_manager.hpp"
 #include "core/region_compiler.hpp"
@@ -90,6 +92,8 @@ int cmd_compile(const ArgMap& args) {
     flavor = ManagerFlavor::kRegions;
   } else if (flavor_name == "relaxation") {
     flavor = ManagerFlavor::kRelaxation;
+  } else if (flavor_name == "batch") {
+    flavor = ManagerFlavor::kBatch;
   } else {
     std::fprintf(stderr, "error: unknown manager '%s' for compile\n",
                  flavor_name.c_str());
@@ -151,6 +155,12 @@ int cmd_run(const ArgMap& args) {
                                      NumericManager::Strategy::kIncremental);
   RegionManager region_mgr(regions);
   RelaxationManager relax_mgr(regions, relax);
+  // Batched engine, degenerate T = 1 composition of the paper task.
+  const TimingModel tm_batch = scenario.controller_model(ManagerFlavor::kBatch);
+  const PolicyEngine batch_engine(scenario.app(), tm_batch);
+  const ComposedSystem composed_single = compose_tasks(
+      {TaskSpec{"paper", &scenario.app(), &scenario.timing()}});
+  BatchMultiTaskManager batch_mgr(composed_single, {&batch_engine});
 
   QualityManager* manager = nullptr;
   if (flavor == "numeric") manager = &numeric;
@@ -158,6 +168,7 @@ int cmd_run(const ArgMap& args) {
   if (flavor == "numeric-incremental") manager = &numeric_incremental;
   if (flavor == "regions") manager = &region_mgr;
   if (flavor == "relaxation") manager = &relax_mgr;
+  if (flavor == "batch") manager = &batch_mgr;
   if (!manager) {
     std::fprintf(stderr, "error: unknown manager '%s' for run\n", flavor.c_str());
     return 2;
@@ -184,6 +195,91 @@ int cmd_run(const ArgMap& args) {
     write_cycle_trace_csv(run, csv + "_cycles.csv");
     std::printf("wrote %s_steps.csv and %s_cycles.csv\n", csv.c_str(),
                 csv.c_str());
+  }
+  return summary.deadline_misses == 0 ? 0 : 1;
+}
+
+// Heterogeneous multi-task serving: T concurrent tasks (scaled-down MPEG +
+// synthetic mixes) under one batched or sequential multi-task manager, with
+// optional streaming replay (no per-step records, O(1) memory per step).
+int cmd_multitask(const ArgMap& args) {
+  MultiTaskMixSpec spec;
+  spec.num_tasks = static_cast<std::size_t>(std::stoull(get(args, "tasks", "8")));
+  spec.seed = static_cast<std::uint64_t>(
+      std::stoull(get(args, "seed", "20070730")));
+  spec.budget_factor = std::stod(get(args, "factor", "1.10"));
+  const auto cycles =
+      static_cast<std::size_t>(std::stoull(get(args, "cycles", "64")));
+  const std::string flavor = get(args, "manager", "batch");
+  const bool stream = args.count("stream") > 0;
+
+  MultiTaskMix mix(spec);
+  const auto engines = mix.engines();
+  // Construct only the selected manager: each one compiles its own tables
+  // or lane forests, O(sum n_tau * |Q|) work and memory apiece.
+  std::unique_ptr<QualityManager> manager;
+  if (flavor == "batch") {
+    manager = std::make_unique<BatchMultiTaskManager>(mix.composed(), engines);
+  } else if (flavor == "batch-incremental") {
+    manager = std::make_unique<BatchMultiTaskManager>(
+        mix.composed(), engines, BatchDecisionEngine::Mode::kIncremental);
+  } else if (flavor == "sequential") {
+    manager = std::make_unique<SequentialMultiTaskManager>(mix.composed(),
+                                                           engines);
+  } else {
+    std::fprintf(stderr, "error: unknown manager '%s' for multitask\n",
+                 flavor.c_str());
+    return 2;
+  }
+
+  // Streaming sink: the summary accumulator plus an online per-task
+  // quality fold (provenance via the composition's origin mapping).
+  struct PerTaskSink final : StepSink {
+    RunSummaryAccumulator acc;
+    const ComposedSystem* system;
+    std::vector<double> sum;
+    std::vector<std::size_t> count;
+    PerTaskSink(std::string name, const ComposedSystem& s)
+        : acc(std::move(name)), system(&s), sum(s.num_tasks(), 0.0),
+          count(s.num_tasks(), 0) {}
+    void on_step(const ExecStep& step) override {
+      acc.on_step(step);
+      const TaskRef& ref = system->origin(step.action);
+      sum[ref.task] += static_cast<double>(step.quality);
+      ++count[ref.task];
+    }
+    void on_cycle(const CycleStats& cycle) override { acc.on_cycle(cycle); }
+  } sink(manager->name(), mix.composed());
+
+  ExecutorOptions opts = mix.executor_options(cycles);
+  opts.retain_steps = !stream;
+  opts.retain_cycles = !stream;
+  opts.sink = &sink;
+  const auto run =
+      run_cyclic(mix.composed().app(), *manager, mix.source(), opts);
+  const auto summary = sink.acc.finish();
+
+  std::printf("tasks          : %zu (%s), %zu composite actions/cycle\n",
+              mix.num_tasks(), spec.include_mpeg ? "mpeg + synthetic" : "synthetic",
+              mix.composed().app().size());
+  std::printf("mode           : %s\n", stream ? "streaming (no per-step records)"
+                                              : "retained");
+  std::printf("manager        : %s\n", summary.manager.c_str());
+  std::printf("cycle budget   : %s\n", format_time(mix.budget()).c_str());
+  std::printf("cycles         : %zu (%zu steps)\n", cycles, summary.total_steps);
+  std::printf("mean quality   : %.3f\n", summary.mean_quality);
+  std::printf("overhead       : %.2f %%\n", summary.overhead_pct);
+  std::printf("deadline misses: %zu\n", summary.deadline_misses);
+  std::printf("quality stddev : %.3f\n", summary.smoothness.quality_stddev);
+  std::printf("table memory   : %zu bytes\n", manager->memory_bytes());
+  std::printf("retained steps : %zu\n", run.steps.size());
+  for (std::size_t task = 0; task < mix.num_tasks(); ++task) {
+    std::printf("  %-10s mean quality %.3f over %zu actions\n",
+                mix.composed().task_name(task).c_str(),
+                sink.count[task] ? sink.sum[task] /
+                                       static_cast<double>(sink.count[task])
+                                 : 0.0,
+                sink.count[task]);
   }
   return summary.deadline_misses == 0 ? 0 : 1;
 }
@@ -223,7 +319,9 @@ void usage() {
       "           [--manager numeric|numeric-incremental|regions|relaxation]\n"
       "  run      --tables PREFIX [--traces FILE] [--seed N]\n"
       "           [--manager numeric|numeric-warm|numeric-incremental|\n"
-      "                      regions|relaxation] [--csv PREFIX]\n"
+      "                      regions|relaxation|batch] [--csv PREFIX]\n"
+      "  multitask [--tasks N] [--cycles N] [--seed N] [--factor F]\n"
+      "           [--manager batch|batch-incremental|sequential] [--stream]\n"
       "  inspect  --tables PREFIX\n");
 }
 
@@ -240,6 +338,7 @@ int main(int argc, char** argv) {
     if (cmd == "gen") return cmd_gen(args);
     if (cmd == "compile") return cmd_compile(args);
     if (cmd == "run") return cmd_run(args);
+    if (cmd == "multitask") return cmd_multitask(args);
     if (cmd == "inspect") return cmd_inspect(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
