@@ -38,4 +38,29 @@ FeasibilityReport analyze_feasibility(const PolicyEngine& engine) {
   return report;
 }
 
+MixFeasibilityReport analyze_mix_feasibility(
+    const std::vector<const PolicyEngine*>& engines) {
+  SPEEDQM_REQUIRE(!engines.empty(),
+                  "analyze_mix_feasibility: need at least one engine");
+  MixFeasibilityReport report;
+  report.feasible = true;
+  report.tasks.reserve(engines.size());
+  for (std::size_t task = 0; task < engines.size(); ++task) {
+    SPEEDQM_REQUIRE(engines[task] != nullptr,
+                    "analyze_mix_feasibility: null engine");
+    report.tasks.push_back(analyze_feasibility(*engines[task]));
+    const FeasibilityReport& t = report.tasks.back();
+    if (task == 0 || t.qmin_slack < report.min_qmin_slack) {
+      report.min_qmin_slack = t.qmin_slack;
+      report.critical_task = task;
+    }
+    report.feasible = report.feasible && t.feasible;
+    report.max_uniform_quality =
+        task == 0 ? t.max_start_quality
+                  : std::min(report.max_uniform_quality, t.max_start_quality);
+  }
+  if (!report.feasible) report.max_uniform_quality = -1;
+  return report;
+}
+
 }  // namespace speedqm

@@ -34,4 +34,32 @@ struct FeasibilityReport {
 /// Analyzes the engine's start state (any policy kind).
 FeasibilityReport analyze_feasibility(const PolicyEngine& engine);
 
+/// Feasibility of a co-scheduled task mix: every task decides against the
+/// shared clock with its own coexistence-margin-inflated model, so the mix
+/// is feasible iff every per-task engine is feasible on its own. This is
+/// the admission-control predicate of serve/AdmissionController: a joining
+/// task thickens everyone's margins, and the report says whether the
+/// thickened mix still starts feasible and how much slack the tightest
+/// task retains.
+struct MixFeasibilityReport {
+  /// Every task's start state is feasible.
+  bool feasible = false;
+  /// min over tasks of tD_tau(0, qmin) — the binding task's slack
+  /// (negative when infeasible).
+  TimeNs min_qmin_slack = 0;
+  /// Index (into `engines`) of the task with the least qmin slack.
+  std::size_t critical_task = 0;
+  /// Largest quality every task could uniformly start at (-1 when
+  /// infeasible): min over tasks of max_start_quality.
+  Quality max_uniform_quality = -1;
+  /// Per-task reports, in input order.
+  std::vector<FeasibilityReport> tasks;
+};
+
+/// Analyzes a mix of per-task engines (each already built over its
+/// budget-bearing app and margin-inflated controller model). Requires at
+/// least one engine.
+MixFeasibilityReport analyze_mix_feasibility(
+    const std::vector<const PolicyEngine*>& engines);
+
 }  // namespace speedqm

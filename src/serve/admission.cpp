@@ -1,0 +1,87 @@
+#include "serve/admission.hpp"
+
+#include "support/contract.hpp"
+#include "support/time.hpp"
+
+namespace speedqm {
+
+const char* to_string(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kBestFit: return "best-fit";
+    case PlacementPolicy::kMostSlack: return "most-slack";
+  }
+  return "?";
+}
+
+AdmissionController::AdmissionController(std::shared_ptr<TaskPool> pool,
+                                         TimeNs budget, PlacementPolicy policy)
+    : pool_(std::move(pool)),
+      budget_(budget),
+      policy_(policy),
+      overhead_(OverheadModel::server_like()) {
+  SPEEDQM_REQUIRE(pool_ != nullptr, "AdmissionController: null pool");
+  SPEEDQM_REQUIRE(budget_ > 0, "AdmissionController: non-positive budget");
+}
+
+MixFeasibilityReport AdmissionController::evaluate(
+    const std::vector<std::size_t>& members) const {
+  const MemberControllers controllers =
+      build_member_controllers(*pool_, members, budget_, overhead_);
+  return analyze_mix_feasibility(controllers.engine_ptrs());
+}
+
+AdmissionDecision AdmissionController::admit(
+    std::size_t task, const std::vector<std::vector<std::size_t>>& shard_members,
+    std::size_t cycle) const {
+  SPEEDQM_REQUIRE(task < pool_->size(), "AdmissionController: task outside pool");
+  AdmissionDecision decision;
+  decision.task = task;
+  decision.cycle = cycle;
+
+  bool any = false;
+  TimeNs best_any = 0;        // best slack across all shards (for the log)
+  std::size_t best_any_shard = 0;
+  bool have_fit = false;
+  TimeNs best_fit = 0;        // smallest feasible slack (best fit)
+  std::size_t best_fit_shard = 0;
+
+  for (std::size_t shard = 0; shard < shard_members.size(); ++shard) {
+    std::vector<std::size_t> candidate = shard_members[shard];
+    candidate.push_back(task);
+    const MixFeasibilityReport report = evaluate(candidate);
+    if (!any || report.min_qmin_slack > best_any) {
+      any = true;
+      best_any = report.min_qmin_slack;
+      best_any_shard = shard;
+    }
+    const bool better =
+        policy_ == PlacementPolicy::kBestFit
+            ? report.min_qmin_slack < best_fit
+            : report.min_qmin_slack > best_fit;
+    if (report.feasible && (!have_fit || better)) {
+      have_fit = true;
+      best_fit = report.min_qmin_slack;
+      best_fit_shard = shard;
+    }
+  }
+  SPEEDQM_REQUIRE(any, "AdmissionController: no shards to evaluate");
+
+  if (have_fit) {
+    decision.admitted = true;
+    decision.shard = best_fit_shard;
+    decision.slack = best_fit;
+    decision.reason = "admitted to shard " + std::to_string(best_fit_shard) +
+                      " (" + to_string(policy_) + " slack " +
+                      format_time(best_fit) + ")";
+  } else {
+    decision.admitted = false;
+    decision.shard = best_any_shard;
+    decision.slack = best_any;
+    decision.reason = "rejected: every shard would go infeasible (best slack " +
+                      format_time(best_any) + " on shard " +
+                      std::to_string(best_any_shard) + ")";
+  }
+  return decision;
+}
+
+}  // namespace speedqm

@@ -1,0 +1,82 @@
+// Admission control for sharded serving.
+//
+// A shard's cycle budget (its capacity) is fixed at serving start; a task
+// asking to join consumes capacity indirectly, by thickening every
+// member's coexistence margin (workload/scenarios.hpp,
+// inflate_for_coexistence). The admission question is therefore exactly
+// the paper's feasibility precondition, asked per shard over the would-be
+// member set: with the newcomer's margins folded in, does every member
+// (and the newcomer) still satisfy tD(0, qmin) >= 0 against the shard's
+// budget?
+//
+// Placement evaluates every shard and picks among the feasible ones by
+// policy (ties to the lowest shard index):
+//   * kBestFit   — the shard where the resulting mix retains the LEAST
+//                  slack: packing tight shards tighter keeps loose shards
+//                  open for large future arrivals (bin-packing shape);
+//   * kMostSlack — the shard retaining the MOST slack (worst-fit): the
+//                  serving-throughput choice, spreading load so no shard
+//                  becomes the straggler that bounds the worker pool.
+// Evaluation builds controller views only (build_member_controllers — no
+// schedule composition, no trace-cursor access), runs on the control
+// thread, and depends only on pool contents and current memberships, so
+// admission decisions are deterministic and identical for any
+// worker-thread count.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/feasibility.hpp"
+#include "workload/scenarios.hpp"
+
+namespace speedqm {
+
+/// One evaluated join request.
+struct AdmissionDecision {
+  std::size_t task = 0;       ///< pool task id
+  std::size_t cycle = 0;      ///< serving cycle at which it was evaluated
+  bool admitted = false;
+  std::size_t shard = 0;      ///< placement (valid when admitted)
+  /// min qmin slack of the placed shard's would-be mix (admitted), or the
+  /// best slack any shard could offer (rejected; negative).
+  TimeNs slack = 0;
+  std::string reason;         ///< human-readable verdict for logs
+};
+
+enum class PlacementPolicy {
+  kBestFit,    ///< feasible shard with the least resulting slack
+  kMostSlack,  ///< feasible shard with the most resulting slack (balance)
+};
+
+const char* to_string(PlacementPolicy policy);
+
+class AdmissionController {
+ public:
+  /// `budget` is the per-shard cycle capacity every evaluation is made
+  /// against.
+  AdmissionController(std::shared_ptr<TaskPool> pool, TimeNs budget,
+                      PlacementPolicy policy = PlacementPolicy::kBestFit);
+
+  TimeNs budget() const { return budget_; }
+  PlacementPolicy policy() const { return policy_; }
+
+  /// Feasibility of a hypothetical member set on one shard.
+  MixFeasibilityReport evaluate(const std::vector<std::size_t>& members) const;
+
+  /// Evaluates joining `task` to each of `shard_members` and picks the
+  /// best-fit feasible shard. Does not mutate the memberships; the caller
+  /// applies the placement.
+  AdmissionDecision admit(std::size_t task,
+                          const std::vector<std::vector<std::size_t>>& shard_members,
+                          std::size_t cycle) const;
+
+ private:
+  std::shared_ptr<TaskPool> pool_;
+  TimeNs budget_;
+  PlacementPolicy policy_;
+  OverheadModel overhead_;
+};
+
+}  // namespace speedqm

@@ -1,0 +1,71 @@
+#include "serve/async_manager.hpp"
+
+namespace speedqm {
+
+AsyncBatchMultiTaskManager::AsyncBatchMultiTaskManager(
+    const ComposedSystem& system, std::vector<const PolicyEngine*> engines,
+    BatchDecisionEngine::Mode mode)
+    : MultiTaskEpochManager(system),
+      num_tasks_(engines.size()),
+      mode_(mode),
+      exchange_(engines.size()) {
+  manager_thread_ = std::thread(&AsyncBatchMultiTaskManager::manager_main,
+                                this, std::move(engines));
+  // Wait for the manager thread to finish building the engine (the tabled
+  // arena compile) so the stats accessors are valid once we return.
+  while (!ready_.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+}
+
+AsyncBatchMultiTaskManager::~AsyncBatchMultiTaskManager() {
+  exchange_.post_command(DecisionExchange::Command::kStop);
+  exchange_.await_reply(nullptr);
+  manager_thread_.join();
+}
+
+std::string AsyncBatchMultiTaskManager::name() const {
+  return mode_ == BatchDecisionEngine::Mode::kTabled
+             ? "async-batch-multitask-tabled"
+             : "async-batch-multitask-incremental";
+}
+
+std::uint64_t AsyncBatchMultiTaskManager::refresh(const StateIndex* states,
+                                                  TimeNs t, Decision* out) {
+  exchange_.post_decide(states, t);
+  return exchange_.await_reply(out);
+}
+
+void AsyncBatchMultiTaskManager::reset_engines() {
+  exchange_.post_command(DecisionExchange::Command::kReset);
+  exchange_.await_reply(nullptr);
+}
+
+void AsyncBatchMultiTaskManager::manager_main(
+    std::vector<const PolicyEngine*> engines) {
+  // The engine lives and dies on this thread; every probe it ever makes
+  // happens here, off the action thread.
+  BatchDecisionEngine engine(std::move(engines), mode_);
+  memory_bytes_ = engine.memory_bytes();
+  table_integers_ = engine.num_table_integers();
+  ready_.store(true, std::memory_order_release);
+
+  const auto serve = [&engine](DecisionExchange::Command command,
+                               const StateIndex* states, TimeNs t,
+                               Decision* out, std::uint64_t* ops) {
+    switch (command) {
+      case DecisionExchange::Command::kDecide:
+        *ops = engine.decide_all(states, t, out);
+        break;
+      case DecisionExchange::Command::kReset:
+        engine.reset();
+        break;
+      case DecisionExchange::Command::kStop:
+        break;
+    }
+  };
+  while (exchange_.serve_next(serve)) {
+  }
+}
+
+}  // namespace speedqm

@@ -1,0 +1,65 @@
+// Async manager invocation: the epoch protocol with every engine call
+// served off the action thread.
+//
+// BatchMultiTaskManager runs its BatchDecisionEngine sweep inline on the
+// executor ("action") thread. AsyncBatchMultiTaskManager moves the engine
+// — construction, every decide_all sweep, every per-cycle reset — onto a
+// dedicated manager thread and connects the two through a DecisionExchange
+// (serve/decision_exchange.hpp). Executor steps that consume cached epoch
+// decisions never touch the exchange at all; only the one step per
+// interleave round that refreshes the epoch synchronizes, and then only on
+// its own data dependency (the executor cannot pick the next action's
+// quality before the decision exists).
+//
+// Decisions are bit-identical to the synchronous manager: the manager
+// thread runs the identical BatchDecisionEngine over the identical request
+// stream, and the exchange transports the results untransformed. The
+// differential tests pin this; it is what makes the async path safe to
+// enable per shard in serve/ShardedServer.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/batch_engine.hpp"
+#include "serve/decision_exchange.hpp"
+
+namespace speedqm {
+
+class AsyncBatchMultiTaskManager final : public MultiTaskEpochManager {
+ public:
+  /// Engine construction (table compiles in tabled mode) happens on the
+  /// spawned manager thread; the constructor returns once the thread is
+  /// ready to serve.
+  AsyncBatchMultiTaskManager(const ComposedSystem& system,
+                             std::vector<const PolicyEngine*> engines,
+                             BatchDecisionEngine::Mode mode =
+                                 BatchDecisionEngine::Mode::kTabled);
+  ~AsyncBatchMultiTaskManager() override;
+
+  std::string name() const override;
+  std::size_t memory_bytes() const override { return memory_bytes_; }
+  std::size_t num_table_integers() const override { return table_integers_; }
+
+ protected:
+  std::uint64_t refresh(const StateIndex* states, TimeNs t,
+                        Decision* out) override;
+  void reset_engines() override;
+
+ private:
+  void manager_main(std::vector<const PolicyEngine*> engines);
+
+  std::size_t num_tasks_;
+  BatchDecisionEngine::Mode mode_;
+  DecisionExchange exchange_;
+  // Engine stats, captured once at startup so the accessors need not cross
+  // the exchange (the engine itself lives on the manager thread's stack).
+  std::size_t memory_bytes_ = 0;
+  std::size_t table_integers_ = 0;
+  std::atomic<bool> ready_{false};
+  std::thread manager_thread_;
+};
+
+}  // namespace speedqm

@@ -1,0 +1,145 @@
+// Double-buffered SPSC decision exchange between a shard's action thread
+// and its manager thread.
+//
+// The action thread (the executor loop) and the manager thread (which owns
+// the BatchDecisionEngine) communicate through two alternating slots. Each
+// slot carries one epoch request (every unfinished task's state plus the
+// shared observed time, or a control command) and its reply (per-task
+// decisions plus the summed op count). Alternation means the action thread
+// can begin writing request k+1 into the idle slot while the manager still
+// holds slot k's reply — consecutive exchanges never contend on the same
+// cache lines, and the structure supports one-deep pipelining if a future
+// protocol wants to decide ahead.
+//
+// Synchronization is a per-slot phase word (kEmpty -> kRequested -> kDone
+// -> kEmpty) with release/acquire ordering on the payload; waits spin
+// briefly and then yield, so the exchange also behaves on machines with
+// fewer cores than threads. Decisions that cross the exchange are the
+// engine's own output, bit for bit — the exchange moves them between
+// threads but never transforms them, which is what keeps the async serving
+// path differentially testable against the synchronous one.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/types.hpp"
+#include "support/contract.hpp"
+
+namespace speedqm {
+
+class DecisionExchange {
+ public:
+  enum class Command : std::uint8_t {
+    kDecide,  ///< answer decide_all(states, t)
+    kReset,   ///< re-arm the engine for a new cycle (reply is empty)
+    kStop,    ///< manager thread exits after acknowledging
+  };
+
+  explicit DecisionExchange(std::size_t num_tasks) {
+    for (Slot& slot : slots_) {
+      slot.states.resize(num_tasks);
+      slot.out.resize(num_tasks);
+    }
+  }
+
+  DecisionExchange(const DecisionExchange&) = delete;
+  DecisionExchange& operator=(const DecisionExchange&) = delete;
+
+  // --- Action-thread side -------------------------------------------------
+
+  /// Posts a decide request. `states` must hold num_tasks entries.
+  void post_decide(const StateIndex* states, TimeNs t) {
+    Slot& slot = producer_slot();
+    SPEEDQM_ASSERT(slot.phase.load(std::memory_order_acquire) == kEmpty,
+                   "DecisionExchange: request posted onto a busy slot");
+    std::copy(states, states + slot.states.size(), slot.states.begin());
+    slot.t = t;
+    slot.command = Command::kDecide;
+    slot.phase.store(kRequested, std::memory_order_release);
+  }
+
+  /// Posts a control command (kReset / kStop).
+  void post_command(Command command) {
+    Slot& slot = producer_slot();
+    SPEEDQM_ASSERT(slot.phase.load(std::memory_order_acquire) == kEmpty,
+                   "DecisionExchange: command posted onto a busy slot");
+    slot.command = command;
+    slot.phase.store(kRequested, std::memory_order_release);
+  }
+
+  /// Waits for the oldest outstanding request's reply; copies the per-task
+  /// decisions to `out` (when non-null) and returns the summed ops.
+  std::uint64_t await_reply(Decision* out) {
+    Slot& slot = slots_[await_ & 1];
+    ++await_;
+    spin_until(slot.phase, kDone);
+    std::uint64_t ops = slot.ops;
+    if (out != nullptr) {
+      std::copy(slot.out.begin(), slot.out.end(), out);
+    }
+    slot.phase.store(kEmpty, std::memory_order_release);
+    return ops;
+  }
+
+  // --- Manager-thread side ------------------------------------------------
+
+  /// Blocks for the next request and invokes `serve(command, states, t,
+  /// out, &ops)`; the callback fills out/ops for kDecide and is free to
+  /// ignore them for control commands. Returns false once kStop was
+  /// served (the thread should exit).
+  template <typename ServeFn>
+  bool serve_next(ServeFn&& serve) {
+    Slot& slot = slots_[served_ & 1];
+    ++served_;
+    spin_until(slot.phase, kRequested);
+    const Command command = slot.command;
+    slot.ops = 0;
+    serve(command, slot.states.data(), slot.t, slot.out.data(), &slot.ops);
+    slot.phase.store(kDone, std::memory_order_release);
+    return command != Command::kStop;
+  }
+
+ private:
+  static constexpr std::uint32_t kEmpty = 0;
+  static constexpr std::uint32_t kRequested = 1;
+  static constexpr std::uint32_t kDone = 2;
+
+  struct alignas(64) Slot {
+    std::atomic<std::uint32_t> phase{kEmpty};
+    Command command = Command::kDecide;
+    TimeNs t = 0;
+    std::uint64_t ops = 0;
+    std::vector<StateIndex> states;
+    std::vector<Decision> out;
+  };
+
+  Slot& producer_slot() { return slots_[posted_++ & 1]; }
+
+  static void spin_until(const std::atomic<std::uint32_t>& phase,
+                         std::uint32_t want) {
+    // Short spin for the cross-core fast path, then yield so oversubscribed
+    // machines (manager + action thread on one core) still make progress.
+    // The counter saturates: an arbitrarily long stall must not overflow it.
+    int spins = 0;
+    while (phase.load(std::memory_order_acquire) != want) {
+      if (spins < 256) {
+        ++spins;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  Slot slots_[2];
+  // Monotone slot cursors; producer-side (posted_/await_) and
+  // consumer-side (served_) counters are each touched by one thread only.
+  std::uint64_t posted_ = 0;
+  std::uint64_t await_ = 0;
+  std::uint64_t served_ = 0;
+};
+
+}  // namespace speedqm

@@ -1,0 +1,97 @@
+#include "serve/serving_summary.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/time.hpp"
+
+namespace speedqm {
+
+ServingSummary fold_serving_summary(std::vector<ShardReport> shards,
+                                    std::vector<AdmissionDecision> admissions,
+                                    std::size_t leaves) {
+  ServingSummary s;
+  s.shards = std::move(shards);
+  s.admissions = std::move(admissions);
+  s.leaves = leaves;
+  for (const AdmissionDecision& a : s.admissions) {
+    if (a.admitted) {
+      ++s.admitted;
+    } else {
+      ++s.rejected;
+    }
+  }
+
+  // Shard-order fold with fixed arithmetic: bit-deterministic regardless
+  // of how worker threads interleaved while the shards ran.
+  double quality_sum = 0;
+  TimeNs max_clock = 0;
+  for (const ShardReport& shard : s.shards) {
+    s.total_steps += shard.summary.total_steps;
+    s.total_ops += shard.summary.total_ops;
+    s.manager_calls += shard.summary.manager_calls;
+    s.deadline_misses += shard.summary.deadline_misses;
+    s.infeasible += shard.summary.infeasible;
+    quality_sum += shard.summary.mean_quality *
+                   static_cast<double>(shard.summary.total_steps);
+    max_clock = std::max(max_clock, shard.clock);
+  }
+  if (s.total_steps > 0) {
+    s.mean_quality = quality_sum / static_cast<double>(s.total_steps);
+  }
+  s.max_clock_s = to_sec(max_clock);
+  return s;
+}
+
+std::string ServingSummary::render() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "shards         : %zu\n", shards.size());
+  out += line;
+  for (const ShardReport& shard : shards) {
+    std::string members_str;
+    for (const std::size_t m : shard.members) {
+      if (!members_str.empty()) members_str += ",";
+      members_str += std::to_string(m);
+    }
+    std::snprintf(line, sizeof(line),
+                  "  shard %zu: %zu tasks {%s} | steps %zu | mean q %.3f | "
+                  "misses %zu | epochs %zu | rebuilds %zu | clock %.3f s\n",
+                  shard.shard, shard.members.size(), members_str.c_str(),
+                  shard.summary.total_steps, shard.summary.mean_quality,
+                  shard.summary.deadline_misses, shard.epochs, shard.rebuilds,
+                  to_sec(shard.clock));
+    out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "admissions     : %zu admitted, %zu rejected, %zu leaves\n",
+                admitted, rejected, leaves);
+  out += line;
+  for (const AdmissionDecision& a : admissions) {
+    std::snprintf(line, sizeof(line), "  cycle %4zu task %2zu: %s\n", a.cycle,
+                  a.task, a.reason.c_str());
+    out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "total steps    : %zu (%llu decision ops, %zu manager calls)\n",
+                total_steps, static_cast<unsigned long long>(total_ops),
+                manager_calls);
+  out += line;
+  std::snprintf(line, sizeof(line), "mean quality   : %.3f\n", mean_quality);
+  out += line;
+  std::snprintf(line, sizeof(line), "deadline misses: %zu (%zu infeasible)\n",
+                deadline_misses, infeasible);
+  out += line;
+  std::snprintf(line, sizeof(line), "sim makespan   : %.3f s\n", max_clock_s);
+  out += line;
+  if (wall_seconds > 0) {
+    std::snprintf(line, sizeof(line),
+                  "wall time      : %.3f s (%.1f M steps/s)\n", wall_seconds,
+                  steps_per_second * 1e-6);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace speedqm

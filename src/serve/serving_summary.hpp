@@ -1,0 +1,65 @@
+// Serving-level reporting: the fold of per-shard run summaries.
+//
+// Every shard folds its own cycles through a RunSummaryAccumulator on its
+// worker thread; at the end of a serving run the per-shard summaries are
+// combined into ONE serving-level report. The fold iterates shards in
+// shard-index order and combines with fixed-order arithmetic, so the
+// serving summary is bit-deterministic for a given set of shard reports
+// regardless of how worker threads interleaved during the run — the only
+// nondeterministic fields are the wall-clock ones, which are explicitly
+// measured (wall_seconds, steps_per_second) and excluded from the
+// differential tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/admission.hpp"
+#include "sim/metrics.hpp"
+
+namespace speedqm {
+
+/// One shard's contribution to the serving report.
+struct ShardReport {
+  std::size_t shard = 0;
+  std::vector<std::size_t> members;  ///< final membership (pool task ids)
+  RunSummary summary;                ///< folded over all the shard's segments
+  TimeNs clock = 0;                  ///< shard platform clock at the end
+  std::size_t epochs = 0;            ///< composite decision points taken
+  std::size_t rebuilds = 0;          ///< membership reconfigurations applied
+};
+
+/// The combined serving-level report.
+struct ServingSummary {
+  std::vector<ShardReport> shards;            ///< in shard-index order
+  std::vector<AdmissionDecision> admissions;  ///< joins, in evaluation order
+  std::size_t admitted = 0;
+  std::size_t rejected = 0;
+  std::size_t leaves = 0;
+
+  // Deterministic folds (shard order, fixed arithmetic).
+  std::size_t total_steps = 0;
+  std::uint64_t total_ops = 0;
+  std::size_t manager_calls = 0;
+  std::size_t deadline_misses = 0;
+  std::size_t infeasible = 0;
+  double mean_quality = 0;   ///< step-weighted across shards
+  double max_clock_s = 0;    ///< serving makespan in simulated platform time
+
+  // Measured host-side quantities (NOT deterministic; never differential).
+  double wall_seconds = 0;
+  double steps_per_second = 0;
+
+  /// Multi-line human-readable report (the tool's output body).
+  std::string render() const;
+};
+
+/// Folds shard reports (already in shard order) and the admission log into
+/// one summary. Deterministic: no reading of clocks, no dependence on
+/// thread interleaving.
+ServingSummary fold_serving_summary(std::vector<ShardReport> shards,
+                                    std::vector<AdmissionDecision> admissions,
+                                    std::size_t leaves);
+
+}  // namespace speedqm

@@ -1,0 +1,220 @@
+#include "serve/sharded_server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "serve/async_manager.hpp"
+#include "sim/executor.hpp"
+#include "support/contract.hpp"
+
+namespace speedqm {
+
+namespace {
+
+std::vector<std::size_t> full_pool_members(std::size_t count) {
+  std::vector<std::size_t> members(count);
+  for (std::size_t i = 0; i < count; ++i) members[i] = i;
+  return members;
+}
+
+}  // namespace
+
+ShardedServer::ShardedServer(const ShardedServerSpec& spec,
+                             ArrivalSchedule schedule)
+    : spec_(spec), schedule_(std::move(schedule)) {
+  SPEEDQM_REQUIRE(spec.num_shards >= 1, "ShardedServer: need >= 1 shard");
+  SPEEDQM_REQUIRE(spec.cycles >= 1, "ShardedServer: need >= 1 cycle");
+  pool_ = std::make_shared<TaskPool>(spec.mix);
+  if (spec_.initial_tasks == static_cast<std::size_t>(-1) ||
+      spec_.initial_tasks > pool_->size()) {
+    spec_.initial_tasks = pool_->size();
+  }
+
+  // Fixed per-shard capacity: the pool's full-mix budget split S ways.
+  // S = 1 reproduces MultiTaskMix(spec)'s budget bit for bit, which is
+  // what makes the degenerate differential exact.
+  shard_budget_ =
+      pool_->budget_for(full_pool_members(pool_->size())) /
+      static_cast<TimeNs>(spec.num_shards);
+  admission_ = std::make_unique<AdmissionController>(pool_, shard_budget_,
+                                                     spec.placement);
+  shards_.resize(spec.num_shards);
+}
+
+ShardedServer::~ShardedServer() = default;
+
+void ShardedServer::rebuild_shard(Shard& shard) {
+  shard.epochs += shard.manager ? shard.manager->epochs() : 0;
+  shard.manager.reset();
+  shard.mix.reset();
+  if (!shard.members.empty()) {
+    shard.mix = std::make_unique<MultiTaskMix>(pool_, shard.members,
+                                               shard_budget_);
+    if (spec_.async_manager) {
+      shard.manager = std::make_unique<AsyncBatchMultiTaskManager>(
+          shard.mix->composed(), shard.mix->engines(), spec_.mode);
+    } else {
+      shard.manager = std::make_unique<BatchMultiTaskManager>(
+          shard.mix->composed(), shard.mix->engines(), spec_.mode);
+    }
+    ++shard.rebuilds;
+  }
+  shard.dirty = false;
+}
+
+void ShardedServer::place_initial_tasks() {
+  std::vector<std::vector<std::size_t>> memberships(shards_.size());
+  for (std::size_t task = 0; task < spec_.initial_tasks; ++task) {
+    AdmissionDecision decision = admission_->admit(task, memberships, 0);
+    if (decision.admitted) {
+      memberships[decision.shard].push_back(task);
+    }
+    admissions_.push_back(std::move(decision));
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s].members = std::move(memberships[s]);
+    shards_[s].acc = std::make_unique<RunSummaryAccumulator>(
+        "shard-" + std::to_string(s));
+    shards_[s].dirty = true;
+  }
+}
+
+void ShardedServer::apply_events(std::size_t cycle) {
+  for (const ArrivalEvent& event : schedule_.events_at(cycle)) {
+    if (!event.join) {
+      for (Shard& shard : shards_) {
+        auto it = std::find(shard.members.begin(), shard.members.end(),
+                            event.task);
+        if (it != shard.members.end()) {
+          shard.members.erase(it);
+          shard.dirty = true;
+          ++leaves_;
+          break;
+        }
+      }
+      continue;
+    }
+    std::vector<std::vector<std::size_t>> memberships;
+    memberships.reserve(shards_.size());
+    for (const Shard& shard : shards_) memberships.push_back(shard.members);
+    AdmissionDecision decision = admission_->admit(event.task, memberships,
+                                                   cycle);
+    if (decision.admitted) {
+      shards_[decision.shard].members.push_back(event.task);
+      shards_[decision.shard].dirty = true;
+    }
+    admissions_.push_back(std::move(decision));
+  }
+}
+
+void ShardedServer::run_shard_segment(Shard& shard, std::size_t start_cycle,
+                                      std::size_t cycles) {
+  if (!shard.mix) return;  // empty shard idles through the segment
+  ExecutorOptions opts = shard.mix->executor_options(cycles);
+  opts.retain_steps = false;
+  opts.retain_cycles = false;
+  opts.sink = shard.acc.get();
+  opts.start_cycle = start_cycle;
+  opts.start_time = shard.clock;
+  const RunResult run = run_cyclic(shard.mix->composed().app(), *shard.manager,
+                                   shard.mix->source(), opts);
+  shard.clock = run.total_time;
+}
+
+void ShardedServer::run_segment(std::size_t start_cycle, std::size_t cycles) {
+  for (Shard& shard : shards_) {
+    if (shard.dirty) rebuild_shard(shard);
+  }
+  const std::size_t workers =
+      std::max<std::size_t>(1, std::min(spec_.num_workers == 0
+                                            ? shards_.size()
+                                            : spec_.num_workers,
+                                        shards_.size()));
+  if (workers == 1) {
+    for (Shard& shard : shards_) run_shard_segment(shard, start_cycle, cycles);
+    return;
+  }
+
+  // Static stride assignment: worker w owns shards w, w+W, ... — no shared
+  // mutable state between workers, so the partition cannot affect results,
+  // only wall time.
+  std::vector<std::thread> threads;
+  std::exception_ptr failure;
+  std::mutex failure_mutex;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([this, w, workers, start_cycle, cycles,
+                          &failure, &failure_mutex] {
+      try {
+        for (std::size_t s = w; s < shards_.size(); s += workers) {
+          run_shard_segment(shards_[s], start_cycle, cycles);
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(failure_mutex);
+        if (!failure) failure = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  if (failure) std::rethrow_exception(failure);
+}
+
+ServingSummary ShardedServer::serve() {
+  SPEEDQM_REQUIRE(!served_, "ShardedServer: serve() is one-shot");
+  served_ = true;
+
+  place_initial_tasks();
+  // Hand-written schedules may carry cycle-0 events (generated ones start
+  // at cycle 1); they apply right after initial placement. Events at or
+  // beyond the horizon never fire.
+  apply_events(0);
+  // Wall clock covers serving (segments + mid-run reconfiguration), not
+  // pool construction or initial placement: steps_per_second is the
+  // data-plane throughput the scaling bench gates.
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  // Segment boundaries: every distinct event cycle inside the horizon.
+  std::vector<std::size_t> boundaries;
+  for (const std::size_t cycle : schedule_.boundaries()) {
+    if (cycle > 0 && cycle < spec_.cycles) boundaries.push_back(cycle);
+  }
+  std::size_t cursor = 0;
+  for (const std::size_t boundary : boundaries) {
+    run_segment(cursor, boundary - cursor);
+    apply_events(boundary);
+    cursor = boundary;
+  }
+  run_segment(cursor, spec_.cycles - cursor);
+
+  const double wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
+
+  std::vector<ShardReport> reports;
+  reports.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = shards_[s];
+    ShardReport report;
+    report.shard = s;
+    report.members = shard.members;
+    report.summary = shard.acc->finish();
+    report.clock = shard.clock;
+    report.epochs = shard.epochs + (shard.manager ? shard.manager->epochs() : 0);
+    report.rebuilds = shard.rebuilds;
+    reports.push_back(std::move(report));
+  }
+  ServingSummary summary =
+      fold_serving_summary(std::move(reports), admissions_, leaves_);
+  summary.wall_seconds = wall_seconds;
+  if (wall_seconds > 0) {
+    summary.steps_per_second =
+        static_cast<double>(summary.total_steps) / wall_seconds;
+  }
+  return summary;
+}
+
+}  // namespace speedqm

@@ -1,0 +1,116 @@
+// Sharded multi-clock serving: S independent shards, each with its own
+// platform clock, batched decision engine and streaming executor, driven
+// by a worker pool, fed by admission control.
+//
+// Scale-out shape (the II-CC-FF "shard -> combine" paradigm): the task
+// pool is partitioned across shards; each shard composes ITS members into
+// one interleaved schedule, decides them with one BatchDecisionEngine (or
+// its async twin — serve/async_manager.hpp — whose engine runs on a
+// dedicated manager thread), executes cycles against its own platform
+// clock, and folds its steps through a private RunSummaryAccumulator.
+// Shards share nothing mutable: the TaskPool invariant (a task belongs to
+// at most one shard) keeps trace cursors single-owner, so S shards on W
+// worker threads run with zero cross-shard synchronization between
+// segment barriers. Per-shard results are combined into one
+// bit-deterministic ServingSummary at the end (serve/serving_summary.hpp).
+//
+// Dynamics: an ArrivalSchedule (workload/arrivals.hpp) splits the serving
+// horizon into segments. Between segments — on the control thread, never
+// concurrently with shard execution — leaves are applied and join requests
+// are evaluated by the AdmissionController (best-fit across shards,
+// feasibility via the coexistence-margin model). Affected shards rebuild
+// their composition and resume from their own clock via the executor's
+// start_cycle/start_time hand-off. Because admission runs only at these
+// barriers and reads only pool + membership state, its decisions are
+// identical for ANY worker count — 1 worker and N workers produce the
+// same AdmissionDecision log bit for bit (bench- and test-gated).
+//
+// Degenerate case: S = 1 with no arrivals runs the whole pool through one
+// shard — bit-identical to BatchMultiTaskManager over MultiTaskMix, the
+// differential the tests pin.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/batch_engine.hpp"
+#include "serve/admission.hpp"
+#include "serve/serving_summary.hpp"
+#include "sim/metrics.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/scenarios.hpp"
+
+namespace speedqm {
+
+struct ShardedServerSpec {
+  /// Defines the task pool (num_tasks, seeds, margins, budget factor).
+  MultiTaskMixSpec mix;
+  std::size_t num_shards = 4;
+  /// Worker threads driving shard segments. 0 = one per shard. Affects
+  /// wall-clock only, never results (gated).
+  std::size_t num_workers = 0;
+  /// Serving horizon: cycles each shard executes.
+  std::size_t cycles = 64;
+  /// Route every shard's engine through a manager thread + decision
+  /// exchange instead of deciding inline on the action thread.
+  bool async_manager = false;
+  BatchDecisionEngine::Mode mode = BatchDecisionEngine::Mode::kTabled;
+  /// Placement policy for join requests: best-fit packs, most-slack
+  /// balances (the serving-throughput choice — see serve/admission.hpp).
+  PlacementPolicy placement = PlacementPolicy::kBestFit;
+  /// Pool tasks 0..initial_tasks-1 are submitted at cycle 0 (through
+  /// admission, in pool order). Defaults to the whole pool.
+  std::size_t initial_tasks = static_cast<std::size_t>(-1);
+};
+
+class ShardedServer {
+ public:
+  explicit ShardedServer(const ShardedServerSpec& spec,
+                         ArrivalSchedule schedule = {});
+  ~ShardedServer();
+
+  /// Per-shard cycle capacity: the full pool's shared budget divided by S
+  /// (so S = 1 reproduces the single-mix budget exactly).
+  TimeNs shard_budget() const { return shard_budget_; }
+  std::size_t num_shards() const { return shards_.size(); }
+  const TaskPool& pool() const { return *pool_; }
+
+  /// Runs the serving horizon: initial placement, segment execution across
+  /// the worker pool, arrival/leave processing at segment boundaries, and
+  /// the final fold. One-shot: a server instance serves once.
+  ServingSummary serve();
+
+ private:
+  struct Shard {
+    std::vector<std::size_t> members;
+    std::unique_ptr<MultiTaskMix> mix;              // null while empty
+    std::unique_ptr<MultiTaskEpochManager> manager;
+    std::unique_ptr<RunSummaryAccumulator> acc;
+    TimeNs clock = 0;
+    std::size_t epochs = 0;    ///< accumulated across rebuilds
+    std::size_t rebuilds = 0;
+    bool dirty = false;        ///< membership changed; rebuild before running
+  };
+
+  void place_initial_tasks();
+  void apply_events(std::size_t cycle);
+  void rebuild_shard(Shard& shard);
+  /// Runs [start_cycle, start_cycle + cycles) on every non-empty shard
+  /// using the worker pool; rethrows the first worker exception.
+  void run_segment(std::size_t start_cycle, std::size_t cycles);
+  void run_shard_segment(Shard& shard, std::size_t start_cycle,
+                         std::size_t cycles);
+
+  ShardedServerSpec spec_;
+  ArrivalSchedule schedule_;
+  std::shared_ptr<TaskPool> pool_;
+  TimeNs shard_budget_ = 0;
+  std::unique_ptr<AdmissionController> admission_;
+  std::vector<Shard> shards_;
+  std::vector<AdmissionDecision> admissions_;
+  std::size_t leaves_ = 0;
+  bool served_ = false;
+};
+
+}  // namespace speedqm

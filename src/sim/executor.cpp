@@ -35,13 +35,17 @@ RunResult run_cyclic(const ScheduledApp& app, QualityManager& manager,
   const TimeNs period = opts.period > 0 ? opts.period : app.final_deadline();
   SPEEDQM_REQUIRE(period > 0, "run_cyclic: non-positive cycle period");
 
+  SPEEDQM_REQUIRE(opts.start_time >= 0, "run_cyclic: negative start time");
+
   RunResult result;
   if (opts.retain_steps) result.steps.reserve(opts.cycles * n);
   if (opts.retain_cycles) result.cycles.reserve(opts.cycles);
 
-  TimeNs t_abs = 0;  // absolute platform time
+  TimeNs t_abs = opts.start_time;  // absolute platform time
+  bool stop = false;               // sink-requested early termination
 
-  for (std::size_t cycle = 0; cycle < opts.cycles; ++cycle) {
+  for (std::size_t k = 0; k < opts.cycles && !stop; ++k) {
+    const std::size_t cycle = opts.start_cycle + k;
     source.set_cycle(cycle % source.num_cycles());
     manager.reset();
 
@@ -102,14 +106,25 @@ RunResult run_cyclic(const ScheduledApp& app, QualityManager& manager,
       }
       ++result.total_steps;
       result.quality_sum += static_cast<double>(active_quality);
+      result.total_ops += step.ops;
       if (opts.retain_steps) result.steps.push_back(step);
-      if (opts.sink) opts.sink->on_step(step);
+      if (opts.sink) {
+        opts.sink->on_step(step);
+        if (opts.sink->want_stop()) {
+          stop = true;
+          break;
+        }
+      }
     }
 
-    cs.completion = t_abs;
-    cs.mean_quality = qsum / static_cast<double>(n);
-    if (opts.retain_cycles) result.cycles.push_back(cs);
-    if (opts.sink) opts.sink->on_cycle(cs);
+    // A stopped cycle is incomplete: no CycleStats are emitted or retained,
+    // but its partial sums still flow into the run totals below.
+    if (!stop) {
+      cs.completion = t_abs;
+      cs.mean_quality = qsum / static_cast<double>(n);
+      if (opts.retain_cycles) result.cycles.push_back(cs);
+      if (opts.sink) opts.sink->on_cycle(cs);
+    }
 
     result.total_action_time += cs.action_time;
     result.total_overhead_time += cs.overhead_time;

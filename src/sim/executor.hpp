@@ -54,6 +54,11 @@ class StepSink {
   virtual void on_step(const ExecStep& step) = 0;
   /// Called at the end of every cycle with its aggregate.
   virtual void on_cycle(const CycleStats& cycle) { (void)cycle; }
+  /// Polled after every on_step: return true to terminate the run early
+  /// (after the step just delivered). The in-progress cycle emits no
+  /// CycleStats — it did not complete — but every scalar aggregate of the
+  /// RunResult stays consistent with the steps actually executed.
+  virtual bool want_stop() const { return false; }
 };
 
 struct ExecutorOptions {
@@ -73,6 +78,15 @@ struct ExecutorOptions {
   /// Optional streaming observer; called for every step and cycle
   /// regardless of the retain flags.
   StepSink* sink = nullptr;
+  /// Resume hand-off (sharded serving runs one membership segment at a
+  /// time): the absolute index of the first cycle to execute and the
+  /// platform clock at its start. Cycle ids, milestone origins
+  /// (start_cycle * period under slack carry-over) and trace content
+  /// selection all use the absolute index, so a run split into segments
+  /// replays bit-identically to one unsplit run over the same manager
+  /// state. Defaults reproduce the historical from-zero behavior.
+  std::size_t start_cycle = 0;
+  TimeNs start_time = 0;
 };
 
 /// One executed action on the platform (extends the pure StepRecord with
@@ -108,6 +122,7 @@ struct RunResult {
   std::vector<CycleStats> cycles;     ///< per-cycle aggregates (empty when not retained)
   std::size_t total_steps = 0;        ///< executed actions (valid in streaming mode)
   double quality_sum = 0;             ///< summed per-step quality levels
+  std::uint64_t total_ops = 0;        ///< summed Decision.ops of manager calls
   TimeNs total_time = 0;              ///< absolute completion time
   TimeNs total_action_time = 0;
   TimeNs total_overhead_time = 0;

@@ -34,6 +34,7 @@ void RunSummaryAccumulator::on_step(const ExecStep& step) {
   overhead_time_ += step.overhead;
   if (step.manager_called) {
     ++manager_calls_;
+    ops_ += step.ops;
     if (!step.feasible) ++infeasible_;
     const auto r = static_cast<std::size_t>(step.relax_steps);
     if (r >= relax_histogram_.size()) relax_histogram_.resize(r + 1, 0);
@@ -54,6 +55,7 @@ RunSummary RunSummaryAccumulator::finish() const {
   s.manager_calls = manager_calls_;
   s.deadline_misses = deadline_misses_;
   s.infeasible = infeasible_;
+  s.total_ops = ops_;
   s.total_time_s = to_sec(completion_);
   s.relax_histogram = relax_histogram_;
 
@@ -97,6 +99,7 @@ RunSummary summarize_run(const std::string& manager_name, const RunResult& run) 
     s.mean_quality = run.mean_quality();
     s.manager_calls = run.total_manager_calls;
     s.infeasible = run.total_infeasible;
+    s.total_ops = run.total_ops;
     s.overhead_pct = 100.0 * run.overhead_fraction();
     s.mean_overhead_per_action_us = to_us(run.total_overhead_time) /
                                     static_cast<double>(run.total_steps);

@@ -28,6 +28,9 @@ struct RunSummary {
   std::size_t manager_calls = 0;
   std::size_t deadline_misses = 0;
   std::size_t infeasible = 0;
+  /// Summed Decision.ops over every manager call (deterministic for a
+  /// fixed seed, so serving benches can gate on it).
+  std::uint64_t total_ops = 0;
   double total_time_s = 0;
   SmoothnessReport smoothness;       ///< over the full quality sequence
   /// Decided relaxation depths: relax_histogram[r] = number of decisions
@@ -65,6 +68,7 @@ class RunSummaryAccumulator final : public StepSink {
   std::size_t steps_ = 0;
   std::size_t manager_calls_ = 0;
   std::size_t infeasible_ = 0;
+  std::uint64_t ops_ = 0;
   TimeNs action_time_ = 0;
   TimeNs overhead_time_ = 0;
   std::vector<std::size_t> relax_histogram_;

@@ -1,0 +1,139 @@
+#include "workload/arrivals.hpp"
+
+#include <algorithm>
+
+#include "support/contract.hpp"
+
+namespace speedqm {
+
+namespace {
+
+/// SplitMix64 step (same generator family as the TaskPool parameter draw).
+std::uint64_t mix_hash(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+ArrivalSchedule::ArrivalSchedule(std::vector<ArrivalEvent> events,
+                                 std::size_t pool_tasks,
+                                 std::size_t initial_tasks)
+    : events_(std::move(events)) {
+  SPEEDQM_REQUIRE(initial_tasks <= pool_tasks,
+                  "ArrivalSchedule: more initial tasks than the pool holds");
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const ArrivalEvent& a, const ArrivalEvent& b) {
+                     return a.cycle < b.cycle;
+                   });
+  // Replay the script against the initial membership to validate it.
+  std::vector<std::uint8_t> present(pool_tasks, 0);
+  for (std::size_t t = 0; t < initial_tasks; ++t) present[t] = 1;
+  for (const ArrivalEvent& e : events_) {
+    SPEEDQM_REQUIRE(e.task < pool_tasks,
+                    "ArrivalSchedule: event task outside the pool");
+    if (e.join) {
+      SPEEDQM_REQUIRE(!present[e.task],
+                      "ArrivalSchedule: join of an already-present task");
+      present[e.task] = 1;
+    } else {
+      SPEEDQM_REQUIRE(present[e.task],
+                      "ArrivalSchedule: leave of an absent task");
+      present[e.task] = 0;
+    }
+  }
+}
+
+std::vector<std::size_t> ArrivalSchedule::boundaries() const {
+  std::vector<std::size_t> cycles;
+  for (const ArrivalEvent& e : events_) {
+    if (cycles.empty() || cycles.back() != e.cycle) cycles.push_back(e.cycle);
+  }
+  return cycles;
+}
+
+std::vector<ArrivalEvent> ArrivalSchedule::events_at(std::size_t cycle) const {
+  std::vector<ArrivalEvent> out;
+  for (const ArrivalEvent& e : events_) {
+    if (e.cycle == cycle) out.push_back(e);
+  }
+  return out;
+}
+
+std::string ArrivalSchedule::describe() const {
+  std::string out;
+  for (const ArrivalEvent& e : events_) {
+    if (!out.empty()) out += ", ";
+    out += "c" + std::to_string(e.cycle) + (e.join ? "+" : "-") + "t" +
+           std::to_string(e.task);
+  }
+  return out.empty() ? "(none)" : out;
+}
+
+ArrivalSchedule make_arrival_schedule(std::size_t pool_tasks,
+                                      std::size_t initial_tasks,
+                                      std::size_t cycles,
+                                      std::size_t churn_events,
+                                      std::uint64_t seed) {
+  SPEEDQM_REQUIRE(initial_tasks <= pool_tasks,
+                  "make_arrival_schedule: more initial tasks than pool tasks");
+  SPEEDQM_REQUIRE(cycles >= 2 || churn_events == 0,
+                  "make_arrival_schedule: need >= 2 cycles to place events");
+  std::vector<ArrivalEvent> events;
+  std::vector<std::uint8_t> present(pool_tasks, 0);
+  for (std::size_t t = 0; t < initial_tasks; ++t) present[t] = 1;
+
+  // First wave: every initially-absent task joins once, at a cycle spread
+  // deterministically across the run.
+  std::uint64_t rng = seed;
+  for (std::size_t task = initial_tasks;
+       task < pool_tasks && events.size() < churn_events; ++task) {
+    ArrivalEvent e;
+    e.cycle = 1 + mix_hash(rng) % (cycles - 1);
+    e.task = task;
+    e.join = true;
+    present[task] = 1;
+    events.push_back(e);
+  }
+
+  // Churn: alternate leave/rejoin of random present/absent tasks. Leaves
+  // target the current present set; rejoins target the absent set. The
+  // replay below keeps the script valid by construction.
+  while (events.size() < churn_events) {
+    const bool leave = (mix_hash(rng) & 1) == 0;
+    std::vector<std::size_t> candidates;
+    for (std::size_t t = 0; t < pool_tasks; ++t) {
+      if (present[t] == (leave ? 1 : 0)) candidates.push_back(t);
+    }
+    if (candidates.empty()) break;
+    const std::size_t task = candidates[mix_hash(rng) % candidates.size()];
+    ArrivalEvent e;
+    e.cycle = 1 + mix_hash(rng) % (cycles - 1);
+    e.task = task;
+    e.join = !leave;
+    present[task] = e.join ? 1 : 0;
+    events.push_back(e);
+  }
+
+  // The generator toggled membership in script order, but events fire in
+  // cycle order — re-validate the cycle-sorted script and drop any event
+  // that became invalid under the sorted order (join while present etc.).
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ArrivalEvent& a, const ArrivalEvent& b) {
+                     return a.cycle < b.cycle;
+                   });
+  std::vector<std::uint8_t> replay(pool_tasks, 0);
+  for (std::size_t t = 0; t < initial_tasks; ++t) replay[t] = 1;
+  std::vector<ArrivalEvent> valid;
+  for (const ArrivalEvent& e : events) {
+    if (e.join == static_cast<bool>(replay[e.task])) continue;
+    replay[e.task] = e.join ? 1 : 0;
+    valid.push_back(e);
+  }
+  return ArrivalSchedule(std::move(valid), pool_tasks, initial_tasks);
+}
+
+}  // namespace speedqm

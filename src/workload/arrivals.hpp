@@ -1,0 +1,62 @@
+// Dynamic arrival scenarios: tasks joining and leaving a serving mix
+// mid-run.
+//
+// A serving deployment never sees a fixed task set: streams attach, run
+// for a while and detach. An ArrivalSchedule is the deterministic event
+// script of one such scenario — "at cycle c, pool task X asks to join" /
+// "at cycle c, pool task X leaves" — consumed by serve/ShardedServer at
+// segment boundaries (events only ever fire between cycles; a cycle is
+// never reconfigured mid-flight). Joins are *requests*: the admission
+// controller may reject them, and the schedule generator deliberately
+// oversubscribes so rejection paths are exercised.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace speedqm {
+
+struct ArrivalEvent {
+  std::size_t cycle = 0;  ///< fires before this cycle starts
+  std::size_t task = 0;   ///< TaskPool task id
+  bool join = true;       ///< false = leave
+};
+
+/// A validated event script: events sorted by cycle (stable within a
+/// cycle), every join targeting an absent task and every leave a present
+/// one, given `initial_tasks` tasks present at cycle 0.
+class ArrivalSchedule {
+ public:
+  ArrivalSchedule() = default;
+  /// Validates the invariants above; throws contract_error on violation.
+  ArrivalSchedule(std::vector<ArrivalEvent> events, std::size_t pool_tasks,
+                  std::size_t initial_tasks);
+
+  const std::vector<ArrivalEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  /// Distinct event cycles, ascending — the segment boundaries a serving
+  /// run splits at.
+  std::vector<std::size_t> boundaries() const;
+  /// All events firing before the given cycle starts, in script order.
+  std::vector<ArrivalEvent> events_at(std::size_t cycle) const;
+
+  std::string describe() const;
+
+ private:
+  std::vector<ArrivalEvent> events_;
+};
+
+/// Generates a deterministic churn scenario: pool tasks `initial_tasks..`
+/// join at spread-out cycles, and some initially-present tasks leave and
+/// possibly rejoin later. `churn_events` caps the total event count;
+/// events land strictly inside (0, cycles) so every serving run has a
+/// non-empty first and last segment.
+ArrivalSchedule make_arrival_schedule(std::size_t pool_tasks,
+                                      std::size_t initial_tasks,
+                                      std::size_t cycles,
+                                      std::size_t churn_events,
+                                      std::uint64_t seed);
+
+}  // namespace speedqm

@@ -106,22 +106,17 @@ std::unique_ptr<ScheduledApp> with_shared_budget(const ScheduledApp& app,
 
 }  // namespace
 
-MultiTaskMix::MultiTaskMix(const MultiTaskMixSpec& spec)
-    : spec_(spec), overhead_(OverheadModel::server_like()) {
-  SPEEDQM_REQUIRE(spec.num_tasks >= 1, "MultiTaskMix: need at least one task");
-  SPEEDQM_REQUIRE(spec.num_levels >= 2, "MultiTaskMix: need >= 2 quality levels");
+TaskPool::TaskPool(const MultiTaskMixSpec& spec) : spec_(spec) {
+  SPEEDQM_REQUIRE(spec.num_tasks >= 1, "TaskPool: need at least one task");
+  SPEEDQM_REQUIRE(spec.num_levels >= 2, "TaskPool: need >= 2 quality levels");
   SPEEDQM_REQUIRE(spec.min_task_actions >= 2 &&
                       spec.min_task_actions <= spec.max_task_actions,
-                  "MultiTaskMix: bad task size range");
+                  "TaskPool: bad task size range");
   const Quality budget_q =
       std::min<Quality>(spec.budget_quality, spec.num_levels - 1);
 
   // Per-task raw workloads: optionally a scaled-down MPEG encoder (real
   // GOP/scene-change dynamics) plus heterogeneous synthetic tasks.
-  std::vector<const ScheduledApp*> raw_apps;
-  std::vector<const TimingModel*> raw_timings;
-  std::vector<CyclicTimeSource*> traces;
-  std::vector<std::string> names;
   std::uint64_t rng = spec.seed;
 
   std::size_t first_synth = 0;
@@ -132,13 +127,13 @@ MultiTaskMix::MultiTaskMix(const MultiTaskMixSpec& spec)
     config.num_frames = static_cast<int>(spec.num_cycles);
     config.num_levels = spec.num_levels;
     config.seed = spec.seed;
-    // Provisional per-frame budget; the composition re-deadlines the app
-    // with the shared cycle budget below.
+    // Provisional per-frame budget; every assembly re-deadlines the app
+    // with its shared cycle budget.
     mpeg_ = std::make_unique<MpegWorkload>(config, sec(1));
-    raw_apps.push_back(&mpeg_->app());
-    raw_timings.push_back(&mpeg_->timing());
-    traces.push_back(&mpeg_->traces());
-    names.push_back("mpeg");
+    apps_.push_back(&mpeg_->app());
+    timings_.push_back(&mpeg_->timing());
+    traces_.push_back(&mpeg_->traces());
+    names_.push_back("mpeg");
     first_synth = 1;
   }
   static const QualityCurve kCurves[] = {
@@ -157,48 +152,108 @@ MultiTaskMix::MultiTaskMix(const MultiTaskMixSpec& spec)
     s.budget_quality = budget_q;
     s.seed = spec.seed * 1000003ULL + task;
     synth_.push_back(std::make_unique<SyntheticWorkload>(s));
-    raw_apps.push_back(&synth_.back()->app());
-    raw_timings.push_back(&synth_.back()->timing());
-    traces.push_back(&synth_.back()->traces());
-    names.push_back("synth" + std::to_string(task));
+    apps_.push_back(&synth_.back()->app());
+    timings_.push_back(&synth_.back()->timing());
+    traces_.push_back(&synth_.back()->traces());
+    names_.push_back("synth" + std::to_string(task));
   }
+}
 
-  // Shared cycle budget over the mix's average-cost volume.
+TimeNs TaskPool::budget_for(const std::vector<std::size_t>& members) const {
+  const Quality budget_q =
+      std::min<Quality>(spec_.budget_quality, spec_.num_levels - 1);
+  // Shared cycle budget over the members' average-cost volume (same
+  // arithmetic, in member order, as the historical all-tasks computation).
   double total_cav = 0;
-  for (const auto* tm : raw_timings) {
-    total_cav += static_cast<double>(tm->total_cav(budget_q));
+  for (const std::size_t task : members) {
+    total_cav += static_cast<double>(raw_timing(task).total_cav(budget_q));
   }
-  budget_ = static_cast<TimeNs>(total_cav * spec.budget_factor);
+  return static_cast<TimeNs>(total_cav * spec_.budget_factor);
+}
+
+std::vector<const PolicyEngine*> MemberControllers::engine_ptrs() const {
+  std::vector<const PolicyEngine*> out;
+  out.reserve(engines.size());
+  for (const auto& e : engines) out.push_back(e.get());
+  return out;
+}
+
+MemberControllers build_member_controllers(
+    const TaskPool& pool, const std::vector<std::size_t>& members,
+    TimeNs budget, const OverheadModel& overhead) {
+  SPEEDQM_REQUIRE(!members.empty(),
+                  "build_member_controllers: need at least one member");
+  SPEEDQM_REQUIRE(budget > 0, "build_member_controllers: non-positive budget");
+  const MultiTaskMixSpec& spec = pool.spec();
+
+  MemberControllers out;
+  out.members = members;
+  std::vector<const TimingModel*> member_timings;
+  member_timings.reserve(members.size());
+  for (const std::size_t task : members) {
+    SPEEDQM_REQUIRE(task < pool.size(),
+                    "build_member_controllers: member out of range");
+    member_timings.push_back(&pool.raw_timing(task));
+  }
 
   // Controller views: budget-bearing apps and (optionally) §2.2.2-inflated
   // timing models; engines decide per task against the shared clock.
   const BatchCallEstimate estimate(spec.num_levels);
-  std::vector<TaskSpec> task_specs;
-  for (std::size_t task = 0; task < spec.num_tasks; ++task) {
-    apps_.push_back(with_shared_budget(*raw_apps[task], budget_));
-    TimingModel model = spec.coexistence_margin
-                            ? inflate_for_coexistence(*raw_timings[task], task,
-                                                      raw_timings)
-                            : *raw_timings[task];
+  for (std::size_t slot = 0; slot < members.size(); ++slot) {
+    const std::size_t task = members[slot];
+    out.apps.push_back(with_shared_budget(pool.raw_app(task), budget));
+    TimingModel model =
+        spec.coexistence_margin
+            ? inflate_for_coexistence(*member_timings[slot], slot,
+                                      member_timings)
+            : *member_timings[slot];
     if (spec.inflate_overhead) {
-      model = inflate_for_overhead(model, overhead_, estimate);
+      model = inflate_for_overhead(model, overhead, estimate);
     }
-    models_.push_back(std::make_unique<TimingModel>(std::move(model)));
-    engines_.push_back(std::make_unique<PolicyEngine>(
-        *apps_.back(), *models_.back(), PolicyKind::kMixed));
-    task_specs.push_back(
-        TaskSpec{names[task], apps_[task].get(), raw_timings[task]});
+    out.models.push_back(std::make_unique<TimingModel>(std::move(model)));
+    out.engines.push_back(std::make_unique<PolicyEngine>(
+        *out.apps.back(), *out.models.back(), PolicyKind::kMixed));
   }
+  return out;
+}
 
+namespace {
+
+std::vector<std::size_t> all_members(std::size_t count) {
+  std::vector<std::size_t> members(count);
+  for (std::size_t i = 0; i < count; ++i) members[i] = i;
+  return members;
+}
+
+}  // namespace
+
+MultiTaskMix::MultiTaskMix(const MultiTaskMixSpec& spec)
+    : MultiTaskMix(std::make_shared<TaskPool>(spec),
+                   all_members(spec.num_tasks)) {}
+
+MultiTaskMix::MultiTaskMix(std::shared_ptr<TaskPool> pool,
+                           std::vector<std::size_t> members, TimeNs budget)
+    : pool_(std::move(pool)), overhead_(OverheadModel::server_like()) {
+  SPEEDQM_REQUIRE(pool_ != nullptr, "MultiTaskMix: null pool");
+  budget_ = budget > 0 ? budget : pool_->budget_for(members);
+  controllers_ =
+      build_member_controllers(*pool_, members, budget_, overhead_);
+
+  std::vector<TaskSpec> task_specs;
+  std::vector<CyclicTimeSource*> traces;
+  for (std::size_t slot = 0; slot < members.size(); ++slot) {
+    const std::size_t task = members[slot];
+    task_specs.push_back(TaskSpec{pool_->name(task),
+                                  controllers_.apps[slot].get(),
+                                  &pool_->raw_timing(task)});
+    traces.push_back(&pool_->trace(task));
+  }
   composed_ = std::make_unique<ComposedSystem>(compose_tasks(std::move(task_specs)));
   source_ = std::make_unique<ComposedCyclicSource>(*composed_, std::move(traces));
 }
 
 std::vector<const PolicyEngine*> MultiTaskMix::engines() const {
-  std::vector<const PolicyEngine*> out;
-  out.reserve(engines_.size());
-  for (const auto& e : engines_) out.push_back(e.get());
-  return out;
+  return controllers_.engine_ptrs();
 }
 
 ExecutorOptions MultiTaskMix::executor_options(std::size_t cycles) const {

@@ -86,6 +86,72 @@ struct MultiTaskMixSpec {
   bool coexistence_margin = true;
 };
 
+/// The raw per-task materials of a serving mix, built once from a spec and
+/// shareable between assemblies (a full MultiTaskMix, the per-shard mixes
+/// of serve/ShardedServer, and admission-control what-if evaluations all
+/// draw from one pool). Construction is deterministic in the spec alone:
+/// task `i` of two pools built from equal specs is identical, regardless
+/// of which subsets are later assembled.
+///
+/// Thread-safety: everything here is immutable after construction EXCEPT
+/// the per-task trace sources, whose set_cycle/actual_time carry a cursor.
+/// Concurrent use from multiple shards is safe iff every task belongs to
+/// at most one shard at a time (ShardedServer's invariant).
+class TaskPool {
+ public:
+  explicit TaskPool(const MultiTaskMixSpec& spec);
+
+  const MultiTaskMixSpec& spec() const { return spec_; }
+  std::size_t size() const { return names_.size(); }
+  const std::string& name(std::size_t task) const { return names_.at(task); }
+  /// The task's raw schedule (original per-task deadlines, pre-budget).
+  const ScheduledApp& raw_app(std::size_t task) const {
+    return *apps_.at(task);
+  }
+  /// The task's raw timing model (uninflated).
+  const TimingModel& raw_timing(std::size_t task) const {
+    return *timings_.at(task);
+  }
+  CyclicTimeSource& trace(std::size_t task) const { return *traces_.at(task); }
+
+  /// The shared cycle budget of a member subset: budget_factor times the
+  /// members' total Cav at budget_quality — exactly the arithmetic
+  /// MultiTaskMix(spec) uses for the full pool, so an all-members call
+  /// reproduces its budget bit for bit.
+  TimeNs budget_for(const std::vector<std::size_t>& members) const;
+
+ private:
+  MultiTaskMixSpec spec_;
+  std::unique_ptr<MpegWorkload> mpeg_;
+  std::vector<std::unique_ptr<SyntheticWorkload>> synth_;
+  std::vector<const ScheduledApp*> apps_;
+  std::vector<const TimingModel*> timings_;
+  std::vector<CyclicTimeSource*> traces_;
+  std::vector<std::string> names_;
+};
+
+/// The controller-side view of one member subset of a pool: budget-bearing
+/// apps (every member due by the shared budget), controller timing models
+/// (coexistence margin over the members, then §2.2.2 overhead inflation)
+/// and per-task policy engines. This is the part admission control needs
+/// to evaluate a hypothetical placement — building it does NOT compose the
+/// schedules or touch the trace cursors.
+struct MemberControllers {
+  std::vector<std::size_t> members;                  ///< pool task ids
+  std::vector<std::unique_ptr<ScheduledApp>> apps;   ///< budget-bearing
+  std::vector<std::unique_ptr<TimingModel>> models;  ///< controller models
+  std::vector<std::unique_ptr<PolicyEngine>> engines;
+
+  std::vector<const PolicyEngine*> engine_ptrs() const;
+};
+
+/// Builds the member controllers for `members` (pool task ids, in the
+/// order they will compose) against a fixed shared `budget`.
+MemberControllers build_member_controllers(const TaskPool& pool,
+                                           const std::vector<std::size_t>& members,
+                                           TimeNs budget,
+                                           const OverheadModel& overhead);
+
 /// Owning bundle: per-task workloads, budget-bearing apps, per-task policy
 /// engines (over §2.2.2-inflated controller models), the proportional
 /// interleave composition, and a cyclic composed trace source.
@@ -93,8 +159,18 @@ class MultiTaskMix {
  public:
   explicit MultiTaskMix(const MultiTaskMixSpec& spec);
 
-  const MultiTaskMixSpec& spec() const { return spec_; }
-  std::size_t num_tasks() const { return engines_.size(); }
+  /// Assembles a mix over a member subset of a shared pool. `budget`
+  /// fixes the shared cycle budget (a shard's capacity); 0 means "compute
+  /// from the members" (the single-mix default). With all members and
+  /// budget 0 this is bit-identical to MultiTaskMix(pool->spec()).
+  MultiTaskMix(std::shared_ptr<TaskPool> pool, std::vector<std::size_t> members,
+               TimeNs budget = 0);
+
+  const MultiTaskMixSpec& spec() const { return pool_->spec(); }
+  const TaskPool& pool() const { return *pool_; }
+  /// Pool task ids of the members, in composition order.
+  const std::vector<std::size_t>& members() const { return controllers_.members; }
+  std::size_t num_tasks() const { return controllers_.engines.size(); }
   const ComposedSystem& composed() const { return *composed_; }
   ComposedCyclicSource& source() { return *source_; }
   TimeNs budget() const { return budget_; }
@@ -108,13 +184,9 @@ class MultiTaskMix {
   ExecutorOptions executor_options(std::size_t cycles) const;
 
  private:
-  MultiTaskMixSpec spec_;
+  std::shared_ptr<TaskPool> pool_;
   OverheadModel overhead_;
-  std::unique_ptr<MpegWorkload> mpeg_;
-  std::vector<std::unique_ptr<SyntheticWorkload>> synth_;
-  std::vector<std::unique_ptr<ScheduledApp>> apps_;    ///< budget-bearing
-  std::vector<std::unique_ptr<TimingModel>> models_;   ///< controller models
-  std::vector<std::unique_ptr<PolicyEngine>> engines_;
+  MemberControllers controllers_;
   std::unique_ptr<ComposedSystem> composed_;
   std::unique_ptr<ComposedCyclicSource> source_;
   TimeNs budget_ = 0;

@@ -1,0 +1,211 @@
+// Streaming-executor edge cases:
+//   * a StepSink that throws propagates out of run_cyclic;
+//   * a StepSink that requests early termination (want_stop) ends the run
+//     after the delivered step with consistent scalar totals and no
+//     CycleStats for the incomplete cycle;
+//   * retain_cycles = false with retain_steps = true (and vice versa)
+//     keep exactly the requested vectors;
+//   * zero-length streams through RunSummaryAccumulator produce a
+//     well-defined all-zero summary (no division by zero / NaN).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/numeric_manager.hpp"
+#include "sim/executor.hpp"
+#include "sim/metrics.hpp"
+#include "workload/synthetic.hpp"
+
+namespace speedqm {
+namespace {
+
+struct Fixture {
+  Fixture() : workload(make_spec()), engine(workload.app(), workload.timing()),
+              manager(engine) {}
+
+  static SyntheticSpec make_spec() {
+    SyntheticSpec spec;
+    spec.num_actions = 12;
+    spec.num_levels = 5;
+    spec.num_cycles = 4;
+    spec.budget_quality = 3;
+    spec.seed = 7;
+    return spec;
+  }
+
+  ExecutorOptions options(std::size_t cycles) {
+    ExecutorOptions opts;
+    opts.cycles = cycles;
+    return opts;
+  }
+
+  SyntheticWorkload workload;
+  PolicyEngine engine;
+  NumericManager manager;
+};
+
+struct ThrowingSink final : StepSink {
+  std::size_t after = 0;
+  std::size_t seen = 0;
+  void on_step(const ExecStep&) override {
+    if (++seen > after) throw std::runtime_error("sink failure");
+  }
+};
+
+struct StoppingSink final : StepSink {
+  std::size_t after = 0;
+  std::size_t seen = 0;
+  double quality_sum = 0;
+  void on_step(const ExecStep& step) override {
+    ++seen;
+    quality_sum += static_cast<double>(step.quality);
+  }
+  bool want_stop() const override { return seen >= after; }
+};
+
+TEST(StreamingEdges, ThrowingSinkPropagates) {
+  Fixture f;
+  ThrowingSink sink;
+  sink.after = 5;
+  ExecutorOptions opts = f.options(2);
+  opts.sink = &sink;
+  EXPECT_THROW(
+      run_cyclic(f.workload.app(), f.manager, f.workload.traces(), opts),
+      std::runtime_error);
+  EXPECT_EQ(sink.seen, 6u);  // the throwing call itself observed the step
+}
+
+TEST(StreamingEdges, EarlyStopKeepsTotalsConsistent) {
+  Fixture f;
+  // Stop mid-second-cycle: 12 actions per cycle, stop after 17 steps.
+  StoppingSink sink;
+  sink.after = 17;
+  ExecutorOptions opts = f.options(4);
+  opts.sink = &sink;
+  const RunResult run =
+      run_cyclic(f.workload.app(), f.manager, f.workload.traces(), opts);
+
+  EXPECT_EQ(run.total_steps, 17u);
+  EXPECT_EQ(run.steps.size(), 17u);          // retained steps stop too
+  EXPECT_EQ(run.cycles.size(), 1u);          // cycle 1 incomplete: dropped
+  EXPECT_EQ(run.quality_sum, sink.quality_sum);
+  // Scalar totals cover the partial cycle (consistency with steps).
+  TimeNs action_time = 0;
+  std::size_t calls = 0;
+  for (const ExecStep& step : run.steps) {
+    action_time += step.duration;
+    if (step.manager_called) ++calls;
+  }
+  EXPECT_EQ(run.total_action_time, action_time);
+  EXPECT_EQ(run.total_manager_calls, calls);
+  EXPECT_EQ(run.total_time, run.steps.back().start + run.steps.back().duration);
+}
+
+TEST(StreamingEdges, EarlyStopInStreamingMode) {
+  Fixture f;
+  StoppingSink sink;
+  sink.after = 3;
+  ExecutorOptions opts = f.options(4);
+  opts.retain_steps = false;
+  opts.retain_cycles = false;
+  opts.sink = &sink;
+  const RunResult run =
+      run_cyclic(f.workload.app(), f.manager, f.workload.traces(), opts);
+  EXPECT_EQ(run.total_steps, 3u);
+  EXPECT_TRUE(run.steps.empty());
+  EXPECT_TRUE(run.cycles.empty());
+  EXPECT_EQ(run.mean_quality(), sink.quality_sum / 3.0);
+}
+
+TEST(StreamingEdges, RetainStepsWithoutCycles) {
+  Fixture f;
+  ExecutorOptions both = f.options(3);
+  const RunResult full =
+      run_cyclic(f.workload.app(), f.manager, f.workload.traces(), both);
+
+  f.manager.reset();
+  ExecutorOptions steps_only = f.options(3);
+  steps_only.retain_cycles = false;
+  const RunResult run = run_cyclic(f.workload.app(), f.manager,
+                                   f.workload.traces(), steps_only);
+  EXPECT_EQ(run.steps.size(), full.steps.size());
+  EXPECT_TRUE(run.cycles.empty());
+  EXPECT_EQ(run.total_deadline_misses, full.total_deadline_misses);
+  EXPECT_EQ(run.total_time, full.total_time);
+  // summarize_run falls back to the scalar totals for what cycles carry.
+  const RunSummary summary = summarize_run("steps-only", run);
+  const RunSummary want = summarize_run("steps-only", full);
+  EXPECT_EQ(summary.deadline_misses, want.deadline_misses);
+  EXPECT_EQ(summary.total_time_s, want.total_time_s);
+  EXPECT_EQ(summary.mean_quality, want.mean_quality);
+  EXPECT_EQ(summary.total_ops, want.total_ops);
+}
+
+TEST(StreamingEdges, RetainCyclesWithoutSteps) {
+  Fixture f;
+  ExecutorOptions opts = f.options(3);
+  opts.retain_steps = false;
+  const RunResult run =
+      run_cyclic(f.workload.app(), f.manager, f.workload.traces(), opts);
+  EXPECT_TRUE(run.steps.empty());
+  EXPECT_EQ(run.cycles.size(), 3u);
+  EXPECT_GT(run.total_steps, 0u);
+  // The ops aggregate survives streaming mode (no retained steps, no
+  // sink): summarize_run must fall back to the RunResult scalar.
+  EXPECT_GT(run.total_ops, 0u);
+  EXPECT_EQ(summarize_run("cycles-only", run).total_ops, run.total_ops);
+}
+
+TEST(StreamingEdges, ZeroLengthAccumulatorIsWellDefined) {
+  RunSummaryAccumulator acc("empty");
+  const RunSummary summary = acc.finish();
+  EXPECT_EQ(summary.total_steps, 0u);
+  EXPECT_EQ(summary.manager_calls, 0u);
+  EXPECT_EQ(summary.total_ops, 0u);
+  EXPECT_EQ(summary.mean_quality, 0.0);
+  EXPECT_EQ(summary.overhead_pct, 0.0);
+  EXPECT_EQ(summary.mean_overhead_per_action_us, 0.0);
+  EXPECT_FALSE(std::isnan(summary.smoothness.quality_stddev));
+  EXPECT_EQ(summary.smoothness.quality_stddev, 0.0);
+  EXPECT_TRUE(summary.relax_histogram.empty());
+  // A RunResult that executed nothing is equally well-defined.
+  RunResult empty;
+  EXPECT_EQ(empty.mean_quality(), 0.0);
+  EXPECT_EQ(empty.overhead_fraction(), 0.0);
+  const RunSummary from_empty = summarize_run("empty", empty);
+  EXPECT_EQ(from_empty.total_steps, 0u);
+  EXPECT_EQ(from_empty.mean_quality, 0.0);
+}
+
+TEST(StreamingEdges, AccumulatorMatchesEarlyStoppedRun) {
+  // The accumulator fed by a stopped run equals the summary of the
+  // retained records of the same stopped run.
+  Fixture f;
+  struct StopAndFold final : StepSink {
+    RunSummaryAccumulator acc{"stopper"};
+    std::size_t after = 0;
+    std::size_t seen = 0;
+    void on_step(const ExecStep& step) override {
+      ++seen;
+      acc.on_step(step);
+    }
+    void on_cycle(const CycleStats& cycle) override { acc.on_cycle(cycle); }
+    bool want_stop() const override { return seen >= after; }
+  } sink;
+  sink.after = 20;
+  ExecutorOptions opts = f.options(4);
+  opts.sink = &sink;
+  const RunResult run =
+      run_cyclic(f.workload.app(), f.manager, f.workload.traces(), opts);
+  const RunSummary streamed = sink.acc.finish();
+  const RunSummary replayed = summarize_run("stopper", run);
+  EXPECT_EQ(streamed.total_steps, replayed.total_steps);
+  EXPECT_EQ(streamed.mean_quality, replayed.mean_quality);
+  EXPECT_EQ(streamed.manager_calls, replayed.manager_calls);
+  EXPECT_EQ(streamed.total_ops, replayed.total_ops);
+  EXPECT_EQ(streamed.relax_histogram, replayed.relax_histogram);
+}
+
+}  // namespace
+}  // namespace speedqm

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Documentation consistency checker (CI docs job).
+
+Scans README.md and docs/*.md for two classes of rot:
+
+  * unbalanced code fences — an odd number of ``` markers means a fence
+    was opened and never closed (everything after it renders as code);
+  * dangling repo paths — any `inline code` span or [link](target) that
+    looks like a repository path (starts with a known top-level directory
+    or names a tracked top-level file) must exist on disk. Brace groups
+    expand (src/core/x.{hpp,cpp} checks both), trailing :line suffixes
+    and punctuation are stripped.
+
+Paths under runtime-artifact directories (build/, bench_out/) and obvious
+non-path code spans (spaces, (), no '/') are ignored, so prose stays free
+to show commands and identifiers without tripping the gate.
+
+Usage: check_docs.py [--root REPO_ROOT]     (exit 1 on any finding)
+"""
+
+import argparse
+import itertools
+import pathlib
+import re
+import sys
+
+# A doc reference is only treated as a repo path when it starts with one of
+# these directories (or is one of the tracked top-level files below).
+REPO_DIRS = ("src/", "docs/", "tools/", "tests/", "bench/", "examples/",
+             ".github/")
+TOP_LEVEL_FILES = {
+    "README.md", "ROADMAP.md", "PAPER.md", "PAPERS.md", "SNIPPETS.md",
+    "CHANGES.md", "CMakeLists.txt", "ISSUE.md",
+}
+# Runtime artifacts: referenced in prose, produced by running the tools.
+IGNORED_PREFIXES = ("build/", "bench_out/", "http://", "https://")
+
+CODE_SPAN = re.compile(r"`([^`\n]+)`")
+LINK_TARGET = re.compile(r"\]\(([^)\s]+)\)")
+BRACE_GROUP = re.compile(r"\{([^{}]+)\}")
+
+
+def expand_braces(path):
+    """src/core/x.{hpp,cpp} -> [src/core/x.hpp, src/core/x.cpp]."""
+    match = BRACE_GROUP.search(path)
+    if not match:
+        return [path]
+    alternatives = match.group(1).split(",")
+    head, tail = path[: match.start()], path[match.end():]
+    return list(
+        itertools.chain.from_iterable(
+            expand_braces(head + alt + tail) for alt in alternatives
+        )
+    )
+
+
+def candidate_paths(text):
+    """Path-shaped references in one markdown document."""
+    for regex in (CODE_SPAN, LINK_TARGET):
+        for raw in regex.findall(text):
+            token = raw.strip().rstrip(".,;:")
+            # Strip :line / :line:col suffixes (file.cpp:123).
+            token = re.sub(r":\d+(?::\d+)?$", "", token)
+            if " " in token or "(" in token or token.startswith("-"):
+                continue
+            # Placeholder templates and wildcards are documentation
+            # notation, not paths (BENCH_<name>.json, docs/*.md).
+            if any(c in token for c in "<>*"):
+                continue
+            if token.startswith(IGNORED_PREFIXES):
+                continue
+            if token in TOP_LEVEL_FILES or token.startswith(REPO_DIRS):
+                yield from expand_braces(token)
+
+
+def check_file(doc, root):
+    problems = []
+    text = doc.read_text(encoding="utf-8")
+
+    fence_count = sum(
+        1 for line in text.splitlines() if line.lstrip().startswith("```")
+    )
+    if fence_count % 2 != 0:
+        problems.append(f"{doc.relative_to(root)}: unbalanced code fences "
+                        f"({fence_count} ``` markers)")
+
+    # Only check references outside fenced blocks for links; code fences
+    # legitimately show shell output with fabricated names — but inline
+    # spans inside fences are not parsed as spans anyway, so split fences
+    # out first.
+    outside = []
+    in_fence = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            outside.append(line)
+    for token in candidate_paths("\n".join(outside)):
+        if not (root / token).exists():
+            problems.append(f"{doc.relative_to(root)}: referenced path "
+                            f"'{token}' does not exist")
+    return problems
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: the script's parent's parent)")
+    args = parser.parse_args()
+    root = (pathlib.Path(args.root).resolve() if args.root
+            else pathlib.Path(__file__).resolve().parent.parent)
+
+    docs = sorted((root / "docs").glob("*.md")) if (root / "docs").is_dir() else []
+    readme = root / "README.md"
+    if readme.exists():
+        docs.insert(0, readme)
+    if not docs:
+        print("error: no documentation files found", file=sys.stderr)
+        return 1
+
+    problems = []
+    for doc in docs:
+        problems.extend(check_file(doc, root))
+
+    for problem in problems:
+        print(f"DOCS-FAIL: {problem}")
+    if not problems:
+        checked = ", ".join(str(d.relative_to(root)) for d in docs)
+        print(f"DOCS-OK: {len(docs)} files checked ({checked})")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,10 @@
 #   BENCH_multitask.json — batched multi-task engine (ns/composite-decision
 #   and ops/decision for batched vs sequential baselines at T in {2,8,32},
 #   plus the 10^6-cycle streaming replay), written by bench_multi_task.
+#   BENCH_sharded.json   — sharded serving (serial ns/step and ops/step per
+#   shard count S in {1,2,4} on the T=32 mix; the machine-dependent S=4
+#   parallel scaling factor is SHAPE-gated in the log, never baselined),
+#   written by bench_sharded.
 #
 # Every failure mode is a hard failure so the CI bench gate cannot pass
 # vacuously: missing bench binary, missing/empty JSON artifact, SHAPE check
@@ -54,7 +58,7 @@ OUT_DIR="${OUT_DIR:-bench_out}"
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
-for bin in bench_micro_managers bench_multi_task; do
+for bin in bench_micro_managers bench_multi_task bench_sharded; do
   if [ ! -x "${BUILD_DIR}/${bin}" ]; then
     echo "error: ${BUILD_DIR}/${bin} not found — refusing to skip" >&2
     echo "(a missing bench binary must not let the CI bench gate pass vacuously)" >&2
@@ -71,7 +75,7 @@ if [ -n "${BASELINE}" ]; then
   # Back-compat: a BENCH_decision.json path means "its directory".
   [ -f "${BASELINE}" ] && BASELINE="$(dirname "${BASELINE}")"
   [ -d "${BASELINE}" ] || { echo "error: baseline ${BASELINE} not found" >&2; exit 2; }
-  for json in BENCH_decision.json BENCH_multitask.json; do
+  for json in BENCH_decision.json BENCH_multitask.json BENCH_sharded.json; do
     [ -f "${BASELINE}/${json}" ] || {
       echo "error: baseline ${BASELINE}/${json} missing — the gate must not pass vacuously" >&2
       exit 2
@@ -83,6 +87,7 @@ fi
 
 MICRO_BIN="$(cd "${BUILD_DIR}" && pwd)/bench_micro_managers"
 MULTI_BIN="$(cd "${BUILD_DIR}" && pwd)/bench_multi_task"
+SHARDED_BIN="$(cd "${BUILD_DIR}" && pwd)/bench_sharded"
 mkdir -p "${OUT_DIR}"
 cd "${OUT_DIR}"
 
@@ -120,8 +125,21 @@ if [ ! -s BENCH_multitask.json ]; then
   exit 2
 fi
 
+BENCH_STATUS=0
+"${SHARDED_BIN}" > bench_sharded.log 2>&1 || BENCH_STATUS=$?
+cat bench_sharded.log
+if [ "${BENCH_STATUS}" -ne 0 ]; then
+  echo "error: bench_sharded exited ${BENCH_STATUS} (SHAPE gate failed)" >&2
+  exit "${BENCH_STATUS}"
+fi
+
+if [ ! -s BENCH_sharded.json ]; then
+  echo "error: bench run produced no BENCH_sharded.json — hard failure" >&2
+  exit 2
+fi
+
 if [ -n "${BASELINE}" ]; then
-  for name in decision multitask; do
+  for name in decision multitask sharded; do
     echo ""
     echo "comparing BENCH_${name}.json against baseline ${BASELINE}/BENCH_${name}.json:"
     python3 "${REPO_ROOT}/tools/compare_bench.py" \

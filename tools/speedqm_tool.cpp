@@ -14,6 +14,7 @@
 //   speedqm_tool compile --traces mpeg.traces --out mpeg
 //   speedqm_tool run --traces mpeg.traces --tables mpeg --manager relaxation
 //   speedqm_tool inspect --tables mpeg
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -26,8 +27,10 @@
 #include "core/region_compiler.hpp"
 #include "core/region_manager.hpp"
 #include "core/relaxation_manager.hpp"
+#include "serve/sharded_server.hpp"
 #include "sim/metrics.hpp"
 #include "sim/trace.hpp"
+#include "workload/arrivals.hpp"
 #include "workload/scenarios.hpp"
 #include "workload/trace_io.hpp"
 
@@ -284,6 +287,62 @@ int cmd_multitask(const ArgMap& args) {
   return summary.deadline_misses == 0 ? 0 : 1;
 }
 
+// Sharded multi-clock serving: the task pool partitioned across S shards
+// (each with its own platform clock, batched engine and streaming
+// executor) under admission control, with optional mid-run task
+// arrivals/leaves and async manager invocation off the action threads.
+int cmd_serve(const ArgMap& args) {
+  ShardedServerSpec spec;
+  spec.mix.num_tasks =
+      static_cast<std::size_t>(std::stoull(get(args, "tasks", "32")));
+  spec.mix.seed =
+      static_cast<std::uint64_t>(std::stoull(get(args, "seed", "20070730")));
+  spec.mix.budget_factor = std::stod(get(args, "factor", "1.10"));
+  spec.num_shards =
+      static_cast<std::size_t>(std::stoull(get(args, "shards", "4")));
+  spec.num_workers =
+      static_cast<std::size_t>(std::stoull(get(args, "workers", "0")));
+  spec.cycles = static_cast<std::size_t>(std::stoull(get(args, "cycles", "64")));
+  spec.async_manager = args.count("async") > 0;
+  const std::string placement = get(args, "placement", "best-fit");
+  if (placement == "best-fit") {
+    spec.placement = PlacementPolicy::kBestFit;
+  } else if (placement == "most-slack") {
+    spec.placement = PlacementPolicy::kMostSlack;
+  } else {
+    std::fprintf(stderr, "error: unknown placement '%s' for serve\n",
+                 placement.c_str());
+    return 2;
+  }
+
+  const auto arrivals =
+      static_cast<std::size_t>(std::stoull(get(args, "arrivals", "0")));
+  ArrivalSchedule schedule;
+  if (arrivals > 0) {
+    // Hold back ~1/4 of the pool so the arrival wave has tasks to add.
+    spec.initial_tasks = spec.mix.num_tasks - std::min(
+        spec.mix.num_tasks / 4 + 1, spec.mix.num_tasks - 1);
+    spec.initial_tasks = static_cast<std::size_t>(std::stoull(
+        get(args, "initial", std::to_string(spec.initial_tasks))));
+    schedule = make_arrival_schedule(spec.mix.num_tasks, spec.initial_tasks,
+                                     spec.cycles, arrivals, spec.mix.seed ^ 0x5e);
+    std::printf("arrival script : %s\n", schedule.describe().c_str());
+  } else if (args.count("initial") > 0) {
+    spec.initial_tasks =
+        static_cast<std::size_t>(std::stoull(get(args, "initial", "0")));
+  }
+
+  ShardedServer server(spec, std::move(schedule));
+  std::printf("pool           : %zu tasks, shard budget %s x %zu shards, "
+              "%s manager, %zu cycles\n",
+              server.pool().size(), format_time(server.shard_budget()).c_str(),
+              server.num_shards(), spec.async_manager ? "async" : "inline",
+              spec.cycles);
+  const ServingSummary summary = server.serve();
+  std::printf("%s", summary.render().c_str());
+  return summary.deadline_misses == 0 ? 0 : 1;
+}
+
 int cmd_inspect(const ArgMap& args) {
   const std::string tables = get(args, "tables", "mpeg");
   const auto regions = RegionCompiler::load_regions_file(tables + ".regions");
@@ -322,6 +381,9 @@ void usage() {
       "                      regions|relaxation|batch] [--csv PREFIX]\n"
       "  multitask [--tasks N] [--cycles N] [--seed N] [--factor F]\n"
       "           [--manager batch|batch-incremental|sequential] [--stream]\n"
+      "  serve    [--tasks N] [--shards S] [--workers W] [--cycles N]\n"
+      "           [--arrivals N] [--initial K] [--async] [--seed N] [--factor F]\n"
+      "           [--placement best-fit|most-slack]\n"
       "  inspect  --tables PREFIX\n");
 }
 
@@ -339,6 +401,7 @@ int main(int argc, char** argv) {
     if (cmd == "compile") return cmd_compile(args);
     if (cmd == "run") return cmd_run(args);
     if (cmd == "multitask") return cmd_multitask(args);
+    if (cmd == "serve") return cmd_serve(args);
     if (cmd == "inspect") return cmd_inspect(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
