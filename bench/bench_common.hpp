@@ -5,8 +5,11 @@
 // CSV series to the working directory for offline plotting.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -106,6 +109,35 @@ class PaperHarness {
   RelaxationTable relax_table_;
   std::unique_ptr<ComposedSystem> composed_batch_;
 };
+
+/// Interleaved minimum-timing of competing implementations: calibrates a
+/// round length on `calibrate_on` (one call of each fn per round), then
+/// takes the per-fn minimum over `rounds` rounds. Competing sides share
+/// every scheduler noise window, so the RATIOS the shape gates read stay
+/// stable on shared runners where sequential min-of-N still drifts.
+/// Returns total ns per fn invocation, in fn order.
+inline std::vector<double> interleaved_min_ns(
+    const std::vector<std::function<void()>>& fns, std::size_t calibrate_on,
+    double min_calibrate_ns, int rounds) {
+  using clock = std::chrono::steady_clock;
+  const auto timed = [](const std::function<void()>& fn, std::size_t reps) {
+    const auto t0 = clock::now();
+    for (std::size_t r = 0; r < reps; ++r) fn();
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - t0)
+            .count());
+  };
+  std::size_t reps = 1;
+  while (timed(fns[calibrate_on], reps) < min_calibrate_ns) reps *= 8;
+  std::vector<double> best(fns.size(), 1e300);
+  for (int round = 0; round < rounds; ++round) {
+    for (std::size_t i = 0; i < fns.size(); ++i) {
+      best[i] = std::min(best[i], timed(fns[i], reps));
+    }
+  }
+  for (double& b : best) b /= static_cast<double>(reps);
+  return best;
+}
 
 /// Banner printed by every bench.
 inline void print_header(const std::string& experiment, const std::string& ref) {

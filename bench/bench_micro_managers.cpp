@@ -226,12 +226,13 @@ DecisionBenchRecord measure_engine(const char* engine_name,
 bool run_decision_engine_sweep() {
   std::printf(
       "\n=== decision-engine sweep (scan vs bsearch vs warm vs tabled vs "
-      "incremental) ===\n");
+      "tabled-compressed vs incremental) ===\n");
   std::vector<DecisionBenchRecord> records;
   bool ok = true;
   for (const ActionIndex n : {static_cast<ActionIndex>(512),
-                              static_cast<ActionIndex>(1024)}) {
-    for (const int nq : {16, 32}) {
+                              static_cast<ActionIndex>(1024),
+                              static_cast<ActionIndex>(4096)}) {
+    for (const int nq : {16, 32, 64}) {
       SyntheticSpec spec;
       spec.seed = 20070326 + n + static_cast<ActionIndex>(nq);
       spec.num_actions = n;
@@ -246,7 +247,26 @@ bool run_decision_engine_sweep() {
       warm.reset();
       TabledNumericManager tabled(engine);
       tabled.reset();
+      TabledNumericManager compressed(engine, ArenaLayout::kCompressed);
+      compressed.reset();
       NumericManager incremental(engine, NumericManager::Strategy::kIncremental);
+
+      // Layout bit-identity (deterministic): the delta-coded arena must
+      // reproduce every flat-row decision, Decision.ops included, before
+      // its timing row means anything.
+      bool layouts_identical = true;
+      {
+        TabledNumericManager probe_flat(engine);
+        TabledNumericManager probe_comp(engine, ArenaLayout::kCompressed);
+        for (StateIndex s = 0; s < engine.num_states(); ++s) {
+          const Decision a = probe_flat.decide(s, seq.times[s]);
+          const Decision b = probe_comp.decide(s, seq.times[s]);
+          if (a.quality != b.quality || a.ops != b.ops ||
+              a.feasible != b.feasible) {
+            layouts_identical = false;
+          }
+        }
+      }
 
       const auto scan = measure_engine("scan", engine, seq,
           [&](StateIndex s, TimeNs t) { return engine.decide_scan(s, t); });
@@ -256,6 +276,8 @@ bool run_decision_engine_sweep() {
           [&](StateIndex s, TimeNs t) { return warm.decide(s, t); });
       const auto tab = measure_engine("tabled", engine, seq,
           [&](StateIndex s, TimeNs t) { return tabled.decide(s, t); });
+      const auto comp = measure_engine("tabled-compressed", engine, seq,
+          [&](StateIndex s, TimeNs t) { return compressed.decide(s, t); });
       // The incremental engine is stateful along the run: reset at s = 0
       // models the executor's per-cycle reset (lanes rewind, compiled
       // forests are kept). The ops pass therefore charges a full cycle
@@ -267,7 +289,7 @@ bool run_decision_engine_sweep() {
           });
 
       TextTable table({"engine", "n", "|Q|", "ns/decision", "ops/decision"});
-      for (const auto* r : {&scan, &bsearch, &warm_rec, &tab, &inc}) {
+      for (const auto* r : {&scan, &bsearch, &warm_rec, &tab, &comp, &inc}) {
         table.begin_row()
             .cell(r->engine)
             .cell(r->n)
@@ -289,6 +311,11 @@ bool run_decision_engine_sweep() {
           "tabled manager >= 10x fewer ops/decision than scan (n=" +
               std::to_string(n) + ", |Q|=" + std::to_string(nq) + ")",
           tab.ops_per_decision * 10.0 <= scan.ops_per_decision);
+      ok &= shape_check(
+          "compressed layout bit-identical to flat (decisions and ops, n=" +
+              std::to_string(n) + ", |Q|=" + std::to_string(nq) + ")",
+          layouts_identical &&
+              comp.ops_per_decision == tab.ops_per_decision);
       ok &= shape_check(
           "warm numeric cheaper than scan and cold bsearch (n=" +
               std::to_string(n) + ", |Q|=" + std::to_string(nq) + ")",
@@ -314,21 +341,21 @@ bool run_decision_engine_sweep() {
           inc.ops_per_decision * 10.0 <= scan.ops_per_decision);
     }
   }
-  // Amortized-O(1) shape across n: doubling n must not grow the
-  // incremental engine's ops/decision (the scan's doubles). Allow 40%
+  // Amortized-O(1) shape across n: growing n 8x must not grow the
+  // incremental engine's ops/decision (the scan's grows 8x). Allow 40%
   // headroom for walk-dependent lane counts.
-  for (const int nq : {16, 32}) {
-    double at_512 = 0, at_1024 = 0;
+  for (const int nq : {16, 32, 64}) {
+    double at_512 = 0, at_4096 = 0;
     for (const auto& r : records) {
       if (r.engine != "incremental" || r.num_levels != nq) continue;
       if (r.n == 512) at_512 = r.ops_per_decision;
-      if (r.n == 1024) at_1024 = r.ops_per_decision;
+      if (r.n == 4096) at_4096 = r.ops_per_decision;
     }
     ok &= shape_check(
         "incremental ops/decision flat in n (|Q|=" + std::to_string(nq) +
             ": " + std::to_string(at_512) + " @512 vs " +
-            std::to_string(at_1024) + " @1024)",
-        at_512 > 0 && at_1024 <= at_512 * 1.4);
+            std::to_string(at_4096) + " @4096)",
+        at_512 > 0 && at_4096 <= at_512 * 1.4);
   }
   write_decision_bench_json("BENCH_decision.json", "decision_engine", records);
   std::printf("wrote BENCH_decision.json (%zu records)\n", records.size());

@@ -3,12 +3,155 @@
 //   control relaxation: 2 * |A| * |Q| * |rho| = 99,876 integers (~800 KB)
 // plus compile-time cost and a geometry sweep (396..1620 macroblocks, the
 // paper's stated frame-size range).
+//
+// Part 2 — compressed-arena accounting: for every cell of the
+// decision-engine sweep grid (n x |Q|, same synthetic specs as
+// bench_micro_managers), the delta-coded arena of core/td_compressed.hpp
+// is measured against the flat 64-bit layout: stored bytes per side, the
+// size ratio (SHAPE-gated >= 2x on every n >= 1024 cell — large-n cells
+// are where block-leader coding pays; the ratio is deterministic for a
+// fixed grid, so the gate needs no environment slack), decode-probe cost
+// (warm decide over the same smooth walk on both layouts), and exact
+// reconstruction. Writes BENCH_table_memory.json — engine "arena-flat" /
+// "arena-compressed", ns_per_decision = measured warm decide,
+// ops_per_decision = stored bytes per table entry (deterministic) — wired
+// into tools/run_benches.sh and diffed against
+// bench/baseline/BENCH_table_memory.json by tools/compare_bench.py.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <utility>
+
+#include "core/td_compressed.hpp"
+#include "workload/synthetic.hpp"
 
 #include "bench_common.hpp"
 
 using namespace speedqm;
 using namespace speedqm::bench;
+
+namespace {
+
+/// Smooth-walk decision times per state (same regime as the
+/// decision-engine sweep in bench_micro_managers).
+std::vector<TimeNs> make_walk_times(const PolicyEngine& engine,
+                                    std::uint64_t seed) {
+  std::vector<TimeNs> times;
+  const int nq = engine.num_levels();
+  Quality target = nq / 2;
+  std::uint64_t x = seed;
+  for (StateIndex s = 0; s < engine.num_states(); ++s) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    const int step = static_cast<int>((x >> 33) % 3) - 1;
+    target = std::min(nq - 2 > 0 ? nq - 2 : nq - 1,
+                      std::max(1 < nq ? 1 : 0, target + step));
+    times.push_back(engine.td_online(s, target));
+  }
+  return times;
+}
+
+/// One full warm-decide walk over the table via `decide` (the unit the
+/// interleaved timing repeats).
+template <typename DecideFn>
+void decide_walk(const std::vector<TimeNs>& times, DecideFn&& decide) {
+  for (StateIndex s = 0; s < times.size(); ++s) decide(s, times[s]);
+}
+
+bool run_compression_sweep(std::vector<DecisionBenchRecord>& records) {
+  std::printf("=== compressed tD arena vs flat 64-bit layout ===\n\n");
+  TextTable table({"n", "|Q|", "flat KB", "compressed KB", "ratio",
+                   "flat ns/dec", "comp ns/dec"});
+  bool ok = true;
+  for (const ActionIndex n : {static_cast<ActionIndex>(512),
+                              static_cast<ActionIndex>(1024),
+                              static_cast<ActionIndex>(4096)}) {
+    for (const int nq : {16, 32, 64}) {
+      SyntheticSpec spec;
+      spec.seed = 20070326 + n + static_cast<ActionIndex>(nq);
+      spec.num_actions = n;
+      spec.num_levels = nq;
+      spec.num_cycles = 1;
+      spec.budget_quality = nq / 2;
+      const SyntheticWorkload w(spec);
+      const PolicyEngine engine(w.app(), w.timing(), PolicyKind::kMixed);
+      const std::vector<TimeNs> times = make_walk_times(engine, spec.seed);
+
+      const QualityRegionTable flat(engine);
+      const CompressedTdTable compressed(engine);
+      const std::size_t flat_bytes = flat.memory_bytes();
+      const std::size_t comp_bytes = compressed.memory_bytes();
+      const double ratio = static_cast<double>(flat_bytes) /
+                           static_cast<double>(comp_bytes);
+
+      // Exactness first: a smaller arena that decodes differently is a
+      // bug, not a compression result.
+      ok &= shape_check(
+          "compressed arena reconstructs the flat table exactly (n=" +
+              std::to_string(n) + ", |Q|=" + std::to_string(nq) + ")",
+          compressed.to_flat() == flat.raw());
+
+      // Decode cost per layout, interleaved (bench_common.hpp) so the
+      // flat/compressed ratio in the committed baseline is not biased by
+      // a noise window hitting one side.
+      Quality warm_flat = -1, warm_comp = -1;
+      const std::vector<double> wall = interleaved_min_ns(
+          {[&] {
+             decide_walk(times, [&](StateIndex s, TimeNs t) {
+               warm_flat = flat.decide_warm(s, t, warm_flat).quality;
+             });
+           },
+           [&] {
+             decide_walk(times, [&](StateIndex s, TimeNs t) {
+               warm_comp = compressed.decide_warm(s, t, warm_comp).quality;
+             });
+           }},
+          /*calibrate_on=*/0, /*min_calibrate_ns=*/2e6, /*rounds=*/6);
+      const double per = static_cast<double>(times.size());
+      const double flat_ns = wall[0] / per;
+      const double comp_ns = wall[1] / per;
+
+      table.begin_row()
+          .cell(n)
+          .cell(nq)
+          .cell(static_cast<double>(flat_bytes) / 1024.0, 1)
+          .cell(static_cast<double>(comp_bytes) / 1024.0, 1)
+          .cell(ratio, 2)
+          .cell(flat_ns, 1)
+          .cell(comp_ns, 1);
+      table.end_row();
+
+      if (n >= 1024) {
+        ok &= shape_check(
+            "compressed arena >= 2x smaller than flat 64-bit (n=" +
+                std::to_string(n) + ", |Q|=" + std::to_string(nq) +
+                ", measured " + std::to_string(ratio) + "x)",
+            ratio >= 2.0);
+      }
+
+      DecisionBenchRecord rec;
+      rec.policy = "mixed";
+      rec.n = n;
+      rec.num_levels = nq;
+      rec.engine = "arena-flat";
+      rec.ns_per_decision = flat_ns;
+      rec.ops_per_decision = static_cast<double>(flat_bytes) /
+                             static_cast<double>(flat.num_integers());
+      records.push_back(rec);
+      rec.engine = "arena-compressed";
+      rec.ns_per_decision = comp_ns;
+      rec.ops_per_decision = static_cast<double>(comp_bytes) /
+                             static_cast<double>(compressed.num_integers());
+      records.push_back(rec);
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("(ops_per_decision column of BENCH_table_memory.json carries "
+              "BYTES PER TABLE ENTRY — deterministic, so the compare gate "
+              "pins the layout itself.)\n\n");
+  return ok;
+}
+
+}  // namespace
 
 int main() {
   print_header("Section 4.1 — symbolic table sizes and compile cost",
@@ -88,6 +231,12 @@ int main() {
                         static_cast<std::size_t>(kPaperRelaxationIntegers));
   ok &= shape_check("compilation is an offline-friendly cost (< 1 s)",
                     stats.compile_seconds < 1.0);
-  std::printf("\nseries written to table_memory.csv\n");
+  std::printf("\n");
+
+  std::vector<DecisionBenchRecord> records;
+  ok &= run_compression_sweep(records);
+  write_decision_bench_json("BENCH_table_memory.json", "table_memory", records);
+  std::printf("wrote BENCH_table_memory.json (%zu records)\n", records.size());
+  std::printf("series written to table_memory.csv\n");
   return ok ? 0 : 1;
 }

@@ -1,15 +1,88 @@
 #include "core/batch_engine.hpp"
 
-#include "core/decision_search.hpp"
+#include "core/batch_sweep.hpp"
 #include "core/fast_manager.hpp"
 #include "core/numeric_manager.hpp"
 #include "support/contract.hpp"
 
+// The NEON backend lives here rather than in its own translation unit:
+// NEON is part of the aarch64 baseline ISA, so no special compile flags
+// are needed and no runtime CPU check beyond compile-time detection.
+#if defined(SPEEDQM_SIMD) && defined(__aarch64__) && defined(__ARM_NEON)
+#define SPEEDQM_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
 namespace speedqm {
 
+namespace {
+
+using sweep_detail::CompressedArena;
+using sweep_detail::FlatArena;
+using sweep_detail::ScalarBackend;
+using sweep_detail::SweepArgs;
+
+#if SPEEDQM_SIMD_NEON
+
+struct NeonBackend {
+  static constexpr int kLanes = 2;
+  using Vec = int64x2_t;
+  using Mask = uint64x2_t;
+
+  static Vec load(const std::int64_t* p) { return vld1q_s64(p); }
+  static void store(std::int64_t* p, Vec v) { vst1q_s64(p, v); }
+  static Vec splat(std::int64_t x) { return vdupq_n_s64(x); }
+  static Vec sub(Vec a, Vec b) { return vsubq_s64(a, b); }
+  static Mask cmpge(Vec a, Vec b) { return vcgeq_s64(a, b); }
+  static Mask cmpeq(Vec a, Vec b) { return vceqq_s64(a, b); }
+  static Mask m_and(Mask a, Mask b) { return vandq_u64(a, b); }
+  static Mask m_andnot(Mask a, Mask b) { return vbicq_u64(b, a); }  // b & ~a
+  static Mask m_or(Mask a, Mask b) { return vorrq_u64(a, b); }
+  static Vec select(Mask m, Vec a, Vec b) { return vbslq_s64(m, a, b); }
+  static std::uint32_t bits(Mask m) {
+    return static_cast<std::uint32_t>(vgetq_lane_u64(m, 0) & 1) |
+           (static_cast<std::uint32_t>(vgetq_lane_u64(m, 1) & 1) << 1);
+  }
+};
+
+#endif  // SPEEDQM_SIMD_NEON
+
+/// Runtime kernel choice for one engine instance (0 scalar, 1 AVX2,
+/// 2 AVX512, 3 NEON). The x86 kernels are picked by what the running CPU
+/// executes, so one SPEEDQM_SIMD build serves every x86-64 machine.
+int pick_kernel(BatchDecisionEngine::Kernel kernel,
+                BatchDecisionEngine::Mode mode, ArenaLayout layout) {
+  if (kernel != BatchDecisionEngine::Kernel::kAuto ||
+      mode != BatchDecisionEngine::Mode::kTabled ||
+      layout != ArenaLayout::kFlat) {
+    // Incremental mode has no arena to vectorize over, and compressed
+    // probes decode scalar (per-block widths) — staging them through a
+    // vector resolve measured slower than the straight scalar sweep, so
+    // the compressed layout always runs the scalar kernel.
+    return 0;
+  }
+#if SPEEDQM_SIMD_NEON
+  return 3;
+#else
+  if (sweep_detail::avx512_usable()) return 2;
+  if (sweep_detail::avx2_usable()) return 1;
+  return 0;
+#endif
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// BatchDecisionEngine.
+// ---------------------------------------------------------------------------
+
 BatchDecisionEngine::BatchDecisionEngine(
-    std::vector<const PolicyEngine*> engines, Mode mode)
-    : engines_(std::move(engines)), mode_(mode) {
+    std::vector<const PolicyEngine*> engines, Mode mode, ArenaLayout layout,
+    Kernel kernel)
+    : engines_(std::move(engines)),
+      mode_(mode),
+      layout_(layout),
+      kernel_id_(pick_kernel(kernel, mode, layout)) {
   SPEEDQM_REQUIRE(!engines_.empty(), "BatchDecisionEngine: need at least one task");
   for (const auto* e : engines_) {
     SPEEDQM_REQUIRE(e != nullptr, "BatchDecisionEngine: null engine");
@@ -23,44 +96,59 @@ BatchDecisionEngine::BatchDecisionEngine(
   const std::size_t T = engines_.size();
   n_.resize(T);
   hint_.assign(T, -1);
-  table_.assign(T, nullptr);
   for (std::size_t task = 0; task < T; ++task) {
     n_[task] = engines_[task]->num_states();
   }
 
-  if (mode_ == Mode::kTabled) {
+  if (mode_ != Mode::kTabled) {
+    inc_.reserve(T);
+    for (std::size_t task = 0; task < T; ++task) {
+      inc_.push_back(std::make_unique<IncrementalTdState>(*engines_[task]));
+    }
+  } else if (layout_ == ArenaLayout::kCompressed) {
+    ctable_.reserve(T);
+    for (std::size_t task = 0; task < T; ++task) {
+      ctable_.emplace_back(*engines_[task]);
+    }
+  } else {
     // One arena for every task's flat tD table (row-major [state][quality],
     // the TabledNumericManager / RegionCompiler layout) — back to back so
-    // the sweep's working set is contiguous.
+    // the sweep's working set is contiguous. Guard entries pad both ends:
+    // the vector kernels read each lane's whole [h-1, h+2] neighbourhood
+    // window with one unaligned load, and the window of a cold hint at the
+    // first row (h = -1) or of a just-finished task at the arena's last
+    // table (s = n) must stay inside the allocation. Bounds: front, h-1
+    // with h >= -1 reaches 2 entries before a row; back, s = n with
+    // h <= nq-1 reaches nq + 1 entries past a table's end.
+    const std::size_t front_pad = 2;
+    const std::size_t back_pad = static_cast<std::size_t>(nq_) + 2;
+    table_.assign(T, nullptr);
     std::size_t total = 0;
     for (std::size_t task = 0; task < T; ++task) {
       total += n_[task] * static_cast<std::size_t>(nq_);
     }
-    arena_.reserve(total);
+    arena_.reserve(front_pad + total + back_pad);
+    arena_.assign(front_pad, 0);
     std::vector<std::size_t> offset(T);
     for (std::size_t task = 0; task < T; ++task) {
       offset[task] = arena_.size();
       const std::vector<TimeNs> td = engines_[task]->td_table();
       arena_.insert(arena_.end(), td.begin(), td.end());
     }
+    arena_.insert(arena_.end(), back_pad, 0);
     // Bases assigned after all inserts (reserve makes them stable anyway,
     // but do not depend on it).
     for (std::size_t task = 0; task < T; ++task) {
       table_[task] = arena_.data() + offset[task];
     }
-  } else {
-    inc_.reserve(T);
-    for (std::size_t task = 0; task < T; ++task) {
-      inc_.push_back(std::make_unique<IncrementalTdState>(*engines_[task]));
-    }
   }
 }
 
 /// The tabled per-task decision through the shared prefix search — the
-/// canonical reference decide_all's inline warm fast path must match
-/// probe for probe (same outcomes, same Decision.ops). This is the same
-/// call the sequential TabledNumericManager path bottoms out in, which is
-/// what keeps batched decisions bit-identical to it.
+/// canonical reference the sweep's warm fast path must match probe for
+/// probe (same outcomes, same Decision.ops). This is the same call the
+/// sequential TabledNumericManager path bottoms out in, which is what
+/// keeps batched decisions bit-identical to it.
 Decision BatchDecisionEngine::decide_row(const TimeNs* row, Quality hint,
                                          TimeNs t) const {
   return decide_max_quality(nq_ - 1, hint, [&](Quality q, std::uint64_t*) {
@@ -68,76 +156,48 @@ Decision BatchDecisionEngine::decide_row(const TimeNs* row, Quality hint,
   });
 }
 
-std::uint64_t BatchDecisionEngine::decide_all(const StateIndex* states,
-                                              TimeNs t, Decision* out) {
+std::uint64_t BatchDecisionEngine::decide_all_incremental(
+    const StateIndex* states, TimeNs t, Decision* out) {
   const std::size_t T = engines_.size();
   std::uint64_t total = 0;
-
-  if (mode_ == Mode::kIncremental) {
-    for (std::size_t task = 0; task < T; ++task) {
-      const StateIndex s = states[task];
-      if (s >= n_[task]) continue;
-      const Decision d =
-          engines_[task]->decide_incremental(*inc_[task], s, t, hint_[task]);
-      hint_[task] = d.quality;
-      out[task] = d;
-      total += d.ops;
-    }
-    return total;
-  }
-
-  // The batched row sweep: per task, a row base load from the SoA cursor
-  // arrays and a branch-light warm-neighbourhood resolve — no virtual
-  // dispatch, no per-call metadata reloads, and the common steady state
-  // reduced to three row loads plus selects (outcomes vary task to task,
-  // so data dependencies beat branch prediction here). Outcomes and ops
-  // replicate decide_max_quality probe for probe; anything outside the
-  // neighbourhood falls back to decide_row (the shared search).
-  const auto nq = static_cast<std::size_t>(nq_);
-  const Quality qmax = nq_ - 1;
-  const TimeNs* const* tables = table_.data();
-  const StateIndex* sizes = n_.data();
-  Quality* hints = hint_.data();
   for (std::size_t task = 0; task < T; ++task) {
     const StateIndex s = states[task];
-    if (s >= sizes[task]) continue;
-    const TimeNs* row = tables[task] + s * nq;
-    const Quality h = hints[task];
-    Decision d;
-    if (h >= 0) {
-      const bool at_top = h >= qmax;
-      const bool at_bottom = h <= kQmin;
-      const bool sat_h = row[h] >= t;
-      const bool sat_up = !at_top && row[at_top ? h : h + 1] >= t;
-      const bool sat_dn = !at_bottom && row[at_bottom ? h : h - 1] >= t;
-      if (sat_h) {
-        if (at_top || !sat_up) {          // stay at the hint
-          d.quality = h;
-          d.ops = at_top ? 1 : 2;
-        } else if (h + 1 == qmax) {       // one step up hits the top
-          d.quality = qmax;
-          d.ops = 2;
-        } else {
-          d = decide_row(row, h, t);      // climbing: shared search
-        }
-      } else if (at_bottom) {             // qmin fails: infeasible
-        d.quality = kQmin;
-        d.feasible = false;
-        d.ops = 1;
-      } else if (sat_dn) {                // one step down
-        d.quality = h - 1;
-        d.ops = 2;
-      } else {
-        d = decide_row(row, h, t);        // falling: shared search
-      }
-    } else {
-      d = decide_row(row, h, t);          // cold start
-    }
-    hints[task] = d.quality;
+    if (s >= n_[task]) continue;
+    const Decision d =
+        engines_[task]->decide_incremental(*inc_[task], s, t, hint_[task]);
+    hint_[task] = d.quality;
     out[task] = d;
     total += d.ops;
   }
   return total;
+}
+
+std::uint64_t BatchDecisionEngine::decide_all(const StateIndex* states,
+                                              TimeNs t, Decision* out) {
+  if (mode_ == Mode::kIncremental) {
+    return decide_all_incremental(states, t, out);
+  }
+  const SweepArgs args{n_.data(), hint_.data(), engines_.size(),
+                       nq_ - 1,   states,       t,
+                       out};
+  if (layout_ == ArenaLayout::kCompressed) {
+    const CompressedArena arena{ctable_.data()};
+    return sweep_detail::sweep_staged<CompressedArena, ScalarBackend>(arena,
+                                                                      args);
+  }
+  const FlatArena arena{table_.data(), static_cast<std::size_t>(nq_)};
+  switch (kernel_id_) {
+    case 2:
+      return sweep_detail::sweep_flat_avx512(arena, args);
+    case 1:
+      return sweep_detail::sweep_flat_avx2(arena, args);
+#if SPEEDQM_SIMD_NEON
+    case 3:
+      return sweep_detail::sweep_staged<FlatArena, NeonBackend>(arena, args);
+#endif
+    default:
+      return sweep_detail::sweep_staged<FlatArena, ScalarBackend>(arena, args);
+  }
 }
 
 Decision BatchDecisionEngine::decide_one(std::size_t task, StateIndex s,
@@ -147,6 +207,8 @@ Decision BatchDecisionEngine::decide_one(std::size_t task, StateIndex s,
   Decision d;
   if (mode_ == Mode::kIncremental) {
     d = engines_[task]->decide_incremental(*inc_[task], s, t, hint_[task]);
+  } else if (layout_ == ArenaLayout::kCompressed) {
+    d = ctable_[task].decide_warm(s, t, hint_[task]);
   } else {
     d = decide_row(table_[task] + s * static_cast<std::size_t>(nq_),
                    hint_[task], t);
@@ -160,6 +222,7 @@ TimeNs BatchDecisionEngine::td(std::size_t task, StateIndex s, Quality q) const 
   SPEEDQM_REQUIRE(task < engines_.size(), "td: task out of range");
   SPEEDQM_REQUIRE(s < n_[task], "td: state out of range");
   SPEEDQM_REQUIRE(q >= 0 && q < nq_, "td: quality out of range");
+  if (layout_ == ArenaLayout::kCompressed) return ctable_[task].td(s, q);
   return table_[task][s * static_cast<std::size_t>(nq_) +
                       static_cast<std::size_t>(q)];
 }
@@ -170,13 +233,24 @@ void BatchDecisionEngine::reset() {
 }
 
 std::size_t BatchDecisionEngine::memory_bytes() const {
-  std::size_t bytes = arena_.size() * sizeof(TimeNs);
+  std::size_t bytes = arena_.size() * sizeof(TimeNs);  // guard pads included
+  for (const auto& table : ctable_) bytes += table.memory_bytes();
   for (const auto& state : inc_) bytes += state->memory_bytes();
   return bytes;
 }
 
 std::size_t BatchDecisionEngine::num_table_integers() const {
-  return arena_.size();
+  // The logical |A| * |Q| metric, layout-independent (memory_bytes reports
+  // what the layout actually stores; the flat arena's guard padding is not
+  // table content).
+  std::size_t integers = 0;
+  if (mode_ == Mode::kTabled && layout_ == ArenaLayout::kFlat) {
+    for (std::size_t task = 0; task < n_.size(); ++task) {
+      integers += n_[task] * static_cast<std::size_t>(nq_);
+    }
+  }
+  for (const auto& table : ctable_) integers += table.num_integers();
+  return integers;
 }
 
 // ---------------------------------------------------------------------------
@@ -221,8 +295,10 @@ void MultiTaskEpochManager::reset() {
 
 BatchMultiTaskManager::BatchMultiTaskManager(
     const ComposedSystem& system, std::vector<const PolicyEngine*> engines,
-    BatchDecisionEngine::Mode mode)
-    : MultiTaskEpochManager(system), engine_(std::move(engines), mode) {
+    BatchDecisionEngine::Mode mode, ArenaLayout layout,
+    BatchDecisionEngine::Kernel kernel)
+    : MultiTaskEpochManager(system),
+      engine_(std::move(engines), mode, layout, kernel) {
   SPEEDQM_REQUIRE(engine_.num_tasks() == system.num_tasks(),
                   "BatchMultiTaskManager: one engine per task required");
   for (std::size_t task = 0; task < engine_.num_tasks(); ++task) {
@@ -232,14 +308,19 @@ BatchMultiTaskManager::BatchMultiTaskManager(
 }
 
 std::string BatchMultiTaskManager::name() const {
-  return engine_.mode() == BatchDecisionEngine::Mode::kTabled
-             ? "batch-multitask-tabled"
-             : "batch-multitask-incremental";
+  std::string name = engine_.mode() == BatchDecisionEngine::Mode::kTabled
+                         ? "batch-multitask-tabled"
+                         : "batch-multitask-incremental";
+  if (engine_.mode() == BatchDecisionEngine::Mode::kTabled &&
+      engine_.layout() == ArenaLayout::kCompressed) {
+    name += "-compressed";
+  }
+  return name;
 }
 
 SequentialMultiTaskManager::SequentialMultiTaskManager(
     const ComposedSystem& system, std::vector<const PolicyEngine*> engines,
-    BatchDecisionEngine::Mode mode)
+    BatchDecisionEngine::Mode mode, ArenaLayout layout)
     : MultiTaskEpochManager(system), mode_(mode) {
   SPEEDQM_REQUIRE(engines.size() == system.num_tasks(),
                   "SequentialMultiTaskManager: one engine per task required");
@@ -251,7 +332,7 @@ SequentialMultiTaskManager::SequentialMultiTaskManager(
     SPEEDQM_REQUIRE(engine->num_states() == system.task_size(task),
                     "SequentialMultiTaskManager: engine does not span its task");
     if (mode == BatchDecisionEngine::Mode::kTabled) {
-      managers_.push_back(std::make_unique<TabledNumericManager>(*engine));
+      managers_.push_back(std::make_unique<TabledNumericManager>(*engine, layout));
     } else {
       managers_.push_back(std::make_unique<NumericManager>(
           *engine, NumericManager::Strategy::kIncremental));

@@ -27,6 +27,19 @@
 // sequences assembled at run time), bit-identical to per-task
 // NumericManager::Strategy::kIncremental.
 //
+// Two orthogonal hot-path options (tabled mode):
+//   * ArenaLayout::kCompressed stores the arena in the delta-coded layout
+//     of core/td_compressed.hpp (~2.2-2.4x less memory); probes decode
+//     exactly, so decisions and ops are unchanged.
+//   * Kernel::kAuto vectorizes the warm-neighbourhood resolve across task
+//     lanes (AVX2/NEON when built with SPEEDQM_SIMD; see batch_engine.cpp)
+//     — outcomes are computed as vector compares + selects over lane
+//     groups, with anything beyond the one-step neighbourhood falling back
+//     to the shared search. The scalar path is the SAME resolve template
+//     instantiated with one-lane operations, which is what keeps
+//     decisions — including Decision.ops — bit-identical across
+//     scalar/SIMD and flat/compressed combinations.
+//
 // On top of the engine, MultiTaskEpochManager adapts batched decisions to
 // the cyclic executor over a ComposedSystem: at a composite action whose
 // task has no cached decision left, ALL unfinished tasks are re-decided at
@@ -46,6 +59,7 @@
 #include "core/manager.hpp"
 #include "core/multi_task.hpp"
 #include "core/policy.hpp"
+#include "core/td_compressed.hpp"
 #include "core/td_incremental.hpp"
 #include "core/types.hpp"
 
@@ -58,11 +72,23 @@ class BatchDecisionEngine {
     kIncremental,  ///< per-task IncrementalTdState lanes, no tables
   };
 
+  /// Which decide_all sweep kernel to run (tabled mode; decisions are
+  /// bit-identical either way — see file comment).
+  enum class Kernel {
+    kAuto,    ///< vector lanes when SPEEDQM_SIMD built them, else scalar
+    kScalar,  ///< force the one-lane instantiation (the differential baseline)
+  };
+
   /// Binds to one PolicyEngine per task. All tasks must share the quality
   /// level count (one quality axis, as in compose_tasks). Tabled mode
-  /// compiles every task's tD table into one arena up front.
+  /// compiles every task's tD table into one arena up front, flat or
+  /// delta-coded per `layout` (layout is ignored by Mode::kIncremental,
+  /// which stores no tables).
   explicit BatchDecisionEngine(std::vector<const PolicyEngine*> engines,
-                               Mode mode = Mode::kTabled);
+                               Mode mode = Mode::kTabled,
+                               ArenaLayout layout = ArenaLayout::kFlat,
+                               Kernel kernel = Kernel::kAuto);
+
 
   // table_ holds raw pointers into this object's own arena_, so a copy
   // would silently keep aliasing the source's buffer (use-after-free once
@@ -74,6 +100,10 @@ class BatchDecisionEngine {
   std::size_t num_tasks() const { return engines_.size(); }
   int num_levels() const { return nq_; }
   Mode mode() const { return mode_; }
+  ArenaLayout layout() const { return layout_; }
+  /// True when decide_all runs a vector kernel in this instance (resolved
+  /// at construction from the build options and the running CPU).
+  bool simd_active() const { return kernel_id_ != 0; }
   StateIndex num_states(std::size_t task) const { return n_[task]; }
 
   /// One composite decision point: for every task τ with states[τ] <
@@ -100,9 +130,13 @@ class BatchDecisionEngine {
 
  private:
   Decision decide_row(const TimeNs* row, Quality hint, TimeNs t) const;
+  std::uint64_t decide_all_incremental(const StateIndex* states, TimeNs t,
+                                       Decision* out);
 
   std::vector<const PolicyEngine*> engines_;
   Mode mode_;
+  ArenaLayout layout_ = ArenaLayout::kFlat;
+  int kernel_id_ = 0;  ///< 0 scalar, 1 AVX2, 2 AVX512, 3 NEON (runtime pick)
   int nq_ = 0;
 
   // Task-major SoA cursors (the decide_all hot state).
@@ -110,7 +144,8 @@ class BatchDecisionEngine {
   std::vector<StateIndex> n_;         ///< per task: number of states
   std::vector<Quality> hint_;         ///< per task: warm hint (-1 = cold)
 
-  std::vector<TimeNs> arena_;         ///< tabled mode: all tables back to back
+  std::vector<TimeNs> arena_;         ///< tabled flat: all tables back to back
+  std::vector<CompressedTdTable> ctable_;  ///< tabled compressed: per task
   std::vector<std::unique_ptr<IncrementalTdState>> inc_;  ///< incremental mode
 };
 
@@ -155,7 +190,10 @@ class BatchMultiTaskManager final : public MultiTaskEpochManager {
   BatchMultiTaskManager(const ComposedSystem& system,
                         std::vector<const PolicyEngine*> engines,
                         BatchDecisionEngine::Mode mode =
-                            BatchDecisionEngine::Mode::kTabled);
+                            BatchDecisionEngine::Mode::kTabled,
+                        ArenaLayout layout = ArenaLayout::kFlat,
+                        BatchDecisionEngine::Kernel kernel =
+                            BatchDecisionEngine::Kernel::kAuto);
 
   std::string name() const override;
   std::size_t memory_bytes() const override { return engine_.memory_bytes(); }
@@ -183,10 +221,13 @@ class BatchMultiTaskManager final : public MultiTaskEpochManager {
 /// kIncremental in a NumericManager(Strategy::kIncremental).
 class SequentialMultiTaskManager final : public MultiTaskEpochManager {
  public:
+  /// `layout` selects the per-task TabledNumericManager arena in kTabled
+  /// mode (so the compressed layout has a sequential reference too).
   SequentialMultiTaskManager(const ComposedSystem& system,
                              std::vector<const PolicyEngine*> engines,
                              BatchDecisionEngine::Mode mode =
-                                 BatchDecisionEngine::Mode::kTabled);
+                                 BatchDecisionEngine::Mode::kTabled,
+                             ArenaLayout layout = ArenaLayout::kFlat);
 
   std::string name() const override;
   std::size_t memory_bytes() const override;

@@ -1,0 +1,325 @@
+// INTERNAL header of the batched decide_all sweep — included only by
+// core/batch_engine.cpp and the per-ISA kernel translation units
+// (core/batch_sweep_avx2.cpp, core/batch_sweep_avx512.cpp). Not part of
+// the public API.
+//
+// The warm-neighbourhood resolve exists in two equivalent forms: the
+// branchy early-exit case analysis of decide_task (the scalar kernel —
+// fastest on scalar hardware because a smooth controlled run makes its
+// branches predict nearly perfectly) and the branch-free compare/select
+// dataflow of resolve_lanes<Backend>, written once and instantiated by
+// the AVX2/AVX512/NEON backends built under the SPEEDQM_SIMD CMake
+// option (ScalarBackend is its one-lane instantiation, kept as the
+// executable specification of the dataflow). Both forms case-split the
+// probe outcomes identically and fall back to the identical shared
+// search beyond the one-step neighbourhood, so decisions (Decision.ops
+// included) are bit-identical across kernels — differential-gated by
+// tests/test_td_compressed.cpp and bench_multi_task.
+//
+// Vector kernels live in their own translation units compiled with the
+// matching ISA flags; BatchDecisionEngine picks a kernel AT RUNTIME from
+// __builtin_cpu_supports, so one binary runs correctly on any x86-64
+// machine (the AVX512 kernel engages only where it can execute).
+#pragma once
+
+#include <cstdint>
+
+#include "core/decision_search.hpp"
+#include "core/td_compressed.hpp"
+#include "core/types.hpp"
+
+namespace speedqm {
+namespace sweep_detail {
+
+/// Arena adapter: the flat 64-bit row-major layout (one load per probe).
+/// (External linkage on purpose: it appears in the signatures of the
+/// per-ISA kernel entry points below.)
+struct FlatArena {
+  const TimeNs* const* tables;
+  std::size_t nq;
+
+  struct Row {
+    const TimeNs* p;
+  };
+  Row row(std::size_t task, StateIndex s) const {
+    return Row{tables[task] + s * nq};
+  }
+  static TimeNs value(const Row& r, Quality q) { return r.p[q]; }
+};
+
+/// Arena adapter: the delta-coded layout (decode per probe; exact).
+struct CompressedArena {
+  const CompressedTdTable* tables;
+
+  using Row = CompressedTdTable::RowRef;
+  Row row(std::size_t task, StateIndex s) const { return tables[task].row(s); }
+  static TimeNs value(const Row& r, Quality q) { return r.value(q); }
+};
+
+/// Everything one decide_all pass needs, bundled for the kernel calls.
+struct SweepArgs {
+  const StateIndex* sizes;    ///< per task: number of states
+  Quality* hints;             ///< per task: warm hint (updated in place)
+  std::size_t num_tasks;
+  Quality qmax;
+  const StateIndex* states;
+  TimeNs t;
+  Decision* out;
+};
+
+// The helper templates below live in an ANONYMOUS namespace on purpose,
+// unusual as that is for a header: the per-ISA translation units include
+// this file while compiled with -mavx2 / -mavx512f, and if these
+// function templates had external (comdat) linkage the linker could pick
+// an ISA-flagged instantiation as the program-wide definition — leaking,
+// say, AVX512 code into the scalar fallback path and crashing the
+// "one binary runs on any x86-64" runtime dispatch on older CPUs. With
+// internal linkage every translation unit keeps the copy compiled with
+// its own ISA flags. (This header is internal and included by exactly
+// three TUs; the duplication is a few hundred bytes each.)
+namespace {
+
+/// One-lane backend: masks are 0 / ~0 in a plain 64-bit integer, selects
+/// are bitwise blends — no branches, so the "scalar" kernel is the same
+/// straight-line dataflow the vector kernels run.
+struct ScalarBackend {
+  static constexpr int kLanes = 1;
+  using Vec = std::int64_t;
+  using Mask = std::uint64_t;
+
+  static Vec load(const std::int64_t* p) { return *p; }
+  static void store(std::int64_t* p, Vec v) { *p = v; }
+  static Vec splat(std::int64_t x) { return x; }
+  static Vec sub(Vec a, Vec b) { return a - b; }
+  static Mask cmpge(Vec a, Vec b) { return a >= b ? ~0ull : 0ull; }
+  static Mask cmpeq(Vec a, Vec b) { return a == b ? ~0ull : 0ull; }
+  static Mask m_and(Mask a, Mask b) { return a & b; }
+  static Mask m_andnot(Mask a, Mask b) { return ~a & b; }  ///< (~a) & b
+  static Mask m_or(Mask a, Mask b) { return a | b; }
+  static Vec select(Mask m, Vec a, Vec b) {  ///< m ? a : b
+    return static_cast<Vec>((static_cast<Mask>(a) & m) |
+                            (static_cast<Mask>(b) & ~m));
+  }
+  static std::uint32_t bits(Mask m) { return static_cast<std::uint32_t>(m & 1); }
+};
+
+/// Splatted per-call constants shared by every resolve instantiation.
+template <class B>
+struct ResolveConsts {
+  typename B::Vec vt, vqmax, vqtop1, vzero, vone, vtwo;
+  explicit ResolveConsts(TimeNs t, Quality qmax)
+      : vt(B::splat(t)),
+        vqmax(B::splat(qmax)),
+        vqtop1(B::splat(qmax - 1)),
+        vzero(B::splat(0)),
+        vone(B::splat(1)),
+        vtwo(B::splat(2)) {}
+};
+
+template <class B>
+struct ResolveOut {
+  typename B::Vec q;         ///< resolved quality (decided lanes)
+  typename B::Vec ops;       ///< resolved Decision.ops (decided lanes)
+  typename B::Mask decided;  ///< lanes fully resolved by the neighbourhood
+  typename B::Mask inf;      ///< decided lanes that are infeasible (q = qmin)
+};
+
+/// The warm-neighbourhood resolve over one lane group — THE decision
+/// dataflow, written once and instantiated by every kernel. Replicates
+/// the shared prefix search of core/decision_search.hpp for every outcome
+/// within one step of the hint (stay / one step up to the top / one step
+/// down / infeasible at qmin) and leaves everything else — climbing or
+/// falling two or more levels — undecided for the full search. Probe
+/// outcomes, chosen qualities and op counts match decide_max_quality
+/// probe for probe.
+template <class B>
+inline ResolveOut<B> resolve_lanes(typename B::Vec vh, typename B::Vec vup,
+                                   typename B::Vec vdn, typename B::Vec h,
+                                   const ResolveConsts<B>& c) {
+  const typename B::Mask at_top = B::cmpeq(h, c.vqmax);
+  const typename B::Mask at_bot = B::cmpeq(h, c.vzero);
+  const typename B::Mask sat_h = B::cmpge(vh, c.vt);
+  // Effective neighbour probes: clamped loads masked by the edge flags,
+  // exactly the (at_top ? ... : ...) guards of the scalar search.
+  const typename B::Mask sat_up = B::m_andnot(at_top, B::cmpge(vup, c.vt));
+  const typename B::Mask sat_dn = B::m_andnot(at_bot, B::cmpge(vdn, c.vt));
+
+  const typename B::Mask m_stay = B::m_andnot(sat_up, sat_h);
+  const typename B::Mask m_up1 =
+      B::m_and(B::m_and(sat_h, sat_up), B::cmpeq(h, c.vqtop1));
+  const typename B::Mask m_inf = B::m_andnot(sat_h, at_bot);
+  const typename B::Mask m_dn1 = B::m_andnot(sat_h, sat_dn);
+
+  ResolveOut<B> r;
+  r.decided = B::m_or(B::m_or(m_stay, m_up1), B::m_or(m_inf, m_dn1));
+  r.inf = m_inf;
+  // q = stay ? h : up1 ? qmax : inf ? qmin : h - 1 (the m_dn1 lane).
+  r.q = B::select(m_stay, h, B::sub(h, c.vone));
+  r.q = B::select(m_up1, c.vqmax, r.q);
+  r.q = B::select(m_inf, c.vzero, r.q);
+  // ops = 1 for a lone probe (hint at the top, or qmin infeasible),
+  // 2 for every other resolved outcome — the hint plus one neighbour.
+  const typename B::Mask one_probe = B::m_or(B::m_and(m_stay, at_top), m_inf);
+  r.ops = B::select(one_probe, c.vone, c.vtwo);
+  return r;
+}
+
+/// The full shared search over one arena row — the fallback beyond the
+/// warm neighbourhood, and the cold-start path. Identical to the
+/// per-task TabledNumericManager probes (what pins batched == sequential).
+template <class Arena>
+inline Decision search_row(const typename Arena::Row& row, Quality qmax,
+                           Quality hint, TimeNs t) {
+  return decide_max_quality(qmax, hint, [&](Quality q, std::uint64_t*) {
+    return Arena::value(row, q) >= t;
+  });
+}
+
+/// One task decided through the warm-neighbourhood resolve with early
+/// exits — the scalar kernel's whole loop body, and every vector kernel's
+/// handler for lanes that do not fit a full group (finished/cold lanes,
+/// low-occupancy groups, ragged tails). This is the PR-3 branchy resolve,
+/// kept branchy on purpose: a feasible controlled run's outcomes are
+/// smooth, so these branches predict nearly perfectly and the early exits
+/// beat a branch-free dataflow on scalar hardware. The case analysis is
+/// the same one resolve_lanes computes with compares + selects, so
+/// decisions and Decision.ops agree lane for lane (differential-gated).
+template <class Arena>
+inline std::uint64_t decide_task(const Arena& arena, const SweepArgs& a,
+                                 std::size_t task) {
+  const StateIndex s = a.states[task];
+  if (s >= a.sizes[task]) return 0;  // finished: out untouched, no ops
+  const typename Arena::Row row = arena.row(task, s);
+  const Quality h = a.hints[task];
+  const Quality qmax = a.qmax;
+  const TimeNs t = a.t;
+  Decision d;
+  if (h >= 0) {
+    const bool at_top = h >= qmax;
+    const bool at_bottom = h <= kQmin;
+    const bool sat_h = Arena::value(row, h) >= t;
+    const bool sat_up = !at_top && Arena::value(row, at_top ? h : h + 1) >= t;
+    const bool sat_dn =
+        !at_bottom && Arena::value(row, at_bottom ? h : h - 1) >= t;
+    if (sat_h) {
+      if (at_top || !sat_up) {          // stay at the hint
+        d.quality = h;
+        d.ops = at_top ? 1 : 2;
+      } else if (h + 1 == qmax) {       // one step up hits the top
+        d.quality = qmax;
+        d.ops = 2;
+      } else {
+        d = search_row<Arena>(row, qmax, h, t);  // climbing: shared search
+      }
+    } else if (at_bottom) {             // qmin fails: infeasible
+      d.quality = kQmin;
+      d.feasible = false;
+      d.ops = 1;
+    } else if (sat_dn) {                // one step down
+      d.quality = h - 1;
+      d.ops = 2;
+    } else {
+      d = search_row<Arena>(row, qmax, h, t);    // falling: shared search
+    }
+  } else {
+    d = search_row<Arena>(row, qmax, h, t);      // cold start
+  }
+  a.hints[task] = d.quality;
+  a.out[task] = d;
+  return d.ops;
+}
+
+/// The batched sweep over one arena with one resolve backend: per task a
+/// row cursor from the SoA arrays, the warm neighbourhood resolved with
+/// compares + selects (resolve_lanes), cold starts and
+/// beyond-neighbourhood outcomes through the full shared search. Written
+/// once; every (arena, backend) combination instantiates this template,
+/// which is what keeps the decide_all paths bit-identical. One-lane
+/// backends resolve inline; vector backends stage lane groups through a
+/// small SoA buffer (used for arenas whose probes decode scalar — the
+/// flat-arena x86 kernels have gather-based specializations instead).
+template <class Arena, class B>
+std::uint64_t sweep_staged(const Arena& arena, const SweepArgs& a) {
+  std::uint64_t total = 0;
+  if constexpr (B::kLanes == 1) {
+    for (std::size_t task = 0; task < a.num_tasks; ++task) {
+      total += decide_task(arena, a, task);
+    }
+    return total;
+  } else {
+    const ResolveConsts<B> consts(a.t, a.qmax);
+    constexpr int W = B::kLanes;
+    alignas(64) std::int64_t vh[W], vup[W], vdn[W], hbuf[W], qbuf[W], obuf[W];
+    typename Arena::Row rows[W];
+    std::size_t lane_task[W];
+    int count = 0;
+
+    const auto flush = [&]() {
+      for (int i = count; i < W; ++i) {  // pad: resolves to "stay", discarded
+        hbuf[i] = 0;
+        vh[i] = a.t;
+        vup[i] = a.t - 1;
+        vdn[i] = a.t;
+      }
+      const ResolveOut<B> r = resolve_lanes<B>(
+          B::load(vh), B::load(vup), B::load(vdn), B::load(hbuf), consts);
+      B::store(qbuf, r.q);
+      B::store(obuf, r.ops);
+      const std::uint32_t fall = ~B::bits(r.decided) & ((1u << W) - 1u);
+      const std::uint32_t inf = B::bits(r.inf);
+      for (int i = 0; i < count; ++i) {
+        Decision d;
+        if (fall & (1u << i)) {
+          d = search_row<Arena>(rows[i], a.qmax,
+                                static_cast<Quality>(hbuf[i]), a.t);
+        } else {
+          d.quality = static_cast<Quality>(qbuf[i]);
+          d.ops = static_cast<std::uint64_t>(obuf[i]);
+          d.feasible = (inf & (1u << i)) == 0;
+        }
+        a.hints[lane_task[i]] = d.quality;
+        a.out[lane_task[i]] = d;
+        total += d.ops;
+      }
+      count = 0;
+    };
+
+    for (std::size_t task = 0; task < a.num_tasks; ++task) {
+      const StateIndex s = a.states[task];
+      if (s >= a.sizes[task]) continue;
+      const Quality h = a.hints[task];
+      if (h < 0) {
+        total += decide_task(arena, a, task);
+        continue;
+      }
+      const typename Arena::Row row = arena.row(task, s);
+      const int i = count;
+      lane_task[i] = task;
+      hbuf[i] = h;
+      vh[i] = Arena::value(row, h);
+      vup[i] = Arena::value(row, h >= a.qmax ? h : h + 1);
+      vdn[i] = Arena::value(row, h <= kQmin ? h : h - 1);
+      rows[i] = row;
+      if (++count == W) flush();
+    }
+    if (count > 0) flush();
+    return total;
+  }
+}
+
+}  // namespace
+
+// --- Per-ISA kernels (defined in batch_sweep_avx2.cpp /
+// --- batch_sweep_avx512.cpp; return false / never called when their ISA
+// --- is not compiled in or the running CPU lacks it).
+
+/// True when the AVX2 kernel is compiled in AND this CPU executes AVX2.
+bool avx2_usable();
+std::uint64_t sweep_flat_avx2(const FlatArena& arena, const SweepArgs& a);
+
+/// True when the AVX512 kernel is compiled in AND this CPU executes it.
+bool avx512_usable();
+std::uint64_t sweep_flat_avx512(const FlatArena& arena, const SweepArgs& a);
+
+}  // namespace sweep_detail
+}  // namespace speedqm

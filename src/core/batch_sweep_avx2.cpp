@@ -1,0 +1,202 @@
+// AVX2 kernels of the batched decide_all sweep (see core/batch_sweep.hpp).
+// This translation unit is the only one compiled with -mavx2; the engine
+// calls these kernels only after avx2_usable() confirmed the running CPU
+// executes them, so SPEEDQM_SIMD=ON binaries stay portable across x86-64.
+#include "core/batch_sweep.hpp"
+
+#if defined(SPEEDQM_SIMD) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cstddef>
+
+namespace speedqm {
+namespace sweep_detail {
+
+namespace {
+
+struct Avx2Backend {
+  static constexpr int kLanes = 4;
+  using Vec = __m256i;
+  using Mask = __m256i;
+
+  static Vec load(const std::int64_t* p) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static void store(std::int64_t* p, Vec v) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+  static Vec splat(std::int64_t x) { return _mm256_set1_epi64x(x); }
+  static Vec sub(Vec a, Vec b) { return _mm256_sub_epi64(a, b); }
+  static Mask cmpge(Vec a, Vec b) {  // a >= b  <=>  !(b > a)
+    return _mm256_xor_si256(_mm256_cmpgt_epi64(b, a), _mm256_set1_epi64x(-1));
+  }
+  static Mask cmpeq(Vec a, Vec b) { return _mm256_cmpeq_epi64(a, b); }
+  static Mask m_and(Mask a, Mask b) { return _mm256_and_si256(a, b); }
+  static Mask m_andnot(Mask a, Mask b) { return _mm256_andnot_si256(a, b); }
+  static Mask m_or(Mask a, Mask b) { return _mm256_or_si256(a, b); }
+  static Vec select(Mask m, Vec a, Vec b) { return _mm256_blendv_epi8(b, a, m); }
+  static std::uint32_t bits(Mask m) {
+    return static_cast<std::uint32_t>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(m)));
+  }
+};
+
+}  // namespace
+
+bool avx2_usable() { return __builtin_cpu_supports("avx2"); }
+
+/// The flat-arena AVX2 fast path: groups of four consecutive tasks decided
+/// in vector registers — cursor loads, per-lane neighbourhood window
+/// loads transposed in-register, and the resolve_lanes dataflow — with
+/// the branchy per-lane handler for cold lanes, low-occupancy groups and
+/// the beyond-neighbourhood fallback. Decisions are bit-identical to the
+/// scalar kernel because the resolve case analysis is the same and the
+/// fallback is the same shared search.
+std::uint64_t sweep_flat_avx2(const FlatArena& arena, const SweepArgs& a) {
+  using B = Avx2Backend;
+  std::uint64_t total = 0;
+  const ResolveConsts<B> consts(a.t, a.qmax);
+  // The interleaved Decision stores below assume the field layout.
+  static_assert(sizeof(Decision) == 24, "Decision layout changed");
+  static_assert(offsetof(Decision, quality) == 0 &&
+                    offsetof(Decision, relax_steps) == 4 &&
+                    offsetof(Decision, ops) == 8 &&
+                    offsetof(Decision, feasible) == 16,
+                "Decision layout changed");
+  const __m256i ones = _mm256_set1_epi64x(-1);
+  const __m256i vrelax = _mm256_set1_epi64x(std::int64_t{1} << 32);
+  __m256i vops_acc = _mm256_setzero_si256();
+  alignas(32) std::int64_t qbuf[4], obuf[4], hbuf[4];
+
+  std::size_t task = 0;
+  for (; task + 4 <= a.num_tasks; task += 4) {
+    const __m256i s = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(a.states + task));
+    const __m256i n = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(a.sizes + task));
+    const __m256i h = _mm256_cvtepi32_epi64(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a.hints + task)));
+    const __m256i active = _mm256_cmpgt_epi64(n, s);
+    if (B::bits(active) == 0) continue;  // whole group finished: no work
+    const __m256i warm = _mm256_cmpgt_epi64(h, ones);  // h > -1
+    const __m256i simple = _mm256_and_si256(active, warm);
+    const std::uint32_t simple_bits = B::bits(simple);
+    if (__builtin_popcount(simple_bits) <= 1) {
+      // Low occupancy (drain tail, cold lanes): the branchy per-lane
+      // handler beats paying the vector group cost for one live lane.
+      // Whole group finished or cold: the shared scalar handler (a
+      // finished lane costs one compare there; cold lanes run the full
+      // cold search exactly once per cycle).
+      for (std::size_t j = task; j < task + 4; ++j) {
+        total += decide_task(arena, a, j);
+      }
+      continue;
+    }
+    // Each lane's three probes are CONTIGUOUS — row[h-1], row[h], row[h+1]
+    // — so one unaligned 256-bit window load per lane replaces three
+    // 64-bit gathers (slow on many cores), and a 4x4 in-register
+    // transpose turns the four windows into the vdn/vh/vup lane vectors.
+    // The engine pads the arena so every window — including cold hints at
+    // the first row and finished tasks one row past their table — stays
+    // inside the allocation; out-of-row readings land in lanes the
+    // resolve's edge masks discard.
+    const auto window = [&](int i) {
+      const std::size_t j = task + static_cast<std::size_t>(i);
+      return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+          arena.tables[j] + a.states[j] * arena.nq + a.hints[j] - 1));
+    };
+    const __m256i w0 = window(0);
+    const __m256i w1 = window(1);
+    const __m256i w2 = window(2);
+    const __m256i w3 = window(3);
+    const __m256i lo01 = _mm256_unpacklo_epi64(w0, w1);  // [A-1 B-1 A+1 B+1]
+    const __m256i hi01 = _mm256_unpackhi_epi64(w0, w1);  // [A0  B0  A+2 B+2]
+    const __m256i lo23 = _mm256_unpacklo_epi64(w2, w3);
+    const __m256i hi23 = _mm256_unpackhi_epi64(w2, w3);
+    const __m256i vdn = _mm256_permute2x128_si256(lo01, lo23, 0x20);
+    const __m256i vh = _mm256_permute2x128_si256(hi01, hi23, 0x20);
+    const __m256i vup = _mm256_permute2x128_si256(lo01, lo23, 0x31);
+    const ResolveOut<B> r = resolve_lanes<B>(vh, vup, vdn, h, consts);
+    const std::uint32_t fall = ~B::bits(r.decided) & simple_bits;
+    const std::uint32_t inf = B::bits(r.inf);
+    if (simple_bits == 0xFu && fall == 0) {
+      // Common steady state: all four lanes resolved. Warm hints for the
+      // next epoch: pack the 64-bit qualities to 32-bit, one store; the
+      // four 24-byte Decisions ({quality, relax_steps = 1}, ops,
+      // {feasible, zeroed padding}) are interleaved in registers and
+      // written with three vector stores.
+      const __m256i q32 = _mm256_permutevar8x32_epi32(
+          r.q, _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(a.hints + task),
+                       _mm256_castsi256_si128(q32));
+      const __m256i w0 = _mm256_or_si256(r.q, vrelax);  // quality | relax<<32
+      const __m256i w1 = r.ops;
+      const __m256i w2 = _mm256_andnot_si256(r.inf, consts.vone);  // feasible
+      auto* base = reinterpret_cast<char*>(a.out + task);
+      const __m256i ymm_a = _mm256_blend_epi32(
+          _mm256_blend_epi32(_mm256_permute4x64_epi64(w0, 0x40),
+                             _mm256_permute4x64_epi64(w1, 0x00), 0x0C),
+          _mm256_permute4x64_epi64(w2, 0x00), 0x30);
+      const __m256i ymm_b = _mm256_blend_epi32(
+          _mm256_blend_epi32(_mm256_permute4x64_epi64(w1, 0x81),
+                             _mm256_permute4x64_epi64(w2, 0x04), 0x0C),
+          _mm256_permute4x64_epi64(w0, 0x20), 0x30);
+      const __m256i ymm_c = _mm256_blend_epi32(
+          _mm256_blend_epi32(_mm256_permute4x64_epi64(w2, 0xC2),
+                             _mm256_permute4x64_epi64(w0, 0x0C), 0x0C),
+          _mm256_permute4x64_epi64(w1, 0x30), 0x30);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(base), ymm_a);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(base + 32), ymm_b);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(base + 64), ymm_c);
+      vops_acc = _mm256_add_epi64(vops_acc, r.ops);
+      continue;
+    }
+    B::store(qbuf, r.q);
+    B::store(obuf, r.ops);
+    B::store(hbuf, h);
+    for (int i = 0; i < 4; ++i) {
+      if (!(simple_bits & (1u << i))) {
+        // Finished (skipped inside) or cold lane: shared scalar handler,
+        // so the engine state stays bit-identical to the scalar kernel.
+        total += decide_task(arena, a, task + i);
+        continue;
+      }
+      Decision d;
+      if (fall & (1u << i)) {
+        d = search_row<FlatArena>(arena.row(task + i, a.states[task + i]),
+                                  a.qmax, static_cast<Quality>(hbuf[i]), a.t);
+      } else {
+        d.quality = static_cast<Quality>(qbuf[i]);
+        d.ops = static_cast<std::uint64_t>(obuf[i]);
+        d.feasible = (inf & (1u << i)) == 0;
+      }
+      a.hints[task + i] = d.quality;
+      a.out[task + i] = d;
+      total += d.ops;
+    }
+  }
+  for (; task < a.num_tasks; ++task) {
+    total += decide_task(arena, a, task);
+  }
+  alignas(32) std::int64_t acc[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(acc), vops_acc);
+  return total +
+         static_cast<std::uint64_t>(acc[0] + acc[1] + acc[2] + acc[3]);
+}
+
+}  // namespace sweep_detail
+}  // namespace speedqm
+
+#else  // !(SPEEDQM_SIMD && __AVX2__)
+
+namespace speedqm {
+namespace sweep_detail {
+
+bool avx2_usable() { return false; }
+std::uint64_t sweep_flat_avx2(const FlatArena&, const SweepArgs&) { return 0; }
+
+}  // namespace sweep_detail
+}  // namespace speedqm
+
+#endif

@@ -1,0 +1,207 @@
+// AVX512 kernel of the batched decide_all sweep (see core/batch_sweep.hpp):
+// eight task lanes per group, predicate masks in k-registers, and the
+// neighbourhood probes as per-lane window loads. Compiled with -mavx512f
+// in this translation unit only; the engine calls it only after
+// avx512_usable() confirmed the running CPU executes it, so SPEEDQM_SIMD
+// binaries stay portable across x86-64 (AVX2-only machines use the AVX2
+// kernel, everything else the scalar one).
+#include "core/batch_sweep.hpp"
+
+#if defined(SPEEDQM_SIMD) && defined(__AVX512F__)
+
+// GCC's avx512fintrin.h trips -W(maybe-)uninitialized on its own
+// _mm512_undefined_epi32 plumbing when inlined under -Wextra; the
+// warnings point inside the system header, not this code.
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#pragma GCC diagnostic ignored "-Wuninitialized"
+
+#include <immintrin.h>
+
+#include <cstddef>
+
+namespace speedqm {
+namespace sweep_detail {
+
+namespace {
+
+struct Avx512Backend {
+  static constexpr int kLanes = 8;
+  using Vec = __m512i;
+  using Mask = __mmask8;
+
+  static Vec load(const std::int64_t* p) { return _mm512_loadu_si512(p); }
+  static void store(std::int64_t* p, Vec v) { _mm512_storeu_si512(p, v); }
+  static Vec splat(std::int64_t x) { return _mm512_set1_epi64(x); }
+  static Vec sub(Vec a, Vec b) { return _mm512_sub_epi64(a, b); }
+  static Mask cmpge(Vec a, Vec b) {
+    return _mm512_cmp_epi64_mask(a, b, _MM_CMPINT_NLT);
+  }
+  static Mask cmpeq(Vec a, Vec b) {
+    return _mm512_cmp_epi64_mask(a, b, _MM_CMPINT_EQ);
+  }
+  static Mask m_and(Mask a, Mask b) { return static_cast<Mask>(a & b); }
+  static Mask m_andnot(Mask a, Mask b) { return static_cast<Mask>(~a & b); }
+  static Mask m_or(Mask a, Mask b) { return static_cast<Mask>(a | b); }
+  static Vec select(Mask m, Vec a, Vec b) {
+    return _mm512_mask_blend_epi64(m, b, a);  // m ? a : b
+  }
+  static std::uint32_t bits(Mask m) { return m; }
+};
+
+}  // namespace
+
+bool avx512_usable() { return __builtin_cpu_supports("avx512f"); }
+
+/// The flat-arena AVX512 fast path — the AVX2 kernel's structure at twice
+/// the lane width: groups of eight consecutive tasks, cursor loads, row
+/// addressing, masked gathers and the resolve_lanes dataflow all in
+/// vector registers, scalar handling only for cold lanes, all-skipped
+/// groups and the rare beyond-neighbourhood fallback.
+std::uint64_t sweep_flat_avx512(const FlatArena& arena, const SweepArgs& a) {
+  using B = Avx512Backend;
+  std::uint64_t total = 0;
+  const ResolveConsts<B> consts(a.t, a.qmax);
+  // The interleaved Decision stores below assume the field layout.
+  static_assert(sizeof(Decision) == 24, "Decision layout changed");
+  static_assert(offsetof(Decision, quality) == 0 &&
+                    offsetof(Decision, relax_steps) == 4 &&
+                    offsetof(Decision, ops) == 8 &&
+                    offsetof(Decision, feasible) == 16,
+                "Decision layout changed");
+  const __m512i vrelax = _mm512_set1_epi64(std::int64_t{1} << 32);
+  const __m512i vmone = _mm512_set1_epi64(-1);
+  __m512i vops_acc = _mm512_setzero_si512();
+  alignas(64) std::int64_t qbuf[8], obuf[8], hbuf[8];
+
+  // vpermt2q index pairs turning the three lane-major words per Decision
+  // ({quality|relax}, ops, {feasible}) into the 8 x 24-byte memory
+  // interleave (three 64-byte stores). Lane j < 8 picks source 1, j >= 8
+  // source 2.
+  const __m512i idx_a01 = _mm512_setr_epi64(0, 8, 0, 1, 9, 0, 2, 10);
+  const __m512i idx_a2 = _mm512_setr_epi64(0, 1, 8, 3, 4, 9, 6, 7);
+  const __m512i idx_b01 = _mm512_setr_epi64(0, 3, 11, 0, 4, 12, 0, 5);
+  const __m512i idx_b2 = _mm512_setr_epi64(10, 1, 2, 11, 4, 5, 12, 7);
+  const __m512i idx_c01 = _mm512_setr_epi64(13, 0, 6, 14, 0, 7, 15, 0);
+  const __m512i idx_c2 = _mm512_setr_epi64(0, 13, 2, 3, 14, 5, 6, 15);
+
+  std::size_t task = 0;
+  for (; task + 8 <= a.num_tasks; task += 8) {
+    const __m512i s = _mm512_loadu_si512(a.states + task);
+    const __m512i n = _mm512_loadu_si512(a.sizes + task);
+    const __m512i h = _mm512_cvtepi32_epi64(_mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(a.hints + task)));
+    const __mmask8 active = _mm512_cmp_epi64_mask(n, s, _MM_CMPINT_NLE);
+    if (active == 0) continue;  // whole group finished: no work
+    const __mmask8 warm = _mm512_cmp_epi64_mask(h, vmone, _MM_CMPINT_NLE);
+    const __mmask8 simple = active & warm;
+    if (__builtin_popcount(simple) <= 2) {
+      // Low occupancy (drain tail, cold lanes): the branchy per-lane
+      // handler beats paying the vector group cost for 1-2 live lanes.
+      for (std::size_t j = task; j < task + 8; ++j) {
+        total += decide_task(arena, a, j);
+      }
+      continue;
+    }
+    // Each lane's three probes are CONTIGUOUS — row[h-1], row[h], row[h+1]
+    // — so one unaligned 256-bit window load per lane replaces three
+    // 64-bit gathers (slow on many cores); the eight windows are paired
+    // into four zmm registers and transposed into the vdn/vh/vup lane
+    // vectors with two-source permutes. The engine pads the arena so
+    // every window — cold hints at the first row, finished tasks one row
+    // past their table — stays inside the allocation; out-of-row readings
+    // land in lanes the resolve's edge masks discard.
+    const auto window = [&](int i) {
+      const std::size_t j = task + static_cast<std::size_t>(i);
+      return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+          arena.tables[j] + a.states[j] * arena.nq + a.hints[j] - 1));
+    };
+    const __m512i z01 = _mm512_inserti64x4(
+        _mm512_castsi256_si512(window(0)), window(1), 1);
+    const __m512i z23 = _mm512_inserti64x4(
+        _mm512_castsi256_si512(window(2)), window(3), 1);
+    const __m512i z45 = _mm512_inserti64x4(
+        _mm512_castsi256_si512(window(4)), window(5), 1);
+    const __m512i z67 = _mm512_inserti64x4(
+        _mm512_castsi256_si512(window(6)), window(7), 1);
+    // Field f of the window (0 = h-1, 1 = h, 2 = h+1) sits at lane f and
+    // 4+f of each pair; gather the four pairs' fields into the low 256
+    // bits of two permutes, then splice the halves.
+    const auto field = [&](int f) {
+      const __m512i idx = _mm512_setr_epi64(f, f + 4, f + 8, f + 12, 0, 0, 0, 0);
+      const __m512i lo = _mm512_permutex2var_epi64(z01, idx, z23);
+      const __m512i hi = _mm512_permutex2var_epi64(z45, idx, z67);
+      return _mm512_shuffle_i64x2(lo, hi, 0x44);
+    };
+    const __m512i vdn = field(0);
+    const __m512i vh = field(1);
+    const __m512i vup = field(2);
+    const ResolveOut<B> r = resolve_lanes<B>(vh, vup, vdn, h, consts);
+    const std::uint32_t fall = ~B::bits(r.decided) & simple;
+    const std::uint32_t inf = B::bits(r.inf);
+    if (simple == 0xFFu && fall == 0) {
+      // Steady state: warm hints packed to 32-bit in one store, the eight
+      // Decisions interleaved in registers and written with three stores.
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(a.hints + task),
+                          _mm512_cvtepi64_epi32(r.q));
+      const __m512i w0 = _mm512_or_si512(r.q, vrelax);
+      const __m512i w1 = r.ops;
+      const __m512i w2 =
+          _mm512_maskz_mov_epi64(static_cast<__mmask8>(~r.inf), consts.vone);
+      auto* base = reinterpret_cast<char*>(a.out + task);
+      const __m512i zmm_a = _mm512_permutex2var_epi64(
+          _mm512_permutex2var_epi64(w0, idx_a01, w1), idx_a2, w2);
+      const __m512i zmm_b = _mm512_permutex2var_epi64(
+          _mm512_permutex2var_epi64(w0, idx_b01, w1), idx_b2, w2);
+      const __m512i zmm_c = _mm512_permutex2var_epi64(
+          _mm512_permutex2var_epi64(w0, idx_c01, w1), idx_c2, w2);
+      _mm512_storeu_si512(base, zmm_a);
+      _mm512_storeu_si512(base + 64, zmm_b);
+      _mm512_storeu_si512(base + 128, zmm_c);
+      vops_acc = _mm512_add_epi64(vops_acc, r.ops);
+      continue;
+    }
+    B::store(qbuf, r.q);
+    B::store(obuf, r.ops);
+    B::store(hbuf, h);
+    for (int i = 0; i < 8; ++i) {
+      if (!(simple & (1u << i))) {
+        total += decide_task(arena, a, task + i);
+        continue;
+      }
+      Decision d;
+      if (fall & (1u << i)) {
+        d = search_row<FlatArena>(arena.row(task + i, a.states[task + i]),
+                                  a.qmax, static_cast<Quality>(hbuf[i]), a.t);
+      } else {
+        d.quality = static_cast<Quality>(qbuf[i]);
+        d.ops = static_cast<std::uint64_t>(obuf[i]);
+        d.feasible = (inf & (1u << i)) == 0;
+      }
+      a.hints[task + i] = d.quality;
+      a.out[task + i] = d;
+      total += d.ops;
+    }
+  }
+  for (; task < a.num_tasks; ++task) {
+    total += decide_task(arena, a, task);
+  }
+  return total + _mm512_reduce_add_epi64(vops_acc);
+}
+
+}  // namespace sweep_detail
+}  // namespace speedqm
+
+#else  // !(SPEEDQM_SIMD && __AVX512F__)
+
+namespace speedqm {
+namespace sweep_detail {
+
+bool avx512_usable() { return false; }
+std::uint64_t sweep_flat_avx512(const FlatArena&, const SweepArgs&) {
+  return 0;
+}
+
+}  // namespace sweep_detail
+}  // namespace speedqm
+
+#endif

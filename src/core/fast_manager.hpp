@@ -10,19 +10,24 @@
 //
 // The manager composes a QualityRegionTable (row-major [state][quality],
 // the RegionCompiler serialization layout), so compiled or persisted
-// region tables drop straight in. Decisions are bit-identical to
+// region tables drop straight in. ArenaLayout::kCompressed stores the same
+// borders in the delta-coded arena of core/td_compressed.hpp instead
+// (~2.2-2.4x less memory); probes decode exactly, so decisions are
+// bit-identical to the flat layout. Both layouts are bit-identical to
 // NumericManager / PolicyEngine::decide_scan (everything answers
 // max { q | tD(s,q) >= t } through the shared search in
 // core/decision_search.hpp); only Decision.ops — one op per table probe —
-// differs.
+// differs between tabled and online engines.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <utility>
 
 #include "core/manager.hpp"
 #include "core/policy.hpp"
 #include "core/quality_region.hpp"
+#include "core/td_compressed.hpp"
 #include "core/types.hpp"
 
 namespace speedqm {
@@ -30,34 +35,67 @@ namespace speedqm {
 class TabledNumericManager final : public QualityManager {
  public:
   /// Compiles the tD table from the engine (offline step; amortized O(n)
-  /// per quality level for the mixed policy).
-  explicit TabledNumericManager(const PolicyEngine& engine)
-      : table_(engine),
-        label_(std::string("tabled-") + to_string(engine.kind())) {}
+  /// per quality level for the mixed policy) into the requested layout.
+  explicit TabledNumericManager(const PolicyEngine& engine,
+                                ArenaLayout layout = ArenaLayout::kFlat)
+      : layout_(layout),
+        label_(std::string("tabled-") + to_string(engine.kind()) +
+               (layout == ArenaLayout::kCompressed ? "-compressed" : "")) {
+    if (layout_ == ArenaLayout::kCompressed) {
+      compressed_ = CompressedTdTable(engine);
+      n_ = compressed_->num_states();
+      nq_ = compressed_->num_levels();
+    } else {
+      flat_ = QualityRegionTable(engine);
+      n_ = flat_->num_states();
+      nq_ = flat_->num_levels();
+    }
+  }
 
   /// Adopts an already-compiled region table (deserialization path via
   /// RegionCompiler::load_regions).
   explicit TabledNumericManager(QualityRegionTable table)
-      : table_(std::move(table)), label_("tabled-numeric") {}
+      : layout_(ArenaLayout::kFlat),
+        flat_(std::move(table)),
+        label_("tabled-numeric") {
+    n_ = flat_->num_states();
+    nq_ = flat_->num_levels();
+  }
 
-  StateIndex num_states() const { return table_.num_states(); }
-  int num_levels() const { return table_.num_levels(); }
-  Quality qmax() const { return table_.qmax(); }
+  /// Adopts a compressed arena (deserialization path via
+  /// RegionCompiler::load_regions_compressed).
+  explicit TabledNumericManager(CompressedTdTable table)
+      : layout_(ArenaLayout::kCompressed),
+        compressed_(std::move(table)),
+        label_("tabled-numeric-compressed") {
+    n_ = compressed_->num_states();
+    nq_ = compressed_->num_levels();
+  }
+
+  StateIndex num_states() const { return n_; }
+  int num_levels() const { return nq_; }
+  Quality qmax() const { return nq_ - 1; }
+  ArenaLayout layout() const { return layout_; }
 
   /// The stored border tD(s, q) (checked; cold path).
-  TimeNs td(StateIndex s, Quality q) const { return table_.td(s, q); }
+  TimeNs td(StateIndex s, Quality q) const {
+    return layout_ == ArenaLayout::kCompressed ? compressed_->td(s, q)
+                                               : flat_->td(s, q);
+  }
 
-  /// O(log |Q|) decision over the flat row for state s, warm-started from
-  /// the previous decision's quality.
+  /// O(log |Q|) decision over the row for state s, warm-started from the
+  /// previous decision's quality. Identical across layouts.
   Decision decide(StateIndex s, TimeNs t) override {
-    const Decision d = table_.decide_warm(s, t, last_quality_);
+    const Decision d = decide_at(s, t, last_quality_);
     last_quality_ = d.quality;
     return d;
   }
 
   /// The same decision without touching warm-start state (for probing).
   Decision decide_at(StateIndex s, TimeNs t, Quality warm_hint = -1) const {
-    return table_.decide_warm(s, t, warm_hint);
+    return layout_ == ArenaLayout::kCompressed
+               ? compressed_->decide_warm(s, t, warm_hint)
+               : flat_->decide_warm(s, t, warm_hint);
   }
 
   /// Forgets the warm-start quality (executor calls this every cycle; the
@@ -65,11 +103,25 @@ class TabledNumericManager final : public QualityManager {
   void reset() override { last_quality_ = -1; }
 
   std::string name() const override { return label_; }
-  std::size_t memory_bytes() const override { return table_.memory_bytes(); }
-  std::size_t num_table_integers() const override { return table_.num_integers(); }
+  std::size_t memory_bytes() const override {
+    return layout_ == ArenaLayout::kCompressed ? compressed_->memory_bytes()
+                                               : flat_->memory_bytes();
+  }
+  std::size_t num_table_integers() const override {
+    // The paper's logical table-size metric |A| * |Q| — layout-independent;
+    // memory_bytes() reports what the layout actually stores.
+    return layout_ == ArenaLayout::kCompressed ? compressed_->num_integers()
+                                               : flat_->num_integers();
+  }
 
  private:
-  QualityRegionTable table_;
+  ArenaLayout layout_;
+  // Exactly one engaged, per layout_ (std::optional keeps the two arena
+  // types constructible without default states).
+  std::optional<QualityRegionTable> flat_;
+  std::optional<CompressedTdTable> compressed_;
+  StateIndex n_ = 0;
+  int nq_ = 0;
   Quality last_quality_ = -1;
   std::string label_;
 };

@@ -15,7 +15,8 @@ namespace {
 
 constexpr std::uint32_t kRegionMagic = 0x53514D52;      // "SQMR"
 constexpr std::uint32_t kRelaxationMagic = 0x53514D58;  // "SQMX"
-constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::uint32_t kFormatVersion = 1;            // flat 64-bit body
+constexpr std::uint32_t kFormatVersionCompressed = 2;  // delta-coded body
 
 void write_u32(std::ostream& out, std::uint32_t v) {
   unsigned char b[4];
@@ -95,16 +96,71 @@ void RegionCompiler::save_regions(const QualityRegionTable& table, std::ostream&
   if (!out) throw std::runtime_error("RegionCompiler: write failed");
 }
 
-QualityRegionTable RegionCompiler::load_regions(std::istream& in) {
+namespace {
+
+/// Reads the shared region header, returning the stream's body version
+/// (1 = flat, 2 = compressed) with dimensions validated.
+std::uint32_t read_region_header(std::istream& in, StateIndex& n, int& nq) {
   if (read_u32(in) != kRegionMagic)
     throw std::runtime_error("RegionCompiler: bad region-table magic");
-  if (read_u32(in) != kFormatVersion)
+  const std::uint32_t version = read_u32(in);
+  if (version != kFormatVersion && version != kFormatVersionCompressed)
     throw std::runtime_error("RegionCompiler: unsupported region-table version");
-  const auto n = static_cast<StateIndex>(read_u32(in));
-  const auto nq = static_cast<int>(read_u32(in));
+  n = static_cast<StateIndex>(read_u32(in));
+  nq = static_cast<int>(read_u32(in));
   SPEEDQM_REQUIRE(n > 0 && nq > 0, "RegionCompiler: corrupt dimensions");
+  return version;
+}
+
+}  // namespace
+
+QualityRegionTable RegionCompiler::load_regions(std::istream& in) {
+  StateIndex n = 0;
+  int nq = 0;
+  const std::uint32_t version = read_region_header(in, n, nq);
+  if (version == kFormatVersionCompressed) {
+    // Cross-load: decompress a v2 stream into the flat table (exact).
+    return QualityRegionTable(
+        n, nq, CompressedTdTable::load_body(in, n, nq).to_flat());
+  }
   auto data = read_i64_array(in, n * static_cast<std::size_t>(nq));
   return QualityRegionTable(n, nq, std::move(data));
+}
+
+void RegionCompiler::save_regions_compressed(const CompressedTdTable& table,
+                                             std::ostream& out) {
+  write_u32(out, kRegionMagic);
+  write_u32(out, kFormatVersionCompressed);
+  write_u32(out, static_cast<std::uint32_t>(table.num_states()));
+  write_u32(out, static_cast<std::uint32_t>(table.num_levels()));
+  table.save_body(out);
+  if (!out) throw std::runtime_error("RegionCompiler: write failed");
+}
+
+CompressedTdTable RegionCompiler::load_regions_compressed(std::istream& in) {
+  StateIndex n = 0;
+  int nq = 0;
+  const std::uint32_t version = read_region_header(in, n, nq);
+  if (version == kFormatVersion) {
+    // Cross-load: compress a v1 flat stream (exact round-trip).
+    return CompressedTdTable(n, nq,
+                             read_i64_array(in, n * static_cast<std::size_t>(nq)));
+  }
+  return CompressedTdTable::load_body(in, n, nq);
+}
+
+void RegionCompiler::save_regions_compressed_file(const CompressedTdTable& table,
+                                                  const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("RegionCompiler: cannot open " + path);
+  save_regions_compressed(table, out);
+}
+
+CompressedTdTable RegionCompiler::load_regions_compressed_file(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("RegionCompiler: cannot open " + path);
+  return load_regions_compressed(in);
 }
 
 void RegionCompiler::save_regions_file(const QualityRegionTable& table,

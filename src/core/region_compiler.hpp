@@ -14,6 +14,7 @@
 #include "core/policy.hpp"
 #include "core/quality_region.hpp"
 #include "core/relaxation_region.hpp"
+#include "core/td_compressed.hpp"
 
 namespace speedqm {
 
@@ -43,12 +44,26 @@ class RegionCompiler {
                                   const std::vector<int>& rho);
 
   // --- Serialization (little-endian binary with magic + version). ---
+  //
+  // Region tables have two on-disk versions sharing the magic/dims header:
+  // version 1 is the raw 64-bit flat table, version 2 the delta-coded
+  // arena of core/td_compressed.hpp (~2.2-2.4x smaller). The loaders
+  // accept BOTH versions — load_regions decompresses a v2 stream into the
+  // flat table, load_regions_compressed compresses a v1 stream — so
+  // artifacts cross-load regardless of which layout wrote them.
 
   static void save_regions(const QualityRegionTable& table, std::ostream& out);
   static QualityRegionTable load_regions(std::istream& in);
   static void save_regions_file(const QualityRegionTable& table,
                                 const std::string& path);
   static QualityRegionTable load_regions_file(const std::string& path);
+
+  static void save_regions_compressed(const CompressedTdTable& table,
+                                      std::ostream& out);
+  static CompressedTdTable load_regions_compressed(std::istream& in);
+  static void save_regions_compressed_file(const CompressedTdTable& table,
+                                           const std::string& path);
+  static CompressedTdTable load_regions_compressed_file(const std::string& path);
 
   static void save_relaxation(const RelaxationTable& table, std::ostream& out);
   static RelaxationTable load_relaxation(std::istream& in);

@@ -4,10 +4,11 @@ namespace speedqm {
 
 AsyncBatchMultiTaskManager::AsyncBatchMultiTaskManager(
     const ComposedSystem& system, std::vector<const PolicyEngine*> engines,
-    BatchDecisionEngine::Mode mode)
+    BatchDecisionEngine::Mode mode, ArenaLayout layout)
     : MultiTaskEpochManager(system),
       num_tasks_(engines.size()),
       mode_(mode),
+      layout_(layout),
       exchange_(engines.size()) {
   manager_thread_ = std::thread(&AsyncBatchMultiTaskManager::manager_main,
                                 this, std::move(engines));
@@ -25,9 +26,14 @@ AsyncBatchMultiTaskManager::~AsyncBatchMultiTaskManager() {
 }
 
 std::string AsyncBatchMultiTaskManager::name() const {
-  return mode_ == BatchDecisionEngine::Mode::kTabled
-             ? "async-batch-multitask-tabled"
-             : "async-batch-multitask-incremental";
+  std::string name = mode_ == BatchDecisionEngine::Mode::kTabled
+                         ? "async-batch-multitask-tabled"
+                         : "async-batch-multitask-incremental";
+  if (mode_ == BatchDecisionEngine::Mode::kTabled &&
+      layout_ == ArenaLayout::kCompressed) {
+    name += "-compressed";
+  }
+  return name;
 }
 
 std::uint64_t AsyncBatchMultiTaskManager::refresh(const StateIndex* states,
@@ -45,7 +51,7 @@ void AsyncBatchMultiTaskManager::manager_main(
     std::vector<const PolicyEngine*> engines) {
   // The engine lives and dies on this thread; every probe it ever makes
   // happens here, off the action thread.
-  BatchDecisionEngine engine(std::move(engines), mode_);
+  BatchDecisionEngine engine(std::move(engines), mode_, layout_);
   memory_bytes_ = engine.memory_bytes();
   table_integers_ = engine.num_table_integers();
   ready_.store(true, std::memory_order_release);

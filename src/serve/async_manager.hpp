@@ -36,7 +36,8 @@ class AsyncBatchMultiTaskManager final : public MultiTaskEpochManager {
   AsyncBatchMultiTaskManager(const ComposedSystem& system,
                              std::vector<const PolicyEngine*> engines,
                              BatchDecisionEngine::Mode mode =
-                                 BatchDecisionEngine::Mode::kTabled);
+                                 BatchDecisionEngine::Mode::kTabled,
+                             ArenaLayout layout = ArenaLayout::kFlat);
   ~AsyncBatchMultiTaskManager() override;
 
   std::string name() const override;
@@ -53,6 +54,7 @@ class AsyncBatchMultiTaskManager final : public MultiTaskEpochManager {
 
   std::size_t num_tasks_;
   BatchDecisionEngine::Mode mode_;
+  ArenaLayout layout_;
   DecisionExchange exchange_;
   // Engine stats, captured once at startup so the accessors need not cross
   // the exchange (the engine itself lives on the manager thread's stack).

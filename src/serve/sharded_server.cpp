@@ -55,10 +55,12 @@ void ShardedServer::rebuild_shard(Shard& shard) {
                                                shard_budget_);
     if (spec_.async_manager) {
       shard.manager = std::make_unique<AsyncBatchMultiTaskManager>(
-          shard.mix->composed(), shard.mix->engines(), spec_.mode);
+          shard.mix->composed(), shard.mix->engines(), spec_.mode,
+          spec_.layout);
     } else {
       shard.manager = std::make_unique<BatchMultiTaskManager>(
-          shard.mix->composed(), shard.mix->engines(), spec_.mode);
+          shard.mix->composed(), shard.mix->engines(), spec_.mode,
+          spec_.layout);
     }
     ++shard.rebuilds;
   }

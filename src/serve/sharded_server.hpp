@@ -56,6 +56,10 @@ struct ShardedServerSpec {
   /// exchange instead of deciding inline on the action thread.
   bool async_manager = false;
   BatchDecisionEngine::Mode mode = BatchDecisionEngine::Mode::kTabled;
+  /// Arena layout of every shard's engine (tabled mode): kCompressed
+  /// serves the same decisions from the delta-coded tables — bit-identical
+  /// results, ~2.2-2.4x less table memory per shard.
+  ArenaLayout layout = ArenaLayout::kFlat;
   /// Placement policy for join requests: best-fit packs, most-slack
   /// balances (the serving-throughput choice — see serve/admission.hpp).
   PlacementPolicy placement = PlacementPolicy::kBestFit;

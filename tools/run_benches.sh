@@ -25,6 +25,10 @@
 #   shard count S in {1,2,4} on the T=32 mix; the machine-dependent S=4
 #   parallel scaling factor is SHAPE-gated in the log, never baselined),
 #   written by bench_sharded.
+#   BENCH_table_memory.json — compressed vs flat tD arena (stored bytes
+#   per entry, deterministic, and warm decode ns per layout on the n x |Q|
+#   grid; >= 2x size reduction on n >= 1024 cells is SHAPE-gated), written
+#   by bench_table_memory.
 #
 # Every failure mode is a hard failure so the CI bench gate cannot pass
 # vacuously: missing bench binary, missing/empty JSON artifact, SHAPE check
@@ -58,7 +62,7 @@ OUT_DIR="${OUT_DIR:-bench_out}"
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
-for bin in bench_micro_managers bench_multi_task bench_sharded; do
+for bin in bench_micro_managers bench_multi_task bench_sharded bench_table_memory; do
   if [ ! -x "${BUILD_DIR}/${bin}" ]; then
     echo "error: ${BUILD_DIR}/${bin} not found — refusing to skip" >&2
     echo "(a missing bench binary must not let the CI bench gate pass vacuously)" >&2
@@ -75,7 +79,7 @@ if [ -n "${BASELINE}" ]; then
   # Back-compat: a BENCH_decision.json path means "its directory".
   [ -f "${BASELINE}" ] && BASELINE="$(dirname "${BASELINE}")"
   [ -d "${BASELINE}" ] || { echo "error: baseline ${BASELINE} not found" >&2; exit 2; }
-  for json in BENCH_decision.json BENCH_multitask.json BENCH_sharded.json; do
+  for json in BENCH_decision.json BENCH_multitask.json BENCH_sharded.json BENCH_table_memory.json; do
     [ -f "${BASELINE}/${json}" ] || {
       echo "error: baseline ${BASELINE}/${json} missing — the gate must not pass vacuously" >&2
       exit 2
@@ -88,6 +92,7 @@ fi
 MICRO_BIN="$(cd "${BUILD_DIR}" && pwd)/bench_micro_managers"
 MULTI_BIN="$(cd "${BUILD_DIR}" && pwd)/bench_multi_task"
 SHARDED_BIN="$(cd "${BUILD_DIR}" && pwd)/bench_sharded"
+TABLEMEM_BIN="$(cd "${BUILD_DIR}" && pwd)/bench_table_memory"
 mkdir -p "${OUT_DIR}"
 cd "${OUT_DIR}"
 
@@ -138,12 +143,32 @@ if [ ! -s BENCH_sharded.json ]; then
   exit 2
 fi
 
+BENCH_STATUS=0
+"${TABLEMEM_BIN}" > bench_table_memory.log 2>&1 || BENCH_STATUS=$?
+cat bench_table_memory.log
+if [ "${BENCH_STATUS}" -ne 0 ]; then
+  echo "error: bench_table_memory exited ${BENCH_STATUS} (SHAPE gate failed)" >&2
+  exit "${BENCH_STATUS}"
+fi
+
+if [ ! -s BENCH_table_memory.json ]; then
+  echo "error: bench run produced no BENCH_table_memory.json — hard failure" >&2
+  exit 2
+fi
+
 if [ -n "${BASELINE}" ]; then
-  for name in decision multitask sharded; do
+  for name in decision multitask sharded table_memory; do
     echo ""
     echo "comparing BENCH_${name}.json against baseline ${BASELINE}/BENCH_${name}.json:"
+    # BENCH_table_memory's hard payload is the deterministic bytes-per-entry
+    # (ops column, strict 10% as everywhere); its ns column is a tiny
+    # (5-20 ns) informational decode-cost probe that jitters beyond the
+    # default tolerance on shared runners, so it gets a loose sanity bound.
+    NS_TOL=1.25
+    [ "${name}" = "table_memory" ] && NS_TOL=2.0
     python3 "${REPO_ROOT}/tools/compare_bench.py" \
       "${BASELINE}/BENCH_${name}.json" "BENCH_${name}.json" \
+      --ns-tolerance "${NS_TOL}" \
       --report "bench_compare_${name}.txt"
   done
 fi

@@ -215,6 +215,17 @@ int cmd_multitask(const ArgMap& args) {
       static_cast<std::size_t>(std::stoull(get(args, "cycles", "64")));
   const std::string flavor = get(args, "manager", "batch");
   const bool stream = args.count("stream") > 0;
+  const std::string arena = get(args, "arena", "flat");
+  ArenaLayout layout;
+  if (arena == "flat") {
+    layout = ArenaLayout::kFlat;
+  } else if (arena == "compressed") {
+    layout = ArenaLayout::kCompressed;
+  } else {
+    std::fprintf(stderr, "error: unknown arena '%s' for multitask\n",
+                 arena.c_str());
+    return 2;
+  }
 
   MultiTaskMix mix(spec);
   const auto engines = mix.engines();
@@ -222,13 +233,19 @@ int cmd_multitask(const ArgMap& args) {
   // or lane forests, O(sum n_tau * |Q|) work and memory apiece.
   std::unique_ptr<QualityManager> manager;
   if (flavor == "batch") {
-    manager = std::make_unique<BatchMultiTaskManager>(mix.composed(), engines);
+    manager = std::make_unique<BatchMultiTaskManager>(
+        mix.composed(), engines, BatchDecisionEngine::Mode::kTabled, layout);
   } else if (flavor == "batch-incremental") {
+    if (layout != ArenaLayout::kFlat) {
+      std::fprintf(stderr, "error: --arena compressed needs a tabled manager "
+                           "(batch-incremental stores no tables)\n");
+      return 2;
+    }
     manager = std::make_unique<BatchMultiTaskManager>(
         mix.composed(), engines, BatchDecisionEngine::Mode::kIncremental);
   } else if (flavor == "sequential") {
-    manager = std::make_unique<SequentialMultiTaskManager>(mix.composed(),
-                                                           engines);
+    manager = std::make_unique<SequentialMultiTaskManager>(
+        mix.composed(), engines, BatchDecisionEngine::Mode::kTabled, layout);
   } else {
     std::fprintf(stderr, "error: unknown manager '%s' for multitask\n",
                  flavor.c_str());
@@ -304,6 +321,16 @@ int cmd_serve(const ArgMap& args) {
       static_cast<std::size_t>(std::stoull(get(args, "workers", "0")));
   spec.cycles = static_cast<std::size_t>(std::stoull(get(args, "cycles", "64")));
   spec.async_manager = args.count("async") > 0;
+  const std::string arena = get(args, "arena", "flat");
+  if (arena == "flat") {
+    spec.layout = ArenaLayout::kFlat;
+  } else if (arena == "compressed") {
+    spec.layout = ArenaLayout::kCompressed;
+  } else {
+    std::fprintf(stderr, "error: unknown arena '%s' for serve\n",
+                 arena.c_str());
+    return 2;
+  }
   const std::string placement = get(args, "placement", "best-fit");
   if (placement == "best-fit") {
     spec.placement = PlacementPolicy::kBestFit;
@@ -381,9 +408,10 @@ void usage() {
       "                      regions|relaxation|batch] [--csv PREFIX]\n"
       "  multitask [--tasks N] [--cycles N] [--seed N] [--factor F]\n"
       "           [--manager batch|batch-incremental|sequential] [--stream]\n"
+      "           [--arena flat|compressed]\n"
       "  serve    [--tasks N] [--shards S] [--workers W] [--cycles N]\n"
       "           [--arrivals N] [--initial K] [--async] [--seed N] [--factor F]\n"
-      "           [--placement best-fit|most-slack]\n"
+      "           [--placement best-fit|most-slack] [--arena flat|compressed]\n"
       "  inspect  --tables PREFIX\n");
 }
 
