@@ -1,0 +1,211 @@
+// Experiment P1 — deterministic perturbation engine (sim/perturb.hpp +
+// serve/ShardedServer integration).
+//
+// Three gated claims:
+//   1. No-fault contract: the full decorator stack with an EMPTY scenario
+//      is bit-identical to the undecorated serving path (steps, quality
+//      bits, decision ops, miss accounting).
+//   2. Determinism: the same scenario + seed produces identical summary
+//      artifacts across two in-process runs AND across 1 vs 4 worker
+//      threads. The JSON this bench writes contains only simulated-time
+//      cells, so CI re-runs the binary twice and byte-compares the files.
+//   3. Degradation shape: under the catalogue "spike" scenario the
+//      admission-controlled coexistence-margin mix confines every deadline
+//      miss to the scripted stress windows and their recovery tails
+//      (unattributed misses == 0), while the no-margin mix overcommits and
+//      misses OUTSIDE the windows too — and misses more overall. Stress
+//      does not leak into steady state unless the margins are turned off.
+//
+// Writes BENCH_perturb.json (path overridable via argv[1] for the CI
+// determinism double-run). Every cell is simulated platform time
+// (ns of simulated execution per step) and decision ops — fully
+// deterministic, machine-portable, byte-diffable.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/batch_engine.hpp"
+#include "serve/sharded_server.hpp"
+#include "sim/metrics.hpp"
+#include "sim/perturb.hpp"
+#include "support/table.hpp"
+
+#include "bench_common.hpp"
+
+using namespace speedqm;
+using namespace speedqm::bench;
+
+namespace {
+
+constexpr std::size_t kPoolTasks = 8;
+constexpr std::size_t kCycles = 48;
+constexpr std::uint64_t kSeed = 20070808;
+
+MultiTaskMixSpec pool_spec(bool coexistence_margin) {
+  MultiTaskMixSpec spec;
+  spec.num_tasks = kPoolTasks;
+  spec.seed = kSeed;
+  spec.num_cycles = 8;
+  spec.coexistence_margin = coexistence_margin;
+  return spec;
+}
+
+ShardedServerSpec server_spec(const std::string& scenario_name,
+                              std::size_t workers, bool coexistence_margin) {
+  ShardedServerSpec spec;
+  spec.mix = pool_spec(coexistence_margin);
+  spec.num_shards = 2;
+  spec.num_workers = workers;
+  spec.cycles = kCycles;
+  spec.perturb = make_perturbation_scenario(scenario_name, kCycles);
+  return spec;
+}
+
+bool summaries_identical(const RunSummary& a, const RunSummary& b) {
+  return a.total_steps == b.total_steps &&
+         a.manager_calls == b.manager_calls &&
+         a.deadline_misses == b.deadline_misses &&
+         a.infeasible == b.infeasible && a.total_ops == b.total_ops &&
+         a.mean_quality == b.mean_quality &&
+         a.overhead_pct == b.overhead_pct &&
+         a.total_time_s == b.total_time_s &&
+         a.stress_cycles == b.stress_cycles &&
+         a.misses_in_stress == b.misses_in_stress &&
+         a.recovery_cycles == b.recovery_cycles &&
+         a.misses_in_recovery == b.misses_in_recovery &&
+         a.smoothness.quality_stddev == b.smoothness.quality_stddev &&
+         a.smoothness.switches == b.smoothness.switches &&
+         a.relax_histogram == b.relax_histogram;
+}
+
+bool servings_identical(const ServingSummary& a, const ServingSummary& b) {
+  bool same = a.shards.size() == b.shards.size() &&
+              a.total_steps == b.total_steps && a.total_ops == b.total_ops &&
+              a.deadline_misses == b.deadline_misses &&
+              a.stress_cycles == b.stress_cycles &&
+              a.misses_in_stress == b.misses_in_stress &&
+              a.recovery_cycles == b.recovery_cycles &&
+              a.misses_in_recovery == b.misses_in_recovery &&
+              a.stalled_cycles == b.stalled_cycles &&
+              a.scripted_disconnects == b.scripted_disconnects;
+  if (!same) return false;
+  for (std::size_t s = 0; s < a.shards.size(); ++s) {
+    if (!summaries_identical(a.shards[s].summary, b.shards[s].summary) ||
+        a.shards[s].members != b.shards[s].members ||
+        a.shards[s].clock != b.shards[s].clock) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Gate 1: empty scenario through the decorators == no decorators at all.
+bool check_no_fault_contract() {
+  ShardedServerSpec plain = server_spec("calm", 1, true);
+  const ServingSummary a = ShardedServer(plain).serve();
+
+  // "calm" is the empty scenario; also run with a scenario object that was
+  // never set, to pin that the decorated and undecorated code paths agree.
+  ShardedServerSpec undecorated = plain;
+  undecorated.perturb = PerturbationScenario();
+  const ServingSummary b = ShardedServer(undecorated).serve();
+
+  return shape_check(
+      "empty scenario bit-identical to the unperturbed server (steps, "
+      "quality, ops, misses)",
+      servings_identical(a, b) && a.deadline_misses == 0);
+}
+
+/// Gate 2: same scenario + seed => identical artifacts; 1 == 4 workers.
+bool check_determinism() {
+  bool ok = true;
+  const ServingSummary r1 = ShardedServer(server_spec("storm", 1, true)).serve();
+  const ServingSummary r2 = ShardedServer(server_spec("storm", 1, true)).serve();
+  ok &= shape_check("same scenario + seed: two runs fold identical summaries",
+                    servings_identical(r1, r2));
+
+  const ServingSummary w4 = ShardedServer(server_spec("storm", 4, true)).serve();
+  ok &= shape_check("same scenario + seed: 1 worker == 4 workers bit for bit",
+                    servings_identical(r1, w4));
+  ok &= shape_check("storm scenario actually stressed the run",
+                    r1.stress_cycles > 0 && r1.scripted_disconnects == 1 &&
+                        r1.stalled_cycles > 0);
+  return ok;
+}
+
+/// Gate 3: the degradation envelope. Margins confine misses to the
+/// scripted windows + recovery; removing them collapses steady state.
+bool check_degradation_shape(std::vector<DecisionBenchRecord>& records) {
+  const ServingSummary margin = ShardedServer(server_spec("spike", 1, true)).serve();
+  const ServingSummary bare = ShardedServer(server_spec("spike", 1, false)).serve();
+
+  const auto unattributed = [](const ServingSummary& s) {
+    return s.deadline_misses - s.misses_in_stress - s.misses_in_recovery;
+  };
+  TextTable table({"mix", "misses", "in stress", "in recovery", "unattributed",
+                   "mean q"});
+  const auto row = [&](const char* name, const ServingSummary& s) {
+    table.begin_row()
+        .cell(std::string(name))
+        .cell(s.deadline_misses)
+        .cell(s.misses_in_stress)
+        .cell(s.misses_in_recovery)
+        .cell(unattributed(s))
+        .cell(s.mean_quality, 3);
+    table.end_row();
+  };
+  row("coexistence margin", margin);
+  row("no margin", bare);
+  std::printf("%s\n", table.render().c_str());
+
+  bool ok = true;
+  ok &= shape_check("spike scenario produces misses inside its windows",
+                    margin.misses_in_stress > 0);
+  ok &= shape_check(
+      "margin mix confines every miss to stress + recovery (0 unattributed)",
+      unattributed(margin) == 0);
+  ok &= shape_check(
+      "no-margin mix leaks misses outside the scripted windows",
+      unattributed(bare) > 0);
+  ok &= shape_check(
+      "no-margin mix misses >= 2x the admission-controlled mix",
+      bare.deadline_misses >= 2 * margin.deadline_misses);
+
+  // JSON cells: simulated serving cost per step under each scenario —
+  // simulated platform ns (deterministic), never host wall time.
+  for (const char* name : {"calm", "spike", "jitter", "stall",
+                           "overhead-storm", "storm"}) {
+    const ServingSummary s = ShardedServer(server_spec(name, 1, true)).serve();
+    DecisionBenchRecord rec;
+    rec.policy = "mixed";
+    rec.engine = std::string("perturb-") + name;
+    rec.n = kPoolTasks;
+    rec.num_levels = 7;
+    rec.ns_per_decision = s.max_clock_s * 1e9 /
+                          static_cast<double>(s.total_steps);
+    rec.ops_per_decision = static_cast<double>(s.total_ops) /
+                           static_cast<double>(s.total_steps);
+    records.push_back(rec);
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_perturb.json";
+  std::printf("=== P1 — deterministic perturbation engine ===\n");
+  std::printf("pool: %zu tasks, %zu serving cycles, 2 shards; catalogue "
+              "scenarios from workload/scenarios.hpp\n\n",
+              kPoolTasks, kCycles);
+
+  std::vector<DecisionBenchRecord> records;
+  bool ok = true;
+  ok &= check_no_fault_contract();
+  ok &= check_determinism();
+  ok &= check_degradation_shape(records);
+
+  write_decision_bench_json(out_path, "perturbation", records);
+  std::printf("\nwrote %s (%zu records)\n", out_path.c_str(), records.size());
+  return ok ? 0 : 1;
+}

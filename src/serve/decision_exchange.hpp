@@ -31,6 +31,43 @@
 
 namespace speedqm {
 
+/// Bounded spin-then-yield backoff used by the exchange's waits. One pause()
+/// per failed poll: the first kSpinLimit polls busy-spin (the cross-core
+/// fast path), every poll after that yields the thread so oversubscribed
+/// machines (manager + action thread on one core) still make progress. The
+/// spin counter SATURATES at kSpinLimit — an arbitrarily long stall must
+/// not overflow it or the wait would fall back into burning a full spin
+/// budget mid-stall. Observable (spins/yields/saturated) so the saturation
+/// contract is unit-testable without threads.
+class SpinWait {
+ public:
+  static constexpr int kSpinLimit = 256;
+
+  /// Reacts to one failed poll of the awaited condition.
+  void pause() {
+    if (spins_ < kSpinLimit) {
+      ++spins_;
+    } else {
+      ++yields_;
+      std::this_thread::yield();
+    }
+  }
+
+  /// Re-arms for the next wait (a fresh spin budget).
+  void reset() {
+    spins_ = 0;
+    yields_ = 0;
+  }
+
+  int spins() const { return spins_; }
+  std::uint64_t yields() const { return yields_; }
+  bool saturated() const { return spins_ >= kSpinLimit; }
+
+ private:
+  int spins_ = 0;
+  std::uint64_t yields_ = 0;
+};
+
 class DecisionExchange {
  public:
   enum class Command : std::uint8_t {
@@ -121,16 +158,9 @@ class DecisionExchange {
 
   static void spin_until(const std::atomic<std::uint32_t>& phase,
                          std::uint32_t want) {
-    // Short spin for the cross-core fast path, then yield so oversubscribed
-    // machines (manager + action thread on one core) still make progress.
-    // The counter saturates: an arbitrarily long stall must not overflow it.
-    int spins = 0;
+    SpinWait wait;
     while (phase.load(std::memory_order_acquire) != want) {
-      if (spins < 256) {
-        ++spins;
-      } else {
-        std::this_thread::yield();
-      }
+      wait.pause();
     }
   }
 

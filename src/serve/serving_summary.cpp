@@ -32,6 +32,10 @@ ServingSummary fold_serving_summary(std::vector<ShardReport> shards,
     s.manager_calls += shard.summary.manager_calls;
     s.deadline_misses += shard.summary.deadline_misses;
     s.infeasible += shard.summary.infeasible;
+    s.stress_cycles += shard.summary.stress_cycles;
+    s.misses_in_stress += shard.summary.misses_in_stress;
+    s.recovery_cycles += shard.summary.recovery_cycles;
+    s.misses_in_recovery += shard.summary.misses_in_recovery;
     quality_sum += shard.summary.mean_quality *
                    static_cast<double>(shard.summary.total_steps);
     max_clock = std::max(max_clock, shard.clock);
@@ -83,6 +87,15 @@ std::string ServingSummary::render() const {
   std::snprintf(line, sizeof(line), "deadline misses: %zu (%zu infeasible)\n",
                 deadline_misses, infeasible);
   out += line;
+  if (stress_cycles > 0 || stalled_cycles > 0 || scripted_disconnects > 0) {
+    std::snprintf(line, sizeof(line),
+                  "perturbation   : %zu stress cycles (%zu misses), "
+                  "%zu recovery cycles (%zu misses), %zu stalled, "
+                  "%zu disconnects\n",
+                  stress_cycles, misses_in_stress, recovery_cycles,
+                  misses_in_recovery, stalled_cycles, scripted_disconnects);
+    out += line;
+  }
   std::snprintf(line, sizeof(line), "sim makespan   : %.3f s\n", max_clock_s);
   out += line;
   if (wall_seconds > 0) {

@@ -47,6 +47,20 @@ struct ServingSummary {
   double mean_quality = 0;   ///< step-weighted across shards
   double max_clock_s = 0;    ///< serving makespan in simulated platform time
 
+  // Perturbation attribution (all zero for an unperturbed run). The first
+  // four fold the shards' stress accounting (sim/metrics.hpp): cycles and
+  // misses inside scripted stress windows and in the post-window recovery
+  // tails. stalled_cycles counts shard-stall cycles slept (host wall time
+  // only — deterministic count, nondeterministic effect); the scripted
+  // disconnect count mirrors the forced leave/rejoin windows merged into
+  // the arrival schedule.
+  std::size_t stress_cycles = 0;
+  std::size_t misses_in_stress = 0;
+  std::size_t recovery_cycles = 0;
+  std::size_t misses_in_recovery = 0;
+  std::size_t stalled_cycles = 0;
+  std::size_t scripted_disconnects = 0;
+
   // Measured host-side quantities (NOT deterministic; never differential).
   double wall_seconds = 0;
   double steps_per_second = 0;

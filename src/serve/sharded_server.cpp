@@ -42,12 +42,38 @@ ShardedServer::ShardedServer(const ShardedServerSpec& spec,
   admission_ = std::make_unique<AdmissionController>(pool_, shard_budget_,
                                                      spec.placement);
   shards_.resize(spec.num_shards);
+  for (std::size_t s = 0; s < shards_.size(); ++s) shards_[s].index = s;
+
+  // Scenario disconnect windows become forced leave/rejoin pairs in the
+  // arrival schedule: the task leaves before the window's first cycle and
+  // asks to rejoin (through admission) at its end, if that is still inside
+  // the horizon.
+  if (!spec_.perturb.empty()) {
+    std::vector<ArrivalEvent> forced;
+    for (const PerturbationWindow& w :
+         spec_.perturb.windows_of(FaultKind::kDisconnect)) {
+      if (w.begin_cycle >= spec_.cycles) continue;
+      forced.push_back({w.begin_cycle, w.target, /*join=*/false});
+      if (w.end_cycle < spec_.cycles) {
+        forced.push_back({w.end_cycle, w.target, /*join=*/true});
+      }
+      ++scripted_disconnects_;
+    }
+    if (!forced.empty()) {
+      schedule_ = merge_forced_events(schedule_, std::move(forced),
+                                      pool_->size(), spec_.initial_tasks);
+    }
+  }
 }
 
 ShardedServer::~ShardedServer() = default;
 
 void ShardedServer::rebuild_shard(Shard& shard) {
   shard.epochs += shard.manager ? shard.manager->epochs() : 0;
+  // Decorators borrow the mix/manager being torn down — drop them first.
+  shard.pmanager.reset();
+  shard.psource.reset();
+  shard.pplatform.reset();
   shard.manager.reset();
   shard.mix.reset();
   if (!shard.members.empty()) {
@@ -61,6 +87,22 @@ void ShardedServer::rebuild_shard(Shard& shard) {
       shard.manager = std::make_unique<BatchMultiTaskManager>(
           shard.mix->composed(), shard.mix->engines(), spec_.mode,
           spec_.layout);
+    }
+    if (!spec_.perturb.empty()) {
+      // The cursor (scenario + shard salt) survives rebuilds; only the
+      // wrappers around the fresh mix/manager are rebuilt. Horizon =
+      // serving cycles, so the executor passes absolute cycles through
+      // and windows line up across segment splits.
+      if (!shard.cursor) {
+        shard.cursor = std::make_unique<PerturbationCursor>(
+            spec_.perturb, static_cast<std::uint64_t>(shard.index));
+      }
+      shard.psource = std::make_unique<PerturbedTimeSource>(
+          shard.mix->source(), *shard.cursor, spec_.cycles);
+      shard.pplatform = std::make_unique<PerturbedPlatform>(
+          shard.mix->executor_options(1).platform, *shard.cursor);
+      shard.pmanager =
+          std::make_unique<PerturbedManager>(*shard.manager, *shard.cursor);
     }
     ++shard.rebuilds;
   }
@@ -80,6 +122,9 @@ void ShardedServer::place_initial_tasks() {
     shards_[s].members = std::move(memberships[s]);
     shards_[s].acc = std::make_unique<RunSummaryAccumulator>(
         "shard-" + std::to_string(s));
+    if (!spec_.perturb.empty()) {
+      shards_[s].acc->track_stress_windows(spec_.perturb.stress_ranges());
+    }
     shards_[s].dirty = true;
   }
 }
@@ -121,6 +166,37 @@ void ShardedServer::run_shard_segment(Shard& shard, std::size_t start_cycle,
   opts.sink = shard.acc.get();
   opts.start_cycle = start_cycle;
   opts.start_time = shard.clock;
+
+  if (shard.pmanager) {
+    // Shard-stall windows overlapping this segment delay the worker in
+    // HOST time only — the segment barrier still holds and nothing in the
+    // simulated run can observe the sleep, so results are invariant.
+    std::size_t stalled = 0;
+    double delay_ms = 0;
+    for (const PerturbationWindow& w :
+         spec_.perturb.windows_of(FaultKind::kShardStall)) {
+      if (w.target != PerturbationWindow::kAllTargets && w.target != shard.index) {
+        continue;
+      }
+      const std::size_t lo = std::max(w.begin_cycle, start_cycle);
+      const std::size_t hi = std::min(w.end_cycle, start_cycle + cycles);
+      if (lo >= hi) continue;
+      stalled += hi - lo;
+      delay_ms += w.magnitude * static_cast<double>(hi - lo);
+    }
+    shard.stall_cycles += stalled;
+    if (delay_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(delay_ms));
+    }
+
+    opts.platform = shard.pplatform->platform();
+    const RunResult run = run_cyclic(shard.mix->composed().app(),
+                                     *shard.pmanager, *shard.psource, opts);
+    shard.clock = run.total_time;
+    return;
+  }
+
   const RunResult run = run_cyclic(shard.mix->composed().app(), *shard.manager,
                                    shard.mix->source(), opts);
   shard.clock = run.total_time;
@@ -211,6 +287,8 @@ ServingSummary ShardedServer::serve() {
   }
   ServingSummary summary =
       fold_serving_summary(std::move(reports), admissions_, leaves_);
+  summary.scripted_disconnects = scripted_disconnects_;
+  for (const Shard& shard : shards_) summary.stalled_cycles += shard.stall_cycles;
   summary.wall_seconds = wall_seconds;
   if (wall_seconds > 0) {
     summary.steps_per_second =

@@ -38,6 +38,7 @@
 #include "serve/admission.hpp"
 #include "serve/serving_summary.hpp"
 #include "sim/metrics.hpp"
+#include "sim/perturb.hpp"
 #include "workload/arrivals.hpp"
 #include "workload/scenarios.hpp"
 
@@ -66,6 +67,16 @@ struct ShardedServerSpec {
   /// Pool tasks 0..initial_tasks-1 are submitted at cycle 0 (through
   /// admission, in pool order). Defaults to the whole pool.
   std::size_t initial_tasks = static_cast<std::size_t>(-1);
+  /// Seeded fault script (sim/perturb.hpp). Executor-level faults (load
+  /// spikes, stalled frames, clock jitter, overhead spikes) wrap each
+  /// shard's source/platform/manager in the perturbation decorators,
+  /// salted by shard index; kShardStall windows delay the targeted
+  /// shard's worker segments in HOST time only (the segment barrier still
+  /// holds, deterministic results are unaffected); kDisconnect windows
+  /// are merged into the arrival schedule as forced leave/rejoin pairs.
+  /// The default (empty) scenario leaves every path bit-identical to the
+  /// unperturbed server — no decorator is even installed.
+  PerturbationScenario perturb;
 };
 
 class ShardedServer {
@@ -87,10 +98,20 @@ class ShardedServer {
 
  private:
   struct Shard {
+    std::size_t index = 0;
     std::vector<std::size_t> members;
     std::unique_ptr<MultiTaskMix> mix;              // null while empty
     std::unique_ptr<MultiTaskEpochManager> manager;
     std::unique_ptr<RunSummaryAccumulator> acc;
+    // Perturbation decorators (null when the scenario is empty — the
+    // unperturbed code path does not change at all). The cursor is salted
+    // with the shard index and survives rebuilds; the wrappers borrow the
+    // current mix/manager and are rebuilt with them.
+    std::unique_ptr<PerturbationCursor> cursor;
+    std::unique_ptr<PerturbedTimeSource> psource;
+    std::unique_ptr<PerturbedPlatform> pplatform;
+    std::unique_ptr<PerturbedManager> pmanager;
+    std::size_t stall_cycles = 0;  ///< shard-stall cycles slept (wall only)
     TimeNs clock = 0;
     std::size_t epochs = 0;    ///< accumulated across rebuilds
     std::size_t rebuilds = 0;
@@ -114,6 +135,7 @@ class ShardedServer {
   std::vector<Shard> shards_;
   std::vector<AdmissionDecision> admissions_;
   std::size_t leaves_ = 0;
+  std::size_t scripted_disconnects_ = 0;
   bool served_ = false;
 };
 

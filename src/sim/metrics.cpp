@@ -46,6 +46,29 @@ void RunSummaryAccumulator::on_cycle(const CycleStats& cycle) {
   deadline_misses_ += cycle.deadline_misses;
   completion_ = cycle.completion;
   if (keep_cycle_series_) cycle_quality_.push_back(cycle.mean_quality);
+
+  if (!stress_ranges_.empty()) {
+    // Ranges are merged and sorted; binary-search the one that could
+    // contain this cycle (cycles arrive in order, but shard segments may
+    // restart the stream, so stay order-agnostic).
+    auto it = std::upper_bound(
+        stress_ranges_.begin(), stress_ranges_.end(),
+        std::make_pair(cycle.cycle, static_cast<std::size_t>(-1)));
+    const bool in_stress = it != stress_ranges_.begin() &&
+                           cycle.cycle < std::prev(it)->second;
+    if (in_stress) {
+      ++stress_cycles_;
+      misses_in_stress_ += cycle.deadline_misses;
+      in_recovery_ = true;  // armed; first post-window cycles are recovery
+    } else if (in_recovery_) {
+      if (cycle.deadline_misses > 0) {
+        ++recovery_cycles_;
+        misses_in_recovery_ += cycle.deadline_misses;
+      } else {
+        in_recovery_ = false;  // first clean cycle ends the recovery tail
+      }
+    }
+  }
 }
 
 RunSummary RunSummaryAccumulator::finish() const {
@@ -58,6 +81,10 @@ RunSummary RunSummaryAccumulator::finish() const {
   s.total_ops = ops_;
   s.total_time_s = to_sec(completion_);
   s.relax_histogram = relax_histogram_;
+  s.stress_cycles = stress_cycles_;
+  s.misses_in_stress = misses_in_stress_;
+  s.recovery_cycles = recovery_cycles_;
+  s.misses_in_recovery = misses_in_recovery_;
 
   const double busy = static_cast<double>(action_time_ + overhead_time_);
   if (busy > 0.0) {

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/smoothness.hpp"
@@ -32,6 +33,17 @@ struct RunSummary {
   /// fixed seed, so serving benches can gate on it).
   std::uint64_t total_ops = 0;
   double total_time_s = 0;
+  /// Stress attribution (all zero unless the accumulator was handed the
+  /// perturbation windows via track_stress_windows): cycles inside scripted
+  /// stress windows, deadline misses on those cycles, post-window recovery
+  /// cycles (consecutive missing cycles after a window until the first
+  /// clean one), and the misses incurred during recovery. Misses outside
+  /// stress + recovery are "unattributed" — under an admission-controlled
+  /// mix they should be zero, which is what the degradation gate checks.
+  std::size_t stress_cycles = 0;
+  std::size_t misses_in_stress = 0;
+  std::size_t recovery_cycles = 0;
+  std::size_t misses_in_recovery = 0;
   SmoothnessReport smoothness;       ///< over the full quality sequence
   /// Decided relaxation depths: relax_histogram[r] = number of decisions
   /// that covered r actions (index 0 unused). Flat so the streaming fold
@@ -49,6 +61,15 @@ class RunSummaryAccumulator final : public StepSink {
 
   void on_step(const ExecStep& step) override;
   void on_cycle(const CycleStats& cycle) override;
+
+  /// Enables stress attribution: `ranges` are merged, sorted [begin, end)
+  /// ABSOLUTE cycle ranges (PerturbationScenario::stress_ranges()). Cycles
+  /// inside a range fold into stress_cycles / misses_in_stress; missing
+  /// cycles immediately after a range fold into recovery until the first
+  /// clean cycle.
+  void track_stress_windows(std::vector<std::pair<std::size_t, std::size_t>> ranges) {
+    stress_ranges_ = std::move(ranges);
+  }
 
   /// When enabled, keeps the per-cycle mean-quality series (figure 7's
   /// y-axis; one double per cycle — the only non-O(1) retention, opt-in).
@@ -87,6 +108,13 @@ class RunSummaryAccumulator final : public StepSink {
   TimeNs completion_ = 0;
   bool keep_cycle_series_ = false;
   std::vector<double> cycle_quality_;
+  // Stress attribution state.
+  std::vector<std::pair<std::size_t, std::size_t>> stress_ranges_;
+  bool in_recovery_ = false;
+  std::size_t stress_cycles_ = 0;
+  std::size_t misses_in_stress_ = 0;
+  std::size_t recovery_cycles_ = 0;
+  std::size_t misses_in_recovery_ = 0;
 };
 
 /// Builds the summary from a retained run (replays it through

@@ -1,0 +1,228 @@
+#include "sim/perturb.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/contract.hpp"
+
+namespace speedqm {
+namespace {
+
+// SplitMix64 finalizer (Steele et al.) — the repo's support/rng.hpp uses the
+// same constants for its stream generator; here it is applied as a stateless
+// mixer so a fault draw depends only on its coordinates, never on draw order.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+// Expected fraction of actions stalled inside a kStallFrame window: 1 / 8.
+constexpr std::uint64_t kStallThreshold = ~0ULL / 8;
+
+TimeNs scale_time(TimeNs v, double factor) {
+  if (factor == 1.0) return v;
+  return static_cast<TimeNs>(std::llround(static_cast<double>(v) * factor));
+}
+
+bool window_active(const PerturbationWindow& w, std::size_t cycle) {
+  return cycle >= w.begin_cycle && cycle < w.end_cycle;
+}
+
+bool is_stress_kind(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLoadSpike:
+    case FaultKind::kStallFrame:
+    case FaultKind::kClockJitter:
+    case FaultKind::kOverheadSpike:
+      return true;
+    case FaultKind::kShardStall:
+    case FaultKind::kDisconnect:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLoadSpike: return "load-spike";
+    case FaultKind::kStallFrame: return "stall-frame";
+    case FaultKind::kClockJitter: return "clock-jitter";
+    case FaultKind::kOverheadSpike: return "overhead-spike";
+    case FaultKind::kShardStall: return "shard-stall";
+    case FaultKind::kDisconnect: return "disconnect";
+  }
+  return "?";
+}
+
+PerturbationScenario::PerturbationScenario(std::uint64_t seed,
+                                           std::vector<PerturbationWindow> windows)
+    : seed_(seed), windows_(std::move(windows)) {
+  for (const PerturbationWindow& w : windows_) {
+    SPEEDQM_REQUIRE(w.begin_cycle < w.end_cycle,
+                    "PerturbationScenario: window must span at least one cycle");
+    switch (w.kind) {
+      case FaultKind::kLoadSpike:
+      case FaultKind::kOverheadSpike:
+        SPEEDQM_REQUIRE(w.magnitude >= 0.0,
+                        "PerturbationScenario: factor must be non-negative");
+        break;
+      case FaultKind::kStallFrame:
+        SPEEDQM_REQUIRE(w.magnitude >= 1.0,
+                        "PerturbationScenario: stall factor must be >= 1");
+        break;
+      case FaultKind::kClockJitter:
+        SPEEDQM_REQUIRE(w.magnitude >= 0.0,
+                        "PerturbationScenario: jitter amplitude must be >= 0");
+        break;
+      case FaultKind::kShardStall:
+        SPEEDQM_REQUIRE(w.magnitude >= 0.0,
+                        "PerturbationScenario: stall delay must be >= 0 ms");
+        break;
+      case FaultKind::kDisconnect:
+        SPEEDQM_REQUIRE(w.target != PerturbationWindow::kAllTargets,
+                        "PerturbationScenario: disconnect needs a task target");
+        break;
+    }
+  }
+  // Canonical order (begin, end, kind, target): scripts authored in any
+  // order describe the same scenario, and describe() output is stable.
+  std::stable_sort(windows_.begin(), windows_.end(),
+                   [](const PerturbationWindow& a, const PerturbationWindow& b) {
+                     if (a.begin_cycle != b.begin_cycle) return a.begin_cycle < b.begin_cycle;
+                     if (a.end_cycle != b.end_cycle) return a.end_cycle < b.end_cycle;
+                     if (a.kind != b.kind) return a.kind < b.kind;
+                     return a.target < b.target;
+                   });
+}
+
+std::vector<PerturbationWindow> PerturbationScenario::windows_of(FaultKind kind) const {
+  std::vector<PerturbationWindow> out;
+  for (const PerturbationWindow& w : windows_) {
+    if (w.kind == kind) out.push_back(w);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>>
+PerturbationScenario::stress_ranges() const {
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  for (const PerturbationWindow& w : windows_) {
+    if (is_stress_kind(w.kind)) ranges.emplace_back(w.begin_cycle, w.end_cycle);
+  }
+  std::sort(ranges.begin(), ranges.end());
+  std::vector<std::pair<std::size_t, std::size_t>> merged;
+  for (const auto& r : ranges) {
+    if (!merged.empty() && r.first <= merged.back().second) {
+      merged.back().second = std::max(merged.back().second, r.second);
+    } else {
+      merged.push_back(r);
+    }
+  }
+  return merged;
+}
+
+std::string PerturbationScenario::describe() const {
+  if (windows_.empty()) return "(empty)";
+  std::ostringstream os;
+  os << "seed=" << seed_;
+  for (const PerturbationWindow& w : windows_) {
+    os << ", c" << w.begin_cycle << ".." << w.end_cycle << " "
+       << to_string(w.kind) << " x" << w.magnitude;
+    if (w.target != PerturbationWindow::kAllTargets) os << " @" << w.target;
+  }
+  return os.str();
+}
+
+PerturbationCursor::PerturbationCursor(const PerturbationScenario& scenario,
+                                       std::uint64_t salt)
+    : scenario_(&scenario), salt_(salt) {}
+
+double PerturbationCursor::active_factor(FaultKind kind) const {
+  double f = 1.0;
+  for (const PerturbationWindow& w : scenario_->windows()) {
+    if (w.kind == kind && window_active(w, cycle_)) f *= w.magnitude;
+  }
+  return f;
+}
+
+double PerturbationCursor::active_amplitude(FaultKind kind) const {
+  double a = 0.0;
+  for (const PerturbationWindow& w : scenario_->windows()) {
+    if (w.kind == kind && window_active(w, cycle_)) a = std::max(a, w.magnitude);
+  }
+  return a;
+}
+
+std::uint64_t PerturbationCursor::fault_hash(FaultKind kind, std::size_t cycle,
+                                             std::uint64_t action) const {
+  std::uint64_t h = mix64(scenario_->seed());
+  h = mix64(h ^ salt_);
+  h = mix64(h ^ static_cast<std::uint64_t>(kind));
+  h = mix64(h ^ static_cast<std::uint64_t>(cycle));
+  return mix64(h ^ action);
+}
+
+TimeNs PerturbationCursor::perturb_actual_time(ActionIndex action, TimeNs raw) const {
+  if (scenario_->empty()) return raw;
+  TimeNs v = scale_time(raw, active_factor(FaultKind::kLoadSpike));
+  const double stall = active_factor(FaultKind::kStallFrame);
+  if (stall != 1.0 &&
+      fault_hash(FaultKind::kStallFrame, cycle_, action) < kStallThreshold) {
+    v = scale_time(v, stall);
+  }
+  return v;
+}
+
+TimeNs PerturbationCursor::perturb_observed(StateIndex s, TimeNs t) const {
+  if (scenario_->empty()) return t;
+  const double amp = active_amplitude(FaultKind::kClockJitter);
+  if (amp == 0.0) return t;
+  // Uniform in [-amp, +amp]: 53 high bits of the hash -> [0, 1).
+  const std::uint64_t h = fault_hash(FaultKind::kClockJitter, cycle_, s);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return t + static_cast<TimeNs>(std::llround((2.0 * u - 1.0) * amp));
+}
+
+TimeNs PerturbationCursor::perturb_manager_cost(TimeNs cost) const {
+  if (scenario_->empty()) return cost;
+  return scale_time(cost, active_factor(FaultKind::kOverheadSpike));
+}
+
+PerturbedTimeSource::PerturbedTimeSource(CyclicTimeSource& inner,
+                                         PerturbationCursor& cursor,
+                                         std::size_t horizon)
+    : inner_(&inner), cursor_(&cursor), inner_cycles_(inner.num_cycles()) {
+  SPEEDQM_REQUIRE(inner_cycles_ > 0,
+                  "PerturbedTimeSource: inner source has no cycles");
+  SPEEDQM_REQUIRE(horizon > 0, "PerturbedTimeSource: horizon must be positive");
+  // Smallest multiple of the inner period covering the horizon: the
+  // executor's `cycle % num_cycles()` then passes the absolute cycle
+  // through, while `absolute % inner_cycles_` reproduces the undecorated
+  // content selection exactly.
+  span_ = ((horizon + inner_cycles_ - 1) / inner_cycles_) * inner_cycles_;
+}
+
+void PerturbedTimeSource::set_cycle(std::size_t cycle) {
+  cursor_->set_cycle(cycle);
+  inner_->set_cycle(cycle % inner_cycles_);
+}
+
+TimeNs PerturbedTimeSource::actual_time(ActionIndex i, Quality q) {
+  return cursor_->perturb_actual_time(i, inner_->actual_time(i, q));
+}
+
+PerturbationRig::PerturbationRig(const PerturbationScenario& scenario,
+                                 std::uint64_t salt, QualityManager& manager,
+                                 CyclicTimeSource& source, const Platform& platform,
+                                 std::size_t horizon)
+    : cursor_(scenario, salt),
+      source_(source, cursor_, horizon),
+      platform_(platform, cursor_),
+      manager_(manager, cursor_) {}
+
+}  // namespace speedqm

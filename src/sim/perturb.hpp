@@ -1,0 +1,260 @@
+// Deterministic perturbation engine: scripted, seeded fault injection for
+// the executor and the sharded serving layer.
+//
+// Everything the repo gates elsewhere — admission control, coexistence
+// margins, deadline safety — is proven in steady state on clean simulated
+// clocks; Definition 1 only promises safety for C <= Cwc. This module
+// turns "what happens under stress" into a regression-gated property: a
+// PerturbationScenario is an ordered script of seeded fault windows
+//
+//   * kLoadSpike     — every action's actual time inflated by a factor,
+//                      pushing C toward/past Cwc (content storm);
+//   * kStallFrame    — a sparse hash-chosen subset of actions (expected
+//                      one in eight) overruns massively (stalled frames);
+//   * kClockJitter   — the observed time the manager decides on carries
+//                      bounded uniform noise (a jittery observation clock);
+//   * kOverheadSpike — manager invocations cost a multiple of their model
+//                      price (cache-cold / preempted manager);
+//   * kShardStall    — a serving worker's segment is delayed in HOST time
+//                      only (the shard still meets the segment barrier;
+//                      simulated results are invariant by construction);
+//   * kDisconnect    — a pool task is forced to leave at the window start
+//                      and rejoin at its end, through the existing
+//                      ArrivalSchedule machinery (serve layer).
+//
+// applied via decorators so the executor and the decision engines stay
+// untouched:
+//
+//   PerturbationCursor  — shared per-run state: scenario + seed + the
+//                         current absolute cycle; all randomness is
+//                         STATELESS hashing of (seed, kind, cycle, action),
+//                         so replays, segment splits (executor resume) and
+//                         any worker count reproduce identical faults;
+//   PerturbedTimeSource — wraps any CyclicTimeSource, drives the cursor
+//                         from set_cycle and applies load-spike/stall
+//                         inflation to actual times;
+//   PerturbedPlatform   — wraps a Platform (installs itself as its
+//                         PlatformPerturber) and applies overhead spikes;
+//   PerturbedManager    — wraps any QualityManager and applies observation
+//                         clock jitter to the decided-on time.
+//
+// Determinism contract (bench- and test-gated): an EMPTY scenario through
+// the full decorator stack is bit-identical to the undecorated run —
+// decisions, Decision.ops, summaries; and the same scenario + seed yields
+// byte-identical summary artifacts across repeated runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/manager.hpp"
+#include "sim/executor.hpp"
+#include "sim/platform.hpp"
+
+namespace speedqm {
+
+enum class FaultKind {
+  kLoadSpike,
+  kStallFrame,
+  kClockJitter,
+  kOverheadSpike,
+  kShardStall,
+  kDisconnect,
+};
+
+const char* to_string(FaultKind kind);
+
+/// One scripted fault window, active on cycles in [begin_cycle, end_cycle).
+struct PerturbationWindow {
+  FaultKind kind = FaultKind::kLoadSpike;
+  std::size_t begin_cycle = 0;
+  std::size_t end_cycle = 0;
+  /// Kind-specific magnitude:
+  ///   kLoadSpike     — multiplicative factor on actual times (>= 0);
+  ///   kStallFrame    — overrun factor on each stalled action (>= 1);
+  ///   kClockJitter   — jitter amplitude in ns (observed time +- amp);
+  ///   kOverheadSpike — multiplicative factor on manager cost (>= 0);
+  ///   kShardStall    — host-side delay in milliseconds (wall-clock only);
+  ///   kDisconnect    — unused.
+  double magnitude = 1.0;
+  /// kShardStall: shard index (kAllTargets = every shard).
+  /// kDisconnect: pool task id (required).
+  /// Other kinds ignore it.
+  std::size_t target = kAllTargets;
+
+  static constexpr std::size_t kAllTargets = static_cast<std::size_t>(-1);
+};
+
+/// An ordered, seeded fault script. Validated on construction: windows
+/// non-empty ([begin, end) with begin < end), magnitudes legal for their
+/// kind, disconnect windows carrying a task target. The default-constructed
+/// scenario is empty (the no-fault contract).
+class PerturbationScenario {
+ public:
+  PerturbationScenario() = default;
+  PerturbationScenario(std::uint64_t seed, std::vector<PerturbationWindow> windows);
+
+  bool empty() const { return windows_.empty(); }
+  std::uint64_t seed() const { return seed_; }
+  const std::vector<PerturbationWindow>& windows() const { return windows_; }
+
+  /// Windows of one kind (script order).
+  std::vector<PerturbationWindow> windows_of(FaultKind kind) const;
+
+  /// Merged [begin, end) cycle ranges of the executor-level stress kinds
+  /// (load spike, stall frame, clock jitter, overhead spike) — what the
+  /// summary's stress attribution counts against.
+  std::vector<std::pair<std::size_t, std::size_t>> stress_ranges() const;
+
+  /// One-line script description ("c8..16 load-spike x1.8, ...").
+  std::string describe() const;
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::vector<PerturbationWindow> windows_;
+};
+
+/// Shared per-run perturbation state: the scenario, a salt (per-shard so
+/// concurrent shards draw decorrelated faults), and the current ABSOLUTE
+/// cycle (set by PerturbedTimeSource::set_cycle, read by every decorator).
+/// All stochastic choices are stateless hashes of
+/// (seed, salt, kind, cycle, action): no draw order, no cursor to resume —
+/// which is what makes segment-split serving replays and 1-vs-N-worker
+/// runs produce identical fault streams.
+class PerturbationCursor {
+ public:
+  /// `scenario` is borrowed and must outlive the cursor.
+  explicit PerturbationCursor(const PerturbationScenario& scenario,
+                              std::uint64_t salt = 0);
+
+  const PerturbationScenario& scenario() const { return *scenario_; }
+  std::uint64_t salt() const { return salt_; }
+
+  void set_cycle(std::size_t cycle) { cycle_ = cycle; }
+  std::size_t cycle() const { return cycle_; }
+
+  /// Product of the magnitudes of all windows of `kind` active on the
+  /// current cycle (1.0 when none) — multiplicative kinds.
+  double active_factor(FaultKind kind) const;
+  /// Largest active amplitude of `kind` on the current cycle (0 if none).
+  double active_amplitude(FaultKind kind) const;
+
+  /// Load-spike/stall inflation of an actual time (identity off-window).
+  TimeNs perturb_actual_time(ActionIndex action, TimeNs raw) const;
+  /// Clock jitter on an observed time (identity off-window).
+  TimeNs perturb_observed(StateIndex s, TimeNs t) const;
+  /// Overhead-spike inflation of a manager cost (identity off-window).
+  TimeNs perturb_manager_cost(TimeNs cost) const;
+
+  /// Stateless hash stream for (kind, cycle, action) under this cursor's
+  /// seed/salt — exposed for tests pinning fault determinism.
+  std::uint64_t fault_hash(FaultKind kind, std::size_t cycle,
+                           std::uint64_t action) const;
+
+ private:
+  const PerturbationScenario* scenario_;
+  std::uint64_t salt_;
+  std::size_t cycle_ = 0;
+};
+
+/// CyclicTimeSource decorator: drives the cursor's cycle and applies
+/// load-spike / stalled-frame inflation to actual times.
+///
+/// Cycle bookkeeping: the executor selects content via
+/// `source.set_cycle(cycle % source.num_cycles())`. Fault windows are
+/// scripted in ABSOLUTE cycles, so this wrapper reports a num_cycles()
+/// that is the smallest multiple of the inner period >= `horizon` — the
+/// executor then passes the absolute cycle through (any horizon-bounded
+/// run), and the wrapper re-mods by the inner period for content
+/// selection, reproducing the undecorated content stream bit for bit.
+class PerturbedTimeSource final : public CyclicTimeSource {
+ public:
+  /// `inner` and `cursor` are borrowed. `horizon` is the number of cycles
+  /// the run may execute (executor absolute cycle stays < horizon).
+  PerturbedTimeSource(CyclicTimeSource& inner, PerturbationCursor& cursor,
+                      std::size_t horizon);
+
+  void set_cycle(std::size_t cycle) override;
+  std::size_t num_cycles() const override { return span_; }
+  TimeNs actual_time(ActionIndex i, Quality q) override;
+
+ private:
+  CyclicTimeSource* inner_;
+  PerturbationCursor* cursor_;
+  std::size_t inner_cycles_;
+  std::size_t span_;
+};
+
+/// Platform decorator: holds a base Platform and installs itself as the
+/// PlatformPerturber of the copies it vends. Applies overhead-spike
+/// inflation to manager costs; action scaling passes through (durations
+/// are perturbed at the source, where per-action identity is known).
+class PerturbedPlatform final : public PlatformPerturber {
+ public:
+  /// `cursor` is borrowed and must outlive every run using platform().
+  PerturbedPlatform(Platform base, const PerturbationCursor& cursor)
+      : base_(base), cursor_(&cursor) {}
+
+  /// The decorated platform value. The returned Platform borrows THIS
+  /// object — keep the PerturbedPlatform alive for the whole run.
+  Platform platform() const { return base_.with_perturber(this); }
+
+  TimeNs perturb_scale(TimeNs scaled) const override { return scaled; }
+  TimeNs perturb_manager_cost(TimeNs cost) const override {
+    return cursor_->perturb_manager_cost(cost);
+  }
+
+ private:
+  Platform base_;
+  const PerturbationCursor* cursor_;
+};
+
+/// QualityManager decorator: observation clock jitter. The wrapped manager
+/// decides on t + jitter(seed, cycle, s); everything else forwards
+/// untouched (name() too, so summary differentials line up).
+class PerturbedManager final : public QualityManager {
+ public:
+  /// `inner` and `cursor` are borrowed.
+  PerturbedManager(QualityManager& inner, const PerturbationCursor& cursor)
+      : inner_(&inner), cursor_(&cursor) {}
+
+  Decision decide(StateIndex s, TimeNs t) override {
+    return inner_->decide(s, cursor_->perturb_observed(s, t));
+  }
+  std::string name() const override { return inner_->name(); }
+  std::size_t memory_bytes() const override { return inner_->memory_bytes(); }
+  std::size_t num_table_integers() const override {
+    return inner_->num_table_integers();
+  }
+  void reset() override { inner_->reset(); }
+
+ private:
+  QualityManager* inner_;
+  const PerturbationCursor* cursor_;
+};
+
+/// Owning bundle wiring the full decorator stack around one run: cursor +
+/// perturbed source/platform/manager. Build one per (manager, source,
+/// platform) triple, then run the executor on rig.manager()/rig.source()
+/// with rig.platform() in the options.
+class PerturbationRig {
+ public:
+  PerturbationRig(const PerturbationScenario& scenario, std::uint64_t salt,
+                  QualityManager& manager, CyclicTimeSource& source,
+                  const Platform& platform, std::size_t horizon);
+
+  PerturbationCursor& cursor() { return cursor_; }
+  QualityManager& manager() { return manager_; }
+  CyclicTimeSource& source() { return source_; }
+  Platform platform() const { return platform_.platform(); }
+
+ private:
+  PerturbationCursor cursor_;
+  PerturbedTimeSource source_;
+  PerturbedPlatform platform_;
+  PerturbedManager manager_;
+};
+
+}  // namespace speedqm

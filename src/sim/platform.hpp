@@ -5,6 +5,15 @@
 // execution times (so one synthesized workload can be "run" on faster or
 // slower hardware). Action atomicity and the single-thread execution model
 // follow the paper's assumptions.
+//
+// Perturbation seam: a Platform may carry a non-owning PlatformPerturber
+// hook (sim/perturb.hpp installs one via PerturbedPlatform). The hook sees
+// every scaled action duration and every manager cost AFTER the base
+// model computed them and may inflate them — scripted overhead spikes and
+// platform-side load faults ride this seam without the executor knowing.
+// With no hook installed (the default, and what an empty perturbation
+// scenario degenerates to) the arithmetic is bit-identical to the
+// historical Platform.
 #pragma once
 
 #include "core/types.hpp"
@@ -13,6 +22,20 @@
 #include "support/time.hpp"
 
 namespace speedqm {
+
+/// Hook consulted by Platform::scale / Platform::manager_cost when
+/// installed. Implementations must be deterministic pure functions of
+/// their own state (the perturbation cursor) and the input — the
+/// determinism gates replay runs and demand identical platform charges.
+class PlatformPerturber {
+ public:
+  virtual ~PlatformPerturber() = default;
+  /// Final platform-time duration of an action whose base scaled duration
+  /// is `scaled`. Return `scaled` unchanged for a pass-through.
+  virtual TimeNs perturb_scale(TimeNs scaled) const = 0;
+  /// Final cost of a manager invocation whose base cost is `cost`.
+  virtual TimeNs perturb_manager_cost(TimeNs cost) const = 0;
+};
 
 class Platform {
  public:
@@ -28,16 +51,34 @@ class Platform {
 
   /// Platform-time duration of an action whose workload duration is `d`.
   TimeNs scale(TimeNs d) const {
-    if (speed_factor_ == 1.0) return d;
-    return static_cast<TimeNs>(static_cast<double>(d) * speed_factor_ + 0.5);
+    TimeNs v = d;
+    if (speed_factor_ != 1.0) {
+      v = static_cast<TimeNs>(static_cast<double>(d) * speed_factor_ + 0.5);
+    }
+    return perturber_ ? perturber_->perturb_scale(v) : v;
   }
 
   /// Cost of one manager invocation performing `ops` operations.
-  TimeNs manager_cost(std::uint64_t ops) const { return overhead_.cost(ops); }
+  TimeNs manager_cost(std::uint64_t ops) const {
+    const TimeNs c = overhead_.cost(ops);
+    return perturber_ ? perturber_->perturb_manager_cost(c) : c;
+  }
+
+  /// A copy of this platform with the hook installed (nullptr detaches).
+  /// The hook is borrowed: the caller keeps it alive for every run that
+  /// uses the returned platform.
+  Platform with_perturber(const PlatformPerturber* perturber) const {
+    Platform copy = *this;
+    copy.perturber_ = perturber;
+    return copy;
+  }
+
+  const PlatformPerturber* perturber() const { return perturber_; }
 
  private:
   OverheadModel overhead_;
   double speed_factor_;
+  const PlatformPerturber* perturber_ = nullptr;
 };
 
 }  // namespace speedqm

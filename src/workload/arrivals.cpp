@@ -136,4 +136,28 @@ ArrivalSchedule make_arrival_schedule(std::size_t pool_tasks,
   return ArrivalSchedule(std::move(valid), pool_tasks, initial_tasks);
 }
 
+ArrivalSchedule merge_forced_events(const ArrivalSchedule& base,
+                                    std::vector<ArrivalEvent> forced,
+                                    std::size_t pool_tasks,
+                                    std::size_t initial_tasks) {
+  std::vector<ArrivalEvent> events = base.events();
+  events.insert(events.end(), forced.begin(), forced.end());
+  // Base events sort ahead of forced ones within a cycle (stable sort on
+  // concatenation order), so the merge is deterministic.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ArrivalEvent& a, const ArrivalEvent& b) {
+                     return a.cycle < b.cycle;
+                   });
+  std::vector<std::uint8_t> replay(pool_tasks, 0);
+  for (std::size_t t = 0; t < initial_tasks; ++t) replay[t] = 1;
+  std::vector<ArrivalEvent> valid;
+  for (const ArrivalEvent& e : events) {
+    if (e.task >= pool_tasks) continue;
+    if (e.join == static_cast<bool>(replay[e.task])) continue;
+    replay[e.task] = e.join ? 1 : 0;
+    valid.push_back(e);
+  }
+  return ArrivalSchedule(std::move(valid), pool_tasks, initial_tasks);
+}
+
 }  // namespace speedqm

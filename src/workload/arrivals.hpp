@@ -59,4 +59,17 @@ ArrivalSchedule make_arrival_schedule(std::size_t pool_tasks,
                                       std::size_t churn_events,
                                       std::uint64_t seed);
 
+/// Merges externally forced events (e.g. a perturbation scenario's
+/// disconnect windows: leave at the window start, rejoin at its end) into
+/// an existing schedule. The combined script is re-sorted by cycle and
+/// any event that is invalid under the merged order (join of a present
+/// task, leave of an absent one) is dropped — the same tolerant policy
+/// make_arrival_schedule applies to its own churn — so forcing a
+/// disconnect of a task that already left degenerates to a no-op instead
+/// of throwing.
+ArrivalSchedule merge_forced_events(const ArrivalSchedule& base,
+                                    std::vector<ArrivalEvent> forced,
+                                    std::size_t pool_tasks,
+                                    std::size_t initial_tasks);
+
 }  // namespace speedqm

@@ -282,4 +282,71 @@ PaperScenario make_paper_scenario(std::uint64_t seed) {
   return s;
 }
 
+const std::vector<std::string>& perturbation_scenario_names() {
+  static const std::vector<std::string> names = {
+      "calm",        "spike",       "jitter",     "stall",
+      "overhead-storm", "flaky-shard", "disconnect", "storm"};
+  return names;
+}
+
+PerturbationScenario make_perturbation_scenario(const std::string& name,
+                                                std::size_t cycles,
+                                                std::uint64_t seed) {
+  SPEEDQM_REQUIRE(cycles >= 8,
+                  "make_perturbation_scenario: need >= 8 cycles for windows");
+  // Window positions are horizon fractions so one catalogue serves any
+  // serving length; every window stays inside [1, cycles).
+  const auto at = [cycles](std::size_t num, std::size_t den) {
+    return std::max<std::size_t>(1, num * cycles / den);
+  };
+  const auto span = [cycles, at](std::size_t num, std::size_t den,
+                                 std::size_t len_num, std::size_t len_den) {
+    const std::size_t begin = at(num, den);
+    const std::size_t len =
+        std::max<std::size_t>(2, len_num * cycles / len_den);
+    return std::make_pair(begin, std::min(cycles, begin + len));
+  };
+
+  std::vector<PerturbationWindow> w;
+  const bool storm = name == "storm";
+  if (name == "calm") {
+    return PerturbationScenario(seed, {});
+  }
+  if (name == "spike" || storm) {
+    // The canonical degradation-gate script: two load spikes, the second
+    // harsher — actual times pushed toward, then past, Cwc.
+    const auto [b1, e1] = span(1, 4, 1, 8);
+    const auto [b2, e2] = span(5, 8, 1, 8);
+    w.push_back({FaultKind::kLoadSpike, b1, e1, 1.5});
+    w.push_back({FaultKind::kLoadSpike, b2, e2, 2.0});
+  }
+  if (name == "jitter" || storm) {
+    const auto [b, e] = span(1, 4, 1, 2);
+    w.push_back({FaultKind::kClockJitter, b, e, 100000.0});  // +-100 us
+  }
+  if (name == "stall" || storm) {
+    const auto [b, e] = span(1, 3, 1, 8);
+    w.push_back({FaultKind::kStallFrame, b, e, 8.0});
+  }
+  if (name == "overhead-storm" || storm) {
+    const auto [b, e] = span(1, 2, 1, 6);
+    w.push_back({FaultKind::kOverheadSpike, b, e, 16.0});
+  }
+  if (name == "flaky-shard" || storm) {
+    // Shard 0 sleeps 2 ms of host time per stalled cycle: wall-clock
+    // pressure on the segment barrier, zero effect on simulated results.
+    const auto [b, e] = span(1, 4, 1, 4);
+    w.push_back({FaultKind::kShardStall, b, e, 2.0, 0});
+  }
+  if (name == "disconnect" || storm) {
+    // Pool task 1 drops out for the middle third and asks to rejoin.
+    w.push_back({FaultKind::kDisconnect, at(1, 3), at(2, 3), 1.0, 1});
+  }
+  SPEEDQM_REQUIRE(!w.empty(),
+                  "make_perturbation_scenario: unknown scenario (valid: calm, "
+                  "spike, jitter, stall, overhead-storm, flaky-shard, "
+                  "disconnect, storm)");
+  return PerturbationScenario(seed, std::move(w));
+}
+
 }  // namespace speedqm

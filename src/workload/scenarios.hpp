@@ -6,12 +6,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/multi_task.hpp"
 #include "core/policy.hpp"
 #include "sim/overhead_inflation.hpp"
 #include "sim/overhead_model.hpp"
+#include "sim/perturb.hpp"
 #include "workload/mpeg_model.hpp"
 #include "workload/synthetic.hpp"
 
@@ -191,6 +193,27 @@ class MultiTaskMix {
   std::unique_ptr<ComposedCyclicSource> source_;
   TimeNs budget_ = 0;
 };
+
+// ---------------------------------------------------------------------------
+// Perturbation catalogue: named, seeded fault scripts (sim/perturb.hpp)
+// sized to a serving horizon. Same name + cycles + seed => the same
+// scenario, and the perturbation engine guarantees the same scenario +
+// seed => identical run artifacts — so a catalogue name is a complete,
+// reproducible description of a stress experiment (the CLI's --perturb).
+// ---------------------------------------------------------------------------
+
+/// Valid catalogue names, in presentation order: "calm" (empty script),
+/// "spike" (the canonical load-spike pair the degradation gate uses),
+/// "jitter", "stall", "overhead-storm", "flaky-shard", "disconnect",
+/// "storm" (everything at once).
+const std::vector<std::string>& perturbation_scenario_names();
+
+/// Builds the named scenario scaled to a `cycles`-long horizon. Throws
+/// contract_error (listing the valid names) for an unknown name; requires
+/// cycles >= 8 so the windows have room.
+PerturbationScenario make_perturbation_scenario(const std::string& name,
+                                                std::size_t cycles,
+                                                std::uint64_t seed = 20070615);
 
 /// Paper constants, exposed for tests/benches.
 inline constexpr int kPaperActions = 1189;

@@ -1,0 +1,152 @@
+// Tests for serve/decision_exchange.hpp, centered on the SpinWait
+// saturation contract: an arbitrarily long stall must not overflow the
+// spin counter (it saturates at kSpinLimit and converts every further
+// failed poll into a yield), and a reset() after the stall re-arms a full
+// spin budget — clean resume. Plus threaded exchange tests where the
+// manager side stalls for whole epochs and the protocol still delivers
+// every reply in order.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/types.hpp"
+#include "serve/decision_exchange.hpp"
+
+namespace speedqm {
+namespace {
+
+TEST(SpinWait, SaturatesInsteadOfOverflowingOnLongStalls) {
+  SpinWait wait;
+  EXPECT_EQ(wait.spins(), 0);
+  EXPECT_EQ(wait.yields(), 0u);
+  EXPECT_FALSE(wait.saturated());
+
+  // Burn exactly the spin budget: no yields yet.
+  for (int i = 0; i < SpinWait::kSpinLimit; ++i) wait.pause();
+  EXPECT_EQ(wait.spins(), SpinWait::kSpinLimit);
+  EXPECT_EQ(wait.yields(), 0u);
+  EXPECT_TRUE(wait.saturated());
+
+  // A multi-epoch stall: vastly more failed polls than the budget. The
+  // spin counter must stay pinned at the limit (no wraparound back into
+  // busy-spinning) while every extra poll yields.
+  const std::uint64_t kStallPolls = 1u << 20;
+  for (std::uint64_t i = 0; i < kStallPolls; ++i) wait.pause();
+  EXPECT_EQ(wait.spins(), SpinWait::kSpinLimit);
+  EXPECT_EQ(wait.yields(), kStallPolls);
+  EXPECT_TRUE(wait.saturated());
+}
+
+TEST(SpinWait, ResetReArmsAFreshSpinBudget) {
+  SpinWait wait;
+  for (int i = 0; i < 3 * SpinWait::kSpinLimit; ++i) wait.pause();
+  ASSERT_TRUE(wait.saturated());
+  ASSERT_GT(wait.yields(), 0u);
+
+  wait.reset();
+  EXPECT_EQ(wait.spins(), 0);
+  EXPECT_EQ(wait.yields(), 0u);
+  EXPECT_FALSE(wait.saturated());
+
+  // The next wait busy-spins again before yielding: clean resume.
+  wait.pause();
+  EXPECT_EQ(wait.spins(), 1);
+  EXPECT_EQ(wait.yields(), 0u);
+}
+
+TEST(DecisionExchange, DeliversRepliesAcrossAStalledManagerThread) {
+  constexpr std::size_t kTasks = 3;
+  constexpr std::size_t kEpochs = 16;
+  DecisionExchange exchange(kTasks);
+
+  // The manager thread stalls hard before serving the first epochs —
+  // long enough that the action thread's waits saturate their spin budget
+  // and sit in the yield regime — then serves the rest at full speed.
+  std::thread manager([&exchange] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    bool running = true;
+    while (running) {
+      running = exchange.serve_next([](DecisionExchange::Command command,
+                                       const StateIndex* states, TimeNs t,
+                                       Decision* out, std::uint64_t* ops) {
+        if (command != DecisionExchange::Command::kDecide) return;
+        for (std::size_t i = 0; i < kTasks; ++i) {
+          Decision d;
+          d.quality = static_cast<Quality>(states[i] % 7);
+          d.ops = states[i] + static_cast<std::uint64_t>(t);
+          out[i] = d;
+        }
+        *ops = 100 + static_cast<std::uint64_t>(t);
+      });
+    }
+  });
+
+  std::vector<StateIndex> states(kTasks);
+  std::vector<Decision> out(kTasks);
+  for (std::size_t epoch = 0; epoch < kEpochs; ++epoch) {
+    for (std::size_t i = 0; i < kTasks; ++i) {
+      states[i] = static_cast<StateIndex>(epoch * kTasks + i);
+    }
+    exchange.post_decide(states.data(), static_cast<TimeNs>(epoch));
+    const std::uint64_t ops = exchange.await_reply(out.data());
+    EXPECT_EQ(ops, 100 + epoch);
+    for (std::size_t i = 0; i < kTasks; ++i) {
+      EXPECT_EQ(out[i].quality, static_cast<Quality>(states[i] % 7))
+          << "epoch " << epoch << " task " << i;
+      EXPECT_EQ(out[i].ops, states[i] + epoch);
+    }
+    if (epoch == kEpochs / 2) {
+      // A mid-run control command exercises the non-decide path under the
+      // same slot protocol.
+      exchange.post_command(DecisionExchange::Command::kReset);
+      exchange.await_reply(nullptr);
+    }
+  }
+
+  exchange.post_command(DecisionExchange::Command::kStop);
+  exchange.await_reply(nullptr);
+  manager.join();
+}
+
+TEST(DecisionExchange, SurvivesRepeatedStallsAcrossManyEpochs) {
+  constexpr std::size_t kTasks = 1;
+  DecisionExchange exchange(kTasks);
+
+  std::thread manager([&exchange] {
+    std::size_t served = 0;
+    bool running = true;
+    while (running) {
+      // Stall every fourth epoch: multiple saturation/resume rounds.
+      if (served % 4 == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      running = exchange.serve_next([](DecisionExchange::Command command,
+                                       const StateIndex* states, TimeNs t,
+                                       Decision* out, std::uint64_t* ops) {
+        if (command != DecisionExchange::Command::kDecide) return;
+        Decision d;
+        d.ops = static_cast<std::uint64_t>(t) * 2 + states[0];
+        out[0] = d;
+        *ops = d.ops;
+      });
+      ++served;
+    }
+  });
+
+  for (std::size_t epoch = 0; epoch < 64; ++epoch) {
+    const StateIndex s = static_cast<StateIndex>(epoch + 1);
+    exchange.post_decide(&s, static_cast<TimeNs>(epoch));
+    Decision out;
+    const std::uint64_t ops = exchange.await_reply(&out);
+    EXPECT_EQ(ops, 2 * epoch + s);
+    EXPECT_EQ(out.ops, 2 * epoch + s);
+  }
+  exchange.post_command(DecisionExchange::Command::kStop);
+  exchange.await_reply(nullptr);
+  manager.join();
+}
+
+}  // namespace
+}  // namespace speedqm

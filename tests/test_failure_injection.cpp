@@ -6,13 +6,18 @@
 // corrupting state.
 #include <gtest/gtest.h>
 
+#include "core/batch_engine.hpp"
 #include "core/numeric_manager.hpp"
 #include "core/region_compiler.hpp"
 #include "core/region_manager.hpp"
 #include "core/relaxation_manager.hpp"
 #include "core/feasibility.hpp"
+#include "serve/sharded_server.hpp"
+#include "sim/metrics.hpp"
+#include "sim/perturb.hpp"
 #include "support/rng.hpp"
 #include "workload/profiler.hpp"
+#include "workload/scenarios.hpp"
 #include "workload/synthetic.hpp"
 
 namespace speedqm {
@@ -166,6 +171,101 @@ TEST(FailureInjection, NegativeDurationIsRejected) {
   } source;
 
   EXPECT_THROW(run_cycle(w.app(), manager, source), contract_error);
+}
+
+// ---------------------------------------------------------------------------
+// Violations through the batch and sharded paths: when actual times are
+// driven past Cwc, every serving path must account the misses identically
+// to the per-task sequential reference — bit for bit, not approximately.
+// ---------------------------------------------------------------------------
+
+MultiTaskMixSpec violation_mix_spec(std::size_t tasks, std::uint64_t seed) {
+  MultiTaskMixSpec spec;
+  spec.num_tasks = tasks;
+  spec.seed = seed;
+  spec.num_cycles = 8;
+  spec.min_task_actions = 4;
+  spec.max_task_actions = 24;
+  return spec;
+}
+
+/// A load-spike script violent enough to push actual times past Cwc.
+PerturbationScenario violation_scenario() {
+  return PerturbationScenario(77, {{FaultKind::kLoadSpike, 3, 9, 3.0}});
+}
+
+void expect_miss_accounting_identical(const RunSummary& a, const RunSummary& b) {
+  EXPECT_EQ(a.total_steps, b.total_steps);
+  EXPECT_EQ(a.manager_calls, b.manager_calls);
+  EXPECT_EQ(a.deadline_misses, b.deadline_misses);
+  EXPECT_EQ(a.infeasible, b.infeasible);
+  EXPECT_EQ(a.total_ops, b.total_ops);
+  EXPECT_EQ(a.mean_quality, b.mean_quality);
+  EXPECT_EQ(a.total_time_s, b.total_time_s);
+  EXPECT_EQ(a.stress_cycles, b.stress_cycles);
+  EXPECT_EQ(a.misses_in_stress, b.misses_in_stress);
+  EXPECT_EQ(a.recovery_cycles, b.recovery_cycles);
+  EXPECT_EQ(a.misses_in_recovery, b.misses_in_recovery);
+  EXPECT_EQ(a.relax_histogram, b.relax_histogram);
+}
+
+/// Runs the mix under the violation scenario through `manager`.
+RunSummary run_mix_under_violations(MultiTaskMix& mix,
+                                    MultiTaskEpochManager& manager,
+                                    std::size_t cycles) {
+  const PerturbationScenario scenario = violation_scenario();
+  RunSummaryAccumulator acc(manager.name());
+  acc.track_stress_windows(scenario.stress_ranges());
+  ExecutorOptions opts = mix.executor_options(cycles);
+  opts.retain_steps = false;
+  opts.sink = &acc;
+  PerturbationRig rig(scenario, /*salt=*/0, manager, mix.source(),
+                      opts.platform, cycles);
+  opts.platform = rig.platform();
+  run_cyclic(mix.composed().app(), rig.manager(), rig.source(), opts);
+  return acc.finish();
+}
+
+TEST(FailureInjection, BatchAndSequentialAgreeOnMissAccountingUnderOverruns) {
+  const MultiTaskMixSpec spec = violation_mix_spec(5, 31);
+  const std::size_t cycles = 12;
+
+  MultiTaskMix mix_batch(spec);
+  BatchMultiTaskManager batch(mix_batch.composed(), mix_batch.engines());
+  const RunSummary sb = run_mix_under_violations(mix_batch, batch, cycles);
+
+  MultiTaskMix mix_seq(spec);
+  SequentialMultiTaskManager sequential(mix_seq.composed(), mix_seq.engines());
+  const RunSummary ss = run_mix_under_violations(mix_seq, sequential, cycles);
+
+  // The spike really does leave the Definition-1 envelope...
+  EXPECT_GT(sb.deadline_misses, 0u);
+  EXPECT_GT(sb.misses_in_stress, 0u);
+  // ...and both serving paths account for it identically.
+  expect_miss_accounting_identical(sb, ss);
+}
+
+TEST(FailureInjection, ShardedServerMatchesDirectBatchPathUnderOverruns) {
+  const MultiTaskMixSpec spec = violation_mix_spec(5, 32);
+  const std::size_t cycles = 12;
+
+  ShardedServerSpec serve_spec;
+  serve_spec.mix = spec;
+  serve_spec.num_shards = 1;  // degenerate shard == the whole mix
+  serve_spec.num_workers = 1;
+  serve_spec.cycles = cycles;
+  serve_spec.perturb = violation_scenario();
+  const ServingSummary served = ShardedServer(serve_spec).serve();
+  ASSERT_EQ(served.shards.size(), 1u);
+
+  MultiTaskMix mix(spec);
+  BatchMultiTaskManager batch(mix.composed(), mix.engines());
+  const RunSummary direct = run_mix_under_violations(mix, batch, cycles);
+
+  EXPECT_GT(direct.deadline_misses, 0u);
+  expect_miss_accounting_identical(served.shards[0].summary, direct);
+  EXPECT_EQ(served.deadline_misses, direct.deadline_misses);
+  EXPECT_EQ(served.misses_in_stress, direct.misses_in_stress);
 }
 
 TEST(FailureInjection, ProfiledModelViolationsAreDetectable) {

@@ -1,0 +1,421 @@
+// Tests for the deterministic perturbation engine (src/sim/perturb.hpp):
+//   * empty-scenario differential: the full decorator stack with an empty
+//     scenario is bit-identical to the undecorated run — every ExecStep
+//     field including Decision.ops, and the folded summaries;
+//   * a scenario that only contains wall-clock faults (shard stalls) leaves
+//     the simulated results bit-identical too;
+//   * same scenario + seed => identical artifacts across repeated runs and
+//     across 1 vs 4 serving workers; different seeds decorrelate the
+//     hash-driven faults;
+//   * window scoping and magnitude semantics per fault kind, scenario
+//     validation, the catalogue, and the wrapper's absolute-cycle
+//     num_cycles() contract;
+//   * stress attribution: misses inside windows vs the post-window
+//     recovery tail, at the accumulator and serving levels;
+//   * disconnect windows drive forced leave/rejoin through admission.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+
+#include "core/batch_engine.hpp"
+#include "serve/sharded_server.hpp"
+#include "sim/metrics.hpp"
+#include "sim/perturb.hpp"
+#include "support/contract.hpp"
+#include "workload/scenarios.hpp"
+
+namespace speedqm {
+namespace {
+
+MultiTaskMixSpec small_mix_spec(std::size_t tasks, std::uint64_t seed) {
+  MultiTaskMixSpec spec;
+  spec.num_tasks = tasks;
+  spec.seed = seed;
+  spec.num_cycles = 8;
+  spec.min_task_actions = 4;
+  spec.max_task_actions = 24;
+  return spec;
+}
+
+void expect_summaries_identical(const RunSummary& a, const RunSummary& b) {
+  EXPECT_EQ(a.total_steps, b.total_steps);
+  EXPECT_EQ(a.manager_calls, b.manager_calls);
+  EXPECT_EQ(a.deadline_misses, b.deadline_misses);
+  EXPECT_EQ(a.infeasible, b.infeasible);
+  EXPECT_EQ(a.total_ops, b.total_ops);
+  EXPECT_EQ(a.mean_quality, b.mean_quality);
+  EXPECT_EQ(a.overhead_pct, b.overhead_pct);
+  EXPECT_EQ(a.total_time_s, b.total_time_s);
+  EXPECT_EQ(a.relax_histogram, b.relax_histogram);
+  EXPECT_EQ(a.stress_cycles, b.stress_cycles);
+  EXPECT_EQ(a.misses_in_stress, b.misses_in_stress);
+  EXPECT_EQ(a.recovery_cycles, b.recovery_cycles);
+  EXPECT_EQ(a.misses_in_recovery, b.misses_in_recovery);
+}
+
+/// Runs the mix through the full perturbation decorator stack with retained
+/// steps (plus a streaming accumulator with stress tracking).
+RunResult run_perturbed(const MultiTaskMixSpec& mix_spec, std::size_t cycles,
+                        const PerturbationScenario& scenario,
+                        RunSummary* summary_out) {
+  MultiTaskMix mix(mix_spec);
+  BatchMultiTaskManager manager(mix.composed(), mix.engines());
+  RunSummaryAccumulator acc("perturbed");
+  acc.track_stress_windows(scenario.stress_ranges());
+  ExecutorOptions opts = mix.executor_options(cycles);
+  opts.sink = &acc;
+  PerturbationRig rig(scenario, /*salt=*/0, manager, mix.source(),
+                      opts.platform, cycles);
+  opts.platform = rig.platform();
+  RunResult run =
+      run_cyclic(mix.composed().app(), rig.manager(), rig.source(), opts);
+  if (summary_out != nullptr) *summary_out = acc.finish();
+  return run;
+}
+
+RunResult run_plain(const MultiTaskMixSpec& mix_spec, std::size_t cycles,
+                    RunSummary* summary_out) {
+  MultiTaskMix mix(mix_spec);
+  BatchMultiTaskManager manager(mix.composed(), mix.engines());
+  RunSummaryAccumulator acc("plain");
+  ExecutorOptions opts = mix.executor_options(cycles);
+  opts.sink = &acc;
+  RunResult run =
+      run_cyclic(mix.composed().app(), manager, mix.source(), opts);
+  if (summary_out != nullptr) *summary_out = acc.finish();
+  return run;
+}
+
+void expect_steps_identical(const RunResult& a, const RunResult& b) {
+  ASSERT_EQ(a.steps.size(), b.steps.size());
+  for (std::size_t i = 0; i < a.steps.size(); ++i) {
+    const ExecStep& x = a.steps[i];
+    const ExecStep& y = b.steps[i];
+    ASSERT_EQ(x.cycle, y.cycle) << "step " << i;
+    ASSERT_EQ(x.action, y.action) << "step " << i;
+    ASSERT_EQ(x.quality, y.quality) << "step " << i;
+    ASSERT_EQ(x.observed, y.observed) << "step " << i;
+    ASSERT_EQ(x.overhead, y.overhead) << "step " << i;
+    ASSERT_EQ(x.start, y.start) << "step " << i;
+    ASSERT_EQ(x.duration, y.duration) << "step " << i;
+    ASSERT_EQ(x.manager_called, y.manager_called) << "step " << i;
+    ASSERT_EQ(x.feasible, y.feasible) << "step " << i;
+    ASSERT_EQ(x.relax_steps, y.relax_steps) << "step " << i;
+    ASSERT_EQ(x.ops, y.ops) << "step " << i;
+  }
+  EXPECT_EQ(a.total_ops, b.total_ops);
+  EXPECT_EQ(a.total_time, b.total_time);
+}
+
+// --- Empty-scenario differential (the no-fault contract) --------------------
+
+TEST(Perturb, EmptyScenarioBitIdenticalThroughFullDecoratorStack) {
+  const MultiTaskMixSpec mix_spec = small_mix_spec(5, 41);
+  const std::size_t cycles = 12;  // deliberately not a multiple of 8
+  RunSummary plain_summary, empty_summary;
+  const RunResult plain = run_plain(mix_spec, cycles, &plain_summary);
+  const PerturbationScenario empty;
+  const RunResult decorated =
+      run_perturbed(mix_spec, cycles, empty, &empty_summary);
+  expect_steps_identical(plain, decorated);
+  expect_summaries_identical(plain_summary, empty_summary);
+  EXPECT_EQ(empty_summary.stress_cycles, 0u);
+}
+
+TEST(Perturb, WallClockOnlyScenarioLeavesResultsBitIdentical) {
+  // kShardStall affects host scheduling only; through the decorators the
+  // simulated run must be indistinguishable from no scenario at all.
+  const MultiTaskMixSpec mix_spec = small_mix_spec(4, 42);
+  const std::size_t cycles = 10;
+  const PerturbationScenario stalls(
+      7, {{FaultKind::kShardStall, 2, 6, 1.0, PerturbationWindow::kAllTargets}});
+  RunSummary plain_summary, stall_summary;
+  const RunResult plain = run_plain(mix_spec, cycles, &plain_summary);
+  const RunResult stalled =
+      run_perturbed(mix_spec, cycles, stalls, &stall_summary);
+  expect_steps_identical(plain, stalled);
+  // Shard stalls are not a stress kind: no attribution either.
+  EXPECT_EQ(stall_summary.stress_cycles, 0u);
+  expect_summaries_identical(plain_summary, stall_summary);
+}
+
+// --- Determinism ------------------------------------------------------------
+
+TEST(Perturb, SameScenarioAndSeedReplaysBitIdentically) {
+  const MultiTaskMixSpec mix_spec = small_mix_spec(5, 43);
+  const std::size_t cycles = 16;
+  const PerturbationScenario scenario = make_perturbation_scenario(
+      "storm", cycles, /*seed=*/99);
+  RunSummary s1, s2;
+  const RunResult r1 = run_perturbed(mix_spec, cycles, scenario, &s1);
+  const RunResult r2 = run_perturbed(mix_spec, cycles, scenario, &s2);
+  expect_steps_identical(r1, r2);
+  expect_summaries_identical(s1, s2);
+  EXPECT_GT(s1.stress_cycles, 0u);
+}
+
+TEST(Perturb, SeedAndSaltDecorrelateHashDrivenFaults) {
+  const PerturbationScenario a = make_perturbation_scenario("stall", 32, 1);
+  const PerturbationScenario b = make_perturbation_scenario("stall", 32, 2);
+  const PerturbationCursor ca(a, 0), cb(b, 0), ca_salted(a, 1);
+  std::size_t hash_diff_seed = 0, hash_diff_salt = 0;
+  for (std::size_t cycle = 0; cycle < 32; ++cycle) {
+    for (std::uint64_t action = 0; action < 16; ++action) {
+      const auto ha = ca.fault_hash(FaultKind::kStallFrame, cycle, action);
+      if (ha != cb.fault_hash(FaultKind::kStallFrame, cycle, action)) {
+        ++hash_diff_seed;
+      }
+      if (ha != ca_salted.fault_hash(FaultKind::kStallFrame, cycle, action)) {
+        ++hash_diff_salt;
+      }
+    }
+  }
+  EXPECT_GT(hash_diff_seed, 500u);  // essentially all 512 draws differ
+  EXPECT_GT(hash_diff_salt, 500u);
+}
+
+// --- Window scoping and magnitudes ------------------------------------------
+
+TEST(Perturb, LoadSpikeScalesOnlyInsideItsWindow) {
+  const PerturbationScenario scenario(5, {{FaultKind::kLoadSpike, 4, 8, 2.0}});
+  PerturbationCursor cursor(scenario);
+  cursor.set_cycle(3);
+  EXPECT_EQ(cursor.perturb_actual_time(0, 1000), 1000);
+  cursor.set_cycle(4);
+  EXPECT_EQ(cursor.perturb_actual_time(0, 1000), 2000);
+  cursor.set_cycle(7);
+  EXPECT_EQ(cursor.perturb_actual_time(0, 1000), 2000);
+  cursor.set_cycle(8);  // [begin, end) — end cycle is clean
+  EXPECT_EQ(cursor.perturb_actual_time(0, 1000), 1000);
+  // Overlapping spikes compose multiplicatively.
+  const PerturbationScenario overlap(5, {{FaultKind::kLoadSpike, 0, 4, 2.0},
+                                         {FaultKind::kLoadSpike, 2, 4, 1.5}});
+  PerturbationCursor c2(overlap);
+  c2.set_cycle(3);
+  EXPECT_EQ(c2.perturb_actual_time(0, 1000), 3000);
+}
+
+TEST(Perturb, StallFrameHitsAHashChosenSparseSubset) {
+  const PerturbationScenario scenario(11,
+                                      {{FaultKind::kStallFrame, 0, 1, 8.0}});
+  PerturbationCursor cursor(scenario);
+  cursor.set_cycle(0);
+  std::size_t stalled = 0;
+  for (ActionIndex a = 0; a < 4096; ++a) {
+    const TimeNs t = cursor.perturb_actual_time(a, 1000);
+    ASSERT_TRUE(t == 1000 || t == 8000) << "action " << a;
+    if (t == 8000) ++stalled;
+  }
+  // Expected 1/8 of 4096 = 512; allow a generous deterministic band.
+  EXPECT_GT(stalled, 350u);
+  EXPECT_LT(stalled, 700u);
+}
+
+TEST(Perturb, ClockJitterIsBoundedAndSeedStable) {
+  const PerturbationScenario scenario(13,
+                                      {{FaultKind::kClockJitter, 0, 4, 500.0}});
+  PerturbationCursor cursor(scenario);
+  cursor.set_cycle(1);
+  bool moved = false;
+  for (StateIndex s = 0; s < 256; ++s) {
+    const TimeNs t = cursor.perturb_observed(s, 100000);
+    EXPECT_GE(t, 100000 - 500);
+    EXPECT_LE(t, 100000 + 500);
+    if (t != 100000) moved = true;
+    EXPECT_EQ(t, cursor.perturb_observed(s, 100000));  // stateless replay
+  }
+  EXPECT_TRUE(moved);
+  cursor.set_cycle(4);  // off-window: exact identity
+  for (StateIndex s = 0; s < 16; ++s) {
+    EXPECT_EQ(cursor.perturb_observed(s, 100000), 100000);
+  }
+}
+
+TEST(Perturb, OverheadSpikeInflatesManagerCostThroughPlatform) {
+  const PerturbationScenario scenario(17,
+                                      {{FaultKind::kOverheadSpike, 2, 3, 4.0}});
+  PerturbationCursor cursor(scenario);
+  const Platform base(OverheadModel{0, 10.0});  // 10 ns per op
+  const PerturbedPlatform decorated(base, cursor);
+  const Platform platform = decorated.platform();
+  cursor.set_cycle(1);
+  EXPECT_EQ(platform.manager_cost(100), base.manager_cost(100));
+  cursor.set_cycle(2);
+  EXPECT_EQ(platform.manager_cost(100), 4 * base.manager_cost(100));
+  // Action scaling passes through untouched (durations are source-side).
+  EXPECT_EQ(platform.scale(12345), base.scale(12345));
+}
+
+TEST(Perturb, WrapperReportsAbsoluteCycleSpanAndPreservesContent) {
+  MultiTaskMix mix(small_mix_spec(3, 44));
+  const std::size_t inner = mix.source().num_cycles();
+  const PerturbationScenario empty;
+  PerturbationCursor cursor(empty);
+  const std::size_t horizon = 3 * inner + 1;  // not a multiple of the period
+  PerturbedTimeSource wrapped(mix.source(), cursor, horizon);
+  EXPECT_GE(wrapped.num_cycles(), horizon);
+  EXPECT_EQ(wrapped.num_cycles() % inner, 0u);
+  // Content at absolute cycle c == inner content at c % inner.
+  for (const std::size_t cycle : {std::size_t{0}, inner + 1, 2 * inner + 5}) {
+    wrapped.set_cycle(cycle);
+    const TimeNs through = wrapped.actual_time(0, 0);
+    EXPECT_EQ(cursor.cycle(), cycle);
+    mix.source().set_cycle(cycle % inner);
+    EXPECT_EQ(through, mix.source().actual_time(0, 0));
+  }
+}
+
+// --- Validation and the catalogue -------------------------------------------
+
+TEST(Perturb, ScenarioValidationRejectsMalformedWindows) {
+  EXPECT_THROW(PerturbationScenario(1, {{FaultKind::kLoadSpike, 5, 5, 1.5}}),
+               contract_error);  // empty window
+  EXPECT_THROW(PerturbationScenario(1, {{FaultKind::kStallFrame, 0, 4, 0.5}}),
+               contract_error);  // stall factor < 1
+  EXPECT_THROW(PerturbationScenario(1, {{FaultKind::kClockJitter, 0, 4, -1.0}}),
+               contract_error);  // negative amplitude
+  EXPECT_THROW(PerturbationScenario(1, {{FaultKind::kDisconnect, 0, 4, 1.0}}),
+               contract_error);  // disconnect without a task target
+}
+
+TEST(Perturb, CatalogueNamesBuildAndUnknownNamesThrow) {
+  for (const std::string& name : perturbation_scenario_names()) {
+    const PerturbationScenario s = make_perturbation_scenario(name, 64);
+    if (name == "calm") {
+      EXPECT_TRUE(s.empty());
+    } else {
+      EXPECT_FALSE(s.empty()) << name;
+      for (const PerturbationWindow& w : s.windows()) {
+        EXPECT_LT(w.begin_cycle, w.end_cycle) << name;
+        EXPECT_LE(w.end_cycle, 64u) << name;
+      }
+      EXPECT_FALSE(s.describe().empty());
+    }
+  }
+  EXPECT_THROW(make_perturbation_scenario("tsunami", 64), contract_error);
+  EXPECT_THROW(make_perturbation_scenario("spike", 4), contract_error);
+}
+
+TEST(Perturb, StressRangesMergeOnlyExecutorKinds) {
+  const PerturbationScenario s(
+      3, {{FaultKind::kLoadSpike, 2, 6, 1.5},
+          {FaultKind::kStallFrame, 4, 9, 2.0},
+          {FaultKind::kShardStall, 10, 20, 1.0, 0},
+          {FaultKind::kDisconnect, 12, 14, 1.0, 1},
+          {FaultKind::kOverheadSpike, 30, 32, 2.0}});
+  const auto ranges = s.stress_ranges();
+  ASSERT_EQ(ranges.size(), 2u);  // [2,9) merged; wall/membership kinds out
+  EXPECT_EQ(ranges[0], std::make_pair(std::size_t{2}, std::size_t{9}));
+  EXPECT_EQ(ranges[1], std::make_pair(std::size_t{30}, std::size_t{32}));
+}
+
+// --- Stress attribution -----------------------------------------------------
+
+TEST(Perturb, AccumulatorAttributesMissesToWindowsAndRecoveryTail) {
+  RunSummaryAccumulator acc("synthetic");
+  acc.track_stress_windows({{4, 6}});
+  const auto cycle = [](std::size_t c, std::size_t misses) {
+    CycleStats s;
+    s.cycle = c;
+    s.deadline_misses = misses;
+    return s;
+  };
+  acc.on_cycle(cycle(3, 1));  // pre-window miss: unattributed
+  acc.on_cycle(cycle(4, 2));  // in window
+  acc.on_cycle(cycle(5, 3));  // in window
+  acc.on_cycle(cycle(6, 2));  // recovery tail
+  acc.on_cycle(cycle(7, 1));  // recovery tail
+  acc.on_cycle(cycle(8, 0));  // first clean cycle closes the tail
+  acc.on_cycle(cycle(9, 4));  // later miss: unattributed again
+  const RunSummary s = acc.finish();
+  EXPECT_EQ(s.stress_cycles, 2u);
+  EXPECT_EQ(s.misses_in_stress, 5u);
+  EXPECT_EQ(s.recovery_cycles, 2u);
+  EXPECT_EQ(s.misses_in_recovery, 3u);
+  EXPECT_EQ(s.deadline_misses, 13u);
+}
+
+// --- Sharded serving integration --------------------------------------------
+
+TEST(PerturbServe, StallOnlyScenarioMatchesUnperturbedServingBitForBit) {
+  ShardedServerSpec spec;
+  spec.mix = small_mix_spec(6, 45);
+  spec.num_shards = 2;
+  spec.num_workers = 2;
+  spec.cycles = 12;
+
+  ShardedServerSpec stalled = spec;
+  stalled.perturb = PerturbationScenario(
+      9, {{FaultKind::kShardStall, 2, 5, 0.5, 0}});
+
+  const ServingSummary clean = ShardedServer(spec).serve();
+  const ServingSummary with_stalls = ShardedServer(stalled).serve();
+  ASSERT_EQ(clean.shards.size(), with_stalls.shards.size());
+  for (std::size_t s = 0; s < clean.shards.size(); ++s) {
+    expect_summaries_identical(clean.shards[s].summary,
+                               with_stalls.shards[s].summary);
+    EXPECT_EQ(clean.shards[s].clock, with_stalls.shards[s].clock);
+  }
+  EXPECT_EQ(with_stalls.stalled_cycles, 3u);
+  EXPECT_EQ(clean.stalled_cycles, 0u);
+}
+
+TEST(PerturbServe, StormScenarioIdenticalAcrossWorkerCounts) {
+  ShardedServerSpec spec;
+  spec.mix = small_mix_spec(8, 46);
+  spec.num_shards = 3;
+  spec.cycles = 16;
+  spec.perturb = make_perturbation_scenario("storm", 16, 7);
+
+  ShardedServerSpec one = spec;
+  one.num_workers = 1;
+  ShardedServerSpec many = spec;
+  many.num_workers = 4;
+
+  const ServingSummary a = ShardedServer(one).serve();
+  const ServingSummary b = ShardedServer(many).serve();
+  ASSERT_EQ(a.shards.size(), b.shards.size());
+  for (std::size_t s = 0; s < a.shards.size(); ++s) {
+    expect_summaries_identical(a.shards[s].summary, b.shards[s].summary);
+    EXPECT_EQ(a.shards[s].members, b.shards[s].members);
+    EXPECT_EQ(a.shards[s].clock, b.shards[s].clock);
+  }
+  EXPECT_EQ(a.total_steps, b.total_steps);
+  EXPECT_EQ(a.total_ops, b.total_ops);
+  EXPECT_EQ(a.stress_cycles, b.stress_cycles);
+  EXPECT_EQ(a.misses_in_stress, b.misses_in_stress);
+  EXPECT_EQ(a.recovery_cycles, b.recovery_cycles);
+  EXPECT_EQ(a.misses_in_recovery, b.misses_in_recovery);
+  EXPECT_EQ(a.stalled_cycles, b.stalled_cycles);
+  EXPECT_EQ(a.scripted_disconnects, b.scripted_disconnects);
+  EXPECT_GT(a.stress_cycles, 0u);
+}
+
+TEST(PerturbServe, DisconnectWindowForcesLeaveAndReadmission) {
+  ShardedServerSpec spec;
+  spec.mix = small_mix_spec(6, 47);
+  spec.num_shards = 2;
+  spec.num_workers = 1;
+  spec.cycles = 16;
+  spec.perturb = PerturbationScenario(
+      3, {{FaultKind::kDisconnect, 5, 11, 1.0, /*task=*/2}});
+
+  const ServingSummary summary = ShardedServer(spec).serve();
+  EXPECT_EQ(summary.scripted_disconnects, 1u);
+  EXPECT_EQ(summary.leaves, 1u);
+  // Initial admissions for the whole pool, plus the rejoin at cycle 11.
+  ASSERT_EQ(summary.admissions.size(), spec.mix.num_tasks + 1);
+  const AdmissionDecision& rejoin = summary.admissions.back();
+  EXPECT_EQ(rejoin.task, 2u);
+  EXPECT_EQ(rejoin.cycle, 11u);
+  // Task 2 is present again at the end (readmitted into some shard).
+  std::size_t holders = 0;
+  for (const ShardReport& shard : summary.shards) {
+    for (const std::size_t m : shard.members) holders += (m == 2) ? 1 : 0;
+  }
+  EXPECT_EQ(holders, 1u);
+}
+
+}  // namespace
+}  // namespace speedqm

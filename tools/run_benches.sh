@@ -29,6 +29,11 @@
 #   per entry, deterministic, and warm decode ns per layout on the n x |Q|
 #   grid; >= 2x size reduction on n >= 1024 cells is SHAPE-gated), written
 #   by bench_table_memory.
+#   BENCH_perturb.json   — perturbation engine (simulated ns/step and
+#   ops/step per catalogue scenario; every cell is simulated platform time,
+#   fully deterministic). bench_perturbation is run TWICE and the two
+#   artifacts byte-compared — the determinism gate: same scenario + seed
+#   must reproduce the summary artifact exactly.
 #
 # Every failure mode is a hard failure so the CI bench gate cannot pass
 # vacuously: missing bench binary, missing/empty JSON artifact, SHAPE check
@@ -62,7 +67,7 @@ OUT_DIR="${OUT_DIR:-bench_out}"
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
-for bin in bench_micro_managers bench_multi_task bench_sharded bench_table_memory; do
+for bin in bench_micro_managers bench_multi_task bench_sharded bench_table_memory bench_perturbation; do
   if [ ! -x "${BUILD_DIR}/${bin}" ]; then
     echo "error: ${BUILD_DIR}/${bin} not found — refusing to skip" >&2
     echo "(a missing bench binary must not let the CI bench gate pass vacuously)" >&2
@@ -79,7 +84,7 @@ if [ -n "${BASELINE}" ]; then
   # Back-compat: a BENCH_decision.json path means "its directory".
   [ -f "${BASELINE}" ] && BASELINE="$(dirname "${BASELINE}")"
   [ -d "${BASELINE}" ] || { echo "error: baseline ${BASELINE} not found" >&2; exit 2; }
-  for json in BENCH_decision.json BENCH_multitask.json BENCH_sharded.json BENCH_table_memory.json; do
+  for json in BENCH_decision.json BENCH_multitask.json BENCH_sharded.json BENCH_table_memory.json BENCH_perturb.json; do
     [ -f "${BASELINE}/${json}" ] || {
       echo "error: baseline ${BASELINE}/${json} missing — the gate must not pass vacuously" >&2
       exit 2
@@ -93,6 +98,7 @@ MICRO_BIN="$(cd "${BUILD_DIR}" && pwd)/bench_micro_managers"
 MULTI_BIN="$(cd "${BUILD_DIR}" && pwd)/bench_multi_task"
 SHARDED_BIN="$(cd "${BUILD_DIR}" && pwd)/bench_sharded"
 TABLEMEM_BIN="$(cd "${BUILD_DIR}" && pwd)/bench_table_memory"
+PERTURB_BIN="$(cd "${BUILD_DIR}" && pwd)/bench_perturbation"
 mkdir -p "${OUT_DIR}"
 cd "${OUT_DIR}"
 
@@ -156,8 +162,38 @@ if [ ! -s BENCH_table_memory.json ]; then
   exit 2
 fi
 
+# Perturbation bench: run twice, byte-compare the artifacts. The JSON holds
+# only simulated-time cells, so any byte difference between the two runs is
+# a determinism regression (seeded faults must replay exactly).
+BENCH_STATUS=0
+"${PERTURB_BIN}" BENCH_perturb.json > bench_perturbation.log 2>&1 || BENCH_STATUS=$?
+cat bench_perturbation.log
+if [ "${BENCH_STATUS}" -ne 0 ]; then
+  echo "error: bench_perturbation exited ${BENCH_STATUS} (SHAPE gate failed)" >&2
+  exit "${BENCH_STATUS}"
+fi
+
+if [ ! -s BENCH_perturb.json ]; then
+  echo "error: bench run produced no BENCH_perturb.json — hard failure" >&2
+  exit 2
+fi
+
+BENCH_STATUS=0
+"${PERTURB_BIN}" BENCH_perturb_repeat.json > bench_perturbation_repeat.log 2>&1 || BENCH_STATUS=$?
+if [ "${BENCH_STATUS}" -ne 0 ]; then
+  echo "error: bench_perturbation repeat run exited ${BENCH_STATUS}" >&2
+  exit "${BENCH_STATUS}"
+fi
+if ! cmp -s BENCH_perturb.json BENCH_perturb_repeat.json; then
+  echo "error: BENCH_perturb.json differs between two in-process runs —" >&2
+  echo "the perturbation engine lost seeded determinism" >&2
+  diff BENCH_perturb.json BENCH_perturb_repeat.json >&2 || true
+  exit 2
+fi
+echo "[SHAPE-OK  ] determinism double-run: BENCH_perturb.json byte-identical across runs"
+
 if [ -n "${BASELINE}" ]; then
-  for name in decision multitask sharded table_memory; do
+  for name in decision multitask sharded table_memory perturb; do
     echo ""
     echo "comparing BENCH_${name}.json against baseline ${BASELINE}/BENCH_${name}.json:"
     # BENCH_table_memory's hard payload is the deterministic bytes-per-entry

@@ -20,6 +20,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/batch_engine.hpp"
 #include "core/feasibility.hpp"
@@ -64,6 +65,34 @@ std::string get(const ArgMap& args, const std::string& key,
   return it == args.end() ? fallback : it->second;
 }
 
+/// Enum-style flag parsing: the value must be one of `valid`, otherwise the
+/// tool exits with a message listing every accepted option (a typo must
+/// never silently fall back to a default).
+std::string parse_choice(const ArgMap& args, const std::string& key,
+                         const std::string& fallback,
+                         const std::vector<std::string>& valid,
+                         const char* command) {
+  const std::string value = get(args, key, fallback);
+  if (std::find(valid.begin(), valid.end(), value) != valid.end()) {
+    return value;
+  }
+  std::fprintf(stderr, "error: unknown --%s '%s' for %s (valid:", key.c_str(),
+               value.c_str(), command);
+  for (std::size_t i = 0; i < valid.size(); ++i) {
+    std::fprintf(stderr, "%s%s", i ? "|" : " ", valid[i].c_str());
+  }
+  std::fprintf(stderr, ")\n");
+  std::exit(2);
+}
+
+/// --perturb accepts "none" (default) or any catalogue scenario name.
+std::vector<std::string> perturb_choices() {
+  std::vector<std::string> choices = {"none"};
+  const auto& names = perturbation_scenario_names();
+  choices.insert(choices.end(), names.begin(), names.end());
+  return choices;
+}
+
 PaperScenario scenario_from(const ArgMap& args) {
   const auto seed = static_cast<std::uint64_t>(
       std::stoull(get(args, "seed", "20070326")));
@@ -85,23 +114,17 @@ int cmd_gen(const ArgMap& args) {
 int cmd_compile(const ArgMap& args) {
   auto scenario = scenario_from(args);
   const std::string out = get(args, "out", "mpeg");
-  const std::string flavor_name = get(args, "manager", "relaxation");
-  ManagerFlavor flavor;
-  if (flavor_name == "numeric") {
-    flavor = ManagerFlavor::kNumeric;
-  } else if (flavor_name == "numeric-incremental") {
+  const std::string flavor_name = parse_choice(
+      args, "manager", "relaxation",
+      {"numeric", "numeric-incremental", "regions", "relaxation", "batch"},
+      "compile");
+  ManagerFlavor flavor = ManagerFlavor::kRelaxation;
+  if (flavor_name == "numeric") flavor = ManagerFlavor::kNumeric;
+  if (flavor_name == "numeric-incremental") {
     flavor = ManagerFlavor::kNumericIncremental;
-  } else if (flavor_name == "regions") {
-    flavor = ManagerFlavor::kRegions;
-  } else if (flavor_name == "relaxation") {
-    flavor = ManagerFlavor::kRelaxation;
-  } else if (flavor_name == "batch") {
-    flavor = ManagerFlavor::kBatch;
-  } else {
-    std::fprintf(stderr, "error: unknown manager '%s' for compile\n",
-                 flavor_name.c_str());
-    return 2;
   }
+  if (flavor_name == "regions") flavor = ManagerFlavor::kRegions;
+  if (flavor_name == "batch") flavor = ManagerFlavor::kBatch;
 
   const TimingModel tm = scenario.controller_model(flavor);
   const PolicyEngine engine(scenario.app(), tm);
@@ -136,7 +159,11 @@ int cmd_run(const ArgMap& args) {
   auto scenario = scenario_from(args);
   const std::string tables = get(args, "tables", "mpeg");
   const std::string traces_path = get(args, "traces", "");
-  const std::string flavor = get(args, "manager", "relaxation");
+  const std::string flavor = parse_choice(
+      args, "manager", "relaxation",
+      {"numeric", "numeric-warm", "numeric-incremental", "regions",
+       "relaxation", "batch"},
+      "run");
   const std::string csv = get(args, "csv", "");
 
   // Content: regenerate from seed or replay a trace file.
@@ -213,18 +240,19 @@ int cmd_multitask(const ArgMap& args) {
   spec.budget_factor = std::stod(get(args, "factor", "1.10"));
   const auto cycles =
       static_cast<std::size_t>(std::stoull(get(args, "cycles", "64")));
-  const std::string flavor = get(args, "manager", "batch");
+  const std::string flavor = parse_choice(
+      args, "manager", "batch", {"batch", "batch-incremental", "sequential"},
+      "multitask");
   const bool stream = args.count("stream") > 0;
-  const std::string arena = get(args, "arena", "flat");
-  ArenaLayout layout;
-  if (arena == "flat") {
-    layout = ArenaLayout::kFlat;
-  } else if (arena == "compressed") {
-    layout = ArenaLayout::kCompressed;
-  } else {
-    std::fprintf(stderr, "error: unknown arena '%s' for multitask\n",
-                 arena.c_str());
-    return 2;
+  const std::string arena = parse_choice(args, "arena", "flat",
+                                         {"flat", "compressed"}, "multitask");
+  const ArenaLayout layout =
+      arena == "compressed" ? ArenaLayout::kCompressed : ArenaLayout::kFlat;
+  const std::string perturb_name =
+      parse_choice(args, "perturb", "none", perturb_choices(), "multitask");
+  PerturbationScenario perturb;
+  if (perturb_name != "none") {
+    perturb = make_perturbation_scenario(perturb_name, cycles);
   }
 
   MultiTaskMix mix(spec);
@@ -275,8 +303,24 @@ int cmd_multitask(const ArgMap& args) {
   opts.retain_steps = !stream;
   opts.retain_cycles = !stream;
   opts.sink = &sink;
+
+  // Optional fault injection: the decorator stack wraps the chosen
+  // manager/source/platform; with --perturb none nothing is installed.
+  std::unique_ptr<PerturbationRig> rig;
+  QualityManager* run_manager = manager.get();
+  CyclicTimeSource* run_source = &mix.source();
+  if (!perturb.empty()) {
+    sink.acc.track_stress_windows(perturb.stress_ranges());
+    rig = std::make_unique<PerturbationRig>(perturb, 0, *manager, mix.source(),
+                                            opts.platform, cycles);
+    opts.platform = rig->platform();
+    run_manager = &rig->manager();
+    run_source = &rig->source();
+    std::printf("perturbation   : %s (%s)\n", perturb_name.c_str(),
+                perturb.describe().c_str());
+  }
   const auto run =
-      run_cyclic(mix.composed().app(), *manager, mix.source(), opts);
+      run_cyclic(mix.composed().app(), *run_manager, *run_source, opts);
   const auto summary = sink.acc.finish();
 
   std::printf("tasks          : %zu (%s), %zu composite actions/cycle\n",
@@ -290,6 +334,11 @@ int cmd_multitask(const ArgMap& args) {
   std::printf("mean quality   : %.3f\n", summary.mean_quality);
   std::printf("overhead       : %.2f %%\n", summary.overhead_pct);
   std::printf("deadline misses: %zu\n", summary.deadline_misses);
+  if (summary.stress_cycles > 0) {
+    std::printf("stress cycles  : %zu (%zu misses), recovery %zu (%zu misses)\n",
+                summary.stress_cycles, summary.misses_in_stress,
+                summary.recovery_cycles, summary.misses_in_recovery);
+  }
   std::printf("quality stddev : %.3f\n", summary.smoothness.quality_stddev);
   std::printf("table memory   : %zu bytes\n", manager->memory_bytes());
   std::printf("retained steps : %zu\n", run.steps.size());
@@ -321,25 +370,20 @@ int cmd_serve(const ArgMap& args) {
       static_cast<std::size_t>(std::stoull(get(args, "workers", "0")));
   spec.cycles = static_cast<std::size_t>(std::stoull(get(args, "cycles", "64")));
   spec.async_manager = args.count("async") > 0;
-  const std::string arena = get(args, "arena", "flat");
-  if (arena == "flat") {
-    spec.layout = ArenaLayout::kFlat;
-  } else if (arena == "compressed") {
-    spec.layout = ArenaLayout::kCompressed;
-  } else {
-    std::fprintf(stderr, "error: unknown arena '%s' for serve\n",
-                 arena.c_str());
-    return 2;
-  }
-  const std::string placement = get(args, "placement", "best-fit");
-  if (placement == "best-fit") {
-    spec.placement = PlacementPolicy::kBestFit;
-  } else if (placement == "most-slack") {
-    spec.placement = PlacementPolicy::kMostSlack;
-  } else {
-    std::fprintf(stderr, "error: unknown placement '%s' for serve\n",
-                 placement.c_str());
-    return 2;
+  const std::string arena =
+      parse_choice(args, "arena", "flat", {"flat", "compressed"}, "serve");
+  spec.layout = arena == "compressed" ? ArenaLayout::kCompressed
+                                      : ArenaLayout::kFlat;
+  const std::string placement = parse_choice(
+      args, "placement", "best-fit", {"best-fit", "most-slack"}, "serve");
+  spec.placement = placement == "most-slack" ? PlacementPolicy::kMostSlack
+                                             : PlacementPolicy::kBestFit;
+  const std::string perturb_name =
+      parse_choice(args, "perturb", "none", perturb_choices(), "serve");
+  if (perturb_name != "none") {
+    spec.perturb = make_perturbation_scenario(perturb_name, spec.cycles);
+    std::printf("perturbation   : %s (%s)\n", perturb_name.c_str(),
+                spec.perturb.describe().c_str());
   }
 
   const auto arrivals =
@@ -408,11 +452,17 @@ void usage() {
       "                      regions|relaxation|batch] [--csv PREFIX]\n"
       "  multitask [--tasks N] [--cycles N] [--seed N] [--factor F]\n"
       "           [--manager batch|batch-incremental|sequential] [--stream]\n"
-      "           [--arena flat|compressed]\n"
+      "           [--arena flat|compressed] [--perturb NAME]\n"
       "  serve    [--tasks N] [--shards S] [--workers W] [--cycles N]\n"
       "           [--arrivals N] [--initial K] [--async] [--seed N] [--factor F]\n"
       "           [--placement best-fit|most-slack] [--arena flat|compressed]\n"
-      "  inspect  --tables PREFIX\n");
+      "           [--perturb NAME]\n"
+      "  inspect  --tables PREFIX\n"
+      "\n"
+      "--perturb NAME applies a seeded fault scenario from the catalogue:\n"
+      "  none|calm|spike|jitter|stall|overhead-storm|flaky-shard|disconnect|"
+      "storm\n"
+      "(same scenario + seed => identical results; see docs/scenarios.md)\n");
 }
 
 }  // namespace
