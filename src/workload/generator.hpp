@@ -1,0 +1,315 @@
+// Pluggable workload-generator API: workloads as data.
+//
+// MultiTaskMix/ArrivalSchedule hand-build serving scenarios from two model
+// families (MPEG + synthetic). This module turns the scenario space into a
+// registry of interchangeable generator backends behind one
+// load/get_next-style contract (the codes-workload shape: one API, many
+// generator methods; the II-CC-FF separation of source-specific generation
+// from a common consumption stream):
+//
+//   open(spec)        validate the spec and position the stream at its
+//                     first event (throws std::runtime_error on a bad
+//                     spec — input validation stays on in Release);
+//   next_event(out)   emit the next event in cycle order; false = end;
+//   rewind()          restart the stream; the replayed event sequence is
+//                     IDENTICAL (the seeded-replay contract).
+//
+// Event stream vocabulary (WorkloadEvent):
+//   * kJoin / kLeave   — session arrivals: pool task `task` asks to join /
+//                        leaves before cycle `cycle`. Drained into an
+//                        ArrivalSchedule they feed serve/AdmissionController
+//                        exactly like scripted arrivals.
+//   * kFrameCosts      — one cycle of per-frame content: a borrowed
+//                        row-major [action][quality] actual-time table,
+//                        valid until the next next_event()/rewind() call —
+//                        the O(1)-memory streaming contract (a trace file
+//                        never needs to fit in memory).
+//
+// Seeding contract (same as PerturbationCursor): every stochastic draw is
+// a STATELESS hash of (seed, stream, index) — no RNG cursor, no draw
+// order — so any consumer split (segments, worker counts, rewinds)
+// replays the identical stream. No libm transcendental enters any draw
+// (cross-platform bit-stability of the event script).
+//
+// Built-in backends (names registered in generator.cpp, documented in
+// docs/scenarios.md — tools/check_docs.py gates that the two stay in
+// sync):
+//   "mix"          MixAdapterGenerator — wraps MultiTaskMix; the existing
+//                  path through the new API, differential-gated
+//                  bit-identical (decisions AND Decision.ops);
+//   "trace-replay" TraceReplayGenerator — streams a recorded trace file
+//                  (workload/trace_io) cycle by cycle in O(1) memory with
+//                  on-the-fly period/cost validation;
+//   "poisson"      StochasticArrivalGenerator — constant-intensity session
+//                  arrivals;
+//   "bursty"       StochasticArrivalGenerator — MMPP-style on-off bursts;
+//   "diurnal"      StochasticArrivalGenerator — a piecewise-linear
+//                  day-curve intensity;
+//   "checkpoint"   PeriodicCheckpointGenerator — periodic
+//                  checkpoint-restart-style sessions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/arrivals.hpp"
+#include "workload/scenarios.hpp"
+#include "workload/trace_io.hpp"
+
+namespace speedqm {
+
+enum class WorkloadEventKind {
+  kJoin,        ///< pool task asks to join before `cycle`
+  kLeave,       ///< pool task leaves before `cycle`
+  kFrameCosts,  ///< one cycle of [action][quality] actual times
+};
+
+const char* to_string(WorkloadEventKind kind);
+
+/// One event of a generator stream. For kFrameCosts the `costs` table is
+/// BORROWED from the generator and only valid until the next next_event()
+/// or rewind() call — consumers stream, they do not retain.
+struct WorkloadEvent {
+  WorkloadEventKind kind = WorkloadEventKind::kJoin;
+  std::size_t cycle = 0;  ///< absolute cycle the event fires before
+  std::size_t task = 0;   ///< pool task id (kJoin/kLeave)
+  const TimeNs* costs = nullptr;  ///< kFrameCosts: row-major [action][quality]
+  ActionIndex num_actions = 0;
+  int num_levels = 0;
+};
+
+/// One spec describes any backend; each backend validates the fields it
+/// consumes and ignores the rest. `params` carries backend-specific
+/// "key=value,key=value" overrides (parsed by parse_workload_params into
+/// the typed fields below — unknown keys are rejected).
+struct WorkloadSpec {
+  std::uint64_t seed = 20070808;
+  std::size_t cycles = 64;  ///< horizon: events fire on cycles [0, cycles)
+
+  // Arrival backends (poisson / bursty / diurnal / checkpoint): pool
+  // geometry. Tasks [initial_tasks, pool_tasks) are the session pool.
+  std::size_t pool_tasks = 32;
+  std::size_t initial_tasks = 24;
+  /// Expected sessions per pool task over the horizon (hazard scale).
+  double rate = 1.5;
+  /// Mean session length in cycles (uniform in [1, 2*mean_stay-1]).
+  std::size_t mean_stay = 8;
+  /// bursty: on/off phase block length in cycles and on-phase boost.
+  std::size_t burst_len = 8;
+  double burst_factor = 4.0;
+  /// diurnal: number of day periods across the horizon.
+  std::size_t day_periods = 2;
+  /// checkpoint: checkpoint period and write-burst duty, in cycles.
+  std::size_t period = 8;
+  std::size_t duty = 2;
+
+  // trace-replay: the recorded trace file and the validation bounds the
+  // streaming pass enforces per frame (0 disables the period check).
+  std::string trace_path;
+  TimeNs frame_budget = 0;  ///< min-quality frame total must fit (if > 0)
+
+  // mix: the MultiTaskMix assembly to adapt (seed/cycle fields above do
+  // not override the mix's own spec — the mix IS the content).
+  MultiTaskMixSpec mix;
+};
+
+/// Applies "key=value,key=value" overrides onto a spec. Accepted keys:
+/// seed, cycles, pool, initial, rate, stay, burst-len, burst, periods,
+/// period, duty, trace, budget, tasks (mix task count), factor (mix budget
+/// factor). Throws std::runtime_error on an unknown key or a malformed
+/// value — a typo must never silently fall back to a default.
+void parse_workload_params(const std::string& params, WorkloadSpec& spec);
+
+/// The generator-method interface. Lifecycle: construct (via the
+/// registry), open(spec) once, then interleave next_event()/rewind()
+/// freely. open() on an already-open generator re-opens with the new spec.
+class WorkloadGenerator {
+ public:
+  virtual ~WorkloadGenerator() = default;
+
+  /// Validates the spec and positions the stream before its first event.
+  /// Throws std::runtime_error (always on, even in Release) on a spec the
+  /// backend cannot serve.
+  virtual void open(const WorkloadSpec& spec) = 0;
+  /// Emits the next event in cycle order (stable within a cycle). Returns
+  /// false at end of stream. Streaming backends may invalidate the
+  /// previous event's borrowed buffers.
+  virtual bool next_event(WorkloadEvent& out) = 0;
+  /// Restarts the stream at the first event. The replayed sequence is
+  /// bit-identical to the first pass (seeded-replay contract).
+  virtual void rewind() = 0;
+
+  /// Registry name of this backend.
+  virtual const std::string& name() const = 0;
+  /// True when the stream carries kJoin/kLeave events (drainable into an
+  /// ArrivalSchedule); false for frame-cost streams.
+  virtual bool emits_arrivals() const = 0;
+  /// Resident bytes held by the open stream — the streaming gate pins that
+  /// trace replay stays O(frame), independent of trace length.
+  virtual std::size_t memory_bytes() const = 0;
+
+  /// The spec this generator was opened with (valid after open()).
+  const WorkloadSpec& spec() const { return spec_; }
+
+ protected:
+  /// Backends assign this at the top of open().
+  WorkloadSpec spec_;
+};
+
+// ---------------------------------------------------------------------------
+// Registry: string-keyed generator factories, à la codes-workload's method
+// table. Built-ins self-register; external code may add its own backends.
+// ---------------------------------------------------------------------------
+
+using WorkloadGeneratorFactory = std::unique_ptr<WorkloadGenerator> (*)();
+
+/// Registers a factory under `name` (replacing any previous registration).
+void register_workload_generator(const std::string& name,
+                                 WorkloadGeneratorFactory factory);
+
+/// Registered names, sorted (built-ins always present).
+std::vector<std::string> workload_generator_names();
+
+/// Instantiates the named backend (not yet opened). Throws
+/// std::runtime_error listing the registered names when `name` is unknown.
+std::unique_ptr<WorkloadGenerator> make_workload_generator(
+    const std::string& name);
+
+/// Convenience: make + open in one call.
+std::unique_ptr<WorkloadGenerator> open_workload_generator(
+    const std::string& name, const WorkloadSpec& spec);
+
+// ---------------------------------------------------------------------------
+// Consumers: the two bridges into the existing serving machinery.
+// ---------------------------------------------------------------------------
+
+/// Drains an arrival-emitting generator into a validated ArrivalSchedule:
+/// generator-driven joins then feed serve/AdmissionController exactly like
+/// scripted arrivals. Throws std::runtime_error when the generator emits
+/// frame costs instead of arrivals.
+ArrivalSchedule drain_arrival_schedule(WorkloadGenerator& gen);
+
+/// CyclicTimeSource over a frame-cost generator: set_cycle(c) pulls events
+/// until cycle c's table is resident (rewinding for backward jumps), and
+/// actual_time reads it. num_cycles() is the generator horizon, so a
+/// horizon-bounded executor run passes absolute cycles straight through —
+/// the bridge that runs the executor, bit for bit, off a generator stream.
+class GeneratorTimeSource final : public CyclicTimeSource {
+ public:
+  /// `gen` is borrowed, must be open, and must emit frame costs.
+  explicit GeneratorTimeSource(WorkloadGenerator& gen, std::size_t horizon);
+
+  void set_cycle(std::size_t cycle) override;
+  std::size_t num_cycles() const override { return horizon_; }
+  TimeNs actual_time(ActionIndex i, Quality q) override;
+
+ private:
+  void pull_next();
+
+  WorkloadGenerator* gen_;
+  std::size_t horizon_;
+  WorkloadEvent event_;
+  bool have_event_ = false;
+  std::size_t current_cycle_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Built-in backends (constructible directly; the registry is the normal
+// entry point).
+// ---------------------------------------------------------------------------
+
+/// "mix": today's MultiTaskMix content through the generator API. Owns a
+/// private MultiTaskMix built from spec.mix (construction is deterministic
+/// in the spec, so the streamed tables are bit-identical to any other mix
+/// built from an equal spec) and emits one kFrameCosts event per cycle of
+/// the horizon.
+class MixAdapterGenerator final : public WorkloadGenerator {
+ public:
+  void open(const WorkloadSpec& spec) override;
+  bool next_event(WorkloadEvent& out) override;
+  void rewind() override;
+  const std::string& name() const override;
+  bool emits_arrivals() const override { return false; }
+  std::size_t memory_bytes() const override;
+
+ private:
+  std::unique_ptr<MultiTaskMix> mix_;
+  std::size_t cycles_ = 0;
+  std::size_t next_cycle_ = 0;
+  std::vector<TimeNs> frame_;
+};
+
+/// "trace-replay": streams a recorded trace file cycle by cycle through
+/// workload/trace_io's TraceStreamReader — O(frame) resident memory
+/// however long the trace — validating each frame on the fly: costs
+/// non-negative, non-decreasing in quality (Definition 1 shape), not
+/// all-zero, and (when spec.frame_budget > 0) the min-quality frame total
+/// fits the budget. A violated frame throws std::runtime_error naming the
+/// cycle. The horizon replays the trace cyclically when spec.cycles
+/// exceeds the recorded length.
+class TraceReplayGenerator final : public WorkloadGenerator {
+ public:
+  void open(const WorkloadSpec& spec) override;
+  bool next_event(WorkloadEvent& out) override;
+  void rewind() override;
+  const std::string& name() const override;
+  bool emits_arrivals() const override { return false; }
+  std::size_t memory_bytes() const override;
+
+ private:
+  void validate_frame(std::size_t cycle) const;
+
+  std::unique_ptr<TraceStreamReader> reader_;
+  TimeNs frame_budget_ = 0;
+  std::size_t cycles_ = 0;
+  std::size_t next_cycle_ = 0;
+  std::vector<TimeNs> frame_;
+};
+
+/// "poisson" / "bursty" / "diurnal": stochastic session arrivals. Tasks
+/// [initial_tasks, pool_tasks) join and leave under a per-cycle hazard
+/// whose intensity profile is the process kind; every draw is a stateless
+/// hash of (seed, task, cycle) and session lengths are integer-uniform —
+/// no libm, so the script is bit-stable across platforms. Events
+/// materialize at open() (the script is small — O(events), not O(trace))
+/// and stream in cycle order.
+class StochasticArrivalGenerator final : public WorkloadGenerator {
+ public:
+  enum class Process { kPoisson, kBursty, kDiurnal };
+  explicit StochasticArrivalGenerator(Process process);
+
+  void open(const WorkloadSpec& spec) override;
+  bool next_event(WorkloadEvent& out) override;
+  void rewind() override;
+  const std::string& name() const override;
+  bool emits_arrivals() const override { return true; }
+  std::size_t memory_bytes() const override;
+
+ private:
+  double intensity(std::size_t cycle, const WorkloadSpec& spec) const;
+
+  Process process_;
+  std::vector<ArrivalEvent> events_;
+  std::size_t next_ = 0;
+};
+
+/// "checkpoint": periodic checkpoint-restart-style sessions — each session
+/// task joins every `period` cycles at a seeded per-task phase, stays for
+/// `duty` cycles (the checkpoint write burst), and leaves.
+class PeriodicCheckpointGenerator final : public WorkloadGenerator {
+ public:
+  void open(const WorkloadSpec& spec) override;
+  bool next_event(WorkloadEvent& out) override;
+  void rewind() override;
+  const std::string& name() const override;
+  bool emits_arrivals() const override { return true; }
+  std::size_t memory_bytes() const override;
+
+ private:
+  std::vector<ArrivalEvent> events_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace speedqm

@@ -81,6 +81,44 @@ TraceTimeSource load_traces(std::istream& in) {
   return TraceTimeSource(n, nq, std::move(data));
 }
 
+TraceStreamReader::TraceStreamReader(const std::string& path)
+    : in_(path, std::ios::binary), path_(path) {
+  if (!in_) throw std::runtime_error("trace_io: cannot open " + path);
+  if (read_u32(in_) != kTraceMagic)
+    throw std::runtime_error("trace_io: bad magic in " + path);
+  if (read_u32(in_) != kVersion)
+    throw std::runtime_error("trace_io: unsupported version in " + path);
+  n_ = static_cast<ActionIndex>(read_u32(in_));
+  nq_ = static_cast<int>(read_u32(in_));
+  cycles_ = static_cast<std::size_t>(read_u32(in_));
+  if (n_ <= 0 || nq_ <= 0 || cycles_ == 0)
+    throw std::runtime_error("trace_io: corrupt header in " + path);
+  data_start_ = in_.tellg();
+}
+
+bool TraceStreamReader::next_frame(std::vector<TimeNs>& frame) {
+  if (read_ >= cycles_) return false;
+  frame.resize(static_cast<std::size_t>(n_) * static_cast<std::size_t>(nq_));
+  for (TimeNs& v : frame) {
+    try {
+      v = read_i64(in_);
+    } catch (const std::runtime_error&) {
+      throw std::runtime_error("trace_io: " + path_ + " truncated in cycle " +
+                               std::to_string(read_) + " (header promises " +
+                               std::to_string(cycles_) + " cycles)");
+    }
+  }
+  ++read_;
+  return true;
+}
+
+void TraceStreamReader::rewind() {
+  in_.clear();
+  in_.seekg(data_start_);
+  if (!in_) throw std::runtime_error("trace_io: rewind failed on " + path_);
+  read_ = 0;
+}
+
 void save_traces_file(const TraceTimeSource& traces, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("trace_io: cannot open " + path);

@@ -6,8 +6,10 @@
 // inject their own measured traces into the simulator.
 #pragma once
 
+#include <fstream>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "workload/trace_source.hpp"
 
@@ -19,5 +21,38 @@ void save_traces(const TraceTimeSource& traces, std::ostream& out);
 TraceTimeSource load_traces(std::istream& in);
 void save_traces_file(const TraceTimeSource& traces, const std::string& path);
 TraceTimeSource load_traces_file(const std::string& path);
+
+/// Streaming reader over the same binary format: validates the header on
+/// construction, then vends one cycle's [action][quality] table at a time
+/// into a caller-owned buffer — resident memory stays O(one frame)
+/// regardless of how many cycles the file records (the
+/// TraceReplayGenerator's O(1)-memory contract). Truncation mid-frame
+/// throws std::runtime_error naming the cycle.
+class TraceStreamReader {
+ public:
+  explicit TraceStreamReader(const std::string& path);
+
+  ActionIndex num_actions() const { return n_; }
+  int num_levels() const { return nq_; }
+  std::size_t num_cycles() const { return cycles_; }
+  /// Cycles read since construction/rewind (== the next cycle index).
+  std::size_t cycles_read() const { return read_; }
+
+  /// Reads the next cycle into `frame` (resized to num_actions *
+  /// num_levels). Returns false cleanly at end of stream; throws on a
+  /// frame cut short.
+  bool next_frame(std::vector<TimeNs>& frame);
+  /// Repositions the stream at cycle 0.
+  void rewind();
+
+ private:
+  std::ifstream in_;
+  std::string path_;
+  ActionIndex n_ = 0;
+  int nq_ = 0;
+  std::size_t cycles_ = 0;
+  std::size_t read_ = 0;
+  std::streampos data_start_;
+};
 
 }  // namespace speedqm

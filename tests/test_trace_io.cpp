@@ -97,5 +97,90 @@ TEST(TraceIoTest, MissingFileThrows) {
   EXPECT_THROW(load_traces_file("/nonexistent/path/t.bin"), std::runtime_error);
 }
 
+// --- TraceStreamReader ------------------------------------------------------
+
+TEST(TraceStreamReader, StreamsFramesIdenticalToBulkLoad) {
+  SyntheticSpec spec;
+  spec.seed = 17;
+  spec.num_actions = 9;
+  spec.num_levels = 3;
+  spec.budget_quality = 2;
+  spec.num_cycles = 7;
+  const SyntheticWorkload w(spec);
+  const std::string path = "test_stream_reader.bin";
+  save_traces_file(w.traces(), path);
+
+  TraceStreamReader reader(path);
+  EXPECT_EQ(reader.num_actions(), 9);
+  EXPECT_EQ(reader.num_levels(), 3);
+  EXPECT_EQ(reader.num_cycles(), 7u);
+
+  std::vector<TimeNs> frame;
+  for (std::size_t c = 0; c < 7; ++c) {
+    ASSERT_TRUE(reader.next_frame(frame)) << "cycle " << c;
+    ASSERT_EQ(frame.size(), 9u * 3u);
+    for (ActionIndex i = 0; i < 9; ++i) {
+      for (Quality q = 0; q < 3; ++q) {
+        ASSERT_EQ(frame[static_cast<std::size_t>(i) * 3 +
+                        static_cast<std::size_t>(q)],
+                  w.traces().at(c, i, q));
+      }
+    }
+  }
+  EXPECT_FALSE(reader.next_frame(frame));  // clean end of stream
+  EXPECT_EQ(reader.cycles_read(), 7u);
+
+  // Rewind restarts at cycle 0 with identical content.
+  reader.rewind();
+  EXPECT_EQ(reader.cycles_read(), 0u);
+  ASSERT_TRUE(reader.next_frame(frame));
+  EXPECT_EQ(frame[0], w.traces().at(0, 0, 0));
+  std::remove(path.c_str());
+}
+
+TEST(TraceStreamReader, TruncatedFileThrowsNamingTheCycle) {
+  SyntheticSpec spec;
+  spec.num_actions = 5;
+  spec.num_levels = 2;
+  spec.budget_quality = 1;
+  spec.num_cycles = 3;
+  const SyntheticWorkload w(spec);
+  std::stringstream buf;
+  save_traces(w.traces(), buf);
+  const std::string full = buf.str();
+
+  const std::string path = "test_stream_trunc.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    // Keep the header + cycle 0, cut cycle 1 mid-frame.
+    out.write(full.data(),
+              static_cast<std::streamsize>(20 + 5 * 2 * 8 + 24));
+  }
+  TraceStreamReader reader(path);
+  std::vector<TimeNs> frame;
+  EXPECT_TRUE(reader.next_frame(frame));  // cycle 0 intact
+  try {
+    reader.next_frame(frame);
+    FAIL() << "expected truncation to throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("truncated in cycle 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("promises 3 cycles"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceStreamReader, RejectsMissingFileAndBadHeader) {
+  EXPECT_THROW(TraceStreamReader("/nonexistent/t.bin"), std::runtime_error);
+
+  const std::string path = "test_stream_badmagic.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "XXXXXXXXXXXXXXXXXXXXXXXX";
+  }
+  EXPECT_THROW(TraceStreamReader bad(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace speedqm

@@ -1,0 +1,562 @@
+// Tests for the pluggable workload-generator API (workload/generator):
+//   * registry: built-in names present, unknown names rejected with the
+//     valid list, spec param parsing rejects typos and malformed values;
+//   * seeded replay: every backend's event stream is identical across
+//     rewinds and across freshly opened instances;
+//   * arrival backends drain into valid ArrivalSchedules and drive
+//     ShardedServer deterministically;
+//   * the "mix" adapter is bit-identical — decisions AND Decision.ops —
+//     to running the same manager off MultiTaskMix directly;
+//   * trace replay streams recorded files in O(one frame) memory and
+//     rejects truncated, non-monotone, zero-cost and over-budget frames.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/batch_engine.hpp"
+#include "serve/sharded_server.hpp"
+#include "sim/metrics.hpp"
+#include "workload/generator.hpp"
+#include "workload/scenarios.hpp"
+#include "workload/synthetic.hpp"
+#include "workload/trace_io.hpp"
+
+namespace speedqm {
+namespace {
+
+MultiTaskMixSpec small_mix_spec(std::size_t tasks, std::uint64_t seed) {
+  MultiTaskMixSpec spec;
+  spec.num_tasks = tasks;
+  spec.seed = seed;
+  spec.num_cycles = 8;
+  spec.min_task_actions = 4;
+  spec.max_task_actions = 24;
+  return spec;
+}
+
+/// Sink retaining only the quality stream + op totals (differential runs).
+struct QualityStreamSink final : StepSink {
+  std::vector<Quality> qualities;
+  std::uint64_t total_ops = 0;
+  void on_step(const ExecStep& step) override {
+    qualities.push_back(step.quality);
+    total_ops += step.ops;
+  }
+};
+
+/// Materializes a generator's full event script as comparable tuples
+/// (frame tables deep-copied — the stream only borrows them).
+struct EventRecord {
+  WorkloadEventKind kind;
+  std::size_t cycle;
+  std::size_t task;
+  std::vector<TimeNs> costs;
+
+  bool operator==(const EventRecord& o) const {
+    return kind == o.kind && cycle == o.cycle && task == o.task &&
+           costs == o.costs;
+  }
+};
+
+std::vector<EventRecord> drain_events(WorkloadGenerator& gen) {
+  std::vector<EventRecord> script;
+  WorkloadEvent e;
+  while (gen.next_event(e)) {
+    EventRecord r{e.kind, e.cycle, e.task, {}};
+    if (e.kind == WorkloadEventKind::kFrameCosts) {
+      r.costs.assign(e.costs,
+                     e.costs + static_cast<std::size_t>(e.num_actions) *
+                                   static_cast<std::size_t>(e.num_levels));
+    }
+    script.push_back(std::move(r));
+  }
+  return script;
+}
+
+/// A temp trace file of synthetic content; removed on destruction.
+struct TempTraceFile {
+  std::string path;
+  explicit TempTraceFile(const std::string& p, const TraceTimeSource& traces)
+      : path(p) {
+    save_traces_file(traces, path);
+  }
+  ~TempTraceFile() { std::remove(path.c_str()); }
+};
+
+TraceTimeSource synthetic_traces(std::size_t cycles, std::uint64_t seed = 3) {
+  SyntheticSpec spec;
+  spec.seed = seed;
+  spec.num_actions = 12;
+  spec.num_levels = 4;
+  spec.budget_quality = 2;
+  spec.num_cycles = cycles;
+  SyntheticWorkload w(spec);
+  std::vector<std::vector<TimeNs>> data;
+  for (std::size_t c = 0; c < cycles; ++c) {
+    std::vector<TimeNs> table;
+    for (ActionIndex i = 0; i < w.traces().num_actions(); ++i) {
+      for (Quality q = 0; q < w.traces().num_levels(); ++q) {
+        table.push_back(w.traces().at(c, i, q));
+      }
+    }
+    data.push_back(std::move(table));
+  }
+  return TraceTimeSource(w.traces().num_actions(), w.traces().num_levels(),
+                         std::move(data));
+}
+
+// --- Registry ---------------------------------------------------------------
+
+TEST(WorkloadRegistry, BuiltInsAreRegistered) {
+  const auto names = workload_generator_names();
+  for (const char* want :
+       {"mix", "trace-replay", "poisson", "bursty", "diurnal", "checkpoint"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), want), names.end())
+        << "missing built-in '" << want << "'";
+  }
+  // Each factory vends a generator that knows its own registry name.
+  for (const auto& name : names) {
+    EXPECT_EQ(make_workload_generator(name)->name(), name);
+  }
+}
+
+TEST(WorkloadRegistry, UnknownNameThrowsListingValidNames) {
+  try {
+    make_workload_generator("does-not-exist");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("does-not-exist"), std::string::npos);
+    EXPECT_NE(what.find("poisson"), std::string::npos);
+  }
+}
+
+TEST(WorkloadRegistry, CustomBackendsCanRegister) {
+  register_workload_generator("my-checkpoint", [] {
+    return std::unique_ptr<WorkloadGenerator>(new PeriodicCheckpointGenerator);
+  });
+  const auto names = workload_generator_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "my-checkpoint"),
+            names.end());
+  EXPECT_EQ(make_workload_generator("my-checkpoint")->name(), "checkpoint");
+}
+
+// --- Spec parsing -----------------------------------------------------------
+
+TEST(WorkloadSpecParsing, AppliesKnownKeys) {
+  WorkloadSpec spec;
+  parse_workload_params(
+      "seed=7,cycles=40,pool=10,initial=4,rate=2.5,stay=3,burst-len=5,"
+      "burst=6.0,periods=4,period=9,duty=3,trace=/tmp/t.bin,budget=1000,"
+      "tasks=5,factor=1.25",
+      spec);
+  EXPECT_EQ(spec.seed, 7u);
+  EXPECT_EQ(spec.cycles, 40u);
+  EXPECT_EQ(spec.pool_tasks, 10u);
+  EXPECT_EQ(spec.initial_tasks, 4u);
+  EXPECT_DOUBLE_EQ(spec.rate, 2.5);
+  EXPECT_EQ(spec.mean_stay, 3u);
+  EXPECT_EQ(spec.burst_len, 5u);
+  EXPECT_DOUBLE_EQ(spec.burst_factor, 6.0);
+  EXPECT_EQ(spec.day_periods, 4u);
+  EXPECT_EQ(spec.period, 9u);
+  EXPECT_EQ(spec.duty, 3u);
+  EXPECT_EQ(spec.trace_path, "/tmp/t.bin");
+  EXPECT_EQ(spec.frame_budget, 1000);
+  EXPECT_EQ(spec.mix.num_tasks, 5u);
+  EXPECT_DOUBLE_EQ(spec.mix.budget_factor, 1.25);
+}
+
+TEST(WorkloadSpecParsing, RejectsTyposAndMalformedValues) {
+  WorkloadSpec spec;
+  EXPECT_THROW(parse_workload_params("cycels=40", spec), std::runtime_error);
+  EXPECT_THROW(parse_workload_params("cycles=forty", spec),
+               std::runtime_error);
+  EXPECT_THROW(parse_workload_params("rate=1.5x", spec), std::runtime_error);
+  EXPECT_THROW(parse_workload_params("justakey", spec), std::runtime_error);
+}
+
+// --- Arrival backends -------------------------------------------------------
+
+class ArrivalBackends : public ::testing::TestWithParam<const char*> {};
+
+INSTANTIATE_TEST_SUITE_P(All, ArrivalBackends,
+                         ::testing::Values("poisson", "bursty", "diurnal",
+                                           "checkpoint"));
+
+TEST_P(ArrivalBackends, RewindReplaysIdenticalScript) {
+  WorkloadSpec spec;
+  spec.seed = 99;
+  spec.cycles = 48;
+  spec.pool_tasks = 12;
+  spec.initial_tasks = 6;
+  auto gen = open_workload_generator(GetParam(), spec);
+  EXPECT_TRUE(gen->emits_arrivals());
+
+  const auto first = drain_events(*gen);
+  EXPECT_FALSE(first.empty()) << GetParam() << " produced no events";
+  gen->rewind();
+  EXPECT_EQ(drain_events(*gen), first);
+  // A freshly opened instance replays the same script (spec-pure).
+  auto again = open_workload_generator(GetParam(), spec);
+  EXPECT_EQ(drain_events(*again), first);
+}
+
+TEST_P(ArrivalBackends, ScriptIsACleanArrivalStream) {
+  WorkloadSpec spec;
+  spec.seed = 5;
+  spec.cycles = 64;
+  spec.pool_tasks = 16;
+  spec.initial_tasks = 10;
+  auto gen = open_workload_generator(GetParam(), spec);
+  std::size_t prev_cycle = 0;
+  WorkloadEvent e;
+  while (gen->next_event(e)) {
+    EXPECT_NE(e.kind, WorkloadEventKind::kFrameCosts);
+    EXPECT_GE(e.cycle, prev_cycle);  // cycle order
+    EXPECT_LT(e.cycle, spec.cycles);
+    EXPECT_GE(e.task, spec.initial_tasks);  // only session-pool tasks churn
+    EXPECT_LT(e.task, spec.pool_tasks);
+    prev_cycle = e.cycle;
+  }
+  // The drained schedule validates (join/leave alternation holds).
+  gen->rewind();
+  const ArrivalSchedule schedule = drain_arrival_schedule(*gen);
+  EXPECT_FALSE(schedule.empty());
+}
+
+TEST_P(ArrivalBackends, DrivesShardedServerDeterministically) {
+  WorkloadSpec spec;
+  spec.seed = 2026;
+  spec.cycles = 20;
+  spec.pool_tasks = 8;
+  spec.initial_tasks = 5;
+  spec.rate = 3.0;
+  auto gen = open_workload_generator(GetParam(), spec);
+  const ArrivalSchedule schedule = drain_arrival_schedule(*gen);
+
+  ShardedServerSpec server;
+  server.mix = small_mix_spec(spec.pool_tasks, 77);
+  server.num_shards = 2;
+  server.num_workers = 1;
+  server.cycles = spec.cycles;
+  server.initial_tasks = spec.initial_tasks;
+
+  const ServingSummary a = ShardedServer(server, schedule).serve();
+  const ServingSummary b = ShardedServer(server, schedule).serve();
+  EXPECT_GT(a.total_steps, 0u);
+  EXPECT_EQ(a.total_steps, b.total_steps);
+  EXPECT_EQ(a.mean_quality, b.mean_quality);
+  EXPECT_EQ(a.total_ops, b.total_ops);
+  EXPECT_EQ(a.admissions.size(), b.admissions.size());
+}
+
+TEST(StochasticArrivals, DifferentSeedsGiveDifferentScripts) {
+  WorkloadSpec spec;
+  spec.cycles = 64;
+  spec.pool_tasks = 16;
+  spec.initial_tasks = 8;
+  spec.seed = 1;
+  auto a = open_workload_generator("poisson", spec);
+  spec.seed = 2;
+  auto b = open_workload_generator("poisson", spec);
+  EXPECT_NE(drain_events(*a), drain_events(*b));
+}
+
+TEST(StochasticArrivals, BadSpecsRejected) {
+  WorkloadSpec spec;
+  spec.pool_tasks = 0;
+  EXPECT_THROW(open_workload_generator("poisson", spec), std::runtime_error);
+  spec = WorkloadSpec{};
+  spec.initial_tasks = spec.pool_tasks + 1;
+  EXPECT_THROW(open_workload_generator("bursty", spec), std::runtime_error);
+  spec = WorkloadSpec{};
+  spec.rate = 0.0;
+  EXPECT_THROW(open_workload_generator("diurnal", spec), std::runtime_error);
+  spec = WorkloadSpec{};
+  spec.duty = spec.period;  // checkpoint write must end within the period
+  EXPECT_THROW(open_workload_generator("checkpoint", spec),
+               std::runtime_error);
+}
+
+TEST(CheckpointGenerator, JoinsEveryPeriodForDutyCycles) {
+  WorkloadSpec spec;
+  spec.cycles = 40;
+  spec.pool_tasks = 4;
+  spec.initial_tasks = 3;  // one session task
+  spec.period = 8;
+  spec.duty = 2;
+  auto gen = open_workload_generator("checkpoint", spec);
+  const auto script = drain_events(*gen);
+  ASSERT_GE(script.size(), 4u);
+  for (std::size_t i = 0; i + 1 < script.size(); i += 2) {
+    EXPECT_EQ(script[i].kind, WorkloadEventKind::kJoin);
+    EXPECT_EQ(script[i + 1].kind, WorkloadEventKind::kLeave);
+    EXPECT_EQ(script[i + 1].cycle, script[i].cycle + spec.duty);
+    if (i >= 2) {
+      EXPECT_EQ(script[i].cycle, script[i - 2].cycle + spec.period);
+    }
+  }
+}
+
+// --- Mix adapter ------------------------------------------------------------
+
+TEST(MixAdapter, StreamsTheMixContentVerbatim) {
+  WorkloadSpec spec;
+  spec.cycles = 10;
+  spec.mix = small_mix_spec(3, 41);
+  auto gen = open_workload_generator("mix", spec);
+  EXPECT_FALSE(gen->emits_arrivals());
+  EXPECT_THROW(drain_arrival_schedule(*gen), std::runtime_error);
+
+  MultiTaskMix mix(spec.mix);
+  ComposedCyclicSource& src = mix.source();
+  const auto script = drain_events(*gen);
+  ASSERT_EQ(script.size(), spec.cycles);
+  for (std::size_t c = 0; c < script.size(); ++c) {
+    EXPECT_EQ(script[c].kind, WorkloadEventKind::kFrameCosts);
+    EXPECT_EQ(script[c].cycle, c);
+    src.set_cycle(c % src.num_cycles());
+    const int nq = mix.composed().timing().num_levels();
+    for (ActionIndex i = 0; i < mix.composed().app().size(); ++i) {
+      for (Quality q = 0; q < nq; ++q) {
+        ASSERT_EQ(script[c].costs[static_cast<std::size_t>(i) *
+                                      static_cast<std::size_t>(nq) +
+                                  static_cast<std::size_t>(q)],
+                  src.actual_time(i, q))
+            << "cycle " << c << " action " << i << " q " << q;
+      }
+    }
+  }
+}
+
+// The tentpole differential: the same manager, driven once off the mix's
+// own source and once off the generator bridge, must produce identical
+// decisions AND identical Decision.ops (so clocks and summaries match).
+TEST(MixAdapter, ExecutorRunBitIdenticalToDirectMixPath) {
+  const MultiTaskMixSpec mix_spec = small_mix_spec(4, 20260808);
+  const std::size_t cycles = 500;
+
+  // Direct path.
+  MultiTaskMix direct(mix_spec);
+  BatchMultiTaskManager direct_mgr(direct.composed(), direct.engines());
+  QualityStreamSink direct_sink;
+  ExecutorOptions opts = direct.executor_options(cycles);
+  opts.retain_steps = false;
+  opts.retain_cycles = false;
+  opts.sink = &direct_sink;
+  const RunResult direct_run = run_cyclic(direct.composed().app(), direct_mgr,
+                                          direct.source(), opts);
+
+  // Generator path: an independent mix assembly streamed through the API.
+  WorkloadSpec wspec;
+  wspec.cycles = cycles;
+  wspec.mix = mix_spec;
+  auto gen = open_workload_generator("mix", wspec);
+  MultiTaskMix assembly(mix_spec);  // manager-side assembly, same spec
+  BatchMultiTaskManager gen_mgr(assembly.composed(), assembly.engines());
+  GeneratorTimeSource source(*gen, cycles);
+  QualityStreamSink gen_sink;
+  ExecutorOptions gen_opts = assembly.executor_options(cycles);
+  gen_opts.retain_steps = false;
+  gen_opts.retain_cycles = false;
+  gen_opts.sink = &gen_sink;
+  const RunResult gen_run = run_cyclic(assembly.composed().app(), gen_mgr,
+                                       source, gen_opts);
+
+  ASSERT_EQ(gen_sink.qualities.size(), direct_sink.qualities.size());
+  EXPECT_EQ(gen_sink.qualities, direct_sink.qualities);
+  EXPECT_EQ(gen_sink.total_ops, direct_sink.total_ops);
+  EXPECT_EQ(gen_run.total_time, direct_run.total_time);
+  EXPECT_EQ(gen_run.total_overhead_time, direct_run.total_overhead_time);
+  EXPECT_EQ(gen_run.total_deadline_misses, direct_run.total_deadline_misses);
+  EXPECT_EQ(gen_run.quality_sum, direct_run.quality_sum);
+}
+
+// --- Trace replay -----------------------------------------------------------
+
+TEST(TraceReplay, StreamsARecordedFileAndWrapsCyclically) {
+  const auto traces = synthetic_traces(6);
+  TempTraceFile file("test_workload_replay.bin", traces);
+
+  WorkloadSpec spec;
+  spec.trace_path = file.path;
+  spec.cycles = 15;  // 2.5 passes over 6 recorded cycles
+  auto gen = open_workload_generator("trace-replay", spec);
+  EXPECT_FALSE(gen->emits_arrivals());
+
+  const auto script = drain_events(*gen);
+  ASSERT_EQ(script.size(), 15u);
+  for (std::size_t c = 0; c < script.size(); ++c) {
+    EXPECT_EQ(script[c].cycle, c);
+    const std::size_t inner = c % 6;
+    for (ActionIndex i = 0; i < traces.num_actions(); ++i) {
+      for (Quality q = 0; q < traces.num_levels(); ++q) {
+        ASSERT_EQ(script[c].costs[static_cast<std::size_t>(i) *
+                                      static_cast<std::size_t>(
+                                          traces.num_levels()) +
+                                  static_cast<std::size_t>(q)],
+                  traces.at(inner, i, q));
+      }
+    }
+  }
+  // Rewind replays the identical stream.
+  gen->rewind();
+  EXPECT_EQ(drain_events(*gen), script);
+}
+
+TEST(TraceReplay, MemoryStaysFlatAsTheTraceGrows) {
+  const auto short_traces = synthetic_traces(4);
+  const auto long_traces = synthetic_traces(256);
+  TempTraceFile short_file("test_workload_short.bin", short_traces);
+  TempTraceFile long_file("test_workload_long.bin", long_traces);
+
+  WorkloadSpec spec;
+  spec.cycles = 0;  // one pass over whatever the file records
+  spec.trace_path = short_file.path;
+  auto small = open_workload_generator("trace-replay", spec);
+  spec.trace_path = long_file.path;
+  auto large = open_workload_generator("trace-replay", spec);
+
+  WorkloadEvent e;
+  ASSERT_TRUE(small->next_event(e));
+  ASSERT_TRUE(large->next_event(e));
+  // Resident bytes are O(one frame): identical frame geometry => identical
+  // footprint, no matter that one file holds 64x the cycles.
+  EXPECT_EQ(small->memory_bytes(), large->memory_bytes());
+  std::size_t streamed = 1;
+  while (large->next_event(e)) ++streamed;
+  EXPECT_EQ(streamed, 256u);
+}
+
+TEST(TraceReplay, RejectsMissingAndTruncatedFiles) {
+  WorkloadSpec spec;
+  spec.trace_path = "/nonexistent/trace.bin";
+  EXPECT_THROW(open_workload_generator("trace-replay", spec),
+               std::runtime_error);
+
+  const auto traces = synthetic_traces(4);
+  TempTraceFile file("test_workload_trunc.bin", traces);
+  // Chop the last frame short.
+  {
+    std::ifstream in(file.path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    std::ofstream out(file.path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() - 11));
+  }
+  spec.trace_path = file.path;
+  auto gen = open_workload_generator("trace-replay", spec);
+  WorkloadEvent e;
+  try {
+    while (gen->next_event(e)) {
+    }
+    FAIL() << "expected truncation to throw";
+  } catch (const std::runtime_error& err) {
+    EXPECT_NE(std::string(err.what()).find("truncated"), std::string::npos);
+  }
+}
+
+TEST(TraceReplay, RejectsNonMonotoneFrames) {
+  // Frame times must be non-decreasing in quality (Definition 1 shape);
+  // corrupt cycle 1 by swapping a pair.
+  auto traces = synthetic_traces(3);
+  std::vector<std::vector<TimeNs>> data;
+  for (std::size_t c = 0; c < 3; ++c) {
+    std::vector<TimeNs> table;
+    for (ActionIndex i = 0; i < traces.num_actions(); ++i) {
+      for (Quality q = 0; q < traces.num_levels(); ++q) {
+        table.push_back(traces.at(c, i, q));
+      }
+    }
+    data.push_back(std::move(table));
+  }
+  std::swap(data[1][0], data[1][traces.num_levels() - 1]);
+  TraceTimeSource bad(traces.num_actions(), traces.num_levels(),
+                      std::move(data));
+  TempTraceFile file("test_workload_nonmono.bin", bad);
+
+  WorkloadSpec spec;
+  spec.trace_path = file.path;
+  auto gen = open_workload_generator("trace-replay", spec);
+  WorkloadEvent e;
+  EXPECT_TRUE(gen->next_event(e));  // cycle 0 is clean
+  try {
+    gen->next_event(e);
+    FAIL() << "expected the corrupt frame to throw";
+  } catch (const std::runtime_error& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("non-monotone"), std::string::npos);
+    EXPECT_NE(what.find("cycle 1"), std::string::npos);
+  }
+}
+
+TEST(TraceReplay, RejectsZeroCostFrames) {
+  auto traces = synthetic_traces(2);
+  std::vector<std::vector<TimeNs>> data;
+  data.push_back(std::vector<TimeNs>(
+      static_cast<std::size_t>(traces.num_actions()) *
+          static_cast<std::size_t>(traces.num_levels()),
+      0));  // cycle 0: no content at all
+  TraceTimeSource bad(traces.num_actions(), traces.num_levels(),
+                      std::move(data));
+  TempTraceFile file("test_workload_zero.bin", bad);
+
+  WorkloadSpec spec;
+  spec.trace_path = file.path;
+  auto gen = open_workload_generator("trace-replay", spec);
+  WorkloadEvent e;
+  EXPECT_THROW(gen->next_event(e), std::runtime_error);
+}
+
+TEST(TraceReplay, RejectsFramesOverTheBudget) {
+  const auto traces = synthetic_traces(4);
+  TempTraceFile file("test_workload_budget.bin", traces);
+  WorkloadSpec spec;
+  spec.trace_path = file.path;
+  spec.frame_budget = 1;  // nothing real fits in 1 ns
+  auto gen = open_workload_generator("trace-replay", spec);
+  WorkloadEvent e;
+  try {
+    gen->next_event(e);
+    FAIL() << "expected the budget check to throw";
+  } catch (const std::runtime_error& err) {
+    EXPECT_NE(std::string(err.what()).find("budget"), std::string::npos);
+  }
+  // A generous budget streams clean (one pass over the recording).
+  spec.frame_budget = 0;
+  spec.cycles = 0;
+  auto ok = open_workload_generator("trace-replay", spec);
+  EXPECT_EQ(drain_events(*ok).size(), 4u);
+}
+
+// --- GeneratorTimeSource bridge ---------------------------------------------
+
+TEST(GeneratorTimeSourceBridge, RejectsArrivalGeneratorsAndReplaysBackward) {
+  WorkloadSpec spec;
+  spec.cycles = 16;
+  auto arrivals = open_workload_generator("poisson", spec);
+  EXPECT_THROW(GeneratorTimeSource(*arrivals, 16), std::runtime_error);
+
+  const auto traces = synthetic_traces(5);
+  TempTraceFile file("test_workload_bridge.bin", traces);
+  WorkloadSpec tspec;
+  tspec.trace_path = file.path;
+  tspec.cycles = 5;
+  auto gen = open_workload_generator("trace-replay", tspec);
+  GeneratorTimeSource source(*gen, 5);
+  EXPECT_EQ(source.num_cycles(), 5u);
+
+  source.set_cycle(3);
+  const TimeNs at3 = source.actual_time(2, 1);
+  EXPECT_EQ(at3, traces.at(3, 2, 1));
+  source.set_cycle(1);  // backward jump => rewind + skip forward
+  EXPECT_EQ(source.actual_time(2, 1), traces.at(1, 2, 1));
+  source.set_cycle(3);
+  EXPECT_EQ(source.actual_time(2, 1), at3);
+}
+
+}  // namespace
+}  // namespace speedqm

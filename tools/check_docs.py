@@ -11,6 +11,10 @@ Scans README.md and docs/*.md for two classes of rot:
     expand (src/core/x.{hpp,cpp} checks both), trailing :line suffixes
     and punctuation are stripped.
 
+It also cross-checks the workload-generator registry: every name passed to
+register_workload_generator("...") in src/workload/generator.cpp must
+appear in docs/scenarios.md, so a new backend cannot ship undocumented.
+
 Paths under runtime-artifact directories (build/, bench_out/) and obvious
 non-path code spans (spaces, (), no '/') are ignored, so prose stays free
 to show commands and identifiers without tripping the gate.
@@ -103,6 +107,36 @@ def check_file(doc, root):
     return problems
 
 
+GENERATOR_REGISTRATION = re.compile(
+    r'register_workload_generator\("([a-z0-9-]+)"'
+)
+
+
+def check_generator_docs(root):
+    """Every registered workload-generator name must be documented."""
+    source = root / "src" / "workload" / "generator.cpp"
+    doc = root / "docs" / "scenarios.md"
+    if not source.exists():
+        return [f"{source.relative_to(root)}: missing (generator registry "
+                "cross-check has nothing to scan)"]
+    names = GENERATOR_REGISTRATION.findall(
+        source.read_text(encoding="utf-8"))
+    if not names:
+        return [f"{source.relative_to(root)}: no "
+                "register_workload_generator(\"...\") calls found — the "
+                "registry cross-check would pass vacuously"]
+    if not doc.exists():
+        return [f"{doc.relative_to(root)}: missing, but "
+                f"{len(names)} generator names need documenting"]
+    text = doc.read_text(encoding="utf-8")
+    return [
+        f"docs/scenarios.md: workload generator '{name}' is registered in "
+        f"src/workload/generator.cpp but never documented"
+        for name in names
+        if name not in text
+    ]
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--root", default=None,
@@ -122,6 +156,7 @@ def main():
     problems = []
     for doc in docs:
         problems.extend(check_file(doc, root))
+    problems.extend(check_generator_docs(root))
 
     for problem in problems:
         print(f"DOCS-FAIL: {problem}")

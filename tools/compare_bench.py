@@ -6,12 +6,15 @@ Works on any bench JSON with the shared record schema
 BENCH_decision.json and BENCH_multitask.json today.
 
 Usage: compare_bench.py BASELINE CURRENT [--ns-tolerance 1.25]
-                        [--ops-tolerance 1.10] [--report PATH]
+                        [--ops-tolerance 1.10] [--report PATH] [--annotate]
 
 Gates (exit 1 on any failure):
   * every (policy, engine, n, num_levels) cell of the baseline must be
     present in the current run (a vanished engine or grid point cannot
     silently pass);
+  * every metric column of a baseline cell must be present in the matching
+    current cell (a dropped ns/ops column is a hard failure, not a silent
+    pass or a KeyError crash);
   * ops/decision is deterministic for a fixed seed/grid, so it is compared
     directly: current <= baseline * ops_tolerance;
   * ns/decision depends on the machine, so it is compared *relatively*: the
@@ -23,12 +26,18 @@ Gates (exit 1 on any failure):
 New cells in the current run (new engines, wider grids) are reported but
 never fail: refresh the baseline to start tracking them (see docs/perf.md,
 "Benchmarks in CI").
+
+--annotate additionally emits GitHub Actions ::error annotations naming the
+bench and the failing cell, so regressions surface directly on the PR.
 """
 
 import argparse
 import json
 import statistics
 import sys
+
+
+KEY_FIELDS = ("policy", "engine", "n", "num_levels")
 
 
 def load_records(path):
@@ -40,7 +49,12 @@ def load_records(path):
         records[key] = rec
     if not records:
         raise SystemExit(f"error: no records in {path}")
-    return records
+    return data.get("bench", "?"), records
+
+
+def metric_columns(record):
+    """Metric fields of a record: everything beyond the identity key."""
+    return sorted(k for k in record if k not in KEY_FIELDS)
 
 
 def main():
@@ -50,10 +64,17 @@ def main():
     parser.add_argument("--ns-tolerance", type=float, default=1.25)
     parser.add_argument("--ops-tolerance", type=float, default=1.10)
     parser.add_argument("--report", default=None)
+    parser.add_argument(
+        "--annotate",
+        action="store_true",
+        help="emit GitHub Actions ::error annotations for every failure",
+    )
     args = parser.parse_args()
 
-    base = load_records(args.baseline)
-    cur = load_records(args.current)
+    bench_name, base = load_records(args.baseline)
+    cur_bench, cur = load_records(args.current)
+    if bench_name == "?":
+        bench_name = cur_bench
 
     failures = []
     lines = []
@@ -63,7 +84,21 @@ def main():
         failures.append(f"cell {key} present in baseline but missing from run")
     new_cells = sorted(set(cur) - set(base))
 
+    # Column check: a baseline metric column vanishing from the fresh run is
+    # a hard failure — the gate would otherwise compare nothing and pass.
     matched = sorted(set(base) & set(cur))
+    complete = []
+    for key in matched:
+        lost = [c for c in metric_columns(base[key]) if c not in cur[key]]
+        if lost:
+            failures.append(
+                f"cell {key}: baseline column(s) {', '.join(lost)} missing "
+                "from run"
+            )
+        else:
+            complete.append(key)
+    matched = complete
+
     ns_ratios = [
         cur[k]["ns_per_decision"] / base[k]["ns_per_decision"]
         for k in matched
@@ -124,6 +159,14 @@ def main():
     if args.report:
         with open(args.report, "w") as fh:
             fh.write(report)
+    if args.annotate:
+        for failure in failures:
+            # One annotation per failing cell: bench name + cell + reason,
+            # on a single line (the ::error grammar is line-oriented).
+            message = failure.replace("\n", " ")
+            sys.stdout.write(
+                f"::error title=bench regression ({bench_name})::{message}\n"
+            )
     return 1 if failures else 0
 
 

@@ -34,6 +34,16 @@
 #   fully deterministic). bench_perturbation is run TWICE and the two
 #   artifacts byte-compared — the determinism gate: same scenario + seed
 #   must reproduce the summary artifact exactly.
+#   BENCH_workload.json  — workload-generator registry (simulated ns/step
+#   and ops/step per arrival backend through the sharded server, plus the
+#   mix-adapter differential path; adapter bit-identity and the O(1)
+#   streaming-memory shape are SHAPE-gated in the log). bench_workload_gen
+#   is also run TWICE and byte-compared — seeded generator scripts must
+#   replay exactly.
+#
+# Under GitHub Actions ($GITHUB_ACTIONS = true) baseline comparisons also
+# emit ::error annotations naming the bench and the regressing cell, so
+# failures surface on the PR diff without digging through logs.
 #
 # Every failure mode is a hard failure so the CI bench gate cannot pass
 # vacuously: missing bench binary, missing/empty JSON artifact, SHAPE check
@@ -67,7 +77,7 @@ OUT_DIR="${OUT_DIR:-bench_out}"
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
-for bin in bench_micro_managers bench_multi_task bench_sharded bench_table_memory bench_perturbation; do
+for bin in bench_micro_managers bench_multi_task bench_sharded bench_table_memory bench_perturbation bench_workload_gen; do
   if [ ! -x "${BUILD_DIR}/${bin}" ]; then
     echo "error: ${BUILD_DIR}/${bin} not found — refusing to skip" >&2
     echo "(a missing bench binary must not let the CI bench gate pass vacuously)" >&2
@@ -84,7 +94,7 @@ if [ -n "${BASELINE}" ]; then
   # Back-compat: a BENCH_decision.json path means "its directory".
   [ -f "${BASELINE}" ] && BASELINE="$(dirname "${BASELINE}")"
   [ -d "${BASELINE}" ] || { echo "error: baseline ${BASELINE} not found" >&2; exit 2; }
-  for json in BENCH_decision.json BENCH_multitask.json BENCH_sharded.json BENCH_table_memory.json BENCH_perturb.json; do
+  for json in BENCH_decision.json BENCH_multitask.json BENCH_sharded.json BENCH_table_memory.json BENCH_perturb.json BENCH_workload.json; do
     [ -f "${BASELINE}/${json}" ] || {
       echo "error: baseline ${BASELINE}/${json} missing — the gate must not pass vacuously" >&2
       exit 2
@@ -99,6 +109,7 @@ MULTI_BIN="$(cd "${BUILD_DIR}" && pwd)/bench_multi_task"
 SHARDED_BIN="$(cd "${BUILD_DIR}" && pwd)/bench_sharded"
 TABLEMEM_BIN="$(cd "${BUILD_DIR}" && pwd)/bench_table_memory"
 PERTURB_BIN="$(cd "${BUILD_DIR}" && pwd)/bench_perturbation"
+WORKLOAD_BIN="$(cd "${BUILD_DIR}" && pwd)/bench_workload_gen"
 mkdir -p "${OUT_DIR}"
 cd "${OUT_DIR}"
 
@@ -192,8 +203,43 @@ if ! cmp -s BENCH_perturb.json BENCH_perturb_repeat.json; then
 fi
 echo "[SHAPE-OK  ] determinism double-run: BENCH_perturb.json byte-identical across runs"
 
+# Workload-generator bench: same double-run protocol — generator scripts
+# are seeded-replay artifacts, so the two JSONs must match byte for byte.
+BENCH_STATUS=0
+"${WORKLOAD_BIN}" BENCH_workload.json > bench_workload_gen.log 2>&1 || BENCH_STATUS=$?
+cat bench_workload_gen.log
+if [ "${BENCH_STATUS}" -ne 0 ]; then
+  echo "error: bench_workload_gen exited ${BENCH_STATUS} (SHAPE gate failed)" >&2
+  exit "${BENCH_STATUS}"
+fi
+
+if [ ! -s BENCH_workload.json ]; then
+  echo "error: bench run produced no BENCH_workload.json — hard failure" >&2
+  exit 2
+fi
+
+BENCH_STATUS=0
+"${WORKLOAD_BIN}" BENCH_workload_repeat.json > bench_workload_gen_repeat.log 2>&1 || BENCH_STATUS=$?
+if [ "${BENCH_STATUS}" -ne 0 ]; then
+  echo "error: bench_workload_gen repeat run exited ${BENCH_STATUS}" >&2
+  exit "${BENCH_STATUS}"
+fi
+if ! cmp -s BENCH_workload.json BENCH_workload_repeat.json; then
+  echo "error: BENCH_workload.json differs between two in-process runs —" >&2
+  echo "a workload generator lost seeded-replay determinism" >&2
+  diff BENCH_workload.json BENCH_workload_repeat.json >&2 || true
+  exit 2
+fi
+echo "[SHAPE-OK  ] determinism double-run: BENCH_workload.json byte-identical across runs"
+
 if [ -n "${BASELINE}" ]; then
-  for name in decision multitask sharded table_memory perturb; do
+  # Inside GitHub Actions, annotate regressions on the PR (::error lines
+  # naming the bench and cell). The per-bench reports are written either
+  # way, so CI can upload them as artifacts even when the gate passes.
+  ANNOTATE_ARGS=""
+  [ "${GITHUB_ACTIONS:-}" = "true" ] && ANNOTATE_ARGS="--annotate"
+  COMPARE_STATUS=0
+  for name in decision multitask sharded table_memory perturb workload; do
     echo ""
     echo "comparing BENCH_${name}.json against baseline ${BASELINE}/BENCH_${name}.json:"
     # BENCH_table_memory's hard payload is the deterministic bytes-per-entry
@@ -202,11 +248,16 @@ if [ -n "${BASELINE}" ]; then
     # default tolerance on shared runners, so it gets a loose sanity bound.
     NS_TOL=1.25
     [ "${name}" = "table_memory" ] && NS_TOL=2.0
+    # shellcheck disable=SC2086 — ANNOTATE_ARGS is an optional flag.
     python3 "${REPO_ROOT}/tools/compare_bench.py" \
       "${BASELINE}/BENCH_${name}.json" "BENCH_${name}.json" \
-      --ns-tolerance "${NS_TOL}" \
-      --report "bench_compare_${name}.txt"
+      --ns-tolerance "${NS_TOL}" ${ANNOTATE_ARGS} \
+      --report "bench_compare_${name}.txt" || COMPARE_STATUS=$?
   done
+  if [ "${COMPARE_STATUS}" -ne 0 ]; then
+    echo "error: baseline comparison failed (see bench_compare_*.txt)" >&2
+    exit "${COMPARE_STATUS}"
+  fi
 fi
 
 echo ""

@@ -32,6 +32,7 @@
 #include "sim/metrics.hpp"
 #include "sim/trace.hpp"
 #include "workload/arrivals.hpp"
+#include "workload/generator.hpp"
 #include "workload/scenarios.hpp"
 #include "workload/trace_io.hpp"
 
@@ -89,6 +90,15 @@ std::string parse_choice(const ArgMap& args, const std::string& key,
 std::vector<std::string> perturb_choices() {
   std::vector<std::string> choices = {"none"};
   const auto& names = perturbation_scenario_names();
+  choices.insert(choices.end(), names.begin(), names.end());
+  return choices;
+}
+
+/// --workload accepts "none" (default) or any registered generator name —
+/// parse_choice then rejects typos listing the registry.
+std::vector<std::string> workload_choices() {
+  std::vector<std::string> choices = {"none"};
+  const auto names = workload_generator_names();
   choices.insert(choices.end(), names.begin(), names.end());
   return choices;
 }
@@ -254,6 +264,8 @@ int cmd_multitask(const ArgMap& args) {
   if (perturb_name != "none") {
     perturb = make_perturbation_scenario(perturb_name, cycles);
   }
+  const std::string workload_name =
+      parse_choice(args, "workload", "none", workload_choices(), "multitask");
 
   MultiTaskMix mix(spec);
   const auto engines = mix.engines();
@@ -304,14 +316,42 @@ int cmd_multitask(const ArgMap& args) {
   opts.retain_cycles = !stream;
   opts.sink = &sink;
 
+  // Optional generator-driven content: route the frame-cost stream through
+  // the workload registry instead of reading the mix's source directly
+  // (with "mix" this is the differential-gated adapter path — decisions and
+  // ops are bit-identical to the direct read).
+  std::unique_ptr<WorkloadGenerator> workload_gen;
+  std::unique_ptr<GeneratorTimeSource> workload_source;
+  CyclicTimeSource* base_source = &mix.source();
+  if (workload_name != "none") {
+    WorkloadSpec wspec;
+    wspec.cycles = cycles;
+    wspec.mix = spec;
+    parse_workload_params(get(args, "workload-spec", ""), wspec);
+    workload_gen = make_workload_generator(workload_name);
+    if (workload_gen->emits_arrivals()) {
+      std::fprintf(stderr,
+                   "error: --workload %s emits arrivals; multitask needs a "
+                   "frame-cost generator (use `serve --workload %s`)\n",
+                   workload_name.c_str(), workload_name.c_str());
+      return 2;
+    }
+    workload_gen->open(wspec);
+    workload_source = std::make_unique<GeneratorTimeSource>(*workload_gen,
+                                                            cycles);
+    base_source = workload_source.get();
+    std::printf("workload       : %s generator (%zu resident bytes)\n",
+                workload_gen->name().c_str(), workload_gen->memory_bytes());
+  }
+
   // Optional fault injection: the decorator stack wraps the chosen
   // manager/source/platform; with --perturb none nothing is installed.
   std::unique_ptr<PerturbationRig> rig;
   QualityManager* run_manager = manager.get();
-  CyclicTimeSource* run_source = &mix.source();
+  CyclicTimeSource* run_source = base_source;
   if (!perturb.empty()) {
     sink.acc.track_stress_windows(perturb.stress_ranges());
-    rig = std::make_unique<PerturbationRig>(perturb, 0, *manager, mix.source(),
+    rig = std::make_unique<PerturbationRig>(perturb, 0, *manager, *base_source,
                                             opts.platform, cycles);
     opts.platform = rig->platform();
     run_manager = &rig->manager();
@@ -386,10 +426,46 @@ int cmd_serve(const ArgMap& args) {
                 spec.perturb.describe().c_str());
   }
 
+  const std::string workload_name =
+      parse_choice(args, "workload", "none", workload_choices(), "serve");
   const auto arrivals =
       static_cast<std::size_t>(std::stoull(get(args, "arrivals", "0")));
+  if (workload_name != "none" && arrivals > 0) {
+    std::fprintf(stderr, "error: --workload and --arrivals both script the "
+                         "session churn; pick one\n");
+    return 2;
+  }
   ArrivalSchedule schedule;
-  if (arrivals > 0) {
+  if (workload_name != "none") {
+    // Same pool geometry defaults as --arrivals: hold back ~1/4 of the
+    // pool so generated joins have tasks to add.
+    WorkloadSpec wspec;
+    wspec.seed = spec.mix.seed ^ 0x5e;
+    wspec.cycles = spec.cycles;
+    wspec.pool_tasks = spec.mix.num_tasks;
+    wspec.initial_tasks = spec.mix.num_tasks - std::min(
+        spec.mix.num_tasks / 4 + 1, spec.mix.num_tasks - 1);
+    if (args.count("initial") > 0) {
+      wspec.initial_tasks = static_cast<std::size_t>(
+          std::stoull(get(args, "initial", "0")));
+    }
+    parse_workload_params(get(args, "workload-spec", ""), wspec);
+    auto gen = make_workload_generator(workload_name);
+    if (!gen->emits_arrivals()) {
+      std::fprintf(stderr,
+                   "error: --workload %s streams frame costs; serve needs an "
+                   "arrival generator (use `multitask --workload %s`)\n",
+                   workload_name.c_str(), workload_name.c_str());
+      return 2;
+    }
+    gen->open(wspec);
+    spec.initial_tasks = wspec.initial_tasks;
+    schedule = drain_arrival_schedule(*gen);
+    std::printf("workload       : %s generator (seed %llu)\n",
+                gen->name().c_str(),
+                static_cast<unsigned long long>(wspec.seed));
+    std::printf("arrival script : %s\n", schedule.describe().c_str());
+  } else if (arrivals > 0) {
     // Hold back ~1/4 of the pool so the arrival wave has tasks to add.
     spec.initial_tasks = spec.mix.num_tasks - std::min(
         spec.mix.num_tasks / 4 + 1, spec.mix.num_tasks - 1);
@@ -453,16 +529,29 @@ void usage() {
       "  multitask [--tasks N] [--cycles N] [--seed N] [--factor F]\n"
       "           [--manager batch|batch-incremental|sequential] [--stream]\n"
       "           [--arena flat|compressed] [--perturb NAME]\n"
+      "           [--workload mix|trace-replay] [--workload-spec K=V,...]\n"
       "  serve    [--tasks N] [--shards S] [--workers W] [--cycles N]\n"
       "           [--arrivals N] [--initial K] [--async] [--seed N] [--factor F]\n"
       "           [--placement best-fit|most-slack] [--arena flat|compressed]\n"
       "           [--perturb NAME]\n"
+      "           [--workload poisson|bursty|diurnal|checkpoint]\n"
+      "           [--workload-spec K=V,...]\n"
       "  inspect  --tables PREFIX\n"
       "\n"
       "--perturb NAME applies a seeded fault scenario from the catalogue:\n"
       "  none|calm|spike|jitter|stall|overhead-storm|flaky-shard|disconnect|"
       "storm\n"
-      "(same scenario + seed => identical results; see docs/scenarios.md)\n");
+      "(same scenario + seed => identical results; see docs/scenarios.md)\n"
+      "\n"
+      "--workload NAME streams content or session churn from the workload\n"
+      "generator registry (workload/generator.hpp): frame-cost generators\n"
+      "(mix, trace-replay) drive multitask; arrival generators (poisson,\n"
+      "bursty, diurnal, checkpoint) script serve's joins/leaves.\n"
+      "--workload-spec sets generator parameters, e.g.\n"
+      "  serve --workload bursty --workload-spec rate=3,burst-len=4,burst=6\n"
+      "  multitask --workload trace-replay --workload-spec trace=f.bin\n"
+      "(unknown generator names and spec keys are rejected; see\n"
+      "docs/scenarios.md for the full key list)\n");
 }
 
 }  // namespace

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Unit checks for tools/compare_bench.py (run from CI's docs job).
+
+Exercises the gate semantics end to end through the CLI: regression
+detection, missing-cell and missing-column hard failures, machine-speed
+normalization, new-cell tolerance, and ::error annotation output.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+COMPARE = os.path.join(HERE, "compare_bench.py")
+
+
+def record(policy="p", engine="e", n=64, nq=7, ns=100.0, ops=10.0):
+    return {
+        "policy": policy,
+        "engine": engine,
+        "n": n,
+        "num_levels": nq,
+        "ns_per_decision": ns,
+        "ops_per_decision": ops,
+    }
+
+
+def write_bench(path, records, bench="unit"):
+    with open(path, "w") as fh:
+        json.dump({"bench": bench, "records": records}, fh)
+
+
+def run_compare(baseline, current, *extra):
+    return subprocess.run(
+        [sys.executable, COMPARE, baseline, current, *extra],
+        capture_output=True,
+        text=True,
+    )
+
+
+def check(name, ok, detail=""):
+    print(f"[{'OK' if ok else 'FAIL'}] {name}" + (f" — {detail}" if detail else ""))
+    return ok
+
+
+def main():
+    ok = True
+    with tempfile.TemporaryDirectory() as tmp:
+        base = os.path.join(tmp, "base.json")
+        cur = os.path.join(tmp, "cur.json")
+
+        # Identical runs pass.
+        write_bench(base, [record(), record(engine="f", ns=200.0)])
+        write_bench(cur, [record(), record(engine="f", ns=200.0)])
+        r = run_compare(base, cur)
+        ok &= check("identical runs pass", r.returncode == 0, r.stdout[-80:])
+
+        # A uniformly slower machine passes (relative ns comparison)...
+        write_bench(cur, [record(ns=300.0), record(engine="f", ns=600.0)])
+        r = run_compare(base, cur)
+        ok &= check("uniform 3x slowdown passes (machine-speed normalized)",
+                    r.returncode == 0)
+
+        # ...but a single regressing cell fails.
+        write_bench(cur, [record(ns=100.0), record(engine="f", ns=800.0)])
+        r = run_compare(base, cur)
+        ok &= check("single-cell ns regression fails",
+                    r.returncode == 1 and "ns regressed" in r.stdout)
+
+        # ops is compared directly; it is deterministic for a fixed grid.
+        write_bench(cur, [record(ops=15.0), record(engine="f", ns=200.0)])
+        r = run_compare(base, cur)
+        ok &= check("ops regression fails",
+                    r.returncode == 1 and "ops regressed" in r.stdout)
+
+        # A baseline cell vanishing from the run is a hard failure.
+        write_bench(cur, [record()])
+        r = run_compare(base, cur)
+        ok &= check("missing baseline cell fails",
+                    r.returncode == 1 and "missing from run" in r.stdout)
+
+        # A baseline metric column vanishing from a matched cell is a hard
+        # failure too — not a KeyError crash, not a silent pass.
+        broken = record(engine="f", ns=200.0)
+        del broken["ops_per_decision"]
+        write_bench(cur, [record(), broken])
+        r = run_compare(base, cur)
+        ok &= check(
+            "missing metric column fails cleanly",
+            r.returncode == 1
+            and "column(s) ops_per_decision missing" in r.stdout
+            and "Traceback" not in r.stderr,
+            f"rc={r.returncode}",
+        )
+
+        # New cells in the run are reported but never gate.
+        write_bench(cur, [record(), record(engine="f", ns=200.0),
+                          record(engine="new-engine")])
+        r = run_compare(base, cur)
+        ok &= check("new cells do not gate",
+                    r.returncode == 0 and "new cell" in r.stdout)
+
+        # --annotate emits a ::error line naming the bench and the cell.
+        write_bench(cur, [record()])
+        r = run_compare(base, cur, "--annotate")
+        ok &= check(
+            "--annotate emits ::error with bench name and cell",
+            r.returncode == 1
+            and "::error title=bench regression (unit)::" in r.stdout
+            and "'f'" in r.stdout.split("::error", 1)[1],
+        )
+        # Without --annotate no annotation appears even on failure.
+        r = run_compare(base, cur)
+        ok &= check("no ::error lines without --annotate",
+                    "::error" not in r.stdout)
+
+        # --report writes the table even on failure (artifact upload path).
+        report = os.path.join(tmp, "report.txt")
+        r = run_compare(base, cur, "--report", report)
+        ok &= check(
+            "--report writes the diff even when the gate fails",
+            r.returncode == 1 and os.path.exists(report)
+            and "BENCH-COMPARE FAIL" in open(report).read(),
+        )
+
+    if not ok:
+        print("compare_bench unit checks FAILED")
+        return 1
+    print("compare_bench unit checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
