@@ -240,14 +240,20 @@ ArrivalSchedule drain_arrival_schedule(WorkloadGenerator& gen) {
 }
 
 GeneratorTimeSource::GeneratorTimeSource(WorkloadGenerator& gen,
-                                         std::size_t horizon)
-    : gen_(&gen), horizon_(horizon) {
+                                         std::size_t horizon,
+                                         ActionIndex num_actions,
+                                         int num_levels)
+    : gen_(&gen), horizon_(horizon), num_actions_(num_actions),
+      num_levels_(num_levels) {
   if (gen.emits_arrivals()) {
     throw std::runtime_error("GeneratorTimeSource: generator '" + gen.name() +
                              "' emits arrivals, not frame costs");
   }
   if (horizon == 0) {
     throw std::runtime_error("GeneratorTimeSource: zero horizon");
+  }
+  if (num_actions == 0 || num_levels <= 0) {
+    throw std::runtime_error("GeneratorTimeSource: empty frame geometry");
   }
 }
 
@@ -260,6 +266,16 @@ void GeneratorTimeSource::pull_next() {
   if (event_.kind != WorkloadEventKind::kFrameCosts) {
     throw std::runtime_error("GeneratorTimeSource: unexpected " +
                              std::string(to_string(event_.kind)) + " event");
+  }
+  if (event_.num_actions != num_actions_ ||
+      event_.num_levels != num_levels_) {
+    throw std::runtime_error(
+        "GeneratorTimeSource: stream of '" + gen_->name() + "' carries " +
+        std::to_string(event_.num_actions) + "x" +
+        std::to_string(event_.num_levels) +
+        " frames but the consuming app is " + std::to_string(num_actions_) +
+        " actions x " + std::to_string(num_levels_) +
+        " levels (trace/mix recorded for a different task set?)");
   }
   have_event_ = true;
 }
@@ -285,6 +301,12 @@ void GeneratorTimeSource::set_cycle(std::size_t cycle) {
 TimeNs GeneratorTimeSource::actual_time(ActionIndex i, Quality q) {
   if (!have_event_) {
     throw std::runtime_error("GeneratorTimeSource: read before set_cycle");
+  }
+  if (i >= num_actions_ || q < 0 || q >= num_levels_) {
+    throw std::runtime_error(
+        "GeneratorTimeSource: read (" + std::to_string(i) + ", " +
+        std::to_string(q) + ") outside the " + std::to_string(num_actions_) +
+        "x" + std::to_string(num_levels_) + " frame");
   }
   return event_.costs[static_cast<std::size_t>(i) *
                           static_cast<std::size_t>(event_.num_levels) +

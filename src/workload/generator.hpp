@@ -196,10 +196,18 @@ ArrivalSchedule drain_arrival_schedule(WorkloadGenerator& gen);
 /// actual_time reads it. num_cycles() is the generator horizon, so a
 /// horizon-bounded executor run passes absolute cycles straight through —
 /// the bridge that runs the executor, bit for bit, off a generator stream.
+///
+/// The bridge is constructed with the consuming app's frame geometry
+/// (num_actions x num_levels) and checks every pulled frame against it: a
+/// stream recorded or synthesized at a different geometry (a trace from
+/// another task mix, say) throws a std::runtime_error naming both shapes
+/// instead of reading the borrowed table out of bounds.
 class GeneratorTimeSource final : public CyclicTimeSource {
  public:
-  /// `gen` is borrowed, must be open, and must emit frame costs.
-  explicit GeneratorTimeSource(WorkloadGenerator& gen, std::size_t horizon);
+  /// `gen` is borrowed, must be open, and must emit frame costs whose
+  /// tables are `num_actions` x `num_levels` (the executor app's shape).
+  GeneratorTimeSource(WorkloadGenerator& gen, std::size_t horizon,
+                      ActionIndex num_actions, int num_levels);
 
   void set_cycle(std::size_t cycle) override;
   std::size_t num_cycles() const override { return horizon_; }
@@ -210,6 +218,8 @@ class GeneratorTimeSource final : public CyclicTimeSource {
 
   WorkloadGenerator* gen_;
   std::size_t horizon_;
+  ActionIndex num_actions_;
+  int num_levels_;
   WorkloadEvent event_;
   bool have_event_ = false;
   std::size_t current_cycle_ = 0;

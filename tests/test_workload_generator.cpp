@@ -356,7 +356,8 @@ TEST(MixAdapter, ExecutorRunBitIdenticalToDirectMixPath) {
   auto gen = open_workload_generator("mix", wspec);
   MultiTaskMix assembly(mix_spec);  // manager-side assembly, same spec
   BatchMultiTaskManager gen_mgr(assembly.composed(), assembly.engines());
-  GeneratorTimeSource source(*gen, cycles);
+  GeneratorTimeSource source(*gen, cycles, assembly.composed().app().size(),
+                             assembly.composed().timing().num_levels());
   QualityStreamSink gen_sink;
   ExecutorOptions gen_opts = assembly.executor_options(cycles);
   gen_opts.retain_steps = false;
@@ -538,7 +539,7 @@ TEST(GeneratorTimeSourceBridge, RejectsArrivalGeneratorsAndReplaysBackward) {
   WorkloadSpec spec;
   spec.cycles = 16;
   auto arrivals = open_workload_generator("poisson", spec);
-  EXPECT_THROW(GeneratorTimeSource(*arrivals, 16), std::runtime_error);
+  EXPECT_THROW(GeneratorTimeSource(*arrivals, 16, 4, 3), std::runtime_error);
 
   const auto traces = synthetic_traces(5);
   TempTraceFile file("test_workload_bridge.bin", traces);
@@ -546,7 +547,8 @@ TEST(GeneratorTimeSourceBridge, RejectsArrivalGeneratorsAndReplaysBackward) {
   tspec.trace_path = file.path;
   tspec.cycles = 5;
   auto gen = open_workload_generator("trace-replay", tspec);
-  GeneratorTimeSource source(*gen, 5);
+  GeneratorTimeSource source(*gen, 5, traces.num_actions(),
+                             traces.num_levels());
   EXPECT_EQ(source.num_cycles(), 5u);
 
   source.set_cycle(3);
@@ -556,6 +558,43 @@ TEST(GeneratorTimeSourceBridge, RejectsArrivalGeneratorsAndReplaysBackward) {
   EXPECT_EQ(source.actual_time(2, 1), traces.at(1, 2, 1));
   source.set_cycle(3);
   EXPECT_EQ(source.actual_time(2, 1), at3);
+  // Reads outside the app's frame geometry throw instead of walking off
+  // the borrowed table.
+  EXPECT_THROW(source.actual_time(traces.num_actions(), 0),
+               std::runtime_error);
+  EXPECT_THROW(source.actual_time(0, traces.num_levels()),
+               std::runtime_error);
+}
+
+TEST(GeneratorTimeSourceBridge, RejectsFrameGeometryMismatch) {
+  // A trace recorded at one geometry must not feed an app of another: the
+  // bridge checks every pulled frame against the consuming shape and
+  // throws a clean error instead of reading out of bounds.
+  const auto traces = synthetic_traces(4);
+  TempTraceFile file("test_workload_geometry.bin", traces);
+  WorkloadSpec tspec;
+  tspec.trace_path = file.path;
+  tspec.cycles = 4;
+  auto gen = open_workload_generator("trace-replay", tspec);
+
+  EXPECT_THROW(GeneratorTimeSource(*gen, 4, 0, traces.num_levels()),
+               std::runtime_error);
+  EXPECT_THROW(GeneratorTimeSource(*gen, 4, traces.num_actions(), 0),
+               std::runtime_error);
+
+  GeneratorTimeSource wrong_actions(*gen, 4, traces.num_actions() + 3,
+                                    traces.num_levels());
+  try {
+    wrong_actions.set_cycle(0);
+    FAIL() << "expected the geometry check to throw";
+  } catch (const std::runtime_error& err) {
+    EXPECT_NE(std::string(err.what()).find("frames"), std::string::npos);
+  }
+
+  gen->rewind();
+  GeneratorTimeSource wrong_levels(*gen, 4, traces.num_actions(),
+                                   traces.num_levels() + 1);
+  EXPECT_THROW(wrong_levels.set_cycle(0), std::runtime_error);
 }
 
 }  // namespace

@@ -39,6 +39,10 @@ import sys
 
 KEY_FIELDS = ("policy", "engine", "n", "num_levels")
 
+# The two gated metrics: a cell lacking either (in the baseline OR the
+# fresh run) is a hard failure, never a KeyError crash.
+REQUIRED_METRICS = ("ns_per_decision", "ops_per_decision")
+
 
 def load_records(path):
     with open(path) as fh:
@@ -86,6 +90,9 @@ def main():
 
     # Column check: a baseline metric column vanishing from the fresh run is
     # a hard failure — the gate would otherwise compare nothing and pass.
+    # The gated metrics must also exist in the baseline cell itself: a
+    # malformed committed baseline is a reported failure, not a KeyError
+    # traceback that skips the report (and --annotate output) entirely.
     matched = sorted(set(base) & set(cur))
     complete = []
     for key in matched:
@@ -95,7 +102,13 @@ def main():
                 f"cell {key}: baseline column(s) {', '.join(lost)} missing "
                 "from run"
             )
-        else:
+        malformed = [m for m in REQUIRED_METRICS if m not in base[key]]
+        if malformed:
+            failures.append(
+                f"cell {key}: baseline cell lacks required metric(s) "
+                f"{', '.join(malformed)} (corrupt baseline, refresh it)"
+            )
+        if not lost and not malformed:
             complete.append(key)
     matched = complete
 

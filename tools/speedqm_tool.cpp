@@ -328,6 +328,14 @@ int cmd_multitask(const ArgMap& args) {
     wspec.cycles = cycles;
     wspec.mix = spec;
     parse_workload_params(get(args, "workload-spec", ""), wspec);
+    if (wspec.cycles != cycles) {
+      std::fprintf(stderr,
+                   "error: --workload-spec cycles=%zu conflicts with the "
+                   "--cycles %zu run horizon; drop the override or set "
+                   "--cycles to match\n",
+                   wspec.cycles, cycles);
+      return 2;
+    }
     workload_gen = make_workload_generator(workload_name);
     if (workload_gen->emits_arrivals()) {
       std::fprintf(stderr,
@@ -337,8 +345,9 @@ int cmd_multitask(const ArgMap& args) {
       return 2;
     }
     workload_gen->open(wspec);
-    workload_source = std::make_unique<GeneratorTimeSource>(*workload_gen,
-                                                            cycles);
+    workload_source = std::make_unique<GeneratorTimeSource>(
+        *workload_gen, cycles, mix.composed().app().size(),
+        mix.composed().timing().num_levels());
     base_source = workload_source.get();
     std::printf("workload       : %s generator (%zu resident bytes)\n",
                 workload_gen->name().c_str(), workload_gen->memory_bytes());
@@ -449,7 +458,42 @@ int cmd_serve(const ArgMap& args) {
       wspec.initial_tasks = static_cast<std::size_t>(
           std::stoull(get(args, "initial", "0")));
     }
+    const std::size_t cli_initial = wspec.initial_tasks;
     parse_workload_params(get(args, "workload-spec", ""), wspec);
+    // The generated script feeds the server's shard membership and
+    // per-task source lookups, so its geometry must be the served one:
+    // an overridden pool would script joins for task ids the mix does
+    // not hold.
+    if (wspec.pool_tasks != spec.mix.num_tasks) {
+      std::fprintf(stderr,
+                   "error: --workload-spec pool=%zu does not match the "
+                   "served task pool (--tasks %zu); size the pool with "
+                   "--tasks instead\n",
+                   wspec.pool_tasks, spec.mix.num_tasks);
+      return 2;
+    }
+    if (args.count("initial") > 0 && wspec.initial_tasks != cli_initial) {
+      std::fprintf(stderr,
+                   "error: --initial %zu conflicts with --workload-spec "
+                   "initial=%zu; pick one\n",
+                   cli_initial, wspec.initial_tasks);
+      return 2;
+    }
+    if (wspec.initial_tasks > wspec.pool_tasks) {
+      std::fprintf(stderr,
+                   "error: initial task count %zu exceeds the %zu-task "
+                   "pool\n",
+                   wspec.initial_tasks, wspec.pool_tasks);
+      return 2;
+    }
+    if (wspec.cycles != spec.cycles) {
+      std::fprintf(stderr,
+                   "error: --workload-spec cycles=%zu conflicts with the "
+                   "--cycles %zu serving horizon; drop the override or set "
+                   "--cycles to match\n",
+                   wspec.cycles, spec.cycles);
+      return 2;
+    }
     auto gen = make_workload_generator(workload_name);
     if (!gen->emits_arrivals()) {
       std::fprintf(stderr,

@@ -95,6 +95,33 @@ def main():
             f"rc={r.returncode}",
         )
 
+        # A required metric missing from the BASELINE cell itself (corrupt
+        # committed baseline) is also a clean hard failure, not a KeyError
+        # traceback that would swallow the report and annotations.
+        corrupt = record(engine="f", ns=200.0)
+        del corrupt["ns_per_decision"]
+        write_bench(base, [record(), corrupt])
+        write_bench(cur, [record(), record(engine="f", ns=200.0)])
+        r = run_compare(base, cur, "--annotate")
+        ok &= check(
+            "corrupt baseline cell fails cleanly (not a crash)",
+            r.returncode == 1
+            and "lacks required metric(s) ns_per_decision" in r.stdout
+            and "::error" in r.stdout
+            and "Traceback" not in r.stderr,
+            f"rc={r.returncode}",
+        )
+        # Missing from BOTH baseline and run: still a clean failure.
+        write_bench(cur, [record(), corrupt])
+        r = run_compare(base, cur)
+        ok &= check(
+            "metric missing from both sides fails cleanly",
+            r.returncode == 1
+            and "lacks required metric(s) ns_per_decision" in r.stdout
+            and "Traceback" not in r.stderr,
+        )
+        write_bench(base, [record(), record(engine="f", ns=200.0)])
+
         # New cells in the run are reported but never gate.
         write_bench(cur, [record(), record(engine="f", ns=200.0),
                           record(engine="new-engine")])
