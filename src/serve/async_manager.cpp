@@ -1,5 +1,7 @@
 #include "serve/async_manager.hpp"
 
+#include <memory>
+
 namespace speedqm {
 
 AsyncBatchMultiTaskManager::AsyncBatchMultiTaskManager(
@@ -16,6 +18,15 @@ AsyncBatchMultiTaskManager::AsyncBatchMultiTaskManager(
   // arena compile) so the stats accessors are valid once we return.
   while (!ready_.load(std::memory_order_acquire)) {
     std::this_thread::yield();
+  }
+  if (failed_.load(std::memory_order_acquire)) {
+    // Engine construction failed on the manager thread. Shut the thread
+    // down cleanly (it still drains the exchange) and rethrow here — the
+    // destructor will not run for a throwing constructor.
+    exchange_.post_command(DecisionExchange::Command::kStop);
+    exchange_.await_reply(nullptr);
+    manager_thread_.join();
+    std::rethrow_exception(failure_);
   }
 }
 
@@ -36,38 +47,67 @@ std::string AsyncBatchMultiTaskManager::name() const {
   return name;
 }
 
+void AsyncBatchMultiTaskManager::check_failure() const {
+  if (failed_.load(std::memory_order_acquire)) {
+    std::rethrow_exception(failure_);
+  }
+}
+
 std::uint64_t AsyncBatchMultiTaskManager::refresh(const StateIndex* states,
                                                   TimeNs t, Decision* out) {
   exchange_.post_decide(states, t);
-  return exchange_.await_reply(out);
+  const std::uint64_t ops = exchange_.await_reply(out);
+  check_failure();
+  return ops;
 }
 
 void AsyncBatchMultiTaskManager::reset_engines() {
   exchange_.post_command(DecisionExchange::Command::kReset);
   exchange_.await_reply(nullptr);
+  check_failure();
 }
 
 void AsyncBatchMultiTaskManager::manager_main(
     std::vector<const PolicyEngine*> engines) {
   // The engine lives and dies on this thread; every probe it ever makes
-  // happens here, off the action thread.
-  BatchDecisionEngine engine(std::move(engines), mode_, layout_);
-  memory_bytes_ = engine.memory_bytes();
-  table_integers_ = engine.num_table_integers();
+  // happens here, off the action thread. Any exception — construction or
+  // serving — is captured instead of terminating the process: the thread
+  // stays in the serve loop acknowledging requests (replies zeroed) so
+  // the action thread never deadlocks on the exchange, and the failure is
+  // rethrown over there by check_failure().
+  std::unique_ptr<BatchDecisionEngine> engine;
+  try {
+    engine = std::make_unique<BatchDecisionEngine>(std::move(engines), mode_,
+                                                   layout_);
+    memory_bytes_ = engine->memory_bytes();
+    table_integers_ = engine->num_table_integers();
+  } catch (...) {
+    failure_ = std::current_exception();
+    failed_.store(true, std::memory_order_release);
+  }
   ready_.store(true, std::memory_order_release);
 
-  const auto serve = [&engine](DecisionExchange::Command command,
-                               const StateIndex* states, TimeNs t,
-                               Decision* out, std::uint64_t* ops) {
-    switch (command) {
-      case DecisionExchange::Command::kDecide:
-        *ops = engine.decide_all(states, t, out);
-        break;
-      case DecisionExchange::Command::kReset:
-        engine.reset();
-        break;
-      case DecisionExchange::Command::kStop:
-        break;
+  const auto serve = [this, &engine](DecisionExchange::Command command,
+                                     const StateIndex* states, TimeNs t,
+                                     Decision* out, std::uint64_t* ops) {
+    (void)states;
+    (void)t;
+    (void)out;
+    if (failed_.load(std::memory_order_acquire)) return;
+    try {
+      switch (command) {
+        case DecisionExchange::Command::kDecide:
+          *ops = engine->decide_all(states, t, out);
+          break;
+        case DecisionExchange::Command::kReset:
+          engine->reset();
+          break;
+        case DecisionExchange::Command::kStop:
+          break;
+      }
+    } catch (...) {
+      failure_ = std::current_exception();
+      failed_.store(true, std::memory_order_release);
     }
   };
   while (exchange_.serve_next(serve)) {

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <atomic>
+#include <exception>
 #include <string>
 #include <thread>
 #include <vector>
@@ -51,6 +52,8 @@ class AsyncBatchMultiTaskManager final : public MultiTaskEpochManager {
 
  private:
   void manager_main(std::vector<const PolicyEngine*> engines);
+  /// Rethrows a manager-thread failure on the calling (action) thread.
+  void check_failure() const;
 
   std::size_t num_tasks_;
   BatchDecisionEngine::Mode mode_;
@@ -61,6 +64,12 @@ class AsyncBatchMultiTaskManager final : public MultiTaskEpochManager {
   std::size_t memory_bytes_ = 0;
   std::size_t table_integers_ = 0;
   std::atomic<bool> ready_{false};
+  // An exception anywhere on the manager thread (engine construction or a
+  // serve-loop fault) is captured instead of calling std::terminate, and
+  // rethrown on the action thread at the next exchange crossing — where
+  // the serving layer wraps it into a structured ServeError.
+  std::atomic<bool> failed_{false};
+  std::exception_ptr failure_;
   std::thread manager_thread_;
 };
 

@@ -36,6 +36,10 @@ ServingSummary fold_serving_summary(std::vector<ShardReport> shards,
     s.misses_in_stress += shard.summary.misses_in_stress;
     s.recovery_cycles += shard.summary.recovery_cycles;
     s.misses_in_recovery += shard.summary.misses_in_recovery;
+    s.overrun_steps += shard.summary.overrun_steps;
+    s.degraded_steps += shard.summary.degraded_steps;
+    s.degraded_cycles += shard.summary.degraded_cycles;
+    s.max_lag_ns = std::max(s.max_lag_ns, shard.summary.max_lag_ns);
     quality_sum += shard.summary.mean_quality *
                    static_cast<double>(shard.summary.total_steps);
     max_clock = std::max(max_clock, shard.clock);
@@ -96,6 +100,30 @@ std::string ServingSummary::render() const {
                   misses_in_recovery, stalled_cycles, scripted_disconnects);
     out += line;
   }
+  if (overrun_steps > 0 || degraded_cycles > 0 || degraded_steps > 0 ||
+      max_lag_ns > 0) {
+    std::snprintf(line, sizeof(line),
+                  "realtime       : %zu overruns, %zu degraded steps, "
+                  "%zu degraded cycles, max lag %.3f ms\n",
+                  overrun_steps, degraded_steps, degraded_cycles,
+                  static_cast<double>(max_lag_ns) * 1e-6);
+    out += line;
+  }
+  if (governor_activations > 0 || shed_tasks > 0 || readmitted_tasks > 0 ||
+      watchdog_escalations > 0) {
+    std::snprintf(line, sizeof(line),
+                  "governor       : %zu activations, %zu forced downgrades, "
+                  "%zu shed, %zu readmitted, %zu escalations\n",
+                  governor_activations, forced_downgrades, shed_tasks,
+                  readmitted_tasks, watchdog_escalations);
+    out += line;
+  }
+  if (hang_alarms > 0) {
+    std::snprintf(line, sizeof(line),
+                  "watchdog alarms: %zu (host-side, nondeterministic)\n",
+                  hang_alarms);
+    out += line;
+  }
   std::snprintf(line, sizeof(line), "sim makespan   : %.3f s\n", max_clock_s);
   out += line;
   if (wall_seconds > 0) {
@@ -105,6 +133,23 @@ std::string ServingSummary::render() const {
     out += line;
   }
   return out;
+}
+
+RunVerdict run_verdict(const RunSummary& summary) {
+  if (summary.degraded_cycles > 0 || summary.degraded_steps > 0) {
+    return RunVerdict::kDegraded;
+  }
+  if (summary.deadline_misses > 0) return RunVerdict::kDeadlineMisses;
+  return RunVerdict::kClean;
+}
+
+RunVerdict serving_verdict(const ServingSummary& summary) {
+  if (summary.shed_tasks > 0 || summary.degraded_cycles > 0 ||
+      summary.degraded_steps > 0) {
+    return RunVerdict::kDegraded;
+  }
+  if (summary.deadline_misses > 0) return RunVerdict::kDeadlineMisses;
+  return RunVerdict::kClean;
 }
 
 }  // namespace speedqm

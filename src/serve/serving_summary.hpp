@@ -61,9 +61,24 @@ struct ServingSummary {
   std::size_t stalled_cycles = 0;
   std::size_t scripted_disconnects = 0;
 
+  // Real-time supervision (all zero on the simulated clock). The first
+  // four fold the shards' run summaries in shard order; the rest come
+  // from the serving layer's governor bookkeeping. Deterministic on a
+  // virtual clock.
+  std::size_t overrun_steps = 0;
+  std::size_t degraded_steps = 0;
+  std::size_t degraded_cycles = 0;
+  TimeNs max_lag_ns = 0;
+  std::size_t shed_tasks = 0;        ///< tasks parked by the governor
+  std::size_t readmitted_tasks = 0;  ///< parked tasks re-admitted
+  std::size_t governor_activations = 0;
+  std::size_t forced_downgrades = 0;
+  std::size_t watchdog_escalations = 0;
+
   // Measured host-side quantities (NOT deterministic; never differential).
   double wall_seconds = 0;
   double steps_per_second = 0;
+  std::size_t hang_alarms = 0;  ///< host watchdog thread (kWall clock only)
 
   /// Multi-line human-readable report (the tool's output body).
   std::string render() const;
@@ -75,5 +90,18 @@ struct ServingSummary {
 ServingSummary fold_serving_summary(std::vector<ShardReport> shards,
                                     std::vector<AdmissionDecision> admissions,
                                     std::size_t leaves);
+
+/// Exit-code taxonomy of speedqm_tool serve/multitask, as a library
+/// function so it is unit-testable: 0 = clean run, 1 = deadline misses
+/// (faults outran the manager), 2 = the overload governor intervened
+/// (forced downgrades over whole cycles, or task shedding) — "degraded but
+/// supervised", which the nightly job treats differently from plain
+/// misses. Usage/runtime errors use exit codes >= 64 (sysexits style) so
+/// they can never be mistaken for a verdict.
+enum class RunVerdict { kClean = 0, kDeadlineMisses = 1, kDegraded = 2 };
+
+RunVerdict run_verdict(const RunSummary& summary);
+RunVerdict serving_verdict(const ServingSummary& summary);
+constexpr int exit_code(RunVerdict v) { return static_cast<int>(v); }
 
 }  // namespace speedqm

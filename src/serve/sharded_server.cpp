@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -19,6 +20,42 @@ std::vector<std::size_t> full_pool_members(std::size_t count) {
   for (std::size_t i = 0; i < count; ++i) members[i] = i;
   return members;
 }
+
+/// Forwards every step/cycle to the shard accumulator and the optional
+/// spec tap. want_stop is never honored: a serving segment always runs to
+/// its boundary so shard totals stay comparable.
+class TeeSink final : public StepSink {
+ public:
+  TeeSink(StepSink* primary, StepSink* tap) : primary_(primary), tap_(tap) {}
+  void on_step(const ExecStep& step) override {
+    primary_->on_step(step);
+    if (tap_) tap_->on_step(step);
+  }
+  void on_cycle(const CycleStats& cycle) override {
+    primary_->on_cycle(cycle);
+    if (tap_) tap_->on_cycle(cycle);
+  }
+  bool want_stop() const override { return false; }
+
+ private:
+  StepSink* primary_;
+  StepSink* tap_;
+};
+
+/// Flags the pacer as actively executing for the host watchdog; cleared
+/// on scope exit even when the segment throws.
+class ArmGuard {
+ public:
+  explicit ArmGuard(WallClockPacer* pacer) : pacer_(pacer) {
+    if (pacer_) pacer_->armed().store(true, std::memory_order_release);
+  }
+  ~ArmGuard() {
+    if (pacer_) pacer_->armed().store(false, std::memory_order_release);
+  }
+
+ private:
+  WallClockPacer* pacer_;
+};
 
 }  // namespace
 
@@ -68,9 +105,45 @@ ShardedServer::ShardedServer(const ShardedServerSpec& spec,
 
 ShardedServer::~ShardedServer() = default;
 
+void ShardedServer::ensure_realtime(Shard& shard) {
+  if (spec_.clock == ClockMode::kSim || shard.pacer) return;
+  if (spec_.clock == ClockMode::kVirtual) {
+    shard.wall = std::make_unique<VirtualWallClock>();
+  } else {
+    shard.wall = std::make_unique<SteadyWallClock>();
+  }
+  RealtimeOptions ro;
+  ro.clock = shard.wall.get();
+  ro.wall_per_sim = spec_.wall_per_sim;
+  ro.period = shard_budget_;
+  ro.watchdog = spec_.watchdog;
+  ro.governor = spec_.governor;
+  shard.pacer = std::make_unique<WallClockPacer>(ro);
+
+  // Scripted shard stalls targeting this shard become backend-clock
+  // stalls, injected exactly once per overlapped cycle by the pacer —
+  // they now cost budget (lag -> misses) instead of being invariant.
+  std::vector<StallWindow> stalls;
+  for (const PerturbationWindow& w :
+       spec_.perturb.windows_of(FaultKind::kShardStall)) {
+    if (w.target != PerturbationWindow::kAllTargets &&
+        w.target != shard.index) {
+      continue;
+    }
+    StallWindow s;
+    s.begin_cycle = w.begin_cycle;
+    s.end_cycle = w.end_cycle;
+    // Window magnitude is milliseconds of host delay per stalled cycle.
+    s.wall_ns = static_cast<std::int64_t>(std::llround(w.magnitude * 1e6));
+    if (s.wall_ns > 0) stalls.push_back(s);
+  }
+  shard.pacer->set_stall_windows(std::move(stalls));
+}
+
 void ShardedServer::rebuild_shard(Shard& shard) {
   shard.epochs += shard.manager ? shard.manager->epochs() : 0;
   // Decorators borrow the mix/manager being torn down — drop them first.
+  shard.governed.reset();
   shard.pmanager.reset();
   shard.psource.reset();
   shard.pplatform.reset();
@@ -104,6 +177,16 @@ void ShardedServer::rebuild_shard(Shard& shard) {
       shard.pmanager =
           std::make_unique<PerturbedManager>(*shard.manager, *shard.cursor);
     }
+    ensure_realtime(shard);
+    if (shard.pacer) {
+      // The governor clamp sits outermost — above any perturbed manager —
+      // so it bounds what the executor actually runs.
+      QualityManager& decision_path =
+          shard.pmanager ? static_cast<QualityManager&>(*shard.pmanager)
+                         : static_cast<QualityManager&>(*shard.manager);
+      shard.governed = std::make_unique<GovernedManager>(
+          decision_path, shard.pacer->governor());
+    }
     ++shard.rebuilds;
   }
   shard.dirty = false;
@@ -123,7 +206,10 @@ void ShardedServer::place_initial_tasks() {
     shards_[s].acc = std::make_unique<RunSummaryAccumulator>(
         "shard-" + std::to_string(s));
     if (!spec_.perturb.empty()) {
-      shards_[s].acc->track_stress_windows(spec_.perturb.stress_ranges());
+      // On a real-time backend, shard-stall windows cost budget and their
+      // misses must be attributed as stress like any other fault.
+      shards_[s].acc->track_stress_windows(
+          spec_.perturb.stress_ranges(spec_.clock != ClockMode::kSim));
     }
     shards_[s].dirty = true;
   }
@@ -157,20 +243,70 @@ void ShardedServer::apply_events(std::size_t cycle) {
   }
 }
 
+void ShardedServer::apply_governor(std::size_t cycle) {
+  // Shed first: shards whose governor crossed the shed threshold (or got
+  // a watchdog escalation) park their most recently admitted members —
+  // the back of the composition order, deterministic and cheapest to
+  // re-admit. A shard never sheds below one member.
+  for (Shard& shard : shards_) {
+    if (!shard.pacer) continue;
+    if (!shard.pacer->governor().take_shed_request()) continue;
+    if (shard.members.size() <= 1) continue;
+    std::size_t to_shed = std::max<std::size_t>(1, shard.members.size() / 4);
+    while (to_shed-- > 0 && shard.members.size() > 1) {
+      parked_.push_back({shard.members.back(), shard.index});
+      shard.members.pop_back();
+      ++shed_tasks_;
+    }
+    shard.dirty = true;
+  }
+
+  // Re-admission: once a parked task's origin shard is back to Normal
+  // (hysteresis satisfied), it asks to rejoin through the normal
+  // admission path — logged like any join, possibly landing elsewhere.
+  std::vector<Parked> still_parked;
+  for (const Parked& parked : parked_) {
+    if (shards_[parked.origin].pacer->governor().state() !=
+        GovernorState::kNormal) {
+      still_parked.push_back(parked);
+      continue;
+    }
+    std::vector<std::vector<std::size_t>> memberships;
+    memberships.reserve(shards_.size());
+    for (const Shard& shard : shards_) memberships.push_back(shard.members);
+    AdmissionDecision decision =
+        admission_->admit(parked.task, memberships, cycle);
+    if (decision.admitted) {
+      shards_[decision.shard].members.push_back(parked.task);
+      shards_[decision.shard].dirty = true;
+      ++readmitted_tasks_;
+    } else {
+      still_parked.push_back(parked);
+    }
+    admissions_.push_back(std::move(decision));
+  }
+  parked_ = std::move(still_parked);
+}
+
 void ShardedServer::run_shard_segment(Shard& shard, std::size_t start_cycle,
                                       std::size_t cycles) {
   if (!shard.mix) return;  // empty shard idles through the segment
   ExecutorOptions opts = shard.mix->executor_options(cycles);
   opts.retain_steps = false;
   opts.retain_cycles = false;
-  opts.sink = shard.acc.get();
+  TeeSink tee(shard.acc.get(), spec_.tap);
+  opts.sink = spec_.tap ? static_cast<StepSink*>(&tee) : shard.acc.get();
   opts.start_cycle = start_cycle;
   opts.start_time = shard.clock;
+  opts.pacer = shard.pacer.get();
 
   if (shard.pmanager) {
-    // Shard-stall windows overlapping this segment delay the worker in
-    // HOST time only — the segment barrier still holds and nothing in the
-    // simulated run can observe the sleep, so results are invariant.
+    // Shard-stall windows overlapping this segment. On the simulated
+    // clock they delay the worker in HOST time only — the segment barrier
+    // still holds and nothing in the simulated run can observe the sleep,
+    // so results are invariant. On a real-time backend the pacer injects
+    // the stall into the backend clock per cycle instead (prepare_cycle),
+    // where it costs budget; only the count is folded here.
     std::size_t stalled = 0;
     double delay_ms = 0;
     for (const PerturbationWindow& w :
@@ -185,20 +321,24 @@ void ShardedServer::run_shard_segment(Shard& shard, std::size_t start_cycle,
       delay_ms += w.magnitude * static_cast<double>(hi - lo);
     }
     shard.stall_cycles += stalled;
-    if (delay_ms > 0) {
+    if (delay_ms > 0 && !shard.pacer) {
       std::this_thread::sleep_for(
           std::chrono::duration<double, std::milli>(delay_ms));
     }
-
     opts.platform = shard.pplatform->platform();
-    const RunResult run = run_cyclic(shard.mix->composed().app(),
-                                     *shard.pmanager, *shard.psource, opts);
-    shard.clock = run.total_time;
-    return;
   }
 
-  const RunResult run = run_cyclic(shard.mix->composed().app(), *shard.manager,
-                                   shard.mix->source(), opts);
+  QualityManager& manager =
+      shard.governed ? static_cast<QualityManager&>(*shard.governed)
+      : shard.pmanager ? static_cast<QualityManager&>(*shard.pmanager)
+                       : static_cast<QualityManager&>(*shard.manager);
+  CyclicTimeSource& source =
+      shard.psource ? static_cast<CyclicTimeSource&>(*shard.psource)
+                    : shard.mix->source();
+
+  const ArmGuard armed(shard.pacer.get());
+  const RunResult run =
+      run_cyclic(shard.mix->composed().app(), manager, source, opts);
   shard.clock = run.total_time;
 }
 
@@ -211,8 +351,20 @@ void ShardedServer::run_segment(std::size_t start_cycle, std::size_t cycles) {
                                             ? shards_.size()
                                             : spec_.num_workers,
                                         shards_.size()));
+  // Any exception escaping a shard segment — a throwing sink, an engine
+  // contract failure, a manager-thread fault — is wrapped into a
+  // ServeError attributing the failing shard, instead of escaping a
+  // worker thread to std::terminate.
   if (workers == 1) {
-    for (Shard& shard : shards_) run_shard_segment(shard, start_cycle, cycles);
+    for (Shard& shard : shards_) {
+      try {
+        run_shard_segment(shard, start_cycle, cycles);
+      } catch (const std::exception& e) {
+        throw ServeError(shard.index, start_cycle, e.what());
+      } catch (...) {
+        throw ServeError(shard.index, start_cycle, "unknown exception");
+      }
+    }
     return;
   }
 
@@ -226,13 +378,26 @@ void ShardedServer::run_segment(std::size_t start_cycle, std::size_t cycles) {
   for (std::size_t w = 0; w < workers; ++w) {
     threads.emplace_back([this, w, workers, start_cycle, cycles,
                           &failure, &failure_mutex] {
-      try {
-        for (std::size_t s = w; s < shards_.size(); s += workers) {
+      for (std::size_t s = w; s < shards_.size(); s += workers) {
+        try {
           run_shard_segment(shards_[s], start_cycle, cycles);
+        } catch (...) {
+          std::exception_ptr wrapped;
+          try {
+            try {
+              throw;
+            } catch (const std::exception& e) {
+              throw ServeError(s, start_cycle, e.what());
+            } catch (...) {
+              throw ServeError(s, start_cycle, "unknown exception");
+            }
+          } catch (...) {
+            wrapped = std::current_exception();
+          }
+          const std::lock_guard<std::mutex> lock(failure_mutex);
+          if (!failure) failure = wrapped;
+          return;
         }
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(failure_mutex);
-        if (!failure) failure = std::current_exception();
       }
     });
   }
@@ -249,19 +414,50 @@ ServingSummary ShardedServer::serve() {
   // at cycle 1); they apply right after initial placement. Events at or
   // beyond the horizon never fire.
   apply_events(0);
+
+  // Real-time backends get their pacers up front (they outlive every
+  // rebuild) and, on the real wall clock, a host watchdog thread sampling
+  // the per-shard heartbeats — its alarms are nondeterministic and only
+  // ever reported, never gated.
+  const bool realtime = spec_.clock != ClockMode::kSim;
+  if (realtime) {
+    for (Shard& shard : shards_) ensure_realtime(shard);
+  }
+  std::unique_ptr<WatchdogThread> host_watchdog;
+  if (spec_.clock == ClockMode::kWall) {
+    host_watchdog = std::make_unique<WatchdogThread>(WatchdogThreadConfig{});
+    for (Shard& shard : shards_) {
+      host_watchdog->watch(*shard.pacer,
+                           "shard-" + std::to_string(shard.index));
+    }
+    host_watchdog->start();
+  }
+
   // Wall clock covers serving (segments + mid-run reconfiguration), not
   // pool construction or initial placement: steps_per_second is the
   // data-plane throughput the scaling bench gates.
   const auto wall_start = std::chrono::steady_clock::now();
 
-  // Segment boundaries: every distinct event cycle inside the horizon.
+  // Segment boundaries: every distinct event cycle inside the horizon,
+  // plus — under a live governor — a boundary every check_cycles cycles
+  // so shed requests and re-admissions are acted on promptly.
   std::vector<std::size_t> boundaries;
   for (const std::size_t cycle : schedule_.boundaries()) {
     if (cycle > 0 && cycle < spec_.cycles) boundaries.push_back(cycle);
   }
+  if (realtime && spec_.governor.enabled && spec_.governor.check_cycles > 0) {
+    for (std::size_t cycle = spec_.governor.check_cycles;
+         cycle < spec_.cycles; cycle += spec_.governor.check_cycles) {
+      boundaries.push_back(cycle);
+    }
+    std::sort(boundaries.begin(), boundaries.end());
+    boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
+                     boundaries.end());
+  }
   std::size_t cursor = 0;
   for (const std::size_t boundary : boundaries) {
     run_segment(cursor, boundary - cursor);
+    if (realtime) apply_governor(boundary);
     apply_events(boundary);
     cursor = boundary;
   }
@@ -271,6 +467,7 @@ ServingSummary ShardedServer::serve() {
       std::chrono::duration_cast<std::chrono::duration<double>>(
           std::chrono::steady_clock::now() - wall_start)
           .count();
+  if (host_watchdog) host_watchdog->stop();
 
   std::vector<ShardReport> reports;
   reports.reserve(shards_.size());
@@ -289,6 +486,15 @@ ServingSummary ShardedServer::serve() {
       fold_serving_summary(std::move(reports), admissions_, leaves_);
   summary.scripted_disconnects = scripted_disconnects_;
   for (const Shard& shard : shards_) summary.stalled_cycles += shard.stall_cycles;
+  summary.shed_tasks = shed_tasks_;
+  summary.readmitted_tasks = readmitted_tasks_;
+  for (const Shard& shard : shards_) {
+    if (!shard.pacer) continue;
+    summary.governor_activations += shard.pacer->governor().activations();
+    summary.forced_downgrades += shard.pacer->governor().forced_downgrades();
+    summary.watchdog_escalations += shard.pacer->watchdog().escalations();
+  }
+  if (host_watchdog) summary.hang_alarms = host_watchdog->hang_alarms();
   summary.wall_seconds = wall_seconds;
   if (wall_seconds > 0) {
     summary.steps_per_second =

@@ -34,15 +34,41 @@
 #include <memory>
 #include <vector>
 
+#include <stdexcept>
+#include <string>
+
 #include "core/batch_engine.hpp"
 #include "serve/admission.hpp"
 #include "serve/serving_summary.hpp"
 #include "sim/metrics.hpp"
 #include "sim/perturb.hpp"
+#include "sim/realtime.hpp"
 #include "workload/arrivals.hpp"
 #include "workload/scenarios.hpp"
 
 namespace speedqm {
+
+/// Structured serving failure: any exception escaping a shard's segment on
+/// a worker thread is captured and rethrown on the control thread as a
+/// ServeError carrying the failing shard and segment start, instead of
+/// taking the process down via std::terminate.
+class ServeError : public std::runtime_error {
+ public:
+  ServeError(std::size_t shard, std::size_t start_cycle,
+             const std::string& what)
+      : std::runtime_error("shard " + std::to_string(shard) +
+                           " failed in segment starting at cycle " +
+                           std::to_string(start_cycle) + ": " + what),
+        shard_(shard),
+        start_cycle_(start_cycle) {}
+
+  std::size_t shard() const { return shard_; }
+  std::size_t start_cycle() const { return start_cycle_; }
+
+ private:
+  std::size_t shard_;
+  std::size_t start_cycle_;
+};
 
 struct ShardedServerSpec {
   /// Defines the task pool (num_tasks, seeds, margins, budget factor).
@@ -77,6 +103,24 @@ struct ShardedServerSpec {
   /// The default (empty) scenario leaves every path bit-identical to the
   /// unperturbed server — no decorator is even installed.
   PerturbationScenario perturb;
+  /// Executor clock backend (sim/realtime.hpp). kSim is the historical
+  /// simulated path; kVirtual/kWall pace every shard against its own
+  /// backend clock, at which point kShardStall windows cost budget and
+  /// the watchdog/governor supervision below is live. kVirtual stays
+  /// fully deterministic (bit-identical to kSim with an empty scenario).
+  ClockMode clock = ClockMode::kSim;
+  /// Wall ns charged per simulated ns when clock != kSim (1.0 = true real
+  /// time; small values time-compress bounded-seconds soaks).
+  double wall_per_sim = 1.0;
+  WatchdogConfig watchdog;
+  /// Overload governor: degrades quality and sheds tasks (re-admitting
+  /// them through the AdmissionController once caught up). Acted on every
+  /// governor.check_cycles cycles at segment boundaries.
+  GovernorConfig governor;
+  /// Optional observer tee'd behind every shard's accumulator (steps and
+  /// cycles of all shards; must be thread-safe when num_workers > 1;
+  /// want_stop is ignored — segments always run to their boundary).
+  StepSink* tap = nullptr;
 };
 
 class ShardedServer {
@@ -111,6 +155,14 @@ class ShardedServer {
     std::unique_ptr<PerturbedTimeSource> psource;
     std::unique_ptr<PerturbedPlatform> pplatform;
     std::unique_ptr<PerturbedManager> pmanager;
+    // Real-time backend (clock != kSim): the shard's own backend clock and
+    // pacer persist across rebuilds — lag, watchdog and governor state
+    // survive membership changes, like the perturbation cursor. The
+    // governed wrapper borrows the current decision path and is rebuilt
+    // with it.
+    std::unique_ptr<WallClock> wall;
+    std::unique_ptr<WallClockPacer> pacer;
+    std::unique_ptr<GovernedManager> governed;
     std::size_t stall_cycles = 0;  ///< shard-stall cycles slept (wall only)
     TimeNs clock = 0;
     std::size_t epochs = 0;    ///< accumulated across rebuilds
@@ -120,6 +172,13 @@ class ShardedServer {
 
   void place_initial_tasks();
   void apply_events(std::size_t cycle);
+  /// Acts on governor verdicts at a segment boundary: sheds members of
+  /// shards whose governor requested it (parking them) and re-admits
+  /// parked tasks through the AdmissionController once their origin
+  /// shard's governor is back to Normal.
+  void apply_governor(std::size_t cycle);
+  /// Creates the shard's backend clock + pacer (clock != kSim), once.
+  void ensure_realtime(Shard& shard);
   void rebuild_shard(Shard& shard);
   /// Runs [start_cycle, start_cycle + cycles) on every non-empty shard
   /// using the worker pool; rethrows the first worker exception.
@@ -136,6 +195,14 @@ class ShardedServer {
   std::vector<AdmissionDecision> admissions_;
   std::size_t leaves_ = 0;
   std::size_t scripted_disconnects_ = 0;
+  /// Tasks the governor shed, waiting for re-admission.
+  struct Parked {
+    std::size_t task = 0;
+    std::size_t origin = 0;  ///< shard whose governor shed it
+  };
+  std::vector<Parked> parked_;
+  std::size_t shed_tasks_ = 0;
+  std::size_t readmitted_tasks_ = 0;
   bool served_ = false;
 };
 

@@ -43,11 +43,13 @@ RunResult run_cyclic(const ScheduledApp& app, QualityManager& manager,
 
   TimeNs t_abs = opts.start_time;  // absolute platform time
   bool stop = false;               // sink-requested early termination
+  ExecutionPacer* const pacer = opts.pacer;
 
   for (std::size_t k = 0; k < opts.cycles && !stop; ++k) {
     const std::size_t cycle = opts.start_cycle + k;
     source.set_cycle(cycle % source.num_cycles());
     manager.reset();
+    if (pacer) pacer->prepare_cycle(cycle);
 
     // Cycle-relative observation origin. With slack carry-over, cycle c is
     // measured against its absolute milestone start c * period: being ahead
@@ -70,7 +72,10 @@ RunResult run_cyclic(const ScheduledApp& app, QualityManager& manager,
       step.action = i;
 
       if (remaining_coverage == 0) {
-        const TimeNs observed = t_abs - origin;
+        // Under real-time pacing the manager sees the schedule slip too:
+        // lag is the wall clock's excess over the charged schedule,
+        // expressed in simulated ns (exactly 0 on a noiseless clock).
+        const TimeNs observed = t_abs - origin + (pacer ? pacer->lag() : 0);
         const Decision d = manager.decide(i, observed);
         SPEEDQM_ASSERT(d.relax_steps >= 1, "manager returned relax_steps < 1");
         active_quality = d.quality;
@@ -78,6 +83,7 @@ RunResult run_cyclic(const ScheduledApp& app, QualityManager& manager,
 
         const TimeNs cost = opts.platform.manager_cost(d.ops);
         t_abs += cost;
+        if (pacer) pacer->charge(cost);
 
         step.manager_called = true;
         step.observed = observed;
@@ -101,7 +107,12 @@ RunResult run_cyclic(const ScheduledApp& app, QualityManager& manager,
       cs.action_time += step.duration;
       qsum += static_cast<double>(active_quality);
 
-      if (app.has_deadline(i) && (t_abs - origin) > app.deadline(i)) {
+      if (pacer) {
+        pacer->charge(step.duration);
+        pacer->finish_step(step);
+      }
+      if (app.has_deadline(i) &&
+          (t_abs - origin + (pacer ? pacer->lag() : 0)) > app.deadline(i)) {
         ++cs.deadline_misses;
       }
       ++result.total_steps;
@@ -122,6 +133,7 @@ RunResult run_cyclic(const ScheduledApp& app, QualityManager& manager,
     if (!stop) {
       cs.completion = t_abs;
       cs.mean_quality = qsum / static_cast<double>(n);
+      if (pacer) pacer->finish_cycle(cs);
       if (opts.retain_cycles) result.cycles.push_back(cs);
       if (opts.sink) opts.sink->on_cycle(cs);
     }

@@ -42,6 +42,34 @@ class CyclicTimeSource : public ActualTimeSource {
 struct ExecStep;
 struct CycleStats;
 
+/// Hook that paces the executor against a backend clock (sim/realtime.hpp's
+/// WallClockPacer is the real-time implementation). The executor charges
+/// every platform-time expenditure (manager overhead, action durations)
+/// through charge(); the pacer converts it into wall time, sleeps the host
+/// thread to stay on schedule, and reports how far behind schedule the run
+/// has fallen via lag() — in *simulated* nanoseconds, so the executor can
+/// add it to observations and deadline checks. A null pacer (the default)
+/// leaves the executor bit-identical to the historical simulated path.
+class ExecutionPacer {
+ public:
+  virtual ~ExecutionPacer() = default;
+  /// Current behind-schedule amount in simulated ns (0 = on schedule or
+  /// ahead). Added to every manager observation and deadline comparison.
+  virtual TimeNs lag() const = 0;
+  /// Charges `sim_ns` of simulated platform time to the backend clock,
+  /// pacing the host thread.
+  virtual void charge(TimeNs sim_ns) = 0;
+  /// Called once per cycle before its first step runs; `cycle` is the
+  /// absolute cycle index. Injection point for scripted host-time faults.
+  virtual void prepare_cycle(std::size_t cycle) = 0;
+  /// Step boundary: heartbeat + watchdog verdicts stamped into the step
+  /// (lag / overrun / degraded fields).
+  virtual void finish_step(ExecStep& step) = 0;
+  /// Cycle boundary (complete cycles only): stamps end_lag / degraded and
+  /// advances the supervision state machine.
+  virtual void finish_cycle(CycleStats& cycle) = 0;
+};
+
 /// Streaming observer for run_cyclic: receives every executed step and
 /// every cycle aggregate online, so trace-driven replay can fold metrics
 /// in O(1) memory per step instead of materializing per-step records
@@ -87,6 +115,9 @@ struct ExecutorOptions {
   /// state. Defaults reproduce the historical from-zero behavior.
   std::size_t start_cycle = 0;
   TimeNs start_time = 0;
+  /// Optional real-time pacing hook (see ExecutionPacer). Null keeps the
+  /// executor on the pure simulated clock, bit-identical to before.
+  ExecutionPacer* pacer = nullptr;
 };
 
 /// One executed action on the platform (extends the pure StepRecord with
@@ -103,6 +134,10 @@ struct ExecStep {
   bool feasible = true;
   int relax_steps = 1;
   std::uint64_t ops = 0;
+  // Real-time fields (all zero/false on the simulated clock).
+  TimeNs lag = 0;         ///< behind-schedule sim-ns after this step
+  bool overrun = false;   ///< watchdog flagged excessive lag growth
+  bool degraded = false;  ///< overload governor was degrading quality
 };
 
 /// Aggregate of one cycle.
@@ -115,6 +150,9 @@ struct CycleStats {
   std::size_t manager_calls = 0;
   std::size_t deadline_misses = 0;
   std::size_t infeasible_decisions = 0;
+  // Real-time fields (all zero/false on the simulated clock).
+  TimeNs end_lag = 0;     ///< behind-schedule sim-ns at cycle end
+  bool degraded = false;  ///< governor degrading when the cycle closed
 };
 
 struct RunResult {

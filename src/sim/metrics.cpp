@@ -40,11 +40,17 @@ void RunSummaryAccumulator::on_step(const ExecStep& step) {
     if (r >= relax_histogram_.size()) relax_histogram_.resize(r + 1, 0);
     ++relax_histogram_[r];
   }
+
+  if (step.overrun) ++overrun_steps_;
+  if (step.degraded) ++degraded_steps_;
+  max_lag_ = std::max(max_lag_, step.lag);
 }
 
 void RunSummaryAccumulator::on_cycle(const CycleStats& cycle) {
   deadline_misses_ += cycle.deadline_misses;
   completion_ = cycle.completion;
+  if (cycle.degraded) ++degraded_cycles_;
+  max_lag_ = std::max(max_lag_, cycle.end_lag);
   if (keep_cycle_series_) cycle_quality_.push_back(cycle.mean_quality);
 
   if (!stress_ranges_.empty()) {
@@ -85,6 +91,10 @@ RunSummary RunSummaryAccumulator::finish() const {
   s.misses_in_stress = misses_in_stress_;
   s.recovery_cycles = recovery_cycles_;
   s.misses_in_recovery = misses_in_recovery_;
+  s.overrun_steps = overrun_steps_;
+  s.degraded_steps = degraded_steps_;
+  s.degraded_cycles = degraded_cycles_;
+  s.max_lag_ns = max_lag_;
 
   const double busy = static_cast<double>(action_time_ + overhead_time_);
   if (busy > 0.0) {

@@ -44,6 +44,14 @@ struct RunSummary {
   std::size_t misses_in_stress = 0;
   std::size_t recovery_cycles = 0;
   std::size_t misses_in_recovery = 0;
+  /// Real-time supervision counters (all zero on the simulated clock):
+  /// steps the watchdog flagged as overrunning, steps/cycles executed while
+  /// the overload governor was degrading quality, and the worst
+  /// behind-schedule lag (simulated ns) seen on any step.
+  std::size_t overrun_steps = 0;
+  std::size_t degraded_steps = 0;
+  std::size_t degraded_cycles = 0;
+  TimeNs max_lag_ns = 0;
   SmoothnessReport smoothness;       ///< over the full quality sequence
   /// Decided relaxation depths: relax_histogram[r] = number of decisions
   /// that covered r actions (index 0 unused). Flat so the streaming fold
@@ -115,6 +123,11 @@ class RunSummaryAccumulator final : public StepSink {
   std::size_t misses_in_stress_ = 0;
   std::size_t recovery_cycles_ = 0;
   std::size_t misses_in_recovery_ = 0;
+  // Real-time supervision folds.
+  std::size_t overrun_steps_ = 0;
+  std::size_t degraded_steps_ = 0;
+  std::size_t degraded_cycles_ = 0;
+  TimeNs max_lag_ = 0;
 };
 
 /// Builds the summary from a retained run (replays it through

@@ -31,7 +31,7 @@ bool window_active(const PerturbationWindow& w, std::size_t cycle) {
   return cycle >= w.begin_cycle && cycle < w.end_cycle;
 }
 
-bool is_stress_kind(FaultKind kind) {
+bool is_stress_kind(FaultKind kind, bool include_host_time) {
   switch (kind) {
     case FaultKind::kLoadSpike:
     case FaultKind::kStallFrame:
@@ -39,6 +39,10 @@ bool is_stress_kind(FaultKind kind) {
     case FaultKind::kOverheadSpike:
       return true;
     case FaultKind::kShardStall:
+      // Invisible on the simulated clock; a real-time backend turns the
+      // host delay into lag and deadline misses, so the attribution
+      // machinery must count its windows as stress there.
+      return include_host_time;
     case FaultKind::kDisconnect:
       return false;
   }
@@ -109,10 +113,12 @@ std::vector<PerturbationWindow> PerturbationScenario::windows_of(FaultKind kind)
 }
 
 std::vector<std::pair<std::size_t, std::size_t>>
-PerturbationScenario::stress_ranges() const {
+PerturbationScenario::stress_ranges(bool include_host_time) const {
   std::vector<std::pair<std::size_t, std::size_t>> ranges;
   for (const PerturbationWindow& w : windows_) {
-    if (is_stress_kind(w.kind)) ranges.emplace_back(w.begin_cycle, w.end_cycle);
+    if (is_stress_kind(w.kind, include_host_time)) {
+      ranges.emplace_back(w.begin_cycle, w.end_cycle);
+    }
   }
   std::sort(ranges.begin(), ranges.end());
   std::vector<std::pair<std::size_t, std::size_t>> merged;

@@ -105,8 +105,13 @@ class PerturbationScenario {
 
   /// Merged [begin, end) cycle ranges of the executor-level stress kinds
   /// (load spike, stall frame, clock jitter, overhead spike) — what the
-  /// summary's stress attribution counts against.
-  std::vector<std::pair<std::size_t, std::size_t>> stress_ranges() const;
+  /// summary's stress attribution counts against. With
+  /// `include_host_time`, kShardStall windows count too: on a real-time
+  /// backend (sim/realtime.hpp) the host delay costs budget, so its
+  /// misses need attributing; on the simulated clock it is invariant and
+  /// would inflate stress_cycles for nothing.
+  std::vector<std::pair<std::size_t, std::size_t>> stress_ranges(
+      bool include_host_time = false) const;
 
   /// One-line script description ("c8..16 load-spike x1.8, ...").
   std::string describe() const;

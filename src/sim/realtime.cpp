@@ -1,0 +1,281 @@
+#include "sim/realtime.hpp"
+
+#include <chrono>
+#include <cmath>
+
+#include "support/contract.hpp"
+
+namespace speedqm {
+
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* to_string(ClockMode mode) {
+  switch (mode) {
+    case ClockMode::kSim: return "sim";
+    case ClockMode::kWall: return "wall";
+    case ClockMode::kVirtual: return "virtual";
+  }
+  return "?";
+}
+
+SteadyWallClock::SteadyWallClock(std::int64_t spin_threshold_ns)
+    : spin_threshold_ns_(spin_threshold_ns) {}
+
+std::int64_t SteadyWallClock::now_ns() { return steady_now_ns(); }
+
+void SteadyWallClock::wait_until(std::int64_t deadline_ns) {
+  // Coarse sleep leaves spin_threshold of slack (OS wakeups overshoot by
+  // far more than a short spin costs), then spin to the deadline.
+  std::int64_t now = steady_now_ns();
+  if (deadline_ns - now > spin_threshold_ns_) {
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(deadline_ns - now - spin_threshold_ns_));
+  }
+  while (steady_now_ns() < deadline_ns) {
+    // spin
+  }
+}
+
+StepWatchdog::StepWatchdog(const WatchdogConfig& cfg, TimeNs period)
+    : threshold_(cfg.overrun_threshold > 0 ? cfg.overrun_threshold
+                                           : period / 8),
+      max_retries_(cfg.max_retries) {
+  if (threshold_ <= 0) threshold_ = 1;
+}
+
+bool StepWatchdog::observe(TimeNs lag) {
+  const TimeNs growth = lag - prev_lag_;
+  prev_lag_ = lag;
+
+  // Bounded exponential backoff: every tolerated retry doubles the
+  // accepted growth, so a transient stall that is draining does not
+  // escalate while a persistent one does.
+  TimeNs tolerance = threshold_;
+  for (int i = 0; i < consecutive_ && i < 30; ++i) tolerance *= 2;
+
+  if (growth <= tolerance) {
+    consecutive_ = 0;
+    escalated_ = false;
+    return false;
+  }
+  ++overruns_;
+  if (consecutive_ < max_retries_) {
+    ++consecutive_;
+    ++retries_;
+    escalated_ = false;
+  } else {
+    if (!escalated_) ++escalations_;
+    escalated_ = true;
+  }
+  return true;
+}
+
+OverloadGovernor::OverloadGovernor(const GovernorConfig& cfg, TimeNs period)
+    : cfg_(cfg) {
+  const auto budget_lag = [period](double budget) -> TimeNs {
+    if (budget <= 0.0) return 0;  // 0 disables the threshold
+    return static_cast<TimeNs>(
+        std::llround(budget * static_cast<double>(period)));
+  };
+  degrade_lag_ = budget_lag(cfg.degrade_budget);
+  shed_lag_ = budget_lag(cfg.shed_budget);
+  readmit_lag_ = budget_lag(cfg.readmit_budget);
+}
+
+void OverloadGovernor::enter(GovernorState next) {
+  if (next == state_) return;
+  if (state_ == GovernorState::kNormal) ++activations_;
+  state_ = next;
+}
+
+void OverloadGovernor::on_cycle_end(TimeNs lag) {
+  if (!cfg_.enabled) return;
+  const TimeNs prev_lag = last_lag_;
+  last_lag_ = lag;
+
+  if (escalation_pending_ || (shed_lag_ > 0 && lag >= shed_lag_)) {
+    // Shed on entry into Shedding, then again only while lag keeps
+    // growing despite the previous shed — a backlog that is merely
+    // draining slowly does not keep shrinking the shard. Watchdog
+    // escalations always force a further request.
+    const bool entering = state_ != GovernorState::kShedding;
+    const bool escalated = escalation_pending_;
+    const bool still_growing = lag > prev_lag;
+    escalation_pending_ = false;
+    enter(GovernorState::kShedding);
+    if ((entering || escalated || still_growing) && !shed_request_) {
+      shed_request_ = true;
+      ++shed_requests_;
+    }
+    stable_cycles_ = 0;
+    return;
+  }
+  if (degrade_lag_ > 0 && lag >= degrade_lag_) {
+    if (state_ == GovernorState::kNormal ||
+        state_ == GovernorState::kRecovering) {
+      enter(GovernorState::kDegraded);
+    }
+    stable_cycles_ = 0;
+    return;
+  }
+  if (state_ == GovernorState::kNormal) return;
+
+  if (lag <= readmit_lag_) {
+    if (++stable_cycles_ >= cfg_.hysteresis_cycles) {
+      enter(GovernorState::kNormal);
+      stable_cycles_ = 0;
+    } else {
+      enter(GovernorState::kRecovering);
+    }
+  } else {
+    // Inside the hysteresis band: hold the clamp, reset the streak.
+    stable_cycles_ = 0;
+    if (state_ == GovernorState::kShedding) enter(GovernorState::kRecovering);
+  }
+}
+
+bool OverloadGovernor::take_shed_request() {
+  const bool pending = shed_request_;
+  shed_request_ = false;
+  return pending;
+}
+
+WallClockPacer::WallClockPacer(const RealtimeOptions& opts)
+    : clock_(opts.clock),
+      scale_(opts.wall_per_sim),
+      period_(opts.period),
+      watchdog_(opts.watchdog, opts.period),
+      governor_(opts.governor, opts.period) {
+  SPEEDQM_REQUIRE(clock_ != nullptr, "WallClockPacer: null backend clock");
+  SPEEDQM_REQUIRE(scale_ > 0.0, "WallClockPacer: non-positive wall_per_sim");
+  SPEEDQM_REQUIRE(period_ > 0, "WallClockPacer: non-positive period");
+}
+
+void WallClockPacer::refresh_lag() {
+  // Lag is actual wall time past the charged schedule, converted back to
+  // simulated ns. Expected time is the running sum of identically-rounded
+  // per-charge targets, never a division round-trip, so a noiseless
+  // virtual clock yields exactly zero for the whole run.
+  const std::int64_t behind = clock_->now_ns() - (epoch_ + expected_wall_);
+  lag_sim_ = behind <= 0
+                 ? 0
+                 : static_cast<TimeNs>(
+                       std::llround(static_cast<double>(behind) / scale_));
+}
+
+void WallClockPacer::charge(TimeNs sim_ns) {
+  if (!started_) {
+    epoch_ = clock_->now_ns();
+    started_ = true;
+  }
+  sim_charged_ += sim_ns;
+  expected_wall_ += std::llround(static_cast<double>(sim_ns) * scale_);
+  clock_->wait_until(epoch_ + expected_wall_);
+  refresh_lag();
+}
+
+void WallClockPacer::prepare_cycle(std::size_t cycle) {
+  // Exactly-once per cycle index: a serving run split into segments calls
+  // this again for already-prepared cycles; replaying an injection would
+  // break split-vs-unsplit determinism.
+  if (any_prepared_ && cycle < next_cycle_) return;
+  any_prepared_ = true;
+  next_cycle_ = cycle + 1;
+
+  std::int64_t stall_ns = 0;
+  for (const StallWindow& w : stall_windows_) {
+    if (cycle >= w.begin_cycle && cycle < w.end_cycle) stall_ns += w.wall_ns;
+  }
+  if (stall_ns <= 0) return;
+  if (!started_) {
+    epoch_ = clock_->now_ns();
+    started_ = true;
+  }
+  // The stall burns wall time without satisfying any schedule: waiting to
+  // now + stall advances the clock (virtual) or really sleeps (steady),
+  // and the deficit surfaces as lag on the next charge.
+  clock_->wait_until(clock_->now_ns() + stall_ns);
+  ++stalled_cycles_;
+  refresh_lag();
+}
+
+void WallClockPacer::finish_step(ExecStep& step) {
+  heartbeat_.fetch_add(1, std::memory_order_release);
+  refresh_lag();
+  step.lag = lag_sim_;
+  step.overrun = watchdog_.observe(lag_sim_);
+  if (watchdog_.escalated()) governor_.escalate();
+  step.degraded = governor_.degrading();
+}
+
+void WallClockPacer::finish_cycle(CycleStats& cycle) {
+  // Cyclic pacing: a frame that finishes early sleeps to its period
+  // boundary (charged as idle), so a backlogged shard drains lag at one
+  // period per cycle no matter how little work it currently holds —
+  // shedding reduces misses without slowing recovery. On the noiseless
+  // clock idle waits land exactly, so the differential is unaffected. A
+  // frame already past its boundary charges nothing and starts late.
+  const TimeNs boundary =
+      static_cast<TimeNs>(cycle.cycle + 1) * period_;
+  if (sim_charged_ < boundary) charge(boundary - sim_charged_);
+  refresh_lag();
+  cycle.end_lag = lag_sim_;
+  governor_.on_cycle_end(lag_sim_);
+  cycle.degraded = governor_.degrading();
+}
+
+WatchdogThread::WatchdogThread(const WatchdogThreadConfig& cfg) : cfg_(cfg) {}
+
+WatchdogThread::~WatchdogThread() { stop(); }
+
+void WatchdogThread::watch(WallClockPacer& pacer, std::string label) {
+  SPEEDQM_REQUIRE(!running_.load(std::memory_order_acquire),
+                  "WatchdogThread: watch() after start()");
+  Watch w;
+  w.pacer = &pacer;
+  w.label = std::move(label);
+  watches_.push_back(std::move(w));
+}
+
+void WatchdogThread::start() {
+  if (running_.exchange(true, std::memory_order_acq_rel)) return;
+  thread_ = std::thread(&WatchdogThread::run, this);
+}
+
+void WatchdogThread::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+void WatchdogThread::run() {
+  while (running_.load(std::memory_order_acquire)) {
+    const std::int64_t now = steady_now_ns();
+    for (Watch& w : watches_) {
+      const std::uint64_t beat =
+          w.pacer->heartbeat().load(std::memory_order_acquire);
+      const bool armed = w.pacer->armed().load(std::memory_order_acquire);
+      if (!armed || beat != w.last_beat) {
+        w.last_beat = beat;
+        w.stale_since_ns = now;
+        w.alarmed = false;
+        continue;
+      }
+      if (!w.alarmed && now - w.stale_since_ns >= cfg_.hang_timeout_ns) {
+        w.alarmed = true;
+        hang_alarms_.fetch_add(1, std::memory_order_release);
+      }
+    }
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(cfg_.poll_interval_ns));
+  }
+}
+
+}  // namespace speedqm

@@ -1,0 +1,361 @@
+// Real-time executor backend: wall-clock pacing, watchdog supervision and
+// graceful degradation under overload.
+//
+// The simulated executor (sim/executor.hpp) advances an abstract platform
+// clock; nothing in the process actually takes that long. This module makes
+// the schedule real: a WallClockPacer plugged into ExecutorOptions::pacer
+// charges every simulated expenditure (manager overhead, action durations)
+// to a backend WallClock at a configurable wall-ns-per-sim-ns scale and
+// sleeps the host thread to hold the cadence. When the host cannot keep up
+// (a stalled shard, an overloaded machine, an injected kShardStall fault),
+// the pacer falls behind; the deficit — "lag", converted back to simulated
+// ns — is added to every manager observation and deadline check, so
+// host-time faults finally cost budget and show up as deadline misses
+// instead of being invariant in the summaries.
+//
+// Supervision is layered on the same lag signal:
+//   * StepWatchdog — per-step heartbeat; flags steps whose lag *grew* past
+//     a threshold as overruns, tolerates a bounded number of consecutive
+//     overruns with exponential backoff (transient stalls), then escalates
+//     to the governor.
+//   * OverloadGovernor — a hysteretic state machine (Normal -> Degraded ->
+//     Shedding -> Recovering -> Normal) driven by end-of-cycle lag. While
+//     degrading it clamps decision quality to a floor (GovernedManager);
+//     in Shedding it asks the serving layer to shed tasks (re-admitted
+//     through the AdmissionController once the governor returns to Normal).
+//
+// Determinism: VirtualWallClock is a noiseless mock whose waits land
+// *exactly* on target, so lag is exactly zero with an empty scenario and
+// every decision (including Decision.ops) is bit-identical to the simulated
+// executor — the standing differential guardrail. Scripted stall windows
+// advance the virtual clock deterministically, which is how bench_realtime
+// replays the flaky-shard catalogue byte-identically run over run.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/manager.hpp"
+#include "sim/executor.hpp"
+
+namespace speedqm {
+
+/// Executor clock backend selection (speedqm_tool's --clock flag):
+///   kSim     — pure simulated platform clock, the historical default;
+///   kWall    — real time: a SteadyWallClock paces every step (hybrid
+///              sleep/spin) and host stalls cost budget;
+///   kVirtual — the real-time backend on a noiseless VirtualWallClock:
+///              deterministic, bit-identical to kSim with an empty
+///              scenario, and scripted kShardStall windows advance the
+///              clock so host-time faults replay byte-identically.
+enum class ClockMode { kSim, kWall, kVirtual };
+
+const char* to_string(ClockMode mode);
+
+/// Backend clock abstraction. Implementations need not be thread-safe:
+/// each pacer owns one clock and drives it from one thread at a time.
+class WallClock {
+ public:
+  virtual ~WallClock() = default;
+  /// Monotonic wall time in ns (epoch unspecified, differences meaningful).
+  virtual std::int64_t now_ns() = 0;
+  /// Blocks (or virtually advances) until now_ns() >= deadline_ns. A
+  /// deadline already in the past returns immediately.
+  virtual void wait_until(std::int64_t deadline_ns) = 0;
+  /// True for mock clocks whose waits are noiseless (no overshoot).
+  virtual bool is_virtual() const { return false; }
+};
+
+/// Real clock over std::chrono::steady_clock with a hybrid wait: coarse
+/// sleep until `spin_threshold_ns` before the deadline, then spin — OS
+/// sleep granularity overshoots by far more than a short spin costs.
+class SteadyWallClock final : public WallClock {
+ public:
+  explicit SteadyWallClock(std::int64_t spin_threshold_ns = 200'000);
+  std::int64_t now_ns() override;
+  void wait_until(std::int64_t deadline_ns) override;
+
+ private:
+  std::int64_t spin_threshold_ns_;
+};
+
+/// Noiseless mock: waits land exactly on target, advance() injects
+/// scripted host-time faults. With no injected advances, a paced run is
+/// bit-identical to the simulated executor.
+class VirtualWallClock final : public WallClock {
+ public:
+  std::int64_t now_ns() override { return now_; }
+  void wait_until(std::int64_t deadline_ns) override {
+    if (deadline_ns > now_) now_ = deadline_ns;
+  }
+  bool is_virtual() const override { return true; }
+  /// Advances the clock without satisfying any schedule — a scripted stall.
+  void advance(std::int64_t ns) { now_ += ns; }
+
+ private:
+  std::int64_t now_ = 0;
+};
+
+/// Watchdog policy. Thresholds are in simulated ns (like lag).
+struct WatchdogConfig {
+  /// Per-step lag *growth* beyond this is an overrun. 0 = auto: period/8.
+  TimeNs overrun_threshold = 0;
+  /// Consecutive overruns tolerated before escalating to the governor;
+  /// each tolerated retry doubles the accepted growth (bounded backoff).
+  int max_retries = 3;
+};
+
+/// Per-step stall detector: compares successive lag samples, applies the
+/// bounded retry/backoff policy and counts overruns / escalations.
+class StepWatchdog {
+ public:
+  StepWatchdog(const WatchdogConfig& cfg, TimeNs period);
+
+  /// Observes the post-step lag; returns true when the step overran.
+  bool observe(TimeNs lag);
+  /// True when the latest observation exhausted the retry budget; cleared
+  /// by the next non-overrunning step.
+  bool escalated() const { return escalated_; }
+
+  std::size_t overruns() const { return overruns_; }
+  std::size_t retries() const { return retries_; }
+  std::size_t escalations() const { return escalations_; }
+
+ private:
+  TimeNs threshold_;
+  int max_retries_;
+  TimeNs prev_lag_ = 0;
+  int consecutive_ = 0;
+  bool escalated_ = false;
+  std::size_t overruns_ = 0;
+  std::size_t retries_ = 0;
+  std::size_t escalations_ = 0;
+};
+
+/// Governor policy. Budgets are fractions of the cycle period.
+struct GovernorConfig {
+  bool enabled = true;
+  /// Lag above degrade_budget * period => clamp quality to degraded_quality.
+  double degrade_budget = 0.5;
+  /// Lag above shed_budget * period => request task shedding.
+  double shed_budget = 2.0;
+  /// Leaving degradation requires lag <= readmit_budget * period for
+  /// hysteresis_cycles consecutive complete cycles.
+  double readmit_budget = 0.125;
+  std::size_t hysteresis_cycles = 4;
+  /// Quality ceiling enforced while degrading.
+  Quality degraded_quality = kQmin;
+  /// Serving layer: shed requests and re-admissions are acted on at
+  /// governor boundaries every check_cycles cycles (0 = only at arrival
+  /// boundaries).
+  std::size_t check_cycles = 8;
+};
+
+enum class GovernorState { kNormal, kDegraded, kShedding, kRecovering };
+
+/// Hysteretic overload state machine driven by end-of-cycle lag. Quality
+/// clamping is active in every non-Normal state; shed requests are edge-
+/// triggered (one per excursion above the shed threshold, consumed by the
+/// serving layer via take_shed_request()).
+class OverloadGovernor {
+ public:
+  OverloadGovernor(const GovernorConfig& cfg, TimeNs period);
+
+  GovernorState state() const { return state_; }
+  /// True while the quality clamp is active (any non-Normal state).
+  bool degrading() const { return state_ != GovernorState::kNormal; }
+  /// Applies the degradation clamp to a decided quality.
+  Quality clamp(Quality q) const {
+    return degrading() && q > cfg_.degraded_quality ? cfg_.degraded_quality : q;
+  }
+
+  /// Cycle-boundary transition on the cycle's closing lag.
+  void on_cycle_end(TimeNs lag);
+  /// Watchdog escalation: forces a shed request at the next cycle boundary
+  /// even if lag has not yet crossed the shed threshold.
+  void escalate() { escalation_pending_ = true; }
+
+  /// Consumed by the serving layer at segment boundaries. A request is
+  /// raised on entry into Shedding, and again only while lag keeps
+  /// growing despite the previous shed (or on watchdog escalation) —
+  /// holding steadily above the threshold does not keep shrinking the
+  /// shard.
+  bool take_shed_request();
+
+  std::size_t activations() const { return activations_; }
+  std::size_t shed_requests() const { return shed_requests_; }
+  std::size_t forced_downgrades() const { return forced_downgrades_; }
+  void count_forced_downgrade() { ++forced_downgrades_; }
+
+ private:
+  void enter(GovernorState next);
+
+  GovernorConfig cfg_;
+  TimeNs degrade_lag_ = 0;
+  TimeNs shed_lag_ = 0;
+  TimeNs readmit_lag_ = 0;
+  GovernorState state_ = GovernorState::kNormal;
+  std::size_t stable_cycles_ = 0;
+  TimeNs last_lag_ = 0;
+  bool shed_request_ = false;
+  bool escalation_pending_ = false;
+  std::size_t activations_ = 0;
+  std::size_t shed_requests_ = 0;
+  std::size_t forced_downgrades_ = 0;
+};
+
+/// One scripted host-time stall: `wall_ns` of backend-clock advance (or
+/// real sleep, on a SteadyWallClock) injected before every cycle in
+/// [begin_cycle, end_cycle). Built from kShardStall perturbation windows.
+struct StallWindow {
+  std::size_t begin_cycle = 0;
+  std::size_t end_cycle = 0;
+  std::int64_t wall_ns = 0;
+};
+
+struct RealtimeOptions {
+  WallClock* clock = nullptr;  ///< required; not owned
+  /// Wall ns charged per simulated ns. 1.0 = true real time; smaller
+  /// values time-compress the run (useful for bounded-seconds soaks).
+  double wall_per_sim = 1.0;
+  /// Cycle period in simulated ns (supervision thresholds scale off it).
+  TimeNs period = 0;
+  WatchdogConfig watchdog;
+  GovernorConfig governor;
+};
+
+/// The ExecutionPacer implementation: converts simulated expenditures to
+/// wall time, paces the host thread against the backend clock, measures
+/// lag as actual-vs-expected wall time (exactly zero on a noiseless
+/// virtual clock), and runs the watchdog + governor. One pacer per
+/// executor thread; it persists across serving segment rebuilds so lag and
+/// governor state survive membership changes, exactly like the
+/// perturbation cursor.
+class WallClockPacer final : public ExecutionPacer {
+ public:
+  explicit WallClockPacer(const RealtimeOptions& opts);
+
+  TimeNs lag() const override { return lag_sim_; }
+  void charge(TimeNs sim_ns) override;
+  void prepare_cycle(std::size_t cycle) override;
+  void finish_step(ExecStep& step) override;
+  void finish_cycle(CycleStats& cycle) override;
+
+  /// Scripted host-time stalls (kShardStall windows); windows must not
+  /// change once the run started.
+  void set_stall_windows(std::vector<StallWindow> windows) {
+    stall_windows_ = std::move(windows);
+  }
+
+  OverloadGovernor& governor() { return governor_; }
+  const OverloadGovernor& governor() const { return governor_; }
+  const StepWatchdog& watchdog() const { return watchdog_; }
+
+  /// Monotone per-step heartbeat for host-side supervision (WatchdogThread).
+  const std::atomic<std::uint64_t>& heartbeat() const { return heartbeat_; }
+  /// Armed while an executor segment is running on this pacer (set by the
+  /// serving layer); the host watchdog only alarms on armed pacers.
+  std::atomic<bool>& armed() { return armed_; }
+
+  std::size_t stalled_cycles() const { return stalled_cycles_; }
+
+ private:
+  void refresh_lag();
+
+  WallClock* clock_;
+  double scale_;
+  TimeNs period_;
+  std::int64_t epoch_ = 0;
+  bool started_ = false;
+  std::int64_t expected_wall_ = 0;  ///< accumulated charges since epoch
+  TimeNs sim_charged_ = 0;  ///< accumulated simulated charges (work + idle)
+  TimeNs lag_sim_ = 0;
+  std::vector<StallWindow> stall_windows_;
+  std::size_t next_cycle_ = 0;  ///< first cycle not yet prepared
+  bool any_prepared_ = false;
+  std::size_t stalled_cycles_ = 0;
+  StepWatchdog watchdog_;
+  OverloadGovernor governor_;
+  std::atomic<std::uint64_t> heartbeat_{0};
+  std::atomic<bool> armed_{false};
+};
+
+/// Decorator enforcing the governor's quality clamp on every decision.
+/// Sits outermost (above any PerturbedManager) so the clamp applies to
+/// what the executor actually runs.
+class GovernedManager final : public QualityManager {
+ public:
+  GovernedManager(QualityManager& inner, OverloadGovernor& governor)
+      : inner_(&inner), governor_(&governor) {}
+
+  Decision decide(StateIndex s, TimeNs t) override {
+    Decision d = inner_->decide(s, t);
+    const Quality clamped = governor_->clamp(d.quality);
+    if (clamped != d.quality) {
+      d.quality = clamped;
+      governor_->count_forced_downgrade();
+    }
+    return d;
+  }
+  std::string name() const override { return inner_->name() + "+governed"; }
+  std::size_t memory_bytes() const override { return inner_->memory_bytes(); }
+  std::size_t num_table_integers() const override {
+    return inner_->num_table_integers();
+  }
+  void reset() override { inner_->reset(); }
+
+ private:
+  QualityManager* inner_;
+  OverloadGovernor* governor_;
+};
+
+/// Host-side supervision thread: samples registered pacer heartbeats at
+/// poll_interval and raises a hang alarm when an *armed* pacer's heartbeat
+/// has not advanced for hang_timeout of real time. Alarms are inherently
+/// wall-clock-nondeterministic; they are reported in ServingSummary's
+/// nondeterministic bucket (next to wall_seconds) and never gated.
+struct WatchdogThreadConfig {
+  std::int64_t poll_interval_ns = 1'000'000;    ///< 1 ms
+  std::int64_t hang_timeout_ns = 200'000'000;   ///< 200 ms
+};
+
+class WatchdogThread {
+ public:
+  explicit WatchdogThread(const WatchdogThreadConfig& cfg);
+  ~WatchdogThread();
+
+  WatchdogThread(const WatchdogThread&) = delete;
+  WatchdogThread& operator=(const WatchdogThread&) = delete;
+
+  /// Registers a pacer to supervise. Must be called before start().
+  void watch(WallClockPacer& pacer, std::string label);
+  void start();
+  void stop();
+
+  std::size_t hang_alarms() const {
+    return hang_alarms_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Watch {
+    WallClockPacer* pacer = nullptr;
+    std::string label;
+    std::uint64_t last_beat = 0;
+    std::int64_t stale_since_ns = 0;
+    bool alarmed = false;
+  };
+
+  void run();
+
+  WatchdogThreadConfig cfg_;
+  std::vector<Watch> watches_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::size_t> hang_alarms_{0};
+};
+
+}  // namespace speedqm

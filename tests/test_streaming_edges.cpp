@@ -6,13 +6,17 @@
 //   * retain_cycles = false with retain_steps = true (and vice versa)
 //     keep exactly the requested vectors;
 //   * zero-length streams through RunSummaryAccumulator produce a
-//     well-defined all-zero summary (no division by zero / NaN).
+//     well-defined all-zero summary (no division by zero / NaN);
+//   * the real-time fields (lag / overrun / degraded) fold correctly
+//     through the accumulator, across split-run handoffs, and through the
+//     serving-level shard-order fold.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <stdexcept>
 
 #include "core/numeric_manager.hpp"
+#include "serve/serving_summary.hpp"
 #include "sim/executor.hpp"
 #include "sim/metrics.hpp"
 #include "workload/synthetic.hpp"
@@ -169,6 +173,11 @@ TEST(StreamingEdges, ZeroLengthAccumulatorIsWellDefined) {
   EXPECT_FALSE(std::isnan(summary.smoothness.quality_stddev));
   EXPECT_EQ(summary.smoothness.quality_stddev, 0.0);
   EXPECT_TRUE(summary.relax_histogram.empty());
+  // The real-time fields zero-initialize like everything else.
+  EXPECT_EQ(summary.overrun_steps, 0u);
+  EXPECT_EQ(summary.degraded_steps, 0u);
+  EXPECT_EQ(summary.degraded_cycles, 0u);
+  EXPECT_EQ(summary.max_lag_ns, 0);
   // A RunResult that executed nothing is equally well-defined.
   RunResult empty;
   EXPECT_EQ(empty.mean_quality(), 0.0);
@@ -205,6 +214,96 @@ TEST(StreamingEdges, AccumulatorMatchesEarlyStoppedRun) {
   EXPECT_EQ(streamed.manager_calls, replayed.manager_calls);
   EXPECT_EQ(streamed.total_ops, replayed.total_ops);
   EXPECT_EQ(streamed.relax_histogram, replayed.relax_histogram);
+}
+
+TEST(StreamingEdges, AccumulatorFoldsRealtimeStepFields) {
+  // Hand-fed step/cycle records with real-time annotations: counters sum,
+  // max lag is the max over steps AND cycle end-lags.
+  RunSummaryAccumulator acc("realtime");
+  ExecStep step;
+  step.quality = 2;
+  step.lag = 400;
+  step.overrun = true;
+  step.degraded = true;
+  acc.on_step(step);
+  step.lag = 150;
+  step.overrun = false;
+  step.degraded = false;
+  acc.on_step(step);
+  CycleStats cycle;
+  cycle.end_lag = 900;
+  cycle.degraded = true;
+  acc.on_cycle(cycle);
+  cycle.end_lag = 100;
+  cycle.degraded = false;
+  acc.on_cycle(cycle);
+
+  const RunSummary summary = acc.finish();
+  EXPECT_EQ(summary.overrun_steps, 1u);
+  EXPECT_EQ(summary.degraded_steps, 1u);
+  EXPECT_EQ(summary.degraded_cycles, 1u);
+  EXPECT_EQ(summary.max_lag_ns, 900);
+}
+
+TEST(StreamingEdges, SplitAccumulatorHandoffPreservesRealtimeFields) {
+  // A serving shard feeds ONE accumulator across several segments; the
+  // fold must equal an unsplit feed of the same records.
+  const auto feed = [](RunSummaryAccumulator& acc, TimeNs lag, bool overrun) {
+    ExecStep step;
+    step.quality = 1;
+    step.lag = lag;
+    step.overrun = overrun;
+    step.degraded = overrun;
+    acc.on_step(step);
+    CycleStats cycle;
+    cycle.end_lag = lag;
+    cycle.degraded = overrun;
+    acc.on_cycle(cycle);
+  };
+  RunSummaryAccumulator split("split");
+  RunSummaryAccumulator whole("whole");
+  feed(split, 700, true);   // segment 1
+  feed(split, 50, false);   // segment 2, after a rebuild hand-off
+  feed(whole, 700, true);
+  feed(whole, 50, false);
+  const RunSummary a = split.finish();
+  const RunSummary b = whole.finish();
+  EXPECT_EQ(a.overrun_steps, b.overrun_steps);
+  EXPECT_EQ(a.degraded_steps, b.degraded_steps);
+  EXPECT_EQ(a.degraded_cycles, b.degraded_cycles);
+  EXPECT_EQ(a.max_lag_ns, 700);
+  EXPECT_EQ(b.max_lag_ns, 700);
+}
+
+TEST(StreamingEdges, ServingFoldAggregatesRealtimeCountersInShardOrder) {
+  ShardReport s0;
+  s0.shard = 0;
+  s0.summary.total_steps = 10;
+  s0.summary.overrun_steps = 2;
+  s0.summary.degraded_steps = 4;
+  s0.summary.degraded_cycles = 1;
+  s0.summary.max_lag_ns = 500;
+  ShardReport s1;
+  s1.shard = 1;
+  s1.summary.total_steps = 6;
+  s1.summary.overrun_steps = 3;
+  s1.summary.degraded_steps = 0;
+  s1.summary.degraded_cycles = 2;
+  s1.summary.max_lag_ns = 900;
+
+  const ServingSummary folded =
+      fold_serving_summary({s0, s1}, /*admissions=*/{}, /*leaves=*/0);
+  EXPECT_EQ(folded.overrun_steps, 5u);
+  EXPECT_EQ(folded.degraded_steps, 4u);
+  EXPECT_EQ(folded.degraded_cycles, 3u);
+  EXPECT_EQ(folded.max_lag_ns, 900);
+
+  // The empty fold is well-defined, all-zero.
+  const ServingSummary empty = fold_serving_summary({}, {}, 0);
+  EXPECT_EQ(empty.total_steps, 0u);
+  EXPECT_EQ(empty.overrun_steps, 0u);
+  EXPECT_EQ(empty.max_lag_ns, 0);
+  EXPECT_EQ(empty.mean_quality, 0.0);
 }
 
 }  // namespace

@@ -15,6 +15,13 @@ It also cross-checks the workload-generator registry: every name passed to
 register_workload_generator("...") in src/workload/generator.cpp must
 appear in docs/scenarios.md, so a new backend cannot ship undocumented.
 
+Same idea for the real-time CLI surface: every --clock mode offered by
+tools/speedqm_tool.cpp must be shown as `--clock <mode>` somewhere in the
+docs, and every real-time flag the tool parses (--wall-scale, the
+--governor* family, --watchdog-retries) must appear as `--<flag>`. Both
+checks fail loudly if the source patterns stop matching, so a parser
+refactor cannot make them pass vacuously.
+
 Paths under runtime-artifact directories (build/, bench_out/) and obvious
 non-path code spans (spaces, (), no '/') are ignored, so prose stays free
 to show commands and identifiers without tripping the gate.
@@ -137,6 +144,58 @@ def check_generator_docs(root):
     ]
 
 
+# The tool's clock-mode choice list and its real-time flag reads. Scoped
+# to the realtime flag families so unrelated `get(args, ...)` lookups
+# (e.g. --tasks) stay out of this check's jurisdiction.
+CLOCK_MODES = re.compile(
+    r'parse_choice\(args,\s*"clock",\s*"[a-z]+",\s*\{([^}]*)\}'
+)
+REALTIME_FLAG = re.compile(
+    r'(?:get|parse_choice)\(args,\s*'
+    r'"((?:wall-scale|governor|watchdog)[a-z-]*)"'
+)
+
+
+def check_realtime_docs(root):
+    """Every --clock mode and real-time flag must be documented."""
+    source = root / "tools" / "speedqm_tool.cpp"
+    if not source.exists():
+        return [f"{source.relative_to(root)}: missing (real-time CLI "
+                "cross-check has nothing to scan)"]
+    text = source.read_text(encoding="utf-8")
+
+    modes_match = CLOCK_MODES.search(text)
+    if not modes_match:
+        return ["tools/speedqm_tool.cpp: no --clock parse_choice found — "
+                "the clock-mode cross-check would pass vacuously"]
+    modes = [m.strip().strip('"')
+             for m in modes_match.group(1).split(",") if m.strip()]
+    flags = sorted(set(REALTIME_FLAG.findall(text)))
+    if not flags:
+        return ["tools/speedqm_tool.cpp: no real-time flag reads found — "
+                "the flag cross-check would pass vacuously"]
+
+    doc_paths = ("README.md", "docs/architecture.md", "docs/scenarios.md")
+    docs_text = "\n".join(
+        (root / p).read_text(encoding="utf-8")
+        for p in doc_paths if (root / p).exists()
+    )
+    problems = []
+    for mode in modes:
+        if f"--clock {mode}" not in docs_text:
+            problems.append(
+                f"docs: clock mode '{mode}' is offered by speedqm_tool but "
+                f"'--clock {mode}' never appears in {', '.join(doc_paths)}"
+            )
+    for flag in flags:
+        if f"--{flag}" not in docs_text:
+            problems.append(
+                f"docs: real-time flag '--{flag}' is parsed by speedqm_tool "
+                f"but never appears in {', '.join(doc_paths)}"
+            )
+    return problems
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--root", default=None,
@@ -157,6 +216,7 @@ def main():
     for doc in docs:
         problems.extend(check_file(doc, root))
     problems.extend(check_generator_docs(root))
+    problems.extend(check_realtime_docs(root))
 
     for problem in problems:
         print(f"DOCS-FAIL: {problem}")

@@ -40,6 +40,14 @@
 #   streaming-memory shape are SHAPE-gated in the log). bench_workload_gen
 #   is also run TWICE and byte-compared — seeded generator scripts must
 #   replay exactly.
+#   BENCH_realtime.json  — wall-clock executor backend on the VIRTUAL
+#   clock only (simulated ns/decision and ops/decision for a calm run and
+#   the flaky-shard overload with the governor on vs off; every cell is
+#   deterministic — kWall timing is the nightly soak's job, never
+#   baselined). The sim-vs-virtual bit-identity differential and the
+#   graceful-degradation gate (0 unattributed misses, >= 2x fewer misses
+#   with the governor on) are SHAPE-gated in the log. bench_realtime is
+#   also run TWICE and byte-compared.
 #
 # Under GitHub Actions ($GITHUB_ACTIONS = true) baseline comparisons also
 # emit ::error annotations naming the bench and the regressing cell, so
@@ -77,7 +85,7 @@ OUT_DIR="${OUT_DIR:-bench_out}"
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
-for bin in bench_micro_managers bench_multi_task bench_sharded bench_table_memory bench_perturbation bench_workload_gen; do
+for bin in bench_micro_managers bench_multi_task bench_sharded bench_table_memory bench_perturbation bench_workload_gen bench_realtime; do
   if [ ! -x "${BUILD_DIR}/${bin}" ]; then
     echo "error: ${BUILD_DIR}/${bin} not found — refusing to skip" >&2
     echo "(a missing bench binary must not let the CI bench gate pass vacuously)" >&2
@@ -94,7 +102,7 @@ if [ -n "${BASELINE}" ]; then
   # Back-compat: a BENCH_decision.json path means "its directory".
   [ -f "${BASELINE}" ] && BASELINE="$(dirname "${BASELINE}")"
   [ -d "${BASELINE}" ] || { echo "error: baseline ${BASELINE} not found" >&2; exit 2; }
-  for json in BENCH_decision.json BENCH_multitask.json BENCH_sharded.json BENCH_table_memory.json BENCH_perturb.json BENCH_workload.json; do
+  for json in BENCH_decision.json BENCH_multitask.json BENCH_sharded.json BENCH_table_memory.json BENCH_perturb.json BENCH_workload.json BENCH_realtime.json; do
     [ -f "${BASELINE}/${json}" ] || {
       echo "error: baseline ${BASELINE}/${json} missing — the gate must not pass vacuously" >&2
       exit 2
@@ -110,6 +118,7 @@ SHARDED_BIN="$(cd "${BUILD_DIR}" && pwd)/bench_sharded"
 TABLEMEM_BIN="$(cd "${BUILD_DIR}" && pwd)/bench_table_memory"
 PERTURB_BIN="$(cd "${BUILD_DIR}" && pwd)/bench_perturbation"
 WORKLOAD_BIN="$(cd "${BUILD_DIR}" && pwd)/bench_workload_gen"
+REALTIME_BIN="$(cd "${BUILD_DIR}" && pwd)/bench_realtime"
 mkdir -p "${OUT_DIR}"
 cd "${OUT_DIR}"
 
@@ -232,6 +241,37 @@ if ! cmp -s BENCH_workload.json BENCH_workload_repeat.json; then
 fi
 echo "[SHAPE-OK  ] determinism double-run: BENCH_workload.json byte-identical across runs"
 
+# Real-time executor bench: virtual clock only, so every cell is simulated
+# time and the double-run byte-compare is the determinism gate for the
+# paced path (stalls, governor decisions and re-admissions must replay
+# exactly).
+BENCH_STATUS=0
+"${REALTIME_BIN}" BENCH_realtime.json > bench_realtime.log 2>&1 || BENCH_STATUS=$?
+cat bench_realtime.log
+if [ "${BENCH_STATUS}" -ne 0 ]; then
+  echo "error: bench_realtime exited ${BENCH_STATUS} (SHAPE gate failed)" >&2
+  exit "${BENCH_STATUS}"
+fi
+
+if [ ! -s BENCH_realtime.json ]; then
+  echo "error: bench run produced no BENCH_realtime.json — hard failure" >&2
+  exit 2
+fi
+
+BENCH_STATUS=0
+"${REALTIME_BIN}" BENCH_realtime_repeat.json > bench_realtime_repeat.log 2>&1 || BENCH_STATUS=$?
+if [ "${BENCH_STATUS}" -ne 0 ]; then
+  echo "error: bench_realtime repeat run exited ${BENCH_STATUS}" >&2
+  exit "${BENCH_STATUS}"
+fi
+if ! cmp -s BENCH_realtime.json BENCH_realtime_repeat.json; then
+  echo "error: BENCH_realtime.json differs between two in-process runs —" >&2
+  echo "the paced executor lost virtual-clock determinism" >&2
+  diff BENCH_realtime.json BENCH_realtime_repeat.json >&2 || true
+  exit 2
+fi
+echo "[SHAPE-OK  ] determinism double-run: BENCH_realtime.json byte-identical across runs"
+
 if [ -n "${BASELINE}" ]; then
   # Inside GitHub Actions, annotate regressions on the PR (::error lines
   # naming the bench and cell). The per-bench reports are written either
@@ -239,7 +279,7 @@ if [ -n "${BASELINE}" ]; then
   ANNOTATE_ARGS=""
   [ "${GITHUB_ACTIONS:-}" = "true" ] && ANNOTATE_ARGS="--annotate"
   COMPARE_STATUS=0
-  for name in decision multitask sharded table_memory perturb workload; do
+  for name in decision multitask sharded table_memory perturb workload realtime; do
     echo ""
     echo "comparing BENCH_${name}.json against baseline ${BASELINE}/BENCH_${name}.json:"
     # BENCH_table_memory's hard payload is the deterministic bytes-per-entry

@@ -15,6 +15,7 @@
 //   speedqm_tool run --traces mpeg.traces --tables mpeg --manager relaxation
 //   speedqm_tool inspect --tables mpeg
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -28,8 +29,10 @@
 #include "core/region_compiler.hpp"
 #include "core/region_manager.hpp"
 #include "core/relaxation_manager.hpp"
+#include "serve/serving_summary.hpp"
 #include "serve/sharded_server.hpp"
 #include "sim/metrics.hpp"
+#include "sim/realtime.hpp"
 #include "sim/trace.hpp"
 #include "workload/arrivals.hpp"
 #include "workload/generator.hpp"
@@ -48,7 +51,7 @@ ArgMap parse_args(int argc, char** argv, int first) {
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0) {
       std::fprintf(stderr, "unexpected argument: %s\n", key.c_str());
-      std::exit(2);
+      std::exit(64);
     }
     key = key.substr(2);
     std::string value = "1";
@@ -83,7 +86,44 @@ std::string parse_choice(const ArgMap& args, const std::string& key,
     std::fprintf(stderr, "%s%s", i ? "|" : " ", valid[i].c_str());
   }
   std::fprintf(stderr, ")\n");
-  std::exit(2);
+  std::exit(64);
+}
+
+/// Shared real-time backend flags (multitask + serve): --clock selects the
+/// executor clock backend, --wall-scale the wall-ns-per-sim-ns pacing
+/// factor, and the --governor* / --watchdog-retries knobs tune the
+/// supervision layered on it (sim/realtime.hpp).
+struct RealtimeArgs {
+  ClockMode clock = ClockMode::kSim;
+  double wall_per_sim = 1.0;
+  WatchdogConfig watchdog;
+  GovernorConfig governor;
+};
+
+RealtimeArgs realtime_from(const ArgMap& args, const char* command) {
+  RealtimeArgs rt;
+  const std::string clock =
+      parse_choice(args, "clock", "sim", {"sim", "wall", "virtual"}, command);
+  if (clock == "wall") rt.clock = ClockMode::kWall;
+  if (clock == "virtual") rt.clock = ClockMode::kVirtual;
+  rt.wall_per_sim = std::stod(get(args, "wall-scale", "1.0"));
+  if (rt.clock != ClockMode::kSim && rt.wall_per_sim <= 0.0) {
+    std::fprintf(stderr, "error: --wall-scale must be > 0\n");
+    std::exit(64);
+  }
+  rt.governor.enabled =
+      parse_choice(args, "governor", "on", {"on", "off"}, command) == "on";
+  rt.governor.degrade_budget = std::stod(get(args, "governor-degrade", "0.5"));
+  rt.governor.shed_budget = std::stod(get(args, "governor-shed", "2.0"));
+  rt.governor.readmit_budget =
+      std::stod(get(args, "governor-readmit", "0.125"));
+  rt.governor.hysteresis_cycles = static_cast<std::size_t>(
+      std::stoull(get(args, "governor-hysteresis", "4")));
+  rt.governor.check_cycles = static_cast<std::size_t>(
+      std::stoull(get(args, "governor-check", "8")));
+  rt.watchdog.max_retries =
+      static_cast<int>(std::stoll(get(args, "watchdog-retries", "3")));
+  return rt;
 }
 
 /// --perturb accepts "none" (default) or any catalogue scenario name.
@@ -211,7 +251,7 @@ int cmd_run(const ArgMap& args) {
   if (flavor == "batch") manager = &batch_mgr;
   if (!manager) {
     std::fprintf(stderr, "error: unknown manager '%s' for run\n", flavor.c_str());
-    return 2;
+    return 64;
   }
 
   ExecutorOptions opts;
@@ -236,7 +276,7 @@ int cmd_run(const ArgMap& args) {
     std::printf("wrote %s_steps.csv and %s_cycles.csv\n", csv.c_str(),
                 csv.c_str());
   }
-  return summary.deadline_misses == 0 ? 0 : 1;
+  return exit_code(run_verdict(summary));
 }
 
 // Heterogeneous multi-task serving: T concurrent tasks (scaled-down MPEG +
@@ -266,6 +306,7 @@ int cmd_multitask(const ArgMap& args) {
   }
   const std::string workload_name =
       parse_choice(args, "workload", "none", workload_choices(), "multitask");
+  const RealtimeArgs rt = realtime_from(args, "multitask");
 
   MultiTaskMix mix(spec);
   const auto engines = mix.engines();
@@ -279,7 +320,7 @@ int cmd_multitask(const ArgMap& args) {
     if (layout != ArenaLayout::kFlat) {
       std::fprintf(stderr, "error: --arena compressed needs a tabled manager "
                            "(batch-incremental stores no tables)\n");
-      return 2;
+      return 64;
     }
     manager = std::make_unique<BatchMultiTaskManager>(
         mix.composed(), engines, BatchDecisionEngine::Mode::kIncremental);
@@ -289,7 +330,7 @@ int cmd_multitask(const ArgMap& args) {
   } else {
     std::fprintf(stderr, "error: unknown manager '%s' for multitask\n",
                  flavor.c_str());
-    return 2;
+    return 64;
   }
 
   // Streaming sink: the summary accumulator plus an online per-task
@@ -334,7 +375,7 @@ int cmd_multitask(const ArgMap& args) {
                    "--cycles %zu run horizon; drop the override or set "
                    "--cycles to match\n",
                    wspec.cycles, cycles);
-      return 2;
+      return 64;
     }
     workload_gen = make_workload_generator(workload_name);
     if (workload_gen->emits_arrivals()) {
@@ -342,7 +383,7 @@ int cmd_multitask(const ArgMap& args) {
                    "error: --workload %s emits arrivals; multitask needs a "
                    "frame-cost generator (use `serve --workload %s`)\n",
                    workload_name.c_str(), workload_name.c_str());
-      return 2;
+      return 64;
     }
     workload_gen->open(wspec);
     workload_source = std::make_unique<GeneratorTimeSource>(
@@ -359,7 +400,10 @@ int cmd_multitask(const ArgMap& args) {
   QualityManager* run_manager = manager.get();
   CyclicTimeSource* run_source = base_source;
   if (!perturb.empty()) {
-    sink.acc.track_stress_windows(perturb.stress_ranges());
+    // On a real-time backend, kShardStall windows cost budget, so their
+    // misses are attributed as stress like any other fault kind.
+    sink.acc.track_stress_windows(
+        perturb.stress_ranges(rt.clock != ClockMode::kSim));
     rig = std::make_unique<PerturbationRig>(perturb, 0, *manager, *base_source,
                                             opts.platform, cycles);
     opts.platform = rig->platform();
@@ -368,6 +412,50 @@ int cmd_multitask(const ArgMap& args) {
     std::printf("perturbation   : %s (%s)\n", perturb_name.c_str(),
                 perturb.describe().c_str());
   }
+
+  // Real-time backend: pace the executor thread against a backend clock.
+  // The governor clamp wraps outermost — above any perturbed manager — so
+  // it bounds what the executor actually runs (mirrors serve's shards).
+  std::unique_ptr<WallClock> wall;
+  std::unique_ptr<WallClockPacer> pacer;
+  std::unique_ptr<GovernedManager> governed;
+  if (rt.clock != ClockMode::kSim) {
+    if (rt.clock == ClockMode::kVirtual) {
+      wall = std::make_unique<VirtualWallClock>();
+    } else {
+      wall = std::make_unique<SteadyWallClock>();
+    }
+    RealtimeOptions ro;
+    ro.clock = wall.get();
+    ro.wall_per_sim = rt.wall_per_sim;
+    ro.period = opts.period;
+    ro.watchdog = rt.watchdog;
+    ro.governor = rt.governor;
+    pacer = std::make_unique<WallClockPacer>(ro);
+    // Multitask runs as "shard 0": scripted shard stalls targeting it (or
+    // every shard) become backend-clock stalls, magnitude in ms per cycle.
+    std::vector<StallWindow> stalls;
+    for (const PerturbationWindow& w :
+         perturb.windows_of(FaultKind::kShardStall)) {
+      if (w.target != PerturbationWindow::kAllTargets && w.target != 0) {
+        continue;
+      }
+      StallWindow s;
+      s.begin_cycle = w.begin_cycle;
+      s.end_cycle = w.end_cycle;
+      s.wall_ns = static_cast<std::int64_t>(std::llround(w.magnitude * 1e6));
+      if (s.wall_ns > 0) stalls.push_back(s);
+    }
+    pacer->set_stall_windows(std::move(stalls));
+    governed = std::make_unique<GovernedManager>(*run_manager,
+                                                 pacer->governor());
+    run_manager = governed.get();
+    opts.pacer = pacer.get();
+    std::printf("clock          : %s (x%.3g wall/sim, governor %s)\n",
+                to_string(rt.clock), rt.wall_per_sim,
+                rt.governor.enabled ? "on" : "off");
+  }
+
   const auto run =
       run_cyclic(mix.composed().app(), *run_manager, *run_source, opts);
   const auto summary = sink.acc.finish();
@@ -389,6 +477,17 @@ int cmd_multitask(const ArgMap& args) {
                 summary.recovery_cycles, summary.misses_in_recovery);
   }
   std::printf("quality stddev : %.3f\n", summary.smoothness.quality_stddev);
+  if (pacer) {
+    std::printf("realtime       : max lag %s, %zu overrun steps, "
+                "%zu stalled cycles\n",
+                format_time(summary.max_lag_ns).c_str(),
+                summary.overrun_steps, pacer->stalled_cycles());
+    std::printf("governor       : %zu activations, %zu forced downgrades, "
+                "%zu degraded cycles, %zu watchdog escalations\n",
+                pacer->governor().activations(),
+                pacer->governor().forced_downgrades(),
+                summary.degraded_cycles, pacer->watchdog().escalations());
+  }
   std::printf("table memory   : %zu bytes\n", manager->memory_bytes());
   std::printf("retained steps : %zu\n", run.steps.size());
   for (std::size_t task = 0; task < mix.num_tasks(); ++task) {
@@ -399,7 +498,7 @@ int cmd_multitask(const ArgMap& args) {
                                  : 0.0,
                 sink.count[task]);
   }
-  return summary.deadline_misses == 0 ? 0 : 1;
+  return exit_code(run_verdict(summary));
 }
 
 // Sharded multi-clock serving: the task pool partitioned across S shards
@@ -434,6 +533,16 @@ int cmd_serve(const ArgMap& args) {
     std::printf("perturbation   : %s (%s)\n", perturb_name.c_str(),
                 spec.perturb.describe().c_str());
   }
+  const RealtimeArgs rt = realtime_from(args, "serve");
+  spec.clock = rt.clock;
+  spec.wall_per_sim = rt.wall_per_sim;
+  spec.watchdog = rt.watchdog;
+  spec.governor = rt.governor;
+  if (spec.clock != ClockMode::kSim) {
+    std::printf("clock          : %s (x%.3g wall/sim, governor %s)\n",
+                to_string(spec.clock), spec.wall_per_sim,
+                spec.governor.enabled ? "on" : "off");
+  }
 
   const std::string workload_name =
       parse_choice(args, "workload", "none", workload_choices(), "serve");
@@ -442,7 +551,7 @@ int cmd_serve(const ArgMap& args) {
   if (workload_name != "none" && arrivals > 0) {
     std::fprintf(stderr, "error: --workload and --arrivals both script the "
                          "session churn; pick one\n");
-    return 2;
+    return 64;
   }
   ArrivalSchedule schedule;
   if (workload_name != "none") {
@@ -470,21 +579,21 @@ int cmd_serve(const ArgMap& args) {
                    "served task pool (--tasks %zu); size the pool with "
                    "--tasks instead\n",
                    wspec.pool_tasks, spec.mix.num_tasks);
-      return 2;
+      return 64;
     }
     if (args.count("initial") > 0 && wspec.initial_tasks != cli_initial) {
       std::fprintf(stderr,
                    "error: --initial %zu conflicts with --workload-spec "
                    "initial=%zu; pick one\n",
                    cli_initial, wspec.initial_tasks);
-      return 2;
+      return 64;
     }
     if (wspec.initial_tasks > wspec.pool_tasks) {
       std::fprintf(stderr,
                    "error: initial task count %zu exceeds the %zu-task "
                    "pool\n",
                    wspec.initial_tasks, wspec.pool_tasks);
-      return 2;
+      return 64;
     }
     if (wspec.cycles != spec.cycles) {
       std::fprintf(stderr,
@@ -492,7 +601,7 @@ int cmd_serve(const ArgMap& args) {
                    "--cycles %zu serving horizon; drop the override or set "
                    "--cycles to match\n",
                    wspec.cycles, spec.cycles);
-      return 2;
+      return 64;
     }
     auto gen = make_workload_generator(workload_name);
     if (!gen->emits_arrivals()) {
@@ -500,7 +609,7 @@ int cmd_serve(const ArgMap& args) {
                    "error: --workload %s streams frame costs; serve needs an "
                    "arrival generator (use `multitask --workload %s`)\n",
                    workload_name.c_str(), workload_name.c_str());
-      return 2;
+      return 64;
     }
     gen->open(wspec);
     spec.initial_tasks = wspec.initial_tasks;
@@ -531,7 +640,7 @@ int cmd_serve(const ArgMap& args) {
               spec.cycles);
   const ServingSummary summary = server.serve();
   std::printf("%s", summary.render().c_str());
-  return summary.deadline_misses == 0 ? 0 : 1;
+  return exit_code(serving_verdict(summary));
 }
 
 int cmd_inspect(const ArgMap& args) {
@@ -574,13 +683,32 @@ void usage() {
       "           [--manager batch|batch-incremental|sequential] [--stream]\n"
       "           [--arena flat|compressed] [--perturb NAME]\n"
       "           [--workload mix|trace-replay] [--workload-spec K=V,...]\n"
+      "           [--clock sim|wall|virtual] [real-time flags]\n"
       "  serve    [--tasks N] [--shards S] [--workers W] [--cycles N]\n"
       "           [--arrivals N] [--initial K] [--async] [--seed N] [--factor F]\n"
       "           [--placement best-fit|most-slack] [--arena flat|compressed]\n"
       "           [--perturb NAME]\n"
       "           [--workload poisson|bursty|diurnal|checkpoint]\n"
       "           [--workload-spec K=V,...]\n"
+      "           [--clock sim|wall|virtual] [real-time flags]\n"
       "  inspect  --tables PREFIX\n"
+      "\n"
+      "--clock selects the executor clock backend (sim/realtime.hpp):\n"
+      "  sim      simulated platform clock, the historical default\n"
+      "  wall     real time — host stalls cost budget; watchdog + overload\n"
+      "           governor supervision is live\n"
+      "  virtual  the real-time backend on a deterministic noiseless clock\n"
+      "           (bit-identical to sim when no scenario injects stalls)\n"
+      "real-time flags: --wall-scale F (wall ns per simulated ns, default 1.0;\n"
+      "small values time-compress soaks), --governor on|off,\n"
+      "--governor-degrade F, --governor-shed F, --governor-readmit F\n"
+      "(lag thresholds as period fractions), --governor-hysteresis N,\n"
+      "--governor-check N (cycles), --watchdog-retries N\n"
+      "(see docs/architecture.md for the governor state machine)\n"
+      "\n"
+      "exit codes: 0 = clean, 1 = deadline misses, 2 = degraded (the overload\n"
+      "governor intervened: forced downgrades over whole cycles or task\n"
+      "shedding); usage and runtime errors exit >= 64 (sysexits style)\n"
       "\n"
       "--perturb NAME applies a seeded fault scenario from the catalogue:\n"
       "  none|calm|spike|jitter|stall|overhead-storm|flaky-shard|disconnect|"
@@ -603,7 +731,7 @@ void usage() {
 int main(int argc, char** argv) {
   if (argc < 2) {
     usage();
-    return 2;
+    return 64;
   }
   const std::string cmd = argv[1];
   const ArgMap args = parse_args(argc, argv, 2);
@@ -616,8 +744,8 @@ int main(int argc, char** argv) {
     if (cmd == "inspect") return cmd_inspect(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return 65;
   }
   usage();
-  return 2;
+  return 64;
 }
