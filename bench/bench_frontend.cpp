@@ -1,0 +1,392 @@
+// Experiment F1 — SLO-instrumented ingest front-end (serve/frontend.hpp).
+//
+// Claims, all gated:
+//   1. Differential equivalence: a serving run whose arrivals flow through
+//      the lock-free MPSC front-end is bit-identical — admission decisions
+//      (every field, including pricing), Decision.ops, per-shard run
+//      summaries, SLO histograms — to the same events pre-drained into an
+//      ArrivalSchedule, at 1 and 4 workers, with and without the
+//      flaky-shard perturbation scenario.
+//   2. Producer-count invariance: 1 and 3 producer threads feeding the
+//      ring give the identical serving result (the (cycle, order) drain
+//      sort erases the interleaving).
+//   3. Artifact determinism: the SLO artifact's "deterministic" section is
+//      byte-identical across two runs of the same configuration (the
+//      in-process version of run_benches.sh's double-run gate).
+//   4. Memory-flat soak: a long-haul submit/drain/mature loop through
+//      ServeFrontend holds a flat footprint once the pending buffer
+//      plateaus — no per-request growth.
+//
+// Writes BENCH_frontend.json. Only deterministic cells gate through
+// tools/compare_bench.py: simulated ns/step and ops/step of the served
+// differential configurations, and the soak's plateau footprint (bytes in
+// the ops column, ns = 0 so the cell never enters the machine-speed
+// median). Queue wall throughput goes into "wall_seconds" fields, which
+// compare_bench.py ignores and run_benches.sh strips before its double-run
+// byte-compare.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/frontend.hpp"
+#include "serve/sharded_server.hpp"
+#include "support/table.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/scenarios.hpp"
+
+#include "bench_common.hpp"
+
+using namespace speedqm;
+using namespace speedqm::bench;
+
+namespace {
+
+constexpr std::size_t kPoolTasks = 16;
+constexpr std::size_t kShards = 3;
+constexpr std::size_t kCycles = 96;
+constexpr std::size_t kInitialTasks = 10;
+constexpr std::uint64_t kSeed = 20070730;
+
+MultiTaskMixSpec pool_spec() {
+  MultiTaskMixSpec spec;
+  spec.num_tasks = kPoolTasks;
+  spec.seed = kSeed;
+  spec.num_cycles = 8;
+  return spec;
+}
+
+ShardedServerSpec server_spec(std::size_t workers, bool flaky) {
+  ShardedServerSpec spec;
+  spec.mix = pool_spec();
+  spec.num_shards = kShards;
+  spec.num_workers = workers;
+  spec.cycles = kCycles;
+  spec.initial_tasks = kInitialTasks;
+  if (flaky) spec.perturb = make_perturbation_scenario("flaky-shard", kCycles);
+  return spec;
+}
+
+ArrivalSchedule churn_schedule() {
+  return make_arrival_schedule(kPoolTasks, kInitialTasks, kCycles,
+                               /*churn_events=*/14, kSeed ^ 0xf1);
+}
+
+ServingSummary run_schedule_path(std::size_t workers, bool flaky) {
+  ShardedServer server(server_spec(workers, flaky), churn_schedule());
+  return server.serve();
+}
+
+/// Serves with the schedule's events ingested through the MPSC ring from
+/// `producers` threads (order ticket = script index).
+ServingSummary run_frontend_path(std::size_t workers, bool flaky,
+                                 std::size_t producers) {
+  const ArrivalSchedule schedule = churn_schedule();
+  const std::vector<ArrivalEvent>& events = schedule.events();
+  ServeFrontend frontend(2 * events.size() + 16);
+  std::vector<std::thread> threads;
+  threads.reserve(producers);
+  for (std::size_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&events, &frontend, p, producers] {
+      for (std::size_t i = p; i < events.size(); i += producers) {
+        FrontendRequest r;
+        r.cycle = events[i].cycle;
+        r.task = events[i].task;
+        r.kind = events[i].join ? RequestKind::kJoin : RequestKind::kLeave;
+        r.order = i;
+        r.producer = static_cast<std::uint32_t>(p);
+        while (frontend.submit(r) != PushResult::kAccepted) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  ShardedServerSpec spec = server_spec(workers, flaky);
+  spec.frontend = &frontend;
+  ShardedServer server(spec, ArrivalSchedule{});
+  return server.serve();
+}
+
+bool servings_identical(const ServingSummary& a, const ServingSummary& b) {
+  bool same = a.shards.size() == b.shards.size() &&
+              a.admissions.size() == b.admissions.size() &&
+              a.admitted == b.admitted && a.rejected == b.rejected &&
+              a.leaves == b.leaves && a.total_steps == b.total_steps &&
+              a.total_ops == b.total_ops &&
+              a.manager_calls == b.manager_calls &&
+              a.deadline_misses == b.deadline_misses &&
+              a.mean_quality == b.mean_quality &&
+              a.max_clock_s == b.max_clock_s &&
+              a.cycles_seen == b.cycles_seen &&
+              a.deadline_miss_rate == b.deadline_miss_rate &&
+              a.decision_latency_ns == b.decision_latency_ns &&
+              a.admission_price_ns == b.admission_price_ns;
+  if (!same) return false;
+  for (std::size_t s = 0; s < a.shards.size(); ++s) {
+    const RunSummary& x = a.shards[s].summary;
+    const RunSummary& y = b.shards[s].summary;
+    same &= a.shards[s].members == b.shards[s].members &&
+            a.shards[s].clock == b.shards[s].clock &&
+            x.total_steps == y.total_steps && x.total_ops == y.total_ops &&
+            x.mean_quality == y.mean_quality &&
+            x.total_time_s == y.total_time_s &&
+            x.decision_latency_ns == y.decision_latency_ns &&
+            x.relax_histogram == y.relax_histogram;
+  }
+  for (std::size_t i = 0; i < a.admissions.size(); ++i) {
+    const AdmissionDecision& x = a.admissions[i];
+    const AdmissionDecision& y = b.admissions[i];
+    same &= x.task == y.task && x.cycle == y.cycle &&
+            x.admitted == y.admitted && x.shard == y.shard &&
+            x.slack == y.slack && x.price == y.price && x.reason == y.reason;
+  }
+  return same;
+}
+
+/// Gate 1 + 2: the differential matrix and producer-count invariance.
+bool check_differentials() {
+  bool ok = true;
+  for (const bool flaky : {false, true}) {
+    const char* tag = flaky ? " (flaky-shard)" : "";
+    const ServingSummary sched1 = run_schedule_path(1, flaky);
+    ok &= shape_check(
+        std::string("front-end bit-identical to pre-drained schedule, "
+                    "1 worker") + tag,
+        servings_identical(sched1, run_frontend_path(1, flaky, 1)));
+    ok &= shape_check(
+        std::string("front-end bit-identical to pre-drained schedule, "
+                    "4 workers") + tag,
+        servings_identical(run_schedule_path(4, flaky),
+                           run_frontend_path(4, flaky, 3)));
+  }
+  ok &= shape_check(
+      "1 vs 3 producer threads: identical serving result",
+      servings_identical(run_frontend_path(2, false, 1),
+                         run_frontend_path(2, false, 3)));
+  return ok;
+}
+
+/// Gate 3: the artifact's deterministic section survives a double run.
+bool check_artifact_determinism() {
+  const std::string a = render_slo_artifact(run_frontend_path(2, false, 2), {});
+  const std::string b = render_slo_artifact(run_frontend_path(2, false, 2), {});
+  const auto deterministic_part = [](const std::string& text) {
+    return text.substr(0, text.find("\"wall\""));
+  };
+  bool ok = shape_check("SLO artifact passes its structural validator",
+                        validate_slo_artifact(a).empty());
+  ok &= shape_check(
+      "SLO artifact deterministic section byte-identical across two runs",
+      deterministic_part(a) == deterministic_part(b));
+  return ok;
+}
+
+/// Gate 4 + queue cells: long-haul soak (memory-flat) and raw MPSC
+/// throughput. Wall numbers are printed and recorded as wall_seconds but
+/// never gated.
+bool soak_and_queue_cells(std::vector<DecisionBenchRecord>& records,
+                          std::vector<double>& wall_seconds) {
+  using clock = std::chrono::steady_clock;
+
+  // Soak: 4096 epochs x 64 requests through submit/drain/mature. The
+  // footprint must plateau (ring + pending buffer + histogram, nothing
+  // per-request) — sampled every epoch after warmup.
+  constexpr std::size_t kEpochs = 4096;
+  constexpr std::size_t kPerEpoch = 64;
+  ServeFrontend frontend(128);
+  std::size_t plateau = 0;
+  bool flat = true;
+  const auto soak_t0 = clock::now();
+  for (std::size_t epoch = 0; epoch < kEpochs; ++epoch) {
+    for (std::size_t i = 0; i < kPerEpoch; ++i) {
+      FrontendRequest r;
+      r.cycle = epoch;
+      r.task = i % kPoolTasks;
+      r.kind = i % 3 == 0 ? RequestKind::kLeave : RequestKind::kJoin;
+      r.order = epoch * kPerEpoch + i;
+      if (frontend.submit(r) != PushResult::kAccepted) {
+        frontend.drain();  // ring smaller than epoch: drain mid-burst
+        (void)frontend.submit(r);
+      }
+    }
+    frontend.drain();
+    (void)frontend.take_matured(epoch);
+    if (epoch == 16) plateau = frontend.memory_bytes();
+    if (epoch > 16) flat &= frontend.memory_bytes() == plateau;
+  }
+  const double soak_wall =
+      std::chrono::duration<double>(clock::now() - soak_t0).count();
+  const std::uint64_t soak_requests = frontend.stats().drained;
+  bool ok = shape_check(
+      "soak: footprint flat over " + std::to_string(kEpochs) +
+          " epochs (" + std::to_string(plateau) + " bytes, no per-request "
+          "growth)",
+      flat && frontend.pending() == 0 && soak_requests == kEpochs * kPerEpoch);
+
+  DecisionBenchRecord soak_rec;
+  soak_rec.policy = "mixed";
+  soak_rec.engine = "frontend-soak";
+  soak_rec.n = kEpochs;
+  soak_rec.num_levels = 7;
+  soak_rec.ns_per_decision = 0;  // excluded from the machine-speed median
+  soak_rec.ops_per_decision = static_cast<double>(plateau);
+  records.push_back(soak_rec);
+  wall_seconds.push_back(soak_wall);
+
+  // Raw MPSC cost: 4 producers x 50k requests against a live consumer.
+  constexpr std::size_t kProducers = 4;
+  constexpr std::uint32_t kPerProducer = 50000;
+  FrontendQueue queue(1024);
+  const auto mpsc_t0 = clock::now();
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (std::uint32_t i = 0; i < kPerProducer; ++i) {
+        FrontendRequest r;
+        r.cycle = i;
+        r.task = p;
+        r.kind = RequestKind::kJoin;
+        r.order = (static_cast<std::uint64_t>(p) << 32) | i;
+        r.producer = static_cast<std::uint32_t>(p);
+        r.producer_seq = i;
+        while (queue.try_push(r) != PushResult::kAccepted) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  std::uint64_t popped = 0;
+  FrontendRequest r;
+  while (popped < kProducers * kPerProducer) {
+    if (queue.pop(&r)) {
+      ++popped;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  for (std::thread& t : producers) t.join();
+  const double mpsc_wall =
+      std::chrono::duration<double>(clock::now() - mpsc_t0).count();
+  ok &= shape_check("MPSC queue: every concurrent push delivered exactly once",
+                    popped == queue.accepted() &&
+                        popped == kProducers * kPerProducer);
+
+  DecisionBenchRecord queue_rec;
+  queue_rec.policy = "mixed";
+  queue_rec.engine = "mpsc-queue";
+  queue_rec.n = kProducers;
+  queue_rec.num_levels = 7;
+  queue_rec.ns_per_decision = 0;  // wall cost lives in wall_seconds
+  queue_rec.ops_per_decision = static_cast<double>(popped);
+  records.push_back(queue_rec);
+  wall_seconds.push_back(mpsc_wall);
+
+  std::printf("soak: %llu requests in %.3f s (%.2f Mreq/s), footprint %zu "
+              "bytes\n",
+              static_cast<unsigned long long>(soak_requests), soak_wall,
+              static_cast<double>(soak_requests) / soak_wall / 1e6, plateau);
+  std::printf("mpsc: %llu requests through %zu producers in %.3f s "
+              "(%.2f Mreq/s)\n",
+              static_cast<unsigned long long>(popped), kProducers, mpsc_wall,
+              static_cast<double>(popped) / mpsc_wall / 1e6);
+  return ok;
+}
+
+/// Simulated serving cells: ns/step on the simulated clock and ops/step
+/// for the schedule path and the front-end path — both deterministic, so
+/// any drift is a real serving-cost change, and the front-end must not
+/// change either column.
+void serving_cells(std::vector<DecisionBenchRecord>& records,
+                   std::vector<double>& wall_seconds) {
+  TextTable table({"path", "workers", "steps", "sim ns/step", "ops/step",
+                   "p99 decision ns", "miss rate"});
+  struct Cell {
+    const char* engine;
+    bool frontend;
+    bool flaky;
+    std::size_t workers;
+  };
+  const Cell cells[] = {
+      {"schedule-serve", false, false, 1},
+      {"frontend-serve", true, false, 1},
+      {"frontend-serve", true, false, 4},
+      {"frontend-flaky", true, true, 1},
+  };
+  for (const Cell& cell : cells) {
+    const ServingSummary summary =
+        cell.frontend ? run_frontend_path(cell.workers, cell.flaky, 2)
+                      : run_schedule_path(cell.workers, cell.flaky);
+    const double sim_ns_per_step = summary.max_clock_s * 1e9 /
+                                   static_cast<double>(summary.total_steps);
+    const double ops_per_step = static_cast<double>(summary.total_ops) /
+                                static_cast<double>(summary.total_steps);
+    table.begin_row()
+        .cell(std::string(cell.engine))
+        .cell(cell.workers)
+        .cell(summary.total_steps)
+        .cell(sim_ns_per_step, 1)
+        .cell(ops_per_step, 2)
+        .cell(static_cast<std::size_t>(summary.decision_latency_ns.p99()))
+        .cell(summary.deadline_miss_rate, 4);
+    table.end_row();
+
+    DecisionBenchRecord rec;
+    rec.policy = "mixed";
+    rec.engine = cell.engine;
+    rec.n = cell.workers;
+    rec.num_levels = 7;
+    rec.ns_per_decision = sim_ns_per_step;
+    rec.ops_per_decision = ops_per_step;
+    records.push_back(rec);
+    wall_seconds.push_back(summary.wall_seconds);
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+/// BENCH_frontend.json: the shared record schema plus a "wall_seconds"
+/// field per record. compare_bench.py never gates wall_seconds and
+/// run_benches.sh strips it before the double-run byte-compare.
+void write_frontend_bench_json(const std::string& path,
+                               const std::vector<DecisionBenchRecord>& records,
+                               const std::vector<double>& wall_seconds) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"frontend_slo\",\n  \"records\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const DecisionBenchRecord& r = records[i];
+    out << "    {\"policy\": \"" << r.policy << "\", \"engine\": \""
+        << r.engine << "\", \"n\": " << r.n
+        << ", \"num_levels\": " << r.num_levels
+        << ", \"ns_per_decision\": " << r.ns_per_decision
+        << ", \"ops_per_decision\": " << r.ops_per_decision
+        << ",\n     \"wall_seconds\": " << wall_seconds[i] << "}"
+        << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_frontend.json";
+  std::printf("=== F1 — SLO-instrumented ingest front-end (MPSC ring + "
+              "deterministic drain) ===\n");
+  std::printf("pool: %zu tasks on %zu shards, %zu serving cycles, "
+              "schedule-vs-frontend differential matrix\n\n",
+              kPoolTasks, kShards, kCycles);
+
+  std::vector<DecisionBenchRecord> records;
+  std::vector<double> wall_seconds;
+  bool ok = true;
+  ok &= check_differentials();
+  ok &= check_artifact_determinism();
+  serving_cells(records, wall_seconds);
+  ok &= soak_and_queue_cells(records, wall_seconds);
+
+  write_frontend_bench_json(out_path, records, wall_seconds);
+  std::printf("\nwrote %s (%zu records)\n", out_path.c_str(), records.size());
+  return ok ? 0 : 1;
+}

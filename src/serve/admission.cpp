@@ -70,6 +70,14 @@ AdmissionDecision AdmissionController::admit(
     decision.admitted = true;
     decision.shard = best_fit_shard;
     decision.slack = best_fit;
+    // Admission price: slack the chosen shard gives up by taking the task.
+    // An empty shard's before-slack is the whole budget (nothing binds);
+    // analyze_mix_feasibility cannot evaluate an empty member set.
+    const TimeNs before =
+        shard_members[best_fit_shard].empty()
+            ? budget_
+            : evaluate(shard_members[best_fit_shard]).min_qmin_slack;
+    decision.price = before - best_fit;
     decision.reason = "admitted to shard " + std::to_string(best_fit_shard) +
                       " (" + to_string(policy_) + " slack " +
                       format_time(best_fit) + ")";

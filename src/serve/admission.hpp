@@ -42,6 +42,11 @@ struct AdmissionDecision {
   /// min qmin slack of the placed shard's would-be mix (admitted), or the
   /// best slack any shard could offer (rejected; negative).
   TimeNs slack = 0;
+  /// Admission price: the slack the chosen shard gives up by taking this
+  /// task (before-join slack minus after-join slack; an empty shard's
+  /// before-slack is the full budget). 0 for rejected requests. The SLO
+  /// artifact histograms this as admission_price_ns.
+  TimeNs price = 0;
   std::string reason;         ///< human-readable verdict for logs
 };
 

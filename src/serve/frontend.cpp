@@ -1,0 +1,288 @@
+#include "serve/frontend.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <tuple>
+
+#include "support/contract.hpp"
+
+namespace speedqm {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 2;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+FrontendQueue::FrontendQueue(std::size_t capacity)
+    : cells_(round_up_pow2(std::max<std::size_t>(2, capacity))) {
+  mask_ = cells_.size() - 1;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i].seq.store(i, std::memory_order_relaxed);
+  }
+}
+
+PushResult FrontendQueue::try_push(const FrontendRequest& request) {
+  std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+  for (;;) {
+    Cell& cell = cells_[pos & mask_];
+    const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+    const auto dif = static_cast<std::int64_t>(seq) -
+                     static_cast<std::int64_t>(pos);
+    if (dif == 0) {
+      // The cell is free at this ticket: claim it, publish the payload,
+      // then release the sequence so the consumer's acquire load orders
+      // the non-atomic request write.
+      if (tail_.compare_exchange_weak(pos, pos + 1,
+                                      std::memory_order_relaxed)) {
+        cell.request = request;
+        cell.seq.store(pos + 1, std::memory_order_release);
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        return PushResult::kAccepted;
+      }
+      // CAS failure reloaded `pos`; retry against the new tail.
+    } else if (dif < 0) {
+      // The consumer has not freed this cell yet: the ring is full one
+      // whole lap behind. Typed backpressure, not a drop.
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return PushResult::kQueueFull;
+    } else {
+      pos = tail_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+bool FrontendQueue::pop(FrontendRequest* out) {
+  Cell& cell = cells_[head_ & mask_];
+  const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+  const auto dif = static_cast<std::int64_t>(seq) -
+                   static_cast<std::int64_t>(head_ + 1);
+  // dif < 0: empty, or a producer claimed the cell but has not published
+  // yet — either way nothing is ready. dif > 0 cannot happen with one
+  // consumer.
+  if (dif < 0) return false;
+  *out = cell.request;
+  cell.seq.store(head_ + cells_.size(), std::memory_order_release);
+  ++head_;
+  return true;
+}
+
+std::size_t FrontendQueue::drain(std::vector<FrontendRequest>& out) {
+  std::size_t n = 0;
+  FrontendRequest request;
+  while (pop(&request)) {
+    out.push_back(request);
+    ++n;
+  }
+  return n;
+}
+
+void ServeFrontend::drain() {
+  scratch_.clear();
+  if (queue_.drain(scratch_) == 0) return;
+  for (const FrontendRequest& r : scratch_) {
+    ++stats_.drained;
+    if (r.kind == RequestKind::kJoin) {
+      ++stats_.joins;
+    } else {
+      ++stats_.leaves;
+    }
+    pending_.push_back(r);
+  }
+  // Ring interleaving is racy; the (cycle, order) sort is what makes the
+  // replay deterministic for any producer count. Ties beyond the ticket
+  // break on payload fields so even colliding tickets replay stably.
+  std::sort(pending_.begin(), pending_.end(),
+            [](const FrontendRequest& a, const FrontendRequest& b) {
+              return std::make_tuple(a.cycle, a.order, a.task,
+                                     static_cast<unsigned>(a.kind)) <
+                     std::make_tuple(b.cycle, b.order, b.task,
+                                     static_cast<unsigned>(b.kind));
+            });
+}
+
+bool ServeFrontend::next_request_cycle_after(std::size_t cycle,
+                                             std::size_t* out) const {
+  if (pending_.empty()) return false;
+  *out = std::max(pending_.front().cycle, cycle + 1);
+  return true;
+}
+
+std::vector<FrontendRequest> ServeFrontend::take_matured(std::size_t boundary) {
+  std::size_t n = 0;
+  while (n < pending_.size() && pending_[n].cycle <= boundary) ++n;
+  std::vector<FrontendRequest> matured(pending_.begin(),
+                                       pending_.begin() + n);
+  pending_.erase(pending_.begin(), pending_.begin() + n);
+  for (const FrontendRequest& r : matured) {
+    const std::size_t wait = boundary - r.cycle;
+    if (wait > 0) ++stats_.late;
+    stats_.queue_wait_cycles.record(wait);
+  }
+  return matured;
+}
+
+namespace {
+
+void append_histogram_json(std::string& out, const char* name,
+                           const SloHistogram& h, const char* indent) {
+  char line[512];
+  std::snprintf(line, sizeof(line),
+                "%s\"%s\": {\"count\": %llu, \"p50\": %llu, \"p99\": %llu, "
+                "\"p999\": %llu, \"min\": %llu, \"max\": %llu, "
+                "\"mean\": %llu, \"overflow\": %llu, \"buckets\": [",
+                indent, name,
+                static_cast<unsigned long long>(h.total_count()),
+                static_cast<unsigned long long>(h.p50()),
+                static_cast<unsigned long long>(h.p99()),
+                static_cast<unsigned long long>(h.p999()),
+                static_cast<unsigned long long>(h.min_value()),
+                static_cast<unsigned long long>(h.max_value()),
+                static_cast<unsigned long long>(h.mean()),
+                static_cast<unsigned long long>(h.overflow_count()));
+  out += line;
+  bool first = true;
+  for (std::size_t i = 0; i < SloHistogram::kNumBuckets; ++i) {
+    if (h.count_at(i) == 0) continue;
+    std::snprintf(line, sizeof(line), "%s[%zu, %llu]", first ? "" : ", ", i,
+                  static_cast<unsigned long long>(h.count_at(i)));
+    out += line;
+    first = false;
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+std::string render_slo_artifact(const ServingSummary& summary,
+                                const SloArtifactOptions& options) {
+  const bool met = summary.deadline_miss_rate <= options.target_miss_rate;
+  std::string out;
+  char line[256];
+  out += "{\n";
+  std::snprintf(line, sizeof(line), "  \"schema\": \"%s\",\n",
+                kSloArtifactSchema);
+  out += line;
+  std::snprintf(line, sizeof(line), "  \"version\": %d,\n",
+                kSloArtifactVersion);
+  out += line;
+  out += "  \"deterministic\": {\n";
+  std::snprintf(line, sizeof(line),
+                "    \"shards\": %zu,\n    \"cycles\": %zu,\n"
+                "    \"total_steps\": %zu,\n    \"total_ops\": %llu,\n"
+                "    \"manager_calls\": %zu,\n",
+                summary.shards.size(), summary.cycles_seen,
+                summary.total_steps,
+                static_cast<unsigned long long>(summary.total_ops),
+                summary.manager_calls);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "    \"admitted\": %zu,\n    \"rejected\": %zu,\n"
+                "    \"leaves\": %zu,\n",
+                summary.admitted, summary.rejected, summary.leaves);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "    \"deadline_misses\": %zu,\n    \"miss_rate\": %.9g,\n",
+                summary.deadline_misses, summary.deadline_miss_rate);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "    \"slo\": {\"target_miss_rate\": %.9g, \"met\": %s},\n",
+                options.target_miss_rate, met ? "true" : "false");
+  out += line;
+  append_histogram_json(out, "decision_latency_ns",
+                        summary.decision_latency_ns, "    ");
+  out += ",\n";
+  append_histogram_json(out, "queue_wait_cycles", summary.queue_wait_cycles,
+                        "    ");
+  out += ",\n";
+  append_histogram_json(out, "admission_price_ns",
+                        summary.admission_price_ns, "    ");
+  out += ",\n";
+  std::snprintf(line, sizeof(line),
+                "    \"frontend\": {\"requests\": %llu, \"applied\": %llu, "
+                "\"dropped\": %llu, \"late\": %llu, \"pending\": %llu}\n",
+                static_cast<unsigned long long>(summary.frontend_requests),
+                static_cast<unsigned long long>(summary.frontend_applied),
+                static_cast<unsigned long long>(summary.frontend_dropped),
+                static_cast<unsigned long long>(summary.frontend_late),
+                static_cast<unsigned long long>(summary.frontend_pending));
+  out += line;
+  out += "  },\n";
+  // Host-measured quantities: NOT deterministic, excluded from byte
+  // compares (tools/run_benches.sh strips this section before cmp).
+  out += "  \"wall\": {\n";
+  std::snprintf(line, sizeof(line),
+                "    \"wall_seconds\": %.6f,\n"
+                "    \"steps_per_second\": %.1f,\n"
+                "    \"queue_rejected\": %llu\n",
+                summary.wall_seconds, summary.steps_per_second,
+                static_cast<unsigned long long>(summary.frontend_rejected));
+  out += line;
+  out += "  }\n}\n";
+  return out;
+}
+
+std::vector<std::string> validate_slo_artifact(const std::string& text) {
+  std::vector<std::string> problems;
+  const std::string schema_key =
+      std::string("\"schema\": \"") + kSloArtifactSchema + "\"";
+  if (text.find(schema_key) == std::string::npos) {
+    problems.push_back("schema identifier '" + std::string(kSloArtifactSchema) +
+                       "' missing");
+  }
+  const std::string version_key =
+      "\"version\": " + std::to_string(kSloArtifactVersion);
+  if (text.find(version_key) == std::string::npos) {
+    problems.push_back("version " + std::to_string(kSloArtifactVersion) +
+                       " marker missing");
+  }
+  static const char* const kRequiredKeys[] = {
+      "\"deterministic\"",      "\"wall\"",
+      "\"slo\"",                "\"target_miss_rate\"",
+      "\"miss_rate\"",          "\"deadline_misses\"",
+      "\"decision_latency_ns\"", "\"queue_wait_cycles\"",
+      "\"admission_price_ns\"", "\"frontend\"",
+      "\"wall_seconds\"",       "\"buckets\"",
+  };
+  for (const char* key : kRequiredKeys) {
+    if (text.find(key) == std::string::npos) {
+      problems.push_back(std::string("required key ") + key + " missing");
+    }
+  }
+  long braces = 0;
+  long brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '"' && (i == 0 || text[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    if (braces < 0 || brackets < 0) break;
+  }
+  if (braces != 0) problems.push_back("unbalanced braces");
+  if (brackets != 0) problems.push_back("unbalanced brackets");
+  return problems;
+}
+
+bool write_slo_artifact(const std::string& path,
+                        const ServingSummary& summary,
+                        const SloArtifactOptions& options) {
+  const std::string text = render_slo_artifact(summary, options);
+  SPEEDQM_ASSERT(validate_slo_artifact(text).empty(),
+                 "write_slo_artifact: rendered artifact fails validation");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const bool write_ok =
+      std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  const bool close_ok = std::fclose(f) == 0;
+  return write_ok && close_ok;
+}
+
+}  // namespace speedqm

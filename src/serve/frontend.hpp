@@ -1,0 +1,193 @@
+// SLO-instrumented ingest front-end for the sharded server.
+//
+// Producers (network handlers, load generators, replay threads — anything
+// off the control thread) submit join/leave requests into a bounded
+// LOCK-FREE MPSC ring (FrontendQueue, a Vyukov bounded queue specialized
+// to one consumer: power-of-two capacity, per-cell sequence tickets with
+// acquire/release ordering). A full ring answers with a TYPED reject
+// (PushResult::kQueueFull) — backpressure the producer can act on, never a
+// silent drop.
+//
+// Determinism contract: the admission decisions a front-end-fed run makes
+// must be bit-identical to the same events pre-drained into an
+// ArrivalSchedule, for ANY producer count and interleaving. Ring order is
+// inherently racy, so determinism is NOT taken from it: every request
+// carries an explicit `order` ticket stamped by the producer, and the
+// consumer (ServeFrontend) re-sorts drained requests by (cycle, order) at
+// segment barriers before they reach the AdmissionController. Two
+// producers may enqueue in any interleaving — the drained batch always
+// replays in ticket order, which is exactly the ArrivalSchedule's stable
+// within-cycle script order when tickets are script indices.
+//
+// The front-end is also where the serving SLO artifact is rendered: a
+// versioned JSON document (kSloArtifactSchema / kSloArtifactVersion) whose
+// `deterministic` section (histograms, quantiles, admission pricing,
+// ingest counters) is byte-stable across runs and whose `wall` section
+// carries the host-measured rates that differentials must ignore.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/serving_summary.hpp"
+#include "serve/slo_histogram.hpp"
+
+namespace speedqm {
+
+enum class RequestKind : std::uint8_t { kJoin = 0, kLeave = 1 };
+
+/// One ingest request. `order` is the producer-stamped determinism ticket:
+/// requests maturing at the same barrier are applied in (cycle, order)
+/// order regardless of which thread enqueued first. `producer` /
+/// `producer_seq` exist for per-producer FIFO property checks and
+/// diagnostics; they never influence replay order.
+struct FrontendRequest {
+  std::size_t cycle = 0;   ///< target activation cycle
+  std::size_t task = 0;    ///< pool task id
+  RequestKind kind = RequestKind::kJoin;
+  std::uint64_t order = 0;
+  std::uint32_t producer = 0;
+  std::uint32_t producer_seq = 0;
+};
+
+enum class PushResult : std::uint8_t {
+  kAccepted = 0,
+  kQueueFull = 1,  ///< typed backpressure — retry, shed, or report upstream
+};
+
+/// Bounded lock-free MPSC ring. Any number of producer threads may call
+/// try_push concurrently; drain/pop belong to exactly ONE consumer thread.
+class FrontendQueue {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1024;
+
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit FrontendQueue(std::size_t capacity = kDefaultCapacity);
+
+  FrontendQueue(const FrontendQueue&) = delete;
+  FrontendQueue& operator=(const FrontendQueue&) = delete;
+
+  /// Producer side; wait-free except for CAS retries under contention.
+  PushResult try_push(const FrontendRequest& request);
+
+  /// Consumer side: pops one request if a fully published one is ready.
+  bool pop(FrontendRequest* out);
+  /// Consumer side: pops everything currently published, appending to
+  /// `out`; returns the number drained.
+  std::size_t drain(std::vector<FrontendRequest>& out);
+
+  std::size_t capacity() const { return cells_.size(); }
+  /// Host-side counters (monotone, relaxed): accepted is also the number
+  /// of requests the consumer will eventually see; rejected counts typed
+  /// backpressure answers (timing-dependent — report, never gate).
+  std::uint64_t accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+  std::size_t memory_bytes() const {
+    return sizeof(*this) + cells_.size() * sizeof(Cell);
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::uint64_t> seq{0};
+    FrontendRequest request;
+  };
+
+  std::vector<Cell> cells_;
+  std::uint64_t mask_ = 0;
+  alignas(64) std::atomic<std::uint64_t> tail_{0};   // producers
+  alignas(64) std::uint64_t head_ = 0;               // consumer-owned
+  alignas(64) std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+};
+
+/// Deterministic ingest counters folded by the consumer side. All fields
+/// except the queue's rejected count are reproducible whenever request
+/// submission is ordered before serving (the differential-tested setup).
+struct FrontendStats {
+  std::uint64_t drained = 0;  ///< requests taken off the ring
+  std::uint64_t joins = 0;
+  std::uint64_t leaves = 0;
+  std::uint64_t late = 0;     ///< matured after their target cycle
+  /// Cycles a request waited past its target before applying (0 for
+  /// requests applied exactly at their target barrier).
+  SloHistogram queue_wait_cycles;
+};
+
+/// The consumer half: owns the ring, drains it at segment barriers and
+/// hands matured requests to the server in deterministic (cycle, order)
+/// order. Single-threaded apart from the ring's producer side.
+class ServeFrontend {
+ public:
+  explicit ServeFrontend(std::size_t capacity = FrontendQueue::kDefaultCapacity)
+      : queue_(capacity) {}
+
+  /// Producer-side entry point (thread-safe).
+  PushResult submit(const FrontendRequest& request) {
+    return queue_.try_push(request);
+  }
+  FrontendQueue& queue() { return queue_; }
+  const FrontendQueue& queue() const { return queue_; }
+
+  /// Consumer: move everything published on the ring into the pending set,
+  /// restoring (cycle, order) sort order.
+  void drain();
+
+  /// Consumer: earliest cycle > `cycle` at which a pending request should
+  /// force a segment barrier (a late request — target already passed —
+  /// matures at cycle + 1). False when nothing is pending.
+  bool next_request_cycle_after(std::size_t cycle, std::size_t* out) const;
+
+  /// Consumer: removes and returns every pending request with
+  /// cycle <= boundary, in (cycle, order) order, folding queue-wait and
+  /// late/join/leave counters.
+  std::vector<FrontendRequest> take_matured(std::size_t boundary);
+
+  std::size_t pending() const { return pending_.size(); }
+  const FrontendStats& stats() const { return stats_; }
+
+  std::size_t memory_bytes() const {
+    return sizeof(*this) + queue_.memory_bytes() +
+           pending_.capacity() * sizeof(FrontendRequest);
+  }
+
+ private:
+  FrontendQueue queue_;
+  std::vector<FrontendRequest> pending_;  ///< sorted by (cycle, order)
+  std::vector<FrontendRequest> scratch_;
+  FrontendStats stats_;
+};
+
+/// Versioned SLO run-artifact schema (docs/scenarios.md documents the
+/// field-by-field layout; tools/check_docs.py cross-checks the name).
+inline constexpr char kSloArtifactSchema[] = "speedqm-slo-artifact";
+inline constexpr int kSloArtifactVersion = 1;
+
+struct SloArtifactOptions {
+  /// Deadline-miss SLO target: the artifact's `slo.met` verdict is
+  /// miss_rate <= target.
+  double target_miss_rate = 0.05;
+};
+
+/// Renders the artifact JSON. Every field under "deterministic" is
+/// byte-stable for a fixed spec; "wall" holds the host-measured quantities
+/// (wall_seconds, steps_per_second, queue rejects) that byte-compares and
+/// differentials must strip.
+std::string render_slo_artifact(const ServingSummary& summary,
+                                const SloArtifactOptions& options = {});
+
+/// Structural validation of an artifact document: schema + version match,
+/// every required key present, braces/brackets balanced. Returns the list
+/// of problems (empty = valid).
+std::vector<std::string> validate_slo_artifact(const std::string& text);
+
+/// Renders, self-validates and writes the artifact; false on I/O failure.
+bool write_slo_artifact(const std::string& path, const ServingSummary& summary,
+                        const SloArtifactOptions& options = {});
+
+}  // namespace speedqm

@@ -17,6 +17,8 @@ ServingSummary fold_serving_summary(std::vector<ShardReport> shards,
   for (const AdmissionDecision& a : s.admissions) {
     if (a.admitted) {
       ++s.admitted;
+      s.admission_price_ns.record(
+          a.price > 0 ? static_cast<std::uint64_t>(a.price) : 0);
     } else {
       ++s.rejected;
     }
@@ -40,12 +42,18 @@ ServingSummary fold_serving_summary(std::vector<ShardReport> shards,
     s.degraded_steps += shard.summary.degraded_steps;
     s.degraded_cycles += shard.summary.degraded_cycles;
     s.max_lag_ns = std::max(s.max_lag_ns, shard.summary.max_lag_ns);
+    s.cycles_seen += shard.summary.cycles_seen;
+    s.decision_latency_ns.merge(shard.summary.decision_latency_ns);
     quality_sum += shard.summary.mean_quality *
                    static_cast<double>(shard.summary.total_steps);
     max_clock = std::max(max_clock, shard.clock);
   }
   if (s.total_steps > 0) {
     s.mean_quality = quality_sum / static_cast<double>(s.total_steps);
+  }
+  if (s.cycles_seen > 0) {
+    s.deadline_miss_rate = static_cast<double>(s.deadline_misses) /
+                           static_cast<double>(s.cycles_seen);
   }
   s.max_clock_s = to_sec(max_clock);
   return s;
@@ -91,6 +99,30 @@ std::string ServingSummary::render() const {
   std::snprintf(line, sizeof(line), "deadline misses: %zu (%zu infeasible)\n",
                 deadline_misses, infeasible);
   out += line;
+  if (!decision_latency_ns.empty()) {
+    std::snprintf(line, sizeof(line),
+                  "slo            : decision latency p50/p99/p999 "
+                  "%llu/%llu/%llu ns | miss rate %.6f over %zu cycles\n",
+                  static_cast<unsigned long long>(decision_latency_ns.p50()),
+                  static_cast<unsigned long long>(decision_latency_ns.p99()),
+                  static_cast<unsigned long long>(decision_latency_ns.p999()),
+                  deadline_miss_rate, cycles_seen);
+    out += line;
+  }
+  if (frontend_requests > 0 || frontend_rejected > 0) {
+    std::snprintf(line, sizeof(line),
+                  "front-end      : %llu requests (%llu applied, %llu "
+                  "dropped, %llu late, %llu pending, %llu rejected) | "
+                  "queue wait p99 %llu cycles\n",
+                  static_cast<unsigned long long>(frontend_requests),
+                  static_cast<unsigned long long>(frontend_applied),
+                  static_cast<unsigned long long>(frontend_dropped),
+                  static_cast<unsigned long long>(frontend_late),
+                  static_cast<unsigned long long>(frontend_pending),
+                  static_cast<unsigned long long>(frontend_rejected),
+                  static_cast<unsigned long long>(queue_wait_cycles.p99()));
+    out += line;
+  }
   if (stress_cycles > 0 || stalled_cycles > 0 || scripted_disconnects > 0) {
     std::snprintf(line, sizeof(line),
                   "perturbation   : %zu stress cycles (%zu misses), "

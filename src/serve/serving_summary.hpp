@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "serve/admission.hpp"
+#include "serve/slo_histogram.hpp"
 #include "sim/metrics.hpp"
 
 namespace speedqm {
@@ -74,6 +75,30 @@ struct ServingSummary {
   std::size_t governor_activations = 0;
   std::size_t forced_downgrades = 0;
   std::size_t watchdog_escalations = 0;
+
+  // SLO instrumentation (serve/slo_histogram.hpp, serve/frontend.hpp).
+  // Deterministic: decision latency folds the shards' SIMULATED
+  // per-manager-call overhead in shard order; queue-wait is measured in
+  // whole cycles a front-end request waited past its target barrier;
+  // admission pricing is the slack each admitted join consumed. The
+  // deadline-miss SLO is misses over executed cycles.
+  SloHistogram decision_latency_ns;
+  SloHistogram queue_wait_cycles;
+  SloHistogram admission_price_ns;
+  std::size_t cycles_seen = 0;
+  double deadline_miss_rate = 0;  ///< deadline_misses / cycles_seen
+
+  // Front-end ingest counters (all zero without a ServeFrontend). These
+  // are deterministic whenever request submission completes before the
+  // covering segment starts — the differential-tested setup — except
+  // frontend_rejected, which counts typed backpressure answers and is
+  // host-timing dependent (reported, never gated).
+  std::uint64_t frontend_requests = 0;
+  std::uint64_t frontend_applied = 0;
+  std::uint64_t frontend_dropped = 0;   ///< join-of-present / leave-of-absent
+  std::uint64_t frontend_late = 0;
+  std::uint64_t frontend_pending = 0;   ///< never matured inside the horizon
+  std::uint64_t frontend_rejected = 0;  ///< ring backpressure (host-side)
 
   // Measured host-side quantities (NOT deterministic; never differential).
   double wall_seconds = 0;

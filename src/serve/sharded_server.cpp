@@ -243,6 +243,58 @@ void ShardedServer::apply_events(std::size_t cycle) {
   }
 }
 
+void ShardedServer::apply_frontend(std::size_t cycle) {
+  if (!spec_.frontend) return;
+  for (const FrontendRequest& r : spec_.frontend->take_matured(cycle)) {
+    if (r.task >= pool_->size()) {
+      ++frontend_dropped_;
+      continue;
+    }
+    if (r.kind == RequestKind::kLeave) {
+      bool found = false;
+      for (Shard& shard : shards_) {
+        auto it = std::find(shard.members.begin(), shard.members.end(),
+                            r.task);
+        if (it != shard.members.end()) {
+          shard.members.erase(it);
+          shard.dirty = true;
+          ++leaves_;
+          ++frontend_applied_;
+          found = true;
+          break;
+        }
+      }
+      if (!found) ++frontend_dropped_;
+      continue;
+    }
+    // A join for a task already resident somewhere is a racy duplicate —
+    // drop it (counted) rather than double-admit; ArrivalSchedules cannot
+    // express this state, so the differential paths never disagree here.
+    bool present = false;
+    for (const Shard& shard : shards_) {
+      if (std::find(shard.members.begin(), shard.members.end(), r.task) !=
+          shard.members.end()) {
+        present = true;
+        break;
+      }
+    }
+    if (present) {
+      ++frontend_dropped_;
+      continue;
+    }
+    std::vector<std::vector<std::size_t>> memberships;
+    memberships.reserve(shards_.size());
+    for (const Shard& shard : shards_) memberships.push_back(shard.members);
+    AdmissionDecision decision = admission_->admit(r.task, memberships, cycle);
+    if (decision.admitted) {
+      shards_[decision.shard].members.push_back(r.task);
+      shards_[decision.shard].dirty = true;
+    }
+    ++frontend_applied_;
+    admissions_.push_back(std::move(decision));
+  }
+}
+
 void ShardedServer::apply_governor(std::size_t cycle) {
   // Shed first: shards whose governor crossed the shed threshold (or got
   // a watchdog escalation) park their most recently admitted members —
@@ -412,8 +464,13 @@ ServingSummary ShardedServer::serve() {
   place_initial_tasks();
   // Hand-written schedules may carry cycle-0 events (generated ones start
   // at cycle 1); they apply right after initial placement. Events at or
-  // beyond the horizon never fire.
+  // beyond the horizon never fire. Front-end requests targeting cycle 0
+  // apply at the same point, after the schedule's events.
   apply_events(0);
+  if (spec_.frontend) {
+    spec_.frontend->drain();
+    apply_frontend(0);
+  }
 
   // Real-time backends get their pacers up front (they outlive every
   // rebuild) and, on the real wall clock, a host watchdog thread sampling
@@ -454,14 +511,31 @@ ServingSummary ShardedServer::serve() {
     boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
                      boundaries.end());
   }
+  // Segment loop. Static boundaries advance through `boundaries`; a
+  // front-end adds DYNAMIC ones: the ring is drained (control thread) at
+  // every barrier and the earliest pending request cycle caps the next
+  // segment, so requests mature exactly at their target cycle. With no
+  // front-end this reduces to the static walk bit for bit.
   std::size_t cursor = 0;
-  for (const std::size_t boundary : boundaries) {
-    run_segment(cursor, boundary - cursor);
-    if (realtime) apply_governor(boundary);
-    apply_events(boundary);
-    cursor = boundary;
+  std::size_t bi = 0;
+  while (cursor < spec_.cycles) {
+    std::size_t next = spec_.cycles;
+    while (bi < boundaries.size() && boundaries[bi] <= cursor) ++bi;
+    if (bi < boundaries.size()) next = std::min(next, boundaries[bi]);
+    if (spec_.frontend) {
+      spec_.frontend->drain();
+      std::size_t request_cycle = 0;
+      if (spec_.frontend->next_request_cycle_after(cursor, &request_cycle)) {
+        next = std::min(next, std::max(request_cycle, cursor + 1));
+      }
+    }
+    run_segment(cursor, next - cursor);
+    cursor = next;
+    if (cursor >= spec_.cycles) break;
+    if (realtime) apply_governor(cursor);
+    apply_events(cursor);
+    apply_frontend(cursor);
   }
-  run_segment(cursor, spec_.cycles - cursor);
 
   const double wall_seconds =
       std::chrono::duration_cast<std::chrono::duration<double>>(
@@ -493,6 +567,19 @@ ServingSummary ShardedServer::serve() {
     summary.governor_activations += shard.pacer->governor().activations();
     summary.forced_downgrades += shard.pacer->governor().forced_downgrades();
     summary.watchdog_escalations += shard.pacer->watchdog().escalations();
+  }
+  if (spec_.frontend) {
+    // A final drain makes requests enqueued during the run but never
+    // matured visible in the pending count.
+    spec_.frontend->drain();
+    const FrontendStats& fs = spec_.frontend->stats();
+    summary.queue_wait_cycles = fs.queue_wait_cycles;
+    summary.frontend_requests = fs.drained;
+    summary.frontend_applied = frontend_applied_;
+    summary.frontend_dropped = frontend_dropped_;
+    summary.frontend_late = fs.late;
+    summary.frontend_pending = spec_.frontend->pending();
+    summary.frontend_rejected = spec_.frontend->queue().rejected();
   }
   if (host_watchdog) summary.hang_alarms = host_watchdog->hang_alarms();
   summary.wall_seconds = wall_seconds;

@@ -39,6 +39,7 @@
 
 #include "core/batch_engine.hpp"
 #include "serve/admission.hpp"
+#include "serve/frontend.hpp"
 #include "serve/serving_summary.hpp"
 #include "sim/metrics.hpp"
 #include "sim/perturb.hpp"
@@ -121,6 +122,16 @@ struct ShardedServerSpec {
   /// cycles of all shards; must be thread-safe when num_workers > 1;
   /// want_stop is ignored — segments always run to their boundary).
   StepSink* tap = nullptr;
+  /// Optional ingest front-end (serve/frontend.hpp; borrowed, not owned).
+  /// The server drains its MPSC ring on the control thread at serving
+  /// start and at every segment barrier; matured join/leave requests are
+  /// applied in deterministic (cycle, order) order through the same
+  /// admission path as ArrivalSchedule events (schedule events first, then
+  /// front-end requests, at the same barrier). Pending request cycles
+  /// create segment boundaries of their own, so a front-end-fed run is
+  /// bit-identical to the same events pre-drained into an ArrivalSchedule
+  /// for any producer count (differential-gated).
+  ServeFrontend* frontend = nullptr;
 };
 
 class ShardedServer {
@@ -172,6 +183,11 @@ class ShardedServer {
 
   void place_initial_tasks();
   void apply_events(std::size_t cycle);
+  /// Applies the front-end requests matured at `cycle` (no-op without a
+  /// front-end): leaves erase the member, joins go through admission.
+  /// Join-of-present / leave-of-absent requests are dropped with a count,
+  /// mirroring merge_forced_events' tolerance for racy scripts.
+  void apply_frontend(std::size_t cycle);
   /// Acts on governor verdicts at a segment boundary: sheds members of
   /// shards whose governor requested it (parking them) and re-admits
   /// parked tasks through the AdmissionController once their origin
@@ -203,6 +219,8 @@ class ShardedServer {
   std::vector<Parked> parked_;
   std::size_t shed_tasks_ = 0;
   std::size_t readmitted_tasks_ = 0;
+  std::uint64_t frontend_applied_ = 0;
+  std::uint64_t frontend_dropped_ = 0;
   bool served_ = false;
 };
 

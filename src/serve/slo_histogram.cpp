@@ -1,0 +1,103 @@
+#include "serve/slo_histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace speedqm {
+
+namespace {
+
+inline std::uint64_t saturating_add(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t sum = a + b;
+  return sum < a ? std::numeric_limits<std::uint64_t>::max() : sum;
+}
+
+inline std::uint64_t floor_log2(std::uint64_t v) {
+  std::uint64_t exp = 0;
+  while (v >>= 1) ++exp;
+  return exp;
+}
+
+}  // namespace
+
+std::size_t SloHistogram::bucket_index(std::uint64_t value) {
+  if (value < kSubBuckets) return static_cast<std::size_t>(value);
+  const std::uint64_t exp = floor_log2(value);
+  if (exp >= kMaxExponent) return kOverflowBucket;
+  // value in [2^exp, 2^(exp+1)); sub-bucket width 2^(exp-2), so
+  // value >> (exp-2) lands in [4, 8) and the buckets stay contiguous.
+  return static_cast<std::size_t>((exp - 2) * kSubBuckets +
+                                  (value >> (exp - 2)));
+}
+
+std::uint64_t SloHistogram::bucket_lower_bound(std::size_t bucket) {
+  if (bucket < kSubBuckets) return bucket;
+  if (bucket >= kOverflowBucket) return std::uint64_t{1} << kMaxExponent;
+  const std::uint64_t exp = bucket / kSubBuckets + 1;
+  return (static_cast<std::uint64_t>(bucket) - (exp - 2) * kSubBuckets)
+         << (exp - 2);
+}
+
+void SloHistogram::record(std::uint64_t value, std::uint64_t count) {
+  if (count == 0) return;
+  const std::size_t bucket = bucket_index(value);
+  counts_[bucket] = saturating_add(counts_[bucket], count);
+  if (total_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  total_ = saturating_add(total_, count);
+  // Saturating value * count without overflow UB: saturate the product if
+  // it would wrap (count is almost always 1 on the hot path).
+  if (value != 0 && count > std::numeric_limits<std::uint64_t>::max() / value) {
+    sum_ = std::numeric_limits<std::uint64_t>::max();
+  } else {
+    sum_ = saturating_add(sum_, value * count);
+  }
+}
+
+void SloHistogram::merge(const SloHistogram& other) {
+  if (other.total_ == 0) return;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    counts_[i] = saturating_add(counts_[i], other.counts_[i]);
+  }
+  if (total_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  total_ = saturating_add(total_, other.total_);
+  sum_ = saturating_add(sum_, other.sum_);
+}
+
+std::uint64_t SloHistogram::quantile(double q) const {
+  if (total_ == 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(total_))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    seen = saturating_add(seen, counts_[i]);
+    if (seen >= rank) {
+      if (i == kOverflowBucket) return max_;
+      // Clamp to the exact recorded minimum so the lowest populated
+      // bucket's lower bound cannot report a value nothing ever took.
+      return std::max(bucket_lower_bound(i), min_);
+    }
+  }
+  return max_;  // unreachable with a consistent total
+}
+
+bool SloHistogram::operator==(const SloHistogram& other) const {
+  return counts_ == other.counts_ && total_ == other.total_ &&
+         sum_ == other.sum_ && min_ == other.min_ && max_ == other.max_;
+}
+
+}  // namespace speedqm

@@ -1,0 +1,87 @@
+// Fixed-bucket log-scale latency histograms for the serving SLO report.
+//
+// HDR-style geometry with a FIXED footprint: values 0..3 get exact unit
+// buckets; every power-of-two octave above that is split into 4 sub-buckets
+// of equal width, up to 2^40 (covers sub-nanosecond ticks through ~18
+// minutes when the unit is ns). Values at or beyond 2^40 saturate into one
+// overflow bucket (counted, never dropped; the exact maximum is tracked
+// separately so the tail quantile stays meaningful).
+//
+// Everything here is deterministic integer arithmetic:
+//   * record() is O(1) (a bit-scan and two adds), no allocation ever — the
+//     bucket array is a fixed std::array, so the type is safe to embed in
+//     RunSummary and fold per step on the streaming path;
+//   * merge() is an element-wise saturating add, which makes shard-order
+//     folds associative AND commutative — the serving summary is
+//     bit-identical no matter how per-shard histograms are grouped;
+//   * quantile(q) returns the lower bound of the bucket holding the
+//     ceil(q * count)-th recorded value (the exact maximum for the
+//     overflow bucket), so p50/p99/p999 are reproducible integers, never
+//     interpolated floats.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace speedqm {
+
+class SloHistogram {
+ public:
+  /// Sub-buckets per power-of-two octave (relative precision ~25%).
+  static constexpr std::uint64_t kSubBuckets = 4;
+  /// Values >= 2^kMaxExponent land in the overflow bucket.
+  static constexpr std::uint64_t kMaxExponent = 40;
+  /// Regular buckets: 0..3 exact, then 4 per octave for exponents 2..39.
+  static constexpr std::size_t kRegularBuckets =
+      static_cast<std::size_t>((kMaxExponent - 2) * kSubBuckets + kSubBuckets);
+  static constexpr std::size_t kNumBuckets = kRegularBuckets + 1;
+  static constexpr std::size_t kOverflowBucket = kRegularBuckets;
+
+  /// Bucket index a value lands in (kOverflowBucket when saturating).
+  static std::size_t bucket_index(std::uint64_t value);
+  /// Smallest value mapping to `bucket` (2^kMaxExponent for the overflow
+  /// bucket). Strictly increasing in the bucket index.
+  static std::uint64_t bucket_lower_bound(std::size_t bucket);
+
+  void record(std::uint64_t value) { record(value, 1); }
+  void record(std::uint64_t value, std::uint64_t count);
+
+  /// Element-wise saturating add of every bucket plus min/max/sum; the
+  /// identity element is a default-constructed histogram.
+  void merge(const SloHistogram& other);
+
+  std::uint64_t total_count() const { return total_; }
+  std::uint64_t overflow_count() const { return counts_[kOverflowBucket]; }
+  std::uint64_t count_at(std::size_t bucket) const { return counts_[bucket]; }
+  bool empty() const { return total_ == 0; }
+  /// Exact extremes of everything recorded (0 when empty).
+  std::uint64_t min_value() const { return total_ == 0 ? 0 : min_; }
+  std::uint64_t max_value() const { return max_; }
+  /// Saturating sum of recorded values, for deterministic integer means.
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t mean() const { return total_ == 0 ? 0 : sum_ / total_; }
+
+  /// Lower bound of the bucket holding the ceil(q * total)-th value; the
+  /// exact recorded maximum when that bucket is the overflow bucket.
+  /// Returns 0 on an empty histogram. Monotone non-decreasing in q.
+  std::uint64_t quantile(double q) const;
+  std::uint64_t p50() const { return quantile(0.50); }
+  std::uint64_t p99() const { return quantile(0.99); }
+  std::uint64_t p999() const { return quantile(0.999); }
+
+  /// Fixed footprint (the soak bench gates this staying constant).
+  static constexpr std::size_t memory_bytes() { return sizeof(SloHistogram); }
+
+  bool operator==(const SloHistogram& other) const;
+  bool operator!=(const SloHistogram& other) const { return !(*this == other); }
+
+ private:
+  std::array<std::uint64_t, kNumBuckets> counts_{};
+  std::uint64_t total_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace speedqm

@@ -39,6 +39,10 @@ void RunSummaryAccumulator::on_step(const ExecStep& step) {
     const auto r = static_cast<std::size_t>(step.relax_steps);
     if (r >= relax_histogram_.size()) relax_histogram_.resize(r + 1, 0);
     ++relax_histogram_[r];
+    // Decision latency is the SIMULATED overhead charged for this manager
+    // call — deterministic, so the SLO quantiles are differential-safe.
+    decision_latency_.record(
+        step.overhead > 0 ? static_cast<std::uint64_t>(step.overhead) : 0);
   }
 
   if (step.overrun) ++overrun_steps_;
@@ -47,6 +51,7 @@ void RunSummaryAccumulator::on_step(const ExecStep& step) {
 }
 
 void RunSummaryAccumulator::on_cycle(const CycleStats& cycle) {
+  ++cycles_seen_;
   deadline_misses_ += cycle.deadline_misses;
   completion_ = cycle.completion;
   if (cycle.degraded) ++degraded_cycles_;
@@ -95,6 +100,8 @@ RunSummary RunSummaryAccumulator::finish() const {
   s.degraded_steps = degraded_steps_;
   s.degraded_cycles = degraded_cycles_;
   s.max_lag_ns = max_lag_;
+  s.cycles_seen = cycles_seen_;
+  s.decision_latency_ns = decision_latency_;
 
   const double busy = static_cast<double>(action_time_ + overhead_time_);
   if (busy > 0.0) {

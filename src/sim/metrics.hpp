@@ -15,6 +15,10 @@
 #include <vector>
 
 #include "core/smoothness.hpp"
+// The SLO histogram is layered under serve/ (the serving report is its
+// consumer) but is dependency-free, so folding it per step here does not
+// couple sim/ to anything above it.
+#include "serve/slo_histogram.hpp"
 #include "sim/executor.hpp"
 
 namespace speedqm {
@@ -52,6 +56,14 @@ struct RunSummary {
   std::size_t degraded_steps = 0;
   std::size_t degraded_cycles = 0;
   TimeNs max_lag_ns = 0;
+  /// Executed cycles folded through on_cycle (the deadline-miss SLO's
+  /// denominator: miss_rate = deadline_misses / cycles_seen).
+  std::size_t cycles_seen = 0;
+  /// Simulated decision latency: the manager-call overhead (ns) of every
+  /// step that consulted the manager. Deterministic — fed from simulated
+  /// time, never the host clock — so serving differentials can compare it
+  /// bit for bit (serve/slo_histogram.hpp).
+  SloHistogram decision_latency_ns;
   SmoothnessReport smoothness;       ///< over the full quality sequence
   /// Decided relaxation depths: relax_histogram[r] = number of decisions
   /// that covered r actions (index 0 unused). Flat so the streaming fold
@@ -128,6 +140,9 @@ class RunSummaryAccumulator final : public StepSink {
   std::size_t degraded_steps_ = 0;
   std::size_t degraded_cycles_ = 0;
   TimeNs max_lag_ = 0;
+  // SLO folds.
+  std::size_t cycles_seen_ = 0;
+  SloHistogram decision_latency_;
 };
 
 /// Builds the summary from a retained run (replays it through

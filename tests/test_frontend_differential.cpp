@@ -1,0 +1,222 @@
+// Differential harness for the ingest front-end (serve/frontend.hpp): a
+// serving run whose arrivals flow through the lock-free MPSC front-end
+// must be BIT-IDENTICAL — admission decisions (every field, including
+// pricing), summed Decision.ops, per-shard run summaries, SLO histograms —
+// to the same events pre-drained into an ArrivalSchedule. Pinned at 1 and
+// 4 workers, with and without the flaky-shard perturbation scenario, and
+// across producer counts (1 vs 3 producer threads interleave differently;
+// the (cycle, order) drain sort must erase the difference).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "serve/frontend.hpp"
+#include "serve/sharded_server.hpp"
+#include "sim/perturb.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/scenarios.hpp"
+
+namespace speedqm {
+namespace {
+
+MultiTaskMixSpec mix_spec() {
+  MultiTaskMixSpec spec;
+  spec.num_tasks = 12;
+  spec.seed = 20070730;
+  spec.num_cycles = 8;
+  spec.min_task_actions = 4;
+  spec.max_task_actions = 24;
+  return spec;
+}
+
+ShardedServerSpec server_spec(std::size_t workers, bool flaky) {
+  ShardedServerSpec spec;
+  spec.mix = mix_spec();
+  spec.num_shards = 3;
+  spec.num_workers = workers;
+  spec.cycles = 48;
+  spec.initial_tasks = 8;
+  if (flaky) spec.perturb = make_perturbation_scenario("flaky-shard", spec.cycles);
+  return spec;
+}
+
+ArrivalSchedule churn_schedule() {
+  return make_arrival_schedule(/*pool_tasks=*/12, /*initial_tasks=*/8,
+                               /*cycles=*/48, /*churn_events=*/10,
+                               /*seed=*/0xfeed);
+}
+
+/// Full-fidelity RunSummary comparison (bit-exact doubles).
+void expect_run_summaries_identical(const RunSummary& a, const RunSummary& b) {
+  EXPECT_EQ(a.total_steps, b.total_steps);
+  EXPECT_EQ(a.manager_calls, b.manager_calls);
+  EXPECT_EQ(a.deadline_misses, b.deadline_misses);
+  EXPECT_EQ(a.infeasible, b.infeasible);
+  EXPECT_EQ(a.total_ops, b.total_ops);
+  EXPECT_EQ(a.mean_quality, b.mean_quality);
+  EXPECT_EQ(a.overhead_pct, b.overhead_pct);
+  EXPECT_EQ(a.total_time_s, b.total_time_s);
+  EXPECT_EQ(a.cycles_seen, b.cycles_seen);
+  EXPECT_EQ(a.decision_latency_ns, b.decision_latency_ns);
+  EXPECT_EQ(a.relax_histogram, b.relax_histogram);
+  EXPECT_EQ(a.smoothness.switches, b.smoothness.switches);
+  EXPECT_EQ(a.smoothness.quality_stddev, b.smoothness.quality_stddev);
+}
+
+/// Everything deterministic the two ingest paths share must match bit for
+/// bit; only the front-end's own counters (absent on the schedule path)
+/// and the wall-clock section are exempt.
+void expect_servings_identical(const ServingSummary& a,
+                               const ServingSummary& b) {
+  ASSERT_EQ(a.shards.size(), b.shards.size());
+  for (std::size_t s = 0; s < a.shards.size(); ++s) {
+    EXPECT_EQ(a.shards[s].members, b.shards[s].members) << "shard " << s;
+    EXPECT_EQ(a.shards[s].clock, b.shards[s].clock) << "shard " << s;
+    EXPECT_EQ(a.shards[s].epochs, b.shards[s].epochs) << "shard " << s;
+    expect_run_summaries_identical(a.shards[s].summary, b.shards[s].summary);
+  }
+  ASSERT_EQ(a.admissions.size(), b.admissions.size());
+  for (std::size_t i = 0; i < a.admissions.size(); ++i) {
+    EXPECT_EQ(a.admissions[i].task, b.admissions[i].task) << "admission " << i;
+    EXPECT_EQ(a.admissions[i].cycle, b.admissions[i].cycle) << "admission " << i;
+    EXPECT_EQ(a.admissions[i].admitted, b.admissions[i].admitted);
+    EXPECT_EQ(a.admissions[i].shard, b.admissions[i].shard);
+    EXPECT_EQ(a.admissions[i].slack, b.admissions[i].slack);
+    EXPECT_EQ(a.admissions[i].price, b.admissions[i].price);
+    EXPECT_EQ(a.admissions[i].reason, b.admissions[i].reason);
+  }
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.leaves, b.leaves);
+  EXPECT_EQ(a.total_steps, b.total_steps);
+  EXPECT_EQ(a.total_ops, b.total_ops);
+  EXPECT_EQ(a.manager_calls, b.manager_calls);
+  EXPECT_EQ(a.deadline_misses, b.deadline_misses);
+  EXPECT_EQ(a.infeasible, b.infeasible);
+  EXPECT_EQ(a.mean_quality, b.mean_quality);
+  EXPECT_EQ(a.max_clock_s, b.max_clock_s);
+  EXPECT_EQ(a.cycles_seen, b.cycles_seen);
+  EXPECT_EQ(a.deadline_miss_rate, b.deadline_miss_rate);
+  EXPECT_EQ(a.decision_latency_ns, b.decision_latency_ns);
+  EXPECT_EQ(a.admission_price_ns, b.admission_price_ns);
+  EXPECT_EQ(a.stress_cycles, b.stress_cycles);
+  EXPECT_EQ(a.misses_in_stress, b.misses_in_stress);
+}
+
+ServingSummary run_schedule_path(std::size_t workers, bool flaky) {
+  ShardedServer server(server_spec(workers, flaky), churn_schedule());
+  return server.serve();
+}
+
+ServingSummary run_frontend_path(std::size_t workers, bool flaky,
+                                 std::size_t producers) {
+  const ArrivalSchedule schedule = churn_schedule();
+  const std::vector<ArrivalEvent>& events = schedule.events();
+  ServeFrontend frontend(2 * events.size() + 16);
+  // Order ticket = script index: the drained replay reproduces the
+  // schedule's stable within-cycle order for ANY producer split.
+  std::vector<std::thread> threads;
+  threads.reserve(producers);
+  for (std::size_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&events, &frontend, p, producers] {
+      std::uint32_t seq = 0;
+      for (std::size_t i = p; i < events.size(); i += producers) {
+        FrontendRequest r;
+        r.cycle = events[i].cycle;
+        r.task = events[i].task;
+        r.kind = events[i].join ? RequestKind::kJoin : RequestKind::kLeave;
+        r.order = i;
+        r.producer = static_cast<std::uint32_t>(p);
+        r.producer_seq = seq++;
+        while (frontend.submit(r) != PushResult::kAccepted) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  ShardedServerSpec spec = server_spec(workers, flaky);
+  spec.frontend = &frontend;
+  ShardedServer server(spec, ArrivalSchedule{});
+  return server.serve();
+}
+
+TEST(FrontendDifferential, BitIdenticalToScheduleAtOneWorker) {
+  expect_servings_identical(run_schedule_path(1, false),
+                            run_frontend_path(1, false, 1));
+}
+
+TEST(FrontendDifferential, BitIdenticalToScheduleAtFourWorkers) {
+  expect_servings_identical(run_schedule_path(4, false),
+                            run_frontend_path(4, false, 3));
+}
+
+TEST(FrontendDifferential, BitIdenticalUnderFlakyShardPerturbation) {
+  expect_servings_identical(run_schedule_path(1, true),
+                            run_frontend_path(1, true, 1));
+  expect_servings_identical(run_schedule_path(4, true),
+                            run_frontend_path(4, true, 3));
+}
+
+TEST(FrontendDifferential, ProducerCountCannotChangeResults) {
+  const ServingSummary one = run_frontend_path(2, false, 1);
+  const ServingSummary three = run_frontend_path(2, false, 3);
+  expect_servings_identical(one, three);
+  // The front-end counters are deterministic too when ingest completes
+  // before serving: same drained/applied/late on both.
+  EXPECT_EQ(one.frontend_requests, three.frontend_requests);
+  EXPECT_EQ(one.frontend_applied, three.frontend_applied);
+  EXPECT_EQ(one.frontend_dropped, three.frontend_dropped);
+  EXPECT_EQ(one.frontend_late, three.frontend_late);
+  EXPECT_EQ(one.frontend_pending, three.frontend_pending);
+  EXPECT_EQ(one.queue_wait_cycles, three.queue_wait_cycles);
+}
+
+TEST(FrontendDifferential, FrontendCountersAccountForEveryRequest) {
+  const ArrivalSchedule schedule = churn_schedule();
+  const ServingSummary summary = run_frontend_path(1, false, 2);
+  EXPECT_EQ(summary.frontend_requests, schedule.events().size());
+  EXPECT_EQ(summary.frontend_applied, schedule.events().size());
+  EXPECT_EQ(summary.frontend_dropped, 0u);
+  EXPECT_EQ(summary.frontend_pending, 0u);
+  EXPECT_EQ(summary.frontend_rejected, 0u);
+  // Every request matured exactly at its target barrier.
+  EXPECT_EQ(summary.frontend_late, 0u);
+  EXPECT_EQ(summary.queue_wait_cycles.total_count(), schedule.events().size());
+  EXPECT_EQ(summary.queue_wait_cycles.max_value(), 0u);
+}
+
+TEST(FrontendDifferential, SloArtifactDeterministicAcrossRuns) {
+  // Render the artifact for two identical runs and strip the wall section:
+  // the deterministic section must compare byte for byte (the in-process
+  // version of run_benches.sh's double-run gate).
+  const ServingSummary a = run_frontend_path(2, false, 2);
+  const ServingSummary b = run_frontend_path(2, false, 2);
+  const SloArtifactOptions options;
+  std::string ta = render_slo_artifact(a, options);
+  std::string tb = render_slo_artifact(b, options);
+  EXPECT_TRUE(validate_slo_artifact(ta).empty());
+  const auto strip_wall = [](const std::string& text) {
+    return text.substr(0, text.find("\"wall\""));
+  };
+  EXPECT_EQ(strip_wall(ta), strip_wall(tb));
+}
+
+TEST(FrontendDifferential, ArtifactValidatorFlagsCorruption) {
+  const ServingSummary summary = run_schedule_path(1, false);
+  std::string text = render_slo_artifact(summary, {});
+  EXPECT_TRUE(validate_slo_artifact(text).empty());
+  // Wrong schema name, missing required key, unbalanced braces.
+  std::string wrong = text;
+  wrong.replace(wrong.find("speedqm-slo-artifact"), 7, "corrupt");
+  EXPECT_FALSE(validate_slo_artifact(wrong).empty());
+  std::string missing = text;
+  missing.erase(missing.find("\"queue_wait_cycles\""), 19);
+  EXPECT_FALSE(validate_slo_artifact(missing).empty());
+  EXPECT_FALSE(validate_slo_artifact(text + "}").empty());
+}
+
+}  // namespace
+}  // namespace speedqm

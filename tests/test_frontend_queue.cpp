@@ -1,0 +1,260 @@
+// Property/stress tests for the lock-free MPSC ingest ring and the
+// deterministic drain layer (serve/frontend.hpp). The concurrent cases are
+// the TSan job's targets:
+//   * N producers x randomized bursts against a live consumer — every
+//     accepted request is seen exactly once (no loss, no duplication) and
+//     per-producer FIFO order survives any interleaving;
+//   * a full ring answers with the TYPED reject (PushResult::kQueueFull),
+//     drops nothing, and recovers after the consumer drains;
+//   * the (cycle, order)-sorted drain makes the replayed request order
+//     independent of producer count and interleaving;
+//   * ServeFrontend maturity bookkeeping: queue-wait histograms, late
+//     requests forcing a next-cycle barrier, pending carry-over.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "serve/frontend.hpp"
+
+namespace speedqm {
+namespace {
+
+FrontendRequest make_request(std::size_t cycle, std::size_t task,
+                             RequestKind kind, std::uint64_t order,
+                             std::uint32_t producer = 0,
+                             std::uint32_t producer_seq = 0) {
+  FrontendRequest r;
+  r.cycle = cycle;
+  r.task = task;
+  r.kind = kind;
+  r.order = order;
+  r.producer = producer;
+  r.producer_seq = producer_seq;
+  return r;
+}
+
+TEST(FrontendQueue, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(FrontendQueue(1).capacity(), 2u);
+  EXPECT_EQ(FrontendQueue(2).capacity(), 2u);
+  EXPECT_EQ(FrontendQueue(3).capacity(), 4u);
+  EXPECT_EQ(FrontendQueue(1000).capacity(), 1024u);
+  EXPECT_EQ(FrontendQueue(1024).capacity(), 1024u);
+}
+
+TEST(FrontendQueue, FullRingReturnsTypedRejectAndLosesNothing) {
+  FrontendQueue queue(8);
+  for (std::size_t i = 0; i < queue.capacity(); ++i) {
+    EXPECT_EQ(queue.try_push(make_request(0, i, RequestKind::kJoin, i)),
+              PushResult::kAccepted);
+  }
+  // Backpressure, not a drop: the reject is typed and counted, and every
+  // previously accepted request is still there.
+  EXPECT_EQ(queue.try_push(make_request(0, 99, RequestKind::kJoin, 99)),
+            PushResult::kQueueFull);
+  EXPECT_EQ(queue.rejected(), 1u);
+  EXPECT_EQ(queue.accepted(), queue.capacity());
+
+  std::vector<FrontendRequest> drained;
+  EXPECT_EQ(queue.drain(drained), queue.capacity());
+  for (std::size_t i = 0; i < drained.size(); ++i) {
+    EXPECT_EQ(drained[i].task, i);  // single producer: FIFO
+  }
+  // The ring is usable again after the consumer frees cells.
+  EXPECT_EQ(queue.try_push(make_request(1, 7, RequestKind::kLeave, 100)),
+            PushResult::kAccepted);
+  drained.clear();
+  EXPECT_EQ(queue.drain(drained), 1u);
+  EXPECT_EQ(drained[0].task, 7u);
+  EXPECT_EQ(drained[0].kind, RequestKind::kLeave);
+}
+
+TEST(FrontendQueue, StressNoLossNoDuplicationPerProducerFifo) {
+  // N producers push randomized bursts while the consumer drains live.
+  // The ring is deliberately smaller than the total so backpressure paths
+  // run hot; producers spin on kQueueFull, so accepted == everything.
+  constexpr std::size_t kProducers = 4;
+  constexpr std::uint32_t kPerProducer = 5000;
+  FrontendQueue queue(64);
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      std::mt19937 rng(static_cast<unsigned>(p * 7919 + 17));
+      std::uint32_t seq = 0;
+      while (seq < kPerProducer) {
+        // Bursts of 1..16 back-to-back pushes, then a tiny pause.
+        const std::uint32_t burst =
+            1 + static_cast<std::uint32_t>(rng() % 16);
+        for (std::uint32_t b = 0; b < burst && seq < kPerProducer; ++b) {
+          const FrontendRequest r = make_request(
+              rng() % 97, rng() % 31, RequestKind::kJoin,
+              /*order=*/static_cast<std::uint64_t>(p) << 32 | seq,
+              static_cast<std::uint32_t>(p), seq);
+          while (queue.try_push(r) != PushResult::kAccepted) {
+            std::this_thread::yield();
+          }
+          ++seq;
+        }
+        if (rng() % 4 == 0) std::this_thread::yield();
+      }
+    });
+  }
+
+  std::vector<FrontendRequest> seen;
+  seen.reserve(kProducers * kPerProducer);
+  std::atomic<bool> done{false};
+  std::thread consumer([&queue, &seen, &done] {
+    for (;;) {
+      // Read the flag BEFORE draining: if producers finished before a
+      // drain that came up empty, everything was already published.
+      const bool finished = done.load(std::memory_order_acquire);
+      if (queue.drain(seen) == 0) {
+        if (finished) break;
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (std::thread& t : producers) t.join();
+  done.store(true, std::memory_order_release);
+  consumer.join();
+
+  ASSERT_EQ(seen.size(), kProducers * kPerProducer);
+  EXPECT_EQ(queue.accepted(), kProducers * kPerProducer);
+
+  // Exactly-once delivery and per-producer FIFO: each producer's
+  // producer_seq values appear once, in increasing pop order.
+  std::vector<std::uint32_t> next_seq(kProducers, 0);
+  for (const FrontendRequest& r : seen) {
+    ASSERT_LT(r.producer, kProducers);
+    EXPECT_EQ(r.producer_seq, next_seq[r.producer])
+        << "producer " << r.producer << " reordered or duplicated";
+    ++next_seq[r.producer];
+  }
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(next_seq[p], kPerProducer) << "producer " << p << " lost requests";
+  }
+}
+
+TEST(ServeFrontend, DrainOrderIndependentOfProducerInterleaving) {
+  // The same 256 requests (unique order tickets) enqueued under three
+  // different producer layouts must replay in the identical order.
+  constexpr std::size_t kRequests = 256;
+  std::vector<FrontendRequest> script;
+  script.reserve(kRequests);
+  std::mt19937 rng(20070730);
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    script.push_back(make_request(rng() % 19, rng() % 64,
+                                  rng() % 2 ? RequestKind::kJoin
+                                            : RequestKind::kLeave,
+                                  /*order=*/i));
+  }
+
+  auto replay = [&script](std::size_t producers) {
+    ServeFrontend frontend(2 * kRequests);
+    std::vector<std::thread> threads;
+    threads.reserve(producers);
+    for (std::size_t p = 0; p < producers; ++p) {
+      threads.emplace_back([&script, &frontend, p, producers] {
+        for (std::size_t i = p; i < script.size(); i += producers) {
+          FrontendRequest r = script[i];
+          r.producer = static_cast<std::uint32_t>(p);
+          while (frontend.submit(r) != PushResult::kAccepted) {
+            std::this_thread::yield();
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    frontend.drain();
+    return frontend.take_matured(1u << 20);
+  };
+
+  const std::vector<FrontendRequest> one = replay(1);
+  const std::vector<FrontendRequest> four = replay(4);
+  const std::vector<FrontendRequest> seven = replay(7);
+  ASSERT_EQ(one.size(), kRequests);
+  ASSERT_EQ(four.size(), kRequests);
+  ASSERT_EQ(seven.size(), kRequests);
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    EXPECT_EQ(one[i].order, four[i].order) << "at " << i;
+    EXPECT_EQ(one[i].order, seven[i].order) << "at " << i;
+    EXPECT_EQ(one[i].cycle, four[i].cycle);
+    EXPECT_EQ(one[i].task, four[i].task);
+    EXPECT_EQ(one[i].kind, four[i].kind);
+    // (cycle, order) sort: cycles ascend, tickets ascend within a cycle.
+    if (i > 0) {
+      EXPECT_GE(one[i].cycle, one[i - 1].cycle);
+      if (one[i].cycle == one[i - 1].cycle) {
+        EXPECT_GT(one[i].order, one[i - 1].order);
+      }
+    }
+  }
+}
+
+TEST(ServeFrontend, MaturityAndQueueWaitBookkeeping) {
+  ServeFrontend frontend(16);
+  ASSERT_EQ(frontend.submit(make_request(3, 1, RequestKind::kJoin, 0)),
+            PushResult::kAccepted);
+  ASSERT_EQ(frontend.submit(make_request(8, 2, RequestKind::kLeave, 1)),
+            PushResult::kAccepted);
+  ASSERT_EQ(frontend.submit(make_request(8, 3, RequestKind::kJoin, 2)),
+            PushResult::kAccepted);
+  frontend.drain();
+  EXPECT_EQ(frontend.pending(), 3u);
+  EXPECT_EQ(frontend.stats().drained, 3u);
+  EXPECT_EQ(frontend.stats().joins, 2u);
+  EXPECT_EQ(frontend.stats().leaves, 1u);
+
+  // The earliest pending cycle caps the next segment.
+  std::size_t next = 0;
+  ASSERT_TRUE(frontend.next_request_cycle_after(0, &next));
+  EXPECT_EQ(next, 3u);
+  // A late request (target already passed) matures one cycle ahead.
+  ASSERT_TRUE(frontend.next_request_cycle_after(5, &next));
+  EXPECT_EQ(next, 6u);
+
+  // Maturing at cycle 5: only the cycle-3 request, two cycles late.
+  const std::vector<FrontendRequest> at5 = frontend.take_matured(5);
+  ASSERT_EQ(at5.size(), 1u);
+  EXPECT_EQ(at5[0].task, 1u);
+  EXPECT_EQ(frontend.stats().late, 1u);
+  EXPECT_EQ(frontend.stats().queue_wait_cycles.max_value(), 2u);
+  EXPECT_EQ(frontend.pending(), 2u);
+
+  // Maturing exactly at the target cycle: zero wait, not late.
+  const std::vector<FrontendRequest> at8 = frontend.take_matured(8);
+  ASSERT_EQ(at8.size(), 2u);
+  EXPECT_EQ(at8[0].order, 1u);  // ticket order within the cycle
+  EXPECT_EQ(at8[1].order, 2u);
+  EXPECT_EQ(frontend.stats().late, 1u);
+  EXPECT_EQ(frontend.stats().queue_wait_cycles.total_count(), 3u);
+  EXPECT_EQ(frontend.pending(), 0u);
+  EXPECT_FALSE(frontend.next_request_cycle_after(0, &next));
+}
+
+TEST(ServeFrontend, MemoryFootprintIsBoundedByRingAndPending) {
+  // Long-haul soak shape in miniature: epochs of submit+drain+mature must
+  // not grow the footprint once the pending buffer's capacity plateaus.
+  ServeFrontend frontend(64);
+  std::size_t plateau = 0;
+  for (std::size_t epoch = 0; epoch < 64; ++epoch) {
+    for (std::size_t i = 0; i < 48; ++i) {
+      ASSERT_EQ(frontend.submit(make_request(epoch, i, RequestKind::kJoin,
+                                             epoch * 48 + i)),
+                PushResult::kAccepted);
+    }
+    frontend.drain();
+    (void)frontend.take_matured(epoch);
+    if (epoch == 8) plateau = frontend.memory_bytes();
+    if (epoch > 8) EXPECT_EQ(frontend.memory_bytes(), plateau);
+  }
+}
+
+}  // namespace
+}  // namespace speedqm

@@ -22,6 +22,13 @@ docs, and every real-time flag the tool parses (--wall-scale, the
 checks fail loudly if the source patterns stop matching, so a parser
 refactor cannot make them pass vacuously.
 
+And for the ingest front-end: every front-end/SLO flag the tool parses
+(--frontend, --slo-out, --slo-target) must appear as `--<flag>` in the
+docs, and the SLO artifact schema name declared in src/serve/frontend.hpp
+(kSloArtifactSchema) must be documented in docs/scenarios.md so the
+artifact's consumers can find its contract. Vacuous-pass guarded the same
+way: if the source patterns stop matching, the check fails.
+
 Paths under runtime-artifact directories (build/, bench_out/) and obvious
 non-path code spans (spaces, (), no '/') are ignored, so prose stays free
 to show commands and identifiers without tripping the gate.
@@ -196,6 +203,62 @@ def check_realtime_docs(root):
     return problems
 
 
+# The serve front-end / SLO CLI surface and the artifact schema constant.
+# Scoped to the frontend/slo flag family, mirroring REALTIME_FLAG.
+FRONTEND_FLAG = re.compile(
+    r'(?:get|parse_choice)\(args,\s*"((?:frontend|slo)[a-z-]*)"'
+)
+SLO_SCHEMA = re.compile(
+    r'kSloArtifactSchema\[\]\s*=\s*"([a-z0-9-]+)"'
+)
+
+
+def check_frontend_docs(root):
+    """Every front-end/SLO flag and the artifact schema must be documented."""
+    tool = root / "tools" / "speedqm_tool.cpp"
+    header = root / "src" / "serve" / "frontend.hpp"
+    if not tool.exists():
+        return [f"{tool.relative_to(root)}: missing (front-end CLI "
+                "cross-check has nothing to scan)"]
+    if not header.exists():
+        return [f"{header.relative_to(root)}: missing (SLO artifact schema "
+                "cross-check has nothing to scan)"]
+
+    flags = sorted(set(FRONTEND_FLAG.findall(
+        tool.read_text(encoding="utf-8"))))
+    if not flags:
+        return ["tools/speedqm_tool.cpp: no front-end/SLO flag reads found "
+                "— the front-end flag cross-check would pass vacuously"]
+    schema_match = SLO_SCHEMA.search(header.read_text(encoding="utf-8"))
+    if not schema_match:
+        return ["src/serve/frontend.hpp: no kSloArtifactSchema constant "
+                "found — the schema cross-check would pass vacuously"]
+    schema = schema_match.group(1)
+
+    doc_paths = ("README.md", "docs/architecture.md", "docs/scenarios.md")
+    docs_text = "\n".join(
+        (root / p).read_text(encoding="utf-8")
+        for p in doc_paths if (root / p).exists()
+    )
+    problems = []
+    for flag in flags:
+        if f"--{flag}" not in docs_text:
+            problems.append(
+                f"docs: front-end flag '--{flag}' is parsed by speedqm_tool "
+                f"but never appears in {', '.join(doc_paths)}"
+            )
+    scenarios = root / "docs" / "scenarios.md"
+    scenarios_text = (scenarios.read_text(encoding="utf-8")
+                      if scenarios.exists() else "")
+    if schema not in scenarios_text:
+        problems.append(
+            f"docs/scenarios.md: SLO artifact schema '{schema}' "
+            "(kSloArtifactSchema in src/serve/frontend.hpp) is never "
+            "documented — artifact consumers have no contract to read"
+        )
+    return problems
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--root", default=None,
@@ -217,6 +280,7 @@ def main():
         problems.extend(check_file(doc, root))
     problems.extend(check_generator_docs(root))
     problems.extend(check_realtime_docs(root))
+    problems.extend(check_frontend_docs(root))
 
     for problem in problems:
         print(f"DOCS-FAIL: {problem}")

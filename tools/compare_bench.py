@@ -27,6 +27,12 @@ New cells in the current run (new engines, wider grids) are reported but
 never fail: refresh the baseline to start tracking them (see docs/perf.md,
 "Benchmarks in CI").
 
+Non-deterministic wall-time fields (NONDETERMINISTIC_METRICS, e.g. the
+"wall_seconds" column BENCH_frontend.json carries per record) are ignored
+entirely: they are informational host-timing readings, so they neither
+gate nor count as a lost column when a baseline was refreshed on a machine
+that recorded them differently.
+
 --annotate additionally emits GitHub Actions ::error annotations naming the
 bench and the failing cell, so regressions surface directly on the PR.
 """
@@ -43,6 +49,10 @@ KEY_FIELDS = ("policy", "engine", "n", "num_levels")
 # fresh run) is a hard failure, never a KeyError crash.
 REQUIRED_METRICS = ("ns_per_decision", "ops_per_decision")
 
+# Host-timing fields some benches record per cell (wall clock, throughput).
+# Never gated and never required: dropping one is not a lost column.
+NONDETERMINISTIC_METRICS = ("wall_seconds", "steps_per_second")
+
 
 def load_records(path):
     with open(path) as fh:
@@ -57,8 +67,13 @@ def load_records(path):
 
 
 def metric_columns(record):
-    """Metric fields of a record: everything beyond the identity key."""
-    return sorted(k for k in record if k not in KEY_FIELDS)
+    """Gatable metric fields of a record: everything beyond the identity
+    key except the non-deterministic wall-time readings."""
+    return sorted(
+        k
+        for k in record
+        if k not in KEY_FIELDS and k not in NONDETERMINISTIC_METRICS
+    )
 
 
 def main():

@@ -48,6 +48,16 @@
 #   graceful-degradation gate (0 unattributed misses, >= 2x fewer misses
 #   with the governor on) are SHAPE-gated in the log. bench_realtime is
 #   also run TWICE and byte-compared.
+#   BENCH_frontend.json  — SLO-instrumented ingest front-end (simulated
+#   ns/step and ops/step of the schedule-vs-MPSC-front-end differential
+#   matrix, plus the soak's plateau footprint in the ops column). Each
+#   record also carries a "wall_seconds" host-timing reading, which
+#   compare_bench.py ignores; bench_frontend is run TWICE and the two
+#   artifacts byte-compared AFTER stripping the wall fields — the
+#   deterministic fields must reproduce exactly. Differential bit-identity
+#   (1 and 4 workers, calm and flaky-shard), producer-count invariance,
+#   artifact-schema validity, and the memory-flat soak are SHAPE-gated in
+#   the log.
 #
 # Under GitHub Actions ($GITHUB_ACTIONS = true) baseline comparisons also
 # emit ::error annotations naming the bench and the regressing cell, so
@@ -85,7 +95,7 @@ OUT_DIR="${OUT_DIR:-bench_out}"
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
-for bin in bench_micro_managers bench_multi_task bench_sharded bench_table_memory bench_perturbation bench_workload_gen bench_realtime; do
+for bin in bench_micro_managers bench_multi_task bench_sharded bench_table_memory bench_perturbation bench_workload_gen bench_realtime bench_frontend; do
   if [ ! -x "${BUILD_DIR}/${bin}" ]; then
     echo "error: ${BUILD_DIR}/${bin} not found — refusing to skip" >&2
     echo "(a missing bench binary must not let the CI bench gate pass vacuously)" >&2
@@ -102,7 +112,7 @@ if [ -n "${BASELINE}" ]; then
   # Back-compat: a BENCH_decision.json path means "its directory".
   [ -f "${BASELINE}" ] && BASELINE="$(dirname "${BASELINE}")"
   [ -d "${BASELINE}" ] || { echo "error: baseline ${BASELINE} not found" >&2; exit 2; }
-  for json in BENCH_decision.json BENCH_multitask.json BENCH_sharded.json BENCH_table_memory.json BENCH_perturb.json BENCH_workload.json BENCH_realtime.json; do
+  for json in BENCH_decision.json BENCH_multitask.json BENCH_sharded.json BENCH_table_memory.json BENCH_perturb.json BENCH_workload.json BENCH_realtime.json BENCH_frontend.json; do
     [ -f "${BASELINE}/${json}" ] || {
       echo "error: baseline ${BASELINE}/${json} missing — the gate must not pass vacuously" >&2
       exit 2
@@ -119,6 +129,7 @@ TABLEMEM_BIN="$(cd "${BUILD_DIR}" && pwd)/bench_table_memory"
 PERTURB_BIN="$(cd "${BUILD_DIR}" && pwd)/bench_perturbation"
 WORKLOAD_BIN="$(cd "${BUILD_DIR}" && pwd)/bench_workload_gen"
 REALTIME_BIN="$(cd "${BUILD_DIR}" && pwd)/bench_realtime"
+FRONTEND_BIN="$(cd "${BUILD_DIR}" && pwd)/bench_frontend"
 mkdir -p "${OUT_DIR}"
 cd "${OUT_DIR}"
 
@@ -272,6 +283,41 @@ if ! cmp -s BENCH_realtime.json BENCH_realtime_repeat.json; then
 fi
 echo "[SHAPE-OK  ] determinism double-run: BENCH_realtime.json byte-identical across runs"
 
+# Ingest front-end bench: records mix deterministic cells with a
+# "wall_seconds" host-timing field per record, so the double-run gate
+# byte-compares the artifacts AFTER stripping the wall fields — every
+# remaining byte is deterministic (simulated time, ops, soak footprint)
+# and must reproduce exactly.
+BENCH_STATUS=0
+"${FRONTEND_BIN}" BENCH_frontend.json > bench_frontend.log 2>&1 || BENCH_STATUS=$?
+cat bench_frontend.log
+if [ "${BENCH_STATUS}" -ne 0 ]; then
+  echo "error: bench_frontend exited ${BENCH_STATUS} (SHAPE gate failed)" >&2
+  exit "${BENCH_STATUS}"
+fi
+
+if [ ! -s BENCH_frontend.json ]; then
+  echo "error: bench run produced no BENCH_frontend.json — hard failure" >&2
+  exit 2
+fi
+
+BENCH_STATUS=0
+"${FRONTEND_BIN}" BENCH_frontend_repeat.json > bench_frontend_repeat.log 2>&1 || BENCH_STATUS=$?
+if [ "${BENCH_STATUS}" -ne 0 ]; then
+  echo "error: bench_frontend repeat run exited ${BENCH_STATUS}" >&2
+  exit "${BENCH_STATUS}"
+fi
+sed -E 's/"wall_seconds": [-+0-9.eE]+//' BENCH_frontend.json > BENCH_frontend_det.json
+sed -E 's/"wall_seconds": [-+0-9.eE]+//' BENCH_frontend_repeat.json > BENCH_frontend_repeat_det.json
+if ! cmp -s BENCH_frontend_det.json BENCH_frontend_repeat_det.json; then
+  echo "error: BENCH_frontend.json deterministic fields differ between two" >&2
+  echo "in-process runs — the ingest front-end lost replay determinism" >&2
+  diff BENCH_frontend_det.json BENCH_frontend_repeat_det.json >&2 || true
+  exit 2
+fi
+rm -f BENCH_frontend_det.json BENCH_frontend_repeat_det.json
+echo "[SHAPE-OK  ] determinism double-run: BENCH_frontend.json byte-identical across runs (wall fields stripped)"
+
 if [ -n "${BASELINE}" ]; then
   # Inside GitHub Actions, annotate regressions on the PR (::error lines
   # naming the bench and cell). The per-bench reports are written either
@@ -279,7 +325,7 @@ if [ -n "${BASELINE}" ]; then
   ANNOTATE_ARGS=""
   [ "${GITHUB_ACTIONS:-}" = "true" ] && ANNOTATE_ARGS="--annotate"
   COMPARE_STATUS=0
-  for name in decision multitask sharded table_memory perturb workload realtime; do
+  for name in decision multitask sharded table_memory perturb workload realtime frontend; do
     echo ""
     echo "comparing BENCH_${name}.json against baseline ${BASELINE}/BENCH_${name}.json:"
     # BENCH_table_memory's hard payload is the deterministic bytes-per-entry

@@ -21,9 +21,11 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/batch_engine.hpp"
+#include "serve/frontend.hpp"
 #include "core/feasibility.hpp"
 #include "core/numeric_manager.hpp"
 #include "core/region_compiler.hpp"
@@ -632,6 +634,50 @@ int cmd_serve(const ArgMap& args) {
         static_cast<std::size_t>(std::stoull(get(args, "initial", "0")));
   }
 
+  const std::size_t frontend_producers =
+      static_cast<std::size_t>(std::stoull(get(args, "frontend", "0")));
+  std::unique_ptr<ServeFrontend> frontend;
+  if (frontend_producers > 0) {
+    // Route the arrival script through the ingest front-end: N producer
+    // threads enqueue the script's events as requests (order ticket =
+    // script index, so the drained replay matches the schedule's stable
+    // within-cycle order) and the server gets an EMPTY schedule. The
+    // result is differential-gated bit-identical to the pre-drained path
+    // for any producer count.
+    const std::vector<ArrivalEvent> events = schedule.events();
+    frontend = std::make_unique<ServeFrontend>(
+        std::max<std::size_t>(FrontendQueue::kDefaultCapacity,
+                              2 * events.size()));
+    std::vector<std::thread> producers;
+    producers.reserve(frontend_producers);
+    for (std::size_t p = 0; p < frontend_producers; ++p) {
+      producers.emplace_back([&events, &frontend, p, frontend_producers] {
+        std::uint32_t seq = 0;
+        for (std::size_t i = p; i < events.size(); i += frontend_producers) {
+          FrontendRequest r;
+          r.cycle = events[i].cycle;
+          r.task = events[i].task;
+          r.kind = events[i].join ? RequestKind::kJoin : RequestKind::kLeave;
+          r.order = i;
+          r.producer = static_cast<std::uint32_t>(p);
+          r.producer_seq = seq++;
+          // The ring is sized to hold the whole script; backpressure here
+          // would mean a geometry bug, so spin-yield defensively.
+          while (frontend->submit(r) != PushResult::kAccepted) {
+            std::this_thread::yield();
+          }
+        }
+      });
+    }
+    for (std::thread& t : producers) t.join();
+    std::printf("front-end      : %zu producers, %zu requests, ring "
+                "capacity %zu\n",
+                frontend_producers, events.size(),
+                frontend->queue().capacity());
+    schedule = ArrivalSchedule{};
+    spec.frontend = frontend.get();
+  }
+
   ShardedServer server(spec, std::move(schedule));
   std::printf("pool           : %zu tasks, shard budget %s x %zu shards, "
               "%s manager, %zu cycles\n",
@@ -640,6 +686,19 @@ int cmd_serve(const ArgMap& args) {
               spec.cycles);
   const ServingSummary summary = server.serve();
   std::printf("%s", summary.render().c_str());
+
+  const std::string slo_out = get(args, "slo-out", "");
+  if (!slo_out.empty()) {
+    SloArtifactOptions slo;
+    slo.target_miss_rate = std::stod(get(args, "slo-target", "0.05"));
+    if (!write_slo_artifact(slo_out, summary, slo)) {
+      std::fprintf(stderr, "error: cannot write SLO artifact to %s\n",
+                   slo_out.c_str());
+      return 74;  // EX_IOERR
+    }
+    std::printf("slo artifact   : %s (schema %s v%d)\n", slo_out.c_str(),
+                kSloArtifactSchema, kSloArtifactVersion);
+  }
   return exit_code(serving_verdict(summary));
 }
 
@@ -690,6 +749,7 @@ void usage() {
       "           [--perturb NAME]\n"
       "           [--workload poisson|bursty|diurnal|checkpoint]\n"
       "           [--workload-spec K=V,...]\n"
+      "           [--frontend P] [--slo-out FILE] [--slo-target F]\n"
       "           [--clock sim|wall|virtual] [real-time flags]\n"
       "  inspect  --tables PREFIX\n"
       "\n"
@@ -723,7 +783,16 @@ void usage() {
       "  serve --workload bursty --workload-spec rate=3,burst-len=4,burst=6\n"
       "  multitask --workload trace-replay --workload-spec trace=f.bin\n"
       "(unknown generator names and spec keys are rejected; see\n"
-      "docs/scenarios.md for the full key list)\n");
+      "docs/scenarios.md for the full key list)\n"
+      "\n"
+      "--frontend P routes serve's arrival script through the lock-free\n"
+      "MPSC ingest front-end (serve/frontend.hpp) from P producer threads —\n"
+      "bit-identical decisions to the pre-drained script for any P.\n"
+      "--slo-out FILE writes the versioned SLO run artifact (decision\n"
+      "latency p50/p99/p999, deadline-miss SLO vs --slo-target F (default\n"
+      "0.05), queue-wait and admission-price histograms); the artifact's\n"
+      "deterministic section byte-compares across runs, its wall section\n"
+      "does not (see docs/scenarios.md for the schema)\n");
 }
 
 }  // namespace

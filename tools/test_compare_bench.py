@@ -122,6 +122,27 @@ def main():
         )
         write_bench(base, [record(), record(engine="f", ns=200.0)])
 
+        # Non-deterministic wall-time fields neither gate nor count as a
+        # lost column: a baseline recording wall_seconds compares clean
+        # against a run that dropped it or recorded a wildly different
+        # host timing.
+        wall_base = record(engine="f", ns=200.0)
+        wall_base["wall_seconds"] = 12.5
+        write_bench(base, [record(), wall_base])
+        wall_cur = record(engine="f", ns=200.0)
+        wall_cur["wall_seconds"] = 0.003  # 4000x "faster": ignored
+        write_bench(cur, [record(), wall_cur])
+        r = run_compare(base, cur)
+        ok &= check("wall_seconds drift never gates", r.returncode == 0,
+                    r.stdout[-120:])
+        write_bench(cur, [record(), record(engine="f", ns=200.0)])
+        r = run_compare(base, cur)
+        ok &= check(
+            "dropped wall_seconds column is not a lost-column failure",
+            r.returncode == 0 and "missing" not in r.stdout,
+        )
+        write_bench(base, [record(), record(engine="f", ns=200.0)])
+
         # New cells in the run are reported but never gate.
         write_bench(cur, [record(), record(engine="f", ns=200.0),
                           record(engine="new-engine")])
