@@ -47,7 +47,23 @@
 // so shared-runner noise windows hit every side. The part-1 heterogeneous
 // mix reports the production blend, where per-lane divergence and the
 // mix's finished-task drain tail dilute lane parallelism; both regimes
-// are bit-identity-asserted across kernels.
+// are bit-identity-asserted across kernels. The same steady cell also
+// carries the compressed-arena ratio gate: the delta-coded sweep (vector
+// block decode in registers) must hold >= 0.90x of the flat sweep
+// (SPEEDQM_COMPRESSED_MIN_RATIO override; SHAPE-SKIP without a vector
+// kernel — the ratio is machine-relative, never baselined).
+//
+// Part 2b: the climb gate. A climb-heavy stream — the shared target
+// jumping between a low and a high quality every epoch, so EVERY lane's
+// warm hint is >= 2 levels off and every epoch pays the full
+// climb/fall search — pins the vectorized lock-step search
+// (sweep_detail::search_lanes): the forced-vector kernel must beat the
+// one-lane template >= 2x (SPEEDQM_CLIMB_MIN_SPEEDUP override, strictly
+// validated; SHAPE-SKIP without a vector kernel), with the same 0.90x
+// sanity floor against the branchy scalar and bit-identity (ops
+// included) across scalar/vector x flat/compressed. Its ns cells land in
+// BENCH_multitask.json as batched-climb / batched-climb-scalar and are
+// baselined like every other row.
 //
 // Part 3: streaming million-cycle replay. A small composed mix runs for
 // 10^6 cycles with ExecutorOptions::retain_steps = false and a
@@ -327,6 +343,96 @@ EpochStream make_uniform_steady_epochs(const PolicyEngine& engine,
   return stream;
 }
 
+/// Strictly parses a positive double from env var `name`, falling back to
+/// `fallback` when unset. A malformed or non-positive override SHAPE-FAILs
+/// (clearing *ok) and returns a negative sentinel — a bad override must
+/// never let a gate pass vacuously (same policy as the missing-baseline
+/// checks).
+double env_floor(const char* name, double fallback, bool* ok) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(env, &end);
+  if (end == env || *end != '\0' || !(v > 0.0)) {
+    std::printf("[SHAPE-FAIL] %s='%s' is not a positive number\n", name, env);
+    *ok = false;
+    return -1.0;
+  }
+  return v;
+}
+
+/// The gates' reference: the ISSUE-design scalar fallback — the one-lane
+/// instantiation of the resolve_lanes compare/select template
+/// (branch-free), falling through to the decide_max_quality ladder for
+/// lanes the resolve leaves pending. This is exactly the dataflow the
+/// vector kernels replicate lane-parallel. It runs over its own per-task
+/// flat row copies, matching what the engine's arena (and the per-task
+/// sequential managers) actually read — one shared copy would hand the
+/// scalar baseline an unrealistically small working set.
+class TemplateKernel {
+ public:
+  TemplateKernel(const PolicyEngine& engine, std::size_t num_tasks)
+      : td_(engine.td_table()),
+        qmax_(engine.num_levels() - 1),
+        nq_(static_cast<std::size_t>(engine.num_levels())),
+        hints_(num_tasks, -1),
+        out_(num_tasks) {
+    arena_.reserve(td_.size() * num_tasks);
+    for (std::size_t task = 0; task < num_tasks; ++task) {
+      arena_.insert(arena_.end(), td_.begin(), td_.end());
+    }
+  }
+
+  void reset() { hints_.assign(hints_.size(), -1); }
+  const Decision& out(std::size_t task) const { return out_[task]; }
+
+  std::uint64_t pass(const StateIndex* states, TimeNs t) {
+    using sweep_detail::ScalarBackend;
+    const sweep_detail::ResolveConsts<ScalarBackend> consts(t, qmax_);
+    std::uint64_t total = 0;
+    const std::size_t num_tasks = hints_.size();
+    for (std::size_t task = 0; task < num_tasks; ++task) {
+      const TimeNs* row =
+          arena_.data() + task * td_.size() +
+          static_cast<std::size_t>(states[task]) * nq_;
+      const Quality h = hints_[task];
+      Decision d;
+      if (h >= 0) {
+        const std::int64_t vh = row[h];
+        const std::int64_t vup = row[h >= qmax_ ? h : h + 1];
+        const std::int64_t vdn = row[h <= kQmin ? h : h - 1];
+        const auto r = sweep_detail::resolve_lanes<ScalarBackend>(
+            vh, vup, vdn, h, consts);
+        if (r.decided) {
+          d.quality = static_cast<Quality>(r.q);
+          d.ops = static_cast<std::uint64_t>(r.ops);
+          d.feasible = r.inf == 0;
+        } else {
+          d = decide_max_quality(qmax_, h, [&](Quality q, std::uint64_t*) {
+            return row[q] >= t;
+          });
+        }
+      } else {
+        d = decide_max_quality(qmax_, h, [&](Quality q, std::uint64_t*) {
+          return row[q] >= t;
+        });
+      }
+      hints_[task] = d.quality;
+      out_[task] = d;
+      total += d.ops;
+    }
+    return total;
+  }
+
+ private:
+  std::vector<TimeNs> td_;
+  Quality qmax_;
+  std::size_t nq_;
+  std::vector<Quality> hints_;
+  std::vector<Decision> out_;
+  std::vector<TimeNs> arena_;
+};
+
 bool run_simd_gate() {
   std::printf("\n--- SIMD decide_all gate (uniform pool, steady state) ---\n");
   bool ok = true;
@@ -339,15 +445,15 @@ bool run_simd_gate() {
   spec.num_cycles = 1;
   const SyntheticWorkload workload(spec);
   const PolicyEngine engine(workload.app(), workload.timing());
-  const std::vector<TimeNs> td = engine.td_table();
-  const Quality qmax = engine.num_levels() - 1;
 
   TextTable table({"T", "template ns/epoch", "branchy ns/epoch",
-                   "simd ns/epoch", "vs template", "vs branchy", "kernel"});
+                   "simd ns/epoch", "compressed ns/epoch", "vs template",
+                   "vs branchy", "comp ratio", "kernel"});
   struct GateCell {
     std::size_t num_tasks;
     double vs_template;
     double vs_branchy;
+    double comp_ratio;
     bool simd_active;
     bool identical;
   };
@@ -360,94 +466,58 @@ bool run_simd_gate() {
     BatchDecisionEngine branchy(engines, BatchDecisionEngine::Mode::kTabled,
                                 ArenaLayout::kFlat,
                                 BatchDecisionEngine::Kernel::kScalar);
-    BatchDecisionEngine simd(engines);
+    // The gated engines pin Kernel::kVector so the floors measure the
+    // kernel itself, not the occupancy heuristic — under kAuto a sampled
+    // sweep could demote to scalar mid-timing and the "vector" column
+    // would silently time the fallback. (kVector degrades to scalar when
+    // no vector ISA is usable; those cells SHAPE-SKIP below.)
+    BatchDecisionEngine simd(engines, BatchDecisionEngine::Mode::kTabled,
+                             ArenaLayout::kFlat,
+                             BatchDecisionEngine::Kernel::kVector);
+    BatchDecisionEngine simd_comp(engines, BatchDecisionEngine::Mode::kTabled,
+                                  ArenaLayout::kCompressed,
+                                  BatchDecisionEngine::Kernel::kVector);
 
-    // The gate's reference: the ISSUE-design scalar fallback — the
-    // one-lane instantiation of the resolve_lanes compare/select template
-    // (branch-free), built here over its own flat rows. The SHIPPED
-    // scalar kernel goes further (the branchy early-exit resolve, faster
-    // under a predictable smooth walk) and is reported in its own column,
-    // so the table shows both the vector kernel's lane-parallel win over
-    // the dataflow it vectorizes and where it stands against the
-    // best-known scalar.
     const std::size_t T = stream.num_tasks;
-    std::vector<Quality> tmpl_hints(T, -1);
-    std::vector<Decision> tmpl_out(T);
-    const auto nq = static_cast<std::size_t>(engine.num_levels());
-    // Per-task table copies, matching what the engine's arena (and the
-    // per-task sequential managers) actually read — one shared copy would
-    // hand the scalar baseline an unrealistically small working set.
-    std::vector<TimeNs> tmpl_arena;
-    tmpl_arena.reserve(td.size() * T);
-    for (std::size_t task = 0; task < T; ++task) {
-      tmpl_arena.insert(tmpl_arena.end(), td.begin(), td.end());
-    }
-    const auto template_pass = [&](const StateIndex* states, TimeNs t) {
-      using sweep_detail::ScalarBackend;
-      const sweep_detail::ResolveConsts<ScalarBackend> consts(t, qmax);
-      std::uint64_t total = 0;
-      for (std::size_t task = 0; task < T; ++task) {
-        const TimeNs* row =
-            tmpl_arena.data() + task * td.size() + states[task] * nq;
-        const Quality h = tmpl_hints[task];
-        Decision d;
-        if (h >= 0) {
-          const std::int64_t vh = row[h];
-          const std::int64_t vup = row[h >= qmax ? h : h + 1];
-          const std::int64_t vdn = row[h <= kQmin ? h : h - 1];
-          const auto r = sweep_detail::resolve_lanes<ScalarBackend>(
-              vh, vup, vdn, h, consts);
-          if (r.decided) {
-            d.quality = static_cast<Quality>(r.q);
-            d.ops = static_cast<std::uint64_t>(r.ops);
-            d.feasible = r.inf == 0;
-          } else {
-            d = decide_max_quality(qmax, h, [&](Quality q, std::uint64_t*) {
-              return row[q] >= t;
-            });
-          }
-        } else {
-          d = decide_max_quality(qmax, h, [&](Quality q, std::uint64_t*) {
-            return row[q] >= t;
-          });
-        }
-        tmpl_hints[task] = d.quality;
-        tmpl_out[task] = d;
-        total += d.ops;
-      }
-      return total;
-    };
+    TemplateKernel tmpl(engine, T);
 
-    std::vector<Decision> out_a(T), out_b(T);
+    std::vector<Decision> out_a(T), out_b(T), out_c(T);
     // Identity across the template reference, the branchy kernel and the
-    // vector kernel on this stream (the gate's own regime is
-    // bench-asserted, not only the epoch-protocol stream of part 1).
+    // vector kernel on flat AND compressed arenas on this stream (the
+    // gate's own regime is bench-asserted, not only the epoch-protocol
+    // stream of part 1).
     bool identical = true;
     branchy.reset();
     simd.reset();
-    tmpl_hints.assign(T, -1);
+    simd_comp.reset();
+    tmpl.reset();
     for (std::size_t e = 0; e < stream.num_epochs; ++e) {
       const StateIndex* states = stream.states.data() + e * T;
       const std::uint64_t oa = branchy.decide_all(states, stream.times[e],
                                                   out_a.data());
       const std::uint64_t ob = simd.decide_all(states, stream.times[e],
                                                out_b.data());
-      const std::uint64_t oc = template_pass(states, stream.times[e]);
-      if (oa != ob || oa != oc) identical = false;
+      const std::uint64_t oc = simd_comp.decide_all(states, stream.times[e],
+                                                    out_c.data());
+      const std::uint64_t ot = tmpl.pass(states, stream.times[e]);
+      if (oa != ob || oa != oc || oa != ot) identical = false;
       for (std::size_t task = 0; task < T; ++task) {
         if (out_a[task].quality != out_b[task].quality ||
             out_a[task].ops != out_b[task].ops ||
             out_a[task].feasible != out_b[task].feasible ||
-            out_a[task].quality != tmpl_out[task].quality ||
-            out_a[task].ops != tmpl_out[task].ops) {
+            out_a[task].quality != out_c[task].quality ||
+            out_a[task].ops != out_c[task].ops ||
+            out_a[task].feasible != out_c[task].feasible ||
+            out_a[task].quality != tmpl.out(task).quality ||
+            out_a[task].ops != tmpl.out(task).ops) {
           identical = false;
         }
       }
     }
 
-    // The three kernels are timed interleaved (bench_common.hpp) so
-    // shared-runner noise hits every side; calibration is on the slowest
-    // side (the template).
+    // The template, branchy and vector kernels are timed interleaved
+    // (bench_common.hpp) so shared-runner noise hits every side;
+    // calibration is on the slowest side (the template).
     const auto engine_once = [&](BatchDecisionEngine& eng, Decision* out) {
       eng.reset();
       for (std::size_t e = 0; e < stream.num_epochs; ++e) {
@@ -455,9 +525,9 @@ bool run_simd_gate() {
       }
     };
     const auto template_once = [&] {
-      tmpl_hints.assign(T, -1);
+      tmpl.reset();
       for (std::size_t e = 0; e < stream.num_epochs; ++e) {
-        template_pass(stream.states.data() + e * T, stream.times[e]);
+        tmpl.pass(stream.states.data() + e * T, stream.times[e]);
       }
     };
     const std::vector<double> wall = interleaved_min_ns(
@@ -467,20 +537,35 @@ bool run_simd_gate() {
     const double tmpl_ns = wall[0];
     const double branchy_ns = wall[1];
     const double simd_ns = wall[2];
+    // The compressed engine races the flat vector engine in its OWN
+    // two-way interleave: folding its second working set into the main
+    // interleave measurably pollutes the cache for the gated kernels.
+    const std::vector<double> comp_wall = interleaved_min_ns(
+        {[&] { engine_once(simd, out_b.data()); },
+         [&] { engine_once(simd_comp, out_c.data()); }},
+        /*calibrate_on=*/0, /*min_calibrate_ns=*/3e6, /*rounds=*/10);
+    const double comp_ns = comp_wall[1];
     const auto epochs = static_cast<double>(stream.num_epochs);
     const double vs_template = tmpl_ns / simd_ns;
     const double vs_branchy = branchy_ns / simd_ns;
+    // Compressed-vs-flat throughput ratio on the same vector kernel
+    // (from the dedicated head-to-head race): >= 1 means the in-register
+    // block decode fully hides the delta-decode work; the gate floor
+    // bounds the tax.
+    const double comp_ratio = comp_wall[0] / comp_ns;
     table.begin_row()
         .cell(num_tasks)
         .cell(tmpl_ns / epochs, 1)
         .cell(branchy_ns / epochs, 1)
         .cell(simd_ns / epochs, 1)
+        .cell(comp_ns / epochs, 1)
         .cell(vs_template, 2)
         .cell(vs_branchy, 2)
+        .cell(comp_ratio, 2)
         .cell(simd.simd_active() ? "vector" : "scalar-fallback");
     table.end_row();
-    cells.push_back({num_tasks, vs_template, vs_branchy, simd.simd_active(),
-                     identical});
+    cells.push_back({num_tasks, vs_template, vs_branchy, comp_ratio,
+                     simd.simd_active(), identical});
   }
   std::printf("%s", table.render().c_str());
   std::printf("(gate reference: the one-lane compare/select template the "
@@ -490,32 +575,22 @@ bool run_simd_gate() {
 
   for (const GateCell& cell : cells) {
     ok &= shape_check(
-        "template/branchy/simd kernels bit-identical on steady stream (T=" +
+        "template/branchy/simd flat/compressed bit-identical on steady "
+        "stream (T=" +
             std::to_string(cell.num_tasks) + ")",
         cell.identical);
     if (!cell.simd_active) {
-      std::printf("[SHAPE-SKIP] SIMD >= 2x gate (T=%zu): no vector kernel "
-                  "in this build/on this CPU (SPEEDQM_SIMD=OFF or "
-                  "unsupported ISA)\n", cell.num_tasks);
+      std::printf("[SHAPE-SKIP] SIMD >= 2x and compressed-ratio gates "
+                  "(T=%zu): no vector kernel in this build/on this CPU "
+                  "(SPEEDQM_SIMD=OFF or unsupported ISA)\n", cell.num_tasks);
       continue;
     }
-    // The floor is machine-relative (two kernels on the SAME runner), so
-    // it is SHAPE-gated here and never baselined;
-    // SPEEDQM_SIMD_MIN_SPEEDUP overrides it where a runner's vector
-    // units are measured weak (virtualized/downclocked vector paths).
-    double floor = 2.0;
-    if (const char* env = std::getenv("SPEEDQM_SIMD_MIN_SPEEDUP")) {
-      char* end = nullptr;
-      floor = std::strtod(env, &end);
-      if (end == env || *end != '\0' || !(floor > 0.0)) {
-        // A malformed or non-positive floor must not let the gate pass
-        // vacuously (same policy as the missing-binary/baseline checks).
-        std::printf("[SHAPE-FAIL] SPEEDQM_SIMD_MIN_SPEEDUP='%s' is not a "
-                    "positive number\n", env);
-        ok = false;
-        continue;
-      }
-    }
+    // The floors are machine-relative (kernels raced on the SAME runner),
+    // so they are SHAPE-gated here and never baselined; the env overrides
+    // exist for runners whose vector units are measured weak
+    // (virtualized/downclocked vector paths).
+    const double floor = env_floor("SPEEDQM_SIMD_MIN_SPEEDUP", 2.0, &ok);
+    if (floor < 0) continue;
     char claim[160];
     std::snprintf(claim, sizeof(claim),
                   "SIMD decide_all >= %.2fx the one-lane scalar template per "
@@ -529,6 +604,241 @@ bool run_simd_gate() {
     char sanity[160];
     std::snprintf(sanity, sizeof(sanity),
                   "SIMD decide_all not a pessimization vs the branchy "
+                  "scalar kernel (T=%zu, measured %.2fx >= 0.90x)",
+                  cell.num_tasks, cell.vs_branchy);
+    ok &= shape_check(sanity, cell.vs_branchy >= 0.90);
+    // The compressed arena must hold >= 0.90x of flat throughput on the
+    // steady cell: the block decode runs in registers, so the only tax
+    // left is the decode ALU work the gate bounds here.
+    const double ratio_floor =
+        env_floor("SPEEDQM_COMPRESSED_MIN_RATIO", 0.90, &ok);
+    if (ratio_floor < 0) continue;
+    char comp_claim[160];
+    std::snprintf(comp_claim, sizeof(comp_claim),
+                  "compressed sweep >= %.2fx of flat on the steady cell "
+                  "(T=%zu, measured %.2fx)",
+                  ratio_floor, cell.num_tasks, cell.comp_ratio);
+    ok &= shape_check(comp_claim, cell.comp_ratio >= ratio_floor);
+  }
+  return ok;
+}
+
+// ---------------------------------------------------------------------------
+// Part 2b — the climb gate (every epoch a >= 2-level jump, every lane
+// through the lock-step search).
+// ---------------------------------------------------------------------------
+
+/// Climb-heavy stream: same uniform lockstep pool as the steady stream,
+/// but the shared target jumps between a low and a high quality BAND
+/// every epoch, landing on a pseudo-random level inside the band — every
+/// warm lane's hint is >= 2 levels off target, so every epoch pays the
+/// full climb/fall binary search instead of the stay/one-step resolve,
+/// and the landing level varies so the search's probe outcomes are not a
+/// fixed repeating pattern a branch predictor can memorize (a controlled
+/// run that needs the search is by definition not in a predictable
+/// steady state — the steady gate owns that regime).
+EpochStream make_climb_epochs(const PolicyEngine& engine,
+                              std::size_t num_tasks, std::size_t num_epochs) {
+  EpochStream stream;
+  stream.num_tasks = num_tasks;
+  stream.num_epochs = num_epochs;
+  const int nq = engine.num_levels();
+  const auto n = static_cast<std::size_t>(engine.num_states());
+  // Low band [1, 1+w), high band [nq-2-w, nq-2): disjoint whenever
+  // nq >= 8, so consecutive targets always differ by >= 2 levels.
+  const int w = std::max(1, nq / 4);
+  const Quality lo_base = std::min(1, nq - 1);
+  const Quality hi_base = std::max(nq - 2 - w, 0);
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL ^ (num_tasks * 0x2545F4914F6CDD1DULL);
+  stream.states.resize(num_epochs * num_tasks);
+  stream.times.reserve(num_epochs);
+  for (std::size_t e = 0; e < num_epochs; ++e) {
+    for (std::size_t task = 0; task < num_tasks; ++task) {
+      stream.states[e * num_tasks + task] = static_cast<StateIndex>(e % n);
+    }
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    const auto jitter = static_cast<Quality>((x >> 33) % w);
+    const Quality target = (e % 2 == 0)
+                               ? std::min(lo_base + jitter, nq - 1)
+                               : std::min(hi_base + jitter, nq - 1);
+    stream.times.push_back(
+        engine.td_online(static_cast<StateIndex>(e % n), target));
+  }
+  return stream;
+}
+
+bool run_climb_gate(std::vector<DecisionBenchRecord>& records) {
+  std::printf("\n--- climb-search gate (uniform pool, >= 2-level jump every "
+              "epoch) ---\n");
+  bool ok = true;
+  SyntheticSpec spec;
+  spec.seed = 20070732;
+  spec.num_actions = 64;
+  spec.num_levels = 16;
+  spec.budget_quality = 8;
+  spec.num_cycles = 1;
+  const SyntheticWorkload workload(spec);
+  const PolicyEngine engine(workload.app(), workload.timing());
+
+  TextTable table({"T", "template ns/epoch", "branchy ns/epoch",
+                   "vector ns/epoch", "vs template", "vs branchy", "kernel"});
+  struct GateCell {
+    std::size_t num_tasks;
+    double vs_template;
+    double vs_branchy;
+    bool simd_active;
+    bool identical;
+  };
+  std::vector<GateCell> cells;
+  for (const std::size_t num_tasks : {8u, 32u}) {
+    // 512 epochs: long enough that the timing harness's repeated replay
+    // cannot train the branch predictor on the scalar search's outcome
+    // sequence — a 64-epoch stream fits in predictor history and makes
+    // the scalar reference look unrealistically branch-free.
+    const EpochStream stream = make_climb_epochs(engine, num_tasks, 512);
+    const std::vector<const PolicyEngine*> engines(num_tasks, &engine);
+
+    BatchDecisionEngine branchy(engines, BatchDecisionEngine::Mode::kTabled,
+                                ArenaLayout::kFlat,
+                                BatchDecisionEngine::Kernel::kScalar);
+    // Pinned vector kernels (see the steady gate): the floor measures the
+    // lock-step search itself, not the occupancy heuristic.
+    BatchDecisionEngine vec(engines, BatchDecisionEngine::Mode::kTabled,
+                            ArenaLayout::kFlat,
+                            BatchDecisionEngine::Kernel::kVector);
+    BatchDecisionEngine vec_comp(engines, BatchDecisionEngine::Mode::kTabled,
+                                 ArenaLayout::kCompressed,
+                                 BatchDecisionEngine::Kernel::kVector);
+    BatchDecisionEngine scal_comp(engines, BatchDecisionEngine::Mode::kTabled,
+                                  ArenaLayout::kCompressed,
+                                  BatchDecisionEngine::Kernel::kScalar);
+
+    const std::size_t T = stream.num_tasks;
+    TemplateKernel tmpl(engine, T);
+
+    // Identity — quality, ops AND feasibility — across the template,
+    // scalar/vector and flat/compressed on the stream that forces every
+    // lane through the search prologue each epoch. This is the
+    // adversarial regime for probe-schedule drift: any vector search that
+    // probes even one level in a different order shows up as an ops
+    // mismatch here.
+    std::vector<Decision> out_a(T), out_b(T), out_c(T), out_d(T);
+    bool identical = true;
+    std::uint64_t total_ops = 0;
+    branchy.reset();
+    vec.reset();
+    vec_comp.reset();
+    scal_comp.reset();
+    tmpl.reset();
+    for (std::size_t e = 0; e < stream.num_epochs; ++e) {
+      const StateIndex* states = stream.states.data() + e * T;
+      const std::uint64_t oa = branchy.decide_all(states, stream.times[e],
+                                                  out_a.data());
+      const std::uint64_t ob = vec.decide_all(states, stream.times[e],
+                                              out_b.data());
+      const std::uint64_t oc = vec_comp.decide_all(states, stream.times[e],
+                                                   out_c.data());
+      const std::uint64_t od = scal_comp.decide_all(states, stream.times[e],
+                                                    out_d.data());
+      const std::uint64_t ot = tmpl.pass(states, stream.times[e]);
+      total_ops += oa;
+      if (oa != ob || oa != oc || oa != od || oa != ot) identical = false;
+      for (std::size_t task = 0; task < T; ++task) {
+        const Decision& a = out_a[task];
+        const Decision* const others[] = {&out_b[task], &out_c[task],
+                                          &out_d[task], &tmpl.out(task)};
+        for (const Decision* other : others) {
+          if (a.quality != other->quality || a.ops != other->ops ||
+              a.feasible != other->feasible) {
+            identical = false;
+          }
+        }
+      }
+    }
+
+    const auto engine_once = [&](BatchDecisionEngine& eng, Decision* out) {
+      eng.reset();
+      for (std::size_t e = 0; e < stream.num_epochs; ++e) {
+        eng.decide_all(stream.states.data() + e * T, stream.times[e], out);
+      }
+    };
+    const auto template_once = [&] {
+      tmpl.reset();
+      for (std::size_t e = 0; e < stream.num_epochs; ++e) {
+        tmpl.pass(stream.states.data() + e * T, stream.times[e]);
+      }
+    };
+    // Compressed engines are identity-only here; the compressed-vs-flat
+    // throughput gate lives on the steady cell where the decode is the
+    // dominant term.
+    const std::vector<double> wall = interleaved_min_ns(
+        {template_once, [&] { engine_once(branchy, out_a.data()); },
+         [&] { engine_once(vec, out_b.data()); }},
+        /*calibrate_on=*/0, /*min_calibrate_ns=*/3e6, /*rounds=*/10);
+    const double tmpl_ns = wall[0];
+    const double branchy_ns = wall[1];
+    const double vec_ns = wall[2];
+    const auto epochs = static_cast<double>(stream.num_epochs);
+    const double vs_template = tmpl_ns / vec_ns;
+    const double vs_branchy = branchy_ns / vec_ns;
+    table.begin_row()
+        .cell(num_tasks)
+        .cell(tmpl_ns / epochs, 1)
+        .cell(branchy_ns / epochs, 1)
+        .cell(vec_ns / epochs, 1)
+        .cell(vs_template, 2)
+        .cell(vs_branchy, 2)
+        .cell(vec.simd_active() ? "vector" : "scalar-fallback");
+    table.end_row();
+    cells.push_back({num_tasks, vs_template, vs_branchy, vec.simd_active(),
+                     identical});
+
+    const double ops_per_decision =
+        static_cast<double>(total_ops) /
+        (epochs * static_cast<double>(T));
+    DecisionBenchRecord rec;
+    rec.policy = "uniform-climb";
+    rec.n = num_tasks;
+    rec.num_levels = engine.num_levels();
+    rec.engine = "batched-climb";
+    rec.ns_per_decision = vec_ns / epochs;
+    rec.ops_per_decision = ops_per_decision;
+    records.push_back(rec);
+    rec.engine = "batched-climb-scalar";
+    rec.ns_per_decision = branchy_ns / epochs;
+    rec.ops_per_decision = ops_per_decision;
+    records.push_back(rec);
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("(every epoch jumps the shared target by >= 2 levels, so "
+              "every lane runs the full binary search; the vector column "
+              "is the lock-step masked search over lane groups)\n\n");
+
+  for (const GateCell& cell : cells) {
+    ok &= shape_check(
+        "template/branchy/vector flat/compressed bit-identical (ops "
+        "included) on climb stream (T=" +
+            std::to_string(cell.num_tasks) + ")",
+        cell.identical);
+    if (!cell.simd_active) {
+      std::printf("[SHAPE-SKIP] climb >= 2x gate (T=%zu): no vector kernel "
+                  "in this build/on this CPU (SPEEDQM_SIMD=OFF or "
+                  "unsupported ISA)\n", cell.num_tasks);
+      continue;
+    }
+    // Machine-relative, SHAPE-gated, never baselined — same policy as
+    // the steady-cell SIMD floor.
+    const double floor = env_floor("SPEEDQM_CLIMB_MIN_SPEEDUP", 2.0, &ok);
+    if (floor < 0) continue;
+    char claim[160];
+    std::snprintf(claim, sizeof(claim),
+                  "vector climb search >= %.2fx the one-lane scalar "
+                  "template per composite decision (T=%zu, measured %.2fx)",
+                  floor, cell.num_tasks, cell.vs_template);
+    ok &= shape_check(claim, cell.vs_template >= floor);
+    char sanity[160];
+    std::snprintf(sanity, sizeof(sanity),
+                  "vector climb search not a pessimization vs the branchy "
                   "scalar kernel (T=%zu, measured %.2fx >= 0.90x)",
                   cell.num_tasks, cell.vs_branchy);
     ok &= shape_check(sanity, cell.vs_branchy >= 0.90);
@@ -696,6 +1006,8 @@ int main() {
           cells.front().second.batched_ops_per_decision * 1.4);
 
   ok &= run_simd_gate();
+
+  ok &= run_climb_gate(records);
 
   ok &= run_streaming_replay(records);
 

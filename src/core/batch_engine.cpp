@@ -33,7 +33,12 @@ struct NeonBackend {
   static void store(std::int64_t* p, Vec v) { vst1q_s64(p, v); }
   static Vec splat(std::int64_t x) { return vdupq_n_s64(x); }
   static Vec sub(Vec a, Vec b) { return vsubq_s64(a, b); }
+  static Vec add(Vec a, Vec b) { return vaddq_s64(a, b); }
+  static Vec shr1(Vec a) {  // logical >> 1 (operands are non-negative)
+    return vreinterpretq_s64_u64(vshrq_n_u64(vreinterpretq_u64_s64(a), 1));
+  }
   static Mask cmpge(Vec a, Vec b) { return vcgeq_s64(a, b); }
+  static Mask cmpgt(Vec a, Vec b) { return vcgtq_s64(a, b); }
   static Mask cmpeq(Vec a, Vec b) { return vceqq_s64(a, b); }
   static Mask m_and(Mask a, Mask b) { return vandq_u64(a, b); }
   static Mask m_andnot(Mask a, Mask b) { return vbicq_u64(b, a); }  // b & ~a
@@ -47,19 +52,17 @@ struct NeonBackend {
 
 #endif  // SPEEDQM_SIMD_NEON
 
-/// Runtime kernel choice for one engine instance (0 scalar, 1 AVX2,
+/// Best usable vector kernel for one engine instance (0 none, 1 AVX2,
 /// 2 AVX512, 3 NEON). The x86 kernels are picked by what the running CPU
-/// executes, so one SPEEDQM_SIMD build serves every x86-64 machine.
-int pick_kernel(BatchDecisionEngine::Kernel kernel,
-                BatchDecisionEngine::Mode mode, ArenaLayout layout) {
-  if (kernel != BatchDecisionEngine::Kernel::kAuto ||
-      mode != BatchDecisionEngine::Mode::kTabled ||
-      layout != ArenaLayout::kFlat) {
-    // Incremental mode has no arena to vectorize over, and compressed
-    // probes decode scalar (per-block widths) — staging them through a
-    // vector resolve measured slower than the straight scalar sweep, so
-    // the compressed layout always runs the scalar kernel.
-    return 0;
+/// executes, so one SPEEDQM_SIMD build serves every x86-64 machine. Both
+/// arena layouts vectorize: the compressed layout block-decodes probes in
+/// registers (see the per-ISA decode_window helpers), so it no longer
+/// forces the scalar kernel.
+int pick_vector_kernel(BatchDecisionEngine::Kernel kernel,
+                       BatchDecisionEngine::Mode mode) {
+  if (kernel == BatchDecisionEngine::Kernel::kScalar ||
+      mode != BatchDecisionEngine::Mode::kTabled) {
+    return 0;  // incremental mode has no arena to vectorize over
   }
 #if SPEEDQM_SIMD_NEON
   return 3;
@@ -68,6 +71,17 @@ int pick_kernel(BatchDecisionEngine::Kernel kernel,
   if (sweep_detail::avx2_usable()) return 1;
   return 0;
 #endif
+}
+
+/// Task lanes one vector group of the given kernel holds — the occupancy
+/// the adaptive dispatch needs before vector groups stop running ragged.
+std::uint64_t kernel_lanes(int kernel_id) {
+  switch (kernel_id) {
+    case 2: return 8;  // AVX512
+    case 1: return 4;  // AVX2
+    case 3: return 2;  // NEON
+    default: return 1;
+  }
 }
 
 }  // namespace
@@ -82,7 +96,9 @@ BatchDecisionEngine::BatchDecisionEngine(
     : engines_(std::move(engines)),
       mode_(mode),
       layout_(layout),
-      kernel_id_(pick_kernel(kernel, mode, layout)) {
+      kernel_choice_(kernel),
+      vec_kernel_(pick_vector_kernel(kernel, mode)),
+      active_kernel_(vec_kernel_) {
   SPEEDQM_REQUIRE(!engines_.empty(), "BatchDecisionEngine: need at least one task");
   for (const auto* e : engines_) {
     SPEEDQM_REQUIRE(e != nullptr, "BatchDecisionEngine: null engine");
@@ -177,27 +193,86 @@ std::uint64_t BatchDecisionEngine::decide_all(const StateIndex* states,
   if (mode_ == Mode::kIncremental) {
     return decide_all_incremental(states, t, out);
   }
-  const SweepArgs args{n_.data(), hint_.data(), engines_.size(),
-                       nq_ - 1,   states,       t,
-                       out};
+  SweepArgs args{n_.data(), hint_.data(), engines_.size(),
+                 nq_ - 1,   states,       t,
+                 out,       nullptr};
+  // Occupancy-adaptive dispatch (kAuto with a usable vector kernel): one
+  // sweep in 16 records SweepStats, and the following sweeps run whichever
+  // kernel the sample justifies — vector only when enough warm live lanes
+  // fill a group (live >= kLanes, at least half the live lanes warm);
+  // otherwise the branchy scalar kernel's early exits win (drained mixes,
+  // reset-heavy streams). Sampling is opt-in per sweep so the unsampled
+  // hot path never touches the counters. sweep_seq_ survives reset() on
+  // purpose: a reset makes every lane cold for exactly one sweep, and
+  // pinning samples to that sweep would lock cyclic workloads to scalar.
+  SweepStats sample;
+  const bool sampling = kernel_choice_ == Kernel::kAuto && vec_kernel_ != 0 &&
+                        (sweep_seq_++ & 0xF) == 0;
+  if (sampling) args.stats = &sample;
+  const int kid = active_kernel_;
+  std::uint64_t ops;
   if (layout_ == ArenaLayout::kCompressed) {
     const CompressedArena arena{ctable_.data()};
-    return sweep_detail::sweep_staged<CompressedArena, ScalarBackend>(arena,
-                                                                      args);
-  }
-  const FlatArena arena{table_.data(), static_cast<std::size_t>(nq_)};
-  switch (kernel_id_) {
-    case 2:
-      return sweep_detail::sweep_flat_avx512(arena, args);
-    case 1:
-      return sweep_detail::sweep_flat_avx2(arena, args);
+    switch (kid) {
+      case 2:
+        ops = sweep_detail::sweep_compressed_avx512(arena, args);
+        break;
+      case 1:
+        ops = sweep_detail::sweep_compressed_avx2(arena, args);
+        break;
 #if SPEEDQM_SIMD_NEON
-    case 3:
-      return sweep_detail::sweep_staged<FlatArena, NeonBackend>(arena, args);
+      case 3:
+        ops = args.stats
+                  ? sweep_detail::sweep_staged<CompressedArena, NeonBackend,
+                                               true>(arena, args)
+                  : sweep_detail::sweep_staged<CompressedArena, NeonBackend>(
+                        arena, args);
+        break;
 #endif
-    default:
-      return sweep_detail::sweep_staged<FlatArena, ScalarBackend>(arena, args);
+      default:
+        ops = args.stats
+                  ? sweep_detail::sweep_staged<CompressedArena, ScalarBackend,
+                                               true>(arena, args)
+                  : sweep_detail::sweep_staged<CompressedArena, ScalarBackend>(
+                        arena, args);
+        break;
+    }
+  } else {
+    const FlatArena arena{table_.data(), static_cast<std::size_t>(nq_)};
+    switch (kid) {
+      case 2:
+        ops = sweep_detail::sweep_flat_avx512(arena, args);
+        break;
+      case 1:
+        ops = sweep_detail::sweep_flat_avx2(arena, args);
+        break;
+#if SPEEDQM_SIMD_NEON
+      case 3:
+        ops = args.stats
+                  ? sweep_detail::sweep_staged<FlatArena, NeonBackend, true>(
+                        arena, args)
+                  : sweep_detail::sweep_staged<FlatArena, NeonBackend>(arena,
+                                                                       args);
+        break;
+#endif
+      default:
+        ops = args.stats
+                  ? sweep_detail::sweep_staged<FlatArena, ScalarBackend, true>(
+                        arena, args)
+                  : sweep_detail::sweep_staged<FlatArena, ScalarBackend>(arena,
+                                                                         args);
+        break;
+    }
   }
+  if (sampling) {
+    stats_ = sample;
+    const std::uint64_t lanes = kernel_lanes(vec_kernel_);
+    active_kernel_ =
+        (sample.live >= lanes && sample.warm * 2 >= sample.live)
+            ? vec_kernel_
+            : 0;
+  }
+  return ops;
 }
 
 Decision BatchDecisionEngine::decide_one(std::size_t task, StateIndex s,

@@ -31,14 +31,20 @@
 //   * ArenaLayout::kCompressed stores the arena in the delta-coded layout
 //     of core/td_compressed.hpp (~2.2-2.4x less memory); probes decode
 //     exactly, so decisions and ops are unchanged.
-//   * Kernel::kAuto vectorizes the warm-neighbourhood resolve across task
-//     lanes (AVX2/NEON when built with SPEEDQM_SIMD; see batch_engine.cpp)
-//     — outcomes are computed as vector compares + selects over lane
-//     groups, with anything beyond the one-step neighbourhood falling back
-//     to the shared search. The scalar path is the SAME resolve template
-//     instantiated with one-lane operations, which is what keeps
-//     decisions — including Decision.ops — bit-identical across
-//     scalar/SIMD and flat/compressed combinations.
+//   * Kernel::kAuto vectorizes the whole sweep across task lanes
+//     (AVX2/AVX512/NEON when built with SPEEDQM_SIMD; see batch_engine.cpp
+//     and batch_sweep.hpp): the warm-neighbourhood resolve as vector
+//     compares + selects over lane groups, beyond-neighbourhood outcomes
+//     through a lock-step masked binary search, and compressed-arena
+//     probes block-decoded in registers. The scalar path is the SAME
+//     resolve template instantiated with one-lane operations, and the
+//     vector search replays decide_max_quality's probe schedule exactly,
+//     which is what keeps decisions — including Decision.ops —
+//     bit-identical across scalar/SIMD and flat/compressed combinations.
+//     kAuto additionally adapts PER SWEEP: one sweep in 16 records
+//     occupancy/outcome counters (SweepStats), and groups only stay on
+//     the vector kernel while enough warm live lanes fill them —
+//     otherwise the branchy scalar kernel wins and is picked.
 //
 // On top of the engine, MultiTaskEpochManager adapts batched decisions to
 // the cyclic executor over a ComposedSystem: at a composite action whose
@@ -59,6 +65,7 @@
 #include "core/manager.hpp"
 #include "core/multi_task.hpp"
 #include "core/policy.hpp"
+#include "core/sweep_stats.hpp"
 #include "core/td_compressed.hpp"
 #include "core/td_incremental.hpp"
 #include "core/types.hpp"
@@ -75,8 +82,12 @@ class BatchDecisionEngine {
   /// Which decide_all sweep kernel to run (tabled mode; decisions are
   /// bit-identical either way — see file comment).
   enum class Kernel {
-    kAuto,    ///< vector lanes when SPEEDQM_SIMD built them, else scalar
+    kAuto,    ///< occupancy-adaptive: per-sweep pick between scalar and the
+              ///< best vector kernel the build + CPU offer (see decide_all)
     kScalar,  ///< force the one-lane instantiation (the differential baseline)
+    kVector,  ///< force the vector kernel (scalar when none is usable);
+              ///< what benches pin so gates measure the kernel, not the
+              ///< adaptive heuristic
   };
 
   /// Binds to one PolicyEngine per task. All tasks must share the quality
@@ -101,9 +112,18 @@ class BatchDecisionEngine {
   int num_levels() const { return nq_; }
   Mode mode() const { return mode_; }
   ArenaLayout layout() const { return layout_; }
-  /// True when decide_all runs a vector kernel in this instance (resolved
-  /// at construction from the build options and the running CPU).
-  bool simd_active() const { return kernel_id_ != 0; }
+  Kernel kernel() const { return kernel_choice_; }
+  /// True when decide_all CAN run a vector kernel in this instance: the
+  /// build options and the running CPU offer one and the kernel choice
+  /// does not force scalar. Under Kernel::kAuto individual sweeps may
+  /// still run scalar when occupancy is low — see vector_engaged().
+  bool simd_active() const { return vec_kernel_ != 0; }
+  /// True when the NEXT sweep will run the vector kernel (under kAuto
+  /// this follows the last sampled occupancy; fixed otherwise).
+  bool vector_engaged() const { return active_kernel_ != 0; }
+  /// Occupancy/outcome counters of the last sampled sweep (kAuto only;
+  /// zeros before the first sample).
+  const SweepStats& sweep_stats() const { return stats_; }
   StateIndex num_states(std::size_t task) const { return n_[task]; }
 
   /// One composite decision point: for every task τ with states[τ] <
@@ -136,7 +156,16 @@ class BatchDecisionEngine {
   std::vector<const PolicyEngine*> engines_;
   Mode mode_;
   ArenaLayout layout_ = ArenaLayout::kFlat;
-  int kernel_id_ = 0;  ///< 0 scalar, 1 AVX2, 2 AVX512, 3 NEON (runtime pick)
+  Kernel kernel_choice_ = Kernel::kAuto;
+  /// Best usable vector kernel: 0 none, 1 AVX2, 2 AVX512, 3 NEON —
+  /// resolved at construction from the build options and the running CPU
+  /// (0 when kernel_choice_ forces scalar or the mode stores no tables).
+  int vec_kernel_ = 0;
+  /// Kernel the next sweep runs: vec_kernel_ or 0. Fixed for
+  /// kScalar/kVector; re-picked from sampled occupancy under kAuto.
+  int active_kernel_ = 0;
+  std::uint64_t sweep_seq_ = 0;  ///< sweeps since construction (never reset)
+  SweepStats stats_;             ///< last sampled sweep's counters
   int nq_ = 0;
 
   // Task-major SoA cursors (the decide_all hot state).

@@ -23,8 +23,10 @@
 #pragma once
 
 #include <cstdint>
+#include <type_traits>
 
 #include "core/decision_search.hpp"
+#include "core/sweep_stats.hpp"
 #include "core/td_compressed.hpp"
 #include "core/types.hpp"
 
@@ -65,6 +67,9 @@ struct SweepArgs {
   const StateIndex* states;
   TimeNs t;
   Decision* out;
+  /// Non-null on sampled sweeps only: kernels record occupancy/outcome
+  /// counters here for the engine's adaptive dispatch (core/sweep_stats.hpp).
+  SweepStats* stats = nullptr;
 };
 
 // The helper templates below live in an ANONYMOUS namespace on purpose,
@@ -91,7 +96,15 @@ struct ScalarBackend {
   static void store(std::int64_t* p, Vec v) { *p = v; }
   static Vec splat(std::int64_t x) { return x; }
   static Vec sub(Vec a, Vec b) { return a - b; }
+  static Vec add(Vec a, Vec b) {
+    return static_cast<Vec>(static_cast<std::uint64_t>(a) +
+                            static_cast<std::uint64_t>(b));
+  }
+  static Vec shr1(Vec a) {  ///< logical >> 1 (operands are non-negative)
+    return static_cast<Vec>(static_cast<std::uint64_t>(a) >> 1);
+  }
   static Mask cmpge(Vec a, Vec b) { return a >= b ? ~0ull : 0ull; }
+  static Mask cmpgt(Vec a, Vec b) { return a > b ? ~0ull : 0ull; }
   static Mask cmpeq(Vec a, Vec b) { return a == b ? ~0ull : 0ull; }
   static Mask m_and(Mask a, Mask b) { return a & b; }
   static Mask m_andnot(Mask a, Mask b) { return ~a & b; }  ///< (~a) & b
@@ -122,6 +135,8 @@ struct ResolveOut {
   typename B::Vec ops;       ///< resolved Decision.ops (decided lanes)
   typename B::Mask decided;  ///< lanes fully resolved by the neighbourhood
   typename B::Mask inf;      ///< decided lanes that are infeasible (q = qmin)
+  typename B::Mask climb;    ///< sat(h): an UNDECIDED lane with this set is
+                             ///< climbing >= 2, otherwise falling >= 2
 };
 
 /// The warm-neighbourhood resolve over one lane group — THE decision
@@ -153,6 +168,7 @@ inline ResolveOut<B> resolve_lanes(typename B::Vec vh, typename B::Vec vup,
   ResolveOut<B> r;
   r.decided = B::m_or(B::m_or(m_stay, m_up1), B::m_or(m_inf, m_dn1));
   r.inf = m_inf;
+  r.climb = sat_h;
   // q = stay ? h : up1 ? qmax : inf ? qmin : h - 1 (the m_dn1 lane).
   r.q = B::select(m_stay, h, B::sub(h, c.vone));
   r.q = B::select(m_up1, c.vqmax, r.q);
@@ -175,6 +191,91 @@ inline Decision search_row(const typename Arena::Row& row, Quality qmax,
   });
 }
 
+inline int popcount32(std::uint32_t x) { return __builtin_popcount(x); }
+
+/// The vectorized fallback search: every lane a warm resolve left
+/// undecided (climbing or falling >= 2 levels) runs decide_max_quality's
+/// bounded binary search, all lanes in LOCK STEP — one masked
+/// compare/select round per probe depth instead of one branchy scalar
+/// search per lane. The probe SCHEDULE is pinned: decide_max_quality's
+/// ops counter is part of the Decision contract (it drives the overhead
+/// model), so each lane must probe exactly the mids the scalar search
+/// would, in order. The vector win therefore comes from resolving the
+/// lanes' searches together — shared mid arithmetic, branch-free lo/hi
+/// updates, per-lane exit folded into one group-wide mask test — not from
+/// reshaping the search. Lanes with shallower searches go inactive early
+/// and coast (masked out) until the deepest lane finishes.
+///
+/// Inputs: `rows`/`hbuf` per lane; `pending` = undecided lanes (bit i);
+/// `climb` = pending lanes with sat(h) (from ResolveOut.climb). Probes
+/// the resolve already paid for (sat(h), sat(h±1)) are NOT repeated —
+/// the prologue enters the binary search mid-ladder exactly where
+/// decide_max_quality would, ops included.
+///
+/// Outputs for pending lanes: qout/oout (quality, Decision.ops) and
+/// `*feas_out` bit i clear when lane i is infeasible (q = qmin).
+template <class Arena, class B>
+inline void search_lanes(const typename Arena::Row* rows,
+                         const std::int64_t* hbuf, std::uint32_t pending,
+                         std::uint32_t climb, Quality qmax, TimeNs t,
+                         std::int64_t* qout, std::int64_t* oout,
+                         std::uint32_t* feas_out) {
+  constexpr int W = B::kLanes;
+  alignas(64) std::int64_t lo[W], hi[W], ops[W], mid[W], probe[W];
+  std::uint32_t feas = (1u << W) - 1u;
+  for (int i = 0; i < W; ++i) {
+    lo[i] = 0;
+    hi[i] = 0;  // lo == hi: lane never enters the probe loop
+    ops[i] = 0;
+    probe[i] = 0;
+    if (!(pending & (1u << i))) continue;
+    const Quality h = static_cast<Quality>(hbuf[i]);
+    if (climb & (1u << i)) {
+      // Climbing: sat(h) and sat(h+1) already probed by the resolve.
+      lo[i] = h + 1;
+      hi[i] = qmax;
+      ops[i] = 2;
+    } else if (h - 1 == kQmin) {
+      // Falling with nothing between: !sat(h), !sat(h-1 = qmin) probed.
+      ops[i] = 2;
+      feas &= ~(1u << i);
+    } else if (Arena::value(rows[i], kQmin) >= t) {
+      lo[i] = kQmin;  // qmin holds: search (qmin, h-2], third probe paid
+      hi[i] = h - 2;
+      ops[i] = 3;
+    } else {
+      ops[i] = 3;  // even qmin fails
+      feas &= ~(1u << i);
+    }
+  }
+  const typename B::Vec vt = B::splat(t);
+  const typename B::Vec vone = B::splat(1);
+  typename B::Vec vlo = B::load(lo);
+  typename B::Vec vhi = B::load(hi);
+  typename B::Vec vops = B::load(ops);
+  for (;;) {
+    const typename B::Mask active = B::cmpgt(vhi, vlo);
+    if (B::bits(active) == 0) break;
+    // mid = lo + (hi - lo + 1) / 2, decide_max_quality's exact midpoint.
+    const typename B::Vec vmid =
+        B::add(vlo, B::shr1(B::add(B::sub(vhi, vlo), vone)));
+    B::store(mid, vmid);
+    const std::uint32_t abits = B::bits(active);
+    for (int i = 0; i < W; ++i) {
+      if (abits & (1u << i)) {
+        probe[i] = Arena::value(rows[i], static_cast<Quality>(mid[i]));
+      }
+    }
+    const typename B::Mask sat = B::m_and(active, B::cmpge(B::load(probe), vt));
+    vlo = B::select(sat, vmid, vlo);
+    vhi = B::select(B::m_andnot(sat, active), B::sub(vmid, vone), vhi);
+    vops = B::select(active, B::add(vops, vone), vops);
+  }
+  B::store(qout, vlo);
+  B::store(oout, vops);
+  *feas_out = feas;
+}
+
 /// One task decided through the warm-neighbourhood resolve with early
 /// exits — the scalar kernel's whole loop body, and every vector kernel's
 /// handler for lanes that do not fit a full group (finished/cold lanes,
@@ -184,7 +285,12 @@ inline Decision search_row(const typename Arena::Row& row, Quality qmax,
 /// beat a branch-free dataflow on scalar hardware. The case analysis is
 /// the same one resolve_lanes computes with compares + selects, so
 /// decisions and Decision.ops agree lane for lane (differential-gated).
-template <class Arena>
+///
+/// kStats is a compile-time switch (not `if (a.stats)` at run time) so the
+/// 15-of-16 unsampled sweeps pay zero instructions for the occupancy
+/// counters on this hot path; the engine's sampled sweeps take the kStats
+/// instantiation.
+template <class Arena, bool kStats = false>
 inline std::uint64_t decide_task(const Arena& arena, const SweepArgs& a,
                                  std::size_t task) {
   const StateIndex s = a.states[task];
@@ -193,6 +299,10 @@ inline std::uint64_t decide_task(const Arena& arena, const SweepArgs& a,
   const Quality h = a.hints[task];
   const Quality qmax = a.qmax;
   const TimeNs t = a.t;
+  if constexpr (kStats) {
+    ++a.stats->live;
+    if (h >= 0) ++a.stats->warm;
+  }
   Decision d;
   if (h >= 0) {
     const bool at_top = h >= qmax;
@@ -209,6 +319,7 @@ inline std::uint64_t decide_task(const Arena& arena, const SweepArgs& a,
         d.quality = qmax;
         d.ops = 2;
       } else {
+        if constexpr (kStats) ++a.stats->searched;
         d = search_row<Arena>(row, qmax, h, t);  // climbing: shared search
       }
     } else if (at_bottom) {             // qmin fails: infeasible
@@ -219,6 +330,7 @@ inline std::uint64_t decide_task(const Arena& arena, const SweepArgs& a,
       d.quality = h - 1;
       d.ops = 2;
     } else {
+      if constexpr (kStats) ++a.stats->searched;
       d = search_row<Arena>(row, qmax, h, t);    // falling: shared search
     }
   } else {
@@ -238,12 +350,12 @@ inline std::uint64_t decide_task(const Arena& arena, const SweepArgs& a,
 /// backends resolve inline; vector backends stage lane groups through a
 /// small SoA buffer (used for arenas whose probes decode scalar — the
 /// flat-arena x86 kernels have gather-based specializations instead).
-template <class Arena, class B>
+template <class Arena, class B, bool kStats = false>
 std::uint64_t sweep_staged(const Arena& arena, const SweepArgs& a) {
   std::uint64_t total = 0;
   if constexpr (B::kLanes == 1) {
     for (std::size_t task = 0; task < a.num_tasks; ++task) {
-      total += decide_task(arena, a, task);
+      total += decide_task<Arena, kStats>(arena, a, task);
     }
     return total;
   } else {
@@ -267,11 +379,24 @@ std::uint64_t sweep_staged(const Arena& arena, const SweepArgs& a) {
       B::store(obuf, r.ops);
       const std::uint32_t fall = ~B::bits(r.decided) & ((1u << W) - 1u);
       const std::uint32_t inf = B::bits(r.inf);
+      if constexpr (kStats) {
+        a.stats->live += static_cast<std::uint64_t>(count);
+        a.stats->warm += static_cast<std::uint64_t>(count);
+        a.stats->searched += static_cast<std::uint64_t>(popcount32(fall));
+      }
+      alignas(64) std::int64_t sq[W], so[W];
+      std::uint32_t sfeas = 0;
+      if (fall != 0) {  // lock-step search for every fallback lane at once
+        const std::uint32_t climb = B::bits(r.climb) & fall;
+        search_lanes<Arena, B>(rows, hbuf, fall, climb, a.qmax, a.t, sq, so,
+                               &sfeas);
+      }
       for (int i = 0; i < count; ++i) {
         Decision d;
         if (fall & (1u << i)) {
-          d = search_row<Arena>(rows[i], a.qmax,
-                                static_cast<Quality>(hbuf[i]), a.t);
+          d.quality = static_cast<Quality>(sq[i]);
+          d.ops = static_cast<std::uint64_t>(so[i]);
+          d.feasible = (sfeas & (1u << i)) != 0;
         } else {
           d.quality = static_cast<Quality>(qbuf[i]);
           d.ops = static_cast<std::uint64_t>(obuf[i]);
@@ -289,16 +414,28 @@ std::uint64_t sweep_staged(const Arena& arena, const SweepArgs& a) {
       if (s >= a.sizes[task]) continue;
       const Quality h = a.hints[task];
       if (h < 0) {
-        total += decide_task(arena, a, task);
+        total += decide_task<Arena, kStats>(arena, a, task);
         continue;
       }
       const typename Arena::Row row = arena.row(task, s);
       const int i = count;
       lane_task[i] = task;
       hbuf[i] = h;
-      vh[i] = Arena::value(row, h);
-      vup[i] = Arena::value(row, h >= a.qmax ? h : h + 1);
-      vdn[i] = Arena::value(row, h <= kQmin ? h : h - 1);
+      if constexpr (std::is_same_v<Arena, CompressedArena>) {
+        // Block decode: one pass over the row's anchor/delta/residual
+        // planes yields the whole [h-1, h+2] window (plane guard pads
+        // absorb the out-of-row lanes, which the resolve masks discard) —
+        // the staged kernels stop paying three independent scalar decodes.
+        TimeNs w4[4];
+        row.window4(h - 1, w4);
+        vdn[i] = w4[0];
+        vh[i] = w4[1];
+        vup[i] = w4[2];
+      } else {
+        vh[i] = Arena::value(row, h);
+        vup[i] = Arena::value(row, h >= a.qmax ? h : h + 1);
+        vdn[i] = Arena::value(row, h <= kQmin ? h : h - 1);
+      }
       rows[i] = row;
       if (++count == W) flush();
     }
@@ -316,10 +453,14 @@ std::uint64_t sweep_staged(const Arena& arena, const SweepArgs& a) {
 /// True when the AVX2 kernel is compiled in AND this CPU executes AVX2.
 bool avx2_usable();
 std::uint64_t sweep_flat_avx2(const FlatArena& arena, const SweepArgs& a);
+std::uint64_t sweep_compressed_avx2(const CompressedArena& arena,
+                                    const SweepArgs& a);
 
 /// True when the AVX512 kernel is compiled in AND this CPU executes it.
 bool avx512_usable();
 std::uint64_t sweep_flat_avx512(const FlatArena& arena, const SweepArgs& a);
+std::uint64_t sweep_compressed_avx512(const CompressedArena& arena,
+                                      const SweepArgs& a);
 
 }  // namespace sweep_detail
 }  // namespace speedqm

@@ -65,10 +65,10 @@ QualityRegionTable RegionCompiler::compile_regions(const PolicyEngine& engine) {
   return QualityRegionTable(engine);
 }
 
-RelaxationTable RegionCompiler::compile_relaxation(const PolicyEngine& engine,
-                                                   const QualityRegionTable& regions,
-                                                   std::vector<int> rho) {
-  return RelaxationTable(engine, regions, std::move(rho));
+RelaxationTable RegionCompiler::compile_relaxation(
+    const PolicyEngine& engine, const QualityRegionTable& regions,
+    std::vector<int> rho, ArenaLayout layout) {
+  return RelaxationTable(engine, regions, std::move(rho), layout);
 }
 
 CompilationStats RegionCompiler::measure(const PolicyEngine& engine,

@@ -34,10 +34,11 @@ class RegionCompiler {
   /// Compiles the quality-region table for the engine's policy.
   static QualityRegionTable compile_regions(const PolicyEngine& engine);
 
-  /// Compiles the relaxation table for the given step set.
-  static RelaxationTable compile_relaxation(const PolicyEngine& engine,
-                                            const QualityRegionTable& regions,
-                                            std::vector<int> rho);
+  /// Compiles the relaxation table for the given step set; kCompressed
+  /// stores the border planes in the delta-coded arena (bit-exact lookups).
+  static RelaxationTable compile_relaxation(
+      const PolicyEngine& engine, const QualityRegionTable& regions,
+      std::vector<int> rho, ArenaLayout layout = ArenaLayout::kFlat);
 
   /// Compiles both tables and reports sizes + wall time.
   static CompilationStats measure(const PolicyEngine& engine,

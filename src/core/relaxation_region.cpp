@@ -8,7 +8,7 @@ namespace speedqm {
 
 RelaxationTable::RelaxationTable(const PolicyEngine& engine,
                                  const QualityRegionTable& region,
-                                 std::vector<int> rho)
+                                 std::vector<int> rho, ArenaLayout layout)
     : n_(engine.num_states()), nq_(engine.num_levels()), rho_(std::move(rho)) {
   SPEEDQM_REQUIRE(!rho_.empty(), "RelaxationTable: rho must be non-empty");
   for (std::size_t i = 0; i < rho_.size(); ++i) {
@@ -73,11 +73,12 @@ RelaxationTable::RelaxationTable(const PolicyEngine& engine,
       }
     }
   }
+  if (layout == ArenaLayout::kCompressed) compress_planes();
 }
 
 RelaxationTable::RelaxationTable(StateIndex num_states, int num_levels,
                                  std::vector<int> rho, std::vector<TimeNs> upper,
-                                 std::vector<TimeNs> lower)
+                                 std::vector<TimeNs> lower, ArenaLayout layout)
     : n_(num_states), nq_(num_levels), rho_(std::move(rho)),
       upper_(std::move(upper)), lower_(std::move(lower)) {
   SPEEDQM_REQUIRE(n_ > 0 && nq_ > 0, "RelaxationTable: empty dimensions");
@@ -90,6 +91,39 @@ RelaxationTable::RelaxationTable(StateIndex num_states, int num_levels,
   const std::size_t expected = rho_.size() * n_ * static_cast<std::size_t>(nq_);
   SPEEDQM_REQUIRE(upper_.size() == expected, "RelaxationTable: upper size mismatch");
   SPEEDQM_REQUIRE(lower_.size() == expected, "RelaxationTable: lower size mismatch");
+  if (layout == ArenaLayout::kCompressed) compress_planes();
+}
+
+void RelaxationTable::compress_planes() {
+  // Each border plane is a [r_idx * n_] x [nq_] table in the compressor's
+  // terms; the flat planes are dropped once encoded (the decode is exact).
+  const StateIndex rows = rho_.size() * n_;
+  cupper_.emplace(rows, nq_, upper_);
+  clower_.emplace(rows, nq_, lower_);
+  upper_.clear();
+  upper_.shrink_to_fit();
+  lower_.clear();
+  lower_.shrink_to_fit();
+  layout_ = ArenaLayout::kCompressed;
+}
+
+std::size_t RelaxationTable::memory_bytes() const {
+  if (layout_ == ArenaLayout::kCompressed) {
+    return cupper_->memory_bytes() + clower_->memory_bytes();
+  }
+  return num_integers() * sizeof(TimeNs);
+}
+
+const std::vector<TimeNs>& RelaxationTable::raw_upper() const {
+  SPEEDQM_REQUIRE(layout_ == ArenaLayout::kFlat,
+                  "RelaxationTable: raw borders require the flat layout");
+  return upper_;
+}
+
+const std::vector<TimeNs>& RelaxationTable::raw_lower() const {
+  SPEEDQM_REQUIRE(layout_ == ArenaLayout::kFlat,
+                  "RelaxationTable: raw borders require the flat layout");
+  return lower_;
 }
 
 std::size_t RelaxationTable::idx(std::size_t r_idx, StateIndex s, Quality q) const {
@@ -102,13 +136,23 @@ std::size_t RelaxationTable::idx(std::size_t r_idx, StateIndex s, Quality q) con
 TimeNs RelaxationTable::upper(StateIndex s, Quality q, int r) const {
   const auto it = std::find(rho_.begin(), rho_.end(), r);
   SPEEDQM_REQUIRE(it != rho_.end(), "RelaxationTable: r not in rho");
-  return upper_[idx(static_cast<std::size_t>(it - rho_.begin()), s, q)];
+  const auto r_idx = static_cast<std::size_t>(it - rho_.begin());
+  if (layout_ == ArenaLayout::kCompressed) {
+    SPEEDQM_REQUIRE(s < n_, "RelaxationTable: state out of range");
+    return cupper_->td(r_idx * n_ + s, q);  // td() range-checks q
+  }
+  return upper_[idx(r_idx, s, q)];
 }
 
 TimeNs RelaxationTable::lower(StateIndex s, Quality q, int r) const {
   const auto it = std::find(rho_.begin(), rho_.end(), r);
   SPEEDQM_REQUIRE(it != rho_.end(), "RelaxationTable: r not in rho");
-  return lower_[idx(static_cast<std::size_t>(it - rho_.begin()), s, q)];
+  const auto r_idx = static_cast<std::size_t>(it - rho_.begin());
+  if (layout_ == ArenaLayout::kCompressed) {
+    SPEEDQM_REQUIRE(s < n_, "RelaxationTable: state out of range");
+    return clower_->td(r_idx * n_ + s, q);
+  }
+  return lower_[idx(r_idx, s, q)];
 }
 
 bool RelaxationTable::contains(StateIndex s, TimeNs t, Quality q, int r) const {
@@ -125,6 +169,24 @@ int RelaxationTable::max_relaxation(StateIndex s, TimeNs t, Quality q,
                            static_cast<std::size_t>(q);
   std::uint64_t local_ops = 0;
   int chosen = 1;
+  if (layout_ == ArenaLayout::kCompressed) {
+    // Same scan, same probe count: skipped widths (r > n - s) never touch
+    // the planes in either layout, so ops stays bit-identical to flat.
+    for (std::size_t r_idx = rho_.size(); r_idx-- > 0;) {
+      ++local_ops;
+      const auto r = static_cast<StateIndex>(rho_[r_idx]);
+      if (r > n_ - s) continue;
+      const StateIndex row = r_idx * n_ + s;
+      const TimeNs up = cupper_->row(row).value(q);
+      const TimeNs lo = clower_->row(row).value(q);
+      if (lo < t && t <= up) {
+        chosen = rho_[r_idx];
+        break;
+      }
+    }
+    if (ops) *ops += local_ops;
+    return chosen;
+  }
   for (std::size_t r_idx = rho_.size(); r_idx-- > 0;) {
     ++local_ops;
     const auto r = static_cast<StateIndex>(rho_[r_idx]);

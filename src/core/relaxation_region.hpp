@@ -15,28 +15,44 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/policy.hpp"
 #include "core/quality_region.hpp"
+#include "core/td_compressed.hpp"
 #include "core/types.hpp"
 
 namespace speedqm {
 
 /// Precomputed relaxation borders for a fixed step set rho.
+///
+/// ArenaLayout::kCompressed stores each border plane in td_compressed's
+/// block-leader delta format, treating the row-major [r_idx][state][quality]
+/// plane as rho.size() * num_states rows of num_levels entries. Both border
+/// monotonicity directions carry over: along quality the borders inherit
+/// tD's non-increasing rows, and along rho (adjacent rows within a block
+/// plane at fixed state stride) widening the window can only shrink the
+/// min, so residuals stay narrow; rows that break either property (e.g. the
+/// kTimeMinusInf padding for states with fewer than r actions) round-trip
+/// exactly through the kWidth64 fallback. Decoding is bit-exact, so every
+/// lookup — max_relaxation ops included — matches the flat layout.
 class RelaxationTable {
  public:
   /// Builds borders for every r in `rho` (positive, strictly increasing).
   /// `region` must come from the same engine (it supplies tD).
   RelaxationTable(const PolicyEngine& engine, const QualityRegionTable& region,
-                  std::vector<int> rho);
+                  std::vector<int> rho,
+                  ArenaLayout layout = ArenaLayout::kFlat);
 
   /// Reconstructs a table from raw border arrays (deserialization path).
   /// `upper` and `lower` are row-major [r_idx][state][quality] of size
   /// rho.size() * num_states * num_levels each.
   RelaxationTable(StateIndex num_states, int num_levels, std::vector<int> rho,
-                  std::vector<TimeNs> upper, std::vector<TimeNs> lower);
+                  std::vector<TimeNs> upper, std::vector<TimeNs> lower,
+                  ArenaLayout layout = ArenaLayout::kFlat);
 
+  ArenaLayout layout() const { return layout_; }
   const std::vector<int>& rho() const { return rho_; }
   StateIndex num_states() const { return n_; }
   int num_levels() const { return nq_; }
@@ -57,23 +73,33 @@ class RelaxationTable {
   int max_relaxation(StateIndex s, TimeNs t, Quality q,
                      std::uint64_t* ops = nullptr) const;
 
-  /// Stored integer count: 2 * |A| * |Q| * |rho| (the paper's metric).
-  std::size_t num_integers() const { return upper_.size() + lower_.size(); }
-  std::size_t memory_bytes() const { return num_integers() * sizeof(TimeNs); }
+  /// Logical integer count 2 * |A| * |Q| * |rho| (the paper's metric),
+  /// independent of the storage layout.
+  std::size_t num_integers() const {
+    return 2 * rho_.size() * n_ * static_cast<std::size_t>(nq_);
+  }
+  /// Actual stored bytes (block metadata + planes when compressed).
+  std::size_t memory_bytes() const;
 
-  const std::vector<TimeNs>& raw_upper() const { return upper_; }
-  const std::vector<TimeNs>& raw_lower() const { return lower_; }
+  /// Raw flat border planes (serialization path); require the flat layout.
+  const std::vector<TimeNs>& raw_upper() const;
+  const std::vector<TimeNs>& raw_lower() const;
 
  private:
   std::size_t idx(std::size_t r_idx, StateIndex s, Quality q) const;
+  void compress_planes();
 
   StateIndex n_;
   int nq_;
+  ArenaLayout layout_ = ArenaLayout::kFlat;
   std::vector<int> rho_;
   /// Row-major [r_idx][state][quality]; entries for states with fewer than
-  /// r actions remaining hold kTimeMinusInf (never satisfiable).
+  /// r actions remaining hold kTimeMinusInf (never satisfiable). Cleared
+  /// (moved into cupper_/clower_) under ArenaLayout::kCompressed.
   std::vector<TimeNs> upper_;
   std::vector<TimeNs> lower_;
+  std::optional<CompressedTdTable> cupper_;
+  std::optional<CompressedTdTable> clower_;
 };
 
 }  // namespace speedqm

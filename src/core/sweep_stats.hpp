@@ -1,0 +1,31 @@
+// Occupancy/outcome counters one batched decide_all sweep can record.
+//
+// Plain data, deliberately in its own header: core/batch_sweep.hpp (the
+// internal kernel header) needs the complete type to increment the
+// counters, and core/batch_engine.hpp needs it to hold the last sample —
+// without either header having to include the other.
+//
+// The counters feed the engine's occupancy-adaptive kernel dispatch
+// (BatchDecisionEngine samples one sweep out of every 16 under
+// Kernel::kAuto; see docs/architecture.md). Recording is opt-in per sweep:
+// kernels only touch the counters when SweepArgs.stats is non-null, so the
+// unsampled hot path pays nothing beyond one well-predicted branch.
+#pragma once
+
+#include <cstdint>
+
+namespace speedqm {
+
+/// What one sampled sweep observed about its lanes.
+struct SweepStats {
+  /// Unfinished tasks decided this sweep (vector groups need >= kLanes).
+  std::uint64_t live = 0;
+  /// Live lanes that entered with a warm hint (h >= 0) — the lanes the
+  /// compare/select resolve can actually serve.
+  std::uint64_t warm = 0;
+  /// Warm lanes that fell beyond the one-step neighbourhood into the full
+  /// shared search (climbing or falling two or more levels).
+  std::uint64_t searched = 0;
+};
+
+}  // namespace speedqm

@@ -52,9 +52,20 @@ std::uint8_t pick_width(std::uint64_t max_resid) {
   return CompressedTdTable::kWidth64;
 }
 
-/// Trailing pad so the RowRef 8-byte unaligned read of the last narrow
-/// residual stays inside the buffer.
-constexpr std::size_t kResidPad = 8;
+// Guard pads keeping every whole-window load of the vector decode paths
+// (RowRef::window4 and the per-ISA decode_window helpers) inside the
+// plane allocations. A window starts at q0 = hint - 1, one entry BEFORE
+// the row (front pads: 1 element / one widest residual = 8 bytes), and
+// the deepest trailing load — a 32-byte kWidth64 window at q0 = nq - 2 —
+// runs 16 bytes past the row's last entry (back pads: 2 elements / 16
+// bytes; this also covers RowRef::value's 8-byte read of the last narrow
+// residual). Pads are zero, never decoded into results: the resolve
+// masks discard out-of-row lanes. The serialized body stays pad-free
+// (content region only), so the wire format is unchanged.
+constexpr std::size_t kLeadFrontPad = 1;   // elements, both leader planes
+constexpr std::size_t kLeadBackPad = 2;    // elements, both leader planes
+constexpr std::size_t kResidFrontPad = 8;  // bytes
+constexpr std::size_t kResidBackPad = 16;  // bytes
 
 }  // namespace
 
@@ -80,6 +91,10 @@ void CompressedTdTable::build(const std::vector<TimeNs>& flat) {
   const auto nq = static_cast<std::size_t>(nq_);
   const StateIndex num_blocks = (n_ + kBlockRows - 1) / kBlockRows;
   blocks_.reserve(num_blocks);
+  // Front guard pads first, so every block offset below includes them.
+  ld32_.assign(kLeadFrontPad, 0);
+  ld64_.assign(kLeadFrontPad, 0);
+  resid_.assign(kResidFrontPad, 0);
 
   for (StateIndex b = 0; b < num_blocks; ++b) {
     const StateIndex s0 = b * kBlockRows;
@@ -138,7 +153,9 @@ void CompressedTdTable::build(const std::vector<TimeNs>& flat) {
     }
     blocks_.push_back(block);
   }
-  resid_.insert(resid_.end(), kResidPad, 0);
+  ld32_.insert(ld32_.end(), kLeadBackPad, 0);
+  ld64_.insert(ld64_.end(), kLeadBackPad, 0);
+  resid_.insert(resid_.end(), kResidBackPad, 0);
 }
 
 CompressedTdTable::RowRef CompressedTdTable::row(StateIndex s) const {
@@ -205,16 +222,22 @@ void CompressedTdTable::save_body(std::ostream& out) const {
   }
   // Plane sizes are redundant with the per-block flags but serialized and
   // cross-checked on load, so corrupt streams fail loudly instead of
-  // decoding garbage.
-  write_u64(out, ld32_.size());
-  for (std::uint32_t v : ld32_) {
+  // decoding garbage. Only the content region is written: the guard pads
+  // are a memory-layout detail, re-synthesized on load, so streams saved
+  // before the pads existed load unchanged.
+  const std::size_t n32 = ld32_.size() - kLeadFrontPad - kLeadBackPad;
+  write_u64(out, n32);
+  for (std::size_t j = 0; j < n32; ++j) {
+    const std::uint32_t v = ld32_[kLeadFrontPad + j];
     for (int i = 0; i < 4; ++i) write_u8(out, static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
   }
-  write_u64(out, ld64_.size());
-  for (std::uint64_t v : ld64_) write_u64(out, v);
-  write_u64(out, resid_.size() - kResidPad);
-  out.write(reinterpret_cast<const char*>(resid_.data()),
-            static_cast<std::streamsize>(resid_.size() - kResidPad));
+  const std::size_t n64 = ld64_.size() - kLeadFrontPad - kLeadBackPad;
+  write_u64(out, n64);
+  for (std::size_t j = 0; j < n64; ++j) write_u64(out, ld64_[kLeadFrontPad + j]);
+  const std::size_t nresid = resid_.size() - kResidFrontPad - kResidBackPad;
+  write_u64(out, nresid);
+  out.write(reinterpret_cast<const char*>(resid_.data() + kResidFrontPad),
+            static_cast<std::streamsize>(nresid));
   if (!out) throw std::runtime_error("CompressedTdTable: write failed");
 }
 
@@ -249,13 +272,13 @@ CompressedTdTable CompressedTdTable::load_body(std::istream& in,
     const StateIndex s0 = static_cast<StateIndex>(i) * kBlockRows;
     const StateIndex rows = std::min<StateIndex>(kBlockRows, num_states - s0);
     if (b.ld_wide) {
-      b.ld_off = static_cast<std::uint32_t>(want_ld64);
+      b.ld_off = static_cast<std::uint32_t>(kLeadFrontPad + want_ld64);
       want_ld64 += nq;
     } else {
-      b.ld_off = static_cast<std::uint32_t>(want_ld32);
+      b.ld_off = static_cast<std::uint32_t>(kLeadFrontPad + want_ld32);
       want_ld32 += nq;
     }
-    b.re_off = static_cast<std::uint32_t>(want_resid);
+    b.re_off = static_cast<std::uint32_t>(kResidFrontPad + want_resid);
     want_resid += (rows - 1) * nq * b.rw;
     table.blocks_.push_back(b);
   }
@@ -263,22 +286,24 @@ CompressedTdTable CompressedTdTable::load_body(std::istream& in,
   if (read_u64(in) != want_ld32) {
     throw std::runtime_error("CompressedTdTable: leader plane size mismatch");
   }
-  table.ld32_.resize(want_ld32);
-  for (auto& v : table.ld32_) {
+  table.ld32_.assign(kLeadFrontPad + want_ld32 + kLeadBackPad, 0);
+  for (std::size_t j = 0; j < want_ld32; ++j) {
     std::uint32_t x = 0;
     for (int i = 0; i < 4; ++i) x |= static_cast<std::uint32_t>(read_u8(in)) << (8 * i);
-    v = x;
+    table.ld32_[kLeadFrontPad + j] = x;
   }
   if (read_u64(in) != want_ld64) {
     throw std::runtime_error("CompressedTdTable: wide leader plane size mismatch");
   }
-  table.ld64_.resize(want_ld64);
-  for (auto& v : table.ld64_) v = read_u64(in);
+  table.ld64_.assign(kLeadFrontPad + want_ld64 + kLeadBackPad, 0);
+  for (std::size_t j = 0; j < want_ld64; ++j) {
+    table.ld64_[kLeadFrontPad + j] = read_u64(in);
+  }
   if (read_u64(in) != want_resid) {
     throw std::runtime_error("CompressedTdTable: residual plane size mismatch");
   }
-  table.resid_.resize(want_resid + kResidPad, 0);
-  in.read(reinterpret_cast<char*>(table.resid_.data()),
+  table.resid_.assign(kResidFrontPad + want_resid + kResidBackPad, 0);
+  in.read(reinterpret_cast<char*>(table.resid_.data() + kResidFrontPad),
           static_cast<std::streamsize>(want_resid));
   if (!in) throw std::runtime_error("CompressedTdTable: truncated stream");
   return table;

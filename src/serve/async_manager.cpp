@@ -6,11 +6,13 @@ namespace speedqm {
 
 AsyncBatchMultiTaskManager::AsyncBatchMultiTaskManager(
     const ComposedSystem& system, std::vector<const PolicyEngine*> engines,
-    BatchDecisionEngine::Mode mode, ArenaLayout layout)
+    BatchDecisionEngine::Mode mode, ArenaLayout layout,
+    BatchDecisionEngine::Kernel kernel)
     : MultiTaskEpochManager(system),
       num_tasks_(engines.size()),
       mode_(mode),
       layout_(layout),
+      kernel_(kernel),
       exchange_(engines.size()) {
   manager_thread_ = std::thread(&AsyncBatchMultiTaskManager::manager_main,
                                 this, std::move(engines));
@@ -78,7 +80,7 @@ void AsyncBatchMultiTaskManager::manager_main(
   std::unique_ptr<BatchDecisionEngine> engine;
   try {
     engine = std::make_unique<BatchDecisionEngine>(std::move(engines), mode_,
-                                                   layout_);
+                                                   layout_, kernel_);
     memory_bytes_ = engine->memory_bytes();
     table_integers_ = engine->num_table_integers();
   } catch (...) {

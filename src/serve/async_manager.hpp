@@ -34,11 +34,11 @@ class AsyncBatchMultiTaskManager final : public MultiTaskEpochManager {
   /// Engine construction (table compiles in tabled mode) happens on the
   /// spawned manager thread; the constructor returns once the thread is
   /// ready to serve.
-  AsyncBatchMultiTaskManager(const ComposedSystem& system,
-                             std::vector<const PolicyEngine*> engines,
-                             BatchDecisionEngine::Mode mode =
-                                 BatchDecisionEngine::Mode::kTabled,
-                             ArenaLayout layout = ArenaLayout::kFlat);
+  AsyncBatchMultiTaskManager(
+      const ComposedSystem& system, std::vector<const PolicyEngine*> engines,
+      BatchDecisionEngine::Mode mode = BatchDecisionEngine::Mode::kTabled,
+      ArenaLayout layout = ArenaLayout::kFlat,
+      BatchDecisionEngine::Kernel kernel = BatchDecisionEngine::Kernel::kAuto);
   ~AsyncBatchMultiTaskManager() override;
 
   std::string name() const override;
@@ -58,6 +58,7 @@ class AsyncBatchMultiTaskManager final : public MultiTaskEpochManager {
   std::size_t num_tasks_;
   BatchDecisionEngine::Mode mode_;
   ArenaLayout layout_;
+  BatchDecisionEngine::Kernel kernel_;
   DecisionExchange exchange_;
   // Engine stats, captured once at startup so the accessors need not cross
   // the exchange (the engine itself lives on the manager thread's stack).

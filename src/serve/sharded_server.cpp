@@ -155,11 +155,11 @@ void ShardedServer::rebuild_shard(Shard& shard) {
     if (spec_.async_manager) {
       shard.manager = std::make_unique<AsyncBatchMultiTaskManager>(
           shard.mix->composed(), shard.mix->engines(), spec_.mode,
-          spec_.layout);
+          spec_.layout, spec_.kernel);
     } else {
       shard.manager = std::make_unique<BatchMultiTaskManager>(
           shard.mix->composed(), shard.mix->engines(), spec_.mode,
-          spec_.layout);
+          spec_.layout, spec_.kernel);
     }
     if (!spec_.perturb.empty()) {
       // The cursor (scenario + shard salt) survives rebuilds; only the

@@ -283,6 +283,117 @@ TEST_F(MultiTaskDifferential, StreamingSummaryMatchesRetained) {
   EXPECT_EQ(acc.cycle_quality_series(), per_cycle_quality(retained));
 }
 
+// Kernel pins: the forced-vector and occupancy-adaptive kernels must be
+// bit-identical to the forced-scalar kernel — decisions, ops, platform
+// clock — over 10^4 cycles, for both arena layouts. (On hardware without
+// a vector kernel every pin resolves to scalar and the check is vacuous
+// but still runs.)
+TEST_F(MultiTaskDifferential, KernelsBitIdenticalOverTenThousandCycles) {
+  MultiTaskMix mix(small_mix_spec(4, 20260808));
+  const auto engines = mix.engines();
+  const std::size_t cycles = 10000;
+
+  BatchMultiTaskManager scalar_mgr(mix.composed(), engines,
+                                   BatchDecisionEngine::Mode::kTabled,
+                                   ArenaLayout::kFlat,
+                                   BatchDecisionEngine::Kernel::kScalar);
+  QualityStreamSink s_scalar;
+  RunResult r_scalar;
+  run_pair(mix, scalar_mgr, cycles, s_scalar, r_scalar);
+
+  for (const ArenaLayout layout :
+       {ArenaLayout::kFlat, ArenaLayout::kCompressed}) {
+    for (const BatchDecisionEngine::Kernel kernel :
+         {BatchDecisionEngine::Kernel::kVector,
+          BatchDecisionEngine::Kernel::kAuto}) {
+      BatchMultiTaskManager mgr(mix.composed(), engines,
+                                BatchDecisionEngine::Mode::kTabled, layout,
+                                kernel);
+      QualityStreamSink sink;
+      RunResult run;
+      run_pair(mix, mgr, cycles, sink, run);
+      EXPECT_EQ(sink.qualities, s_scalar.qualities)
+          << to_string(layout) << " kernel " << static_cast<int>(kernel);
+      EXPECT_EQ(sink.total_ops, s_scalar.total_ops) << to_string(layout);
+      EXPECT_EQ(run.total_time, r_scalar.total_time) << to_string(layout);
+      EXPECT_EQ(run.total_deadline_misses, r_scalar.total_deadline_misses);
+      EXPECT_EQ(run.total_infeasible, r_scalar.total_infeasible);
+    }
+  }
+}
+
+// The occupancy-adaptive dispatch itself: under Kernel::kAuto one sweep in
+// 16 samples live/warm counters, and the engine drops to the branchy
+// scalar kernel when the sample shows too few warm live lanes to fill a
+// vector group, re-engaging once occupancy recovers.
+TEST(BatchDecisionEngineAdaptive, SampledSweepsSwitchKernels) {
+  SyntheticSpec spec;
+  spec.seed = 31;
+  spec.num_actions = 24;
+  spec.num_levels = 8;
+  spec.budget_quality = 4;
+  SyntheticWorkload task(spec);
+  const PolicyEngine engine(task.app(), task.timing());
+  // 16 lanes of the same engine: wider than any kernel's group (8 for
+  // AVX512), so full occupancy always justifies the vector kernel.
+  std::vector<const PolicyEngine*> engines(16, &engine);
+  BatchDecisionEngine batch(engines, BatchDecisionEngine::Mode::kTabled,
+                            ArenaLayout::kFlat,
+                            BatchDecisionEngine::Kernel::kAuto);
+  if (!batch.simd_active()) {
+    GTEST_SKIP() << "no vector kernel on this build/CPU";
+  }
+  EXPECT_TRUE(batch.vector_engaged());  // optimistic until the first sample
+
+  std::vector<StateIndex> states(16, 1);
+  std::vector<Decision> out(16);
+  const TimeNs t = batch.td(0, 1, 3);
+
+  // Sweep 0 is sampled and all-cold (no warm hints yet): live = 16,
+  // warm = 0 — the sample demotes the engine to scalar.
+  batch.decide_all(states.data(), t, out.data());
+  EXPECT_EQ(batch.sweep_stats().live, 16u);
+  EXPECT_EQ(batch.sweep_stats().warm, 0u);
+  EXPECT_FALSE(batch.vector_engaged());
+
+  // Sweeps 1..16 run warm at full occupancy; the sample at sweep 16 sees
+  // 16 warm live lanes and re-engages the vector kernel.
+  for (int i = 0; i < 16; ++i) {
+    batch.decide_all(states.data(), t, out.data());
+  }
+  EXPECT_EQ(batch.sweep_stats().live, 16u);
+  EXPECT_EQ(batch.sweep_stats().warm, 16u);
+  EXPECT_TRUE(batch.vector_engaged());
+
+  // Starve occupancy: every lane finished but one. The next sample
+  // (sweep 32) sees a single live lane — not enough to fill a group —
+  // and drops back to scalar.
+  std::vector<StateIndex> drained(16, task.app().size());
+  drained[0] = 1;
+  for (int i = 0; i < 16; ++i) {
+    batch.decide_all(drained.data(), t, out.data());
+  }
+  EXPECT_EQ(batch.sweep_stats().live, 1u);
+  EXPECT_FALSE(batch.vector_engaged());
+
+  // A forced-kernel engine never adapts: kVector stays engaged on the
+  // same drained stream.
+  BatchDecisionEngine pinned(engines, BatchDecisionEngine::Mode::kTabled,
+                             ArenaLayout::kFlat,
+                             BatchDecisionEngine::Kernel::kVector);
+  for (int i = 0; i < 40; ++i) {
+    pinned.decide_all(drained.data(), t, out.data());
+  }
+  EXPECT_TRUE(pinned.vector_engaged());
+  // And kScalar reports no vector capability at all.
+  BatchDecisionEngine forced_scalar(engines,
+                                    BatchDecisionEngine::Mode::kTabled,
+                                    ArenaLayout::kFlat,
+                                    BatchDecisionEngine::Kernel::kScalar);
+  EXPECT_FALSE(forced_scalar.simd_active());
+  EXPECT_FALSE(forced_scalar.vector_engaged());
+}
+
 // The mix scenario itself: safe under the coexistence margin, and the
 // composition's per-task attribution adds up.
 TEST(MultiTaskMixScenario, ServesAllTasksWithoutMisses) {

@@ -22,6 +22,12 @@ docs, and every real-time flag the tool parses (--wall-scale, the
 checks fail loudly if the source patterns stop matching, so a parser
 refactor cannot make them pass vacuously.
 
+And for the batch-kernel CLI surface: every --kernel mode offered by
+tools/speedqm_tool.cpp (the multitask and serve subcommands both parse
+it) must be shown as `--kernel <mode>` in README.md, docs/architecture.md
+or docs/perf.md — the dispatch docs this PR family maintains. Vacuous-pass
+guarded like the others.
+
 And for the ingest front-end: every front-end/SLO flag the tool parses
 (--frontend, --slo-out, --slo-target) must appear as `--<flag>` in the
 docs, and the SLO artifact schema name declared in src/serve/frontend.hpp
@@ -259,6 +265,41 @@ def check_frontend_docs(root):
     return problems
 
 
+# The batch-kernel choice lists (multitask + serve both parse --kernel).
+# findall, not search: every call site contributes its modes, so a mode
+# added to one subcommand but not the docs still fails.
+KERNEL_MODES = re.compile(
+    r'parse_choice\(\s*args,\s*"kernel",\s*"[a-z]+",\s*\{([^}]*)\}'
+)
+
+
+def check_kernel_docs(root):
+    """Every --kernel mode offered by speedqm_tool must be documented."""
+    source = root / "tools" / "speedqm_tool.cpp"
+    if not source.exists():
+        return [f"{source.relative_to(root)}: missing (kernel CLI "
+                "cross-check has nothing to scan)"]
+    groups = KERNEL_MODES.findall(source.read_text(encoding="utf-8"))
+    if not groups:
+        return ["tools/speedqm_tool.cpp: no --kernel parse_choice found — "
+                "the kernel-mode cross-check would pass vacuously"]
+    modes = sorted({m.strip().strip('"')
+                    for group in groups
+                    for m in group.split(",") if m.strip()})
+
+    doc_paths = ("README.md", "docs/architecture.md", "docs/perf.md")
+    docs_text = "\n".join(
+        (root / p).read_text(encoding="utf-8")
+        for p in doc_paths if (root / p).exists()
+    )
+    return [
+        f"docs: kernel mode '{mode}' is offered by speedqm_tool but "
+        f"'--kernel {mode}' never appears in {', '.join(doc_paths)}"
+        for mode in modes
+        if f"--kernel {mode}" not in docs_text
+    ]
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--root", default=None,
@@ -281,6 +322,7 @@ def main():
     problems.extend(check_generator_docs(root))
     problems.extend(check_realtime_docs(root))
     problems.extend(check_frontend_docs(root))
+    problems.extend(check_kernel_docs(root))
 
     for problem in problems:
         print(f"DOCS-FAIL: {problem}")

@@ -300,6 +300,12 @@ int cmd_multitask(const ArgMap& args) {
                                          {"flat", "compressed"}, "multitask");
   const ArenaLayout layout =
       arena == "compressed" ? ArenaLayout::kCompressed : ArenaLayout::kFlat;
+  const std::string kernel_name = parse_choice(
+      args, "kernel", "auto", {"auto", "scalar", "vector"}, "multitask");
+  const BatchDecisionEngine::Kernel kernel =
+      kernel_name == "scalar"   ? BatchDecisionEngine::Kernel::kScalar
+      : kernel_name == "vector" ? BatchDecisionEngine::Kernel::kVector
+                                : BatchDecisionEngine::Kernel::kAuto;
   const std::string perturb_name =
       parse_choice(args, "perturb", "none", perturb_choices(), "multitask");
   PerturbationScenario perturb;
@@ -317,7 +323,8 @@ int cmd_multitask(const ArgMap& args) {
   std::unique_ptr<QualityManager> manager;
   if (flavor == "batch") {
     manager = std::make_unique<BatchMultiTaskManager>(
-        mix.composed(), engines, BatchDecisionEngine::Mode::kTabled, layout);
+        mix.composed(), engines, BatchDecisionEngine::Mode::kTabled, layout,
+        kernel);
   } else if (flavor == "batch-incremental") {
     if (layout != ArenaLayout::kFlat) {
       std::fprintf(stderr, "error: --arena compressed needs a tabled manager "
@@ -524,6 +531,13 @@ int cmd_serve(const ArgMap& args) {
       parse_choice(args, "arena", "flat", {"flat", "compressed"}, "serve");
   spec.layout = arena == "compressed" ? ArenaLayout::kCompressed
                                       : ArenaLayout::kFlat;
+  const std::string kernel_name = parse_choice(
+      args, "kernel", "auto", {"auto", "scalar", "vector"}, "serve");
+  spec.kernel = kernel_name == "scalar"
+                    ? BatchDecisionEngine::Kernel::kScalar
+                : kernel_name == "vector"
+                    ? BatchDecisionEngine::Kernel::kVector
+                    : BatchDecisionEngine::Kernel::kAuto;
   const std::string placement = parse_choice(
       args, "placement", "best-fit", {"best-fit", "most-slack"}, "serve");
   spec.placement = placement == "most-slack" ? PlacementPolicy::kMostSlack
@@ -740,13 +754,14 @@ void usage() {
       "                      regions|relaxation|batch] [--csv PREFIX]\n"
       "  multitask [--tasks N] [--cycles N] [--seed N] [--factor F]\n"
       "           [--manager batch|batch-incremental|sequential] [--stream]\n"
-      "           [--arena flat|compressed] [--perturb NAME]\n"
+      "           [--arena flat|compressed] [--kernel auto|scalar|vector]\n"
+      "           [--perturb NAME]\n"
       "           [--workload mix|trace-replay] [--workload-spec K=V,...]\n"
       "           [--clock sim|wall|virtual] [real-time flags]\n"
       "  serve    [--tasks N] [--shards S] [--workers W] [--cycles N]\n"
       "           [--arrivals N] [--initial K] [--async] [--seed N] [--factor F]\n"
       "           [--placement best-fit|most-slack] [--arena flat|compressed]\n"
-      "           [--perturb NAME]\n"
+      "           [--kernel auto|scalar|vector] [--perturb NAME]\n"
       "           [--workload poisson|bursty|diurnal|checkpoint]\n"
       "           [--workload-spec K=V,...]\n"
       "           [--frontend P] [--slo-out FILE] [--slo-target F]\n"
